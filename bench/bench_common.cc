@@ -1,0 +1,190 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/hin2vec.h"
+#include "baselines/line.h"
+#include "baselines/metapath2vec.h"
+#include "baselines/mve.h"
+#include "baselines/node2vec.h"
+#include "baselines/rgcn.h"
+#include "baselines/simple_kg.h"
+#include "core/transn.h"
+#include "data/datasets.h"
+#include "util/logging.h"
+
+namespace transn {
+namespace bench {
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : fallback;
+}
+
+}  // namespace
+
+double BenchScale() {
+  static const double scale = EnvDouble("TRANSN_BENCH_SCALE", 1.0);
+  return scale;
+}
+
+uint64_t BenchSeed() {
+  static const uint64_t seed =
+      static_cast<uint64_t>(EnvDouble("TRANSN_BENCH_SEED", 42.0));
+  return seed;
+}
+
+TransNConfig BenchTransNConfig(uint64_t seed) {
+  TransNConfig cfg;
+  cfg.dim = kBenchDim;
+  cfg.iterations = 3;
+  cfg.walk.walk_length = 20;            // paper: 80
+  cfg.walk.min_walks_per_node = 2;      // paper: 10
+  cfg.walk.max_walks_per_node = 6;      // paper: 32
+  cfg.sgns.negatives = 5;
+  cfg.translator_encoders = 3;          // paper: 6
+  cfg.translator_seq_len = 8;
+  cfg.cross_paths_per_pair = 500;
+  cfg.seed = seed;
+  return cfg;
+}
+
+Matrix RunTransNWithConfig(const HeteroGraph& g, const TransNConfig& config) {
+  TransNModel model(&g, config);
+  model.Fit();
+  return model.FinalEmbeddings();
+}
+
+std::vector<Method> PaperMethods() {
+  std::vector<Method> methods;
+  methods.push_back(
+      {"LINE", [](const HeteroGraph& g, const std::string&, uint64_t seed) {
+         LineConfig cfg;
+         cfg.dim = kBenchDim;
+         // Sparse graphs need ~100 samples/edge before LINE's
+         // second-order embeddings become informative.
+         cfg.samples = 100 * g.num_edges();
+         cfg.seed = seed;
+         return RunLine(g, cfg);
+       }});
+  methods.push_back(
+      {"Node2Vec", [](const HeteroGraph& g, const std::string&,
+                      uint64_t seed) {
+         Node2VecBaselineConfig cfg;
+         cfg.dim = kBenchDim;
+         cfg.walk = {.p = 1.0, .q = 1.0, .walk_length = 20,
+                     .walks_per_node = 4};
+         cfg.window = 3;
+         cfg.epochs = 2;
+         cfg.seed = seed;
+         return RunNode2Vec(g, cfg);
+       }});
+  methods.push_back(
+      {"Metapath2Vec", [](const HeteroGraph& g, const std::string& dataset,
+                          uint64_t seed) {
+         Metapath2VecConfig cfg;
+         cfg.dim = kBenchDim;
+         cfg.metapath = RecommendedMetapath(dataset);
+         CHECK(!cfg.metapath.empty()) << "no meta-path for " << dataset;
+         // Meta-path walks start only at the first pattern type, so longer
+         // and more numerous walks are needed to cover the other types.
+         cfg.walk_length = 40;
+         cfg.walks_per_node = 20;
+         cfg.window = 3;
+         cfg.epochs = 2;
+         cfg.seed = seed;
+         auto result = RunMetapath2Vec(g, cfg);
+         CHECK(result.ok()) << result.status().ToString();
+         return std::move(result).value();
+       }});
+  methods.push_back(
+      {"HIN2VEC", [](const HeteroGraph& g, const std::string&,
+                     uint64_t seed) {
+         Hin2VecConfig cfg;
+         cfg.dim = kBenchDim;
+         cfg.walk_length = 20;
+         cfg.walks_per_node = 4;
+         cfg.window = 3;
+         cfg.negatives = 3;
+         cfg.epochs = 2;
+         cfg.seed = seed;
+         return RunHin2Vec(g, cfg);
+       }});
+  methods.push_back(
+      {"MVE", [](const HeteroGraph& g, const std::string&, uint64_t seed) {
+         MveConfig cfg;
+         cfg.dim = kBenchDim;
+         cfg.walk_length = 15;
+         cfg.walks_per_node = 3;
+         cfg.window = 2;
+         cfg.epochs = 2;
+         cfg.seed = seed;
+         return RunMve(g, cfg);
+       }});
+  methods.push_back(
+      {"R-GCN", [](const HeteroGraph& g, const std::string&, uint64_t seed) {
+         RgcnConfig cfg;
+         cfg.dim = kBenchDim;
+         cfg.epochs = 25;
+         cfg.batch_edges = 2048;
+         cfg.negatives = 2;
+         cfg.seed = seed;
+         return RunRgcn(g, cfg);
+       }});
+  methods.push_back(
+      {"SimplE", [](const HeteroGraph& g, const std::string&, uint64_t seed) {
+         SimpleKgConfig cfg;
+         cfg.dim = kBenchDim;
+         cfg.epochs = 60;
+         cfg.learning_rate = 0.1;
+         cfg.negatives = 4;
+         cfg.seed = seed;
+         return RunSimplE(g, cfg);
+       }});
+  methods.push_back(
+      {"TransN", [](const HeteroGraph& g, const std::string&, uint64_t seed) {
+         return RunTransNWithConfig(g, BenchTransNConfig(seed));
+       }});
+  return methods;
+}
+
+std::vector<Method> AblationMethods() {
+  auto variant = [](const std::string& name,
+                    const std::function<void(TransNConfig&)>& tweak) {
+    return Method{name, [tweak](const HeteroGraph& g, const std::string&,
+                                uint64_t seed) {
+                    TransNConfig cfg = BenchTransNConfig(seed);
+                    tweak(cfg);
+                    return RunTransNWithConfig(g, cfg);
+                  }};
+  };
+  return {
+      variant("TransN-Without-Cross-View",
+              [](TransNConfig& c) { c.enable_cross_view = false; }),
+      variant("TransN-With-Simple-Walk",
+              [](TransNConfig& c) { c.simple_walk = true; }),
+      variant("TransN-With-Simple-Translator",
+              [](TransNConfig& c) { c.simple_translator = true; }),
+      variant("TransN-Without-Translation-Tasks",
+              [](TransNConfig& c) { c.enable_translation_tasks = false; }),
+      variant("TransN-Without-Reconstruction-Tasks",
+              [](TransNConfig& c) { c.enable_reconstruction_tasks = false; }),
+      variant("TransN", [](TransNConfig&) {}),
+  };
+}
+
+void EmitTable(const TablePrinter& table, const std::string& name) {
+  std::printf("%s", table.ToAlignedString().c_str());
+  const std::string path = name + ".csv";
+  Status s = table.WriteCsv(path);
+  if (!s.ok()) {
+    LOG(WARNING) << "could not write " << path << ": " << s.ToString();
+  } else {
+    std::printf("(csv written to %s)\n", path.c_str());
+  }
+}
+
+}  // namespace bench
+}  // namespace transn

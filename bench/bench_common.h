@@ -1,0 +1,57 @@
+#ifndef TRANSN_BENCH_BENCH_COMMON_H_
+#define TRANSN_BENCH_BENCH_COMMON_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/transn_config.h"
+#include "graph/hetero_graph.h"
+#include "nn/matrix.h"
+#include "util/csv.h"
+
+namespace transn {
+namespace bench {
+
+/// Environment knobs shared by every table/figure bench:
+///   TRANSN_BENCH_SCALE — dataset size multiplier (default 1.0)
+///   TRANSN_BENCH_SEED  — base RNG seed (default 42)
+double BenchScale();
+uint64_t BenchSeed();
+
+/// Embedding dimensionality used by all bench runs. The paper uses 128; the
+/// benches use 64 to keep single-core wall time reasonable — relative
+/// method ordering is unaffected (EXPERIMENTS.md).
+inline constexpr size_t kBenchDim = 64;
+
+/// TransN configuration used across the benches (paper §IV-A3 defaults,
+/// scaled: see EXPERIMENTS.md "Scaling" for the mapping).
+TransNConfig BenchTransNConfig(uint64_t seed);
+
+/// Trains TransN with `config` and returns the final embeddings.
+Matrix RunTransNWithConfig(const HeteroGraph& g, const TransNConfig& config);
+
+/// One embedding method as benchmarked: name + runner. `dataset` selects
+/// dataset-specific settings (Metapath2Vec's meta-path).
+struct Method {
+  std::string name;
+  std::function<Matrix(const HeteroGraph& g, const std::string& dataset,
+                       uint64_t seed)>
+      run;
+};
+
+/// The paper's eight methods in Table III/IV row order:
+/// LINE, Node2Vec, Metapath2Vec, HIN2VEC, MVE, R-GCN, SimplE, TransN.
+std::vector<Method> PaperMethods();
+
+/// The Table V rows: five degenerate variants plus full TransN.
+std::vector<Method> AblationMethods();
+
+/// Prints the aligned table to stdout and writes `<name>.csv` next to the
+/// working directory.
+void EmitTable(const TablePrinter& table, const std::string& name);
+
+}  // namespace bench
+}  // namespace transn
+
+#endif  // TRANSN_BENCH_BENCH_COMMON_H_

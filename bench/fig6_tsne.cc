@@ -1,0 +1,126 @@
+// Reproduces Figure 6: 2-D t-SNE projections of 90 applet embeddings (10
+// per category) from the App-Daily analogue, for HIN2VEC, SimplE, and
+// TransN (§IV-D). Emits the 2-D coordinates as CSV series and summarizes
+// the visual separation with silhouette scores (higher = more separated,
+// matching the paper's qualitative reading).
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_common.h"
+#include "baselines/hin2vec.h"
+#include "baselines/simple_kg.h"
+#include "data/datasets.h"
+#include "eval/metrics.h"
+#include "eval/tsne.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace transn;
+  using namespace transn::bench;
+  SetMinLogSeverity(LogSeverity::kWarning);
+
+  std::printf(
+      "FIGURE 6 analogue: t-SNE projections of 90 applets from App-Daily "
+      "(scale %.2f, seed %llu)\n\n",
+      BenchScale(), static_cast<unsigned long long>(BenchSeed()));
+
+  HeteroGraph g = MakeAppDailyLike(BenchScale(), BenchSeed() + 2);
+
+  // Select ten labeled applets per category. The paper picks well-known
+  // applets (all its applets have real usage); our random 20% labeling
+  // includes barely-connected ones whose embeddings are noise, so we
+  // restrict the draw to each category's best-connected applets.
+  std::map<int, std::vector<NodeId>> by_category;
+  for (NodeId n : g.LabeledNodes()) by_category[g.label(n)].push_back(n);
+  std::vector<NodeId> selected;
+  std::vector<int> labels;
+  Rng rng(BenchSeed() + 5);
+  for (auto& [category, nodes] : by_category) {
+    std::sort(nodes.begin(), nodes.end(), [&g](NodeId a, NodeId b) {
+      return g.degree(a) > g.degree(b);
+    });
+    if (nodes.size() > 25) nodes.resize(25);  // top-connected pool
+    rng.Shuffle(nodes);
+    const size_t take = std::min<size_t>(10, nodes.size());
+    for (size_t i = 0; i < take; ++i) {
+      selected.push_back(nodes[i]);
+      labels.push_back(category);
+    }
+  }
+  std::printf("selected %zu applets across %zu categories\n\n",
+              selected.size(), by_category.size());
+
+  struct Fig6Method {
+    std::string name;
+    std::function<Matrix()> run;
+  };
+  const std::vector<Fig6Method> methods = {
+      {"HIN2VEC",
+       [&] {
+         Hin2VecConfig cfg;
+         cfg.dim = kBenchDim;
+         cfg.walk_length = 15;
+         cfg.walks_per_node = 2;
+         cfg.window = 2;
+         cfg.epochs = 1;
+         cfg.seed = BenchSeed() + 11;
+         return RunHin2Vec(g, cfg);
+       }},
+      {"SimplE",
+       [&] {
+         SimpleKgConfig cfg;
+         cfg.dim = kBenchDim;
+         cfg.epochs = 10;
+         cfg.negatives = 4;
+         cfg.seed = BenchSeed() + 12;
+         return RunSimplE(g, cfg);
+       }},
+      {"TransN",
+       [&] {
+         return RunTransNWithConfig(g, BenchTransNConfig(BenchSeed() + 13));
+       }},
+  };
+
+  TablePrinter summary({"Method", "Silhouette (2-D t-SNE)",
+                        "Silhouette (raw embedding)"});
+  TablePrinter points({"method", "applet", "category", "x", "y"});
+  for (const Fig6Method& method : methods) {
+    Matrix emb = method.run();
+    Matrix features(selected.size(), emb.cols());
+    for (size_t i = 0; i < selected.size(); ++i) {
+      const double* src = emb.Row(selected[i]);
+      std::copy(src, src + emb.cols(), features.Row(i));
+    }
+    TsneConfig tsne;
+    tsne.perplexity = 12.0;
+    tsne.iterations = 600;
+    tsne.seed = BenchSeed() + 21;
+    Matrix projected = Tsne(features, tsne);
+
+    summary.AddRow({method.name,
+                    TablePrinter::Num(SilhouetteScore(projected, labels)),
+                    TablePrinter::Num(SilhouetteScore(features, labels))});
+    for (size_t i = 0; i < selected.size(); ++i) {
+      points.AddRow({method.name, g.node_name(selected[i]),
+                     StrFormat("%d", labels[i]),
+                     TablePrinter::Num(projected(i, 0), 3),
+                     TablePrinter::Num(projected(i, 1), 3)});
+    }
+    std::fprintf(stderr, "  [%s] projected\n", method.name.c_str());
+  }
+
+  EmitTable(summary, "fig6_tsne_summary");
+  Status s = points.WriteCsv("fig6_tsne_points.csv");
+  if (s.ok()) {
+    std::printf("(2-D coordinates written to fig6_tsne_points.csv — one "
+                "series per method, color by category)\n");
+  }
+  std::printf(
+      "\nPaper's qualitative claim: TransN's categories are more separated "
+      "than HIN2VEC's and SimplE's -> TransN should have the highest "
+      "silhouette above.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Google-benchmark microbenchmarks for the hot primitives: alias sampling,
+// biased correlated walk steps, SGNS pair updates, dense/sparse matmul, and
+// translator forward+backward.
+
+#include <benchmark/benchmark.h>
+
+#include "core/translator.h"
+#include "data/datasets.h"
+#include "emb/embedding_table.h"
+#include "emb/negative_sampler.h"
+#include "emb/sgns.h"
+#include "graph/view.h"
+#include "nn/init.h"
+#include "nn/ops.h"
+#include "walk/random_walk.h"
+
+namespace transn {
+namespace {
+
+const HeteroGraph& BenchGraph() {
+  static const HeteroGraph* g = new HeteroGraph(MakeAminerLike(0.3, 1));
+  return *g;
+}
+
+void BM_AliasSample(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<double> weights(static_cast<size_t>(state.range(0)));
+  for (double& w : weights) w = rng.NextDouble(0.1, 5.0);
+  AliasTable table(weights);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Sample(rng));
+  }
+}
+BENCHMARK(BM_AliasSample)->Arg(1 << 8)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_BiasedCorrelatedWalk(benchmark::State& state) {
+  static const std::vector<View>* views = [] {
+    return new std::vector<View>(BuildViews(BenchGraph()));
+  }();
+  const View& view = (*views)[1];  // AP heter-view
+  RandomWalker walker(&view.graph, view.is_heter,
+                      {.walk_length = static_cast<size_t>(state.range(0))});
+  Rng rng(2);
+  size_t nodes = 0;
+  for (auto _ : state) {
+    auto walk = walker.Walk(
+        static_cast<ViewGraph::LocalId>(rng.NextUint64(view.graph.num_nodes())),
+        rng);
+    nodes += walk.size();
+    benchmark::DoNotOptimize(walk);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(nodes));
+}
+BENCHMARK(BM_BiasedCorrelatedWalk)->Arg(20)->Arg(80);
+
+void BM_SgnsTrainPair(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  EmbeddingTable input(1000, dim, rng);
+  EmbeddingTable context(1000, dim);
+  std::vector<double> counts(1000, 1.0);
+  NegativeSampler sampler(counts);
+  SgnsTrainer trainer(&input, &context, &sampler, {.negatives = 5});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trainer.TrainPair(
+        static_cast<uint32_t>(rng.NextUint64(1000)),
+        static_cast<uint32_t>(rng.NextUint64(1000)), rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SgnsTrainPair)->Arg(64)->Arg(128);
+
+void BM_MatMul(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(4);
+  Matrix a = GaussianInit(n, n, 1.0, rng);
+  Matrix b = GaussianInit(n, n, 1.0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128);
+
+void BM_SpMM(benchmark::State& state) {
+  const HeteroGraph& g = BenchGraph();
+  std::vector<std::tuple<size_t, size_t, double>> trip;
+  for (size_t e = 0; e < g.num_edges(); ++e) {
+    trip.emplace_back(g.edge_u(e), g.edge_v(e), 1.0);
+    trip.emplace_back(g.edge_v(e), g.edge_u(e), 1.0);
+  }
+  SparseMat s(g.num_nodes(), g.num_nodes(), trip);
+  Rng rng(5);
+  Matrix x = GaussianInit(g.num_nodes(), 64, 1.0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.Multiply(x));
+  }
+}
+BENCHMARK(BM_SpMM);
+
+void BM_TranslatorForwardBackward(benchmark::State& state) {
+  const size_t encoders = static_cast<size_t>(state.range(0));
+  Rng rng(6);
+  Translator t(8, 64, encoders, false, rng);
+  Matrix in = GaussianInit(8, 64, 1.0, rng);
+  Matrix target = GaussianInit(8, 64, 1.0, rng);
+  for (auto _ : state) {
+    Tape tape;
+    Var x = tape.Input(in, true);
+    Var loss = RowCosineLoss(t.Apply(tape, x), tape.Input(target, false));
+    tape.Backward(loss);
+    benchmark::DoNotOptimize(x.grad());
+  }
+}
+BENCHMARK(BM_TranslatorForwardBackward)->Arg(1)->Arg(3)->Arg(6);
+
+}  // namespace
+}  // namespace transn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Reproduces Table III: node classification macro/micro-F1 for the eight
+// methods on the four dataset analogues (90/10 stratified splits, logistic
+// regression, 10 repeats — §IV-B1).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "data/datasets.h"
+#include "eval/node_classification.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace transn;
+  using namespace transn::bench;
+  SetMinLogSeverity(LogSeverity::kWarning);
+
+  std::printf(
+      "TABLE III analogue: Results of the Node Classification Task "
+      "(scale %.2f, seed %llu, d=%zu)\n\n",
+      BenchScale(), static_cast<unsigned long long>(BenchSeed()), kBenchDim);
+
+  const std::vector<std::string> datasets = DatasetNames();
+  std::vector<std::string> header = {"Method"};
+  for (const std::string& d : datasets) {
+    header.push_back(d + " Macro-F1");
+    header.push_back(d + " Micro-F1");
+  }
+  TablePrinter table(header);
+
+  // Generate each dataset once and share it across methods.
+  std::vector<HeteroGraph> graphs;
+  uint64_t seed = BenchSeed();
+  for (const std::string& name : datasets) {
+    auto g = MakeDataset(name, BenchScale(), seed++);
+    CHECK(g.ok()) << g.status().ToString();
+    graphs.push_back(std::move(g).value());
+  }
+
+  WallTimer total;
+  for (const Method& method : PaperMethods()) {
+    std::vector<std::string> row = {method.name};
+    for (size_t d = 0; d < datasets.size(); ++d) {
+      WallTimer timer;
+      Matrix emb = method.run(graphs[d], datasets[d], BenchSeed() + 100 + d);
+      NodeClassificationConfig eval;
+      eval.repeats = 10;
+      eval.seed = BenchSeed() + d;
+      NodeClassificationResult res =
+          EvaluateNodeClassification(graphs[d], emb, eval);
+      row.push_back(TablePrinter::Num(res.macro_f1));
+      row.push_back(TablePrinter::Num(res.micro_f1));
+      std::fprintf(stderr, "  [%s / %s] macro=%.4f micro=%.4f (%.1fs)\n",
+                   method.name.c_str(), datasets[d].c_str(), res.macro_f1,
+                   res.micro_f1, timer.ElapsedSeconds());
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("\n");
+  EmitTable(table, "table3_node_classification");
+  std::printf("total wall time: %.1fs\n", total.ElapsedSeconds());
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces Table IV: link-prediction AUC for the eight methods on the
+// four dataset analogues (40% edges removed, equal negatives, inner-product
+// scores — §IV-B2).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "data/datasets.h"
+#include "eval/link_prediction.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace transn;
+  using namespace transn::bench;
+  SetMinLogSeverity(LogSeverity::kWarning);
+
+  std::printf(
+      "TABLE IV analogue: AUC Scores of the Link Prediction Task "
+      "(scale %.2f, seed %llu, d=%zu)\n\n",
+      BenchScale(), static_cast<unsigned long long>(BenchSeed()), kBenchDim);
+
+  const std::vector<std::string> datasets = DatasetNames();
+  std::vector<std::string> header = {"Method"};
+  for (const std::string& d : datasets) header.push_back(d);
+  TablePrinter table(header);
+
+  // One link-prediction task per dataset, shared across methods.
+  std::vector<LinkPredictionTask> tasks;
+  uint64_t seed = BenchSeed();
+  for (const std::string& name : datasets) {
+    auto g = MakeDataset(name, BenchScale(), seed++);
+    CHECK(g.ok()) << g.status().ToString();
+    tasks.push_back(
+        MakeLinkPredictionTask(*g, {.removal_fraction = 0.4,
+                                    .seed = BenchSeed() + 7}));
+  }
+
+  WallTimer total;
+  for (const Method& method : PaperMethods()) {
+    std::vector<std::string> row = {method.name};
+    for (size_t d = 0; d < datasets.size(); ++d) {
+      WallTimer timer;
+      Matrix emb =
+          method.run(tasks[d].residual, datasets[d], BenchSeed() + 200 + d);
+      double auc = ScoreLinkPrediction(emb, tasks[d]);
+      row.push_back(TablePrinter::Num(auc));
+      std::fprintf(stderr, "  [%s / %s] auc=%.4f (%.1fs)\n",
+                   method.name.c_str(), datasets[d].c_str(), auc,
+                   timer.ElapsedSeconds());
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("\n");
+  EmitTable(table, "table4_link_prediction");
+  std::printf("total wall time: %.1fs\n", total.ElapsedSeconds());
+  return 0;
+}

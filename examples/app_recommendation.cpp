@@ -1,0 +1,77 @@
+// Applet recommendation: train TransN on the App-Daily-like network with
+// 40% of the usage edges held out, then recommend applets to users by
+// embedding inner product — the paper's link-prediction protocol (Table IV)
+// turned into a top-k recommender.
+//
+//   ./app_recommendation [scale]    (default scale 0.1)
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/transn.h"
+#include "data/datasets.h"
+#include "eval/link_prediction.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace transn;
+  SetMinLogSeverity(LogSeverity::kWarning);
+
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.1;
+  HeteroGraph g = MakeAppDailyLike(scale, /*seed=*/2);
+  std::printf("App-Daily-like network (scale %.2f): %zu nodes, %zu edges\n",
+              scale, g.num_nodes(), g.num_edges());
+
+  // Hold out 40% of the edges (the paper's protocol).
+  LinkPredictionTask task = MakeLinkPredictionTask(g, {.seed = 3});
+  std::printf("Held out %zu edges; %zu remain for training\n\n",
+              task.positives.size(), task.residual.num_edges());
+
+  TransNConfig cfg;
+  cfg.dim = 48;
+  cfg.iterations = 3;
+  cfg.walk.walk_length = 20;
+  cfg.walk.min_walks_per_node = 2;
+  cfg.walk.max_walks_per_node = 6;
+  cfg.translator_encoders = 3;
+  cfg.translator_seq_len = 8;
+  cfg.cross_paths_per_pair = 60;
+  cfg.seed = 4;
+
+  WallTimer timer;
+  TransNModel model(&task.residual, cfg);
+  model.Fit();
+  Matrix emb = model.FinalEmbeddings();
+  std::printf("TransN trained in %.1fs\n", timer.ElapsedSeconds());
+
+  double auc = ScoreLinkPrediction(emb, task);
+  std::printf("Held-out usage-edge AUC: %.4f\n\n", auc);
+
+  // Recommend top-5 unseen applets for a few users.
+  std::vector<NodeId> users, applets;
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    if (g.node_type_name(g.node_type(n)) == "User") users.push_back(n);
+    if (g.node_type_name(g.node_type(n)) == "Applet") applets.push_back(n);
+  }
+  for (size_t k = 0; k < 3 && k < users.size(); ++k) {
+    NodeId user = users[k * 7];
+    std::vector<std::pair<double, NodeId>> scored;
+    for (NodeId applet : applets) {
+      if (task.residual.HasEdge(user, applet)) continue;  // already used
+      scored.push_back(
+          {Dot(emb.Row(user), emb.Row(applet), emb.cols()), applet});
+    }
+    std::partial_sort(scored.begin(), scored.begin() + 5, scored.end(),
+                      [](const auto& a, const auto& b) { return a.first > b.first; });
+    std::printf("Top applets for %s:", g.node_name(user).c_str());
+    for (int i = 0; i < 5; ++i) {
+      bool held_out = g.HasEdge(user, scored[i].second);
+      std::printf(" %s%s", g.node_name(scored[i].second).c_str(),
+                  held_out ? "*" : "");
+    }
+    std::printf("   (* = actually used, edge was held out)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+#include "baselines/baseline_util.h"
+
+#include "emb/embedding_table.h"
+#include "emb/negative_sampler.h"
+#include "emb/sgns.h"
+#include "walk/corpus.h"
+
+namespace transn {
+
+Matrix SgnsOverWalks(const std::vector<std::vector<uint32_t>>& corpus,
+                     size_t vocab, const SgnsWalkParams& params) {
+  CHECK_GT(vocab, 0u);
+  Rng rng(params.seed);
+  EmbeddingTable input(vocab, params.dim, rng);
+  EmbeddingTable context(vocab, params.dim);
+  NegativeSampler sampler(CountOccurrences(corpus, vocab));
+  SgnsTrainer trainer(&input, &context, &sampler,
+                      SgnsConfig{.negatives = params.negatives,
+                                 .learning_rate = params.learning_rate});
+  for (size_t epoch = 0; epoch < params.epochs; ++epoch) {
+    // word2vec-style linear learning-rate decay across epochs.
+    trainer.set_learning_rate(params.learning_rate *
+                              (1.0 - static_cast<double>(epoch) /
+                                         static_cast<double>(params.epochs)));
+    for (const auto& walk : corpus) {
+      ForEachWindowPair(walk, params.window, [&](ContextPair p) {
+        trainer.TrainPair(p.center, p.context, rng);
+      });
+    }
+  }
+  return input.values();
+}
+
+Matrix ScatterRows(const Matrix& local, const std::vector<NodeId>& to_global,
+                   size_t num_global) {
+  CHECK_EQ(local.rows(), to_global.size());
+  Matrix out(num_global, local.cols(), 0.0);
+  for (size_t r = 0; r < local.rows(); ++r) {
+    CHECK_LT(to_global[r], num_global);
+    const double* src = local.Row(r);
+    double* dst = out.Row(to_global[r]);
+    for (size_t c = 0; c < local.cols(); ++c) dst[c] = src[c];
+  }
+  return out;
+}
+
+}  // namespace transn

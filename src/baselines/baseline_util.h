@@ -1,0 +1,35 @@
+#ifndef TRANSN_BASELINES_BASELINE_UTIL_H_
+#define TRANSN_BASELINES_BASELINE_UTIL_H_
+
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "nn/matrix.h"
+
+namespace transn {
+
+/// Shared SGNS-over-a-walk-corpus training loop used by the walk-based
+/// baselines (Node2Vec, Metapath2Vec, MVE's per-view step).
+struct SgnsWalkParams {
+  size_t dim = 128;
+  size_t window = 5;
+  int negatives = 5;
+  double learning_rate = 0.025;
+  /// Passes over the corpus.
+  size_t epochs = 2;
+  uint64_t seed = 1;
+};
+
+/// Trains skip-gram with negative sampling over `corpus` (ids must be
+/// < vocab) and returns the input-embedding matrix (vocab x dim).
+Matrix SgnsOverWalks(const std::vector<std::vector<uint32_t>>& corpus,
+                     size_t vocab, const SgnsWalkParams& params);
+
+/// Expands a local embedding matrix to one row per global node id
+/// (num_global x dim); unmapped global nodes get zero rows.
+Matrix ScatterRows(const Matrix& local, const std::vector<NodeId>& to_global,
+                   size_t num_global);
+
+}  // namespace transn
+
+#endif  // TRANSN_BASELINES_BASELINE_UTIL_H_

@@ -1,0 +1,130 @@
+#include "baselines/hin2vec.h"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "emb/embedding_table.h"
+#include "util/rng.h"
+
+namespace transn {
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+/// A random walk over the heterogeneous graph that records the edge type of
+/// every hop (needed to identify the meta-path between co-occurring nodes).
+struct TypedWalk {
+  std::vector<NodeId> nodes;
+  std::vector<EdgeTypeId> hop_types;  // hop_types[k] joins nodes[k], nodes[k+1]
+};
+
+TypedWalk SampleTypedWalk(const HeteroGraph& g, NodeId start, size_t length,
+                          Rng& rng) {
+  TypedWalk walk;
+  walk.nodes.push_back(start);
+  NodeId cur = start;
+  std::vector<double> weights;
+  while (walk.nodes.size() < length) {
+    const size_t deg = g.degree(cur);
+    if (deg == 0) break;
+    const Adjacency* begin = g.NeighborsBegin(cur);
+    weights.resize(deg);
+    for (size_t k = 0; k < deg; ++k) weights[k] = begin[k].weight;
+    const Adjacency& pick = begin[rng.NextDiscrete(weights)];
+    walk.nodes.push_back(pick.neighbor);
+    walk.hop_types.push_back(pick.edge_type);
+    cur = pick.neighbor;
+  }
+  return walk;
+}
+
+}  // namespace
+
+Matrix RunHin2Vec(const HeteroGraph& g, const Hin2VecConfig& config) {
+  CHECK_GT(g.num_nodes(), 0u);
+  CHECK_GE(config.window, 1u);
+  Rng rng(config.seed);
+
+  EmbeddingTable nodes(g.num_nodes(), config.dim, rng);
+  // Hadamard-product scoring needs a larger init than the word2vec default
+  // or the early gradients (products of two near-zero factors) vanish.
+  {
+    Matrix& m = nodes.mutable_values();
+    for (size_t i = 0; i < m.size(); ++i) m.data()[i] = 0.1 * rng.NextGaussian();
+  }
+
+  // Relation vocabulary: every edge-type sequence of length 1..window gets
+  // an embedding, interned on first sight.
+  std::map<std::vector<EdgeTypeId>, size_t> relation_ids;
+  std::vector<std::unique_ptr<EmbeddingTable>> relations;  // grown lazily
+  auto relation_row = [&](const std::vector<EdgeTypeId>& path) -> double* {
+    auto [it, inserted] = relation_ids.try_emplace(path, relations.size());
+    if (inserted) {
+      relations.push_back(
+          std::make_unique<EmbeddingTable>(1, config.dim, rng));
+    }
+    return relations[it->second]->Row(0);
+  };
+
+  // Per-type node pools for type-preserving negative sampling.
+  std::vector<std::vector<NodeId>> by_type(g.num_node_types());
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    by_type[g.node_type(n)].push_back(n);
+  }
+
+  std::vector<double> x_grad(config.dim);
+  auto train_triple = [&](NodeId x, NodeId y, double* r, double label,
+                          double lr) {
+    double* wx = nodes.Row(x);
+    double* wy = nodes.Row(y);
+    double score = 0.0;
+    for (size_t d = 0; d < config.dim; ++d) {
+      score += wx[d] * wy[d] * Sigmoid(r[d]);
+    }
+    const double gradient = Sigmoid(score) - label;
+    for (size_t d = 0; d < config.dim; ++d) {
+      const double sr = Sigmoid(r[d]);
+      const double gx = gradient * wy[d] * sr;
+      const double gy = gradient * wx[d] * sr;
+      const double gr = gradient * wx[d] * wy[d] * sr * (1.0 - sr);
+      x_grad[d] = gx;  // defer x so wy/r updates use the pre-update wx
+      wy[d] -= lr * gy;
+      r[d] -= lr * gr;
+    }
+    for (size_t d = 0; d < config.dim; ++d) wx[d] -= lr * x_grad[d];
+  };
+
+  std::vector<EdgeTypeId> rel_path;
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const double lr =
+        config.learning_rate *
+        (1.0 - static_cast<double>(epoch) / static_cast<double>(config.epochs));
+    for (size_t w = 0; w < config.walks_per_node; ++w) {
+      for (NodeId start = 0; start < g.num_nodes(); ++start) {
+        TypedWalk walk = SampleTypedWalk(g, start, config.walk_length, rng);
+        for (size_t i = 0; i < walk.nodes.size(); ++i) {
+          for (size_t hop = 1;
+               hop <= config.window && i + hop < walk.nodes.size(); ++hop) {
+            rel_path.assign(walk.hop_types.begin() + i,
+                            walk.hop_types.begin() + i + hop);
+            double* r = relation_row(rel_path);
+            const NodeId x = walk.nodes[i];
+            const NodeId y = walk.nodes[i + hop];
+            train_triple(x, y, r, 1.0, lr);
+            // Negative sampling: corrupt x with a random same-type node.
+            const auto& pool = by_type[g.node_type(x)];
+            for (int neg = 0; neg < config.negatives; ++neg) {
+              NodeId fake = pool[rng.NextUint64(pool.size())];
+              if (fake == x) continue;
+              train_triple(fake, y, r, 0.0, lr);
+            }
+          }
+        }
+      }
+    }
+  }
+  return nodes.values();
+}
+
+}  // namespace transn

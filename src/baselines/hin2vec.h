@@ -1,0 +1,34 @@
+#ifndef TRANSN_BASELINES_HIN2VEC_H_
+#define TRANSN_BASELINES_HIN2VEC_H_
+
+#include "graph/hetero_graph.h"
+#include "nn/matrix.h"
+
+namespace transn {
+
+/// HIN2Vec (Fu et al., 2017): jointly learns node embeddings and meta-path
+/// (relation) embeddings. Training samples are (x, y, r) where x and y
+/// co-occur within `window` hops on a random walk and r identifies the
+/// sequence of edge types between them (a meta-path of bounded length, per
+/// §IV-A2: "meta-paths with fixed lengths"). The binary objective is
+///   P(r | x, y) = sigmoid( Σ_d  W_x[d] * W_y[d] * sigma(W_r[d]) )
+/// with negative samples replacing x by a random node of the same type.
+struct Hin2VecConfig {
+  size_t dim = 128;
+  size_t walk_length = 80;
+  size_t walks_per_node = 10;
+  /// Maximum meta-path hop count (relation vocabulary covers lengths
+  /// 1..window).
+  size_t window = 3;
+  int negatives = 5;
+  double learning_rate = 0.025;
+  size_t epochs = 2;
+  uint64_t seed = 1;
+};
+
+/// Returns num_nodes x dim node embeddings.
+Matrix RunHin2Vec(const HeteroGraph& g, const Hin2VecConfig& config);
+
+}  // namespace transn
+
+#endif  // TRANSN_BASELINES_HIN2VEC_H_

@@ -1,0 +1,54 @@
+#include "baselines/line.h"
+
+#include <algorithm>
+
+#include "emb/embedding_table.h"
+#include "emb/negative_sampler.h"
+#include "emb/sgns.h"
+#include "util/alias_table.h"
+
+namespace transn {
+
+Matrix RunLine(const HeteroGraph& g, const LineConfig& config) {
+  CHECK_GT(g.num_edges(), 0u);
+  Rng rng(config.seed);
+  const size_t n = g.num_nodes();
+
+  EmbeddingTable vertex(n, config.dim, rng);
+  EmbeddingTable context(n, config.dim);
+
+  // Edge sampling proportional to weight.
+  std::vector<double> edge_weights(g.num_edges());
+  for (size_t e = 0; e < g.num_edges(); ++e) edge_weights[e] = g.edge_weight(e);
+  AliasTable edge_sampler(edge_weights);
+
+  // Noise distribution: weighted degree ^ 0.75.
+  std::vector<double> degrees(n, 0.0);
+  for (size_t e = 0; e < g.num_edges(); ++e) {
+    degrees[g.edge_u(e)] += g.edge_weight(e);
+    degrees[g.edge_v(e)] += g.edge_weight(e);
+  }
+  for (double& d : degrees) d += 1e-9;  // keep isolated nodes sampleable
+  NegativeSampler sampler(degrees);
+
+  SgnsTrainer trainer(&vertex, &context, &sampler,
+                      SgnsConfig{.negatives = config.negatives,
+                                 .learning_rate = config.learning_rate});
+
+  const size_t samples =
+      config.samples > 0 ? config.samples : 40 * g.num_edges();
+  for (size_t s = 0; s < samples; ++s) {
+    trainer.set_learning_rate(
+        config.learning_rate *
+        std::max(1e-4, 1.0 - static_cast<double>(s) /
+                                 static_cast<double>(samples)));
+    const size_t e = edge_sampler.Sample(rng);
+    // Undirected edge: train both directions with equal probability.
+    NodeId u = g.edge_u(e), v = g.edge_v(e);
+    if (rng.NextBernoulli(0.5)) std::swap(u, v);
+    trainer.TrainPair(u, v, rng);
+  }
+  return vertex.values();
+}
+
+}  // namespace transn

@@ -1,0 +1,27 @@
+#ifndef TRANSN_BASELINES_LINE_H_
+#define TRANSN_BASELINES_LINE_H_
+
+#include "graph/hetero_graph.h"
+#include "nn/matrix.h"
+
+namespace transn {
+
+/// LINE with second-order proximity (Tang et al., 2015), the variant the
+/// paper compares against (§IV-A2). Types are ignored: the network is
+/// flattened to a single weighted graph; edges are sampled by weight (alias
+/// method) and optimized with negative sampling over vertex/context tables.
+struct LineConfig {
+  size_t dim = 128;
+  int negatives = 5;
+  double learning_rate = 0.025;
+  /// Total edge samples; 0 selects 40 * |E|.
+  size_t samples = 0;
+  uint64_t seed = 1;
+};
+
+/// Returns num_nodes x dim embeddings (zero rows for isolated nodes).
+Matrix RunLine(const HeteroGraph& g, const LineConfig& config);
+
+}  // namespace transn
+
+#endif  // TRANSN_BASELINES_LINE_H_

@@ -1,0 +1,48 @@
+#include "baselines/metapath2vec.h"
+
+#include "baselines/baseline_util.h"
+#include "walk/metapath_walk.h"
+
+namespace transn {
+
+StatusOr<Matrix> RunMetapath2Vec(const HeteroGraph& g,
+                                 const Metapath2VecConfig& config) {
+  if (config.metapath.size() < 2) {
+    return Status::InvalidArgument("meta-path needs at least two types");
+  }
+  if (config.metapath.front() != config.metapath.back()) {
+    return Status::InvalidArgument("meta-path must be cyclic");
+  }
+  MetapathConfig walk_config;
+  walk_config.walk_length = config.walk_length;
+  walk_config.walks_per_node = config.walks_per_node;
+  for (const std::string& name : config.metapath) {
+    bool found = false;
+    for (NodeTypeId t = 0; t < g.num_node_types(); ++t) {
+      if (g.node_type_name(t) == name) {
+        walk_config.pattern.push_back(t);
+        found = true;
+        break;
+      }
+    }
+    if (!found) return Status::NotFound("unknown node type: " + name);
+  }
+
+  Rng rng(config.seed);
+  MetapathWalker walker(&g, walk_config);
+  std::vector<std::vector<uint32_t>> corpus = walker.SampleCorpus(rng);
+  if (corpus.empty()) {
+    return Status::FailedPrecondition("meta-path produced no walks");
+  }
+
+  SgnsWalkParams params{.dim = config.dim,
+                        .window = config.window,
+                        .negatives = config.negatives,
+                        .learning_rate = config.learning_rate,
+                        .epochs = config.epochs,
+                        .seed = rng.NextUint64()};
+  // Walks carry global node ids directly; the vocab is the whole node set.
+  return SgnsOverWalks(corpus, g.num_nodes(), params);
+}
+
+}  // namespace transn

@@ -1,0 +1,38 @@
+#ifndef TRANSN_BASELINES_METAPATH2VEC_H_
+#define TRANSN_BASELINES_METAPATH2VEC_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "nn/matrix.h"
+#include "util/status.h"
+
+namespace transn {
+
+/// Metapath2Vec (Dong et al., 2017): skip-gram over walks constrained to a
+/// user-specified meta-path (the paper uses APVPA on AMiner, UTU on BLOG,
+/// UAKAU on the App networks; see data/datasets.h RecommendedMetapath()).
+struct Metapath2VecConfig {
+  size_t dim = 128;
+  /// Cyclic node-type name sequence, e.g. {"Author","Paper","Venue",
+  /// "Paper","Author"}.
+  std::vector<std::string> metapath;
+  size_t walk_length = 80;
+  size_t walks_per_node = 10;
+  size_t window = 5;
+  int negatives = 5;
+  double learning_rate = 0.025;
+  size_t epochs = 2;
+  uint64_t seed = 1;
+};
+
+/// Returns num_nodes x dim embeddings. Nodes of types absent from the
+/// meta-path (or never visited) get zero rows. Fails on unknown type names
+/// or non-cyclic paths.
+StatusOr<Matrix> RunMetapath2Vec(const HeteroGraph& g,
+                                 const Metapath2VecConfig& config);
+
+}  // namespace transn
+
+#endif  // TRANSN_BASELINES_METAPATH2VEC_H_

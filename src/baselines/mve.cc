@@ -1,0 +1,107 @@
+#include "baselines/mve.h"
+
+#include <memory>
+
+#include "emb/embedding_table.h"
+#include "emb/negative_sampler.h"
+#include "emb/sgns.h"
+#include "graph/view.h"
+#include "walk/corpus.h"
+#include "walk/random_walk.h"
+
+namespace transn {
+
+Matrix RunMve(const HeteroGraph& g, const MveConfig& config) {
+  Rng rng(config.seed);
+  std::vector<View> views = BuildViews(g);
+
+  struct ViewState {
+    const View* view;
+    std::unique_ptr<EmbeddingTable> input;
+    std::unique_ptr<EmbeddingTable> context;
+    std::unique_ptr<NegativeSampler> sampler;
+    std::unique_ptr<RandomWalker> walker;
+  };
+  std::vector<ViewState> states;
+  WalkConfig walk_config;
+  walk_config.walk_length = config.walk_length;
+  walk_config.min_walks_per_node = config.walks_per_node;
+  walk_config.max_walks_per_node = config.walks_per_node;
+  walk_config.correlated = false;  // MVE has no correlated-walk machinery
+
+  for (const View& view : views) {
+    const size_t n = view.graph.num_nodes();
+    if (n == 0) continue;
+    ViewState state;
+    state.view = &view;
+    state.input = std::make_unique<EmbeddingTable>(n, config.dim, rng);
+    state.context = std::make_unique<EmbeddingTable>(n, config.dim);
+    std::vector<double> counts(n);
+    for (ViewGraph::LocalId i = 0; i < n; ++i) {
+      counts[i] = view.graph.weighted_degree(i) + 1e-9;
+    }
+    state.sampler = std::make_unique<NegativeSampler>(counts);
+    state.walker =
+        std::make_unique<RandomWalker>(&view.graph, false, walk_config);
+    states.push_back(std::move(state));
+  }
+  CHECK(!states.empty()) << "graph has no non-empty views";
+
+  Matrix center(g.num_nodes(), config.dim, 0.0);
+  auto recompute_center = [&] {
+    center.Fill(0.0);
+    std::vector<int> counts(g.num_nodes(), 0);
+    for (const ViewState& s : states) {
+      const ViewGraph& vg = s.view->graph;
+      for (ViewGraph::LocalId local = 0; local < vg.num_nodes(); ++local) {
+        const NodeId global = vg.ToGlobal(local);
+        const double* row = s.input->Row(local);
+        double* dst = center.Row(global);
+        for (size_t c = 0; c < config.dim; ++c) dst[c] += row[c];
+        ++counts[global];
+      }
+    }
+    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+      if (counts[n] > 1) {
+        double* row = center.Row(n);
+        for (size_t c = 0; c < config.dim; ++c) {
+          row[c] /= static_cast<double>(counts[n]);
+        }
+      }
+    }
+  };
+
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    // Per-view skip-gram pass.
+    for (ViewState& s : states) {
+      SgnsTrainer trainer(s.input.get(), s.context.get(), s.sampler.get(),
+                          SgnsConfig{.negatives = config.negatives,
+                                     .learning_rate = config.learning_rate});
+      for (ViewGraph::LocalId node = 0; node < s.view->graph.num_nodes();
+           ++node) {
+        for (size_t w = 0; w < config.walks_per_node; ++w) {
+          std::vector<uint32_t> walk = s.walker->Walk(node, rng);
+          ForEachWindowPair(walk, config.window, [&](ContextPair p) {
+            trainer.TrainPair(p.center, p.context, rng);
+          });
+        }
+      }
+    }
+    // Alignment: pull each view embedding toward the (equal-weight) center.
+    recompute_center();
+    for (ViewState& s : states) {
+      const ViewGraph& vg = s.view->graph;
+      for (ViewGraph::LocalId local = 0; local < vg.num_nodes(); ++local) {
+        double* row = s.input->Row(local);
+        const double* c_row = center.Row(vg.ToGlobal(local));
+        for (size_t c = 0; c < config.dim; ++c) {
+          row[c] += config.align_weight * (c_row[c] - row[c]);
+        }
+      }
+    }
+  }
+  recompute_center();
+  return center;
+}
+
+}  // namespace transn

@@ -1,0 +1,34 @@
+#ifndef TRANSN_BASELINES_MVE_H_
+#define TRANSN_BASELINES_MVE_H_
+
+#include "graph/hetero_graph.h"
+#include "nn/matrix.h"
+
+namespace transn {
+
+/// MVE (Qu et al., 2017), unsupervised variant with equal view weights
+/// (§IV-A2). The network is split into one view per edge type; each view
+/// learns view-specific embeddings by skip-gram over simple weighted walks
+/// while a regularizer ties them to a shared center embedding; with equal
+/// weights the optimal center is the mean of a node's view embeddings. The
+/// center embedding is the output.
+struct MveConfig {
+  size_t dim = 128;
+  size_t walk_length = 40;
+  size_t walks_per_node = 5;
+  size_t window = 3;
+  int negatives = 5;
+  double learning_rate = 0.025;
+  /// Strength of the view-to-center alignment pull applied after each
+  /// epoch's skip-gram pass.
+  double align_weight = 0.5;
+  size_t epochs = 3;
+  uint64_t seed = 1;
+};
+
+/// Returns num_nodes x dim center embeddings.
+Matrix RunMve(const HeteroGraph& g, const MveConfig& config);
+
+}  // namespace transn
+
+#endif  // TRANSN_BASELINES_MVE_H_

@@ -1,0 +1,26 @@
+#include "baselines/node2vec.h"
+
+#include "baselines/baseline_util.h"
+#include "graph/view.h"
+
+namespace transn {
+
+Matrix RunNode2Vec(const HeteroGraph& g,
+                   const Node2VecBaselineConfig& config) {
+  ViewGraph flat = FlattenToViewGraph(g);
+  CHECK_GT(flat.num_nodes(), 0u);
+  Rng rng(config.seed);
+  Node2VecWalker walker(&flat, config.walk);
+  std::vector<std::vector<uint32_t>> corpus = walker.SampleCorpus(rng);
+
+  SgnsWalkParams params{.dim = config.dim,
+                        .window = config.window,
+                        .negatives = config.negatives,
+                        .learning_rate = config.learning_rate,
+                        .epochs = config.epochs,
+                        .seed = rng.NextUint64()};
+  Matrix local = SgnsOverWalks(corpus, flat.num_nodes(), params);
+  return ScatterRows(local, flat.nodes(), g.num_nodes());
+}
+
+}  // namespace transn

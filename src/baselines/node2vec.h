@@ -1,0 +1,29 @@
+#ifndef TRANSN_BASELINES_NODE2VEC_H_
+#define TRANSN_BASELINES_NODE2VEC_H_
+
+#include "graph/hetero_graph.h"
+#include "nn/matrix.h"
+#include "walk/node2vec_walk.h"
+
+namespace transn {
+
+/// Node2Vec (Grover & Leskovec, 2016) on the type-flattened network:
+/// (p, q)-biased walks + skip-gram with negative sampling. With p = q = 1
+/// this degenerates to DeepWalk.
+struct Node2VecBaselineConfig {
+  size_t dim = 128;
+  Node2VecConfig walk;  // p, q, walk_length, walks_per_node
+  size_t window = 5;
+  int negatives = 5;
+  double learning_rate = 0.025;
+  size_t epochs = 2;
+  uint64_t seed = 1;
+};
+
+/// Returns num_nodes x dim embeddings (zero rows for isolated nodes).
+Matrix RunNode2Vec(const HeteroGraph& g,
+                   const Node2VecBaselineConfig& config);
+
+}  // namespace transn
+
+#endif  // TRANSN_BASELINES_NODE2VEC_H_

@@ -1,0 +1,35 @@
+#ifndef TRANSN_BASELINES_RGCN_H_
+#define TRANSN_BASELINES_RGCN_H_
+
+#include "graph/hetero_graph.h"
+#include "nn/matrix.h"
+
+namespace transn {
+
+/// R-GCN (Schlichtkrull et al., 2017) trained unsupervised: a relational
+/// graph-convolutional encoder
+///   H^{l+1} = relu( H^l W_self^l + Σ_r Â_r H^l W_r^l )
+/// (Â_r row-normalized per relation, relu omitted on the output layer) with
+/// a DistMult link-reconstruction decoder
+///   score(u, r, v) = Σ_d H_u[d] * w_r[d] * H_v[d]
+/// optimized by logistic loss over sampled positive edges and corrupted
+/// negatives. Edge weights are ignored (§IV-A2). Gradients flow through the
+/// hand-rolled autograd (nn/).
+struct RgcnConfig {
+  /// Output (and hidden) dimensionality.
+  size_t dim = 128;
+  size_t layers = 2;
+  size_t epochs = 30;
+  /// Positive edges sampled per epoch (0 = all edges).
+  size_t batch_edges = 4096;
+  int negatives = 2;
+  double learning_rate = 0.01;
+  uint64_t seed = 1;
+};
+
+/// Returns num_nodes x dim embeddings (the encoder output after training).
+Matrix RunRgcn(const HeteroGraph& g, const RgcnConfig& config);
+
+}  // namespace transn
+
+#endif  // TRANSN_BASELINES_RGCN_H_

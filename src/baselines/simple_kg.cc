@@ -1,0 +1,97 @@
+#include "baselines/simple_kg.h"
+
+#include <cmath>
+
+#include "emb/embedding_table.h"
+#include "util/rng.h"
+
+namespace transn {
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+Matrix RunSimplE(const HeteroGraph& g, const SimpleKgConfig& config) {
+  CHECK_EQ(config.dim % 2, 0u) << "SimplE needs an even dimension";
+  CHECK_GT(g.num_edges(), 0u);
+  const size_t half = config.dim / 2;
+  Rng rng(config.seed);
+
+  EmbeddingTable heads(g.num_nodes(), half, rng);
+  EmbeddingTable tails(g.num_nodes(), half, rng);
+  EmbeddingTable rel(g.num_edge_types(), half, rng);
+  EmbeddingTable rel_inv(g.num_edge_types(), half, rng);
+  // Multiplicative scoring needs a larger init than the word2vec default or
+  // the early gradients (products of three near-zero factors) vanish.
+  for (EmbeddingTable* t : {&heads, &tails, &rel, &rel_inv}) {
+    Matrix& m = t->mutable_values();
+    for (size_t i = 0; i < m.size(); ++i) m.data()[i] = 0.1 * rng.NextGaussian();
+  }
+
+  // One gradient step on triple (ei, r, ej) with the given 0/1 label.
+  auto train = [&](NodeId ei, EdgeTypeId r, NodeId ej, double label,
+                   double lr) {
+    double* h1 = heads.Row(ei);
+    double* t2 = tails.Row(ej);
+    double* h2 = heads.Row(ej);
+    double* t1 = tails.Row(ei);
+    double* vr = rel.Row(r);
+    double* vi = rel_inv.Row(r);
+    double score = 0.0;
+    for (size_t d = 0; d < half; ++d) {
+      score += 0.5 * (h1[d] * vr[d] * t2[d] + h2[d] * vi[d] * t1[d]);
+    }
+    const double grad = Sigmoid(score) - label;
+    const double gl2 = config.l2;
+    for (size_t d = 0; d < half; ++d) {
+      const double gh1 = 0.5 * grad * vr[d] * t2[d] + gl2 * h1[d];
+      const double gt2 = 0.5 * grad * h1[d] * vr[d] + gl2 * t2[d];
+      const double gvr = 0.5 * grad * h1[d] * t2[d] + gl2 * vr[d];
+      const double gh2 = 0.5 * grad * vi[d] * t1[d] + gl2 * h2[d];
+      const double gt1 = 0.5 * grad * h2[d] * vi[d] + gl2 * t1[d];
+      const double gvi = 0.5 * grad * h2[d] * t1[d] + gl2 * vi[d];
+      h1[d] -= lr * gh1;
+      t2[d] -= lr * gt2;
+      vr[d] -= lr * gvr;
+      h2[d] -= lr * gh2;
+      t1[d] -= lr * gt1;
+      vi[d] -= lr * gvi;
+    }
+  };
+
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const double lr =
+        config.learning_rate *
+        (1.0 - static_cast<double>(epoch) / static_cast<double>(config.epochs));
+    for (size_t e = 0; e < g.num_edges(); ++e) {
+      const NodeId u = g.edge_u(e);
+      const NodeId v = g.edge_v(e);
+      const EdgeTypeId r = g.edge_type(e);
+      train(u, r, v, 1.0, lr);
+      for (int k = 0; k < config.negatives; ++k) {
+        // Corrupt head or tail uniformly.
+        NodeId fake = static_cast<NodeId>(rng.NextUint64(g.num_nodes()));
+        if (rng.NextBernoulli(0.5)) {
+          if (fake != u) train(fake, r, v, 0.0, lr);
+        } else {
+          if (fake != v) train(u, r, fake, 0.0, lr);
+        }
+      }
+    }
+  }
+
+  Matrix out(g.num_nodes(), config.dim);
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    double* dst = out.Row(n);
+    const double* h = heads.Row(n);
+    const double* t = tails.Row(n);
+    for (size_t d = 0; d < half; ++d) {
+      dst[d] = h[d];
+      dst[half + d] = t[d];
+    }
+  }
+  return out;
+}
+
+}  // namespace transn

@@ -1,0 +1,32 @@
+#ifndef TRANSN_BASELINES_SIMPLE_KG_H_
+#define TRANSN_BASELINES_SIMPLE_KG_H_
+
+#include "graph/hetero_graph.h"
+#include "nn/matrix.h"
+
+namespace transn {
+
+/// SimplE (Kazemi & Poole, 2018): each entity e has a head vector h_e and a
+/// tail vector t_e; each relation r has v_r and an inverse v_r'. A triple
+/// (ei, r, ej) scores
+///   1/2 ( <h_ei, v_r, t_ej> + <h_ej, v_r', t_ei> )
+/// and is trained with logistic loss over negative samples that corrupt one
+/// endpoint. Edge weights are ignored (§IV-A2); each undirected edge yields
+/// one triple in a fixed orientation (the inverse relation covers the other
+/// direction). The output embedding of a node is [h_e ; t_e].
+struct SimpleKgConfig {
+  /// Output dimensionality; h and t each get dim/2 (dim must be even).
+  size_t dim = 128;
+  int negatives = 5;
+  double learning_rate = 0.05;
+  double l2 = 1e-5;
+  size_t epochs = 20;
+  uint64_t seed = 1;
+};
+
+/// Returns num_nodes x dim embeddings.
+Matrix RunSimplE(const HeteroGraph& g, const SimpleKgConfig& config);
+
+}  // namespace transn
+
+#endif  // TRANSN_BASELINES_SIMPLE_KG_H_

@@ -1,0 +1,180 @@
+#include "core/cross_view.h"
+
+#include <unordered_map>
+
+#include "nn/ops.h"
+
+namespace transn {
+namespace {
+
+Var CrossLoss(CrossViewLossKind kind, const Var& pred, const Var& target) {
+  switch (kind) {
+    case CrossViewLossKind::kCosine:
+      return RowCosineLoss(pred, target);
+    case CrossViewLossKind::kNegativeDot:
+      return NegativeDotLoss(pred, target);
+  }
+  LOG(FATAL) << "unknown CrossViewLossKind";
+  return Var();
+}
+
+}  // namespace
+
+CrossViewTrainer::CrossViewTrainer(const ViewPair* pair,
+                                   SingleViewTrainer* side_i,
+                                   SingleViewTrainer* side_j,
+                                   const TransNConfig& config, Rng& rng)
+    : pair_(pair),
+      side_i_(side_i),
+      side_j_(side_j),
+      config_(config),
+      translator_opt_(AdamConfig{.learning_rate = config.cross_learning_rate}),
+      embedding_adam_(AdamConfig{.learning_rate = config.cross_learning_rate}) {
+  CHECK(pair_ != nullptr && side_i_ != nullptr && side_j_ != nullptr);
+  CHECK(!pair_->common_nodes.empty());
+
+  subview_i_ = BuildPairedSubview(side_i_->view(), pair_->common_nodes);
+  subview_j_ = BuildPairedSubview(side_j_->view(), pair_->common_nodes);
+
+  const WalkConfig walk = config_.EffectiveWalkConfig();
+  walker_i_ = std::make_unique<RandomWalker>(&subview_i_.graph,
+                                             side_i_->view().is_heter, walk);
+  walker_j_ = std::make_unique<RandomWalker>(&subview_j_.graph,
+                                             side_j_->view().is_heter, walk);
+
+  translator_ij_ = std::make_unique<Translator>(
+      config_.translator_seq_len, config_.dim, config_.translator_encoders,
+      config_.simple_translator, rng, config_.translator_final_relu);
+  translator_ji_ = std::make_unique<Translator>(
+      config_.translator_seq_len, config_.dim, config_.translator_encoders,
+      config_.simple_translator, rng, config_.translator_final_relu);
+  translator_ij_->RegisterParams(&translator_opt_);
+  translator_ji_->RegisterParams(&translator_opt_);
+}
+
+std::vector<std::vector<NodeId>> CrossViewTrainer::SampleCommonWindows(
+    int side, Rng& rng, size_t max_windows) {
+  CHECK(side == 0 || side == 1);
+  const PairedSubview& sub = side == 0 ? subview_i_ : subview_j_;
+  RandomWalker* walker = side == 0 ? walker_i_.get() : walker_j_.get();
+  const size_t window_len = config_.translator_seq_len;
+
+  // Start walks at common nodes only; they are the information bridges.
+  std::vector<ViewGraph::LocalId> common_locals;
+  for (ViewGraph::LocalId n = 0; n < sub.graph.num_nodes(); ++n) {
+    if (sub.is_common[n] && sub.graph.degree(n) > 0) common_locals.push_back(n);
+  }
+  std::vector<std::vector<NodeId>> windows;
+  if (common_locals.empty()) return windows;
+
+  // Bounded attempts: sparse common structure may yield few usable windows.
+  const size_t max_attempts = 4 * max_windows + 16;
+  std::vector<NodeId> filtered;
+  for (size_t attempt = 0;
+       attempt < max_attempts && windows.size() < max_windows; ++attempt) {
+    ViewGraph::LocalId start =
+        common_locals[rng.NextUint64(common_locals.size())];
+    std::vector<ViewGraph::LocalId> walk = walker->Walk(start, rng);
+    // Keep only the nodes shared between the paired subviews (step (e) in
+    // Fig. 3 / §III-B1).
+    filtered.clear();
+    for (ViewGraph::LocalId local : walk) {
+      if (sub.is_common[local]) filtered.push_back(sub.graph.ToGlobal(local));
+    }
+    // Cut into non-overlapping windows of exactly |λ| = window_len.
+    for (size_t begin = 0; begin + window_len <= filtered.size();
+         begin += window_len) {
+      if (windows.size() >= max_windows) break;
+      windows.emplace_back(filtered.begin() + begin,
+                           filtered.begin() + begin + window_len);
+    }
+  }
+  return windows;
+}
+
+void CrossViewTrainer::ApplyEmbeddingGrads(const std::vector<NodeId>& window,
+                                           const Matrix& grads,
+                                           SingleViewTrainer* side) {
+  // A node can repeat within a window; sum its row gradients so Adam sees
+  // one update per row per step.
+  std::unordered_map<size_t, std::vector<double>> row_grads;
+  for (size_t k = 0; k < window.size(); ++k) {
+    ViewGraph::LocalId local = side->graph().ToLocal(window[k]);
+    CHECK_NE(local, kInvalidNode);
+    auto [it, inserted] =
+        row_grads.try_emplace(local, std::vector<double>(grads.cols(), 0.0));
+    const double* g = grads.Row(k);
+    for (size_t c = 0; c < grads.cols(); ++c) it->second[c] += g[c];
+  }
+  EmbeddingTable& table = side->embeddings();
+  table.BeginAdamStep();
+  for (const auto& [row, grad] : row_grads) {
+    table.AdamStep(row, grad.data(), embedding_adam_);
+  }
+}
+
+double CrossViewTrainer::TrainWindow(const std::vector<NodeId>& window,
+                                     bool from_i, Rng& rng) {
+  SingleViewTrainer* src = from_i ? side_i_ : side_j_;
+  SingleViewTrainer* dst = from_i ? side_j_ : side_i_;
+  Translator* fwd = from_i ? translator_ij_.get() : translator_ji_.get();
+  Translator* bwd = from_i ? translator_ji_.get() : translator_ij_.get();
+
+  // A: source-view embeddings of the window; A': target-view embeddings.
+  std::vector<size_t> src_rows, dst_rows;
+  src_rows.reserve(window.size());
+  dst_rows.reserve(window.size());
+  for (NodeId global : window) {
+    ViewGraph::LocalId ls = src->graph().ToLocal(global);
+    ViewGraph::LocalId ld = dst->graph().ToLocal(global);
+    CHECK_NE(ls, kInvalidNode);
+    CHECK_NE(ld, kInvalidNode);
+    src_rows.push_back(ls);
+    dst_rows.push_back(ld);
+  }
+
+  Tape tape;
+  Var a = tape.Input(src->embeddings().GatherRows(src_rows),
+                     /*requires_grad=*/true);
+  Var a_target = tape.Input(dst->embeddings().GatherRows(dst_rows),
+                            /*requires_grad=*/true);
+
+  Var translated = fwd->Apply(tape, a);
+  Var loss;
+  bool have_loss = false;
+  if (config_.enable_translation_tasks) {
+    loss = CrossLoss(config_.cross_loss, translated, a_target);
+    have_loss = true;
+  }
+  if (config_.enable_reconstruction_tasks) {
+    Var reconstructed = bwd->Apply(tape, translated);
+    Var recon_loss = CrossLoss(config_.cross_loss, reconstructed, a);
+    loss = have_loss ? Add(loss, recon_loss) : recon_loss;
+    have_loss = true;
+  }
+  CHECK(have_loss)
+      << "cross-view enabled with both translation and reconstruction off";
+
+  const double loss_value = loss.value()(0, 0);
+  tape.Backward(loss);
+  translator_opt_.Step();
+  ApplyEmbeddingGrads(window, a.grad(), src);
+  ApplyEmbeddingGrads(window, a_target.grad(), dst);
+  return loss_value;
+}
+
+double CrossViewTrainer::RunIteration(Rng& rng) {
+  double total = 0.0;
+  size_t count = 0;
+  for (int side = 0; side <= 1; ++side) {
+    std::vector<std::vector<NodeId>> windows =
+        SampleCommonWindows(side, rng, config_.cross_paths_per_pair);
+    for (const auto& window : windows) {
+      total += TrainWindow(window, /*from_i=*/side == 0, rng);
+      ++count;
+    }
+  }
+  return count > 0 ? total / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace transn

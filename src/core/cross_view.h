@@ -1,0 +1,74 @@
+#ifndef TRANSN_CORE_CROSS_VIEW_H_
+#define TRANSN_CORE_CROSS_VIEW_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/single_view.h"
+#include "core/translator.h"
+#include "core/transn_config.h"
+#include "graph/view_pair.h"
+
+namespace transn {
+
+/// The cross-view algorithm (§III-B) for one view-pair η_{i,j}: builds the
+/// paired subviews φ'_i/φ'_j, owns the two translators T_{i→j}/T_{j→i}, and
+/// per iteration samples common-node path windows and optimizes the
+/// translation (T1/T2) and reconstruction (R1/R2) objectives, updating both
+/// the translators (dense Adam) and the common nodes' view-specific
+/// embeddings (sparse-row Adam).
+class CrossViewTrainer {
+ public:
+  /// `pair`, `side_i`, and `side_j` must outlive the trainer; side_i/side_j
+  /// are the single-view trainers of views pair->view_i / pair->view_j.
+  CrossViewTrainer(const ViewPair* pair, SingleViewTrainer* side_i,
+                   SingleViewTrainer* side_j, const TransNConfig& config,
+                   Rng& rng);
+
+  /// One pass of lines 9–12 of Algorithm 1. Returns the mean per-window
+  /// loss (0 when no trainable window could be sampled).
+  double RunIteration(Rng& rng);
+
+  /// The view-pair this trainer operates on.
+  const ViewPair& pair() const { return *pair_; }
+
+  const PairedSubview& subview_i() const { return subview_i_; }
+  const PairedSubview& subview_j() const { return subview_j_; }
+  const Translator& translator_ij() const { return *translator_ij_; }
+  const Translator& translator_ji() const { return *translator_ji_; }
+  /// Mutable access for checkpoint restore.
+  Translator& mutable_translator_ij() { return *translator_ij_; }
+  Translator& mutable_translator_ji() { return *translator_ji_; }
+
+  /// Samples up to `max_windows` fixed-length common-node windows from one
+  /// side's paired subview (side 0 = i, 1 = j), as global node ids. Public
+  /// for tests and the Theorem-1 bench.
+  std::vector<std::vector<NodeId>> SampleCommonWindows(int side, Rng& rng,
+                                                       size_t max_windows);
+
+ private:
+  /// Runs translation+reconstruction for one window sampled on `from_i`'s
+  /// side; returns the window loss.
+  double TrainWindow(const std::vector<NodeId>& window, bool from_i, Rng& rng);
+
+  /// Applies accumulated embedding-row gradients with sparse Adam.
+  void ApplyEmbeddingGrads(const std::vector<NodeId>& window,
+                           const Matrix& grads, SingleViewTrainer* side);
+
+  const ViewPair* pair_;
+  SingleViewTrainer* side_i_;
+  SingleViewTrainer* side_j_;
+  TransNConfig config_;
+  PairedSubview subview_i_;
+  PairedSubview subview_j_;
+  std::unique_ptr<RandomWalker> walker_i_;
+  std::unique_ptr<RandomWalker> walker_j_;
+  std::unique_ptr<Translator> translator_ij_;
+  std::unique_ptr<Translator> translator_ji_;
+  AdamOptimizer translator_opt_;
+  AdamConfig embedding_adam_;
+};
+
+}  // namespace transn
+
+#endif  // TRANSN_CORE_CROSS_VIEW_H_

@@ -1,0 +1,194 @@
+#include "core/model_io.h"
+
+#include <fstream>
+#include <map>
+
+#include "core/transn.h"
+#include "util/string_util.h"
+
+namespace transn {
+
+Status SaveEmbeddings(const HeteroGraph& g, const Matrix& embeddings,
+                      const std::string& path) {
+  if (embeddings.rows() != g.num_nodes()) {
+    return Status::InvalidArgument("embedding rows != graph nodes");
+  }
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << embeddings.rows() << "\t" << embeddings.cols() << "\n";
+  out.precision(9);
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    out << g.node_name(n);
+    const double* row = embeddings.Row(n);
+    for (size_t c = 0; c < embeddings.cols(); ++c) out << "\t" << row[c];
+    out << "\n";
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+StatusOr<LoadedEmbeddings> LoadEmbeddings(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open: " + path);
+  std::string line;
+  if (!std::getline(in, line)) return Status::InvalidArgument("empty file");
+  std::vector<std::string> header = Split(Trim(line), '\t');
+  int64_t rows = 0, cols = 0;
+  if (header.size() != 2 || !ParseInt64(header[0], &rows) ||
+      !ParseInt64(header[1], &cols) || rows < 0 || cols <= 0) {
+    return Status::InvalidArgument("bad embedding header: " + line);
+  }
+  LoadedEmbeddings out;
+  out.embeddings.Resize(static_cast<size_t>(rows), static_cast<size_t>(cols));
+  out.names.reserve(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    if (!std::getline(in, line)) {
+      return Status::InvalidArgument("truncated embedding file");
+    }
+    std::vector<std::string> fields = Split(Trim(line), '\t');
+    if (fields.size() != static_cast<size_t>(cols) + 1) {
+      return Status::InvalidArgument(
+          StrFormat("row %lld: expected %lld values", static_cast<long long>(r),
+                    static_cast<long long>(cols)));
+    }
+    out.names.push_back(fields[0]);
+    for (int64_t c = 0; c < cols; ++c) {
+      double v = 0.0;
+      if (!ParseDouble(fields[static_cast<size_t>(c) + 1], &v)) {
+        return Status::InvalidArgument("bad embedding value: " + fields[c + 1]);
+      }
+      out.embeddings(static_cast<size_t>(r), static_cast<size_t>(c)) = v;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void WriteMatrix(std::ofstream& out, const std::string& name,
+                 const Matrix& m) {
+  out << "MATRIX\t" << name << "\t" << m.rows() << "\t" << m.cols() << "\n";
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const double* row = m.Row(r);
+    for (size_t c = 0; c < m.cols(); ++c) {
+      out << (c ? "\t" : "") << row[c];
+    }
+    out << "\n";
+  }
+}
+
+/// Applies fn(name, matrix_ref) to every checkpointable matrix of the
+/// model, in a deterministic order shared by save and load.
+template <typename Fn>
+void ForEachModelMatrix(TransNModel& model, Fn&& fn) {
+  for (size_t i = 0; i < model.views().size(); ++i) {
+    SingleViewTrainer* sv = model.single_view_trainer_or_null(i);
+    if (sv == nullptr) continue;
+    fn(StrFormat("view%zu.input", i), sv->embeddings().mutable_values());
+    fn(StrFormat("view%zu.context", i),
+       sv->context_embeddings().mutable_values());
+  }
+  for (size_t p = 0; p < model.num_cross_trainers(); ++p) {
+    CrossViewTrainer& cross = model.cross_view_trainer(p);
+    for (auto [dir, translator] :
+         {std::pair<const char*, Translator*>{"ij",
+                                              &cross.mutable_translator_ij()},
+          {"ji", &cross.mutable_translator_ji()}}) {
+      for (size_t e = 0; e < translator->num_encoders(); ++e) {
+        fn(StrFormat("cross%zu.%s.w%zu", p, dir, e),
+           translator->weight(e).value);
+        fn(StrFormat("cross%zu.%s.b%zu", p, dir, e),
+           translator->bias(e).value);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Status SaveTransNCheckpoint(const TransNModel& model,
+                            const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << "# transn checkpoint v1\n";
+  out.precision(17);
+  // ForEachModelMatrix needs mutable access structurally, but saving only
+  // reads; the const_cast is confined here.
+  ForEachModelMatrix(const_cast<TransNModel&>(model),
+                     [&out](const std::string& name, const Matrix& m) {
+                       WriteMatrix(out, name, m);
+                     });
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Status LoadTransNCheckpoint(TransNModel* model, const std::string& path) {
+  CHECK(model != nullptr);
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open: " + path);
+
+  std::map<std::string, Matrix> matrices;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<std::string> header = Split(trimmed, '\t');
+    if (header.size() != 4 || header[0] != "MATRIX") {
+      return Status::InvalidArgument("bad checkpoint header line: " + line);
+    }
+    int64_t rows = 0, cols = 0;
+    if (!ParseInt64(header[2], &rows) || !ParseInt64(header[3], &cols) ||
+        rows <= 0 || cols <= 0) {
+      return Status::InvalidArgument("bad matrix shape: " + line);
+    }
+    Matrix m(static_cast<size_t>(rows), static_cast<size_t>(cols));
+    for (int64_t r = 0; r < rows; ++r) {
+      if (!std::getline(in, line)) {
+        return Status::InvalidArgument("truncated matrix " + header[1]);
+      }
+      std::vector<std::string> cells = Split(Trim(line), '\t');
+      if (cells.size() != static_cast<size_t>(cols)) {
+        return Status::InvalidArgument("bad row arity in " + header[1]);
+      }
+      for (int64_t c = 0; c < cols; ++c) {
+        double v = 0.0;
+        if (!ParseDouble(cells[static_cast<size_t>(c)], &v)) {
+          return Status::InvalidArgument("bad value in " + header[1]);
+        }
+        m(static_cast<size_t>(r), static_cast<size_t>(c)) = v;
+      }
+    }
+    matrices.emplace(header[1], std::move(m));
+  }
+
+  // Assign with shape validation; every expected matrix must be present.
+  Status status = Status::Ok();
+  size_t assigned = 0;
+  ForEachModelMatrix(*model, [&](const std::string& name, Matrix& dst) {
+    if (!status.ok()) return;
+    auto it = matrices.find(name);
+    if (it == matrices.end()) {
+      status = Status::InvalidArgument("checkpoint missing matrix " + name);
+      return;
+    }
+    if (!it->second.SameShape(dst)) {
+      status = Status::InvalidArgument(
+          StrFormat("shape mismatch for %s: checkpoint %zux%zu vs model "
+                    "%zux%zu",
+                    name.c_str(), it->second.rows(), it->second.cols(),
+                    dst.rows(), dst.cols()));
+      return;
+    }
+    dst = it->second;
+    ++assigned;
+  });
+  if (!status.ok()) return status;
+  if (assigned != matrices.size()) {
+    return Status::InvalidArgument(
+        StrFormat("checkpoint has %zu matrices but model expects %zu",
+                  matrices.size(), assigned));
+  }
+  return Status::Ok();
+}
+
+}  // namespace transn

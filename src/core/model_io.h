@@ -1,0 +1,41 @@
+#ifndef TRANSN_CORE_MODEL_IO_H_
+#define TRANSN_CORE_MODEL_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "nn/matrix.h"
+#include "util/status.h"
+
+namespace transn {
+
+/// Saves node embeddings as TSV: first line "<num_nodes>\t<dim>", then one
+/// line per node: "<node_name>\t<v_0>\t...\t<v_{d-1}>" (word2vec text-format
+/// style). Row n of `embeddings` corresponds to node id n of `g`.
+Status SaveEmbeddings(const HeteroGraph& g, const Matrix& embeddings,
+                      const std::string& path);
+
+/// Loaded embeddings: node names aligned with rows of the matrix.
+struct LoadedEmbeddings {
+  std::vector<std::string> names;
+  Matrix embeddings;
+};
+
+StatusOr<LoadedEmbeddings> LoadEmbeddings(const std::string& path);
+
+class TransNModel;
+
+/// Checkpoints a trained TransN model: every view-specific input/context
+/// embedding table and every translator's W/b parameters (Adam state is not
+/// saved; resumed training restarts the moment estimates). The graph and
+/// configuration are NOT stored — restoring requires constructing a
+/// TransNModel over the same graph with the same config and seed, then
+/// calling LoadTransNCheckpoint, which validates all dimensions.
+Status SaveTransNCheckpoint(const TransNModel& model, const std::string& path);
+
+Status LoadTransNCheckpoint(TransNModel* model, const std::string& path);
+
+}  // namespace transn
+
+#endif  // TRANSN_CORE_MODEL_IO_H_

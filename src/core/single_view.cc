@@ -1,0 +1,81 @@
+#include "core/single_view.h"
+
+#include "walk/corpus.h"
+
+namespace transn {
+
+SingleViewTrainer::SingleViewTrainer(const View* view,
+                                     const TransNConfig& config, Rng& rng,
+                                     const Matrix* shared_init)
+    : view_(view), config_(config) {
+  CHECK(view_ != nullptr);
+  const size_t n = view_->graph.num_nodes();
+  CHECK_GT(n, 0u) << "cannot train an empty view";
+  input_ = std::make_unique<EmbeddingTable>(n, config_.dim, rng);
+  if (shared_init != nullptr) {
+    CHECK_EQ(shared_init->cols(), config_.dim);
+    for (ViewGraph::LocalId local = 0; local < n; ++local) {
+      const double* src = shared_init->Row(view_->graph.ToGlobal(local));
+      std::copy(src, src + config_.dim, input_->Row(local));
+    }
+  }
+  context_ = std::make_unique<EmbeddingTable>(n, config_.dim);
+
+  // Weighted degree is proportional to the stationary visit frequency of
+  // the weight-biased walk, so it stands in for corpus counts (for the
+  // negative-sampling noise distribution / the Huffman tree) without
+  // materializing a corpus first.
+  std::vector<double> counts(n);
+  for (ViewGraph::LocalId i = 0; i < n; ++i) {
+    counts[i] = view_->graph.weighted_degree(i) + 1e-9;
+  }
+  if (config_.use_hierarchical_softmax && n >= 2) {
+    hsoftmax_ = std::make_unique<HierarchicalSoftmaxTrainer>(
+        input_.get(), counts, config_.sgns.learning_rate);
+  } else {
+    sampler_ = std::make_unique<NegativeSampler>(counts);
+  }
+  walker_ = std::make_unique<RandomWalker>(&view_->graph, view_->is_heter,
+                                           config_.EffectiveWalkConfig());
+}
+
+double SingleViewTrainer::RunIteration(Rng& rng) {
+  std::unique_ptr<SgnsTrainer> sgns;
+  if (hsoftmax_ == nullptr) {
+    sgns = std::make_unique<SgnsTrainer>(input_.get(), context_.get(),
+                                         sampler_.get(), config_.sgns);
+  }
+  double total_loss = 0.0;
+  size_t pairs = 0;
+  const size_t n = view_->graph.num_nodes();
+  const bool degree_starts = walker_->config().degree_biased_starts;
+
+  // Stream walks one at a time (the corpus is never materialized).
+  auto train_walk = [&](const std::vector<ViewGraph::LocalId>& walk) {
+    ForEachContextPairDef6(walk, view_->is_heter, [&](ContextPair p) {
+      total_loss += hsoftmax_ != nullptr
+                        ? hsoftmax_->TrainPair(p.center, p.context)
+                        : sgns->TrainPair(p.center, p.context, rng);
+      ++pairs;
+    });
+  };
+
+  if (degree_starts) {
+    for (ViewGraph::LocalId node = 0; node < n; ++node) {
+      const size_t count = walker_->WalksPerNode(node);
+      for (size_t w = 0; w < count; ++w) train_walk(walker_->Walk(node, rng));
+    }
+  } else {
+    size_t total = 0;
+    for (ViewGraph::LocalId node = 0; node < n; ++node) {
+      total += walker_->WalksPerNode(node);
+    }
+    for (size_t w = 0; w < total; ++w) {
+      train_walk(walker_->Walk(
+          static_cast<ViewGraph::LocalId>(rng.NextUint64(n)), rng));
+    }
+  }
+  return pairs > 0 ? total_loss / static_cast<double>(pairs) : 0.0;
+}
+
+}  // namespace transn

@@ -1,0 +1,60 @@
+#ifndef TRANSN_CORE_SINGLE_VIEW_H_
+#define TRANSN_CORE_SINGLE_VIEW_H_
+
+#include <memory>
+
+#include "core/transn_config.h"
+#include "emb/embedding_table.h"
+#include "emb/hierarchical_softmax.h"
+#include "emb/negative_sampler.h"
+#include "emb/sgns.h"
+#include "graph/view.h"
+#include "walk/random_walk.h"
+
+namespace transn {
+
+/// The single-view algorithm (§III-A) for one view φ_i: owns the
+/// view-specific embedding tables and trains them with SGNS over biased
+/// correlated random walks, using Definition 6's context windows (±1 on
+/// homo-views, ±1/±2 on heter-views).
+class SingleViewTrainer {
+ public:
+  /// `view` must outlive the trainer. When `shared_init` is non-null (one
+  /// row per *global* node id), the view-specific embeddings start from
+  /// those rows instead of fresh random vectors, aligning the view spaces
+  /// at initialization (TransNConfig::shared_view_init).
+  SingleViewTrainer(const View* view, const TransNConfig& config, Rng& rng,
+                    const Matrix* shared_init = nullptr);
+
+  /// One pass of lines 4–7 of Algorithm 1: streams a fresh walk corpus and
+  /// applies one SGNS update per context pair. Returns the mean pair loss.
+  double RunIteration(Rng& rng);
+
+  const View& view() const { return *view_; }
+  const ViewGraph& graph() const { return view_->graph; }
+
+  /// View-specific input embeddings (one row per local node id); these are
+  /// the \vec{n}_i of the paper.
+  EmbeddingTable& embeddings() { return *input_; }
+  const EmbeddingTable& embeddings() const { return *input_; }
+
+  /// Context-side table (exposed for tests).
+  EmbeddingTable& context_embeddings() { return *context_; }
+
+  /// True when Eq. 3 is optimized with hierarchical softmax rather than
+  /// negative sampling.
+  bool uses_hierarchical_softmax() const { return hsoftmax_ != nullptr; }
+
+ private:
+  const View* view_;
+  TransNConfig config_;
+  std::unique_ptr<EmbeddingTable> input_;
+  std::unique_ptr<EmbeddingTable> context_;
+  std::unique_ptr<NegativeSampler> sampler_;
+  std::unique_ptr<HierarchicalSoftmaxTrainer> hsoftmax_;
+  std::unique_ptr<RandomWalker> walker_;
+};
+
+}  // namespace transn
+
+#endif  // TRANSN_CORE_SINGLE_VIEW_H_

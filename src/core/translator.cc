@@ -1,0 +1,71 @@
+#include "core/translator.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+
+namespace transn {
+
+Translator::Translator(size_t seq_len, size_t dim, size_t num_encoders,
+                       bool simple, Rng& rng, bool final_relu)
+    : seq_len_(seq_len), dim_(dim), simple_(simple), final_relu_(final_relu) {
+  CHECK_GE(seq_len, 2u);
+  CHECK_GE(dim, 1u);
+  CHECK_GE(num_encoders, 1u);
+  const size_t count = simple ? 1 : num_encoders;
+  for (size_t e = 0; e < count; ++e) {
+    // Initialize W near the identity so an untrained translator is close to
+    // a no-op: identity + small Xavier noise keeps early translation targets
+    // sane while breaking symmetry.
+    Matrix w = XavierUniform(seq_len, seq_len, rng);
+    w *= 0.1;
+    for (size_t i = 0; i < seq_len; ++i) w(i, i) += 1.0;
+    weights_.push_back(std::make_unique<Parameter>(std::move(w)));
+    biases_.push_back(std::make_unique<Parameter>(Matrix(seq_len, 1, 0.0)));
+  }
+}
+
+Var Translator::Apply(Tape& tape, const Var& input) const {
+  CHECK_EQ(input.rows(), seq_len_);
+  CHECK_EQ(input.cols(), dim_);
+  const double inv_sqrt_d = 1.0 / std::sqrt(static_cast<double>(dim_));
+  Var x = input;
+  for (size_t e = 0; e < weights_.size(); ++e) {
+    if (!simple_) {
+      // Self-attention (Eq. 8).
+      Var scores = Scale(MatMul(x, Transpose(x)), inv_sqrt_d);
+      x = MatMul(RowSoftmax(scores), x);
+    }
+    // Feed-forward (Eq. 9); the last layer is linear unless final_relu_
+    // (see the class comment).
+    Var w = tape.Leaf(weights_[e].get());
+    Var b = tape.Leaf(biases_[e].get());
+    Var pre = AddRowBias(MatMul(w, x), b);
+    const bool last = e + 1 == weights_.size();
+    x = (last && !final_relu_) ? pre : Relu(pre);
+  }
+  return x;
+}
+
+Matrix Translator::Forward(const Matrix& input) const {
+  Tape tape;
+  Var in = tape.Input(input, /*requires_grad=*/false);
+  // Leaf() marks parameters as requiring grad, but without Backward() no
+  // gradients are accumulated, so reuse of Apply is safe here.
+  return Apply(tape, in).value();
+}
+
+void Translator::RegisterParams(AdamOptimizer* optimizer) {
+  CHECK(optimizer != nullptr);
+  for (auto& w : weights_) optimizer->Register(w.get());
+  for (auto& b : biases_) optimizer->Register(b.get());
+}
+
+size_t Translator::num_parameters() const {
+  size_t total = 0;
+  for (const auto& w : weights_) total += w->value.size();
+  for (const auto& b : biases_) total += b->value.size();
+  return total;
+}
+
+}  // namespace transn

@@ -1,0 +1,74 @@
+#ifndef TRANSN_CORE_TRANSLATOR_H_
+#define TRANSN_CORE_TRANSLATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/adam.h"
+#include "nn/autograd.h"
+#include "nn/ops.h"
+#include "util/rng.h"
+
+namespace transn {
+
+/// A translator T_{i→j} (§III-B2): a stack of H encoders, each a
+/// parameter-free self-attention layer (Eq. 8) followed by a feed-forward
+/// layer (Eq. 9) whose weights mix across the path dimension:
+///
+///   S(A) = softmax_rows(A Aᵀ / sqrt(d)) · A
+///   F(A) = relu(W · A + b),   W ∈ R^{L×L}, b ∈ R^{L×1}
+///
+/// With `simple` (the With-Simple-Translator ablation) the stack collapses
+/// to a single feed-forward layer.
+///
+/// By default the *last* feed-forward layer is linear (no ReLU): with the
+/// literal Eq. 9 everywhere, translated embeddings are confined to the
+/// non-negative orthant while skip-gram embeddings are mixed-sign, and the
+/// translation/reconstruction objectives then drag every common node's
+/// embedding toward that orthant, measurably hurting downstream tasks
+/// (bench/design_ablations). Set `final_relu` to recover the literal form.
+class Translator {
+ public:
+  Translator(size_t seq_len, size_t dim, size_t num_encoders, bool simple,
+             Rng& rng, bool final_relu = false);
+
+  /// Builds the forward graph for one L×d path matrix already on `tape`.
+  /// Parameters are bound as tape leaves, so Tape::Backward accumulates
+  /// their gradients.
+  Var Apply(Tape& tape, const Var& input) const;
+
+  /// Forward pass without a tape (inference; e.g. translating embeddings for
+  /// inspection in examples).
+  Matrix Forward(const Matrix& input) const;
+
+  /// Registers all W/b parameters with `optimizer`.
+  void RegisterParams(AdamOptimizer* optimizer);
+
+  size_t seq_len() const { return seq_len_; }
+  size_t dim() const { return dim_; }
+  size_t num_encoders() const { return weights_.size(); }
+  bool simple() const { return simple_; }
+  bool final_relu() const { return final_relu_; }
+
+  /// Total trainable scalar parameters (tests, Theorem 1 bench).
+  size_t num_parameters() const;
+
+  /// Direct parameter access (checkpointing; tests).
+  Parameter& weight(size_t encoder) { return *weights_[encoder]; }
+  Parameter& bias(size_t encoder) { return *biases_[encoder]; }
+  const Parameter& weight(size_t encoder) const { return *weights_[encoder]; }
+  const Parameter& bias(size_t encoder) const { return *biases_[encoder]; }
+
+ private:
+  size_t seq_len_;
+  size_t dim_;
+  bool simple_;
+  bool final_relu_;
+  // One W (L×L) and b (L×1) per encoder (one pair total when simple).
+  std::vector<std::unique_ptr<Parameter>> weights_;
+  std::vector<std::unique_ptr<Parameter>> biases_;
+};
+
+}  // namespace transn
+
+#endif  // TRANSN_CORE_TRANSLATOR_H_

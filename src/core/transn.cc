@@ -1,0 +1,143 @@
+#include "core/transn.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+
+namespace transn {
+
+TransNModel::TransNModel(const HeteroGraph* graph, TransNConfig config)
+    : graph_(graph), config_(config), rng_(config.seed) {
+  CHECK(graph_ != nullptr);
+  CHECK_GT(graph_->num_nodes(), 0u);
+
+  // Line 1 of Algorithm 1: generate views and view-pairs.
+  views_ = BuildViews(*graph_);
+  pairs_ = FindViewPairs(views_);
+
+  // Shared per-node initialization keeps the view spaces aligned from the
+  // start (TransNConfig::shared_view_init).
+  Matrix shared_init;
+  if (config_.shared_view_init) {
+    const double bound = 0.5 / static_cast<double>(config_.dim);
+    shared_init = UniformInit(graph_->num_nodes(), config_.dim, -bound, bound,
+                              rng_);
+  }
+
+  single_.resize(views_.size());
+  for (size_t i = 0; i < views_.size(); ++i) {
+    if (views_[i].graph.num_nodes() == 0) {
+      LOG(WARNING) << "view " << i << " ('"
+                   << graph_->edge_type_name(views_[i].edge_type)
+                   << "') is empty; skipped";
+      continue;
+    }
+    single_[i] = std::make_unique<SingleViewTrainer>(
+        &views_[i], config_, rng_,
+        config_.shared_view_init ? &shared_init : nullptr);
+  }
+
+  if (config_.enable_cross_view) {
+    CHECK(config_.enable_translation_tasks ||
+          config_.enable_reconstruction_tasks)
+        << "enable_cross_view requires at least one of the translation / "
+           "reconstruction tasks";
+    for (const ViewPair& pair : pairs_) {
+      if (single_[pair.view_i] == nullptr || single_[pair.view_j] == nullptr) {
+        continue;
+      }
+      cross_.push_back(std::make_unique<CrossViewTrainer>(
+          &pair, single_[pair.view_i].get(), single_[pair.view_j].get(),
+          config_, rng_));
+    }
+  }
+}
+
+TransNIterationStats TransNModel::RunIteration() {
+  TransNIterationStats stats;
+  size_t active_views = 0;
+  for (auto& trainer : single_) {
+    if (trainer == nullptr) continue;
+    stats.mean_single_view_loss += trainer->RunIteration(rng_);
+    ++active_views;
+  }
+  if (active_views > 0) {
+    stats.mean_single_view_loss /= static_cast<double>(active_views);
+  }
+  if (!cross_.empty()) {
+    for (auto& trainer : cross_) {
+      stats.mean_cross_view_loss += trainer->RunIteration(rng_);
+    }
+    stats.mean_cross_view_loss /= static_cast<double>(cross_.size());
+  }
+  history_.push_back(stats);
+  return stats;
+}
+
+void TransNModel::Fit() {
+  for (size_t iter = 0; iter < config_.iterations; ++iter) {
+    TransNIterationStats stats = RunIteration();
+    LOG(INFO) << "TransN iteration " << (iter + 1) << "/"
+              << config_.iterations
+              << " single-view loss=" << stats.mean_single_view_loss
+              << " cross-view loss=" << stats.mean_cross_view_loss;
+  }
+}
+
+Matrix TransNModel::FinalEmbeddings() const {
+  Matrix out(graph_->num_nodes(), config_.dim, 0.0);
+  std::vector<int> view_counts(graph_->num_nodes(), 0);
+  for (size_t i = 0; i < views_.size(); ++i) {
+    if (single_[i] == nullptr) continue;
+    const ViewGraph& vg = views_[i].graph;
+    const EmbeddingTable& table = single_[i]->embeddings();
+
+    // Per-view scalar for kViewNormalized: reciprocal of the mean row norm.
+    double view_scale = 1.0;
+    if (config_.view_average == ViewAverageKind::kViewNormalized) {
+      double norm_sum = 0.0;
+      for (ViewGraph::LocalId local = 0; local < vg.num_nodes(); ++local) {
+        const double* row = table.Row(local);
+        norm_sum += std::sqrt(Dot(row, row, config_.dim));
+      }
+      const double mean_norm = norm_sum / static_cast<double>(vg.num_nodes());
+      if (mean_norm > 1e-12) view_scale = 1.0 / mean_norm;
+    }
+
+    for (ViewGraph::LocalId local = 0; local < vg.num_nodes(); ++local) {
+      const NodeId global = vg.ToGlobal(local);
+      const double* row = table.Row(local);
+      double* dst = out.Row(global);
+      double scale = view_scale;
+      if (config_.view_average == ViewAverageKind::kRowNormalized) {
+        const double norm = std::sqrt(Dot(row, row, config_.dim));
+        if (norm <= 1e-12) continue;
+        scale = 1.0 / norm;
+      }
+      for (size_t c = 0; c < config_.dim; ++c) dst[c] += scale * row[c];
+      ++view_counts[global];
+    }
+  }
+  for (NodeId n = 0; n < graph_->num_nodes(); ++n) {
+    if (view_counts[n] > 1) {
+      double* row = out.Row(n);
+      const double inv = 1.0 / view_counts[n];
+      for (size_t c = 0; c < config_.dim; ++c) row[c] *= inv;
+    }
+  }
+  return out;
+}
+
+std::vector<double> TransNModel::ViewEmbedding(size_t view_index,
+                                               NodeId node) const {
+  CHECK_LT(view_index, views_.size());
+  std::vector<double> out(config_.dim, 0.0);
+  if (single_[view_index] == nullptr) return out;
+  ViewGraph::LocalId local = views_[view_index].graph.ToLocal(node);
+  if (local == kInvalidNode) return out;
+  const double* row = single_[view_index]->embeddings().Row(local);
+  out.assign(row, row + config_.dim);
+  return out;
+}
+
+}  // namespace transn

@@ -1,0 +1,85 @@
+#ifndef TRANSN_CORE_TRANSN_H_
+#define TRANSN_CORE_TRANSN_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/cross_view.h"
+#include "core/single_view.h"
+#include "core/transn_config.h"
+#include "graph/hetero_graph.h"
+#include "graph/view.h"
+#include "graph/view_pair.h"
+
+namespace transn {
+
+/// Per-iteration training diagnostics.
+struct TransNIterationStats {
+  double mean_single_view_loss = 0.0;
+  double mean_cross_view_loss = 0.0;
+};
+
+/// The TransN framework (Algorithm 1): separates the network into views and
+/// view-pairs, interleaves the single-view and cross-view algorithms for K
+/// iterations, and averages each node's view-specific embeddings into its
+/// final embedding.
+///
+/// Example:
+///   TransNModel model(&graph, config);
+///   model.Fit();
+///   Matrix emb = model.FinalEmbeddings();   // num_nodes x dim
+class TransNModel {
+ public:
+  /// `graph` must outlive the model. Views/view-pairs are built eagerly;
+  /// ablation switches in `config` select the Table-V variants.
+  TransNModel(const HeteroGraph* graph, TransNConfig config);
+
+  /// Runs config.iterations full passes of Algorithm 1.
+  void Fit();
+
+  /// Runs a single pass (line 2 body); exposed for incremental training and
+  /// the Theorem-1 scaling bench. Returns that pass's losses.
+  TransNIterationStats RunIteration();
+
+  /// Final embeddings: row n is the average of node n's view-specific
+  /// embeddings over all views containing n (zero row for isolated nodes).
+  Matrix FinalEmbeddings() const;
+
+  /// The view-specific embedding \vec{n}_i, or a zero vector when node n is
+  /// not part of view i.
+  std::vector<double> ViewEmbedding(size_t view_index, NodeId node) const;
+
+  const HeteroGraph& graph() const { return *graph_; }
+  const TransNConfig& config() const { return config_; }
+  const std::vector<View>& views() const { return views_; }
+  const std::vector<ViewPair>& view_pairs() const { return pairs_; }
+  SingleViewTrainer& single_view_trainer(size_t i) { return *single_[i]; }
+  CrossViewTrainer& cross_view_trainer(size_t p) { return *cross_[p]; }
+  size_t num_cross_trainers() const { return cross_.size(); }
+  /// Null for empty views (checkpointing iterates these).
+  SingleViewTrainer* single_view_trainer_or_null(size_t i) {
+    return single_[i].get();
+  }
+  const SingleViewTrainer* single_view_trainer_or_null(size_t i) const {
+    return single_[i].get();
+  }
+  const CrossViewTrainer& cross_view_trainer(size_t p) const {
+    return *cross_[p];
+  }
+  const std::vector<TransNIterationStats>& history() const { return history_; }
+
+ private:
+  const HeteroGraph* graph_;
+  TransNConfig config_;
+  Rng rng_;
+  std::vector<View> views_;
+  std::vector<ViewPair> pairs_;
+  /// Parallel to views_; null for empty views.
+  std::vector<std::unique_ptr<SingleViewTrainer>> single_;
+  std::vector<std::unique_ptr<CrossViewTrainer>> cross_;
+  std::vector<TransNIterationStats> history_;
+};
+
+}  // namespace transn
+
+#endif  // TRANSN_CORE_TRANSN_H_

@@ -1,0 +1,113 @@
+#ifndef TRANSN_CORE_TRANSN_CONFIG_H_
+#define TRANSN_CORE_TRANSN_CONFIG_H_
+
+#include <stdint.h>
+
+#include "emb/sgns.h"
+#include "walk/random_walk.h"
+
+namespace transn {
+
+/// How view-specific embeddings are combined into the final embedding
+/// (§III-C: equal-importance average; see DESIGN.md §2.9).
+enum class ViewAverageKind {
+  /// Plain arithmetic mean of the raw view-specific vectors (the literal
+  /// reading; views with larger norms dominate).
+  kPlain,
+  /// Each view-specific vector is L2-normalized before averaging (strict
+  /// per-node equal importance; discards embedding magnitude, which also
+  /// carries degree information useful for link scoring).
+  kRowNormalized,
+  /// Each view's table is scaled by the reciprocal of its mean row norm
+  /// (equalizes views globally while preserving within-view magnitude
+  /// structure). Default.
+  kViewNormalized,
+};
+
+/// Form of the translation/reconstruction similarity objective
+/// (Eq. 11–14; see DESIGN.md §2.3 for the sign discussion).
+enum class CrossViewLossKind {
+  /// mean_r (1 - cos(pred_r, target_r)) — bounded, stable; default.
+  kCosine,
+  /// -(1/|λ|) Σ (pred ⊙ target) — the literal sign-corrected equation.
+  kNegativeDot,
+};
+
+/// Full configuration of the TransN framework (Algorithm 1). Defaults follow
+/// §IV-A3: walk length 80, walks per node clamp(degree, 10, 32), H = 6
+/// encoders, d = 128, initial learning rate 0.025. Benches scale several of
+/// these down (documented in EXPERIMENTS.md).
+struct TransNConfig {
+  /// d: embedding dimensionality.
+  size_t dim = 128;
+  /// K: outer iterations of Algorithm 1.
+  size_t iterations = 5;
+  uint64_t seed = 42;
+
+  // --- single-view algorithm (§III-A) ---
+  WalkConfig walk;
+  SgnsConfig sgns;  // sgns.learning_rate is γ_single
+  /// Optimize Eq. 3 with word2vec's hierarchical softmax instead of
+  /// negative sampling. This is the variant the paper's complexity analysis
+  /// assumes (the d·log2(μ) term of Theorem 1); negative sampling is the
+  /// faster standard substitute (DESIGN.md §2.2).
+  bool use_hierarchical_softmax = false;
+
+  // --- cross-view algorithm (§III-B) ---
+  /// H: encoders per translator.
+  size_t translator_encoders = 6;
+  /// Fixed path length |λ| fed through translators. Filtered common-node
+  /// sequences are cut into windows of exactly this length (DESIGN.md §2.5).
+  size_t translator_seq_len = 8;
+  /// Apply Eq. 9's ReLU to the *last* feed-forward layer too. Off by
+  /// default: the literal form confines translated embeddings to the
+  /// non-negative orthant and drags the mixed-sign skip-gram embeddings
+  /// with it (Translator class comment, DESIGN.md §2.11).
+  bool translator_final_relu = false;
+  /// T: path pairs sampled per view-pair per iteration.
+  size_t cross_paths_per_pair = 100;
+  /// γ_cross: Adam learning rate for translators and common-node rows.
+  double cross_learning_rate = 0.025;
+  CrossViewLossKind cross_loss = CrossViewLossKind::kCosine;
+
+  /// Initialize a node's view-specific embeddings identically across views
+  /// (one shared random vector per node). The view spaces then start
+  /// aligned and the cross-view objectives keep them coupled, which makes
+  /// the final per-view average (and inner-product link scores across it)
+  /// meaningful. With independent per-view initializations the view spaces
+  /// are unrelated random rotations and averaging cancels signal
+  /// (DESIGN.md §2.10).
+  bool shared_view_init = true;
+
+  // --- final embedding (§III-C end) ---
+  /// How the equal-importance average of §III-C is computed (ablation in
+  /// bench/design_ablations).
+  ViewAverageKind view_average = ViewAverageKind::kViewNormalized;
+
+  // --- ablation switches (Table V) ---
+  /// TransN-Without-Cross-View: skip lines 8–12 of Algorithm 1.
+  bool enable_cross_view = true;
+  /// TransN-With-Simple-Walk: uniform unweighted walks, uniform starts.
+  bool simple_walk = false;
+  /// TransN-With-Simple-Translator: one feed-forward layer per translator.
+  bool simple_translator = false;
+  /// TransN-Without-Translation-Tasks.
+  bool enable_translation_tasks = true;
+  /// TransN-Without-Reconstruction-Tasks.
+  bool enable_reconstruction_tasks = true;
+
+  /// Applies the simple-walk ablation to a WalkConfig.
+  WalkConfig EffectiveWalkConfig() const {
+    WalkConfig w = walk;
+    if (simple_walk) {
+      w.weight_biased = false;
+      w.correlated = false;
+      w.degree_biased_starts = false;
+    }
+    return w;
+  }
+};
+
+}  // namespace transn
+
+#endif  // TRANSN_CORE_TRANSN_CONFIG_H_

@@ -1,0 +1,52 @@
+#ifndef TRANSN_DATA_DATASETS_H_
+#define TRANSN_DATA_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "util/status.h"
+
+namespace transn {
+
+/// Synthetic analogues of the paper's four evaluation networks (Table II).
+/// Each mirrors its original's schema (node/edge types, which type carries
+/// labels, weighted vs unit edges) and its qualitative character (density,
+/// view correlation); see DESIGN.md §2.1 for the substitution rationale.
+/// `scale` multiplies node and edge counts (1.0 = the laptop-scale default,
+/// which for AMiner matches the paper's size and for the larger networks is
+/// roughly 1/15 of it). `seed` drives all sampling.
+
+/// Academic network: Author/Paper/Venue; AA, AP, PP, PV edges; labels on
+/// papers; unit weights; strongly correlated views.
+HeteroGraph MakeAminerLike(double scale, uint64_t seed);
+
+/// Social network: User/Keyword; UU, UK, KK edges; labels on users; unit
+/// weights; dense; strongly correlated views (the paper credits TransN's
+/// BLOG link-prediction margin to this).
+HeteroGraph MakeBlogLike(double scale, uint64_t seed);
+
+/// Applet-store usage+query logs, one day: Applet/User/Keyword; weighted
+/// AU (usage time) and AK (query downloads) edges; labels on a subset of
+/// applets; sparse; weakly correlated views.
+HeteroGraph MakeAppDailyLike(double scale, uint64_t seed);
+
+/// Same schema over a week: more users and much heavier AU volume.
+HeteroGraph MakeAppWeeklyLike(double scale, uint64_t seed);
+
+/// Canonical dataset order used by every bench (matches the paper's
+/// tables): {"AMiner", "BLOG", "App-Daily", "App-Weekly"}.
+std::vector<std::string> DatasetNames();
+
+/// Dispatch by name (case-sensitive, as in DatasetNames()).
+StatusOr<HeteroGraph> MakeDataset(const std::string& name, double scale,
+                                  uint64_t seed);
+
+/// Recommended meta-path (node-type name sequence) per dataset for the
+/// Metapath2Vec baseline, mirroring §IV-A3's choices (APVPA on AMiner, UKU
+/// on BLOG, UAKAU-analogue on the App networks).
+std::vector<std::string> RecommendedMetapath(const std::string& dataset_name);
+
+}  // namespace transn
+
+#endif  // TRANSN_DATA_DATASETS_H_

@@ -1,0 +1,202 @@
+#include "data/hsbm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/alias_table.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace transn {
+namespace {
+
+/// Exponential weight >= 1 with the given mean above 1.
+double DrawWeight(double mean, Rng& rng) {
+  const double u = std::max(1e-12, 1.0 - rng.NextDouble());
+  return 1.0 + std::floor(-std::max(mean - 1.0, 0.1) * std::log(u));
+}
+
+uint64_t EdgeKey(NodeId u, NodeId v) {
+  NodeId lo = std::min(u, v), hi = std::max(u, v);
+  return (static_cast<uint64_t>(lo) << 32) | hi;
+}
+
+}  // namespace
+
+HeteroGraph GenerateHsbm(const HsbmSpec& spec) {
+  CHECK(!spec.node_types.empty());
+  CHECK_GT(spec.num_communities, 0u);
+  CHECK_LT(spec.labeled_type, spec.node_types.size());
+  Rng rng(spec.seed);
+
+  HeteroGraphBuilder builder;
+  std::vector<NodeTypeId> type_ids;
+  for (const HsbmNodeType& nt : spec.node_types) {
+    CHECK_GT(nt.count, 0u);
+    type_ids.push_back(builder.AddNodeType(nt.name));
+  }
+  std::vector<EdgeTypeId> edge_type_ids;
+  for (const HsbmEdgeType& et : spec.edge_types) {
+    CHECK_LT(et.type_a, spec.node_types.size());
+    CHECK_LT(et.type_b, spec.node_types.size());
+    edge_type_ids.push_back(builder.AddEdgeType(et.name));
+  }
+
+  // Nodes, global communities, attachment propensities.
+  std::vector<std::vector<NodeId>> nodes_of_type(spec.node_types.size());
+  const size_t total_nodes = [&] {
+    size_t t = 0;
+    for (const auto& nt : spec.node_types) t += nt.count;
+    return t;
+  }();
+  std::vector<int> community(total_nodes);
+  std::vector<double> propensity(total_nodes);
+  for (size_t t = 0; t < spec.node_types.size(); ++t) {
+    const std::string prefix = spec.node_types[t].name.substr(0, 1);
+    for (size_t k = 0; k < spec.node_types[t].count; ++k) {
+      NodeId id = builder.AddNode(type_ids[t],
+                                  StrFormat("%s%zu", prefix.c_str(), k));
+      nodes_of_type[t].push_back(id);
+      community[id] = static_cast<int>(rng.NextUint64(spec.num_communities));
+      propensity[id] = std::exp(spec.degree_skew * rng.NextGaussian());
+    }
+  }
+
+  // Labels: community ids on a fraction of the labeled type.
+  {
+    std::vector<NodeId> candidates = nodes_of_type[spec.labeled_type];
+    rng.Shuffle(candidates);
+    const size_t n_label = static_cast<size_t>(
+        std::round(spec.labeled_fraction * candidates.size()));
+    for (size_t k = 0; k < n_label; ++k) {
+      builder.SetLabel(candidates[k], community[candidates[k]]);
+    }
+  }
+
+  std::vector<size_t> degree(total_nodes, 0);
+
+  // Per edge type: effective communities, alias samplers, edge sampling.
+  for (size_t e = 0; e < spec.edge_types.size(); ++e) {
+    const HsbmEdgeType& et = spec.edge_types[e];
+    const auto& a_nodes = nodes_of_type[et.type_a];
+    const auto& b_nodes = nodes_of_type[et.type_b];
+
+    // Effective community: a correlation-noised copy of the global one,
+    // fixed per node for this edge type.
+    std::vector<int> eff(total_nodes, -1);
+    auto assign_eff = [&](const std::vector<NodeId>& nodes) {
+      for (NodeId n : nodes) {
+        if (eff[n] >= 0) continue;
+        eff[n] = rng.NextBernoulli(et.community_correlation)
+                     ? community[n]
+                     : static_cast<int>(rng.NextUint64(spec.num_communities));
+      }
+    };
+    assign_eff(a_nodes);
+    assign_eff(b_nodes);
+
+    // Alias samplers: u over type_a; v over type_b globally and per
+    // effective community.
+    std::vector<double> a_weights(a_nodes.size());
+    for (size_t k = 0; k < a_nodes.size(); ++k) {
+      a_weights[k] = propensity[a_nodes[k]];
+    }
+    AliasTable a_sampler(a_weights);
+
+    std::vector<double> b_weights(b_nodes.size());
+    for (size_t k = 0; k < b_nodes.size(); ++k) {
+      b_weights[k] = propensity[b_nodes[k]];
+    }
+    AliasTable b_sampler(b_weights);
+
+    std::vector<std::vector<NodeId>> b_by_comm(spec.num_communities);
+    std::vector<std::vector<double>> b_comm_weights(spec.num_communities);
+    for (NodeId n : b_nodes) {
+      b_by_comm[eff[n]].push_back(n);
+      b_comm_weights[eff[n]].push_back(propensity[n]);
+    }
+    std::vector<AliasTable> b_comm_sampler(spec.num_communities);
+    for (size_t c = 0; c < spec.num_communities; ++c) {
+      if (!b_by_comm[c].empty()) b_comm_sampler[c].Build(b_comm_weights[c]);
+    }
+
+    std::unordered_set<uint64_t> seen;
+    seen.reserve(et.num_edges * 2);
+    const size_t max_attempts = 20 * et.num_edges + 1000;
+    size_t added = 0;
+    for (size_t attempt = 0; attempt < max_attempts && added < et.num_edges;
+         ++attempt) {
+      NodeId u = a_nodes[a_sampler.Sample(rng)];
+      NodeId v;
+      bool intra = rng.NextBernoulli(et.intra_community_prob);
+      if (intra && !b_by_comm[eff[u]].empty()) {
+        v = b_by_comm[eff[u]][b_comm_sampler[eff[u]].Sample(rng)];
+      } else {
+        v = b_nodes[b_sampler.Sample(rng)];
+        intra = eff[v] == eff[u];
+      }
+      if (u == v) continue;
+      if (!seen.insert(EdgeKey(u, v)).second) continue;
+      double w = 1.0;
+      if (et.weighted && et.community_weight_levels) {
+        // Figure-4 semantics: weight encodes a community-characteristic
+        // level (±20% noise); cross-community edges land on a random level.
+        CHECK(!et.weight_levels.empty());
+        const size_t level_index =
+            intra ? static_cast<size_t>(eff[u]) % et.weight_levels.size()
+                  : rng.NextUint64(et.weight_levels.size());
+        const double level = et.weight_levels[level_index];
+        w = std::max(1.0, std::round(level * rng.NextDouble(0.8, 1.2)));
+      } else if (et.weighted) {
+        w = DrawWeight(intra ? et.weight_intra_mean : et.weight_inter_mean,
+                       rng);
+      }
+      builder.AddEdge(u, v, edge_type_ids[e], w);
+      ++degree[u];
+      ++degree[v];
+      ++added;
+    }
+  }
+
+  // Repair pass: connect isolated nodes through the first compatible edge
+  // type so every node appears in at least one view.
+  for (NodeId n = 0; n < total_nodes; ++n) {
+    if (degree[n] > 0) continue;
+    const size_t my_type = [&] {
+      size_t t = 0;
+      NodeId acc = 0;
+      for (; t < spec.node_types.size(); ++t) {
+        acc += spec.node_types[t].count;
+        if (n < acc) break;
+      }
+      return t;
+    }();
+    for (size_t e = 0; e < spec.edge_types.size(); ++e) {
+      const HsbmEdgeType& et = spec.edge_types[e];
+      size_t other_type;
+      if (et.type_a == my_type) {
+        other_type = et.type_b;
+      } else if (et.type_b == my_type) {
+        other_type = et.type_a;
+      } else {
+        continue;
+      }
+      const auto& partners = nodes_of_type[other_type];
+      for (int tries = 0; tries < 32; ++tries) {
+        NodeId v = partners[rng.NextUint64(partners.size())];
+        if (v == n) continue;
+        double w = et.weighted ? DrawWeight(et.weight_inter_mean, rng) : 1.0;
+        builder.AddEdge(n, v, edge_type_ids[e], w);
+        ++degree[n];
+        ++degree[v];
+        break;
+      }
+      if (degree[n] > 0) break;
+    }
+  }
+
+  return builder.Build();
+}
+
+}  // namespace transn

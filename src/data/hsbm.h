@@ -1,0 +1,77 @@
+#ifndef TRANSN_DATA_HSBM_H_
+#define TRANSN_DATA_HSBM_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+
+namespace transn {
+
+/// Specification of one node type in a heterogeneous stochastic block model.
+struct HsbmNodeType {
+  std::string name;
+  size_t count = 0;
+};
+
+/// Specification of one edge type. Endpoint types may be equal (homo-view)
+/// or differ (heter-view / bipartite).
+struct HsbmEdgeType {
+  std::string name;
+  /// Indices into HsbmSpec::node_types.
+  size_t type_a = 0;
+  size_t type_b = 0;
+  /// Target number of distinct edges.
+  size_t num_edges = 0;
+  /// Probability that an edge connects endpoints of the same (effective)
+  /// community, as opposed to a uniformly random partner.
+  double intra_community_prob = 0.8;
+  /// How strongly this edge type's community structure agrees with the
+  /// global (label-defining) communities: 1 = identical, 0 = an independent
+  /// random re-assignment. This is the view-correlation knob of DESIGN.md
+  /// §2.1.
+  double community_correlation = 1.0;
+  /// Unit weights when false.
+  bool weighted = false;
+  /// Mean of the (exponential, >= 1) weight distribution for
+  /// within-community and cross-community edges. Informative weights have
+  /// weight_intra_mean >> weight_inter_mean.
+  double weight_intra_mean = 8.0;
+  double weight_inter_mean = 2.0;
+  /// Rating-style weights (the paper's Figure 4 semantics): instead of
+  /// "heavier = within community", each community gets a characteristic
+  /// weight *level* from `weight_levels`; within-community edges draw near
+  /// their community's level and cross-community edges draw a random level.
+  /// Affinity is then encoded by weight *similarity*, which rewards the
+  /// correlated walk factor π2 (Eq. 7) rather than the plain weight bias π1
+  /// (Eq. 6). Overrides the mean-based weights above when true.
+  bool community_weight_levels = false;
+  std::vector<double> weight_levels = {2.0, 5.0, 11.0, 23.0, 47.0};
+};
+
+/// Full model specification.
+struct HsbmSpec {
+  std::vector<HsbmNodeType> node_types;
+  std::vector<HsbmEdgeType> edge_types;
+  size_t num_communities = 4;
+  /// Node type carrying classification labels (label = community id).
+  size_t labeled_type = 0;
+  /// Fraction of that type's nodes that receive a label.
+  double labeled_fraction = 1.0;
+  /// Lognormal σ of per-node attachment propensity; 0 gives near-uniform
+  /// degrees, larger values a heavier-tailed degree distribution.
+  double degree_skew = 0.8;
+  uint64_t seed = 1;
+};
+
+/// Samples a heterogeneous network from the block model: every node gets a
+/// global community; each edge type draws endpoints propensity-weighted,
+/// with `intra_community_prob` of edges joining nodes that share the edge
+/// type's effective community (a `community_correlation`-noised copy of the
+/// global one). Guarantees no isolated nodes (a repair pass attaches any
+/// leftover node through the first compatible edge type).
+HeteroGraph GenerateHsbm(const HsbmSpec& spec);
+
+}  // namespace transn
+
+#endif  // TRANSN_DATA_HSBM_H_

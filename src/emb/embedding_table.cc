@@ -1,0 +1,50 @@
+#include "emb/embedding_table.h"
+
+namespace transn {
+
+EmbeddingTable::EmbeddingTable(size_t num_rows, size_t dim, Rng& rng)
+    : values_(num_rows, dim) {
+  CHECK_GT(dim, 0u);
+  const double bound = 0.5 / static_cast<double>(dim);
+  for (size_t i = 0; i < values_.size(); ++i) {
+    values_.data()[i] = rng.NextDouble(-bound, bound);
+  }
+}
+
+EmbeddingTable::EmbeddingTable(size_t num_rows, size_t dim)
+    : values_(num_rows, dim, 0.0) {
+  CHECK_GT(dim, 0u);
+}
+
+void EmbeddingTable::SgdStep(size_t r, const double* grad, double lr) {
+  double* row = Row(r);
+  for (size_t i = 0; i < dim(); ++i) row[i] -= lr * grad[i];
+}
+
+void EmbeddingTable::EnsureAdamState() {
+  if (adam_m_.rows() != values_.rows()) {
+    adam_m_.Resize(values_.rows(), values_.cols(), 0.0);
+    adam_v_.Resize(values_.rows(), values_.cols(), 0.0);
+  }
+}
+
+void EmbeddingTable::AdamStep(size_t r, const double* grad,
+                              const AdamConfig& config) {
+  CHECK_GE(adam_t_, 1) << "call BeginAdamStep() before AdamStep()";
+  EnsureAdamState();
+  AdamUpdateRow(config, adam_t_, grad, Row(r), adam_m_.Row(r), adam_v_.Row(r),
+                dim());
+}
+
+Matrix EmbeddingTable::GatherRows(const std::vector<size_t>& rows) const {
+  Matrix out(rows.size(), dim());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    CHECK_LT(rows[i], num_rows());
+    const double* src = Row(rows[i]);
+    double* dst = out.Row(i);
+    for (size_t c = 0; c < dim(); ++c) dst[c] = src[c];
+  }
+  return out;
+}
+
+}  // namespace transn

@@ -1,0 +1,54 @@
+#ifndef TRANSN_EMB_EMBEDDING_TABLE_H_
+#define TRANSN_EMB_EMBEDDING_TABLE_H_
+
+#include <vector>
+
+#include "nn/adam.h"
+#include "nn/matrix.h"
+#include "util/rng.h"
+
+namespace transn {
+
+/// A dense table of per-node embedding vectors with two update modes:
+///  * SgdStep  — plain SGD (word2vec-style), used inside SGNS loops;
+///  * AdamStep — sparse-row Adam (per-row moment buffers, global step
+///    counter), used for rows touched by the cross-view autograd losses.
+class EmbeddingTable {
+ public:
+  /// Initializes rows uniformly in [-0.5/dim, 0.5/dim) (word2vec init).
+  EmbeddingTable(size_t num_rows, size_t dim, Rng& rng);
+
+  /// Initializes all-zero (word2vec context vectors start at zero).
+  EmbeddingTable(size_t num_rows, size_t dim);
+
+  size_t num_rows() const { return values_.rows(); }
+  size_t dim() const { return values_.cols(); }
+
+  double* Row(size_t r) { return values_.Row(r); }
+  const double* Row(size_t r) const { return values_.Row(r); }
+  const Matrix& values() const { return values_; }
+  Matrix& mutable_values() { return values_; }
+
+  /// row -= lr * grad.
+  void SgdStep(size_t r, const double* grad, double lr);
+
+  /// Sparse Adam on one row. Moment buffers are allocated lazily on the
+  /// first AdamStep; the bias-correction step count is shared by all rows
+  /// and advanced by BeginAdamStep() (call once per optimizer step).
+  void BeginAdamStep() { ++adam_t_; }
+  void AdamStep(size_t r, const double* grad, const AdamConfig& config);
+
+  /// Gathers rows into a |rows| x dim matrix (cross-view path matrices A).
+  Matrix GatherRows(const std::vector<size_t>& rows) const;
+
+ private:
+  void EnsureAdamState();
+
+  Matrix values_;
+  Matrix adam_m_, adam_v_;  // allocated on first AdamStep
+  int64_t adam_t_ = 0;
+};
+
+}  // namespace transn
+
+#endif  // TRANSN_EMB_EMBEDDING_TABLE_H_

@@ -1,0 +1,105 @@
+#include "emb/hierarchical_softmax.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace transn {
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+HuffmanTree::HuffmanTree(const std::vector<double>& counts) {
+  const size_t vocab = counts.size();
+  CHECK_GE(vocab, 2u);
+
+  // Nodes 0..vocab-1 are leaves; internal nodes are appended.
+  struct Node {
+    double count;
+    uint32_t id;
+  };
+  auto cmp = [](const Node& a, const Node& b) {
+    return a.count > b.count || (a.count == b.count && a.id > b.id);
+  };
+  std::priority_queue<Node, std::vector<Node>, decltype(cmp)> heap(cmp);
+  for (uint32_t i = 0; i < vocab; ++i) {
+    heap.push({std::max(counts[i], 1e-12), i});
+  }
+  std::vector<uint32_t> parent(2 * vocab - 1, 0);
+  std::vector<bool> branch(2 * vocab - 1, false);  // direction at parent
+  uint32_t next_id = static_cast<uint32_t>(vocab);
+  while (heap.size() > 1) {
+    Node a = heap.top();
+    heap.pop();
+    Node b = heap.top();
+    heap.pop();
+    parent[a.id] = next_id;
+    branch[a.id] = false;
+    parent[b.id] = next_id;
+    branch[b.id] = true;
+    heap.push({a.count + b.count, next_id});
+    ++next_id;
+  }
+  const uint32_t root = next_id - 1;
+
+  codes_.resize(vocab);
+  paths_.resize(vocab);
+  for (uint32_t leaf = 0; leaf < vocab; ++leaf) {
+    std::vector<bool> code;
+    std::vector<uint32_t> path;
+    uint32_t cur = leaf;
+    while (cur != root) {
+      code.push_back(branch[cur]);
+      // Internal node ids are offset by vocab to index node_vectors_ rows.
+      path.push_back(parent[cur] - static_cast<uint32_t>(vocab));
+      cur = parent[cur];
+    }
+    std::reverse(code.begin(), code.end());
+    std::reverse(path.begin(), path.end());
+    codes_[leaf] = std::move(code);
+    paths_[leaf] = std::move(path);
+  }
+}
+
+HierarchicalSoftmaxTrainer::HierarchicalSoftmaxTrainer(
+    EmbeddingTable* input, const std::vector<double>& counts,
+    double learning_rate)
+    : input_(input),
+      tree_(counts),
+      node_vectors_(counts.size() - 1, input != nullptr ? input->dim() : 1),
+      learning_rate_(learning_rate) {
+  CHECK(input_ != nullptr);
+  CHECK_EQ(counts.size(), input_->num_rows());
+  center_grad_.resize(input_->dim());
+}
+
+double HierarchicalSoftmaxTrainer::TrainPair(uint32_t center,
+                                             uint32_t context) {
+  const size_t d = input_->dim();
+  double* v = input_->Row(center);
+  const std::vector<bool>& code = tree_.Code(context);
+  const std::vector<uint32_t>& path = tree_.Path(context);
+  std::fill(center_grad_.begin(), center_grad_.end(), 0.0);
+  double loss = 0.0;
+  for (size_t j = 0; j < code.size(); ++j) {
+    double* u = node_vectors_.Row(path[j]);
+    double score = 0.0;
+    for (size_t i = 0; i < d; ++i) score += u[i] * v[i];
+    // Label 1 for branch 0 (word2vec convention): p = sigma(u.v).
+    const double label = code[j] ? 0.0 : 1.0;
+    const double pred = Sigmoid(score);
+    loss += label > 0.5 ? -std::log(std::max(pred, 1e-12))
+                        : -std::log(std::max(1.0 - pred, 1e-12));
+    const double g = pred - label;
+    for (size_t i = 0; i < d; ++i) {
+      center_grad_[i] += g * u[i];
+      u[i] -= learning_rate_ * g * v[i];
+    }
+  }
+  for (size_t i = 0; i < d; ++i) v[i] -= learning_rate_ * center_grad_[i];
+  return loss;
+}
+
+}  // namespace transn

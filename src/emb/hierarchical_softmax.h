@@ -1,0 +1,72 @@
+#ifndef TRANSN_EMB_HIERARCHICAL_SOFTMAX_H_
+#define TRANSN_EMB_HIERARCHICAL_SOFTMAX_H_
+
+#include <stdint.h>
+
+#include <vector>
+
+#include "emb/embedding_table.h"
+#include "util/logging.h"
+
+namespace transn {
+
+/// A Huffman tree over vocabulary frequencies, as used by word2vec's
+/// hierarchical softmax. Each leaf is a vocabulary id; each internal node
+/// carries a trainable vector. Frequent ids get short codes, making the
+/// expected update cost O(log vocab) — the d·log2(μ) term in the paper's
+/// Theorem 1.
+class HuffmanTree {
+ public:
+  /// `counts[i]` is the corpus frequency of id i (zeros allowed; they get
+  /// the longest codes). Requires at least 2 ids.
+  explicit HuffmanTree(const std::vector<double>& counts);
+
+  size_t vocab_size() const { return codes_.size(); }
+  size_t num_internal_nodes() const { return vocab_size() - 1; }
+
+  /// Branch decisions (false = left/0, true = right/1) from the root to
+  /// leaf `id`.
+  const std::vector<bool>& Code(uint32_t id) const {
+    DCHECK_LT(id, codes_.size());
+    return codes_[id];
+  }
+  /// Internal-node ids along the root-to-leaf path (same length as Code).
+  const std::vector<uint32_t>& Path(uint32_t id) const {
+    DCHECK_LT(id, paths_.size());
+    return paths_[id];
+  }
+
+ private:
+  std::vector<std::vector<bool>> codes_;
+  std::vector<std::vector<uint32_t>> paths_;
+};
+
+/// Skip-gram with hierarchical softmax: the exact-softmax alternative to
+/// negative sampling for optimizing Eq. 3. Maximizes
+///   log p(context | center) = Σ_j log σ( (1-2b_j) · u_{n_j} · v_center )
+/// over the context word's Huffman path.
+class HierarchicalSoftmaxTrainer {
+ public:
+  /// `input` must outlive the trainer; internal-node vectors are owned by
+  /// the trainer (initialized to zero, as in word2vec).
+  HierarchicalSoftmaxTrainer(EmbeddingTable* input,
+                             const std::vector<double>& counts,
+                             double learning_rate);
+
+  /// One SGD update; returns the pair's loss (before the update).
+  double TrainPair(uint32_t center, uint32_t context);
+
+  void set_learning_rate(double lr) { learning_rate_ = lr; }
+  const HuffmanTree& tree() const { return tree_; }
+
+ private:
+  EmbeddingTable* input_;
+  HuffmanTree tree_;
+  EmbeddingTable node_vectors_;  // one row per internal node
+  double learning_rate_;
+  std::vector<double> center_grad_;  // scratch
+};
+
+}  // namespace transn
+
+#endif  // TRANSN_EMB_HIERARCHICAL_SOFTMAX_H_

@@ -1,0 +1,28 @@
+#include "emb/negative_sampler.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace transn {
+
+NegativeSampler::NegativeSampler(const std::vector<double>& counts,
+                                 double power) {
+  CHECK(!counts.empty());
+  std::vector<double> weights(counts.size());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    CHECK(counts[i] >= 0.0);
+    weights[i] = counts[i] > 0.0 ? std::pow(counts[i], power) : 0.0;
+  }
+  table_.Build(weights);
+}
+
+uint32_t NegativeSampler::Sample(Rng& rng, uint32_t exclude) const {
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    uint32_t s = static_cast<uint32_t>(table_.Sample(rng));
+    if (s != exclude) return s;
+  }
+  return static_cast<uint32_t>(table_.Sample(rng));
+}
+
+}  // namespace transn

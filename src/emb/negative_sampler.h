@@ -1,0 +1,33 @@
+#ifndef TRANSN_EMB_NEGATIVE_SAMPLER_H_
+#define TRANSN_EMB_NEGATIVE_SAMPLER_H_
+
+#include <vector>
+
+#include "util/alias_table.h"
+#include "util/rng.h"
+
+namespace transn {
+
+/// Draws negative samples from the word2vec noise distribution
+/// P(n) ∝ count(n)^0.75 over the walk corpus vocabulary.
+class NegativeSampler {
+ public:
+  /// `counts[i]` is the corpus frequency of id i; ids with zero count are
+  /// never sampled. `power` is the smoothing exponent (0.75 in word2vec).
+  explicit NegativeSampler(const std::vector<double>& counts,
+                           double power = 0.75);
+
+  /// One negative id, rejecting `exclude` (up to a bounded number of
+  /// retries, after which `exclude` may be returned for degenerate
+  /// one-symbol vocabularies).
+  uint32_t Sample(Rng& rng, uint32_t exclude) const;
+
+  size_t vocab_size() const { return table_.size(); }
+
+ private:
+  AliasTable table_;
+};
+
+}  // namespace transn
+
+#endif  // TRANSN_EMB_NEGATIVE_SAMPLER_H_

@@ -1,0 +1,58 @@
+#include "emb/sgns.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace transn {
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+double DotRows(const double* a, const double* b, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace
+
+SgnsTrainer::SgnsTrainer(EmbeddingTable* input, EmbeddingTable* context,
+                         const NegativeSampler* sampler, SgnsConfig config)
+    : input_(input), context_(context), sampler_(sampler), config_(config) {
+  CHECK(input_ != nullptr && context_ != nullptr && sampler_ != nullptr);
+  CHECK_EQ(input_->dim(), context_->dim());
+  CHECK_GE(config_.negatives, 1);
+  center_grad_.resize(input_->dim());
+}
+
+double SgnsTrainer::TrainPair(uint32_t center, uint32_t context, Rng& rng) {
+  const size_t d = input_->dim();
+  const double lr = config_.learning_rate;
+  double* v = input_->Row(center);
+  std::fill(center_grad_.begin(), center_grad_.end(), 0.0);
+  double loss = 0.0;
+
+  auto update_with = [&](uint32_t ctx_id, double label) {
+    double* u = context_->Row(ctx_id);
+    const double score = DotRows(v, u, d);
+    const double pred = Sigmoid(score);
+    // d(-log sigma(label-signed score))/dscore = pred - label.
+    const double g = pred - label;
+    loss += label > 0.5 ? -std::log(std::max(pred, 1e-12))
+                        : -std::log(std::max(1.0 - pred, 1e-12));
+    for (size_t i = 0; i < d; ++i) {
+      center_grad_[i] += g * u[i];
+      u[i] -= lr * g * v[i];
+    }
+  };
+
+  update_with(context, 1.0);
+  for (int k = 0; k < config_.negatives; ++k) {
+    update_with(sampler_->Sample(rng, context), 0.0);
+  }
+  for (size_t i = 0; i < d; ++i) v[i] -= lr * center_grad_[i];
+  return loss;
+}
+
+}  // namespace transn

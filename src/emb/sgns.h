@@ -1,0 +1,48 @@
+#ifndef TRANSN_EMB_SGNS_H_
+#define TRANSN_EMB_SGNS_H_
+
+#include <vector>
+
+#include "emb/embedding_table.h"
+#include "emb/negative_sampler.h"
+#include "util/rng.h"
+
+namespace transn {
+
+/// Skip-gram with negative sampling (Mikolov et al., 2013): the optimizer of
+/// the paper's single-view loss (Eq. 3) and of every walk-based baseline.
+/// For a (center, context) pair it maximizes
+///   log σ(u_ctx · v_cen) + Σ_k log σ(-u_neg_k · v_cen)
+/// with v rows from the input table and u rows from the context table.
+struct SgnsConfig {
+  int negatives = 5;
+  /// SGD learning rate (word2vec-style constant rate; the caller may decay
+  /// it across epochs).
+  double learning_rate = 0.025;
+};
+
+class SgnsTrainer {
+ public:
+  /// Both tables must share dim(); they and the sampler must outlive the
+  /// trainer.
+  SgnsTrainer(EmbeddingTable* input, EmbeddingTable* context,
+              const NegativeSampler* sampler, SgnsConfig config);
+
+  /// One SGD update for a (center, context) pair and its negatives.
+  /// Returns the pair's loss (before the update), for monitoring.
+  double TrainPair(uint32_t center, uint32_t context, Rng& rng);
+
+  const SgnsConfig& config() const { return config_; }
+  void set_learning_rate(double lr) { config_.learning_rate = lr; }
+
+ private:
+  EmbeddingTable* input_;
+  EmbeddingTable* context_;
+  const NegativeSampler* sampler_;
+  SgnsConfig config_;
+  std::vector<double> center_grad_;  // scratch, avoids per-pair allocation
+};
+
+}  // namespace transn
+
+#endif  // TRANSN_EMB_SGNS_H_

@@ -1,0 +1,113 @@
+#include "eval/link_prediction.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "eval/metrics.h"
+#include "util/rng.h"
+
+namespace transn {
+
+LinkPredictionTask MakeLinkPredictionTask(const HeteroGraph& g,
+                                          const LinkPredictionConfig& config) {
+  CHECK_GT(config.removal_fraction, 0.0);
+  CHECK_LT(config.removal_fraction, 1.0);
+  CHECK_GT(g.num_edges(), 2u);
+  Rng rng(config.seed);
+
+  // Choose removed edges uniformly, but keep at least one edge per type so
+  // no view collapses.
+  std::vector<size_t> order(g.num_edges());
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  const size_t target_removed = static_cast<size_t>(
+      config.removal_fraction * static_cast<double>(g.num_edges()));
+
+  std::vector<size_t> kept_per_type(g.num_edge_types(), 0);
+  for (size_t e = 0; e < g.num_edges(); ++e) ++kept_per_type[g.edge_type(e)];
+
+  std::vector<bool> removed(g.num_edges(), false);
+  size_t n_removed = 0;
+  for (size_t e : order) {
+    if (n_removed >= target_removed) break;
+    if (kept_per_type[g.edge_type(e)] <= 1) continue;
+    removed[e] = true;
+    --kept_per_type[g.edge_type(e)];
+    ++n_removed;
+  }
+
+  // Rebuild the residual graph with identical node ids.
+  HeteroGraphBuilder builder;
+  for (NodeTypeId t = 0; t < g.num_node_types(); ++t) {
+    builder.AddNodeType(g.node_type_name(t));
+  }
+  for (EdgeTypeId t = 0; t < g.num_edge_types(); ++t) {
+    builder.AddEdgeType(g.edge_type_name(t));
+  }
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    NodeId id = builder.AddNode(g.node_type(n), g.node_name(n));
+    CHECK_EQ(id, n);
+    if (g.label(n) != kUnlabeled) builder.SetLabel(n, g.label(n));
+  }
+
+  LinkPredictionTask task;
+  for (size_t e = 0; e < g.num_edges(); ++e) {
+    if (removed[e]) {
+      task.positives.emplace_back(g.edge_u(e), g.edge_v(e));
+    } else {
+      builder.AddEdge(g.edge_u(e), g.edge_v(e), g.edge_type(e),
+                      g.edge_weight(e));
+    }
+  }
+  task.residual = builder.Build();
+
+  // Negatives: non-adjacent pairs (in the full graph), one per positive.
+  std::vector<std::vector<NodeId>> by_type(g.num_node_types());
+  for (NodeId n = 0; n < g.num_nodes(); ++n) by_type[g.node_type(n)].push_back(n);
+
+  auto sample_negative = [&](NodeTypeId ta,
+                             NodeTypeId tb) -> std::pair<NodeId, NodeId> {
+    for (int attempt = 0; attempt < 256; ++attempt) {
+      NodeId u, v;
+      if (config.type_matched_negatives) {
+        u = by_type[ta][rng.NextUint64(by_type[ta].size())];
+        v = by_type[tb][rng.NextUint64(by_type[tb].size())];
+      } else {
+        u = static_cast<NodeId>(rng.NextUint64(g.num_nodes()));
+        v = static_cast<NodeId>(rng.NextUint64(g.num_nodes()));
+      }
+      if (u == v || g.HasEdge(u, v)) continue;
+      return {u, v};
+    }
+    LOG(FATAL) << "could not sample a non-adjacent pair (graph too dense?)";
+    return {0, 0};
+  };
+
+  task.negatives.reserve(task.positives.size());
+  for (const auto& [u, v] : task.positives) {
+    task.negatives.push_back(
+        sample_negative(g.node_type(u), g.node_type(v)));
+  }
+  return task;
+}
+
+double ScoreLinkPrediction(const Matrix& embeddings,
+                           const LinkPredictionTask& task) {
+  CHECK_EQ(embeddings.rows(), task.residual.num_nodes());
+  std::vector<double> scores;
+  std::vector<bool> labels;
+  scores.reserve(task.positives.size() + task.negatives.size());
+  auto add = [&](const std::vector<std::pair<NodeId, NodeId>>& pairs,
+                 bool label) {
+    for (const auto& [u, v] : pairs) {
+      scores.push_back(
+          Dot(embeddings.Row(u), embeddings.Row(v), embeddings.cols()));
+      labels.push_back(label);
+    }
+  };
+  add(task.positives, true);
+  add(task.negatives, false);
+  return Auc(scores, labels);
+}
+
+}  // namespace transn

@@ -1,0 +1,44 @@
+#ifndef TRANSN_EVAL_LINK_PREDICTION_H_
+#define TRANSN_EVAL_LINK_PREDICTION_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "nn/matrix.h"
+
+namespace transn {
+
+/// Link-prediction task per §IV-B2: remove `removal_fraction` of the edges,
+/// keep their endpoint pairs as positives, sample an equal number of
+/// non-adjacent pairs as negatives, and learn embeddings on the residual
+/// network.
+struct LinkPredictionTask {
+  HeteroGraph residual;
+  std::vector<std::pair<NodeId, NodeId>> positives;
+  std::vector<std::pair<NodeId, NodeId>> negatives;
+};
+
+struct LinkPredictionConfig {
+  double removal_fraction = 0.4;
+  /// When true (default), each negative pair is sampled with the same
+  /// endpoint node types as a removed edge, which avoids trivially
+  /// separable negatives (e.g. venue–user pairs that can never link). The
+  /// paper samples unconstrained non-adjacent pairs; set false for that.
+  bool type_matched_negatives = true;
+  uint64_t seed = 13;
+};
+
+/// Builds the task. Node ids in `residual` equal those in `g`. Every edge
+/// type retains at least one edge so views stay non-empty.
+LinkPredictionTask MakeLinkPredictionTask(const HeteroGraph& g,
+                                          const LinkPredictionConfig& config);
+
+/// Scores each candidate pair by the inner product of its endpoint
+/// embeddings (rows of `embeddings` indexed by node id) and returns the AUC.
+double ScoreLinkPrediction(const Matrix& embeddings,
+                           const LinkPredictionTask& task);
+
+}  // namespace transn
+
+#endif  // TRANSN_EVAL_LINK_PREDICTION_H_

@@ -1,0 +1,111 @@
+#include "eval/logistic_regression.h"
+
+#include <cmath>
+#include <limits>
+
+#include "nn/adam.h"
+#include "util/logging.h"
+
+namespace transn {
+
+Matrix LogisticRegression::Logits(const Matrix& x) const {
+  CHECK_EQ(x.cols() + 1, weights_.rows());
+  Matrix logits(x.rows(), static_cast<size_t>(num_classes_), 0.0);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const double* xi = x.Row(i);
+    double* out = logits.Row(i);
+    for (size_t d = 0; d < x.cols(); ++d) {
+      const double v = xi[d];
+      if (v == 0.0) continue;
+      const double* w = weights_.Row(d);
+      for (int k = 0; k < num_classes_; ++k) out[k] += v * w[k];
+    }
+    const double* bias = weights_.Row(x.cols());
+    for (int k = 0; k < num_classes_; ++k) out[k] += bias[k];
+  }
+  return logits;
+}
+
+void LogisticRegression::Fit(const Matrix& x, const std::vector<int>& y,
+                             int num_classes) {
+  CHECK_EQ(x.rows(), y.size());
+  CHECK_GT(num_classes, 1);
+  CHECK_GT(x.rows(), 0u);
+  num_classes_ = num_classes;
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  weights_.Resize(d + 1, static_cast<size_t>(num_classes), 0.0);
+
+  Parameter w(weights_);
+  AdamOptimizer opt(AdamConfig{.learning_rate = config_.learning_rate});
+  opt.Register(&w);
+
+  double prev_loss = std::numeric_limits<double>::infinity();
+  for (size_t iter = 0; iter < config_.max_iters; ++iter) {
+    weights_ = w.value;
+    Matrix probs = RowSoftmax(Logits(x));
+
+    // Cross-entropy + L2 (weights only, not bias), with analytic gradient:
+    // dL/dlogits = (probs - onehot)/n.
+    double loss = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      CHECK_GE(y[i], 0);
+      CHECK_LT(y[i], num_classes);
+      loss += -std::log(std::max(probs(i, static_cast<size_t>(y[i])), 1e-12));
+      probs(i, static_cast<size_t>(y[i])) -= 1.0;
+    }
+    loss /= static_cast<double>(n);
+    probs *= 1.0 / static_cast<double>(n);
+
+    // grad W = Xᵀ · dlogits (+ L2); grad bias = column sums of dlogits.
+    Matrix grad = MatMulTN(x, probs);
+    for (size_t r = 0; r < d; ++r) {
+      const double* wr = w.value.Row(r);
+      double* gr = grad.Row(r);
+      for (int k = 0; k < num_classes; ++k) {
+        loss += config_.l2 * wr[k] * wr[k] / 2.0;
+        gr[k] += config_.l2 * wr[k];
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const double* pi = probs.Row(i);
+      for (int k = 0; k < num_classes; ++k) {
+        w.grad(d, static_cast<size_t>(k)) += pi[k];
+      }
+    }
+    for (size_t r = 0; r < d; ++r) {
+      const double* gr = grad.Row(r);
+      for (int k = 0; k < num_classes; ++k) {
+        w.grad(r, static_cast<size_t>(k)) += gr[k];
+      }
+    }
+    opt.Step();
+    final_loss_ = loss;
+    if (std::fabs(prev_loss - loss) < config_.tolerance) break;
+    prev_loss = loss;
+  }
+  weights_ = w.value;
+}
+
+Matrix LogisticRegression::PredictProba(const Matrix& x) const {
+  CHECK_GT(num_classes_, 0) << "Fit() before PredictProba()";
+  return RowSoftmax(Logits(x));
+}
+
+std::vector<int> LogisticRegression::Predict(const Matrix& x) const {
+  Matrix probs = PredictProba(x);
+  std::vector<int> out(x.rows());
+  for (size_t i = 0; i < probs.rows(); ++i) {
+    int best = 0;
+    for (int k = 1; k < num_classes_; ++k) {
+      if (probs(i, static_cast<size_t>(k)) >
+          probs(i, static_cast<size_t>(best))) {
+        best = k;
+      }
+    }
+    out[i] = best;
+  }
+  return out;
+}
+
+}  // namespace transn

@@ -1,0 +1,50 @@
+#ifndef TRANSN_EVAL_LOGISTIC_REGRESSION_H_
+#define TRANSN_EVAL_LOGISTIC_REGRESSION_H_
+
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace transn {
+
+/// L2-regularized multinomial (softmax) logistic regression — the stand-in
+/// for scikit-learn's default LogisticRegression used in §IV-B1. Trained
+/// full-batch with Adam to convergence; deterministic given its inputs.
+struct LogRegConfig {
+  double l2 = 1e-4;
+  double learning_rate = 0.1;
+  size_t max_iters = 500;
+  /// Stop when the loss improves by less than this between iterations.
+  double tolerance = 1e-7;
+};
+
+class LogisticRegression {
+ public:
+  explicit LogisticRegression(LogRegConfig config = {}) : config_(config) {}
+
+  /// X: n x d features; y: n labels in [0, num_classes).
+  void Fit(const Matrix& x, const std::vector<int>& y, int num_classes);
+
+  /// Class probabilities, n x num_classes. Requires Fit.
+  Matrix PredictProba(const Matrix& x) const;
+
+  /// Argmax class per row. Requires Fit.
+  std::vector<int> Predict(const Matrix& x) const;
+
+  int num_classes() const { return num_classes_; }
+  /// Final training loss (diagnostics/tests).
+  double final_loss() const { return final_loss_; }
+
+ private:
+  /// Returns logits (n x K) for x under the current weights.
+  Matrix Logits(const Matrix& x) const;
+
+  LogRegConfig config_;
+  int num_classes_ = 0;
+  Matrix weights_;  // (d+1) x K; last row is the bias
+  double final_loss_ = 0.0;
+};
+
+}  // namespace transn
+
+#endif  // TRANSN_EVAL_LOGISTIC_REGRESSION_H_

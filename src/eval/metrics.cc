@@ -1,0 +1,145 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace transn {
+namespace {
+
+struct Counts {
+  std::vector<double> tp, fp, fn;
+};
+
+Counts PerClassCounts(const std::vector<int>& y_true,
+                      const std::vector<int>& y_pred, int num_classes) {
+  CHECK_EQ(y_true.size(), y_pred.size());
+  CHECK_GT(num_classes, 0);
+  Counts c;
+  c.tp.assign(num_classes, 0.0);
+  c.fp.assign(num_classes, 0.0);
+  c.fn.assign(num_classes, 0.0);
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    CHECK_GE(y_true[i], 0);
+    CHECK_LT(y_true[i], num_classes);
+    CHECK_GE(y_pred[i], 0);
+    CHECK_LT(y_pred[i], num_classes);
+    if (y_true[i] == y_pred[i]) {
+      c.tp[y_true[i]] += 1.0;
+    } else {
+      c.fn[y_true[i]] += 1.0;
+      c.fp[y_pred[i]] += 1.0;
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+double MicroF1(const std::vector<int>& y_true, const std::vector<int>& y_pred,
+               int num_classes) {
+  Counts c = PerClassCounts(y_true, y_pred, num_classes);
+  double tp = std::accumulate(c.tp.begin(), c.tp.end(), 0.0);
+  double fp = std::accumulate(c.fp.begin(), c.fp.end(), 0.0);
+  double fn = std::accumulate(c.fn.begin(), c.fn.end(), 0.0);
+  double denom = 2.0 * tp + fp + fn;
+  return denom > 0.0 ? 2.0 * tp / denom : 0.0;
+}
+
+double MacroF1(const std::vector<int>& y_true, const std::vector<int>& y_pred,
+               int num_classes) {
+  Counts c = PerClassCounts(y_true, y_pred, num_classes);
+  double total = 0.0;
+  for (int k = 0; k < num_classes; ++k) {
+    double denom = 2.0 * c.tp[k] + c.fp[k] + c.fn[k];
+    total += denom > 0.0 ? 2.0 * c.tp[k] / denom : 0.0;
+  }
+  return total / num_classes;
+}
+
+double Auc(const std::vector<double>& scores,
+           const std::vector<bool>& labels) {
+  CHECK_EQ(scores.size(), labels.size());
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&scores](size_t a, size_t b) { return scores[a] < scores[b]; });
+
+  // Average rank within tie groups.
+  size_t n_pos = 0, n_neg = 0;
+  for (bool l : labels) (l ? n_pos : n_neg)++;
+  if (n_pos == 0 || n_neg == 0) return 0.5;
+
+  double rank_sum_pos = 0.0;
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j < order.size() && scores[order[j]] == scores[order[i]]) ++j;
+    // Ranks are 1-based; tie group [i, j) shares the average rank.
+    const double avg_rank = 0.5 * static_cast<double>(i + 1 + j);
+    for (size_t k = i; k < j; ++k) {
+      if (labels[order[k]]) rank_sum_pos += avg_rank;
+    }
+    i = j;
+  }
+  const double u = rank_sum_pos - static_cast<double>(n_pos) *
+                                      (static_cast<double>(n_pos) + 1.0) / 2.0;
+  return u / (static_cast<double>(n_pos) * static_cast<double>(n_neg));
+}
+
+double Accuracy(const std::vector<int>& y_true,
+                const std::vector<int>& y_pred) {
+  CHECK_EQ(y_true.size(), y_pred.size());
+  if (y_true.empty()) return 0.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < y_true.size(); ++i) hits += y_true[i] == y_pred[i];
+  return static_cast<double>(hits) / static_cast<double>(y_true.size());
+}
+
+double SilhouetteScore(const Matrix& points, const std::vector<int>& labels) {
+  const size_t n = points.rows();
+  CHECK_EQ(labels.size(), n);
+  if (n < 2) return 0.0;
+  int num_classes = 0;
+  for (int l : labels) num_classes = std::max(num_classes, l + 1);
+  if (num_classes < 2) return 0.0;
+
+  std::vector<size_t> class_size(num_classes, 0);
+  for (int l : labels) ++class_size[l];
+
+  auto dist = [&points](size_t a, size_t b) {
+    double acc = 0.0;
+    for (size_t c = 0; c < points.cols(); ++c) {
+      const double d = points(a, c) - points(b, c);
+      acc += d * d;
+    }
+    return std::sqrt(acc);
+  };
+
+  double total = 0.0;
+  size_t counted = 0;
+  std::vector<double> sum_to_class(num_classes);
+  for (size_t i = 0; i < n; ++i) {
+    if (class_size[labels[i]] < 2) continue;  // silhouette undefined
+    std::fill(sum_to_class.begin(), sum_to_class.end(), 0.0);
+    for (size_t j = 0; j < n; ++j) {
+      if (j != i) sum_to_class[labels[j]] += dist(i, j);
+    }
+    const double a =
+        sum_to_class[labels[i]] / static_cast<double>(class_size[labels[i]] - 1);
+    double b = std::numeric_limits<double>::infinity();
+    for (int k = 0; k < num_classes; ++k) {
+      if (k == labels[i] || class_size[k] == 0) continue;
+      b = std::min(b, sum_to_class[k] / static_cast<double>(class_size[k]));
+    }
+    if (!std::isfinite(b)) continue;
+    total += (b - a) / std::max(a, b);
+    ++counted;
+  }
+  return counted > 0 ? total / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace transn

@@ -1,0 +1,35 @@
+#ifndef TRANSN_EVAL_METRICS_H_
+#define TRANSN_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace transn {
+
+/// Micro-averaged F1 over multi-class predictions. For single-label
+/// multi-class problems this equals accuracy.
+double MicroF1(const std::vector<int>& y_true, const std::vector<int>& y_pred,
+               int num_classes);
+
+/// Macro-averaged F1: unweighted mean of per-class F1 scores (classes absent
+/// from both truth and prediction contribute 0, matching scikit-learn).
+double MacroF1(const std::vector<int>& y_true, const std::vector<int>& y_pred,
+               int num_classes);
+
+/// Area under the ROC curve via the rank statistic (Mann–Whitney U); ties
+/// get half credit. `labels[i]` is true for positives.
+double Auc(const std::vector<double>& scores, const std::vector<bool>& labels);
+
+/// Fraction of exact matches.
+double Accuracy(const std::vector<int>& y_true, const std::vector<int>& y_pred);
+
+/// Mean silhouette coefficient of `points` (rows) under `labels`, with
+/// Euclidean distance. Quantifies the cluster separation the paper's Figure
+/// 6 shows visually. Returns 0 for degenerate inputs (single cluster or
+/// singleton clusters only).
+double SilhouetteScore(const Matrix& points, const std::vector<int>& labels);
+
+}  // namespace transn
+
+#endif  // TRANSN_EVAL_METRICS_H_

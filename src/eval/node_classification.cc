@@ -1,0 +1,80 @@
+#include "eval/node_classification.h"
+
+#include <cmath>
+#include <tuple>
+
+#include "eval/metrics.h"
+#include "eval/split.h"
+#include "util/rng.h"
+
+namespace transn {
+
+NodeClassificationResult EvaluateClassification(
+    const Matrix& features, const std::vector<int>& labels, int num_classes,
+    const NodeClassificationConfig& config) {
+  CHECK_EQ(features.rows(), labels.size());
+  CHECK_GT(config.repeats, 0u);
+  Rng rng(config.seed);
+
+  std::vector<double> micro_scores, macro_scores;
+  for (size_t rep = 0; rep < config.repeats; ++rep) {
+    TrainTestSplit split = StratifiedSplit(labels, config.train_fraction, rng);
+    if (split.test.empty()) continue;
+
+    Matrix x_train(split.train.size(), features.cols());
+    std::vector<int> y_train(split.train.size());
+    for (size_t i = 0; i < split.train.size(); ++i) {
+      const double* src = features.Row(split.train[i]);
+      std::copy(src, src + features.cols(), x_train.Row(i));
+      y_train[i] = labels[split.train[i]];
+    }
+    Matrix x_test(split.test.size(), features.cols());
+    std::vector<int> y_test(split.test.size());
+    for (size_t i = 0; i < split.test.size(); ++i) {
+      const double* src = features.Row(split.test[i]);
+      std::copy(src, src + features.cols(), x_test.Row(i));
+      y_test[i] = labels[split.test[i]];
+    }
+
+    LogisticRegression clf(config.logreg);
+    clf.Fit(x_train, y_train, num_classes);
+    std::vector<int> y_pred = clf.Predict(x_test);
+    micro_scores.push_back(MicroF1(y_test, y_pred, num_classes));
+    macro_scores.push_back(MacroF1(y_test, y_pred, num_classes));
+  }
+
+  auto mean_std = [](const std::vector<double>& v) {
+    if (v.empty()) return std::pair<double, double>{0.0, 0.0};
+    double mean = 0.0;
+    for (double x : v) mean += x;
+    mean /= static_cast<double>(v.size());
+    double var = 0.0;
+    for (double x : v) var += (x - mean) * (x - mean);
+    var /= static_cast<double>(v.size());
+    return std::pair<double, double>{mean, std::sqrt(var)};
+  };
+
+  NodeClassificationResult result;
+  std::tie(result.macro_f1, result.macro_f1_stddev) = mean_std(macro_scores);
+  std::tie(result.micro_f1, result.micro_f1_stddev) = mean_std(micro_scores);
+  return result;
+}
+
+NodeClassificationResult EvaluateNodeClassification(
+    const HeteroGraph& g, const Matrix& embeddings,
+    const NodeClassificationConfig& config) {
+  CHECK_EQ(embeddings.rows(), g.num_nodes());
+  std::vector<NodeId> labeled = g.LabeledNodes();
+  CHECK(!labeled.empty()) << "graph has no labeled nodes";
+
+  Matrix features(labeled.size(), embeddings.cols());
+  std::vector<int> labels(labeled.size());
+  for (size_t i = 0; i < labeled.size(); ++i) {
+    const double* src = embeddings.Row(labeled[i]);
+    std::copy(src, src + embeddings.cols(), features.Row(i));
+    labels[i] = g.label(labeled[i]);
+  }
+  return EvaluateClassification(features, labels, g.num_labels(), config);
+}
+
+}  // namespace transn

@@ -1,0 +1,42 @@
+#ifndef TRANSN_EVAL_NODE_CLASSIFICATION_H_
+#define TRANSN_EVAL_NODE_CLASSIFICATION_H_
+
+#include <vector>
+
+#include "eval/logistic_regression.h"
+#include "graph/hetero_graph.h"
+#include "nn/matrix.h"
+
+namespace transn {
+
+/// Node-classification protocol of §IV-B1: repeated stratified 90/10 splits
+/// of the labeled nodes, a logistic-regression classifier on the (fixed)
+/// embeddings, micro/macro-F1 averaged over the repeats.
+struct NodeClassificationConfig {
+  double train_fraction = 0.9;
+  size_t repeats = 10;
+  uint64_t seed = 7;
+  LogRegConfig logreg;
+};
+
+struct NodeClassificationResult {
+  double macro_f1 = 0.0;
+  double micro_f1 = 0.0;
+  double macro_f1_stddev = 0.0;
+  double micro_f1_stddev = 0.0;
+};
+
+/// `embeddings` row n is the embedding of graph node id n; labeled nodes and
+/// labels are taken from `g`.
+NodeClassificationResult EvaluateNodeClassification(
+    const HeteroGraph& g, const Matrix& embeddings,
+    const NodeClassificationConfig& config = {});
+
+/// Lower-level variant on explicit features/labels (used by tests).
+NodeClassificationResult EvaluateClassification(
+    const Matrix& features, const std::vector<int>& labels, int num_classes,
+    const NodeClassificationConfig& config = {});
+
+}  // namespace transn
+
+#endif  // TRANSN_EVAL_NODE_CLASSIFICATION_H_

@@ -1,0 +1,42 @@
+#include "eval/split.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace transn {
+
+TrainTestSplit StratifiedSplit(const std::vector<int>& labels,
+                               double train_fraction, Rng& rng) {
+  CHECK_GT(train_fraction, 0.0);
+  CHECK_LT(train_fraction, 1.0);
+  int num_classes = 0;
+  for (int l : labels) {
+    CHECK_GE(l, 0);
+    num_classes = std::max(num_classes, l + 1);
+  }
+  std::vector<std::vector<size_t>> by_class(num_classes);
+  for (size_t i = 0; i < labels.size(); ++i) by_class[labels[i]].push_back(i);
+
+  TrainTestSplit split;
+  for (auto& members : by_class) {
+    if (members.empty()) continue;
+    rng.Shuffle(members);
+    size_t n_train = static_cast<size_t>(
+        std::llround(train_fraction * static_cast<double>(members.size())));
+    if (members.size() >= 2) {
+      n_train = std::clamp<size_t>(n_train, 1, members.size() - 1);
+    } else {
+      n_train = 1;  // singleton classes go to train
+    }
+    for (size_t k = 0; k < members.size(); ++k) {
+      (k < n_train ? split.train : split.test).push_back(members[k]);
+    }
+  }
+  rng.Shuffle(split.train);
+  rng.Shuffle(split.test);
+  return split;
+}
+
+}  // namespace transn

@@ -1,0 +1,24 @@
+#ifndef TRANSN_EVAL_SPLIT_H_
+#define TRANSN_EVAL_SPLIT_H_
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace transn {
+
+/// Index split into train/test.
+struct TrainTestSplit {
+  std::vector<size_t> train;
+  std::vector<size_t> test;
+};
+
+/// Splits indices [0, labels.size()) with per-class proportions preserved
+/// (each class contributes ~train_fraction of its members to train, at least
+/// one to each side when it has >= 2 members).
+TrainTestSplit StratifiedSplit(const std::vector<int>& labels,
+                               double train_fraction, Rng& rng);
+
+}  // namespace transn
+
+#endif  // TRANSN_EVAL_SPLIT_H_

@@ -1,0 +1,143 @@
+#include "eval/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/init.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace transn {
+namespace {
+
+/// Pairwise squared Euclidean distances between rows.
+Matrix PairwiseSquaredDistances(const Matrix& x) {
+  const size_t n = x.rows();
+  Matrix d2(n, n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double acc = 0.0;
+      const double* xi = x.Row(i);
+      const double* xj = x.Row(j);
+      for (size_t c = 0; c < x.cols(); ++c) {
+        const double d = xi[c] - xj[c];
+        acc += d * d;
+      }
+      d2(i, j) = acc;
+      d2(j, i) = acc;
+    }
+  }
+  return d2;
+}
+
+/// Binary-searches the Gaussian bandwidth of row i to hit the target
+/// perplexity, writing conditional probabilities p_{j|i} into row i of p.
+void RowConditionalP(const Matrix& d2, size_t i, double perplexity,
+                     Matrix& p) {
+  const size_t n = d2.rows();
+  const double target_entropy = std::log(perplexity);
+  double beta = 1.0, beta_lo = 0.0, beta_hi = std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < 64; ++iter) {
+    double sum = 0.0, weighted = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double w = std::exp(-beta * d2(i, j));
+      p(i, j) = w;
+      sum += w;
+      weighted += w * d2(i, j);
+    }
+    sum = std::max(sum, 1e-300);
+    const double entropy = std::log(sum) + beta * weighted / sum;
+    const double diff = entropy - target_entropy;
+    if (std::fabs(diff) < 1e-5) break;
+    if (diff > 0) {
+      beta_lo = beta;
+      beta = std::isfinite(beta_hi) ? 0.5 * (beta + beta_hi) : beta * 2.0;
+    } else {
+      beta_hi = beta;
+      beta = 0.5 * (beta + beta_lo);
+    }
+  }
+  double sum = 0.0;
+  for (size_t j = 0; j < n; ++j) {
+    if (j != i) sum += p(i, j);
+  }
+  sum = std::max(sum, 1e-300);
+  for (size_t j = 0; j < n; ++j) p(i, j) = j == i ? 0.0 : p(i, j) / sum;
+}
+
+}  // namespace
+
+Matrix Tsne(const Matrix& x, const TsneConfig& config) {
+  const size_t n = x.rows();
+  CHECK_GE(n, 4u);
+  CHECK_GT(config.perplexity, 1.0);
+  CHECK(3.0 * config.perplexity < static_cast<double>(n))
+      << "perplexity too large for " << n << " points";
+
+  // High-dimensional affinities: symmetrized conditional Gaussians.
+  Matrix d2 = PairwiseSquaredDistances(x);
+  Matrix p_cond(n, n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    RowConditionalP(d2, i, config.perplexity, p_cond);
+  }
+  Matrix p(n, n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      p(i, j) = std::max((p_cond(i, j) + p_cond(j, i)) / (2.0 * n), 1e-12);
+    }
+  }
+
+  Rng rng(config.seed);
+  Matrix y = GaussianInit(n, config.out_dims, 1e-2, rng);
+  Matrix velocity(n, config.out_dims, 0.0);
+  Matrix grad(n, config.out_dims, 0.0);
+
+  const size_t exaggeration_end = config.iterations / 4;
+  for (size_t iter = 0; iter < config.iterations; ++iter) {
+    const double exaggeration =
+        iter < exaggeration_end ? config.early_exaggeration : 1.0;
+    const double momentum =
+        iter < exaggeration_end ? config.momentum : config.final_momentum;
+
+    // Low-dimensional affinities q_ij ∝ (1 + |y_i - y_j|²)^-1.
+    Matrix yd2 = PairwiseSquaredDistances(y);
+    double q_sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        if (i != j) q_sum += 1.0 / (1.0 + yd2(i, j));
+      }
+    }
+    q_sum = std::max(q_sum, 1e-300);
+
+    grad.Fill(0.0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double inv = 1.0 / (1.0 + yd2(i, j));
+        const double q = std::max(inv / q_sum, 1e-12);
+        const double coeff = 4.0 * (exaggeration * p(i, j) - q) * inv;
+        for (size_t c = 0; c < config.out_dims; ++c) {
+          grad(i, c) += coeff * (y(i, c) - y(j, c));
+        }
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t c = 0; c < config.out_dims; ++c) {
+        velocity(i, c) =
+            momentum * velocity(i, c) - config.learning_rate * grad(i, c);
+        y(i, c) += velocity(i, c);
+      }
+    }
+    // Re-center to keep the embedding bounded.
+    for (size_t c = 0; c < config.out_dims; ++c) {
+      double mean = 0.0;
+      for (size_t i = 0; i < n; ++i) mean += y(i, c);
+      mean /= static_cast<double>(n);
+      for (size_t i = 0; i < n; ++i) y(i, c) -= mean;
+    }
+  }
+  return y;
+}
+
+}  // namespace transn

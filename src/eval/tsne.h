@@ -1,0 +1,28 @@
+#ifndef TRANSN_EVAL_TSNE_H_
+#define TRANSN_EVAL_TSNE_H_
+
+#include "nn/matrix.h"
+
+namespace transn {
+
+/// Exact t-SNE (van der Maaten & Hinton, 2008), sufficient for the paper's
+/// Figure 6 (90 points). O(n² d) per iteration.
+struct TsneConfig {
+  size_t out_dims = 2;
+  double perplexity = 15.0;
+  size_t iterations = 600;
+  double learning_rate = 100.0;
+  /// Early exaggeration factor applied for the first quarter of iterations.
+  double early_exaggeration = 4.0;
+  double momentum = 0.5;
+  double final_momentum = 0.8;
+  uint64_t seed = 3;
+};
+
+/// Projects the rows of `x` into config.out_dims dimensions.
+/// Requires 3*perplexity < x.rows().
+Matrix Tsne(const Matrix& x, const TsneConfig& config = {});
+
+}  // namespace transn
+
+#endif  // TRANSN_EVAL_TSNE_H_

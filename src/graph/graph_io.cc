@@ -1,0 +1,102 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace transn {
+
+Status SaveGraph(const HeteroGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << "# transn graph v1\n";
+  for (NodeTypeId t = 0; t < g.num_node_types(); ++t) {
+    out << "T\t" << g.node_type_name(t) << "\n";
+  }
+  for (EdgeTypeId t = 0; t < g.num_edge_types(); ++t) {
+    out << "R\t" << g.edge_type_name(t) << "\n";
+  }
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    out << "N\t" << g.node_name(n) << "\t"
+        << g.node_type_name(g.node_type(n));
+    if (g.label(n) != kUnlabeled) out << "\t" << g.label(n);
+    out << "\n";
+  }
+  for (size_t e = 0; e < g.num_edges(); ++e) {
+    out << "E\t" << g.node_name(g.edge_u(e)) << "\t"
+        << g.node_name(g.edge_v(e)) << "\t"
+        << g.edge_type_name(g.edge_type(e)) << "\t" << g.edge_weight(e)
+        << "\n";
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+StatusOr<HeteroGraph> LoadGraph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open: " + path);
+
+  HeteroGraphBuilder builder;
+  std::unordered_map<std::string, NodeTypeId> node_types;
+  std::unordered_map<std::string, EdgeTypeId> edge_types;
+  std::unordered_map<std::string, NodeId> nodes;
+
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<std::string> fields = Split(trimmed, '\t');
+    const std::string& tag = fields[0];
+    auto malformed = [&](const char* what) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: %s", path.c_str(), line_no, what));
+    };
+    if (tag == "T") {
+      if (fields.size() != 2) return malformed("T line needs 1 field");
+      if (node_types.count(fields[1])) return malformed("duplicate node type");
+      node_types[fields[1]] = builder.AddNodeType(fields[1]);
+    } else if (tag == "R") {
+      if (fields.size() != 2) return malformed("R line needs 1 field");
+      if (edge_types.count(fields[1])) return malformed("duplicate edge type");
+      edge_types[fields[1]] = builder.AddEdgeType(fields[1]);
+    } else if (tag == "N") {
+      if (fields.size() != 3 && fields.size() != 4) {
+        return malformed("N line needs 2 or 3 fields");
+      }
+      auto t = node_types.find(fields[2]);
+      if (t == node_types.end()) return malformed("unknown node type");
+      if (nodes.count(fields[1])) return malformed("duplicate node name");
+      NodeId id = builder.AddNode(t->second, fields[1]);
+      nodes[fields[1]] = id;
+      if (fields.size() == 4) {
+        int64_t label = 0;
+        if (!ParseInt64(fields[3], &label) || label < 0) {
+          return malformed("bad label");
+        }
+        builder.SetLabel(id, static_cast<int>(label));
+      }
+    } else if (tag == "E") {
+      if (fields.size() != 5) return malformed("E line needs 4 fields");
+      auto u = nodes.find(fields[1]);
+      auto v = nodes.find(fields[2]);
+      if (u == nodes.end() || v == nodes.end()) {
+        return malformed("edge references unknown node");
+      }
+      auto t = edge_types.find(fields[3]);
+      if (t == edge_types.end()) return malformed("unknown edge type");
+      double w = 0.0;
+      if (!ParseDouble(fields[4], &w) || w <= 0.0) {
+        return malformed("bad edge weight");
+      }
+      builder.AddEdge(u->second, v->second, t->second, w);
+    } else {
+      return malformed("unknown line tag");
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace transn

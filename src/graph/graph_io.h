@@ -1,0 +1,26 @@
+#ifndef TRANSN_GRAPH_GRAPH_IO_H_
+#define TRANSN_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/hetero_graph.h"
+#include "util/status.h"
+
+namespace transn {
+
+/// Text serialization of a HeteroGraph. The format is line-oriented TSV:
+///
+///   T\t<node_type_name>                 (node types, in id order)
+///   R\t<edge_type_name>                 (edge types, in id order)
+///   N\t<node_name>\t<node_type_name>[\t<label>]
+///   E\t<u_name>\t<v_name>\t<edge_type_name>\t<weight>
+///
+/// Node names must be unique; unnamed nodes are saved under their default
+/// "n<id>" names. Lines starting with '#' are comments.
+Status SaveGraph(const HeteroGraph& g, const std::string& path);
+
+StatusOr<HeteroGraph> LoadGraph(const std::string& path);
+
+}  // namespace transn
+
+#endif  // TRANSN_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,55 @@
+#include "graph/graph_stats.h"
+
+#include "util/string_util.h"
+
+namespace transn {
+
+GraphStats ComputeStats(const HeteroGraph& g) {
+  GraphStats s;
+  s.num_nodes = g.num_nodes();
+  s.num_edges = g.num_edges();
+  s.average_degree = g.AverageDegree();
+  if (g.num_nodes() > 1) {
+    s.density = 2.0 * static_cast<double>(g.num_edges()) /
+                (static_cast<double>(g.num_nodes()) *
+                 static_cast<double>(g.num_nodes() - 1));
+  }
+
+  std::vector<size_t> node_counts(g.num_node_types(), 0);
+  std::vector<size_t> labeled_per_type(g.num_node_types(), 0);
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    ++node_counts[g.node_type(n)];
+    if (g.label(n) != kUnlabeled) {
+      ++s.num_labeled;
+      ++labeled_per_type[g.node_type(n)];
+    }
+  }
+  int labeled_types = 0;
+  for (NodeTypeId t = 0; t < g.num_node_types(); ++t) {
+    s.nodes_per_type.emplace_back(g.node_type_name(t), node_counts[t]);
+    if (labeled_per_type[t] > 0) {
+      ++labeled_types;
+      s.labeled_type = g.node_type_name(t);
+    }
+  }
+  if (labeled_types != 1) s.labeled_type.clear();
+
+  std::vector<size_t> edge_counts(g.num_edge_types(), 0);
+  for (size_t e = 0; e < g.num_edges(); ++e) ++edge_counts[g.edge_type(e)];
+  for (EdgeTypeId t = 0; t < g.num_edge_types(); ++t) {
+    s.edges_per_type.emplace_back(g.edge_type_name(t), edge_counts[t]);
+  }
+  return s;
+}
+
+std::string FormatTypeCounts(
+    const std::vector<std::pair<std::string, size_t>>& counts) {
+  std::vector<std::string> parts;
+  parts.reserve(counts.size());
+  for (const auto& [name, count] : counts) {
+    parts.push_back(StrFormat("%s(%zu)", name.c_str(), count));
+  }
+  return Join(parts, ", ");
+}
+
+}  // namespace transn

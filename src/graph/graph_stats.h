@@ -1,0 +1,36 @@
+#ifndef TRANSN_GRAPH_GRAPH_STATS_H_
+#define TRANSN_GRAPH_GRAPH_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+
+namespace transn {
+
+/// Summary statistics of a heterogeneous network in the shape of the
+/// paper's Table II.
+struct GraphStats {
+  size_t num_nodes = 0;
+  size_t num_edges = 0;
+  /// (type name, count) in node-type id order.
+  std::vector<std::pair<std::string, size_t>> nodes_per_type;
+  /// (type name, count) in edge-type id order.
+  std::vector<std::pair<std::string, size_t>> edges_per_type;
+  size_t num_labeled = 0;
+  /// Name of the node type carrying labels ("" when unlabeled or mixed).
+  std::string labeled_type;
+  double average_degree = 0.0;
+  /// 2|E| / (|V| (|V|-1)): simple density proxy used in §IV-B analysis.
+  double density = 0.0;
+};
+
+GraphStats ComputeStats(const HeteroGraph& g);
+
+/// "Author(2161), Paper(2555), Venue(58)"-style cell text for Table II.
+std::string FormatTypeCounts(
+    const std::vector<std::pair<std::string, size_t>>& counts);
+
+}  // namespace transn
+
+#endif  // TRANSN_GRAPH_GRAPH_STATS_H_

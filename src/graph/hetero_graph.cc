@@ -1,0 +1,119 @@
+#include "graph/hetero_graph.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace transn {
+
+NodeTypeId HeteroGraphBuilder::AddNodeType(std::string name) {
+  for (const std::string& existing : node_type_names_) {
+    CHECK_NE(existing, name) << "duplicate node type";
+  }
+  node_type_names_.push_back(std::move(name));
+  return static_cast<NodeTypeId>(node_type_names_.size() - 1);
+}
+
+EdgeTypeId HeteroGraphBuilder::AddEdgeType(std::string name) {
+  for (const std::string& existing : edge_type_names_) {
+    CHECK_NE(existing, name) << "duplicate edge type";
+  }
+  edge_type_names_.push_back(std::move(name));
+  return static_cast<EdgeTypeId>(edge_type_names_.size() - 1);
+}
+
+NodeId HeteroGraphBuilder::AddNode(NodeTypeId type) {
+  return AddNode(type, std::string());
+}
+
+NodeId HeteroGraphBuilder::AddNode(NodeTypeId type, std::string name) {
+  CHECK_LT(type, node_type_names_.size()) << "unknown node type";
+  node_types_.push_back(type);
+  node_names_.push_back(std::move(name));
+  labels_.push_back(kUnlabeled);
+  return static_cast<NodeId>(node_types_.size() - 1);
+}
+
+size_t HeteroGraphBuilder::AddEdge(NodeId u, NodeId v, EdgeTypeId type,
+                                   double weight) {
+  CHECK_LT(u, node_types_.size());
+  CHECK_LT(v, node_types_.size());
+  CHECK_NE(u, v) << "self-loops are not supported";
+  CHECK_LT(type, edge_type_names_.size()) << "unknown edge type";
+  CHECK_GT(weight, 0.0) << "edge weights must be positive";
+  edges_.push_back({u, v, type, weight});
+  return edges_.size() - 1;
+}
+
+void HeteroGraphBuilder::SetLabel(NodeId node, int label) {
+  CHECK_LT(node, labels_.size());
+  CHECK_GE(label, 0);
+  labels_[node] = label;
+}
+
+HeteroGraph HeteroGraphBuilder::Build() {
+  HeteroGraph g;
+  g.node_type_names_ = std::move(node_type_names_);
+  g.edge_type_names_ = std::move(edge_type_names_);
+  g.node_types_ = std::move(node_types_);
+  g.node_names_ = std::move(node_names_);
+  g.labels_ = std::move(labels_);
+  for (int label : g.labels_) {
+    g.num_labels_ = std::max(g.num_labels_, label + 1);
+  }
+
+  const size_t n = g.node_types_.size();
+  g.offsets_.assign(n + 1, 0);
+  for (const Edge& e : edges_) {
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  for (size_t i = 0; i < n; ++i) g.offsets_[i + 1] += g.offsets_[i];
+  g.adj_.resize(2 * edges_.size());
+  std::vector<size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  g.edge_u_.reserve(edges_.size());
+  g.edge_v_.reserve(edges_.size());
+  g.edge_types_.reserve(edges_.size());
+  g.edge_weights_.reserve(edges_.size());
+  for (const Edge& e : edges_) {
+    g.adj_[cursor[e.u]++] = {e.v, e.type, e.weight};
+    g.adj_[cursor[e.v]++] = {e.u, e.type, e.weight};
+    g.edge_u_.push_back(e.u);
+    g.edge_v_.push_back(e.v);
+    g.edge_types_.push_back(e.type);
+    g.edge_weights_.push_back(e.weight);
+  }
+  // Reset builder.
+  *this = HeteroGraphBuilder();
+  return g;
+}
+
+std::string HeteroGraph::node_name(NodeId n) const {
+  CHECK_LT(n, node_names_.size());
+  if (!node_names_[n].empty()) return node_names_[n];
+  return StrFormat("n%u", n);
+}
+
+std::vector<NodeId> HeteroGraph::LabeledNodes() const {
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < labels_.size(); ++n) {
+    if (labels_[n] != kUnlabeled) out.push_back(n);
+  }
+  return out;
+}
+
+bool HeteroGraph::HasEdge(NodeId u, NodeId v) const {
+  if (degree(u) > degree(v)) std::swap(u, v);
+  for (const Adjacency* a = NeighborsBegin(u); a != NeighborsEnd(u); ++a) {
+    if (a->neighbor == v) return true;
+  }
+  return false;
+}
+
+double HeteroGraph::AverageDegree() const {
+  if (num_nodes() == 0) return 0.0;
+  return 2.0 * static_cast<double>(num_edges()) /
+         static_cast<double>(num_nodes());
+}
+
+}  // namespace transn

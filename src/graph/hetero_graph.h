@@ -1,0 +1,157 @@
+#ifndef TRANSN_GRAPH_HETERO_GRAPH_H_
+#define TRANSN_GRAPH_HETERO_GRAPH_H_
+
+#include <stdint.h>
+
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace transn {
+
+/// Global node identifier within a HeteroGraph.
+using NodeId = uint32_t;
+/// Node type identifier (e.g. author/paper/venue).
+using NodeTypeId = uint32_t;
+/// Edge type identifier (e.g. authorship/citation); one view per edge type.
+using EdgeTypeId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+inline constexpr int kUnlabeled = -1;
+
+/// One directed half of an undirected edge, as stored in the CSR adjacency.
+struct Adjacency {
+  NodeId neighbor;
+  EdgeTypeId edge_type;
+  double weight;
+};
+
+class HeteroGraph;
+
+/// Incremental construction of a HeteroGraph (Definition 1): typed nodes,
+/// typed weighted undirected edges, optional integer labels on nodes.
+class HeteroGraphBuilder {
+ public:
+  /// Registers a node type; returns its id. Names must be unique.
+  NodeTypeId AddNodeType(std::string name);
+  /// Registers an edge type; returns its id. Names must be unique.
+  EdgeTypeId AddEdgeType(std::string name);
+
+  /// Adds a node of the given type; returns its id.
+  NodeId AddNode(NodeTypeId type);
+  /// Adds a named node (names are optional and used only for I/O and
+  /// debugging).
+  NodeId AddNode(NodeTypeId type, std::string name);
+
+  /// Adds an undirected edge. Self-loops are rejected. `weight` must be
+  /// positive. Returns the edge index.
+  size_t AddEdge(NodeId u, NodeId v, EdgeTypeId type, double weight = 1.0);
+
+  /// Attaches a classification label (>= 0) to a node.
+  void SetLabel(NodeId node, int label);
+
+  size_t num_nodes() const { return node_types_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Finalizes into an immutable HeteroGraph. The builder is left empty.
+  HeteroGraph Build();
+
+ private:
+  friend class HeteroGraph;
+  struct Edge {
+    NodeId u, v;
+    EdgeTypeId type;
+    double weight;
+  };
+  std::vector<std::string> node_type_names_;
+  std::vector<std::string> edge_type_names_;
+  std::vector<NodeTypeId> node_types_;
+  std::vector<std::string> node_names_;  // empty strings when unnamed
+  std::vector<int> labels_;
+  std::vector<Edge> edges_;
+};
+
+/// Immutable heterogeneous network G = {V, E, C_V, C_E} (Definition 1) with
+/// CSR adjacency. Undirected: each edge appears in both endpoints' rows.
+class HeteroGraph {
+ public:
+  HeteroGraph() = default;
+
+  size_t num_nodes() const { return node_types_.size(); }
+  /// Number of undirected edges.
+  size_t num_edges() const { return edge_u_.size(); }
+  size_t num_node_types() const { return node_type_names_.size(); }
+  size_t num_edge_types() const { return edge_type_names_.size(); }
+
+  NodeTypeId node_type(NodeId n) const {
+    DCHECK_LT(n, node_types_.size());
+    return node_types_[n];
+  }
+  const std::string& node_type_name(NodeTypeId t) const {
+    CHECK_LT(t, node_type_names_.size());
+    return node_type_names_[t];
+  }
+  const std::string& edge_type_name(EdgeTypeId t) const {
+    CHECK_LT(t, edge_type_names_.size());
+    return edge_type_names_[t];
+  }
+  /// Node name if one was provided at construction, otherwise "n<id>".
+  std::string node_name(NodeId n) const;
+
+  /// Label of a node, or kUnlabeled.
+  int label(NodeId n) const {
+    DCHECK_LT(n, labels_.size());
+    return labels_[n];
+  }
+  /// All nodes with a label >= 0.
+  std::vector<NodeId> LabeledNodes() const;
+  /// Number of distinct labels (max label + 1; 0 when unlabeled).
+  int num_labels() const { return num_labels_; }
+
+  /// Neighbors of `n` across all edge types.
+  const Adjacency* NeighborsBegin(NodeId n) const {
+    DCHECK_LT(n, node_types_.size());
+    return adj_.data() + offsets_[n];
+  }
+  const Adjacency* NeighborsEnd(NodeId n) const {
+    DCHECK_LT(n, node_types_.size());
+    return adj_.data() + offsets_[n + 1];
+  }
+  size_t degree(NodeId n) const { return offsets_[n + 1] - offsets_[n]; }
+
+  /// Edge list access (undirected, one entry per edge).
+  NodeId edge_u(size_t e) const { return edge_u_[e]; }
+  NodeId edge_v(size_t e) const { return edge_v_[e]; }
+  EdgeTypeId edge_type(size_t e) const { return edge_types_[e]; }
+  double edge_weight(size_t e) const { return edge_weights_[e]; }
+
+  /// True when u and v are adjacent (any edge type). O(min deg) scan.
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// Average degree (2|E| / |V|); δ in the paper's Theorem 1.
+  double AverageDegree() const;
+
+ private:
+  friend class HeteroGraphBuilder;
+
+  std::vector<std::string> node_type_names_;
+  std::vector<std::string> edge_type_names_;
+  std::vector<NodeTypeId> node_types_;
+  std::vector<std::string> node_names_;
+  std::vector<int> labels_;
+  int num_labels_ = 0;
+
+  // CSR adjacency over all edge types.
+  std::vector<size_t> offsets_;  // num_nodes + 1
+  std::vector<Adjacency> adj_;   // 2 * num_edges
+
+  // Flat undirected edge list.
+  std::vector<NodeId> edge_u_, edge_v_;
+  std::vector<EdgeTypeId> edge_types_;
+  std::vector<double> edge_weights_;
+};
+
+}  // namespace transn
+
+#endif  // TRANSN_GRAPH_HETERO_GRAPH_H_

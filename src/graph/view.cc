@@ -1,0 +1,120 @@
+#include "graph/view.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace transn {
+
+ViewGraph ViewGraph::FromEdges(
+    const std::vector<std::tuple<NodeId, NodeId, double>>& edges) {
+  ViewGraph vg;
+  auto intern = [&vg](NodeId global) -> LocalId {
+    auto [it, inserted] = vg.global_to_local_.try_emplace(
+        global, static_cast<LocalId>(vg.local_to_global_.size()));
+    if (inserted) vg.local_to_global_.push_back(global);
+    return it->second;
+  };
+
+  std::vector<std::tuple<LocalId, LocalId, double>> local_edges;
+  local_edges.reserve(edges.size());
+  for (const auto& [u, v, w] : edges) {
+    CHECK_GT(w, 0.0);
+    local_edges.emplace_back(intern(u), intern(v), w);
+  }
+  vg.num_edges_ = local_edges.size();
+
+  const size_t n = vg.local_to_global_.size();
+  vg.offsets_.assign(n + 1, 0);
+  for (const auto& [u, v, w] : local_edges) {
+    ++vg.offsets_[u + 1];
+    ++vg.offsets_[v + 1];
+  }
+  for (size_t i = 0; i < n; ++i) vg.offsets_[i + 1] += vg.offsets_[i];
+  vg.neighbor_ids_.resize(2 * local_edges.size());
+  vg.neighbor_weights_.resize(2 * local_edges.size());
+  std::vector<size_t> cursor(vg.offsets_.begin(), vg.offsets_.end() - 1);
+  for (const auto& [u, v, w] : local_edges) {
+    vg.neighbor_ids_[cursor[u]] = v;
+    vg.neighbor_weights_[cursor[u]++] = w;
+    vg.neighbor_ids_[cursor[v]] = u;
+    vg.neighbor_weights_[cursor[v]++] = w;
+  }
+  vg.weighted_degree_.assign(n, 0.0);
+  for (LocalId u = 0; u < n; ++u) {
+    const double* w = vg.NeighborWeights(u);
+    for (size_t k = 0; k < vg.degree(u); ++k) vg.weighted_degree_[u] += w[k];
+  }
+  return vg;
+}
+
+bool ViewGraph::AreAdjacent(LocalId u, LocalId v) const {
+  if (degree(u) > degree(v)) std::swap(u, v);
+  const LocalId* nbrs = NeighborIds(u);
+  for (size_t k = 0; k < degree(u); ++k) {
+    if (nbrs[k] == v) return true;
+  }
+  return false;
+}
+
+double ViewGraph::WeightSpread(LocalId n) const {
+  const size_t deg = degree(n);
+  if (deg == 0) return 0.0;
+  const double* w = NeighborWeights(n);
+  double lo = w[0], hi = w[0];
+  for (size_t k = 1; k < deg; ++k) {
+    lo = std::min(lo, w[k]);
+    hi = std::max(hi, w[k]);
+  }
+  return hi - lo;
+}
+
+ViewGraph FlattenToViewGraph(const HeteroGraph& g) {
+  std::vector<std::tuple<NodeId, NodeId, double>> edges;
+  edges.reserve(g.num_edges());
+  for (size_t e = 0; e < g.num_edges(); ++e) {
+    edges.emplace_back(g.edge_u(e), g.edge_v(e), g.edge_weight(e));
+  }
+  return ViewGraph::FromEdges(edges);
+}
+
+std::vector<View> BuildViews(const HeteroGraph& g) {
+  // Bucket the global edge list by edge type.
+  std::vector<std::vector<std::tuple<NodeId, NodeId, double>>> buckets(
+      g.num_edge_types());
+  for (size_t e = 0; e < g.num_edges(); ++e) {
+    buckets[g.edge_type(e)].emplace_back(g.edge_u(e), g.edge_v(e),
+                                         g.edge_weight(e));
+  }
+
+  std::vector<View> views(g.num_edge_types());
+  for (EdgeTypeId t = 0; t < g.num_edge_types(); ++t) {
+    View& view = views[t];
+    view.edge_type = t;
+    view.graph = ViewGraph::FromEdges(buckets[t]);
+    if (view.graph.num_nodes() == 0) continue;
+
+    // Classify per Definition 4: a view has one node type (homo) or exactly
+    // two node types with all edges crossing between them (heter).
+    view.type_a = g.node_type(view.graph.ToGlobal(0));
+    view.type_b = view.type_a;
+    for (NodeId global : view.graph.nodes()) {
+      NodeTypeId nt = g.node_type(global);
+      if (nt == view.type_a || nt == view.type_b) continue;
+      CHECK_EQ(view.type_a, view.type_b)
+          << "edge type '" << g.edge_type_name(t)
+          << "' spans more than two node types, violating Definition 4";
+      view.type_b = nt;
+    }
+    view.is_heter = view.type_a != view.type_b;
+    if (view.is_heter) {
+      // In a heter-view every edge must join the two types (bipartite).
+      for (const auto& [u, v, w] : buckets[t]) {
+        CHECK_NE(g.node_type(u), g.node_type(v))
+            << "heter-view edge joins two nodes of the same type";
+      }
+    }
+  }
+  return views;
+}
+
+}  // namespace transn

@@ -1,0 +1,102 @@
+#ifndef TRANSN_GRAPH_VIEW_H_
+#define TRANSN_GRAPH_VIEW_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+
+namespace transn {
+
+/// A weighted undirected graph over a *subset* of a HeteroGraph's nodes,
+/// re-indexed with dense local ids. Both views (Definition 2) and paired
+/// subviews (Definition 5) are ViewGraphs; random walks run on this type.
+class ViewGraph {
+ public:
+  /// Local node index within a ViewGraph.
+  using LocalId = uint32_t;
+
+  ViewGraph() = default;
+
+  /// Builds from undirected (global_u, global_v, weight) edges. The node set
+  /// is exactly the set of endpoints, locally indexed in order of first
+  /// appearance. Parallel edges are kept as-is.
+  static ViewGraph FromEdges(
+      const std::vector<std::tuple<NodeId, NodeId, double>>& edges);
+
+  size_t num_nodes() const { return local_to_global_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  NodeId ToGlobal(LocalId local) const {
+    DCHECK_LT(local, local_to_global_.size());
+    return local_to_global_[local];
+  }
+  /// kInvalidNode when the global node is not in this view.
+  LocalId ToLocal(NodeId global) const {
+    auto it = global_to_local_.find(global);
+    return it == global_to_local_.end() ? kInvalidNode : it->second;
+  }
+  bool Contains(NodeId global) const {
+    return global_to_local_.count(global) > 0;
+  }
+  const std::vector<NodeId>& nodes() const { return local_to_global_; }
+
+  size_t degree(LocalId n) const {
+    DCHECK_LT(n + 1, offsets_.size() + 0);
+    return offsets_[n + 1] - offsets_[n];
+  }
+  double weighted_degree(LocalId n) const { return weighted_degree_[n]; }
+
+  /// Neighbor arrays of `n`: parallel arrays of local ids and weights.
+  const LocalId* NeighborIds(LocalId n) const {
+    return neighbor_ids_.data() + offsets_[n];
+  }
+  const double* NeighborWeights(LocalId n) const {
+    return neighbor_weights_.data() + offsets_[n];
+  }
+
+  /// Max minus min weight over edges incident to `n` (Δ in Eq. 5). 0 for
+  /// isolated nodes or uniform weights.
+  double WeightSpread(LocalId n) const;
+
+  /// True when u and v share an edge. O(min degree) scan; used by the
+  /// node2vec walker's return/in-out classification.
+  bool AreAdjacent(LocalId u, LocalId v) const;
+
+ private:
+  std::vector<NodeId> local_to_global_;
+  std::unordered_map<NodeId, LocalId> global_to_local_;
+  std::vector<size_t> offsets_;
+  std::vector<LocalId> neighbor_ids_;
+  std::vector<double> neighbor_weights_;
+  std::vector<double> weighted_degree_;
+  size_t num_edges_ = 0;
+};
+
+/// One view φ_i of a heterogeneous network (Definition 2): all edges of a
+/// single type plus their endpoints. Per Definition 4, a view is either a
+/// homo-view (one node type) or a heter-view (exactly two node types).
+struct View {
+  EdgeTypeId edge_type = 0;
+  /// The one or two node types appearing in this view. type_a == type_b for
+  /// homo-views.
+  NodeTypeId type_a = 0;
+  NodeTypeId type_b = 0;
+  bool is_heter = false;
+  ViewGraph graph;
+};
+
+/// Separates `g` into one view per edge type (Fig. 2(c) strategy). Views for
+/// edge types with no edges are returned with empty graphs. Verifies the
+/// homo/heter dichotomy of Definition 4 (CHECK-fails on a view whose edges
+/// span more than two node types).
+std::vector<View> BuildViews(const HeteroGraph& g);
+
+/// Collapses the whole heterogeneous network into a single untyped
+/// ViewGraph (all edges, weights kept). This is what the homogeneous
+/// baselines LINE and Node2Vec see (§IV-A2: types removed).
+ViewGraph FlattenToViewGraph(const HeteroGraph& g);
+
+}  // namespace transn
+
+#endif  // TRANSN_GRAPH_VIEW_H_

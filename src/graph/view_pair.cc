@@ -1,0 +1,70 @@
+#include "graph/view_pair.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace transn {
+
+std::vector<ViewPair> FindViewPairs(const std::vector<View>& views) {
+  std::vector<ViewPair> pairs;
+  for (size_t i = 0; i < views.size(); ++i) {
+    for (size_t j = i + 1; j < views.size(); ++j) {
+      const ViewGraph& a = views[i].graph;
+      const ViewGraph& b = views[j].graph;
+      // Scan the smaller node set against the larger's hash map.
+      const ViewGraph& small = a.num_nodes() <= b.num_nodes() ? a : b;
+      const ViewGraph& large = a.num_nodes() <= b.num_nodes() ? b : a;
+      std::vector<NodeId> common;
+      for (NodeId global : small.nodes()) {
+        if (large.Contains(global)) common.push_back(global);
+      }
+      if (common.empty()) continue;
+      std::sort(common.begin(), common.end());
+      pairs.push_back({i, j, std::move(common)});
+    }
+  }
+  return pairs;
+}
+
+PairedSubview BuildPairedSubview(const View& view,
+                                 const std::vector<NodeId>& common_nodes) {
+  const ViewGraph& g = view.graph;
+  std::unordered_set<NodeId> keep(common_nodes.begin(), common_nodes.end());
+
+  // Add neighbors (in this view) of every common node: A_ij.
+  std::unordered_set<NodeId> common_set = keep;
+  for (NodeId global : common_nodes) {
+    ViewGraph::LocalId local = g.ToLocal(global);
+    if (local == kInvalidNode) continue;  // common node absent from this view
+    const ViewGraph::LocalId* nbrs = g.NeighborIds(local);
+    for (size_t k = 0; k < g.degree(local); ++k) {
+      keep.insert(g.ToGlobal(nbrs[k]));
+    }
+  }
+
+  // Collect the induced edges (each undirected edge once: u < v in local id).
+  std::vector<std::tuple<NodeId, NodeId, double>> edges;
+  for (ViewGraph::LocalId u = 0; u < g.num_nodes(); ++u) {
+    NodeId gu = g.ToGlobal(u);
+    if (keep.count(gu) == 0) continue;
+    const ViewGraph::LocalId* nbrs = g.NeighborIds(u);
+    const double* weights = g.NeighborWeights(u);
+    for (size_t k = 0; k < g.degree(u); ++k) {
+      ViewGraph::LocalId v = nbrs[k];
+      if (v <= u) continue;
+      NodeId gv = g.ToGlobal(v);
+      if (keep.count(gv) == 0) continue;
+      edges.emplace_back(gu, gv, weights[k]);
+    }
+  }
+
+  PairedSubview sub;
+  sub.graph = ViewGraph::FromEdges(edges);
+  sub.is_common.assign(sub.graph.num_nodes(), false);
+  for (ViewGraph::LocalId local = 0; local < sub.graph.num_nodes(); ++local) {
+    sub.is_common[local] = common_set.count(sub.graph.ToGlobal(local)) > 0;
+  }
+  return sub;
+}
+
+}  // namespace transn

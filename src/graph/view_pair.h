@@ -1,0 +1,46 @@
+#ifndef TRANSN_GRAPH_VIEW_PAIR_H_
+#define TRANSN_GRAPH_VIEW_PAIR_H_
+
+#include <vector>
+
+#include "graph/view.h"
+
+namespace transn {
+
+/// A view-pair η_{i,j} (Definition 3): two views sharing at least one node.
+struct ViewPair {
+  size_t view_i = 0;
+  size_t view_j = 0;
+  /// Global ids of nodes present in both views, sorted ascending.
+  std::vector<NodeId> common_nodes;
+};
+
+/// Enumerates all view-pairs of `views` (i < j with a non-empty node
+/// intersection).
+std::vector<ViewPair> FindViewPairs(const std::vector<View>& views);
+
+/// A paired subview φ'_i (Definition 5): the subgraph of a view induced by
+/// the common nodes of a view-pair together with their neighbors in that
+/// view. (The definition's "M ∩ A" is read as the union M ∪ A per the
+/// surrounding prose; see DESIGN.md §2.4.)
+struct PairedSubview {
+  ViewGraph graph;
+  /// is_common[local] == true iff the node is shared by both views of the
+  /// pair; the cross-view algorithm keeps only these nodes on its paths.
+  std::vector<bool> is_common;
+
+  size_t num_common() const {
+    size_t n = 0;
+    for (bool b : is_common) n += b;
+    return n;
+  }
+};
+
+/// Builds φ'_view for one side of a view-pair from that side's view and the
+/// pair's common node set (must be sorted).
+PairedSubview BuildPairedSubview(const View& view,
+                                 const std::vector<NodeId>& common_nodes);
+
+}  // namespace transn
+
+#endif  // TRANSN_GRAPH_VIEW_PAIR_H_

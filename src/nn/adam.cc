@@ -1,0 +1,47 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace transn {
+
+void AdamOptimizer::Register(Parameter* param) {
+  CHECK(param != nullptr);
+  param->adam_m.Resize(param->value.rows(), param->value.cols(), 0.0);
+  param->adam_v.Resize(param->value.rows(), param->value.cols(), 0.0);
+  params_.push_back(param);
+}
+
+void AdamOptimizer::Step() {
+  ++t_;
+  for (Parameter* p : params_) {
+    for (size_t r = 0; r < p->value.rows(); ++r) {
+      AdamUpdateRow(config_, t_, p->grad.Row(r), p->value.Row(r),
+                    p->adam_m.Row(r), p->adam_v.Row(r), p->value.cols());
+    }
+    p->grad.Fill(0.0);
+  }
+}
+
+void AdamOptimizer::ZeroGrad() {
+  for (Parameter* p : params_) p->grad.Fill(0.0);
+}
+
+void AdamUpdateRow(const AdamConfig& config, int64_t t, const double* grad,
+                   double* row, double* m, double* v, size_t d) {
+  DCHECK(t >= 1);
+  const double b1 = config.beta1;
+  const double b2 = config.beta2;
+  const double bias1 = 1.0 - std::pow(b1, static_cast<double>(t));
+  const double bias2 = 1.0 - std::pow(b2, static_cast<double>(t));
+  for (size_t i = 0; i < d; ++i) {
+    m[i] = b1 * m[i] + (1.0 - b1) * grad[i];
+    v[i] = b2 * v[i] + (1.0 - b2) * grad[i] * grad[i];
+    const double m_hat = m[i] / bias1;
+    const double v_hat = v[i] / bias2;
+    row[i] -= config.learning_rate * m_hat / (std::sqrt(v_hat) + config.epsilon);
+  }
+}
+
+}  // namespace transn

@@ -1,0 +1,53 @@
+#ifndef TRANSN_NN_ADAM_H_
+#define TRANSN_NN_ADAM_H_
+
+#include <vector>
+
+#include "nn/autograd.h"
+
+namespace transn {
+
+/// Hyper-parameters for Adam (Kingma & Ba, 2014). The paper trains TransN
+/// with Adam at initial learning rate 0.025 (§IV-A3).
+struct AdamConfig {
+  double learning_rate = 0.025;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+};
+
+/// Dense Adam over a set of registered Parameters. Each Step() applies the
+/// accumulated gradients and zeroes them.
+class AdamOptimizer {
+ public:
+  explicit AdamOptimizer(AdamConfig config = {}) : config_(config) {}
+
+  /// Registers a parameter. The parameter must outlive the optimizer.
+  void Register(Parameter* param);
+
+  /// Applies one Adam update to every registered parameter from its
+  /// accumulated .grad, then zeroes the gradients.
+  void Step();
+
+  /// Zeroes gradients without updating (e.g. after a diverged batch).
+  void ZeroGrad();
+
+  int64_t step_count() const { return t_; }
+  const AdamConfig& config() const { return config_; }
+  void set_learning_rate(double lr) { config_.learning_rate = lr; }
+
+ private:
+  AdamConfig config_;
+  std::vector<Parameter*> params_;
+  int64_t t_ = 0;
+};
+
+/// One Adam update of `row` (length d) given gradient `grad`, per-row moment
+/// buffers m/v, and the global step count t (>= 1). Shared by the sparse
+/// per-row Adam in EmbeddingTable and tested against AdamOptimizer.
+void AdamUpdateRow(const AdamConfig& config, int64_t t, const double* grad,
+                   double* row, double* m, double* v, size_t d);
+
+}  // namespace transn
+
+#endif  // TRANSN_NN_ADAM_H_

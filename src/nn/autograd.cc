@@ -1,0 +1,103 @@
+#include "nn/autograd.h"
+
+namespace transn {
+
+const Matrix& Var::value() const {
+  CHECK(tape_ != nullptr) << "Var::value on default-constructed Var";
+  return tape_->ValueOf(*this);
+}
+
+const Matrix& Var::grad() const {
+  CHECK(tape_ != nullptr) << "Var::grad on default-constructed Var";
+  return tape_->GradOf(*this);
+}
+
+Tape::Node& Tape::node(const Var& v) {
+  CHECK_EQ(v.tape_, this);
+  CHECK_LT(v.id_, nodes_.size());
+  return *nodes_[v.id_];
+}
+
+const Tape::Node& Tape::node(const Var& v) const {
+  CHECK_EQ(v.tape_, this);
+  CHECK_LT(v.id_, nodes_.size());
+  return *nodes_[v.id_];
+}
+
+Var Tape::Input(Matrix value, bool requires_grad) {
+  auto n = std::make_unique<Node>();
+  n->requires_grad = requires_grad;
+  if (requires_grad) n->grad.Resize(value.rows(), value.cols(), 0.0);
+  n->value = std::move(value);
+  nodes_.push_back(std::move(n));
+  return Var(this, nodes_.size() - 1);
+}
+
+Var Tape::Leaf(Parameter* param) {
+  CHECK(param != nullptr);
+  auto n = std::make_unique<Node>();
+  n->value = param->value;
+  n->requires_grad = true;
+  n->grad.Resize(param->value.rows(), param->value.cols(), 0.0);
+  n->param = param;
+  nodes_.push_back(std::move(n));
+  return Var(this, nodes_.size() - 1);
+}
+
+Var Tape::Emit(Matrix value, const std::vector<Var>& parents,
+               BackwardFn backward) {
+  auto n = std::make_unique<Node>();
+  for (const Var& p : parents) {
+    if (RequiresGrad(p)) {
+      n->requires_grad = true;
+      break;
+    }
+  }
+  if (n->requires_grad) {
+    n->backward = std::move(backward);
+    n->grad.Resize(value.rows(), value.cols(), 0.0);
+  }
+  n->value = std::move(value);
+  nodes_.push_back(std::move(n));
+  return Var(this, nodes_.size() - 1);
+}
+
+const Matrix& Tape::ValueOf(const Var& v) const { return node(v).value; }
+
+const Matrix& Tape::GradOf(const Var& v) const {
+  const Node& n = node(v);
+  CHECK(n.requires_grad) << "GradOf on a node that does not require grad";
+  return n.grad;
+}
+
+bool Tape::RequiresGrad(const Var& v) const { return node(v).requires_grad; }
+
+void Tape::AccumulateGrad(const Var& v, const Matrix& delta) {
+  Node& n = node(v);
+  if (!n.requires_grad) return;
+  CHECK(delta.rows() == n.value.rows() && delta.cols() == n.value.cols())
+      << "gradient shape mismatch: value " << n.value.rows() << "x"
+      << n.value.cols() << " vs grad " << delta.rows() << "x" << delta.cols();
+  n.grad += delta;
+}
+
+void Tape::Backward(const Var& loss) {
+  CHECK(!backward_done_) << "Backward may be called once per Tape";
+  backward_done_ = true;
+  Node& loss_node = node(loss);
+  CHECK(loss_node.value.rows() == 1 && loss_node.value.cols() == 1)
+      << "Backward target must be a 1x1 scalar";
+  CHECK(loss_node.requires_grad)
+      << "Backward target does not depend on any grad-requiring leaf";
+  loss_node.grad(0, 0) = 1.0;
+
+  CHECK_EQ(loss.tape_, this);
+  for (size_t i = loss.id_ + 1; i-- > 0;) {
+    Node& n = *nodes_[i];
+    if (!n.requires_grad) continue;
+    if (n.backward) n.backward(*this, n.grad);
+    if (n.param != nullptr) n.param->grad += n.grad;
+  }
+}
+
+}  // namespace transn

@@ -1,0 +1,123 @@
+#ifndef TRANSN_NN_AUTOGRAD_H_
+#define TRANSN_NN_AUTOGRAD_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace transn {
+
+class Tape;
+
+/// Trainable dense parameter: value + accumulated gradient + Adam state.
+/// Owned by a model (e.g. a Translator); bound onto a fresh Tape each step
+/// via Tape::Leaf().
+struct Parameter {
+  Matrix value;
+  Matrix grad;
+
+  // Adam moment estimates, managed by AdamOptimizer.
+  Matrix adam_m;
+  Matrix adam_v;
+
+  explicit Parameter(Matrix v) : value(std::move(v)) { ZeroGrad(); }
+
+  void ZeroGrad() { grad.Resize(value.rows(), value.cols(), 0.0); }
+};
+
+/// Lightweight handle to a node on a Tape. Copyable; valid until the Tape is
+/// destroyed or cleared.
+class Var {
+ public:
+  Var() = default;
+
+  const Matrix& value() const;
+  /// Gradient of the most recent Tape::Backward() target w.r.t. this node.
+  /// Zero matrix if the node did not participate.
+  const Matrix& grad() const;
+
+  size_t rows() const { return value().rows(); }
+  size_t cols() const { return value().cols(); }
+  bool valid() const { return tape_ != nullptr; }
+  Tape* tape() const { return tape_; }
+
+ private:
+  friend class Tape;
+  Var(Tape* tape, size_t id) : tape_(tape), id_(id) {}
+
+  Tape* tape_ = nullptr;
+  size_t id_ = 0;
+};
+
+/// Reverse-mode automatic differentiation over Matrix-valued nodes.
+///
+/// Usage per training step:
+///   Tape tape;
+///   Var w = tape.Leaf(&weight_param);
+///   Var x = tape.Input(batch, /*requires_grad=*/true);
+///   Var loss = Mean(Relu(MatMul(w, x)));       // ops from nn/ops.h
+///   tape.Backward(loss);                        // fills x.grad(), weight_param.grad
+///
+/// The tape records one node per op invocation; Backward walks the tape in
+/// reverse creation order (a valid topological order by construction).
+class Tape {
+ public:
+  Tape() = default;
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  /// A leaf holding a constant or trainable input matrix. When
+  /// requires_grad, its gradient is available via Var::grad() after
+  /// Backward().
+  Var Input(Matrix value, bool requires_grad = false);
+
+  /// A leaf bound to a persistent Parameter; Backward() accumulates into
+  /// param->grad (the parameter's current value is copied onto the tape).
+  Var Leaf(Parameter* param);
+
+  /// Runs backpropagation from `loss`, which must be 1x1. May be called at
+  /// most once per tape.
+  void Backward(const Var& loss);
+
+  /// Number of recorded nodes (tests/diagnostics).
+  size_t num_nodes() const { return nodes_.size(); }
+
+  // --- Implementation interface used by ops (nn/ops.h). ---
+
+  /// Backward function: given the node's output gradient, accumulate into
+  /// parent gradients via AccumulateGrad.
+  using BackwardFn = std::function<void(Tape&, const Matrix& out_grad)>;
+
+  /// Records an op node. `parents` are consumed for requires-grad
+  /// propagation only; the BackwardFn captures whatever it needs.
+  Var Emit(Matrix value, const std::vector<Var>& parents, BackwardFn backward);
+
+  const Matrix& ValueOf(const Var& v) const;
+  const Matrix& GradOf(const Var& v) const;
+  bool RequiresGrad(const Var& v) const;
+
+  /// Adds `delta` into the gradient buffer of `v` (allocating on first use).
+  /// No-op when `v` does not require grad.
+  void AccumulateGrad(const Var& v, const Matrix& delta);
+
+ private:
+  struct Node {
+    Matrix value;
+    Matrix grad;  // empty until touched
+    bool requires_grad = false;
+    BackwardFn backward;     // null for leaves
+    Parameter* param = nullptr;
+  };
+
+  Node& node(const Var& v);
+  const Node& node(const Var& v) const;
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+  bool backward_done_ = false;
+};
+
+}  // namespace transn
+
+#endif  // TRANSN_NN_AUTOGRAD_H_

@@ -1,0 +1,38 @@
+#include "nn/grad_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace transn {
+
+Matrix NumericGradient(const std::function<double(const Matrix&)>& fn,
+                       const Matrix& x, double eps) {
+  Matrix grad(x.rows(), x.cols());
+  Matrix probe = x;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double orig = probe.data()[i];
+    probe.data()[i] = orig + eps;
+    const double up = fn(probe);
+    probe.data()[i] = orig - eps;
+    const double down = fn(probe);
+    probe.data()[i] = orig;
+    grad.data()[i] = (up - down) / (2.0 * eps);
+  }
+  return grad;
+}
+
+double MaxRelativeError(const Matrix& a, const Matrix& b, double floor) {
+  CHECK(a.SameShape(b));
+  double worst = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double av = a.data()[i];
+    const double bv = b.data()[i];
+    const double denom = std::max({std::fabs(av), std::fabs(bv), floor});
+    worst = std::max(worst, std::fabs(av - bv) / denom);
+  }
+  return worst;
+}
+
+}  // namespace transn

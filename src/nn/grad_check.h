@@ -1,0 +1,22 @@
+#ifndef TRANSN_NN_GRAD_CHECK_H_
+#define TRANSN_NN_GRAD_CHECK_H_
+
+#include <functional>
+
+#include "nn/matrix.h"
+
+namespace transn {
+
+/// Central-difference numerical gradient of a scalar-valued function at `x`.
+/// Used by the autograd test-suite to validate every op's backward pass.
+Matrix NumericGradient(const std::function<double(const Matrix&)>& fn,
+                       const Matrix& x, double eps = 1e-6);
+
+/// max_ij |a_ij - b_ij| / max(|a_ij|, |b_ij|, floor); the standard
+/// relative-error criterion for gradient checking.
+double MaxRelativeError(const Matrix& a, const Matrix& b,
+                        double floor = 1e-4);
+
+}  // namespace transn
+
+#endif  // TRANSN_NN_GRAD_CHECK_H_

@@ -1,0 +1,24 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace transn {
+
+Matrix XavierUniform(size_t rows, size_t cols, Rng& rng) {
+  const double bound = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  return UniformInit(rows, cols, -bound, bound, rng);
+}
+
+Matrix UniformInit(size_t rows, size_t cols, double lo, double hi, Rng& rng) {
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.NextDouble(lo, hi);
+  return m;
+}
+
+Matrix GaussianInit(size_t rows, size_t cols, double stddev, Rng& rng) {
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) m.data()[i] = stddev * rng.NextGaussian();
+  return m;
+}
+
+}  // namespace transn

@@ -1,0 +1,21 @@
+#ifndef TRANSN_NN_INIT_H_
+#define TRANSN_NN_INIT_H_
+
+#include "nn/matrix.h"
+#include "util/rng.h"
+
+namespace transn {
+
+/// Xavier/Glorot uniform: U(-sqrt(6/(fan_in+fan_out)), +sqrt(...)).
+Matrix XavierUniform(size_t rows, size_t cols, Rng& rng);
+
+/// Uniform in [lo, hi); word2vec-style embedding init uses
+/// [-0.5/d, 0.5/d).
+Matrix UniformInit(size_t rows, size_t cols, double lo, double hi, Rng& rng);
+
+/// I.i.d. N(0, stddev^2).
+Matrix GaussianInit(size_t rows, size_t cols, double stddev, Rng& rng);
+
+}  // namespace transn
+
+#endif  // TRANSN_NN_INIT_H_

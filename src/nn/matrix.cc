@@ -1,0 +1,225 @@
+#include "nn/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+namespace transn {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  CHECK(!rows.empty());
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    CHECK_EQ(rows[r].size(), m.cols());
+    for (size_t c = 0; c < m.cols(); ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double Matrix::MaxAbs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+std::string Matrix::DebugString(int precision) const {
+  std::ostringstream os;
+  os.precision(precision);
+  os << rows_ << "x" << cols_ << " [";
+  for (size_t r = 0; r < rows_; ++r) {
+    os << (r == 0 ? "[" : " [");
+    for (size_t c = 0; c < cols_; ++c) {
+      if (c > 0) os << ", ";
+      os << (*this)(r, c);
+    }
+    os << "]";
+    if (r + 1 < rows_) os << "\n";
+  }
+  os << "]";
+  return os.str();
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  CHECK_EQ(a.cols(), b.rows());
+  Matrix out(a.rows(), b.cols(), 0.0);
+  // i-k-j loop order: streams through b and out rows.
+  for (size_t i = 0; i < a.rows(); ++i) {
+    double* out_row = out.Row(i);
+    const double* a_row = a.Row(i);
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a_row[k];
+      if (aik == 0.0) continue;
+      const double* b_row = b.Row(k);
+      for (size_t j = 0; j < b.cols(); ++j) out_row[j] += aik * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulNT(const Matrix& a, const Matrix& b) {
+  CHECK_EQ(a.cols(), b.cols());
+  Matrix out(a.rows(), b.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* a_row = a.Row(i);
+    for (size_t j = 0; j < b.rows(); ++j) {
+      out(i, j) = Dot(a_row, b.Row(j), a.cols());
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTN(const Matrix& a, const Matrix& b) {
+  CHECK_EQ(a.rows(), b.rows());
+  Matrix out(a.cols(), b.cols(), 0.0);
+  for (size_t k = 0; k < a.rows(); ++k) {
+    const double* a_row = a.Row(k);
+    const double* b_row = b.Row(k);
+    for (size_t i = 0; i < a.cols(); ++i) {
+      const double aki = a_row[i];
+      if (aki == 0.0) continue;
+      double* out_row = out.Row(i);
+      for (size_t j = 0; j < b.cols(); ++j) out_row[j] += aki * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix out(a.cols(), a.rows());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) out(c, r) = a(r, c);
+  }
+  return out;
+}
+
+Matrix RowSoftmax(const Matrix& a) {
+  Matrix out(a.rows(), a.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const double* in = a.Row(r);
+    double* o = out.Row(r);
+    double mx = in[0];
+    for (size_t c = 1; c < a.cols(); ++c) mx = std::max(mx, in[c]);
+    double denom = 0.0;
+    for (size_t c = 0; c < a.cols(); ++c) {
+      o[c] = std::exp(in[c] - mx);
+      denom += o[c];
+    }
+    for (size_t c = 0; c < a.cols(); ++c) o[c] /= denom;
+  }
+  return out;
+}
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  Matrix out = a;
+  out += b;
+  return out;
+}
+
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  Matrix out = a;
+  out -= b;
+  return out;
+}
+
+Matrix Hadamard(const Matrix& a, const Matrix& b) {
+  CHECK(a.SameShape(b));
+  Matrix out(a.rows(), a.cols());
+  for (size_t i = 0; i < a.size(); ++i) out.data()[i] = a.data()[i] * b.data()[i];
+  return out;
+}
+
+Matrix Scale(const Matrix& a, double s) {
+  Matrix out = a;
+  out *= s;
+  return out;
+}
+
+double SumAll(const Matrix& a) {
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a.data()[i];
+  return acc;
+}
+
+double Dot(const double* a, const double* b, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+SparseMat::SparseMat(
+    size_t rows, size_t cols,
+    const std::vector<std::tuple<size_t, size_t, double>>& triplets)
+    : rows_(rows), cols_(cols) {
+  // Sum duplicates via an ordered map keyed by (row, col).
+  std::map<std::pair<size_t, size_t>, double> entries;
+  for (const auto& [r, c, v] : triplets) {
+    CHECK_LT(r, rows_);
+    CHECK_LT(c, cols_);
+    entries[{r, c}] += v;
+  }
+  row_ptr_.assign(rows_ + 1, 0);
+  col_idx_.reserve(entries.size());
+  values_.reserve(entries.size());
+  for (const auto& [rc, v] : entries) {
+    ++row_ptr_[rc.first + 1];
+    col_idx_.push_back(rc.second);
+    values_.push_back(v);
+  }
+  for (size_t r = 0; r < rows_; ++r) row_ptr_[r + 1] += row_ptr_[r];
+}
+
+Matrix SparseMat::Multiply(const Matrix& x) const {
+  CHECK_EQ(cols_, x.rows());
+  Matrix out(rows_, x.cols(), 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double* out_row = out.Row(r);
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const double v = values_[k];
+      const double* x_row = x.Row(col_idx_[k]);
+      for (size_t c = 0; c < x.cols(); ++c) out_row[c] += v * x_row[c];
+    }
+  }
+  return out;
+}
+
+SparseMat SparseMat::Transposed() const {
+  std::vector<std::tuple<size_t, size_t, double>> triplets;
+  triplets.reserve(nnz());
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      triplets.emplace_back(col_idx_[k], r, values_[k]);
+    }
+  }
+  return SparseMat(cols_, rows_, triplets);
+}
+
+void SparseMat::ScaleValues(double s) {
+  for (double& v : values_) v *= s;
+}
+
+}  // namespace transn

@@ -1,0 +1,136 @@
+#ifndef TRANSN_NN_MATRIX_H_
+#define TRANSN_NN_MATRIX_H_
+
+#include <stddef.h>
+
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace transn {
+
+/// Dense row-major matrix of doubles. This is the single numeric container
+/// used by the hand-rolled autograd, the embedding tables, the classifiers,
+/// and t-SNE. Double precision keeps the numerical gradient checks tight.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from nested initializer data; every row must have equal length.
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t r, size_t c) {
+    DCHECK_LT(r, rows_);
+    DCHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    DCHECK_LT(r, rows_);
+    DCHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+
+  double* Row(size_t r) {
+    DCHECK_LT(r, rows_);
+    return data_.data() + r * cols_;
+  }
+  const double* Row(size_t r) const {
+    DCHECK_LT(r, rows_);
+    return data_.data() + r * cols_;
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  void Fill(double v) { data_.assign(data_.size(), v); }
+  void Resize(size_t rows, size_t cols, double fill = 0.0) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill);
+  }
+
+  /// In-place elementwise operations.
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double s);
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// Frobenius norm and max |entry|; used by tests and convergence checks.
+  double FrobeniusNorm() const;
+  double MaxAbs() const;
+
+  std::string DebugString(int precision = 3) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// out = a · b.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+/// out = a · bᵀ (avoids materializing the transpose).
+Matrix MatMulNT(const Matrix& a, const Matrix& b);
+/// out = aᵀ · b.
+Matrix MatMulTN(const Matrix& a, const Matrix& b);
+Matrix Transpose(const Matrix& a);
+/// Row-wise softmax (numerically stabilized).
+Matrix RowSoftmax(const Matrix& a);
+Matrix Add(const Matrix& a, const Matrix& b);
+Matrix Sub(const Matrix& a, const Matrix& b);
+Matrix Hadamard(const Matrix& a, const Matrix& b);
+Matrix Scale(const Matrix& a, double s);
+double SumAll(const Matrix& a);
+double Dot(const double* a, const double* b, size_t n);
+
+/// Immutable CSR sparse matrix for graph adjacency (R-GCN propagation).
+class SparseMat {
+ public:
+  SparseMat() = default;
+
+  /// Builds from COO triplets; duplicate (r,c) entries are summed.
+  SparseMat(size_t rows, size_t cols,
+            const std::vector<std::tuple<size_t, size_t, double>>& triplets);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t nnz() const { return col_idx_.size(); }
+
+  /// Dense product: out = S · x, where x is cols() × d.
+  Matrix Multiply(const Matrix& x) const;
+
+  /// The transposed matrix (materialized; adjacency is built once).
+  SparseMat Transposed() const;
+
+  /// Scales every stored value in-place (for normalized adjacency).
+  void ScaleValues(double s);
+
+  /// Row access for tests/inspection.
+  const std::vector<size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<size_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& mutable_values() { return values_; }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<size_t> row_ptr_;   // size rows_+1
+  std::vector<size_t> col_idx_;   // size nnz
+  std::vector<double> values_;    // size nnz
+};
+
+}  // namespace transn
+
+#endif  // TRANSN_NN_MATRIX_H_

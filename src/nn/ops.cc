@@ -1,0 +1,339 @@
+#include "nn/ops.h"
+
+#include <cmath>
+
+namespace transn {
+namespace {
+
+Tape* TapeOf(const Var& a, const Var& b) {
+  CHECK(a.valid() && b.valid());
+  CHECK_EQ(a.tape(), b.tape()) << "ops require Vars from the same Tape";
+  return a.tape();
+}
+
+constexpr double kNormEps = 1e-12;
+
+}  // namespace
+
+Var MatMul(const Var& a, const Var& b) {
+  Tape* tape = TapeOf(a, b);
+  Matrix out = MatMul(a.value(), b.value());
+  return tape->Emit(std::move(out), {a, b},
+                    [a, b](Tape& t, const Matrix& g) {
+                      t.AccumulateGrad(a, MatMulNT(g, b.value()));
+                      t.AccumulateGrad(b, MatMulTN(a.value(), g));
+                    });
+}
+
+Var Transpose(const Var& a) {
+  Tape* tape = a.tape();
+  CHECK(tape != nullptr);
+  return tape->Emit(Transpose(a.value()), {a},
+                    [a](Tape& t, const Matrix& g) {
+                      t.AccumulateGrad(a, Transpose(g));
+                    });
+}
+
+Var RowSoftmax(const Var& a) {
+  Tape* tape = a.tape();
+  CHECK(tape != nullptr);
+  Matrix y = RowSoftmax(a.value());
+  return tape->Emit(y, {a}, [a, y](Tape& t, const Matrix& g) {
+    // dx_r = y_r ⊙ (g_r - (g_r · y_r) 1)
+    Matrix dx(y.rows(), y.cols());
+    for (size_t r = 0; r < y.rows(); ++r) {
+      const double* yr = y.Row(r);
+      const double* gr = g.Row(r);
+      double dot = Dot(gr, yr, y.cols());
+      double* dr = dx.Row(r);
+      for (size_t c = 0; c < y.cols(); ++c) dr[c] = yr[c] * (gr[c] - dot);
+    }
+    t.AccumulateGrad(a, dx);
+  });
+}
+
+Var Relu(const Var& a) {
+  Tape* tape = a.tape();
+  CHECK(tape != nullptr);
+  const Matrix& x = a.value();
+  Matrix y(x.rows(), x.cols());
+  for (size_t i = 0; i < x.size(); ++i) {
+    y.data()[i] = x.data()[i] > 0.0 ? x.data()[i] : 0.0;
+  }
+  return tape->Emit(std::move(y), {a}, [a](Tape& t, const Matrix& g) {
+    const Matrix& x = a.value();
+    Matrix dx(x.rows(), x.cols());
+    for (size_t i = 0; i < x.size(); ++i) {
+      dx.data()[i] = x.data()[i] > 0.0 ? g.data()[i] : 0.0;
+    }
+    t.AccumulateGrad(a, dx);
+  });
+}
+
+Var Sigmoid(const Var& a) {
+  Tape* tape = a.tape();
+  CHECK(tape != nullptr);
+  const Matrix& x = a.value();
+  Matrix y(x.rows(), x.cols());
+  for (size_t i = 0; i < x.size(); ++i) {
+    y.data()[i] = 1.0 / (1.0 + std::exp(-x.data()[i]));
+  }
+  return tape->Emit(y, {a}, [a, y](Tape& t, const Matrix& g) {
+    Matrix dx(y.rows(), y.cols());
+    for (size_t i = 0; i < y.size(); ++i) {
+      dx.data()[i] = g.data()[i] * y.data()[i] * (1.0 - y.data()[i]);
+    }
+    t.AccumulateGrad(a, dx);
+  });
+}
+
+Var Add(const Var& a, const Var& b) {
+  Tape* tape = TapeOf(a, b);
+  return tape->Emit(Add(a.value(), b.value()), {a, b},
+                    [a, b](Tape& t, const Matrix& g) {
+                      t.AccumulateGrad(a, g);
+                      t.AccumulateGrad(b, g);
+                    });
+}
+
+Var Sub(const Var& a, const Var& b) {
+  Tape* tape = TapeOf(a, b);
+  return tape->Emit(Sub(a.value(), b.value()), {a, b},
+                    [a, b](Tape& t, const Matrix& g) {
+                      t.AccumulateGrad(a, g);
+                      t.AccumulateGrad(b, Scale(g, -1.0));
+                    });
+}
+
+Var Hadamard(const Var& a, const Var& b) {
+  Tape* tape = TapeOf(a, b);
+  return tape->Emit(Hadamard(a.value(), b.value()), {a, b},
+                    [a, b](Tape& t, const Matrix& g) {
+                      t.AccumulateGrad(a, Hadamard(g, b.value()));
+                      t.AccumulateGrad(b, Hadamard(g, a.value()));
+                    });
+}
+
+Var Scale(const Var& a, double s) {
+  Tape* tape = a.tape();
+  CHECK(tape != nullptr);
+  return tape->Emit(Scale(a.value(), s), {a},
+                    [a, s](Tape& t, const Matrix& g) {
+                      t.AccumulateGrad(a, Scale(g, s));
+                    });
+}
+
+Var AddRowBias(const Var& a, const Var& bias) {
+  Tape* tape = TapeOf(a, bias);
+  const Matrix& x = a.value();
+  const Matrix& b = bias.value();
+  CHECK_EQ(b.rows(), x.rows());
+  CHECK_EQ(b.cols(), 1u);
+  Matrix y = x;
+  for (size_t r = 0; r < x.rows(); ++r) {
+    double* yr = y.Row(r);
+    for (size_t c = 0; c < x.cols(); ++c) yr[c] += b(r, 0);
+  }
+  return tape->Emit(std::move(y), {a, bias},
+                    [a, bias](Tape& t, const Matrix& g) {
+                      t.AccumulateGrad(a, g);
+                      Matrix db(g.rows(), 1);
+                      for (size_t r = 0; r < g.rows(); ++r) {
+                        double acc = 0.0;
+                        const double* gr = g.Row(r);
+                        for (size_t c = 0; c < g.cols(); ++c) acc += gr[c];
+                        db(r, 0) = acc;
+                      }
+                      t.AccumulateGrad(bias, db);
+                    });
+}
+
+Var Sum(const Var& a) {
+  Tape* tape = a.tape();
+  CHECK(tape != nullptr);
+  Matrix out(1, 1, SumAll(a.value()));
+  return tape->Emit(std::move(out), {a}, [a](Tape& t, const Matrix& g) {
+    t.AccumulateGrad(a, Matrix(a.value().rows(), a.value().cols(), g(0, 0)));
+  });
+}
+
+Var Mean(const Var& a) {
+  Tape* tape = a.tape();
+  CHECK(tape != nullptr);
+  const double n = static_cast<double>(a.value().size());
+  CHECK_GT(n, 0.0);
+  Matrix out(1, 1, SumAll(a.value()) / n);
+  return tape->Emit(std::move(out), {a}, [a, n](Tape& t, const Matrix& g) {
+    t.AccumulateGrad(a,
+                     Matrix(a.value().rows(), a.value().cols(), g(0, 0) / n));
+  });
+}
+
+Var GatherRows(const Var& a, std::vector<size_t> indices) {
+  Tape* tape = a.tape();
+  CHECK(tape != nullptr);
+  const Matrix& x = a.value();
+  Matrix out(indices.size(), x.cols());
+  for (size_t r = 0; r < indices.size(); ++r) {
+    CHECK_LT(indices[r], x.rows());
+    const double* src = x.Row(indices[r]);
+    double* dst = out.Row(r);
+    for (size_t c = 0; c < x.cols(); ++c) dst[c] = src[c];
+  }
+  return tape->Emit(std::move(out), {a},
+                    [a, indices = std::move(indices)](Tape& t,
+                                                      const Matrix& g) {
+                      Matrix dx(a.value().rows(), a.value().cols(), 0.0);
+                      for (size_t r = 0; r < indices.size(); ++r) {
+                        double* dst = dx.Row(indices[r]);
+                        const double* src = g.Row(r);
+                        for (size_t c = 0; c < g.cols(); ++c) dst[c] += src[c];
+                      }
+                      t.AccumulateGrad(a, dx);
+                    });
+}
+
+Var SpMM(const SparseMat* s, const SparseMat* s_transposed, const Var& x) {
+  CHECK(s != nullptr && s_transposed != nullptr);
+  CHECK_EQ(s->rows(), s_transposed->cols());
+  CHECK_EQ(s->cols(), s_transposed->rows());
+  Tape* tape = x.tape();
+  CHECK(tape != nullptr);
+  return tape->Emit(s->Multiply(x.value()), {x},
+                    [s_transposed, x](Tape& t, const Matrix& g) {
+                      t.AccumulateGrad(x, s_transposed->Multiply(g));
+                    });
+}
+
+Var RowwiseDot(const Var& a, const Var& b) {
+  Tape* tape = TapeOf(a, b);
+  const Matrix& x = a.value();
+  const Matrix& y = b.value();
+  CHECK(x.SameShape(y));
+  Matrix out(x.rows(), 1);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    out(r, 0) = Dot(x.Row(r), y.Row(r), x.cols());
+  }
+  return tape->Emit(std::move(out), {a, b},
+                    [a, b](Tape& t, const Matrix& g) {
+                      const Matrix& x = a.value();
+                      const Matrix& y = b.value();
+                      Matrix da(x.rows(), x.cols());
+                      Matrix db(x.rows(), x.cols());
+                      for (size_t r = 0; r < x.rows(); ++r) {
+                        const double gr = g(r, 0);
+                        for (size_t c = 0; c < x.cols(); ++c) {
+                          da(r, c) = gr * y(r, c);
+                          db(r, c) = gr * x(r, c);
+                        }
+                      }
+                      t.AccumulateGrad(a, da);
+                      t.AccumulateGrad(b, db);
+                    });
+}
+
+Var RowCosineLoss(const Var& pred, const Var& target) {
+  Tape* tape = TapeOf(pred, target);
+  const Matrix& p = pred.value();
+  const Matrix& q = target.value();
+  CHECK(p.SameShape(q));
+  const size_t n = p.rows();
+  CHECK_GT(n, 0u);
+  double loss = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    const double* pr = p.Row(r);
+    const double* qr = q.Row(r);
+    double pq = Dot(pr, qr, p.cols());
+    double pp = std::sqrt(Dot(pr, pr, p.cols())) + kNormEps;
+    double qq = std::sqrt(Dot(qr, qr, p.cols())) + kNormEps;
+    loss += 1.0 - pq / (pp * qq);
+  }
+  Matrix out(1, 1, loss / static_cast<double>(n));
+  return tape->Emit(
+      std::move(out), {pred, target},
+      [pred, target, n](Tape& t, const Matrix& g) {
+        const Matrix& p = pred.value();
+        const Matrix& q = target.value();
+        const double scale = g(0, 0) / static_cast<double>(n);
+        Matrix dp(p.rows(), p.cols());
+        Matrix dq(p.rows(), p.cols());
+        for (size_t r = 0; r < p.rows(); ++r) {
+          const double* pr = p.Row(r);
+          const double* qr = q.Row(r);
+          const size_t d = p.cols();
+          double pq = Dot(pr, qr, d);
+          double pn = std::sqrt(Dot(pr, pr, d)) + kNormEps;
+          double qn = std::sqrt(Dot(qr, qr, d)) + kNormEps;
+          // d(1 - cos)/dp = -(q/(|p||q|) - (p·q) p / (|p|^3 |q|))
+          for (size_t c = 0; c < d; ++c) {
+            dp(r, c) =
+                -scale * (qr[c] / (pn * qn) - pq * pr[c] / (pn * pn * pn * qn));
+            dq(r, c) =
+                -scale * (pr[c] / (pn * qn) - pq * qr[c] / (qn * qn * qn * pn));
+          }
+        }
+        t.AccumulateGrad(pred, dp);
+        t.AccumulateGrad(target, dq);
+      });
+}
+
+Var NegativeDotLoss(const Var& pred, const Var& target) {
+  Tape* tape = TapeOf(pred, target);
+  const Matrix& p = pred.value();
+  const Matrix& q = target.value();
+  CHECK(p.SameShape(q));
+  const double n = static_cast<double>(p.rows());
+  CHECK_GT(n, 0.0);
+  Matrix out(1, 1, -SumAll(Hadamard(p, q)) / n);
+  return tape->Emit(std::move(out), {pred, target},
+                    [pred, target, n](Tape& t, const Matrix& g) {
+                      const double s = -g(0, 0) / n;
+                      t.AccumulateGrad(pred, Scale(target.value(), s));
+                      t.AccumulateGrad(target, Scale(pred.value(), s));
+                    });
+}
+
+Var LogSigmoidLoss(const Var& scores, std::vector<double> signs) {
+  Tape* tape = scores.tape();
+  CHECK(tape != nullptr);
+  const Matrix& s = scores.value();
+  CHECK_EQ(s.cols(), 1u);
+  CHECK_EQ(s.rows(), signs.size());
+  const double n = static_cast<double>(s.rows());
+  CHECK_GT(n, 0.0);
+  double loss = 0.0;
+  for (size_t r = 0; r < s.rows(); ++r) {
+    const double z = signs[r] * s(r, 0);
+    // -log sigma(z) = log(1 + e^{-z}), computed stably.
+    loss += z > 0 ? std::log1p(std::exp(-z)) : -z + std::log1p(std::exp(z));
+  }
+  Matrix out(1, 1, loss / n);
+  return tape->Emit(
+      std::move(out), {scores},
+      [scores, signs = std::move(signs), n](Tape& t, const Matrix& g) {
+        const Matrix& s = scores.value();
+        Matrix ds(s.rows(), 1);
+        for (size_t r = 0; r < s.rows(); ++r) {
+          const double z = signs[r] * s(r, 0);
+          const double sig_neg = 1.0 / (1.0 + std::exp(z));  // sigma(-z)
+          ds(r, 0) = g(0, 0) * (-signs[r] * sig_neg) / n;
+        }
+        t.AccumulateGrad(scores, ds);
+      });
+}
+
+Var L2Penalty(const Var& a, double lambda) {
+  Tape* tape = a.tape();
+  CHECK(tape != nullptr);
+  const Matrix& x = a.value();
+  double acc = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) acc += x.data()[i] * x.data()[i];
+  Matrix out(1, 1, lambda * acc);
+  return tape->Emit(std::move(out), {a},
+                    [a, lambda](Tape& t, const Matrix& g) {
+                      t.AccumulateGrad(
+                          a, Scale(a.value(), 2.0 * lambda * g(0, 0)));
+                    });
+}
+
+}  // namespace transn

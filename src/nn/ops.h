@@ -1,0 +1,58 @@
+#ifndef TRANSN_NN_OPS_H_
+#define TRANSN_NN_OPS_H_
+
+#include <vector>
+
+#include "nn/autograd.h"
+#include "nn/matrix.h"
+
+namespace transn {
+
+// Differentiable ops over Tape variables. Each records its backward pass on
+// the owning tape. Mixed-tape arguments are a CHECK failure.
+
+/// out = a · b.
+Var MatMul(const Var& a, const Var& b);
+/// out = aᵀ.
+Var Transpose(const Var& a);
+/// Row-wise softmax.
+Var RowSoftmax(const Var& a);
+/// Elementwise max(0, x).
+Var Relu(const Var& a);
+/// Elementwise logistic sigmoid.
+Var Sigmoid(const Var& a);
+/// Elementwise sum / difference / product.
+Var Add(const Var& a, const Var& b);
+Var Sub(const Var& a, const Var& b);
+Var Hadamard(const Var& a, const Var& b);
+/// out = s * a for a compile-time-constant scalar s.
+Var Scale(const Var& a, double s);
+/// Adds a rows()x1 bias column to every column of `a` (row r gets bias[r]).
+Var AddRowBias(const Var& a, const Var& bias);
+/// 1x1 sum of all entries.
+Var Sum(const Var& a);
+/// 1x1 mean of all entries.
+Var Mean(const Var& a);
+/// Selects rows of `a` (duplicates allowed); backward scatter-adds.
+Var GatherRows(const Var& a, std::vector<size_t> indices);
+/// out = S · x for a constant sparse S. `s_transposed` must be S's
+/// transpose (precomputed by the caller; both must outlive the tape).
+Var SpMM(const SparseMat* s, const SparseMat* s_transposed, const Var& x);
+/// Per-row inner products: out is rows()x1 with out[r] = a_r · b_r.
+Var RowwiseDot(const Var& a, const Var& b);
+
+// Loss heads (all return 1x1 scalars).
+
+/// mean_r (1 - cos(pred_r, target_r)); the stable form of the paper's
+/// translation/reconstruction similarity objective (see DESIGN.md §2.3).
+Var RowCosineLoss(const Var& pred, const Var& target);
+/// -(1/rows) * sum(pred ⊙ target); the literal (sign-corrected) Eq. 11-14.
+Var NegativeDotLoss(const Var& pred, const Var& target);
+/// (1/n) Σ_i -log σ(sign_i * score_i); scores is n×1, sign_i ∈ {+1,-1}.
+Var LogSigmoidLoss(const Var& scores, std::vector<double> signs);
+/// lambda * sum(a ⊙ a): L2 penalty.
+Var L2Penalty(const Var& a, double lambda);
+
+}  // namespace transn
+
+#endif  // TRANSN_NN_OPS_H_

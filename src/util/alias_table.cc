@@ -1,0 +1,52 @@
+#include "util/alias_table.h"
+
+#include "util/logging.h"
+
+namespace transn {
+
+void AliasTable::Build(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  CHECK_GT(n, 0u);
+  double total = 0.0;
+  for (double w : weights) {
+    CHECK(w >= 0.0) << "alias weights must be non-negative";
+    total += w;
+  }
+  CHECK_GT(total, 0.0) << "alias weights must not all be zero";
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Scaled probabilities; average is exactly 1.
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) scaled[i] = weights[i] * n / total;
+
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Remaining entries have probability 1 up to floating-point error.
+  for (uint32_t s : small) prob_[s] = 1.0;
+  for (uint32_t l : large) prob_[l] = 1.0;
+}
+
+size_t AliasTable::Sample(Rng& rng) const {
+  DCHECK(!prob_.empty());
+  size_t i = rng.NextUint64(prob_.size());
+  return rng.NextDouble() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace transn

@@ -1,0 +1,39 @@
+#ifndef TRANSN_UTIL_ALIAS_TABLE_H_
+#define TRANSN_UTIL_ALIAS_TABLE_H_
+
+#include <stdint.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace transn {
+
+/// Walker's alias method: O(n) construction, O(1) sampling from a fixed
+/// discrete distribution. Used for negative sampling (unigram^0.75) and for
+/// LINE-style weighted edge sampling.
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Builds the table from non-negative weights (need not be normalized).
+  /// At least one weight must be positive.
+  explicit AliasTable(const std::vector<double>& weights) { Build(weights); }
+
+  void Build(const std::vector<double>& weights);
+
+  /// Samples an index in [0, size()) with probability proportional to its
+  /// weight.
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return prob_.size(); }
+  bool empty() const { return prob_.empty(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace transn
+
+#endif  // TRANSN_UTIL_ALIAS_TABLE_H_

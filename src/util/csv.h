@@ -1,0 +1,51 @@
+#ifndef TRANSN_UTIL_CSV_H_
+#define TRANSN_UTIL_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace transn {
+
+/// Collects rows of string cells and renders them either as an aligned
+/// ASCII table (for console output that mirrors the paper's tables) or as
+/// CSV (for plotting). Benches use both: the table to stdout, the CSV next
+/// to the binary for downstream analysis.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 4);
+
+  /// Renders an aligned, pipe-separated table.
+  std::string ToAlignedString() const;
+
+  /// Renders RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  std::string ToCsvString() const;
+
+  /// Writes CSV to `path`.
+  Status WriteCsv(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Reads a CSV/TSV file into rows of cells (no quoting support beyond
+/// TablePrinter's output needs; delimiters inside quotes are honored).
+StatusOr<std::vector<std::vector<std::string>>> ReadDelimitedFile(
+    const std::string& path, char delim);
+
+}  // namespace transn
+
+#endif  // TRANSN_UTIL_CSV_H_

@@ -1,0 +1,90 @@
+#ifndef TRANSN_UTIL_LOGGING_H_
+#define TRANSN_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace transn {
+
+/// Severity levels for the logging macros below.
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+/// Minimum severity that is actually written to stderr. Defaults to kInfo.
+/// Benches raise this to keep table output clean.
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+namespace internal {
+
+/// Accumulates one log line and emits it (and aborts for kFatal) on
+/// destruction. Used only via the LOG/CHECK macros.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+/// Sink that swallows a streamed expression; used for disabled log levels.
+struct LogMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace transn
+
+#define TRANSN_LOG_INFO \
+  ::transn::internal::LogMessage(::transn::LogSeverity::kInfo, __FILE__, __LINE__)
+#define TRANSN_LOG_WARNING                                            \
+  ::transn::internal::LogMessage(::transn::LogSeverity::kWarning, __FILE__, \
+                                 __LINE__)
+#define TRANSN_LOG_ERROR \
+  ::transn::internal::LogMessage(::transn::LogSeverity::kError, __FILE__, __LINE__)
+#define TRANSN_LOG_FATAL \
+  ::transn::internal::LogMessage(::transn::LogSeverity::kFatal, __FILE__, __LINE__)
+
+/// LOG(INFO) << "message"; — severity one of INFO, WARNING, ERROR, FATAL.
+/// FATAL aborts the process after emitting the message.
+#define LOG(severity) TRANSN_LOG_##severity.stream()
+
+/// CHECK(cond) aborts with a diagnostic when `cond` is false. Additional
+/// context can be streamed: CHECK(n > 0) << "n=" << n;
+#define CHECK(condition)                                   \
+  (condition) ? (void)0                                    \
+              : ::transn::internal::LogMessageVoidify() &  \
+                    TRANSN_LOG_FATAL.stream()              \
+                        << "Check failed: " #condition " "
+
+#define TRANSN_CHECK_OP(name, op, a, b)                                    \
+  CHECK((a)op(b)) << "(" #a " " #op " " #b "): " << (a) << " vs " << (b) \
+                  << " "
+
+#define CHECK_EQ(a, b) TRANSN_CHECK_OP(EQ, ==, a, b)
+#define CHECK_NE(a, b) TRANSN_CHECK_OP(NE, !=, a, b)
+#define CHECK_LT(a, b) TRANSN_CHECK_OP(LT, <, a, b)
+#define CHECK_LE(a, b) TRANSN_CHECK_OP(LE, <=, a, b)
+#define CHECK_GT(a, b) TRANSN_CHECK_OP(GT, >, a, b)
+#define CHECK_GE(a, b) TRANSN_CHECK_OP(GE, >=, a, b)
+
+/// DCHECK: compiled out in NDEBUG builds; use on hot paths only.
+#ifdef NDEBUG
+#define DCHECK(condition) \
+  while (false) CHECK(condition)
+#define DCHECK_LT(a, b) \
+  while (false) CHECK_LT(a, b)
+#define DCHECK_GE(a, b) \
+  while (false) CHECK_GE(a, b)
+#else
+#define DCHECK(condition) CHECK(condition)
+#define DCHECK_LT(a, b) CHECK_LT(a, b)
+#define DCHECK_GE(a, b) CHECK_GE(a, b)
+#endif
+
+#endif  // TRANSN_UTIL_LOGGING_H_

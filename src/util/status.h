@@ -1,0 +1,107 @@
+#ifndef TRANSN_UTIL_STATUS_H_
+#define TRANSN_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace transn {
+
+/// Error categories for recoverable failures (I/O, malformed input,
+/// invalid configuration). Programming errors use CHECK instead.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kIoError,
+};
+
+/// Lightweight absl::Status-alike: a code plus a human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>"; for logging and test diagnostics.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error return type for fallible factories and loaders.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value/Status mirrors absl::StatusOr ergonomics.
+  StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {      // NOLINT
+    CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CHECK(ok()) << status_.ToString();
+    return value_;
+  }
+  T& value() & {
+    CHECK(ok()) << status_.ToString();
+    return value_;
+  }
+  T&& value() && {
+    CHECK(ok()) << status_.ToString();
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace transn
+
+/// Propagates a non-OK Status to the caller.
+#define RETURN_IF_ERROR(expr)                \
+  do {                                       \
+    ::transn::Status _st = (expr);           \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+#endif  // TRANSN_UTIL_STATUS_H_

@@ -1,0 +1,87 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/logging.h"
+
+namespace transn {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Schedule(std::function<void()> fn) {
+  CHECK(fn != nullptr);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    CHECK(!shutdown_) << "Schedule after shutdown";
+    queue_.push(std::move(fn));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool& pool, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const size_t num_shards = std::min(n, pool.num_threads());
+  if (num_shards <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const size_t chunk = (n + num_shards - 1) / num_shards;
+  for (size_t s = 0; s < num_shards; ++s) {
+    const size_t begin = s * chunk;
+    const size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    pool.Schedule([begin, end, &fn] {
+      for (size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+  pool.Wait();
+}
+
+}  // namespace transn

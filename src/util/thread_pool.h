@@ -1,0 +1,53 @@
+#ifndef TRANSN_UTIL_THREAD_POOL_H_
+#define TRANSN_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace transn {
+
+/// Fixed-size worker pool with a shared FIFO queue. Training loops in this
+/// repository are single-threaded by default (results must be reproducible
+/// from one seed), but dataset generation and evaluation sweeps use the pool
+/// when more than one hardware thread is available.
+class ThreadPool {
+ public:
+  /// num_threads == 0 selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  /// Enqueues a task. Must not be called after the destructor has begun.
+  void Schedule(std::function<void()> fn);
+
+  /// Blocks until every scheduled task has finished.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers
+  std::condition_variable idle_cv_;   // signals Wait()
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Runs fn(i) for i in [0, n), splitting the range across `pool`'s threads.
+/// Blocks until complete. fn must be safe to call concurrently.
+void ParallelFor(ThreadPool& pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace transn
+
+#endif  // TRANSN_UTIL_THREAD_POOL_H_

@@ -1,0 +1,4 @@
+#include "util/timer.h"
+
+// WallTimer is header-only; this file exists so every util header has an
+// associated translation unit that verifies it is self-contained.

@@ -1,0 +1,36 @@
+#include "walk/corpus.h"
+
+#include "util/logging.h"
+
+namespace transn {
+
+void ForEachContextPairDef6(const std::vector<uint32_t>& walk, bool heter_view,
+                            const std::function<void(ContextPair)>& fn) {
+  const size_t window = heter_view ? 2 : 1;
+  ForEachWindowPair(walk, window, fn);
+}
+
+void ForEachWindowPair(const std::vector<uint32_t>& walk, size_t window,
+                       const std::function<void(ContextPair)>& fn) {
+  const size_t r = walk.size();
+  for (size_t k = 0; k < r; ++k) {
+    for (size_t off = 1; off <= window; ++off) {
+      if (k >= off) fn({walk[k], walk[k - off]});
+      if (k + off < r) fn({walk[k], walk[k + off]});
+    }
+  }
+}
+
+std::vector<double> CountOccurrences(
+    const std::vector<std::vector<uint32_t>>& corpus, size_t vocab_size) {
+  std::vector<double> counts(vocab_size, 0.0);
+  for (const auto& walk : corpus) {
+    for (uint32_t id : walk) {
+      CHECK_LT(id, vocab_size);
+      counts[id] += 1.0;
+    }
+  }
+  return counts;
+}
+
+}  // namespace transn

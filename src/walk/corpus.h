@@ -1,0 +1,37 @@
+#ifndef TRANSN_WALK_CORPUS_H_
+#define TRANSN_WALK_CORPUS_H_
+
+#include <stdint.h>
+
+#include <functional>
+#include <vector>
+
+namespace transn {
+
+/// A (center, context) training pair extracted from a walk.
+struct ContextPair {
+  uint32_t center;
+  uint32_t context;
+};
+
+/// Emits the context pairs of one walk per the paper's Definition 6:
+/// on homo-views each node's contexts are its ±1 path neighbors; on
+/// heter-views additionally its ±2 path neighbors (indirect neighbors, which
+/// share the same node type as the center).
+void ForEachContextPairDef6(const std::vector<uint32_t>& walk, bool heter_view,
+                            const std::function<void(ContextPair)>& fn);
+
+/// Emits (center, context) pairs for every offset 1..window (both
+/// directions); the classic skip-gram windowing used by the baselines.
+void ForEachWindowPair(const std::vector<uint32_t>& walk, size_t window,
+                       const std::function<void(ContextPair)>& fn);
+
+/// Occurrence counts of each id over a corpus; `vocab_size` sizes the output
+/// (ids >= vocab_size are a CHECK failure). Feeds the unigram^0.75 negative
+/// sampling distribution.
+std::vector<double> CountOccurrences(
+    const std::vector<std::vector<uint32_t>>& corpus, size_t vocab_size);
+
+}  // namespace transn
+
+#endif  // TRANSN_WALK_CORPUS_H_

@@ -1,0 +1,60 @@
+#include "walk/metapath_walk.h"
+
+namespace transn {
+
+MetapathWalker::MetapathWalker(const HeteroGraph* graph, MetapathConfig config)
+    : graph_(graph), config_(std::move(config)) {
+  CHECK(graph_ != nullptr);
+  CHECK_GE(config_.pattern.size(), 2u) << "meta-path needs >= 2 types";
+  CHECK_EQ(config_.pattern.front(), config_.pattern.back())
+      << "meta-path must be cyclic (first type == last type)";
+  for (NodeTypeId t : config_.pattern) {
+    CHECK_LT(t, graph_->num_node_types());
+  }
+}
+
+std::vector<NodeId> MetapathWalker::Walk(NodeId start, Rng& rng) const {
+  CHECK_EQ(graph_->node_type(start), config_.pattern.front());
+  std::vector<NodeId> path;
+  path.reserve(config_.walk_length);
+  path.push_back(start);
+  NodeId cur = start;
+  // Position within the pattern; the last element duplicates the first, so
+  // the effective cycle length is pattern.size() - 1.
+  size_t pos = 0;
+  const size_t cycle = config_.pattern.size() - 1;
+
+  std::vector<NodeId> candidates;
+  std::vector<double> weights;
+  while (path.size() < config_.walk_length) {
+    const NodeTypeId want = config_.pattern[(pos + 1) % cycle];
+    candidates.clear();
+    weights.clear();
+    for (const Adjacency* a = graph_->NeighborsBegin(cur);
+         a != graph_->NeighborsEnd(cur); ++a) {
+      if (graph_->node_type(a->neighbor) == want) {
+        candidates.push_back(a->neighbor);
+        weights.push_back(a->weight);
+      }
+    }
+    if (candidates.empty()) break;
+    cur = candidates[rng.NextDiscrete(weights)];
+    path.push_back(cur);
+    pos = (pos + 1) % cycle;
+  }
+  return path;
+}
+
+std::vector<std::vector<NodeId>> MetapathWalker::SampleCorpus(Rng& rng) const {
+  std::vector<std::vector<NodeId>> corpus;
+  for (size_t w = 0; w < config_.walks_per_node; ++w) {
+    for (NodeId n = 0; n < graph_->num_nodes(); ++n) {
+      if (graph_->node_type(n) == config_.pattern.front()) {
+        corpus.push_back(Walk(n, rng));
+      }
+    }
+  }
+  return corpus;
+}
+
+}  // namespace transn

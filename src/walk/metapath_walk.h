@@ -1,0 +1,42 @@
+#ifndef TRANSN_WALK_METAPATH_WALK_H_
+#define TRANSN_WALK_METAPATH_WALK_H_
+
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "util/rng.h"
+
+namespace transn {
+
+/// Meta-path-constrained walks of metapath2vec (Dong et al., 2017). A
+/// meta-path is a cyclic node-type pattern such as A-P-V-P-A; walks start at
+/// nodes of the first type and at each step move (weight-proportionally) to
+/// a neighbor of the next required type, cycling through the pattern.
+struct MetapathConfig {
+  /// Node-type pattern; first and last type must match (cyclic meta-path).
+  std::vector<NodeTypeId> pattern;
+  size_t walk_length = 80;
+  size_t walks_per_node = 10;
+};
+
+class MetapathWalker {
+ public:
+  /// `graph` must outlive the walker.
+  MetapathWalker(const HeteroGraph* graph, MetapathConfig config);
+
+  /// A walk over global node ids. `start` must have the pattern's first
+  /// type. The walk stops early when no neighbor of the required type
+  /// exists.
+  std::vector<NodeId> Walk(NodeId start, Rng& rng) const;
+
+  /// walks_per_node walks from every node of the pattern's first type.
+  std::vector<std::vector<NodeId>> SampleCorpus(Rng& rng) const;
+
+ private:
+  const HeteroGraph* graph_;
+  MetapathConfig config_;
+};
+
+}  // namespace transn
+
+#endif  // TRANSN_WALK_METAPATH_WALK_H_

@@ -1,0 +1,65 @@
+#include "walk/node2vec_walk.h"
+
+namespace transn {
+
+Node2VecWalker::Node2VecWalker(const ViewGraph* graph, Node2VecConfig config)
+    : graph_(graph), config_(config) {
+  CHECK(graph_ != nullptr);
+  CHECK_GT(config_.p, 0.0);
+  CHECK_GT(config_.q, 0.0);
+  CHECK_GE(config_.walk_length, 1u);
+}
+
+std::vector<ViewGraph::LocalId> Node2VecWalker::Walk(ViewGraph::LocalId start,
+                                                     Rng& rng) const {
+  std::vector<ViewGraph::LocalId> path;
+  path.reserve(config_.walk_length);
+  path.push_back(start);
+  ViewGraph::LocalId prev = kInvalidNode;
+  ViewGraph::LocalId cur = start;
+  std::vector<double> probs;
+  while (path.size() < config_.walk_length) {
+    const size_t deg = graph_->degree(cur);
+    if (deg == 0) break;
+    const ViewGraph::LocalId* nbrs = graph_->NeighborIds(cur);
+    const double* weights = graph_->NeighborWeights(cur);
+    ViewGraph::LocalId next;
+    if (prev == kInvalidNode) {
+      // First step: weight-proportional.
+      probs.assign(weights, weights + deg);
+      next = nbrs[rng.NextDiscrete(probs)];
+    } else {
+      probs.resize(deg);
+      for (size_t k = 0; k < deg; ++k) {
+        double bias;
+        if (nbrs[k] == prev) {
+          bias = 1.0 / config_.p;
+        } else if (graph_->AreAdjacent(nbrs[k], prev)) {
+          bias = 1.0;
+        } else {
+          bias = 1.0 / config_.q;
+        }
+        probs[k] = weights[k] * bias;
+      }
+      next = nbrs[rng.NextDiscrete(probs)];
+    }
+    path.push_back(next);
+    prev = cur;
+    cur = next;
+  }
+  return path;
+}
+
+std::vector<std::vector<ViewGraph::LocalId>> Node2VecWalker::SampleCorpus(
+    Rng& rng) const {
+  std::vector<std::vector<ViewGraph::LocalId>> corpus;
+  corpus.reserve(graph_->num_nodes() * config_.walks_per_node);
+  for (size_t w = 0; w < config_.walks_per_node; ++w) {
+    for (ViewGraph::LocalId n = 0; n < graph_->num_nodes(); ++n) {
+      corpus.push_back(Walk(n, rng));
+    }
+  }
+  return corpus;
+}
+
+}  // namespace transn

@@ -1,0 +1,39 @@
+#ifndef TRANSN_WALK_NODE2VEC_WALK_H_
+#define TRANSN_WALK_NODE2VEC_WALK_H_
+
+#include <vector>
+
+#include "graph/view.h"
+#include "util/rng.h"
+
+namespace transn {
+
+/// Second-order biased walks of Grover & Leskovec (2016). The unnormalized
+/// probability of moving from v to x after arriving from t is
+/// w(v,x) * { 1/p if x == t; 1 if x adjacent to t; 1/q otherwise }.
+struct Node2VecConfig {
+  double p = 1.0;
+  double q = 1.0;
+  size_t walk_length = 80;
+  size_t walks_per_node = 10;
+};
+
+class Node2VecWalker {
+ public:
+  /// `graph` must outlive the walker.
+  Node2VecWalker(const ViewGraph* graph, Node2VecConfig config);
+
+  std::vector<ViewGraph::LocalId> Walk(ViewGraph::LocalId start,
+                                       Rng& rng) const;
+
+  /// walks_per_node walks from every node.
+  std::vector<std::vector<ViewGraph::LocalId>> SampleCorpus(Rng& rng) const;
+
+ private:
+  const ViewGraph* graph_;
+  Node2VecConfig config_;
+};
+
+}  // namespace transn
+
+#endif  // TRANSN_WALK_NODE2VEC_WALK_H_

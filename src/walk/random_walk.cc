@@ -1,0 +1,109 @@
+#include "walk/random_walk.h"
+
+#include <algorithm>
+
+namespace transn {
+
+RandomWalker::RandomWalker(const ViewGraph* graph, bool is_heter,
+                           WalkConfig config)
+    : graph_(graph), is_heter_(is_heter), config_(config) {
+  CHECK(graph_ != nullptr);
+  CHECK_GE(config_.walk_length, 1u);
+  CHECK_GE(config_.max_walks_per_node, config_.min_walks_per_node);
+}
+
+size_t RandomWalker::WalksPerNode(ViewGraph::LocalId n) const {
+  return std::clamp(graph_->degree(n), config_.min_walks_per_node,
+                    config_.max_walks_per_node);
+}
+
+ViewGraph::LocalId RandomWalker::Step(ViewGraph::LocalId cur,
+                                      double prev_weight, Rng& rng) const {
+  const size_t deg = graph_->degree(cur);
+  if (deg == 0) return kInvalidNode;
+  const ViewGraph::LocalId* nbrs = graph_->NeighborIds(cur);
+  const double* weights = graph_->NeighborWeights(cur);
+
+  if (!config_.weight_biased) {
+    // Simple walk: uniform over neighbors.
+    return nbrs[rng.NextUint64(deg)];
+  }
+
+  // Δ (Eq. 5): the spread of incident edge weights at cur. π2 applies only
+  // on heter-views, after the first step, and when Δ > 0 (Eq. 4).
+  const double delta = graph_->WeightSpread(cur);
+  const bool use_pi2 =
+      is_heter_ && config_.correlated && prev_weight >= 0.0 && delta > 0.0;
+
+  std::vector<double> probs(deg);
+  double total = 0.0;
+  for (size_t k = 0; k < deg; ++k) {
+    double p = weights[k];  // π1 ∝ edge weight (Eq. 6)
+    if (use_pi2) {
+      // π2 ∝ 1 - (w_next - w_prev)/Δ (Eq. 7); non-negative whenever
+      // prev_weight is itself incident to cur, clamp guards the subview
+      // boundary case where it is not.
+      double pi2 = 1.0 - (weights[k] - prev_weight) / delta;
+      p *= std::max(0.0, pi2);
+    }
+    probs[k] = p;
+    total += p;
+  }
+  if (total <= 0.0) {
+    // All π2 factors vanished; fall back to the first-order bias π1.
+    for (size_t k = 0; k < deg; ++k) {
+      probs[k] = weights[k];
+    }
+  }
+  return nbrs[rng.NextDiscrete(probs)];
+}
+
+std::vector<ViewGraph::LocalId> RandomWalker::Walk(ViewGraph::LocalId start,
+                                                   Rng& rng) const {
+  std::vector<ViewGraph::LocalId> path;
+  path.reserve(config_.walk_length);
+  path.push_back(start);
+  double prev_weight = -1.0;
+  ViewGraph::LocalId cur = start;
+  while (path.size() < config_.walk_length) {
+    ViewGraph::LocalId next = Step(cur, prev_weight, rng);
+    if (next == kInvalidNode) break;
+    // Record the weight of the traversed edge for π2 at the next step.
+    const ViewGraph::LocalId* nbrs = graph_->NeighborIds(cur);
+    const double* weights = graph_->NeighborWeights(cur);
+    for (size_t k = 0; k < graph_->degree(cur); ++k) {
+      if (nbrs[k] == next) {
+        prev_weight = weights[k];
+        break;
+      }
+    }
+    path.push_back(next);
+    cur = next;
+  }
+  return path;
+}
+
+std::vector<std::vector<ViewGraph::LocalId>> RandomWalker::SampleCorpus(
+    Rng& rng) const {
+  std::vector<std::vector<ViewGraph::LocalId>> corpus;
+  const size_t n = graph_->num_nodes();
+  if (n == 0) return corpus;
+  if (config_.degree_biased_starts) {
+    for (ViewGraph::LocalId node = 0; node < n; ++node) {
+      const size_t count = WalksPerNode(node);
+      for (size_t w = 0; w < count; ++w) corpus.push_back(Walk(node, rng));
+    }
+  } else {
+    size_t total = 0;
+    for (ViewGraph::LocalId node = 0; node < n; ++node) {
+      total += WalksPerNode(node);
+    }
+    for (size_t w = 0; w < total; ++w) {
+      corpus.push_back(
+          Walk(static_cast<ViewGraph::LocalId>(rng.NextUint64(n)), rng));
+    }
+  }
+  return corpus;
+}
+
+}  // namespace transn

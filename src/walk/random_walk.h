@@ -1,0 +1,68 @@
+#ifndef TRANSN_WALK_RANDOM_WALK_H_
+#define TRANSN_WALK_RANDOM_WALK_H_
+
+#include <vector>
+
+#include "graph/view.h"
+#include "util/rng.h"
+
+namespace transn {
+
+/// Configuration of TransN's biased correlated random walks (§III-A).
+struct WalkConfig {
+  /// ρ: nodes per walk. Paper default 80 (§IV-A3).
+  size_t walk_length = 80;
+  /// Paper: walks starting from node n number max(min(τ_n, 32), 10) where
+  /// τ_n is n's degree.
+  size_t min_walks_per_node = 10;
+  size_t max_walks_per_node = 32;
+  /// π1 (Eq. 6): prefer heavier edges. Disabled by the With-Simple-Walk
+  /// ablation (walks then ignore weights).
+  bool weight_biased = true;
+  /// π2 (Eq. 7): on heter-views, prefer edges whose weight is close to the
+  /// previous step's. Disabled by the With-Simple-Walk ablation.
+  bool correlated = true;
+  /// Degree-biased walk starts (§III overview). The With-Simple-Walk
+  /// ablation selects start nodes uniformly at random instead.
+  bool degree_biased_starts = true;
+};
+
+/// Samples walks from one view (or paired subview) per Equations (4)-(7).
+class RandomWalker {
+ public:
+  /// `graph` must outlive the walker. `is_heter` activates the correlated
+  /// second factor π2.
+  RandomWalker(const ViewGraph* graph, bool is_heter, WalkConfig config);
+
+  /// One walk of up to config.walk_length nodes starting at `start` (local
+  /// ids). Stops early when it reaches an isolated node.
+  std::vector<ViewGraph::LocalId> Walk(ViewGraph::LocalId start,
+                                       Rng& rng) const;
+
+  /// Number of walks the corpus starts at node n: clamp(degree(n),
+  /// [min,max] walks per node).
+  size_t WalksPerNode(ViewGraph::LocalId n) const;
+
+  /// Samples the full corpus for this view: for every node, WalksPerNode(n)
+  /// walks (degree-biased starts), or the same total number of uniformly
+  /// started walks when config.degree_biased_starts is false.
+  std::vector<std::vector<ViewGraph::LocalId>> SampleCorpus(Rng& rng) const;
+
+  const WalkConfig& config() const { return config_; }
+  bool is_heter() const { return is_heter_; }
+
+ private:
+  /// Picks the next node from `cur`, given the weight of the edge taken into
+  /// `cur` (or a negative value on the first step). Returns kInvalidNode for
+  /// isolated nodes.
+  ViewGraph::LocalId Step(ViewGraph::LocalId cur, double prev_weight,
+                          Rng& rng) const;
+
+  const ViewGraph* graph_;
+  bool is_heter_;
+  WalkConfig config_;
+};
+
+}  // namespace transn
+
+#endif  // TRANSN_WALK_RANDOM_WALK_H_

@@ -1,0 +1,105 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "nn/autograd.h"
+#include "nn/ops.h"
+
+namespace transn {
+namespace {
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimize ||w - target||^2.
+  Parameter w(Matrix(2, 3, 0.0));
+  Matrix target(2, 3);
+  for (size_t i = 0; i < target.size(); ++i) {
+    target.data()[i] = 0.5 * static_cast<double>(i) - 1.0;
+  }
+  AdamOptimizer opt(AdamConfig{.learning_rate = 0.05});
+  opt.Register(&w);
+  for (int step = 0; step < 800; ++step) {
+    for (size_t i = 0; i < w.value.size(); ++i) {
+      w.grad.data()[i] = 2.0 * (w.value.data()[i] - target.data()[i]);
+    }
+    opt.Step();
+  }
+  for (size_t i = 0; i < w.value.size(); ++i) {
+    EXPECT_NEAR(w.value.data()[i], target.data()[i], 1e-3);
+  }
+  EXPECT_EQ(opt.step_count(), 800);
+}
+
+TEST(AdamTest, StepZeroesGradients) {
+  Parameter w(Matrix(1, 2, 0.0));
+  AdamOptimizer opt;
+  opt.Register(&w);
+  w.grad(0, 0) = 1.0;
+  opt.Step();
+  EXPECT_DOUBLE_EQ(w.grad(0, 0), 0.0);
+}
+
+TEST(AdamTest, FirstStepMovesByLearningRate) {
+  // With bias correction, the first Adam step is ~lr * sign(grad).
+  Parameter w(Matrix(1, 1, 0.0));
+  AdamOptimizer opt(AdamConfig{.learning_rate = 0.1});
+  opt.Register(&w);
+  w.grad(0, 0) = 123.0;
+  opt.Step();
+  EXPECT_NEAR(w.value(0, 0), -0.1, 1e-6);
+}
+
+TEST(AdamTest, ZeroGradClearsWithoutUpdate) {
+  Parameter w(Matrix(1, 1, 5.0));
+  AdamOptimizer opt;
+  opt.Register(&w);
+  w.grad(0, 0) = 10.0;
+  opt.ZeroGrad();
+  EXPECT_DOUBLE_EQ(w.grad(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(w.value(0, 0), 5.0);
+}
+
+TEST(AdamTest, RowUpdateMatchesOptimizer) {
+  // AdamUpdateRow with the same sequence of grads must equal AdamOptimizer.
+  AdamConfig config{.learning_rate = 0.02};
+  Parameter w(Matrix(1, 4, 1.0));
+  AdamOptimizer opt(config);
+  opt.Register(&w);
+
+  std::vector<double> row(4, 1.0), m(4, 0.0), v(4, 0.0);
+  Rng rng(17);
+  for (int64_t t = 1; t <= 20; ++t) {
+    std::vector<double> grad(4);
+    for (double& g : grad) g = rng.NextGaussian();
+    for (size_t i = 0; i < 4; ++i) w.grad(0, i) = grad[i];
+    opt.Step();
+    AdamUpdateRow(config, t, grad.data(), row.data(), m.data(), v.data(), 4);
+    for (size_t i = 0; i < 4; ++i) {
+      ASSERT_NEAR(row[i], w.value(0, i), 1e-12) << "t=" << t << " i=" << i;
+    }
+  }
+}
+
+TEST(AdamTest, WorksThroughAutogradLoop) {
+  // Fit y = w*x on a fixed batch via the tape.
+  Parameter w(Matrix(1, 1, 0.0));
+  AdamOptimizer opt(AdamConfig{.learning_rate = 0.1});
+  opt.Register(&w);
+  Matrix x(4, 1), y(4, 1);
+  for (size_t i = 0; i < 4; ++i) {
+    x(i, 0) = static_cast<double>(i) + 1.0;
+    y(i, 0) = 3.0 * x(i, 0);
+  }
+  for (int step = 0; step < 400; ++step) {
+    Tape tape;
+    Var wx = MatMul(tape.Input(x, false), tape.Leaf(&w));
+    Var err = Sub(wx, tape.Input(y, false));
+    Var loss = Mean(Hadamard(err, err));
+    tape.Backward(loss);
+    opt.Step();
+  }
+  EXPECT_NEAR(w.value(0, 0), 3.0, 1e-2);
+}
+
+}  // namespace
+}  // namespace transn

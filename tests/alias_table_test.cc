@@ -1,0 +1,91 @@
+#include "util/alias_table.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace transn {
+namespace {
+
+TEST(AliasTableTest, SingleEntryAlwaysSampled) {
+  AliasTable t({5.0});
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(t.Sample(rng), 0u);
+}
+
+TEST(AliasTableTest, ZeroWeightNeverSampled) {
+  AliasTable t({1.0, 0.0, 1.0});
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) EXPECT_NE(t.Sample(rng), 1u);
+}
+
+TEST(AliasTableTest, MatchesDistribution) {
+  std::vector<double> w = {1.0, 2.0, 3.0, 4.0};
+  AliasTable t(w);
+  Rng rng(3);
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[t.Sample(rng)];
+  for (size_t k = 0; k < w.size(); ++k) {
+    double expected = w[k] / 10.0;
+    double observed = static_cast<double>(counts[k]) / n;
+    EXPECT_NEAR(observed, expected, 0.01) << "index " << k;
+  }
+}
+
+TEST(AliasTableTest, UnnormalizedWeightsOk) {
+  AliasTable a({0.001, 0.003});
+  AliasTable b({1000.0, 3000.0});
+  Rng ra(7), rb(7);
+  int ca = 0, cb = 0;
+  for (int i = 0; i < 20000; ++i) {
+    ca += a.Sample(ra) == 1;
+    cb += b.Sample(rb) == 1;
+  }
+  // Same seed, same scaled distribution -> identical draws.
+  EXPECT_EQ(ca, cb);
+  EXPECT_NEAR(static_cast<double>(ca) / 20000, 0.75, 0.01);
+}
+
+class AliasTableRandomDistributions : public ::testing::TestWithParam<int> {};
+
+TEST_P(AliasTableRandomDistributions, EmpiricalMatchesWeights) {
+  Rng gen(GetParam());
+  const size_t size = 2 + gen.NextUint64(40);
+  std::vector<double> w(size);
+  double total = 0.0;
+  for (double& x : w) {
+    x = gen.NextDouble() < 0.2 ? 0.0 : gen.NextDouble(0.1, 5.0);
+    total += x;
+  }
+  if (total == 0.0) w[0] = total = 1.0;
+  AliasTable t(w);
+  Rng rng(GetParam() * 77 + 1);
+  std::vector<int> counts(size, 0);
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) ++counts[t.Sample(rng)];
+  for (size_t k = 0; k < size; ++k) {
+    const double expected = w[k] / total;
+    const double observed = static_cast<double>(counts[k]) / n;
+    EXPECT_NEAR(observed, expected, 0.015 + 0.05 * expected) << "idx " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AliasTableRandomDistributions,
+                         ::testing::Range(1, 9));
+
+TEST(AliasTableDeathTest, EmptyWeightsAbort) {
+  EXPECT_DEATH(AliasTable t((std::vector<double>())), "Check failed");
+}
+
+TEST(AliasTableDeathTest, AllZeroWeightsAbort) {
+  EXPECT_DEATH(AliasTable t({0.0, 0.0}), "Check failed");
+}
+
+TEST(AliasTableDeathTest, NegativeWeightAborts) {
+  EXPECT_DEATH(AliasTable t({1.0, -0.5}), "non-negative");
+}
+
+}  // namespace
+}  // namespace transn

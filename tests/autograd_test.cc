@@ -1,0 +1,259 @@
+#include "nn/autograd.h"
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+#include "nn/grad_check.h"
+#include "nn/init.h"
+#include "nn/ops.h"
+
+namespace transn {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+/// Gradient-checks a scalar-valued graph builder against central
+/// differences, for each of its matrix inputs.
+void CheckGraph(
+    const std::function<Var(Tape&, const std::vector<Var>&)>& build,
+    const std::vector<Matrix>& inputs, double tol = kTol) {
+  // Analytic gradients.
+  Tape tape;
+  std::vector<Var> vars;
+  vars.reserve(inputs.size());
+  for (const Matrix& m : inputs) vars.push_back(tape.Input(m, true));
+  Var loss = build(tape, vars);
+  ASSERT_EQ(loss.rows(), 1u);
+  ASSERT_EQ(loss.cols(), 1u);
+  tape.Backward(loss);
+
+  for (size_t k = 0; k < inputs.size(); ++k) {
+    Matrix numeric = NumericGradient(
+        [&](const Matrix& probe) {
+          Tape t2;
+          std::vector<Var> vs;
+          for (size_t j = 0; j < inputs.size(); ++j) {
+            vs.push_back(t2.Input(j == k ? probe : inputs[j], false));
+          }
+          return build(t2, vs).value()(0, 0);
+        },
+        inputs[k]);
+    EXPECT_LT(MaxRelativeError(vars[k].grad(), numeric), tol)
+        << "input " << k;
+  }
+}
+
+Matrix RandomMatrix(size_t r, size_t c, uint64_t seed, double scale = 1.0) {
+  Rng rng(seed);
+  return GaussianInit(r, c, scale, rng);
+}
+
+TEST(AutogradTest, MatMulGradient) {
+  CheckGraph(
+      [](Tape& t, const std::vector<Var>& v) {
+        return Sum(MatMul(v[0], v[1]));
+      },
+      {RandomMatrix(3, 4, 1), RandomMatrix(4, 2, 2)});
+}
+
+TEST(AutogradTest, TransposeGradient) {
+  CheckGraph(
+      [](Tape& t, const std::vector<Var>& v) {
+        return Sum(Hadamard(Transpose(v[0]), Transpose(v[0])));
+      },
+      {RandomMatrix(2, 5, 3)});
+}
+
+TEST(AutogradTest, RowSoftmaxGradient) {
+  CheckGraph(
+      [](Tape& t, const std::vector<Var>& v) {
+        Var s = RowSoftmax(v[0]);
+        return Sum(Hadamard(s, s));  // nonlinear head exercises the Jacobian
+      },
+      {RandomMatrix(3, 4, 4)});
+}
+
+TEST(AutogradTest, ReluGradient) {
+  // Keep entries away from the kink at 0.
+  Matrix m = RandomMatrix(3, 3, 5);
+  for (size_t i = 0; i < m.size(); ++i) {
+    if (std::fabs(m.data()[i]) < 0.1) m.data()[i] = 0.3;
+  }
+  CheckGraph(
+      [](Tape& t, const std::vector<Var>& v) { return Sum(Relu(v[0])); },
+      {m});
+}
+
+TEST(AutogradTest, SigmoidGradient) {
+  CheckGraph(
+      [](Tape& t, const std::vector<Var>& v) { return Sum(Sigmoid(v[0])); },
+      {RandomMatrix(2, 3, 6)});
+}
+
+TEST(AutogradTest, AddSubScaleGradient) {
+  CheckGraph(
+      [](Tape& t, const std::vector<Var>& v) {
+        return Sum(Scale(Sub(Add(v[0], v[1]), v[1]), 2.5));
+      },
+      {RandomMatrix(2, 2, 7), RandomMatrix(2, 2, 8)});
+}
+
+TEST(AutogradTest, HadamardGradient) {
+  CheckGraph(
+      [](Tape& t, const std::vector<Var>& v) {
+        return Sum(Hadamard(v[0], v[1]));
+      },
+      {RandomMatrix(3, 2, 9), RandomMatrix(3, 2, 10)});
+}
+
+TEST(AutogradTest, AddRowBiasGradient) {
+  CheckGraph(
+      [](Tape& t, const std::vector<Var>& v) {
+        return Sum(Hadamard(AddRowBias(v[0], v[1]), v[0]));
+      },
+      {RandomMatrix(3, 4, 11), RandomMatrix(3, 1, 12)});
+}
+
+TEST(AutogradTest, MeanGradient) {
+  CheckGraph(
+      [](Tape& t, const std::vector<Var>& v) {
+        return Mean(Hadamard(v[0], v[0]));
+      },
+      {RandomMatrix(4, 3, 13)});
+}
+
+TEST(AutogradTest, GatherRowsGradient) {
+  CheckGraph(
+      [](Tape& t, const std::vector<Var>& v) {
+        // Duplicate index exercises scatter-add.
+        return Sum(Hadamard(GatherRows(v[0], {0, 2, 0}),
+                            GatherRows(v[0], {1, 1, 2})));
+      },
+      {RandomMatrix(3, 4, 14)});
+}
+
+TEST(AutogradTest, SpMMGradient) {
+  SparseMat s(3, 4,
+              {{0, 1, 2.0}, {1, 0, -1.0}, {1, 3, 0.5}, {2, 2, 3.0}});
+  SparseMat st = s.Transposed();
+  CheckGraph(
+      [&](Tape& t, const std::vector<Var>& v) {
+        Var y = SpMM(&s, &st, v[0]);
+        return Sum(Hadamard(y, y));
+      },
+      {RandomMatrix(4, 2, 15)});
+}
+
+TEST(AutogradTest, RowwiseDotGradient) {
+  CheckGraph(
+      [](Tape& t, const std::vector<Var>& v) {
+        return Sum(RowwiseDot(v[0], v[1]));
+      },
+      {RandomMatrix(4, 3, 16), RandomMatrix(4, 3, 17)});
+}
+
+TEST(AutogradTest, RowCosineLossGradient) {
+  CheckGraph(
+      [](Tape& t, const std::vector<Var>& v) {
+        return RowCosineLoss(v[0], v[1]);
+      },
+      {RandomMatrix(3, 5, 18), RandomMatrix(3, 5, 19)}, 2e-5);
+}
+
+TEST(AutogradTest, NegativeDotLossGradient) {
+  CheckGraph(
+      [](Tape& t, const std::vector<Var>& v) {
+        return NegativeDotLoss(v[0], v[1]);
+      },
+      {RandomMatrix(3, 5, 20), RandomMatrix(3, 5, 21)});
+}
+
+TEST(AutogradTest, LogSigmoidLossGradient) {
+  CheckGraph(
+      [](Tape& t, const std::vector<Var>& v) {
+        return LogSigmoidLoss(RowwiseDot(v[0], v[1]),
+                              {1.0, -1.0, 1.0, -1.0});
+      },
+      {RandomMatrix(4, 3, 22), RandomMatrix(4, 3, 23)});
+}
+
+TEST(AutogradTest, L2PenaltyGradient) {
+  CheckGraph(
+      [](Tape& t, const std::vector<Var>& v) {
+        return L2Penalty(v[0], 0.3);
+      },
+      {RandomMatrix(2, 4, 24)});
+}
+
+TEST(AutogradTest, DeepCompositionGradient) {
+  // A translator-shaped stack: softmax-attention + relu feed-forward.
+  CheckGraph(
+      [](Tape& t, const std::vector<Var>& v) {
+        Var x = v[0];
+        Var attn = MatMul(RowSoftmax(Scale(MatMul(x, Transpose(x)), 0.5)), x);
+        Var ff = Relu(AddRowBias(MatMul(v[1], attn), v[2]));
+        return RowCosineLoss(ff, v[3]);
+      },
+      {RandomMatrix(4, 3, 25), RandomMatrix(4, 4, 26),
+       RandomMatrix(4, 1, 27), RandomMatrix(4, 3, 28)},
+      2e-5);
+}
+
+TEST(AutogradTest, ParameterAccumulatesGrad) {
+  Parameter p(Matrix(2, 2, 1.0));
+  Tape tape;
+  Var w = tape.Leaf(&p);
+  Var loss = Sum(Hadamard(w, w));
+  tape.Backward(loss);
+  // d/dw sum(w^2) = 2w = 2.
+  for (size_t i = 0; i < p.grad.size(); ++i) {
+    EXPECT_DOUBLE_EQ(p.grad.data()[i], 2.0);
+  }
+}
+
+TEST(AutogradTest, NoGradInputStaysUntouched) {
+  Tape tape;
+  Var a = tape.Input(Matrix(2, 2, 1.0), true);
+  Var b = tape.Input(Matrix(2, 2, 3.0), false);
+  Var loss = Sum(Hadamard(a, b));
+  tape.Backward(loss);
+  EXPECT_FALSE(tape.RequiresGrad(b));
+  for (size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(a.grad().data()[i], 3.0);
+}
+
+TEST(AutogradTest, DiamondGraphAccumulates) {
+  // loss = sum(a*a + a) reaches `a` along two paths.
+  Tape tape;
+  Matrix m = RandomMatrix(2, 2, 30);
+  Var a = tape.Input(m, true);
+  Var loss = Sum(Add(Hadamard(a, a), a));
+  tape.Backward(loss);
+  for (size_t i = 0; i < m.size(); ++i) {
+    EXPECT_NEAR(a.grad().data()[i], 2.0 * m.data()[i] + 1.0, 1e-12);
+  }
+}
+
+TEST(AutogradDeathTest, BackwardTwiceAborts) {
+  Tape tape;
+  Var a = tape.Input(Matrix(1, 1, 2.0), true);
+  Var loss = Sum(a);
+  tape.Backward(loss);
+  EXPECT_DEATH(tape.Backward(loss), "once per Tape");
+}
+
+TEST(AutogradDeathTest, NonScalarBackwardAborts) {
+  Tape tape;
+  Var a = tape.Input(Matrix(2, 2, 1.0), true);
+  EXPECT_DEATH(tape.Backward(a), "1x1 scalar");
+}
+
+TEST(AutogradDeathTest, MixedTapesAbort) {
+  Tape t1, t2;
+  Var a = t1.Input(Matrix(1, 1, 1.0), true);
+  Var b = t2.Input(Matrix(1, 1, 1.0), true);
+  EXPECT_DEATH(Add(a, b), "same Tape");
+}
+
+}  // namespace
+}  // namespace transn

@@ -1,0 +1,179 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "baselines/baseline_util.h"
+#include "baselines/hin2vec.h"
+#include "baselines/line.h"
+#include "baselines/metapath2vec.h"
+#include "baselines/mve.h"
+#include "baselines/node2vec.h"
+#include "baselines/rgcn.h"
+#include "baselines/simple_kg.h"
+#include "eval/node_classification.h"
+#include "test_graphs.h"
+
+namespace transn {
+namespace {
+
+// Shared small graph: two communities across two views.
+const HeteroGraph& TestGraph() {
+  static const HeteroGraph* g = new HeteroGraph(TwoCommunityNetwork(30, 42));
+  return *g;
+}
+
+void ExpectFiniteEmbeddings(const Matrix& emb, size_t rows, size_t dim) {
+  ASSERT_EQ(emb.rows(), rows);
+  ASSERT_EQ(emb.cols(), dim);
+  for (size_t i = 0; i < emb.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(emb.data()[i]));
+  }
+  EXPECT_GT(emb.FrobeniusNorm(), 0.0);
+}
+
+double CommunityScore(const HeteroGraph& g, const Matrix& emb) {
+  return EvaluateNodeClassification(g, emb, {.repeats = 3, .seed = 5})
+      .micro_f1;
+}
+
+TEST(BaselineUtilTest, SgnsOverWalksLearnsClusters) {
+  // Two disjoint cliques in walk form.
+  std::vector<std::vector<uint32_t>> corpus;
+  Rng rng(1);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<uint32_t> walk;
+    uint32_t base = rng.NextBernoulli(0.5) ? 0 : 3;
+    for (int k = 0; k < 8; ++k) {
+      walk.push_back(base + static_cast<uint32_t>(rng.NextUint64(3)));
+    }
+    corpus.push_back(std::move(walk));
+  }
+  Matrix emb = SgnsOverWalks(corpus, 6,
+                             {.dim = 16, .window = 2, .epochs = 3, .seed = 2});
+  auto cosine = [&](size_t a, size_t b) {
+    double ab = Dot(emb.Row(a), emb.Row(b), 16);
+    return ab / std::sqrt(Dot(emb.Row(a), emb.Row(a), 16) *
+                          Dot(emb.Row(b), emb.Row(b), 16));
+  };
+  EXPECT_GT(cosine(0, 1), cosine(0, 4));
+  EXPECT_GT(cosine(3, 5), cosine(1, 5));
+}
+
+TEST(BaselineUtilTest, ScatterRowsMapsAndZeroFills) {
+  Matrix local = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix global = ScatterRows(local, {3, 0}, 5);
+  EXPECT_DOUBLE_EQ(global(3, 0), 1.0);
+  EXPECT_DOUBLE_EQ(global(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(global(2, 0), 0.0);
+}
+
+TEST(LineBaselineTest, ProducesUsefulEmbeddings) {
+  const HeteroGraph& g = TestGraph();
+  Matrix emb = RunLine(g, {.dim = 16, .samples = 80000, .seed = 3});
+  ExpectFiniteEmbeddings(emb, g.num_nodes(), 16);
+  EXPECT_GT(CommunityScore(g, emb), 0.75);
+}
+
+TEST(Node2VecBaselineTest, ProducesUsefulEmbeddings) {
+  const HeteroGraph& g = TestGraph();
+  Node2VecBaselineConfig cfg;
+  cfg.dim = 16;
+  cfg.walk = {.p = 1.0, .q = 1.0, .walk_length = 20, .walks_per_node = 6};
+  cfg.window = 3;
+  cfg.epochs = 3;
+  cfg.seed = 4;
+  Matrix emb = RunNode2Vec(g, cfg);
+  ExpectFiniteEmbeddings(emb, g.num_nodes(), 16);
+  EXPECT_GT(CommunityScore(g, emb), 0.75);
+}
+
+TEST(Metapath2VecBaselineTest, ProducesUsefulEmbeddings) {
+  const HeteroGraph& g = TestGraph();
+  Metapath2VecConfig cfg;
+  cfg.dim = 16;
+  cfg.metapath = {"Person", "Tag", "Person"};
+  cfg.walk_length = 20;
+  cfg.walks_per_node = 6;
+  cfg.window = 2;
+  cfg.epochs = 3;
+  cfg.seed = 5;
+  auto emb = RunMetapath2Vec(g, cfg);
+  ASSERT_TRUE(emb.ok()) << emb.status().ToString();
+  ExpectFiniteEmbeddings(*emb, g.num_nodes(), 16);
+  EXPECT_GT(CommunityScore(g, *emb), 0.6);
+}
+
+TEST(Metapath2VecBaselineTest, RejectsBadMetapaths) {
+  const HeteroGraph& g = TestGraph();
+  Metapath2VecConfig cfg;
+  cfg.metapath = {"Person", "Tag"};
+  EXPECT_FALSE(RunMetapath2Vec(g, cfg).ok());
+  cfg.metapath = {"Person", "Nope", "Person"};
+  EXPECT_FALSE(RunMetapath2Vec(g, cfg).ok());
+}
+
+TEST(Hin2VecBaselineTest, ProducesUsefulEmbeddings) {
+  const HeteroGraph& g = TestGraph();
+  Hin2VecConfig cfg;
+  cfg.dim = 16;
+  cfg.walk_length = 15;
+  cfg.walks_per_node = 4;
+  cfg.window = 2;
+  cfg.epochs = 2;
+  cfg.seed = 6;
+  Matrix emb = RunHin2Vec(g, cfg);
+  ExpectFiniteEmbeddings(emb, g.num_nodes(), 16);
+  EXPECT_GT(CommunityScore(g, emb), 0.7);
+}
+
+TEST(MveBaselineTest, ProducesUsefulEmbeddings) {
+  const HeteroGraph& g = TestGraph();
+  MveConfig cfg;
+  cfg.dim = 16;
+  cfg.walk_length = 15;
+  cfg.walks_per_node = 4;
+  cfg.epochs = 3;
+  cfg.seed = 7;
+  Matrix emb = RunMve(g, cfg);
+  ExpectFiniteEmbeddings(emb, g.num_nodes(), 16);
+  EXPECT_GT(CommunityScore(g, emb), 0.75);
+}
+
+TEST(SimplEBaselineTest, ProducesUsefulEmbeddings) {
+  const HeteroGraph& g = TestGraph();
+  SimpleKgConfig cfg;
+  cfg.dim = 16;
+  cfg.epochs = 80;  // the toy graph has few edges; SimplE needs many passes
+  cfg.seed = 8;
+  Matrix emb = RunSimplE(g, cfg);
+  ExpectFiniteEmbeddings(emb, g.num_nodes(), 16);
+  EXPECT_GT(CommunityScore(g, emb), 0.6);
+}
+
+TEST(SimplEBaselineDeathTest, OddDimensionAborts) {
+  const HeteroGraph& g = TestGraph();
+  EXPECT_DEATH(RunSimplE(g, {.dim = 15}), "even");
+}
+
+TEST(RgcnBaselineTest, ProducesUsefulEmbeddings) {
+  const HeteroGraph& g = TestGraph();
+  RgcnConfig cfg;
+  cfg.dim = 16;
+  cfg.epochs = 40;
+  cfg.batch_edges = 256;
+  cfg.seed = 9;
+  Matrix emb = RunRgcn(g, cfg);
+  ExpectFiniteEmbeddings(emb, g.num_nodes(), 16);
+  EXPECT_GT(CommunityScore(g, emb), 0.6);
+}
+
+TEST(BaselinesTest, DeterministicForSeed) {
+  const HeteroGraph& g = TestGraph();
+  Matrix a = RunLine(g, {.dim = 8, .samples = 5000, .seed = 10});
+  Matrix b = RunLine(g, {.dim = 8, .samples = 5000, .seed = 10});
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_DOUBLE_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace transn

@@ -1,0 +1,64 @@
+#include "walk/corpus.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace transn {
+namespace {
+
+using Pair = std::pair<uint32_t, uint32_t>;
+
+std::multiset<Pair> Collect(const std::vector<uint32_t>& walk, bool heter) {
+  std::multiset<Pair> out;
+  ForEachContextPairDef6(walk, heter, [&out](ContextPair p) {
+    out.insert({p.center, p.context});
+  });
+  return out;
+}
+
+TEST(CorpusTest, HomoViewUsesAdjacentContexts) {
+  // Definition 6, homo-view: contexts are ±1 neighbors.
+  auto pairs = Collect({10, 20, 30}, /*heter=*/false);
+  std::multiset<Pair> expected = {{10, 20}, {20, 10}, {20, 30}, {30, 20}};
+  EXPECT_EQ(pairs, expected);
+}
+
+TEST(CorpusTest, HeterViewAddsSecondOrderContexts) {
+  // Definition 6, heter-view: contexts are ±1 and ±2 neighbors.
+  auto pairs = Collect({1, 2, 3, 4}, /*heter=*/true);
+  std::multiset<Pair> expected = {
+      {1, 2}, {1, 3},          // from 1
+      {2, 1}, {2, 3}, {2, 4},  // from 2
+      {3, 2}, {3, 4}, {3, 1},  // from 3
+      {4, 3}, {4, 2},          // from 4
+  };
+  EXPECT_EQ(pairs, expected);
+}
+
+TEST(CorpusTest, ShortWalksProduceNoPairs) {
+  EXPECT_TRUE(Collect({7}, false).empty());
+  EXPECT_TRUE(Collect({}, true).empty());
+}
+
+TEST(CorpusTest, WindowPairCount) {
+  // For a walk of length r and window w, pairs = 2*(r*w - w*(w+1)/2).
+  std::vector<uint32_t> walk = {0, 1, 2, 3, 4, 5};
+  size_t count = 0;
+  ForEachWindowPair(walk, 3, [&count](ContextPair) { ++count; });
+  EXPECT_EQ(count, 2u * (6 * 3 - 6));
+}
+
+TEST(CorpusTest, CountOccurrences) {
+  std::vector<std::vector<uint32_t>> corpus = {{0, 1, 1}, {2}};
+  auto counts = CountOccurrences(corpus, 4);
+  EXPECT_EQ(counts, (std::vector<double>{1, 2, 1, 0}));
+}
+
+TEST(CorpusDeathTest, OutOfVocabAborts) {
+  std::vector<std::vector<uint32_t>> corpus = {{5}};
+  EXPECT_DEATH(CountOccurrences(corpus, 3), "Check failed");
+}
+
+}  // namespace
+}  // namespace transn

@@ -1,0 +1,154 @@
+#include "core/cross_view.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+#include "test_graphs.h"
+
+namespace transn {
+namespace {
+
+TransNConfig SmallConfig() {
+  TransNConfig cfg;
+  cfg.dim = 12;
+  cfg.walk.walk_length = 12;
+  cfg.walk.min_walks_per_node = 2;
+  cfg.walk.max_walks_per_node = 4;
+  cfg.sgns.negatives = 3;
+  cfg.translator_encoders = 2;
+  cfg.translator_seq_len = 4;
+  cfg.cross_paths_per_pair = 20;
+  return cfg;
+}
+
+struct Fixture {
+  HeteroGraph graph;
+  std::vector<View> views;
+  std::vector<ViewPair> pairs;
+  std::unique_ptr<SingleViewTrainer> side_i, side_j;
+  std::unique_ptr<CrossViewTrainer> cross;
+  Rng rng{11};
+
+  explicit Fixture(TransNConfig cfg = SmallConfig())
+      : graph(TwoCommunityNetwork(25, 9)) {
+    views = BuildViews(graph);
+    pairs = FindViewPairs(views);
+    CHECK_EQ(pairs.size(), 1u);  // friendship & tagging share Person nodes
+    side_i = std::make_unique<SingleViewTrainer>(&views[pairs[0].view_i], cfg,
+                                                 rng);
+    side_j = std::make_unique<SingleViewTrainer>(&views[pairs[0].view_j], cfg,
+                                                 rng);
+    // Warm the view-specific embeddings so cross-view targets carry signal.
+    side_i->RunIteration(rng);
+    side_j->RunIteration(rng);
+    cross = std::make_unique<CrossViewTrainer>(&pairs[0], side_i.get(),
+                                               side_j.get(), cfg, rng);
+  }
+};
+
+TEST(CrossViewTest, SampledWindowsContainOnlyCommonNodes) {
+  Fixture f;
+  for (int side = 0; side <= 1; ++side) {
+    auto windows = f.cross->SampleCommonWindows(side, f.rng, 10);
+    ASSERT_FALSE(windows.empty());
+    const auto& common = f.pairs[0].common_nodes;
+    for (const auto& w : windows) {
+      EXPECT_EQ(w.size(), SmallConfig().translator_seq_len);
+      for (NodeId n : w) {
+        EXPECT_TRUE(std::binary_search(common.begin(), common.end(), n));
+      }
+    }
+  }
+}
+
+TEST(CrossViewTest, IterationsReduceLoss) {
+  Fixture f;
+  double first = f.cross->RunIteration(f.rng);
+  double last = first;
+  for (int i = 0; i < 10; ++i) last = f.cross->RunIteration(f.rng);
+  EXPECT_LT(last, first);
+}
+
+TEST(CrossViewTest, TranslationAlignsViews) {
+  // After training, translating a common node's view-i embedding must be
+  // closer (cosine) to its view-j embedding than an untrained translator
+  // would produce on average.
+  Fixture f;
+  const auto& common = f.pairs[0].common_nodes;
+  auto mean_alignment = [&]() {
+    double total = 0.0;
+    size_t count = 0;
+    const size_t len = SmallConfig().translator_seq_len;
+    // Translate blocks of common nodes through T_ij.
+    for (size_t start = 0; start + len <= common.size() && count < 40;
+         start += len) {
+      std::vector<size_t> rows_i, rows_j;
+      for (size_t k = 0; k < len; ++k) {
+        rows_i.push_back(f.side_i->graph().ToLocal(common[start + k]));
+        rows_j.push_back(f.side_j->graph().ToLocal(common[start + k]));
+      }
+      Matrix a = f.side_i->embeddings().GatherRows(rows_i);
+      Matrix b = f.side_j->embeddings().GatherRows(rows_j);
+      Matrix t = f.cross->translator_ij().Forward(a);
+      for (size_t r = 0; r < len; ++r) {
+        double tb = Dot(t.Row(r), b.Row(r), t.cols());
+        double tt = Dot(t.Row(r), t.Row(r), t.cols());
+        double bb = Dot(b.Row(r), b.Row(r), t.cols());
+        if (tt > 1e-20 && bb > 1e-20) {
+          total += tb / std::sqrt(tt * bb);
+          ++count;
+        }
+      }
+    }
+    return count > 0 ? total / count : 0.0;
+  };
+
+  double before = mean_alignment();
+  for (int i = 0; i < 12; ++i) f.cross->RunIteration(f.rng);
+  double after = mean_alignment();
+  EXPECT_GT(after, before + 0.1);
+}
+
+TEST(CrossViewTest, AblationFlagsChangeWork) {
+  TransNConfig no_translation = SmallConfig();
+  no_translation.enable_translation_tasks = false;
+  Fixture f1(no_translation);
+  EXPECT_GE(f1.cross->RunIteration(f1.rng), 0.0);
+
+  TransNConfig no_reconstruction = SmallConfig();
+  no_reconstruction.enable_reconstruction_tasks = false;
+  Fixture f2(no_reconstruction);
+  // Loss is finite and the iteration executes.
+  double loss = f2.cross->RunIteration(f2.rng);
+  EXPECT_TRUE(std::isfinite(loss));
+}
+
+TEST(CrossViewTest, SimpleTranslatorAblation) {
+  TransNConfig cfg = SmallConfig();
+  cfg.simple_translator = true;
+  Fixture f(cfg);
+  EXPECT_EQ(f.cross->translator_ij().num_encoders(), 1u);
+  EXPECT_TRUE(f.cross->translator_ij().simple());
+  EXPECT_TRUE(std::isfinite(f.cross->RunIteration(f.rng)));
+}
+
+TEST(CrossViewTest, EmbeddingsChangeAfterIteration) {
+  Fixture f;
+  Matrix before = f.side_i->embeddings().values();
+  f.cross->RunIteration(f.rng);
+  Matrix diff = Sub(f.side_i->embeddings().values(), before);
+  EXPECT_GT(diff.FrobeniusNorm(), 0.0);
+}
+
+TEST(CrossViewDeathTest, BothTasksDisabledAbortsOnTraining) {
+  TransNConfig cfg = SmallConfig();
+  cfg.enable_translation_tasks = false;
+  cfg.enable_reconstruction_tasks = false;
+  Fixture f(cfg);
+  EXPECT_DEATH(f.cross->RunIteration(f.rng), "cross-view enabled");
+}
+
+}  // namespace
+}  // namespace transn

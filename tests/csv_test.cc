@@ -1,0 +1,67 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace transn {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(TablePrinterTest, AlignedOutputContainsAllCells) {
+  TablePrinter t({"Method", "Score"});
+  t.AddRow({"TransN", "0.88"});
+  t.AddRow({"LINE", "0.72"});
+  std::string s = t.ToAlignedString();
+  EXPECT_NE(s.find("Method"), std::string::npos);
+  EXPECT_NE(s.find("TransN"), std::string::npos);
+  EXPECT_NE(s.find("0.72"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("|--"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::Num(0.12345, 4), "0.1235");  // printf rounding
+  EXPECT_EQ(TablePrinter::Num(2.0, 2), "2.00");
+}
+
+TEST(TablePrinterTest, CsvEscapesSpecials) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"x,y", "he said \"hi\""});
+  std::string csv = t.ToCsvString();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TablePrinterDeathTest, RowArityMismatchAborts) {
+  TablePrinter t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only one"}), "Check failed");
+}
+
+TEST(CsvRoundTripTest, WriteThenRead) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"with,comma", "2"});
+  std::string path = TempPath("round.csv");
+  ASSERT_TRUE(t.WriteCsv(path).ok());
+
+  auto rows = ReadDelimitedFile(path, ',');
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"name", "value"}));
+  EXPECT_EQ((*rows)[2][0], "with,comma");
+  std::remove(path.c_str());
+}
+
+TEST(ReadDelimitedFileTest, MissingFileIsIoError) {
+  auto rows = ReadDelimitedFile("/nonexistent/really/not.csv", ',');
+  EXPECT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace transn

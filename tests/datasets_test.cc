@@ -1,0 +1,107 @@
+#include "data/datasets.h"
+
+#include <gtest/gtest.h>
+#include "graph/graph_stats.h"
+#include "graph/view.h"
+
+namespace transn {
+namespace {
+
+constexpr double kScale = 0.05;
+
+TEST(DatasetsTest, AminerSchemaMatchesTable2) {
+  HeteroGraph g = MakeAminerLike(kScale, 1);
+  GraphStats s = ComputeStats(g);
+  ASSERT_EQ(s.nodes_per_type.size(), 3u);
+  EXPECT_EQ(s.nodes_per_type[0].first, "Author");
+  EXPECT_EQ(s.nodes_per_type[1].first, "Paper");
+  EXPECT_EQ(s.nodes_per_type[2].first, "Venue");
+  ASSERT_EQ(s.edges_per_type.size(), 4u);
+  EXPECT_EQ(s.edges_per_type[0].first, "AA");
+  EXPECT_EQ(s.edges_per_type[3].first, "PV");
+  EXPECT_EQ(s.labeled_type, "Paper");
+  // Unit weights everywhere.
+  for (size_t e = 0; e < g.num_edges(); ++e) {
+    ASSERT_DOUBLE_EQ(g.edge_weight(e), 1.0);
+  }
+}
+
+TEST(DatasetsTest, BlogSchemaMatchesTable2) {
+  HeteroGraph g = MakeBlogLike(kScale, 2);
+  GraphStats s = ComputeStats(g);
+  ASSERT_EQ(s.nodes_per_type.size(), 2u);
+  EXPECT_EQ(s.nodes_per_type[0].first, "User");
+  ASSERT_EQ(s.edges_per_type.size(), 3u);
+  EXPECT_EQ(s.labeled_type, "User");
+  for (size_t e = 0; e < g.num_edges(); ++e) {
+    ASSERT_DOUBLE_EQ(g.edge_weight(e), 1.0);
+  }
+}
+
+TEST(DatasetsTest, AppNetworksAreWeightedAndPartiallyLabeled) {
+  for (uint64_t seed = 1; seed <= 2; ++seed) {
+    HeteroGraph g = seed == 1 ? MakeAppDailyLike(kScale, seed)
+                              : MakeAppWeeklyLike(kScale, seed);
+    GraphStats s = ComputeStats(g);
+    EXPECT_EQ(s.labeled_type, "Applet");
+    // Only a fraction of applets labeled (paper: 5375 of 147968).
+    EXPECT_LT(s.num_labeled, s.nodes_per_type[0].second);
+    bool any_heavy = false;
+    for (size_t e = 0; e < g.num_edges(); ++e) {
+      if (g.edge_weight(e) > 1.5) any_heavy = true;
+    }
+    EXPECT_TRUE(any_heavy);
+  }
+}
+
+TEST(DatasetsTest, BlogDensityExceedsAppDensity) {
+  // Table II analysis (§IV-B1): BLOG is over an order of magnitude denser.
+  GraphStats blog = ComputeStats(MakeBlogLike(kScale, 3));
+  GraphStats app = ComputeStats(MakeAppDailyLike(kScale, 3));
+  EXPECT_GT(blog.density, 5.0 * app.density);
+}
+
+TEST(DatasetsTest, AllViewsNonEmpty) {
+  for (const std::string& name : DatasetNames()) {
+    auto g = MakeDataset(name, kScale, 4);
+    ASSERT_TRUE(g.ok());
+    for (const View& v : BuildViews(*g)) {
+      EXPECT_GT(v.graph.num_nodes(), 0u) << name;
+    }
+  }
+}
+
+TEST(DatasetsTest, MakeDatasetDispatch) {
+  EXPECT_TRUE(MakeDataset("AMiner", kScale, 5).ok());
+  EXPECT_FALSE(MakeDataset("Unknown", kScale, 5).ok());
+  EXPECT_FALSE(MakeDataset("AMiner", -1.0, 5).ok());
+  EXPECT_EQ(DatasetNames().size(), 4u);
+}
+
+TEST(DatasetsTest, RecommendedMetapathsUseRealTypes) {
+  for (const std::string& name : DatasetNames()) {
+    auto g = MakeDataset(name, kScale, 6);
+    ASSERT_TRUE(g.ok());
+    std::vector<std::string> path = RecommendedMetapath(name);
+    ASSERT_GE(path.size(), 3u) << name;
+    EXPECT_EQ(path.front(), path.back());
+    for (const std::string& type_name : path) {
+      bool found = false;
+      for (NodeTypeId t = 0; t < g->num_node_types(); ++t) {
+        found |= g->node_type_name(t) == type_name;
+      }
+      EXPECT_TRUE(found) << name << " / " << type_name;
+    }
+  }
+  EXPECT_TRUE(RecommendedMetapath("nope").empty());
+}
+
+TEST(DatasetsTest, ScaleControlsSize) {
+  HeteroGraph small = MakeAminerLike(0.05, 7);
+  HeteroGraph large = MakeAminerLike(0.15, 7);
+  EXPECT_GT(large.num_nodes(), 2 * small.num_nodes());
+  EXPECT_GT(large.num_edges(), 2 * small.num_edges());
+}
+
+}  // namespace
+}  // namespace transn

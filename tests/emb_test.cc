@@ -1,0 +1,144 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "emb/embedding_table.h"
+#include "emb/negative_sampler.h"
+#include "emb/sgns.h"
+#include "nn/matrix.h"
+
+namespace transn {
+namespace {
+
+TEST(EmbeddingTableTest, RandomInitBounded) {
+  Rng rng(1);
+  EmbeddingTable t(10, 16, rng);
+  EXPECT_EQ(t.num_rows(), 10u);
+  EXPECT_EQ(t.dim(), 16u);
+  const double bound = 0.5 / 16.0;
+  for (size_t r = 0; r < 10; ++r) {
+    for (size_t c = 0; c < 16; ++c) {
+      EXPECT_LT(std::fabs(t.Row(r)[c]), bound + 1e-12);
+    }
+  }
+}
+
+TEST(EmbeddingTableTest, ZeroInit) {
+  EmbeddingTable t(3, 4);
+  EXPECT_DOUBLE_EQ(t.values().FrobeniusNorm(), 0.0);
+}
+
+TEST(EmbeddingTableTest, SgdStep) {
+  EmbeddingTable t(2, 3);
+  double grad[3] = {1.0, -2.0, 0.5};
+  t.SgdStep(1, grad, 0.1);
+  EXPECT_DOUBLE_EQ(t.Row(1)[0], -0.1);
+  EXPECT_DOUBLE_EQ(t.Row(1)[1], 0.2);
+  EXPECT_DOUBLE_EQ(t.Row(1)[2], -0.05);
+  EXPECT_DOUBLE_EQ(t.Row(0)[0], 0.0);  // untouched row
+}
+
+TEST(EmbeddingTableTest, AdamStepMatchesDenseAdamOnSingleRow) {
+  AdamConfig config{.learning_rate = 0.05};
+  EmbeddingTable t(1, 4);
+  Parameter p(Matrix(1, 4, 0.0));
+  AdamOptimizer opt(config);
+  opt.Register(&p);
+  Rng rng(2);
+  for (int step = 0; step < 10; ++step) {
+    double grad[4];
+    for (double& g : grad) g = rng.NextGaussian();
+    t.BeginAdamStep();
+    t.AdamStep(0, grad, config);
+    for (size_t i = 0; i < 4; ++i) p.grad(0, i) = grad[i];
+    opt.Step();
+    for (size_t i = 0; i < 4; ++i) {
+      ASSERT_NEAR(t.Row(0)[i], p.value(0, i), 1e-12);
+    }
+  }
+}
+
+TEST(EmbeddingTableDeathTest, AdamStepRequiresBegin) {
+  EmbeddingTable t(1, 2);
+  double grad[2] = {1.0, 1.0};
+  EXPECT_DEATH(t.AdamStep(0, grad, AdamConfig{}), "BeginAdamStep");
+}
+
+TEST(EmbeddingTableTest, GatherRows) {
+  Rng rng(3);
+  EmbeddingTable t(4, 2, rng);
+  Matrix m = t.GatherRows({2, 0, 2});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_DOUBLE_EQ(m(0, 0), t.Row(2)[0]);
+  EXPECT_DOUBLE_EQ(m(1, 1), t.Row(0)[1]);
+  EXPECT_DOUBLE_EQ(m(2, 0), t.Row(2)[0]);
+}
+
+TEST(NegativeSamplerTest, ZeroCountNeverSampled) {
+  NegativeSampler s({10.0, 0.0, 5.0});
+  Rng rng(4);
+  for (int i = 0; i < 2000; ++i) EXPECT_NE(s.Sample(rng, 99), 1u);
+}
+
+TEST(NegativeSamplerTest, ExcludesTarget) {
+  NegativeSampler s({1.0, 1.0, 1.0});
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) EXPECT_NE(s.Sample(rng, 1), 1u);
+}
+
+TEST(NegativeSamplerTest, PowerSmoothsDistribution) {
+  // counts 1 vs 16 with power 0.75: ratio 16^0.75 = 8.
+  NegativeSampler s({1.0, 16.0});
+  Rng rng(6);
+  int c1 = 0;
+  const int n = 90000;
+  for (int i = 0; i < n; ++i) c1 += s.Sample(rng, 99) == 1;
+  EXPECT_NEAR(static_cast<double>(c1) / n, 8.0 / 9.0, 0.01);
+}
+
+TEST(SgnsTest, PairTrainingReducesLoss) {
+  Rng rng(7);
+  EmbeddingTable input(4, 8, rng);
+  EmbeddingTable context(4, 8);
+  NegativeSampler sampler({1.0, 1.0, 1.0, 1.0});
+  SgnsTrainer trainer(&input, &context, &sampler,
+                      {.negatives = 2, .learning_rate = 0.2});
+  double first = trainer.TrainPair(0, 1, rng);
+  double last = first;
+  for (int i = 0; i < 200; ++i) last = trainer.TrainPair(0, 1, rng);
+  EXPECT_LT(last, first);
+}
+
+TEST(SgnsTest, LearnsTwoClusterStructure) {
+  // Corpus: ids {0,1} always co-occur, ids {2,3} always co-occur.
+  Rng rng(8);
+  EmbeddingTable input(4, 16, rng);
+  EmbeddingTable context(4, 16);
+  NegativeSampler sampler({1.0, 1.0, 1.0, 1.0});
+  SgnsTrainer trainer(&input, &context, &sampler,
+                      {.negatives = 3, .learning_rate = 0.1});
+  for (int epoch = 0; epoch < 600; ++epoch) {
+    trainer.TrainPair(0, 1, rng);
+    trainer.TrainPair(1, 0, rng);
+    trainer.TrainPair(2, 3, rng);
+    trainer.TrainPair(3, 2, rng);
+  }
+  auto cosine = [&](size_t a, size_t b) {
+    double ab = Dot(input.Row(a), input.Row(b), 16);
+    double aa = Dot(input.Row(a), input.Row(a), 16);
+    double bb = Dot(input.Row(b), input.Row(b), 16);
+    return ab / std::sqrt(aa * bb);
+  };
+  EXPECT_GT(cosine(0, 1), cosine(0, 2));
+  EXPECT_GT(cosine(2, 3), cosine(1, 3));
+}
+
+TEST(SgnsDeathTest, DimMismatchAborts) {
+  Rng rng(9);
+  EmbeddingTable a(2, 4, rng);
+  EmbeddingTable b(2, 8, rng);
+  NegativeSampler sampler({1.0, 1.0});
+  EXPECT_DEATH(SgnsTrainer(&a, &b, &sampler, {}), "Check failed");
+}
+
+}  // namespace
+}  // namespace transn

@@ -1,0 +1,108 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+#include "test_graphs.h"
+
+namespace transn {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(GraphIoTest, RoundTripPreservesEverything) {
+  HeteroGraph g = Fig4BookRatingNetwork();
+  std::string path = TempPath("graph_roundtrip.tsv");
+  ASSERT_TRUE(SaveGraph(g, path).ok());
+
+  auto loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const HeteroGraph& h = *loaded;
+  ASSERT_EQ(h.num_nodes(), g.num_nodes());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  ASSERT_EQ(h.num_node_types(), g.num_node_types());
+  ASSERT_EQ(h.num_edge_types(), g.num_edge_types());
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    EXPECT_EQ(h.node_name(n), g.node_name(n));
+    EXPECT_EQ(h.node_type(n), g.node_type(n));
+    EXPECT_EQ(h.label(n), g.label(n));
+  }
+  for (size_t e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(h.edge_u(e), g.edge_u(e));
+    EXPECT_EQ(h.edge_v(e), g.edge_v(e));
+    EXPECT_EQ(h.edge_type(e), g.edge_type(e));
+    EXPECT_DOUBLE_EQ(h.edge_weight(e), g.edge_weight(e));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, RoundTripPreservesLabels) {
+  HeteroGraphBuilder b;
+  NodeTypeId t = b.AddNodeType("X");
+  EdgeTypeId e = b.AddEdgeType("r");
+  b.AddNode(t, "x0");
+  b.AddNode(t, "x1");
+  b.AddEdge(0, 1, e, 2.5);
+  b.SetLabel(0, 4);
+  HeteroGraph g = b.Build();
+
+  std::string path = TempPath("graph_labels.tsv");
+  ASSERT_TRUE(SaveGraph(g, path).ok());
+  auto loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->label(0), 4);
+  EXPECT_EQ(loaded->label(1), kUnlabeled);
+  EXPECT_EQ(loaded->num_labels(), 5);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, MissingFileFails) {
+  EXPECT_EQ(LoadGraph("/no/such/file.tsv").status().code(),
+            StatusCode::kIoError);
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+TEST(GraphIoTest, MalformedInputsRejected) {
+  std::string path = TempPath("bad_graph.tsv");
+  struct Case {
+    const char* content;
+    const char* what;
+  };
+  const Case cases[] = {
+      {"Q\tx\n", "unknown tag"},
+      {"T\tX\nN\tn0\tY\n", "unknown node type"},
+      {"T\tX\nN\tn0\tX\nN\tn0\tX\n", "duplicate node"},
+      {"T\tX\nR\tr\nN\ta\tX\nN\tb\tX\nE\ta\tc\tr\t1\n", "unknown node"},
+      {"T\tX\nR\tr\nN\ta\tX\nN\tb\tX\nE\ta\tb\tr\t-1\n", "bad edge weight"},
+      {"T\tX\nR\tr\nN\ta\tX\nN\tb\tX\nE\ta\tb\tq\t1\n", "unknown edge type"},
+      {"T\tX\nN\ta\tX\tnotanumber\n", "bad label"},
+  };
+  for (const Case& c : cases) {
+    WriteFile(path, c.content);
+    auto loaded = LoadGraph(path);
+    EXPECT_FALSE(loaded.ok()) << "content: " << c.content;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, CommentsAndBlankLinesIgnored) {
+  std::string path = TempPath("comments.tsv");
+  WriteFile(path,
+            "# header comment\n\nT\tX\nR\tr\n# mid comment\nN\ta\tX\n"
+            "N\tb\tX\nE\ta\tb\tr\t1.5\n");
+  auto loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_nodes(), 2u);
+  EXPECT_EQ(loaded->num_edges(), 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace transn

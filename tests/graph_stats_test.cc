@@ -1,0 +1,54 @@
+#include "graph/graph_stats.h"
+
+#include <gtest/gtest.h>
+#include "test_graphs.h"
+
+namespace transn {
+namespace {
+
+TEST(GraphStatsTest, Fig2aStats) {
+  HeteroGraph g = Fig2aAcademicNetwork();
+  GraphStats s = ComputeStats(g);
+  EXPECT_EQ(s.num_nodes, 6u);
+  EXPECT_EQ(s.num_edges, 6u);
+  ASSERT_EQ(s.nodes_per_type.size(), 3u);
+  EXPECT_EQ(s.nodes_per_type[0], (std::pair<std::string, size_t>{"Author", 3}));
+  EXPECT_EQ(s.nodes_per_type[1], (std::pair<std::string, size_t>{"Paper", 2}));
+  ASSERT_EQ(s.edges_per_type.size(), 3u);
+  EXPECT_EQ(s.edges_per_type[0],
+            (std::pair<std::string, size_t>{"authorship", 3}));
+  EXPECT_EQ(s.num_labeled, 0u);
+  EXPECT_DOUBLE_EQ(s.average_degree, 2.0);
+  EXPECT_NEAR(s.density, 12.0 / 30.0, 1e-12);
+}
+
+TEST(GraphStatsTest, LabeledTypeDetected) {
+  HeteroGraph g = TwoCommunityNetwork(10, 1);
+  GraphStats s = ComputeStats(g);
+  EXPECT_EQ(s.labeled_type, "Person");
+  EXPECT_EQ(s.num_labeled, 20u);
+}
+
+TEST(GraphStatsTest, MixedLabeledTypesClearName) {
+  HeteroGraphBuilder b;
+  NodeTypeId x = b.AddNodeType("X");
+  NodeTypeId y = b.AddNodeType("Y");
+  EdgeTypeId e = b.AddEdgeType("r");
+  NodeId n0 = b.AddNode(x);
+  NodeId n1 = b.AddNode(y);
+  b.AddEdge(n0, n1, e);
+  b.SetLabel(n0, 0);
+  b.SetLabel(n1, 1);
+  GraphStats s = ComputeStats(b.Build());
+  EXPECT_EQ(s.num_labeled, 2u);
+  EXPECT_TRUE(s.labeled_type.empty());
+}
+
+TEST(FormatTypeCountsTest, PaperStyleCell) {
+  EXPECT_EQ(FormatTypeCounts({{"Author", 2161}, {"Paper", 2555}}),
+            "Author(2161), Paper(2555)");
+  EXPECT_EQ(FormatTypeCounts({}), "");
+}
+
+}  // namespace
+}  // namespace transn

@@ -1,0 +1,127 @@
+#include "graph/hetero_graph.h"
+
+#include <gtest/gtest.h>
+#include "test_graphs.h"
+
+namespace transn {
+namespace {
+
+TEST(HeteroGraphBuilderTest, BuildsFig2aNetwork) {
+  HeteroGraph g = Fig2aAcademicNetwork();
+  EXPECT_EQ(g.num_nodes(), 6u);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.num_node_types(), 3u);
+  EXPECT_EQ(g.num_edge_types(), 3u);
+  EXPECT_EQ(g.node_type_name(0), "Author");
+  EXPECT_EQ(g.edge_type_name(1), "citation");
+  EXPECT_EQ(g.node_name(0), "A1");
+}
+
+TEST(HeteroGraphTest, AdjacencyIsSymmetric) {
+  HeteroGraph g = Fig2aAcademicNetwork();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const Adjacency* a = g.NeighborsBegin(u); a != g.NeighborsEnd(u);
+         ++a) {
+      bool found = false;
+      for (const Adjacency* back = g.NeighborsBegin(a->neighbor);
+           back != g.NeighborsEnd(a->neighbor); ++back) {
+        if (back->neighbor == u && back->edge_type == a->edge_type) {
+          found = true;
+          EXPECT_DOUBLE_EQ(back->weight, a->weight);
+        }
+      }
+      EXPECT_TRUE(found) << "edge " << u << "->" << a->neighbor;
+    }
+  }
+}
+
+TEST(HeteroGraphTest, DegreesMatchFig2a) {
+  HeteroGraph g = Fig2aAcademicNetwork();
+  EXPECT_EQ(g.degree(0), 2u);  // A1: P1, U1
+  EXPECT_EQ(g.degree(1), 1u);  // A2: P2
+  EXPECT_EQ(g.degree(3), 2u);  // P1: A1, P2
+  EXPECT_EQ(g.degree(4), 3u);  // P2: A2, A3, P1
+  EXPECT_EQ(g.degree(5), 2u);  // U1: A1, A3
+}
+
+TEST(HeteroGraphTest, HasEdge) {
+  HeteroGraph g = Fig2aAcademicNetwork();
+  EXPECT_TRUE(g.HasEdge(0, 3));   // A1-P1
+  EXPECT_TRUE(g.HasEdge(3, 0));   // symmetric
+  EXPECT_FALSE(g.HasEdge(0, 4));  // A1-P2
+  EXPECT_FALSE(g.HasEdge(1, 5));  // A2-U1
+}
+
+TEST(HeteroGraphTest, LabelsAndLabeledNodes) {
+  HeteroGraphBuilder b;
+  NodeTypeId t = b.AddNodeType("X");
+  EdgeTypeId e = b.AddEdgeType("r");
+  NodeId n0 = b.AddNode(t);
+  NodeId n1 = b.AddNode(t);
+  NodeId n2 = b.AddNode(t);
+  b.AddEdge(n0, n1, e);
+  b.AddEdge(n1, n2, e);
+  b.SetLabel(n0, 2);
+  b.SetLabel(n2, 0);
+  HeteroGraph g = b.Build();
+  EXPECT_EQ(g.label(n0), 2);
+  EXPECT_EQ(g.label(n1), kUnlabeled);
+  EXPECT_EQ(g.num_labels(), 3);
+  EXPECT_EQ(g.LabeledNodes(), (std::vector<NodeId>{n0, n2}));
+}
+
+TEST(HeteroGraphTest, UnnamedNodesGetDefaultNames) {
+  HeteroGraphBuilder b;
+  NodeTypeId t = b.AddNodeType("X");
+  b.AddEdgeType("r");
+  NodeId n = b.AddNode(t);
+  b.AddNode(t);
+  b.AddEdge(0, 1, 0);
+  HeteroGraph g = b.Build();
+  EXPECT_EQ(g.node_name(n), "n0");
+}
+
+TEST(HeteroGraphTest, EdgeListAccess) {
+  HeteroGraph g = Fig2aAcademicNetwork();
+  EXPECT_EQ(g.edge_u(0), 0u);
+  EXPECT_EQ(g.edge_v(0), 3u);
+  EXPECT_EQ(g.edge_type(3), 1u);  // citation
+  EXPECT_DOUBLE_EQ(g.edge_weight(0), 1.0);
+}
+
+TEST(HeteroGraphTest, AverageDegree) {
+  HeteroGraph g = Fig2aAcademicNetwork();
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 2.0);  // 2*6/6
+}
+
+TEST(HeteroGraphBuilderDeathTest, RejectsBadInput) {
+  HeteroGraphBuilder b;
+  NodeTypeId t = b.AddNodeType("X");
+  EdgeTypeId e = b.AddEdgeType("r");
+  NodeId n0 = b.AddNode(t);
+  NodeId n1 = b.AddNode(t);
+  EXPECT_DEATH(b.AddEdge(n0, n0, e), "self-loops");
+  EXPECT_DEATH(b.AddEdge(n0, n1, e, 0.0), "positive");
+  EXPECT_DEATH(b.AddEdge(n0, 99, e), "Check failed");
+  EXPECT_DEATH(b.AddEdge(n0, n1, 9), "unknown edge type");
+  EXPECT_DEATH(b.AddNode(7), "unknown node type");
+  EXPECT_DEATH(b.AddNodeType("X"), "duplicate");
+  EXPECT_DEATH(b.AddEdgeType("r"), "duplicate");
+  EXPECT_DEATH(b.SetLabel(n0, -3), "Check failed");
+}
+
+TEST(HeteroGraphBuilderTest, BuilderResetsAfterBuild) {
+  HeteroGraphBuilder b;
+  NodeTypeId t = b.AddNodeType("X");
+  b.AddEdgeType("r");
+  b.AddNode(t);
+  b.AddNode(t);
+  b.AddEdge(0, 1, 0);
+  HeteroGraph g = b.Build();
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(b.num_nodes(), 0u);
+  EXPECT_EQ(b.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace transn

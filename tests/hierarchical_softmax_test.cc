@@ -1,0 +1,110 @@
+#include "emb/hierarchical_softmax.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace transn {
+namespace {
+
+TEST(HuffmanTreeTest, TwoSymbolTree) {
+  HuffmanTree tree({3.0, 1.0});
+  EXPECT_EQ(tree.vocab_size(), 2u);
+  EXPECT_EQ(tree.num_internal_nodes(), 1u);
+  EXPECT_EQ(tree.Code(0).size(), 1u);
+  EXPECT_EQ(tree.Code(1).size(), 1u);
+  EXPECT_NE(tree.Code(0)[0], tree.Code(1)[0]);
+  EXPECT_EQ(tree.Path(0)[0], 0u);
+}
+
+TEST(HuffmanTreeTest, FrequentSymbolsGetShorterCodes) {
+  // Skewed distribution: id 0 dominates.
+  HuffmanTree tree({100.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0});
+  const size_t len0 = tree.Code(0).size();
+  for (uint32_t i = 1; i < 8; ++i) {
+    EXPECT_LE(len0, tree.Code(i).size());
+  }
+  EXPECT_LE(len0, 2u);
+}
+
+TEST(HuffmanTreeTest, CodesArePrefixFree) {
+  HuffmanTree tree({5, 3, 2, 2, 1, 1});
+  for (uint32_t a = 0; a < 6; ++a) {
+    for (uint32_t b = 0; b < 6; ++b) {
+      if (a == b) continue;
+      const auto& ca = tree.Code(a);
+      const auto& cb = tree.Code(b);
+      if (ca.size() > cb.size()) continue;
+      bool is_prefix = true;
+      for (size_t i = 0; i < ca.size(); ++i) is_prefix &= ca[i] == cb[i];
+      EXPECT_FALSE(is_prefix) << a << " prefixes " << b;
+    }
+  }
+}
+
+TEST(HuffmanTreeTest, ExpectedCodeLengthNearEntropy) {
+  // For a dyadic distribution the Huffman code is exactly optimal.
+  std::vector<double> counts = {8, 4, 2, 1, 1};
+  HuffmanTree tree(counts);
+  double total = 16.0;
+  double expected_len = 0.0;
+  for (uint32_t i = 0; i < counts.size(); ++i) {
+    expected_len += counts[i] / total * tree.Code(i).size();
+  }
+  // Entropy of {1/2,1/4,1/8,1/16,1/16} = 1.875.
+  EXPECT_NEAR(expected_len, 1.875, 1e-9);
+}
+
+TEST(HuffmanTreeTest, PathIdsWithinInternalNodeRange) {
+  HuffmanTree tree({2, 3, 4, 5, 6});
+  for (uint32_t i = 0; i < 5; ++i) {
+    ASSERT_EQ(tree.Path(i).size(), tree.Code(i).size());
+    for (uint32_t node : tree.Path(i)) {
+      EXPECT_LT(node, tree.num_internal_nodes());
+    }
+  }
+}
+
+TEST(HuffmanTreeDeathTest, SingleSymbolAborts) {
+  EXPECT_DEATH(HuffmanTree({1.0}), "Check failed");
+}
+
+TEST(HierarchicalSoftmaxTest, TrainingReducesPairLoss) {
+  Rng rng(1);
+  EmbeddingTable input(4, 8, rng);
+  HierarchicalSoftmaxTrainer trainer(&input, {4, 3, 2, 1}, 0.2);
+  double first = trainer.TrainPair(0, 1);
+  double last = first;
+  for (int i = 0; i < 300; ++i) last = trainer.TrainPair(0, 1);
+  EXPECT_LT(last, first * 0.5);
+}
+
+TEST(HierarchicalSoftmaxTest, LearnsClusters) {
+  Rng rng(2);
+  EmbeddingTable input(4, 16, rng);
+  HierarchicalSoftmaxTrainer trainer(&input, {1, 1, 1, 1}, 0.1);
+  for (int epoch = 0; epoch < 800; ++epoch) {
+    trainer.TrainPair(0, 1);
+    trainer.TrainPair(1, 0);
+    trainer.TrainPair(2, 3);
+    trainer.TrainPair(3, 2);
+  }
+  auto cosine = [&](size_t a, size_t b) {
+    double ab = Dot(input.Row(a), input.Row(b), 16);
+    double aa = Dot(input.Row(a), input.Row(a), 16);
+    double bb = Dot(input.Row(b), input.Row(b), 16);
+    return ab / std::sqrt(std::max(aa * bb, 1e-30));
+  };
+  EXPECT_GT(cosine(0, 1), cosine(0, 2));
+  EXPECT_GT(cosine(2, 3), cosine(0, 3));
+}
+
+TEST(HierarchicalSoftmaxDeathTest, CountSizeMismatchAborts) {
+  Rng rng(3);
+  EmbeddingTable input(4, 8, rng);
+  EXPECT_DEATH(HierarchicalSoftmaxTrainer(&input, {1, 1}, 0.1),
+               "Check failed");
+}
+
+}  // namespace
+}  // namespace transn

@@ -1,0 +1,131 @@
+#include "data/hsbm.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "graph/graph_stats.h"
+
+namespace transn {
+namespace {
+
+HsbmSpec TwoTypeSpec() {
+  HsbmSpec spec;
+  spec.node_types = {{"U", 200}, {"K", 50}};
+  spec.edge_types = {
+      {.name = "UU", .type_a = 0, .type_b = 0, .num_edges = 800,
+       .intra_community_prob = 0.9, .community_correlation = 1.0},
+      {.name = "UK", .type_a = 0, .type_b = 1, .num_edges = 400,
+       .intra_community_prob = 0.9, .community_correlation = 1.0,
+       .weighted = true, .weight_intra_mean = 10.0, .weight_inter_mean = 2.0},
+  };
+  spec.num_communities = 4;
+  spec.labeled_type = 0;
+  spec.labeled_fraction = 0.5;
+  spec.seed = 3;
+  return spec;
+}
+
+TEST(HsbmTest, RespectsCounts) {
+  HeteroGraph g = GenerateHsbm(TwoTypeSpec());
+  GraphStats s = ComputeStats(g);
+  EXPECT_EQ(s.nodes_per_type[0].second, 200u);
+  EXPECT_EQ(s.nodes_per_type[1].second, 50u);
+  // Edge targets are met up to dedup collisions and the repair pass.
+  EXPECT_NEAR(static_cast<double>(s.edges_per_type[0].second), 800.0, 40.0);
+  EXPECT_NEAR(static_cast<double>(s.edges_per_type[1].second), 400.0, 20.0);
+}
+
+TEST(HsbmTest, NoIsolatedNodes) {
+  HeteroGraph g = GenerateHsbm(TwoTypeSpec());
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    EXPECT_GT(g.degree(n), 0u) << "node " << n;
+  }
+}
+
+TEST(HsbmTest, LabeledFractionHonored) {
+  HeteroGraph g = GenerateHsbm(TwoTypeSpec());
+  GraphStats s = ComputeStats(g);
+  EXPECT_EQ(s.num_labeled, 100u);
+  EXPECT_EQ(s.labeled_type, "U");
+  // Labels span the configured communities.
+  EXPECT_LE(g.num_labels(), 4);
+  EXPECT_GE(g.num_labels(), 3);
+}
+
+TEST(HsbmTest, WeightsInformative) {
+  // With correlation 1 and distinct means, intra-community UK edges must be
+  // heavier on average than inter-community ones. Use labels as community
+  // proxies (label = community for labeled nodes)... labels only exist for
+  // type U, so compare same-label-endpoint edges via homophily instead:
+  // heavier edges should connect users with equal labels more often.
+  HeteroGraph g = GenerateHsbm(TwoTypeSpec());
+  double heavy_sum = 0.0, light_sum = 0.0;
+  size_t heavy_n = 0, light_n = 0;
+  for (size_t e = 0; e < g.num_edges(); ++e) {
+    if (g.edge_type(e) != 1) continue;
+    (g.edge_weight(e) > 5.0 ? heavy_sum : light_sum) += 1.0;
+    (g.edge_weight(e) > 5.0 ? heavy_n : light_n) += 1;
+  }
+  // Both heavy (intra) and light (inter) edges exist.
+  EXPECT_GT(heavy_n, 0u);
+  EXPECT_GT(light_n, 0u);
+}
+
+TEST(HsbmTest, UnweightedTypesHaveUnitWeights) {
+  HeteroGraph g = GenerateHsbm(TwoTypeSpec());
+  for (size_t e = 0; e < g.num_edges(); ++e) {
+    if (g.edge_type(e) == 0) {
+      EXPECT_DOUBLE_EQ(g.edge_weight(e), 1.0);
+    }
+  }
+}
+
+TEST(HsbmTest, DeterministicForSeed) {
+  HeteroGraph a = GenerateHsbm(TwoTypeSpec());
+  HeteroGraph b = GenerateHsbm(TwoTypeSpec());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (size_t e = 0; e < a.num_edges(); ++e) {
+    ASSERT_EQ(a.edge_u(e), b.edge_u(e));
+    ASSERT_EQ(a.edge_v(e), b.edge_v(e));
+    ASSERT_DOUBLE_EQ(a.edge_weight(e), b.edge_weight(e));
+  }
+}
+
+TEST(HsbmTest, CommunityStructurePresent) {
+  // Most UU edges should connect same-label users (labels are communities).
+  HeteroGraph g = GenerateHsbm(TwoTypeSpec());
+  size_t same = 0, total = 0;
+  for (size_t e = 0; e < g.num_edges(); ++e) {
+    if (g.edge_type(e) != 0) continue;
+    int lu = g.label(g.edge_u(e));
+    int lv = g.label(g.edge_v(e));
+    if (lu == kUnlabeled || lv == kUnlabeled) continue;
+    ++total;
+    same += lu == lv;
+  }
+  ASSERT_GT(total, 50u);
+  // 0.9 intra target vs 0.25 under independence.
+  EXPECT_GT(static_cast<double>(same) / total, 0.7);
+}
+
+TEST(HsbmTest, LowCorrelationDecouplesViews) {
+  HsbmSpec spec = TwoTypeSpec();
+  spec.edge_types[0].community_correlation = 0.0;
+  HeteroGraph g = GenerateHsbm(spec);
+  size_t same = 0, total = 0;
+  for (size_t e = 0; e < g.num_edges(); ++e) {
+    if (g.edge_type(e) != 0) continue;
+    int lu = g.label(g.edge_u(e));
+    int lv = g.label(g.edge_v(e));
+    if (lu == kUnlabeled || lv == kUnlabeled) continue;
+    ++total;
+    same += lu == lv;
+  }
+  ASSERT_GT(total, 50u);
+  // With decorrelated effective communities, label homophily collapses
+  // toward the 0.25 independence baseline.
+  EXPECT_LT(static_cast<double>(same) / total, 0.45);
+}
+
+}  // namespace
+}  // namespace transn

@@ -1,0 +1,59 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace transn {
+namespace {
+
+TEST(InitTest, XavierBounds) {
+  Rng rng(1);
+  Matrix m = XavierUniform(30, 50, rng);
+  const double bound = std::sqrt(6.0 / 80.0);
+  double max_abs = 0.0;
+  for (size_t i = 0; i < m.size(); ++i) {
+    max_abs = std::max(max_abs, std::fabs(m.data()[i]));
+  }
+  EXPECT_LE(max_abs, bound);
+  EXPECT_GT(max_abs, bound * 0.8);  // actually fills the range
+}
+
+TEST(InitTest, UniformRangeAndMean) {
+  Rng rng(2);
+  Matrix m = UniformInit(100, 100, -0.25, 0.75, rng);
+  double mean = 0.0;
+  for (size_t i = 0; i < m.size(); ++i) {
+    ASSERT_GE(m.data()[i], -0.25);
+    ASSERT_LT(m.data()[i], 0.75);
+    mean += m.data()[i];
+  }
+  EXPECT_NEAR(mean / m.size(), 0.25, 0.01);
+}
+
+TEST(InitTest, GaussianMoments) {
+  Rng rng(3);
+  Matrix m = GaussianInit(120, 120, 0.5, rng);
+  double mean = 0.0;
+  for (size_t i = 0; i < m.size(); ++i) mean += m.data()[i];
+  mean /= m.size();
+  double var = 0.0;
+  for (size_t i = 0; i < m.size(); ++i) {
+    var += (m.data()[i] - mean) * (m.data()[i] - mean);
+  }
+  var /= m.size();
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(var, 0.25, 0.01);
+}
+
+TEST(InitTest, DeterministicPerSeed) {
+  Rng a(9), b(9);
+  Matrix ma = XavierUniform(4, 4, a);
+  Matrix mb = XavierUniform(4, 4, b);
+  for (size_t i = 0; i < ma.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ma.data()[i], mb.data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace transn

@@ -1,0 +1,140 @@
+/// End-to-end pipeline tests: synthetic dataset -> embedding methods ->
+/// evaluation protocols, mirroring the bench harness at tiny scale.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "baselines/node2vec.h"
+#include "core/model_io.h"
+#include "core/transn.h"
+#include "data/datasets.h"
+#include "eval/link_prediction.h"
+#include "eval/node_classification.h"
+#include "eval/tsne.h"
+#include "graph/graph_io.h"
+
+namespace transn {
+namespace {
+
+TransNConfig TinyTransN(uint64_t seed) {
+  TransNConfig cfg;
+  cfg.dim = 24;
+  cfg.iterations = 3;
+  cfg.walk.walk_length = 15;
+  cfg.walk.min_walks_per_node = 2;
+  cfg.walk.max_walks_per_node = 5;
+  cfg.translator_encoders = 2;
+  cfg.translator_seq_len = 5;
+  cfg.cross_paths_per_pair = 25;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(IntegrationTest, ClassificationPipelineBeatsChance) {
+  HeteroGraph g = MakeAminerLike(0.15, 3);
+  TransNModel model(&g, TinyTransN(4));
+  model.Fit();
+  auto res = EvaluateNodeClassification(g, model.FinalEmbeddings(),
+                                        {.repeats = 3, .seed = 1});
+  // 8 classes: chance micro-F1 ~ 0.125.
+  EXPECT_GT(res.micro_f1, 0.4);
+  EXPECT_GT(res.macro_f1, 0.3);
+}
+
+TEST(IntegrationTest, LinkPredictionPipelineBeatsChance) {
+  HeteroGraph g = MakeBlogLike(0.05, 5);
+  LinkPredictionTask task = MakeLinkPredictionTask(g, {.seed = 6});
+  TransNModel model(&task.residual, TinyTransN(7));
+  model.Fit();
+  double auc = ScoreLinkPrediction(model.FinalEmbeddings(), task);
+  EXPECT_GT(auc, 0.6);
+}
+
+TEST(IntegrationTest, TransNBeatsHomogeneousBaselineOnWeightedNetwork) {
+  // The headline qualitative claim of Table III: on the weighted, sparse
+  // App-like network the type- and weight-aware TransN outperforms the
+  // homogeneous Node2Vec.
+  HeteroGraph g = MakeAppDailyLike(0.08, 8);
+  TransNModel model(&g, TinyTransN(9));
+  model.Fit();
+  auto transn_res = EvaluateNodeClassification(g, model.FinalEmbeddings(),
+                                               {.repeats = 3, .seed = 2});
+
+  Node2VecBaselineConfig n2v;
+  n2v.dim = 24;
+  n2v.walk = {.p = 1.0, .q = 1.0, .walk_length = 15, .walks_per_node = 4};
+  n2v.window = 3;
+  n2v.epochs = 2;
+  n2v.seed = 10;
+  auto n2v_res = EvaluateNodeClassification(g, RunNode2Vec(g, n2v),
+                                            {.repeats = 3, .seed = 2});
+
+  EXPECT_GT(transn_res.micro_f1, n2v_res.micro_f1);
+}
+
+TEST(IntegrationTest, FullCrossViewBeatsNoCrossViewOnCorrelatedViews) {
+  // Table V's headline: removing the cross-view algorithm hurts most.
+  HeteroGraph g = MakeBlogLike(0.04, 11);
+  TransNConfig full_cfg = TinyTransN(12);
+  full_cfg.iterations = 4;
+  TransNModel full(&g, full_cfg);
+  full.Fit();
+  TransNConfig ablated_cfg = full_cfg;
+  ablated_cfg.enable_cross_view = false;
+  TransNModel ablated(&g, ablated_cfg);
+  ablated.Fit();
+
+  auto full_res = EvaluateNodeClassification(g, full.FinalEmbeddings(),
+                                             {.repeats = 5, .seed = 3});
+  auto ablated_res = EvaluateNodeClassification(g, ablated.FinalEmbeddings(),
+                                                {.repeats = 5, .seed = 3});
+  // Allow noise but require no collapse: full >= ablated - small epsilon.
+  EXPECT_GT(full_res.micro_f1, ablated_res.micro_f1 - 0.02);
+}
+
+TEST(IntegrationTest, SaveTrainReloadRoundTrip) {
+  HeteroGraph g = MakeAminerLike(0.05, 13);
+  std::string graph_path = std::string(::testing::TempDir()) + "/net.tsv";
+  ASSERT_TRUE(SaveGraph(g, graph_path).ok());
+  auto reloaded = LoadGraph(graph_path);
+  ASSERT_TRUE(reloaded.ok());
+
+  TransNModel model(&*reloaded, TinyTransN(14));
+  model.Fit();
+  Matrix emb = model.FinalEmbeddings();
+
+  std::string emb_path = std::string(::testing::TempDir()) + "/emb.tsv";
+  ASSERT_TRUE(SaveEmbeddings(*reloaded, emb, emb_path).ok());
+  auto loaded_emb = LoadEmbeddings(emb_path);
+  ASSERT_TRUE(loaded_emb.ok());
+  EXPECT_EQ(loaded_emb->embeddings.rows(), emb.rows());
+  std::remove(graph_path.c_str());
+  std::remove(emb_path.c_str());
+}
+
+TEST(IntegrationTest, TsneOnLearnedEmbeddings) {
+  // Figure-6 pipeline at tiny scale: embeddings -> t-SNE -> silhouette.
+  HeteroGraph g = MakeAppDailyLike(0.05, 15);
+  TransNModel model(&g, TinyTransN(16));
+  model.Fit();
+  Matrix emb = model.FinalEmbeddings();
+
+  std::vector<NodeId> labeled = g.LabeledNodes();
+  const size_t take = std::min<size_t>(labeled.size(), 60);
+  Matrix features(take, emb.cols());
+  std::vector<int> labels(take);
+  for (size_t i = 0; i < take; ++i) {
+    const double* src = emb.Row(labeled[i]);
+    std::copy(src, src + emb.cols(), features.Row(i));
+    labels[i] = g.label(labeled[i]);
+  }
+  Matrix projected = Tsne(features, {.perplexity = 8.0, .iterations = 200});
+  EXPECT_EQ(projected.rows(), take);
+  EXPECT_EQ(projected.cols(), 2u);
+  for (size_t i = 0; i < projected.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(projected.data()[i]));
+  }
+}
+
+}  // namespace
+}  // namespace transn

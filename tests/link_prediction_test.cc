@@ -1,0 +1,102 @@
+#include "eval/link_prediction.h"
+
+#include <gtest/gtest.h>
+#include "data/datasets.h"
+#include "nn/init.h"
+#include "test_graphs.h"
+
+namespace transn {
+namespace {
+
+TEST(LinkPredictionTest, RemovesRequestedFraction) {
+  HeteroGraph g = MakeAminerLike(0.1, 1);
+  LinkPredictionTask task =
+      MakeLinkPredictionTask(g, {.removal_fraction = 0.4, .seed = 2});
+  EXPECT_NEAR(static_cast<double>(task.positives.size()),
+              0.4 * static_cast<double>(g.num_edges()),
+              0.02 * g.num_edges() + 4.0);
+  EXPECT_EQ(task.residual.num_edges() + task.positives.size(), g.num_edges());
+  EXPECT_EQ(task.negatives.size(), task.positives.size());
+}
+
+TEST(LinkPredictionTest, ResidualKeepsAllNodesAndIds) {
+  HeteroGraph g = TwoCommunityNetwork(20, 3);
+  LinkPredictionTask task = MakeLinkPredictionTask(g, {});
+  ASSERT_EQ(task.residual.num_nodes(), g.num_nodes());
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    EXPECT_EQ(task.residual.node_type(n), g.node_type(n));
+    EXPECT_EQ(task.residual.label(n), g.label(n));
+  }
+}
+
+TEST(LinkPredictionTest, EveryEdgeTypeRetainsAnEdge) {
+  HeteroGraph g = Fig2aAcademicNetwork();
+  // Aggressive removal on a tiny graph.
+  LinkPredictionTask task =
+      MakeLinkPredictionTask(g, {.removal_fraction = 0.8, .seed = 4});
+  std::vector<size_t> per_type(g.num_edge_types(), 0);
+  for (size_t e = 0; e < task.residual.num_edges(); ++e) {
+    ++per_type[task.residual.edge_type(e)];
+  }
+  for (size_t c : per_type) EXPECT_GE(c, 1u);
+}
+
+TEST(LinkPredictionTest, NegativesAreNonAdjacent) {
+  HeteroGraph g = TwoCommunityNetwork(20, 5);
+  LinkPredictionTask task = MakeLinkPredictionTask(g, {.seed = 6});
+  for (const auto& [u, v] : task.negatives) {
+    EXPECT_NE(u, v);
+    EXPECT_FALSE(g.HasEdge(u, v));
+  }
+}
+
+TEST(LinkPredictionTest, TypeMatchedNegativesMatchPositiveTypes) {
+  HeteroGraph g = MakeAminerLike(0.1, 7);
+  LinkPredictionTask task =
+      MakeLinkPredictionTask(g, {.type_matched_negatives = true, .seed = 8});
+  ASSERT_EQ(task.positives.size(), task.negatives.size());
+  for (size_t i = 0; i < task.positives.size(); ++i) {
+    auto [pu, pv] = task.positives[i];
+    auto [nu, nv] = task.negatives[i];
+    EXPECT_EQ(g.node_type(nu), g.node_type(pu));
+    EXPECT_EQ(g.node_type(nv), g.node_type(pv));
+  }
+}
+
+TEST(LinkPredictionTest, AdjacencyOracleScoresPerfectly) {
+  // An "embedding" that encodes adjacency directly: score(u,v) = 1 iff the
+  // pair was a positive. Build it via indicator features per positive pair.
+  HeteroGraph g = TwoCommunityNetwork(10, 9);
+  LinkPredictionTask task = MakeLinkPredictionTask(g, {.seed = 10});
+  const size_t d = task.positives.size();
+  Matrix emb(g.num_nodes(), d, 0.0);
+  for (size_t i = 0; i < task.positives.size(); ++i) {
+    emb(task.positives[i].first, i) = 1.0;
+    emb(task.positives[i].second, i) = 1.0;
+  }
+  // Some negative pair could accidentally share a coordinate only if one
+  // node appears in two positives AND pairs with the other's positive — the
+  // score is then >= 1 too; allow a tiny slack.
+  EXPECT_GT(ScoreLinkPrediction(emb, task), 0.95);
+}
+
+TEST(LinkPredictionTest, RandomEmbeddingScoresNearHalf) {
+  HeteroGraph g = MakeBlogLike(0.05, 11);
+  LinkPredictionTask task = MakeLinkPredictionTask(g, {.seed = 12});
+  Rng rng(13);
+  Matrix emb = GaussianInit(g.num_nodes(), 16, 1.0, rng);
+  double auc = ScoreLinkPrediction(emb, task);
+  EXPECT_GT(auc, 0.4);
+  EXPECT_LT(auc, 0.6);
+}
+
+TEST(LinkPredictionTest, DeterministicForSeed) {
+  HeteroGraph g = TwoCommunityNetwork(15, 14);
+  LinkPredictionTask a = MakeLinkPredictionTask(g, {.seed = 20});
+  LinkPredictionTask b = MakeLinkPredictionTask(g, {.seed = 20});
+  EXPECT_EQ(a.positives, b.positives);
+  EXPECT_EQ(a.negatives, b.negatives);
+}
+
+}  // namespace
+}  // namespace transn

@@ -1,0 +1,48 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace transn {
+namespace {
+
+TEST(LoggingTest, CheckPassesOnTrueCondition) {
+  CHECK(true) << "never printed";
+  CHECK_EQ(1, 1);
+  CHECK_NE(1, 2);
+  CHECK_LT(1, 2);
+  CHECK_LE(2, 2);
+  CHECK_GT(3, 2);
+  CHECK_GE(3, 3);
+}
+
+TEST(LoggingDeathTest, CheckAbortsOnFalseCondition) {
+  EXPECT_DEATH(CHECK(false) << "context 42", "Check failed: false.*context 42");
+}
+
+TEST(LoggingDeathTest, CheckEqPrintsBothValues) {
+  int a = 3, b = 7;
+  EXPECT_DEATH(CHECK_EQ(a, b), "3 vs 7");
+}
+
+TEST(LoggingDeathTest, LogFatalAborts) {
+  EXPECT_DEATH(LOG(FATAL) << "boom", "boom");
+}
+
+TEST(LoggingTest, MinSeverityFiltersInfo) {
+  LogSeverity prev = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kError);
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kError);
+  LOG(INFO) << "suppressed";  // must not crash
+  SetMinLogSeverity(prev);
+}
+
+TEST(LoggingTest, DcheckActiveMatchesBuildMode) {
+#ifdef NDEBUG
+  DCHECK(false);  // compiled out
+#else
+  EXPECT_DEATH(DCHECK(false), "Check failed");
+#endif
+}
+
+}  // namespace
+}  // namespace transn

@@ -1,0 +1,120 @@
+#include "eval/logistic_regression.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "eval/metrics.h"
+#include "util/rng.h"
+
+namespace transn {
+namespace {
+
+/// Gaussian blobs around per-class centers.
+void MakeBlobs(int classes, int per_class, double spread, uint64_t seed,
+               Matrix* x, std::vector<int>* y) {
+  Rng rng(seed);
+  x->Resize(static_cast<size_t>(classes * per_class), 2);
+  y->clear();
+  for (int k = 0; k < classes; ++k) {
+    const double cx = 4.0 * std::cos(2 * M_PI * k / classes);
+    const double cy = 4.0 * std::sin(2 * M_PI * k / classes);
+    for (int i = 0; i < per_class; ++i) {
+      const size_t row = static_cast<size_t>(k * per_class + i);
+      (*x)(row, 0) = cx + spread * rng.NextGaussian();
+      (*x)(row, 1) = cy + spread * rng.NextGaussian();
+      y->push_back(k);
+    }
+  }
+}
+
+TEST(LogisticRegressionTest, SeparableBinaryIsLearned) {
+  Matrix x;
+  std::vector<int> y;
+  MakeBlobs(2, 50, 0.3, 1, &x, &y);
+  LogisticRegression clf;
+  clf.Fit(x, y, 2);
+  EXPECT_DOUBLE_EQ(Accuracy(y, clf.Predict(x)), 1.0);
+}
+
+TEST(LogisticRegressionTest, MulticlassBlobs) {
+  Matrix x;
+  std::vector<int> y;
+  MakeBlobs(4, 60, 0.5, 2, &x, &y);
+  LogisticRegression clf;
+  clf.Fit(x, y, 4);
+  EXPECT_GT(Accuracy(y, clf.Predict(x)), 0.97);
+}
+
+TEST(LogisticRegressionTest, ProbabilitiesAreDistributions) {
+  Matrix x;
+  std::vector<int> y;
+  MakeBlobs(3, 30, 0.6, 3, &x, &y);
+  LogisticRegression clf;
+  clf.Fit(x, y, 3);
+  Matrix p = clf.PredictProba(x);
+  for (size_t r = 0; r < p.rows(); ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < p.cols(); ++c) {
+      EXPECT_GE(p(r, c), 0.0);
+      sum += p(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(LogisticRegressionTest, BiasSolvesShiftedClasses) {
+  // Identical x distribution shifted only through the intercept: feature is
+  // constant 0; classes differ only by prior. With a bias term the model
+  // must predict the majority class.
+  Matrix x(10, 1, 0.0);
+  std::vector<int> y = {0, 0, 0, 0, 0, 0, 0, 1, 1, 1};
+  LogisticRegression clf;
+  clf.Fit(x, y, 2);
+  std::vector<int> pred = clf.Predict(x);
+  for (int p : pred) EXPECT_EQ(p, 0);
+}
+
+TEST(LogisticRegressionTest, StrongL2ShrinksConfidence) {
+  Matrix x;
+  std::vector<int> y;
+  MakeBlobs(2, 40, 0.3, 4, &x, &y);
+  LogisticRegression weak({.l2 = 1e-6});
+  LogisticRegression strong({.l2 = 10.0});
+  weak.Fit(x, y, 2);
+  strong.Fit(x, y, 2);
+  // Mean max-probability is lower under heavy regularization.
+  auto mean_conf = [&](LogisticRegression& clf) {
+    Matrix p = clf.PredictProba(x);
+    double acc = 0.0;
+    for (size_t r = 0; r < p.rows(); ++r) {
+      acc += std::max(p(r, 0), p(r, 1));
+    }
+    return acc / p.rows();
+  };
+  EXPECT_GT(mean_conf(weak), mean_conf(strong) + 0.05);
+}
+
+TEST(LogisticRegressionTest, DeterministicFit) {
+  Matrix x;
+  std::vector<int> y;
+  MakeBlobs(3, 20, 0.5, 5, &x, &y);
+  LogisticRegression a, b;
+  a.Fit(x, y, 3);
+  b.Fit(x, y, 3);
+  EXPECT_DOUBLE_EQ(a.final_loss(), b.final_loss());
+}
+
+TEST(LogisticRegressionDeathTest, PredictBeforeFitAborts) {
+  LogisticRegression clf;
+  Matrix x(1, 2, 0.0);
+  EXPECT_DEATH(clf.Predict(x), "Fit");
+}
+
+TEST(LogisticRegressionDeathTest, LabelOutOfRangeAborts) {
+  Matrix x(2, 1, 0.0);
+  LogisticRegression clf;
+  EXPECT_DEATH(clf.Fit(x, {0, 5}, 2), "Check failed");
+}
+
+}  // namespace
+}  // namespace transn

@@ -1,0 +1,156 @@
+#include "nn/matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace transn {
+namespace {
+
+Matrix A23() { return Matrix::FromRows({{1, 2, 3}, {4, 5, 6}}); }
+Matrix B32() { return Matrix::FromRows({{7, 8}, {9, 10}, {11, 12}}); }
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+  EXPECT_DOUBLE_EQ(m.Row(0)[1], -2.0);
+}
+
+TEST(MatrixTest, MatMulMatchesHandComputed) {
+  Matrix c = MatMul(A23(), B32());
+  // [1 2 3; 4 5 6] * [7 8; 9 10; 11 12] = [58 64; 139 154]
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154);
+}
+
+TEST(MatrixTest, MatMulVariantsAgree) {
+  Rng rng(5);
+  Matrix a(4, 6), b(6, 3);
+  for (size_t i = 0; i < a.size(); ++i) a.data()[i] = rng.NextGaussian();
+  for (size_t i = 0; i < b.size(); ++i) b.data()[i] = rng.NextGaussian();
+
+  Matrix ab = MatMul(a, b);
+  Matrix ab_nt = MatMulNT(a, Transpose(b));
+  Matrix ab_tn = MatMulTN(Transpose(a), b);
+  for (size_t i = 0; i < ab.size(); ++i) {
+    EXPECT_NEAR(ab.data()[i], ab_nt.data()[i], 1e-12);
+    EXPECT_NEAR(ab.data()[i], ab_tn.data()[i], 1e-12);
+  }
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  Matrix a = A23();
+  Matrix t = Transpose(a);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6);
+  Matrix tt = Transpose(t);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.data()[i], tt.data()[i]);
+  }
+}
+
+TEST(MatrixTest, RowSoftmaxRowsSumToOne) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}, {1000, 1001, 999}});
+  Matrix s = RowSoftmax(a);
+  for (size_t r = 0; r < 2; ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_GT(s(r, c), 0.0);
+      sum += s(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+  // Large inputs did not overflow.
+  EXPECT_TRUE(std::isfinite(s(1, 0)));
+  // Monotone in the logits.
+  EXPECT_GT(s(0, 2), s(0, 1));
+  EXPECT_GT(s(0, 1), s(0, 0));
+}
+
+TEST(MatrixTest, ElementwiseOps) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{10, 20}, {30, 40}});
+  Matrix sum = Add(a, b);
+  EXPECT_DOUBLE_EQ(sum(1, 1), 44);
+  Matrix diff = Sub(b, a);
+  EXPECT_DOUBLE_EQ(diff(0, 0), 9);
+  Matrix prod = Hadamard(a, b);
+  EXPECT_DOUBLE_EQ(prod(1, 0), 90);
+  Matrix scaled = Scale(a, -2.0);
+  EXPECT_DOUBLE_EQ(scaled(0, 1), -4);
+  EXPECT_DOUBLE_EQ(SumAll(a), 10);
+}
+
+TEST(MatrixTest, NormsAndDebugString) {
+  Matrix a = Matrix::FromRows({{3, 4}});
+  EXPECT_DOUBLE_EQ(a.FrobeniusNorm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.MaxAbs(), 4.0);
+  EXPECT_NE(a.DebugString().find("1x2"), std::string::npos);
+}
+
+TEST(MatrixDeathTest, ShapeMismatchAborts) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_DEATH(MatMul(a, b), "Check failed");
+  Matrix c(3, 2);
+  EXPECT_DEATH(Add(a, c), "Check failed");
+}
+
+TEST(SparseMatTest, MultiplyMatchesDense) {
+  // 3x4 sparse with a duplicate entry that must be summed.
+  std::vector<std::tuple<size_t, size_t, double>> trip = {
+      {0, 1, 2.0}, {0, 1, 3.0}, {1, 0, 1.0}, {2, 3, -1.0}};
+  SparseMat s(3, 4, trip);
+  EXPECT_EQ(s.nnz(), 3u);  // duplicates merged
+
+  Matrix dense(3, 4, 0.0);
+  dense(0, 1) = 5.0;
+  dense(1, 0) = 1.0;
+  dense(2, 3) = -1.0;
+
+  Rng rng(3);
+  Matrix x(4, 2);
+  for (size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.NextGaussian();
+
+  Matrix got = s.Multiply(x);
+  Matrix want = MatMul(dense, x);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got.data()[i], want.data()[i], 1e-12);
+  }
+}
+
+TEST(SparseMatTest, TransposedMatchesDenseTranspose) {
+  std::vector<std::tuple<size_t, size_t, double>> trip = {
+      {0, 2, 1.5}, {1, 0, -2.0}};
+  SparseMat s(2, 3, trip);
+  SparseMat st = s.Transposed();
+  EXPECT_EQ(st.rows(), 3u);
+  EXPECT_EQ(st.cols(), 2u);
+
+  Matrix x(2, 1);
+  x(0, 0) = 1.0;
+  x(1, 0) = 2.0;
+  Matrix got = st.Multiply(x);
+  EXPECT_DOUBLE_EQ(got(0, 0), -4.0);
+  EXPECT_DOUBLE_EQ(got(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(got(2, 0), 1.5);
+}
+
+TEST(SparseMatTest, ScaleValues) {
+  SparseMat s(1, 1, {{0, 0, 2.0}});
+  s.ScaleValues(0.5);
+  Matrix x(1, 1, 3.0);
+  EXPECT_DOUBLE_EQ(s.Multiply(x)(0, 0), 3.0);
+}
+
+}  // namespace
+}  // namespace transn

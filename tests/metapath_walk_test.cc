@@ -1,0 +1,72 @@
+#include "walk/metapath_walk.h"
+
+#include <gtest/gtest.h>
+#include "test_graphs.h"
+
+namespace transn {
+namespace {
+
+TEST(MetapathWalkTest, FollowsPatternTypes) {
+  HeteroGraph g = Fig2aAcademicNetwork();
+  // A-P-A cyclic meta-path (Author=0, Paper=1).
+  MetapathWalker walker(&g, {.pattern = {0, 1, 0}, .walk_length = 11});
+  Rng rng(1);
+  auto walk = walker.Walk(0, rng);
+  ASSERT_GE(walk.size(), 2u);
+  for (size_t k = 0; k < walk.size(); ++k) {
+    EXPECT_EQ(g.node_type(walk[k]), k % 2 == 0 ? 0u : 1u) << "position " << k;
+  }
+  for (size_t k = 0; k + 1 < walk.size(); ++k) {
+    EXPECT_TRUE(g.HasEdge(walk[k], walk[k + 1]));
+  }
+}
+
+TEST(MetapathWalkTest, StopsWhenNoTypedNeighbor) {
+  // A2 has only paper neighbors; pattern A-U-A can't move from A2.
+  HeteroGraph g = Fig2aAcademicNetwork();
+  MetapathWalker walker(&g, {.pattern = {0, 2, 0}, .walk_length = 9});
+  Rng rng(2);
+  auto walk = walker.Walk(1, rng);  // A2
+  EXPECT_EQ(walk.size(), 1u);
+}
+
+TEST(MetapathWalkTest, LongerCycleWraps) {
+  HeteroGraph g = Fig2aAcademicNetwork();
+  // A-P-P-A style pattern is not cyclic per-position here; use A-P-A wrap
+  // already covered. Test the APVPA-analogue on a graph that supports it:
+  // A-U-A (author-university-author) starting at A1.
+  MetapathWalker walker(&g, {.pattern = {0, 2, 0}, .walk_length = 7});
+  Rng rng(3);
+  auto walk = walker.Walk(0, rng);  // A1 - U1 - {A1,A3} - U1 ...
+  EXPECT_EQ(walk.size(), 7u);
+  for (size_t k = 0; k < walk.size(); ++k) {
+    EXPECT_EQ(g.node_type(walk[k]), k % 2 == 0 ? 0u : 2u);
+  }
+}
+
+TEST(MetapathWalkTest, CorpusStartsOnlyAtFirstType) {
+  HeteroGraph g = Fig2aAcademicNetwork();
+  MetapathWalker walker(
+      &g, {.pattern = {1, 0, 1}, .walk_length = 5, .walks_per_node = 2});
+  Rng rng(4);
+  auto corpus = walker.SampleCorpus(rng);
+  EXPECT_EQ(corpus.size(), 4u);  // 2 papers x 2 walks
+  for (const auto& walk : corpus) {
+    EXPECT_EQ(g.node_type(walk[0]), 1u);
+  }
+}
+
+TEST(MetapathWalkDeathTest, RejectsNonCyclicPattern) {
+  HeteroGraph g = Fig2aAcademicNetwork();
+  EXPECT_DEATH(MetapathWalker(&g, {.pattern = {0, 1}, .walk_length = 5}),
+               "cyclic");
+}
+
+TEST(MetapathWalkDeathTest, RejectsUnknownType) {
+  HeteroGraph g = Fig2aAcademicNetwork();
+  EXPECT_DEATH(MetapathWalker(&g, {.pattern = {0, 9, 0}, .walk_length = 5}),
+               "Check failed");
+}
+
+}  // namespace
+}  // namespace transn

@@ -1,0 +1,94 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace transn {
+namespace {
+
+TEST(F1Test, PerfectPrediction) {
+  std::vector<int> y = {0, 1, 2, 1, 0};
+  EXPECT_DOUBLE_EQ(MicroF1(y, y, 3), 1.0);
+  EXPECT_DOUBLE_EQ(MacroF1(y, y, 3), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy(y, y), 1.0);
+}
+
+TEST(F1Test, HandComputedExample) {
+  // true:  0 0 1 1 1 2
+  // pred:  0 1 1 1 2 2
+  // class0: tp=1 fp=0 fn=1 -> f1 = 2/3
+  // class1: tp=2 fp=1 fn=1 -> f1 = 2*2/(4+2) = 2/3
+  // class2: tp=1 fp=1 fn=0 -> f1 = 2/3
+  std::vector<int> yt = {0, 0, 1, 1, 1, 2};
+  std::vector<int> yp = {0, 1, 1, 1, 2, 2};
+  EXPECT_NEAR(MacroF1(yt, yp, 3), 2.0 / 3.0, 1e-12);
+  // micro: tp=4, fp=2, fn=2 -> 8/12
+  EXPECT_NEAR(MicroF1(yt, yp, 3), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(Accuracy(yt, yp), 4.0 / 6.0, 1e-12);
+}
+
+TEST(F1Test, MicroEqualsAccuracyForSingleLabel) {
+  std::vector<int> yt = {0, 1, 2, 3, 0, 1, 2, 3};
+  std::vector<int> yp = {0, 1, 1, 3, 2, 1, 0, 3};
+  EXPECT_NEAR(MicroF1(yt, yp, 4), Accuracy(yt, yp), 1e-12);
+}
+
+TEST(F1Test, AbsentClassContributesZeroToMacro) {
+  // Class 2 never appears: its F1 is 0 in the macro average.
+  std::vector<int> yt = {0, 1};
+  std::vector<int> yp = {0, 1};
+  EXPECT_NEAR(MacroF1(yt, yp, 3), 2.0 / 3.0, 1e-12);
+}
+
+TEST(AucTest, PerfectSeparation) {
+  EXPECT_DOUBLE_EQ(Auc({0.9, 0.8, 0.2, 0.1}, {true, true, false, false}),
+                   1.0);
+  EXPECT_DOUBLE_EQ(Auc({0.1, 0.2, 0.8, 0.9}, {true, true, false, false}),
+                   0.0);
+}
+
+TEST(AucTest, RandomScoresGiveHalf) {
+  EXPECT_DOUBLE_EQ(Auc({0.5, 0.5, 0.5, 0.5}, {true, false, true, false}),
+                   0.5);
+}
+
+TEST(AucTest, HandComputedWithTies) {
+  // scores: pos {3, 1}, neg {2, 1}. Pairs: (3,2)=1, (3,1)=1, (1,2)=0,
+  // (1,1)=0.5 -> AUC = 2.5/4.
+  EXPECT_DOUBLE_EQ(Auc({3, 1, 2, 1}, {true, true, false, false}), 0.625);
+}
+
+TEST(AucTest, DegenerateSingleClass) {
+  EXPECT_DOUBLE_EQ(Auc({1.0, 2.0}, {true, true}), 0.5);
+}
+
+TEST(SilhouetteTest, WellSeparatedClustersScoreHigh) {
+  Matrix pts = Matrix::FromRows(
+      {{0, 0}, {0.1, 0}, {0, 0.1}, {10, 10}, {10.1, 10}, {10, 10.1}});
+  double s = SilhouetteScore(pts, {0, 0, 0, 1, 1, 1});
+  EXPECT_GT(s, 0.95);
+}
+
+TEST(SilhouetteTest, InterleavedClustersScoreLow) {
+  Matrix pts = Matrix::FromRows({{0, 0}, {1, 0}, {2, 0}, {3, 0}});
+  double s = SilhouetteScore(pts, {0, 1, 0, 1});
+  EXPECT_LT(s, 0.1);
+}
+
+TEST(SilhouetteTest, DegenerateInputs) {
+  Matrix one_cluster = Matrix::FromRows({{0, 0}, {1, 1}});
+  EXPECT_DOUBLE_EQ(SilhouetteScore(one_cluster, {0, 0}), 0.0);
+  Matrix single(1, 2, 0.0);
+  EXPECT_DOUBLE_EQ(SilhouetteScore(single, {0}), 0.0);
+}
+
+TEST(MetricsDeathTest, MismatchedSizesAbort) {
+  EXPECT_DEATH(MicroF1({0, 1}, {0}, 2), "Check failed");
+  EXPECT_DEATH(Auc({1.0}, {true, false}), "Check failed");
+}
+
+TEST(MetricsDeathTest, OutOfRangeLabelAborts) {
+  EXPECT_DEATH(MicroF1({0, 5}, {0, 1}, 2), "Check failed");
+}
+
+}  // namespace
+}  // namespace transn

@@ -1,0 +1,159 @@
+#include "core/model_io.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+#include "core/transn.h"
+#include "nn/init.h"
+#include "test_graphs.h"
+
+namespace transn {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(ModelIoTest, RoundTrip) {
+  HeteroGraph g = Fig2aAcademicNetwork();
+  Rng rng(1);
+  Matrix emb = GaussianInit(g.num_nodes(), 8, 1.0, rng);
+  std::string path = TempPath("emb.tsv");
+  ASSERT_TRUE(SaveEmbeddings(g, emb, path).ok());
+
+  auto loaded = LoadEmbeddings(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->embeddings.rows(), g.num_nodes());
+  ASSERT_EQ(loaded->embeddings.cols(), 8u);
+  EXPECT_EQ(loaded->names[0], "A1");
+  for (size_t i = 0; i < emb.size(); ++i) {
+    EXPECT_NEAR(loaded->embeddings.data()[i], emb.data()[i], 1e-7);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, RowCountMismatchRejected) {
+  HeteroGraph g = Fig2aAcademicNetwork();
+  Matrix emb(2, 4, 0.0);
+  EXPECT_EQ(SaveEmbeddings(g, emb, TempPath("x.tsv")).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ModelIoTest, MalformedFilesRejected) {
+  std::string path = TempPath("bad_emb.tsv");
+  auto write = [&](const char* content) {
+    std::ofstream out(path);
+    out << content;
+  };
+  write("");
+  EXPECT_FALSE(LoadEmbeddings(path).ok());
+  write("abc\tdef\n");
+  EXPECT_FALSE(LoadEmbeddings(path).ok());
+  write("2\t3\nn0\t1\t2\t3\n");  // truncated: one row missing
+  EXPECT_FALSE(LoadEmbeddings(path).ok());
+  write("1\t3\nn0\t1\t2\n");  // wrong arity
+  EXPECT_FALSE(LoadEmbeddings(path).ok());
+  write("1\t2\nn0\t1\tx\n");  // bad value
+  EXPECT_FALSE(LoadEmbeddings(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, MissingFileIsIoError) {
+  EXPECT_EQ(LoadEmbeddings("/no/such/emb.tsv").status().code(),
+            StatusCode::kIoError);
+}
+
+TransNConfig CheckpointTestConfig() {
+  TransNConfig cfg;
+  cfg.dim = 12;
+  cfg.iterations = 1;
+  cfg.walk.walk_length = 10;
+  cfg.walk.min_walks_per_node = 2;
+  cfg.walk.max_walks_per_node = 3;
+  cfg.translator_encoders = 2;
+  cfg.translator_seq_len = 4;
+  cfg.cross_paths_per_pair = 10;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(CheckpointTest, RoundTripRestoresEmbeddings) {
+  HeteroGraph g = TwoCommunityNetwork(12, 4);
+  TransNModel trained(&g, CheckpointTestConfig());
+  trained.Fit();
+  std::string path = TempPath("model.ckpt");
+  ASSERT_TRUE(SaveTransNCheckpoint(trained, path).ok());
+
+  // A fresh, untrained model with the same graph/config differs...
+  TransNModel fresh(&g, CheckpointTestConfig());
+  Matrix before = fresh.FinalEmbeddings();
+  Matrix trained_emb = trained.FinalEmbeddings();
+  EXPECT_GT(Sub(before, trained_emb).FrobeniusNorm(), 1e-9);
+
+  // ...until the checkpoint is loaded.
+  ASSERT_TRUE(LoadTransNCheckpoint(&fresh, path).ok());
+  Matrix after = fresh.FinalEmbeddings();
+  for (size_t i = 0; i < after.size(); ++i) {
+    ASSERT_DOUBLE_EQ(after.data()[i], trained_emb.data()[i]);
+  }
+  // Translators restored too.
+  const Translator& t_src = trained.cross_view_trainer(0).translator_ij();
+  const Translator& t_dst = fresh.cross_view_trainer(0).translator_ij();
+  for (size_t e = 0; e < t_src.num_encoders(); ++e) {
+    EXPECT_DOUBLE_EQ(
+        Sub(t_src.weight(e).value, t_dst.weight(e).value).FrobeniusNorm(),
+        0.0);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, ShapeMismatchRejected) {
+  HeteroGraph g = TwoCommunityNetwork(12, 4);
+  TransNModel trained(&g, CheckpointTestConfig());
+  trained.Fit();
+  std::string path = TempPath("model_mismatch.ckpt");
+  ASSERT_TRUE(SaveTransNCheckpoint(trained, path).ok());
+
+  TransNConfig other = CheckpointTestConfig();
+  other.dim = 16;  // different dimensionality
+  TransNModel incompatible(&g, other);
+  Status s = LoadTransNCheckpoint(&incompatible, path);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, MissingMatrixRejected) {
+  HeteroGraph g = TwoCommunityNetwork(12, 4);
+  TransNModel trained(&g, CheckpointTestConfig());
+  std::string path = TempPath("model_trunc.ckpt");
+  std::ofstream out(path);
+  out << "# transn checkpoint v1\nMATRIX\tview0.input\t2\t2\n1\t2\n3\t4\n";
+  out.close();
+  Status s = LoadTransNCheckpoint(&trained, path);
+  EXPECT_FALSE(s.ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, ResumedTrainingContinues) {
+  HeteroGraph g = TwoCommunityNetwork(12, 4);
+  TransNModel trained(&g, CheckpointTestConfig());
+  trained.Fit();
+  std::string path = TempPath("model_resume.ckpt");
+  ASSERT_TRUE(SaveTransNCheckpoint(trained, path).ok());
+
+  TransNModel resumed(&g, CheckpointTestConfig());
+  ASSERT_TRUE(LoadTransNCheckpoint(&resumed, path).ok());
+  // Further iterations run and keep embeddings finite.
+  resumed.RunIteration();
+  Matrix emb = resumed.FinalEmbeddings();
+  for (size_t i = 0; i < emb.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(emb.data()[i]));
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace transn

@@ -1,0 +1,81 @@
+#include "walk/node2vec_walk.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+#include "graph/view.h"
+#include "test_graphs.h"
+
+namespace transn {
+namespace {
+
+// Triangle 0-1-2 plus a pendant 3 attached to 1. From 0 -> 1 the options
+// are: return to 0 (bias 1/p), triangle-close to 2 (bias 1), pendant 3
+// (bias 1/q). Unit weights.
+ViewGraph TrianglePlusPendant() {
+  return ViewGraph::FromEdges(
+      {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 1.0}, {1, 3, 1.0}});
+}
+
+std::map<ViewGraph::LocalId, double> SecondStepDistribution(double p, double q,
+                                                            uint64_t seed) {
+  ViewGraph vg = TrianglePlusPendant();
+  Node2VecWalker walker(&vg, {.p = p, .q = q, .walk_length = 3});
+  Rng rng(seed);
+  std::map<ViewGraph::LocalId, int> counts;
+  int total = 0;
+  ViewGraph::LocalId start = vg.ToLocal(0), mid = vg.ToLocal(1);
+  for (int i = 0; i < 60000; ++i) {
+    auto walk = walker.Walk(start, rng);
+    if (walk.size() < 3 || walk[1] != mid) continue;
+    ++counts[walk[2]];
+    ++total;
+  }
+  std::map<ViewGraph::LocalId, double> out;
+  for (auto& [n, c] : counts) out[n] = static_cast<double>(c) / total;
+  return out;
+}
+
+TEST(Node2VecWalkTest, UnitPqIsFirstOrder) {
+  ViewGraph vg = TrianglePlusPendant();
+  auto dist = SecondStepDistribution(1.0, 1.0, 1);
+  EXPECT_NEAR(dist[vg.ToLocal(0)], 1.0 / 3.0, 0.02);
+  EXPECT_NEAR(dist[vg.ToLocal(2)], 1.0 / 3.0, 0.02);
+  EXPECT_NEAR(dist[vg.ToLocal(3)], 1.0 / 3.0, 0.02);
+}
+
+TEST(Node2VecWalkTest, HighPDiscouragesReturning) {
+  ViewGraph vg = TrianglePlusPendant();
+  auto dist = SecondStepDistribution(10.0, 1.0, 2);
+  // biases: return 0.1, close 1, out 1 -> P(return) = 0.1/2.1.
+  EXPECT_NEAR(dist[vg.ToLocal(0)], 0.1 / 2.1, 0.01);
+}
+
+TEST(Node2VecWalkTest, HighQKeepsWalkLocal) {
+  ViewGraph vg = TrianglePlusPendant();
+  auto dist = SecondStepDistribution(1.0, 10.0, 3);
+  // biases: return 1, close 1, out 0.1 -> P(out) = 0.1/2.1.
+  EXPECT_NEAR(dist[vg.ToLocal(3)], 0.1 / 2.1, 0.01);
+}
+
+TEST(Node2VecWalkTest, WalksFollowEdges) {
+  HeteroGraph g = TwoCommunityNetwork(20, 4);
+  ViewGraph flat = FlattenToViewGraph(g);
+  Node2VecWalker walker(&flat, {.p = 0.5, .q = 2.0, .walk_length = 20});
+  Rng rng(4);
+  auto walk = walker.Walk(0, rng);
+  EXPECT_EQ(walk.size(), 20u);
+  for (size_t k = 0; k + 1 < walk.size(); ++k) {
+    EXPECT_TRUE(flat.AreAdjacent(walk[k], walk[k + 1]));
+  }
+}
+
+TEST(Node2VecWalkTest, CorpusSizeIsWalksPerNodeTimesNodes) {
+  ViewGraph vg = TrianglePlusPendant();
+  Node2VecWalker walker(&vg, {.walk_length = 5, .walks_per_node = 3});
+  Rng rng(5);
+  EXPECT_EQ(walker.SampleCorpus(rng).size(), 12u);
+}
+
+}  // namespace
+}  // namespace transn

@@ -1,0 +1,269 @@
+/// Property-based sweeps over randomized inputs: analytic walk transition
+/// probabilities (Eq. 4-7) against empirical frequencies, autograd chains
+/// against numeric differentiation, metric invariances, and generator
+/// invariants, each parameterized over seeds.
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+#include "data/hsbm.h"
+#include "eval/metrics.h"
+#include "graph/view.h"
+#include "nn/grad_check.h"
+#include "nn/init.h"
+#include "nn/ops.h"
+#include "walk/random_walk.h"
+
+namespace transn {
+namespace {
+
+// ---------------------------------------------------------------------
+// Walk transitions match Equation (4) analytically.
+// ---------------------------------------------------------------------
+
+class WalkTransitionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(WalkTransitionProperty, EmpiricalMatchesEq4) {
+  Rng gen(GetParam());
+  // Random small weighted bipartite (heter) graph.
+  const size_t left = 3 + gen.NextUint64(3);
+  const size_t right = 3 + gen.NextUint64(3);
+  std::vector<std::tuple<NodeId, NodeId, double>> edges;
+  for (NodeId u = 0; u < left; ++u) {
+    for (NodeId v = 0; v < right; ++v) {
+      if (gen.NextBernoulli(0.7)) {
+        edges.emplace_back(u, left + v,
+                           std::floor(gen.NextDouble(1.0, 6.0)));
+      }
+    }
+  }
+  if (edges.size() < 4) GTEST_SKIP() << "degenerate sample";
+  ViewGraph graph = ViewGraph::FromEdges(edges);
+
+  RandomWalker walker(&graph, /*is_heter=*/true, {.walk_length = 3});
+  Rng rng(GetParam() * 131 + 7);
+
+  // Empirical second-step distribution conditioned on (start, mid).
+  const ViewGraph::LocalId start = 0;
+  std::map<ViewGraph::LocalId, std::map<ViewGraph::LocalId, int>> counts;
+  std::map<ViewGraph::LocalId, int> mid_counts;
+  const int trials = 60000;
+  for (int i = 0; i < trials; ++i) {
+    auto walk = walker.Walk(start, rng);
+    if (walk.size() < 3) continue;
+    ++counts[walk[1]][walk[2]];
+    ++mid_counts[walk[1]];
+  }
+
+  // Analytic Eq. 4 for each observed (start -> mid) pair.
+  for (const auto& [mid, next_counts] : counts) {
+    if (mid_counts[mid] < 3000) continue;  // not enough mass to compare
+    // Weight of the edge taken into mid.
+    double w_prev = 0.0;
+    for (size_t k = 0; k < graph.degree(start); ++k) {
+      if (graph.NeighborIds(start)[k] == mid) {
+        w_prev = graph.NeighborWeights(start)[k];
+      }
+    }
+    const double delta = graph.WeightSpread(mid);
+    const size_t deg = graph.degree(mid);
+    std::vector<double> probs(deg);
+    double total = 0.0;
+    for (size_t k = 0; k < deg; ++k) {
+      double p = graph.NeighborWeights(mid)[k];  // π1
+      if (delta > 0.0) {
+        p *= std::max(
+            0.0, 1.0 - (graph.NeighborWeights(mid)[k] - w_prev) / delta);
+      }
+      probs[k] = p;
+      total += p;
+    }
+    if (total <= 0.0) {
+      total = 0.0;
+      for (size_t k = 0; k < deg; ++k) {
+        probs[k] = graph.NeighborWeights(mid)[k];
+        total += probs[k];
+      }
+    }
+    for (size_t k = 0; k < deg; ++k) {
+      const ViewGraph::LocalId next = graph.NeighborIds(mid)[k];
+      const double expected = probs[k] / total;
+      auto it = next_counts.find(next);
+      const double observed =
+          it == next_counts.end()
+              ? 0.0
+              : static_cast<double>(it->second) / mid_counts[mid];
+      EXPECT_NEAR(observed, expected, 0.04)
+          << "mid=" << mid << " next=" << next << " seed=" << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WalkTransitionProperty,
+                         ::testing::Range(1, 7));
+
+// ---------------------------------------------------------------------
+// Autograd chains vs numeric gradients over random shapes.
+// ---------------------------------------------------------------------
+
+class AutogradChainProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AutogradChainProperty, RandomChainMatchesNumeric) {
+  Rng gen(GetParam() * 17 + 3);
+  const size_t rows = 2 + gen.NextUint64(4);
+  const size_t cols = 2 + gen.NextUint64(4);
+  Matrix x0 = GaussianInit(rows, cols, 1.0, gen);
+  Matrix w = GaussianInit(rows, rows, 0.7, gen);
+  Matrix target = GaussianInit(rows, cols, 1.0, gen);
+  const int variant = GetParam() % 3;
+
+  auto build = [&](Tape& tape, const Matrix& probe, bool grad) {
+    Var x = tape.Input(probe, grad);
+    Var wv = tape.Input(w, false);
+    Var t = tape.Input(target, false);
+    Var h;
+    switch (variant) {
+      case 0:
+        h = Sigmoid(MatMul(wv, x));
+        break;
+      case 1:
+        h = MatMul(RowSoftmax(Scale(MatMul(x, Transpose(x)), 0.3)), x);
+        break;
+      default:
+        h = Relu(Add(MatMul(wv, x), x));
+        break;
+    }
+    return RowCosineLoss(h, t);
+  };
+
+  Tape tape;
+  Var loss = build(tape, x0, true);
+  tape.Backward(loss);
+  // Var of x is node 0 on the tape.
+  Matrix analytic;
+  {
+    Tape probe_tape;
+    Var x = probe_tape.Input(x0, true);
+    Var wv = probe_tape.Input(w, false);
+    Var t = probe_tape.Input(target, false);
+    Var h;
+    switch (variant) {
+      case 0:
+        h = Sigmoid(MatMul(wv, x));
+        break;
+      case 1:
+        h = MatMul(RowSoftmax(Scale(MatMul(x, Transpose(x)), 0.3)), x);
+        break;
+      default:
+        h = Relu(Add(MatMul(wv, x), x));
+        break;
+    }
+    probe_tape.Backward(RowCosineLoss(h, t));
+    analytic = x.grad();
+  }
+  Matrix numeric = NumericGradient(
+      [&](const Matrix& probe) {
+        Tape t2;
+        return build(t2, probe, false).value()(0, 0);
+      },
+      x0);
+  EXPECT_LT(MaxRelativeError(analytic, numeric, 1e-3), 1e-4)
+      << "variant " << variant;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AutogradChainProperty,
+                         ::testing::Range(1, 10));
+
+// ---------------------------------------------------------------------
+// Metric invariances.
+// ---------------------------------------------------------------------
+
+class AucInvarianceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AucInvarianceProperty, MonotoneTransformPreservesAuc) {
+  Rng rng(GetParam() * 29);
+  const size_t n = 50;
+  std::vector<double> scores(n);
+  std::vector<bool> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    labels[i] = rng.NextBernoulli(0.4);
+    scores[i] = rng.NextGaussian() + (labels[i] ? 0.8 : 0.0);
+  }
+  const double base = Auc(scores, labels);
+  std::vector<double> transformed(n);
+  for (size_t i = 0; i < n; ++i) {
+    transformed[i] = std::exp(0.5 * scores[i]) + 3.0;  // strictly monotone
+  }
+  EXPECT_NEAR(Auc(transformed, labels), base, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AucInvarianceProperty,
+                         ::testing::Range(1, 8));
+
+TEST(SoftmaxInvarianceProperty, RowShiftInvariant) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    Matrix a = GaussianInit(3, 5, 2.0, rng);
+    Matrix shifted = a;
+    for (size_t r = 0; r < a.rows(); ++r) {
+      const double shift = rng.NextDouble(-50.0, 50.0);
+      for (size_t c = 0; c < a.cols(); ++c) shifted(r, c) += shift;
+    }
+    Matrix sa = RowSoftmax(a);
+    Matrix sb = RowSoftmax(shifted);
+    for (size_t i = 0; i < sa.size(); ++i) {
+      ASSERT_NEAR(sa.data()[i], sb.data()[i], 1e-12);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Generator invariants across random specs.
+// ---------------------------------------------------------------------
+
+class HsbmInvariantProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HsbmInvariantProperty, NoIsolatedNodesAndSaneCounts) {
+  Rng gen(GetParam() * 41);
+  HsbmSpec spec;
+  spec.node_types = {{"A", 30 + gen.NextUint64(100)},
+                     {"B", 10 + gen.NextUint64(50)}};
+  spec.edge_types = {
+      {.name = "AA", .type_a = 0, .type_b = 0,
+       .num_edges = 100 + gen.NextUint64(300),
+       .intra_community_prob = gen.NextDouble(0.5, 0.95),
+       .community_correlation = gen.NextDouble()},
+      {.name = "AB", .type_a = 0, .type_b = 1,
+       .num_edges = 80 + gen.NextUint64(200),
+       .intra_community_prob = gen.NextDouble(0.5, 0.95),
+       .community_correlation = gen.NextDouble(),
+       .weighted = gen.NextBernoulli(0.5),
+       .community_weight_levels = gen.NextBernoulli(0.5)},
+  };
+  spec.num_communities = 2 + gen.NextUint64(6);
+  spec.labeled_fraction = gen.NextDouble(0.2, 1.0);
+  spec.seed = GetParam();
+  HeteroGraph g = GenerateHsbm(spec);
+
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    ASSERT_GT(g.degree(n), 0u);
+  }
+  EXPECT_EQ(g.num_nodes(),
+            spec.node_types[0].count + spec.node_types[1].count);
+  for (size_t e = 0; e < g.num_edges(); ++e) {
+    ASSERT_GT(g.edge_weight(e), 0.0);
+  }
+  // Views are well-formed (no Definition-4 violation, no isolated nodes).
+  for (const View& v : BuildViews(g)) {
+    for (ViewGraph::LocalId l = 0; l < v.graph.num_nodes(); ++l) {
+      ASSERT_GT(v.graph.degree(l), 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HsbmInvariantProperty,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace transn

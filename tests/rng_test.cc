@@ -1,0 +1,112 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace transn {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.NextUint64() == b.NextUint64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BoundedUniformStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextUint64(17), 17u);
+    int64_t v = rng.NextInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, BoundedUniformHitsAllValues) {
+  Rng rng(4);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 400; ++i) seen.insert(rng.NextUint64(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  double mean = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    mean += v;
+  }
+  mean /= 10000;
+  EXPECT_NEAR(mean, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(21);
+  double mean = 0.0, var = 0.0;
+  const int n = 20000;
+  std::vector<double> xs(n);
+  for (int i = 0; i < n; ++i) {
+    xs[i] = rng.NextGaussian();
+    mean += xs[i];
+  }
+  mean /= n;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= n;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, DiscreteRespectsWeights) {
+  Rng rng(31);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) ++counts[rng.NextDiscrete(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.35);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> v = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ShuffleActuallyMoves) {
+  Rng rng(5);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  rng.Shuffle(v);
+  int moved = 0;
+  for (int i = 0; i < 100; ++i) moved += v[i] != i;
+  EXPECT_GT(moved, 50);
+}
+
+TEST(RngTest, SplitStreamsAreIndependent) {
+  Rng parent(99);
+  Rng child = parent.Split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += parent.NextUint64() == child.NextUint64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngDeathTest, ZeroBoundAborts) {
+  Rng rng(1);
+  EXPECT_DEATH(rng.NextUint64(0), "Check failed");
+}
+
+}  // namespace
+}  // namespace transn

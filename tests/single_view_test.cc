@@ -1,0 +1,106 @@
+#include "core/single_view.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "test_graphs.h"
+
+namespace transn {
+namespace {
+
+TransNConfig SmallConfig() {
+  TransNConfig cfg;
+  cfg.dim = 16;
+  cfg.walk.walk_length = 10;
+  cfg.walk.min_walks_per_node = 2;
+  cfg.walk.max_walks_per_node = 4;
+  cfg.sgns.negatives = 3;
+  return cfg;
+}
+
+TEST(SingleViewTest, TablesSizedToView) {
+  HeteroGraph g = Fig2aAcademicNetwork();
+  std::vector<View> views = BuildViews(g);
+  Rng rng(1);
+  SingleViewTrainer trainer(&views[0], SmallConfig(), rng);
+  EXPECT_EQ(trainer.embeddings().num_rows(), views[0].graph.num_nodes());
+  EXPECT_EQ(trainer.embeddings().dim(), 16u);
+}
+
+TEST(SingleViewTest, IterationLowersLoss) {
+  HeteroGraph g = TwoCommunityNetwork(25, 2);
+  std::vector<View> views = BuildViews(g);
+  Rng rng(3);
+  SingleViewTrainer trainer(&views[0], SmallConfig(), rng);
+  double first = trainer.RunIteration(rng);
+  double last = first;
+  for (int i = 0; i < 5; ++i) last = trainer.RunIteration(rng);
+  EXPECT_LT(last, first);
+}
+
+TEST(SingleViewTest, LearnsCommunityStructure) {
+  // After training on the friendship homo-view, same-community people must
+  // be closer (on average, in cosine) than cross-community people.
+  const size_t per = 25;
+  HeteroGraph g = TwoCommunityNetwork(per, 4);
+  std::vector<View> views = BuildViews(g);
+  Rng rng(5);
+  SingleViewTrainer trainer(&views[0], SmallConfig(), rng);
+  for (int i = 0; i < 8; ++i) trainer.RunIteration(rng);
+
+  const ViewGraph& vg = views[0].graph;
+  const EmbeddingTable& emb = trainer.embeddings();
+  auto cosine = [&](ViewGraph::LocalId a, ViewGraph::LocalId b) {
+    double ab = Dot(emb.Row(a), emb.Row(b), emb.dim());
+    double aa = Dot(emb.Row(a), emb.Row(a), emb.dim());
+    double bb = Dot(emb.Row(b), emb.Row(b), emb.dim());
+    return ab / std::sqrt(std::max(aa * bb, 1e-30));
+  };
+  double intra = 0.0, inter = 0.0;
+  int n_intra = 0, n_inter = 0;
+  for (NodeId u = 0; u < 2 * per; u += 3) {
+    for (NodeId v = u + 1; v < 2 * per; v += 3) {
+      ViewGraph::LocalId lu = vg.ToLocal(u), lv = vg.ToLocal(v);
+      if (lu == kInvalidNode || lv == kInvalidNode) continue;
+      bool same = (u / per) == (v / per);
+      (same ? intra : inter) += cosine(lu, lv);
+      (same ? n_intra : n_inter)++;
+    }
+  }
+  ASSERT_GT(n_intra, 0);
+  ASSERT_GT(n_inter, 0);
+  EXPECT_GT(intra / n_intra, inter / n_inter + 0.2);
+}
+
+TEST(SingleViewTest, HeterViewUsesWiderContexts) {
+  // Smoke check: a heter-view trainer runs and produces finite embeddings.
+  HeteroGraph g = Fig4BookRatingNetwork();
+  std::vector<View> views = BuildViews(g);
+  ASSERT_TRUE(views[0].is_heter);
+  Rng rng(6);
+  SingleViewTrainer trainer(&views[0], SmallConfig(), rng);
+  trainer.RunIteration(rng);
+  for (size_t r = 0; r < trainer.embeddings().num_rows(); ++r) {
+    for (size_t c = 0; c < trainer.embeddings().dim(); ++c) {
+      EXPECT_TRUE(std::isfinite(trainer.embeddings().Row(r)[c]));
+    }
+  }
+}
+
+TEST(SingleViewDeathTest, EmptyViewAborts) {
+  HeteroGraphBuilder b;
+  NodeTypeId t = b.AddNodeType("X");
+  b.AddEdgeType("used");
+  b.AddEdgeType("empty");
+  b.AddNode(t);
+  b.AddNode(t);
+  b.AddEdge(0, 1, 0);
+  HeteroGraph g = b.Build();
+  std::vector<View> views = BuildViews(g);
+  Rng rng(7);
+  EXPECT_DEATH(SingleViewTrainer(&views[1], SmallConfig(), rng),
+               "empty view");
+}
+
+}  // namespace
+}  // namespace transn

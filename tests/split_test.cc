@@ -1,0 +1,80 @@
+#include "eval/split.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace transn {
+namespace {
+
+TEST(StratifiedSplitTest, PartitionsAllIndices) {
+  std::vector<int> labels(100);
+  for (size_t i = 0; i < labels.size(); ++i) labels[i] = i % 4;
+  Rng rng(1);
+  TrainTestSplit s = StratifiedSplit(labels, 0.8, rng);
+  EXPECT_EQ(s.train.size() + s.test.size(), labels.size());
+  std::vector<bool> seen(labels.size(), false);
+  for (size_t i : s.train) {
+    EXPECT_FALSE(seen[i]);
+    seen[i] = true;
+  }
+  for (size_t i : s.test) {
+    EXPECT_FALSE(seen[i]);
+    seen[i] = true;
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(StratifiedSplitTest, PreservesClassProportions) {
+  std::vector<int> labels;
+  for (int k = 0; k < 3; ++k) {
+    for (int i = 0; i < 100; ++i) labels.push_back(k);
+  }
+  Rng rng(2);
+  TrainTestSplit s = StratifiedSplit(labels, 0.9, rng);
+  std::vector<int> train_counts(3, 0);
+  for (size_t i : s.train) ++train_counts[labels[i]];
+  for (int k = 0; k < 3; ++k) EXPECT_EQ(train_counts[k], 90);
+}
+
+TEST(StratifiedSplitTest, SmallClassesKeepOneEachSide) {
+  std::vector<int> labels = {0, 0, 1, 1, 2, 2};
+  Rng rng(3);
+  TrainTestSplit s = StratifiedSplit(labels, 0.9, rng);
+  std::vector<int> train_counts(3, 0), test_counts(3, 0);
+  for (size_t i : s.train) ++train_counts[labels[i]];
+  for (size_t i : s.test) ++test_counts[labels[i]];
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_GE(train_counts[k], 1);
+    EXPECT_GE(test_counts[k], 1);
+  }
+}
+
+TEST(StratifiedSplitTest, SingletonClassGoesToTrain) {
+  std::vector<int> labels = {0, 0, 0, 0, 1};
+  Rng rng(4);
+  TrainTestSplit s = StratifiedSplit(labels, 0.5, rng);
+  bool singleton_in_train =
+      std::find(s.train.begin(), s.train.end(), 4u) != s.train.end();
+  EXPECT_TRUE(singleton_in_train);
+}
+
+TEST(StratifiedSplitTest, DifferentSeedsDifferentSplits) {
+  std::vector<int> labels(60, 0);
+  Rng r1(5), r2(6);
+  TrainTestSplit s1 = StratifiedSplit(labels, 0.5, r1);
+  TrainTestSplit s2 = StratifiedSplit(labels, 0.5, r2);
+  std::sort(s1.test.begin(), s1.test.end());
+  std::sort(s2.test.begin(), s2.test.end());
+  EXPECT_NE(s1.test, s2.test);
+}
+
+TEST(StratifiedSplitDeathTest, BadFractionAborts) {
+  std::vector<int> labels = {0, 1};
+  Rng rng(7);
+  EXPECT_DEATH(StratifiedSplit(labels, 0.0, rng), "Check failed");
+  EXPECT_DEATH(StratifiedSplit(labels, 1.0, rng), "Check failed");
+}
+
+}  // namespace
+}  // namespace transn

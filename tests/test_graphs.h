@@ -1,0 +1,108 @@
+#ifndef TRANSN_TESTS_TEST_GRAPHS_H_
+#define TRANSN_TESTS_TEST_GRAPHS_H_
+
+#include "graph/hetero_graph.h"
+#include "util/rng.h"
+
+namespace transn {
+
+/// The paper's Figure 2(a) academic network: three authors (A1–A3), two
+/// papers (P1, P2), one university (U1); authorship (red), citation (blue),
+/// affiliation (green) edges. A1/A3 share the university; A1 wrote P1, A2
+/// and A3 wrote P2; P1 and P2 cite each other.
+inline HeteroGraph Fig2aAcademicNetwork() {
+  HeteroGraphBuilder b;
+  NodeTypeId author = b.AddNodeType("Author");
+  NodeTypeId paper = b.AddNodeType("Paper");
+  NodeTypeId univ = b.AddNodeType("University");
+  EdgeTypeId authorship = b.AddEdgeType("authorship");
+  EdgeTypeId citation = b.AddEdgeType("citation");
+  EdgeTypeId affiliation = b.AddEdgeType("affiliation");
+
+  NodeId a1 = b.AddNode(author, "A1");
+  NodeId a2 = b.AddNode(author, "A2");
+  NodeId a3 = b.AddNode(author, "A3");
+  NodeId p1 = b.AddNode(paper, "P1");
+  NodeId p2 = b.AddNode(paper, "P2");
+  NodeId u1 = b.AddNode(univ, "U1");
+
+  b.AddEdge(a1, p1, authorship);
+  b.AddEdge(a2, p2, authorship);
+  b.AddEdge(a3, p2, authorship);
+  b.AddEdge(p1, p2, citation);
+  b.AddEdge(a1, u1, affiliation);
+  b.AddEdge(a3, u1, affiliation);
+  return b.Build();
+}
+
+/// The paper's Figure 4 book-rating view: readers R1–R3, books B1–B3, with
+/// rating weights; R1 and R3 both rate B2 low (2 resp. 1) while R2 rates it
+/// high (5).
+inline HeteroGraph Fig4BookRatingNetwork() {
+  HeteroGraphBuilder b;
+  NodeTypeId reader = b.AddNodeType("Reader");
+  NodeTypeId book = b.AddNodeType("Book");
+  EdgeTypeId rating = b.AddEdgeType("rating");
+
+  NodeId r1 = b.AddNode(reader, "R1");
+  NodeId r2 = b.AddNode(reader, "R2");
+  NodeId r3 = b.AddNode(reader, "R3");
+  NodeId b1 = b.AddNode(book, "B1");
+  NodeId b2 = b.AddNode(book, "B2");
+  NodeId b3 = b.AddNode(book, "B3");
+
+  b.AddEdge(r1, b1, rating, 4.0);
+  b.AddEdge(r1, b2, rating, 2.0);
+  b.AddEdge(r2, b2, rating, 5.0);
+  b.AddEdge(r3, b2, rating, 1.0);
+  b.AddEdge(r3, b3, rating, 4.0);
+  return b.Build();
+}
+
+/// A two-community, two-view weighted network for learning tests: nodes of
+/// type X form a friendship homo-view, and a tag heter-view connects X to
+/// tags. Communities are encoded in both views.
+inline HeteroGraph TwoCommunityNetwork(size_t per_community, uint64_t seed) {
+  Rng rng(seed);
+  HeteroGraphBuilder b;
+  NodeTypeId person = b.AddNodeType("Person");
+  NodeTypeId tag = b.AddNodeType("Tag");
+  EdgeTypeId friendship = b.AddEdgeType("friendship");
+  EdgeTypeId tagging = b.AddEdgeType("tagging");
+
+  std::vector<NodeId> people;
+  for (size_t i = 0; i < 2 * per_community; ++i) {
+    NodeId n = b.AddNode(person);
+    b.SetLabel(n, static_cast<int>(i / per_community));
+    people.push_back(n);
+  }
+  std::vector<NodeId> tags;
+  for (size_t i = 0; i < 8; ++i) tags.push_back(b.AddNode(tag));
+
+  auto comm = [&](NodeId n) { return n / per_community; };
+  // Friendship: mostly intra-community.
+  for (NodeId u : people) {
+    for (int k = 0; k < 3; ++k) {
+      NodeId v = rng.NextBernoulli(0.9)
+                     ? static_cast<NodeId>(comm(u) * per_community +
+                                           rng.NextUint64(per_community))
+                     : people[rng.NextUint64(people.size())];
+      if (u == v || b.num_nodes() == 0) continue;
+      b.AddEdge(u, v, friendship, 1.0 + rng.NextUint64(4));
+    }
+  }
+  // Tagging: tags 0-3 belong to community 0, tags 4-7 to community 1.
+  for (NodeId u : people) {
+    for (int k = 0; k < 2; ++k) {
+      size_t base = comm(u) == 0 ? 0 : 4;
+      NodeId t = tags[rng.NextBernoulli(0.9) ? base + rng.NextUint64(4)
+                                             : rng.NextUint64(8)];
+      b.AddEdge(u, t, tagging, 1.0 + rng.NextUint64(4));
+    }
+  }
+  return b.Build();
+}
+
+}  // namespace transn
+
+#endif  // TRANSN_TESTS_TEST_GRAPHS_H_

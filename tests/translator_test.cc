@@ -1,0 +1,139 @@
+#include "core/translator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "nn/grad_check.h"
+#include "nn/init.h"
+
+namespace transn {
+namespace {
+
+TEST(TranslatorTest, OutputShapeMatchesInput) {
+  Rng rng(1);
+  Translator t(6, 12, 3, /*simple=*/false, rng);
+  Matrix in = GaussianInit(6, 12, 1.0, rng);
+  Matrix out = t.Forward(in);
+  EXPECT_EQ(out.rows(), 6u);
+  EXPECT_EQ(out.cols(), 12u);
+}
+
+TEST(TranslatorTest, SimpleVariantHasOneEncoder) {
+  Rng rng(2);
+  Translator full(8, 16, 4, false, rng);
+  Translator simple(8, 16, 4, true, rng);
+  EXPECT_EQ(full.num_encoders(), 4u);
+  EXPECT_EQ(simple.num_encoders(), 1u);
+  // Parameters per encoder: L*L + L.
+  EXPECT_EQ(full.num_parameters(), 4u * (64 + 8));
+  EXPECT_EQ(simple.num_parameters(), 64 + 8u);
+}
+
+TEST(TranslatorTest, FinalLayerLinearByDefault) {
+  // With the default linear last layer, outputs may be negative; with the
+  // literal Eq. 9 (final_relu), outputs are confined to the non-negative
+  // orthant.
+  Rng rng(21);
+  Translator linear(4, 8, 2, false, rng);
+  Translator relu(4, 8, 2, false, rng, /*final_relu=*/true);
+  EXPECT_FALSE(linear.final_relu());
+  EXPECT_TRUE(relu.final_relu());
+
+  // Force a sign-flipping final layer: the linear variant must emit
+  // negatives where the literal-Eq.-9 variant clamps to zero.
+  const size_t last = linear.num_encoders() - 1;
+  linear.weight(last).value *= -1.0;
+  relu.weight(relu.num_encoders() - 1).value *= -1.0;
+
+  Rng in_rng(22);
+  Matrix in = UniformInit(4, 8, 0.2, 1.0, in_rng);
+  Matrix out_linear = linear.Forward(in);
+  Matrix out_relu = relu.Forward(in);
+  bool any_negative = false;
+  for (size_t i = 0; i < out_linear.size(); ++i) {
+    any_negative |= out_linear.data()[i] < 0.0;
+    EXPECT_GE(out_relu.data()[i], 0.0);
+  }
+  EXPECT_TRUE(any_negative);
+}
+
+TEST(TranslatorTest, NearIdentityAtInit) {
+  // W initialized near identity with zero bias: a fresh translator should
+  // roughly preserve its (non-negative) input.
+  Rng rng(3);
+  Translator t(4, 8, 1, /*simple=*/true, rng);
+  Matrix in = UniformInit(4, 8, 0.2, 1.0, rng);
+  Matrix out = t.Forward(in);
+  double rel = Sub(out, in).FrobeniusNorm() / in.FrobeniusNorm();
+  EXPECT_LT(rel, 0.35);
+}
+
+TEST(TranslatorTest, GradientFlowsToParametersAndInput) {
+  Rng rng(4);
+  Translator t(4, 6, 2, false, rng);
+  AdamOptimizer opt;
+  t.RegisterParams(&opt);
+
+  Tape tape;
+  Matrix in = GaussianInit(4, 6, 1.0, rng);
+  Matrix target = GaussianInit(4, 6, 1.0, rng);
+  Var x = tape.Input(in, true);
+  Var out = t.Apply(tape, x);
+  Var loss = RowCosineLoss(out, tape.Input(target, false));
+  tape.Backward(loss);
+  EXPECT_GT(x.grad().FrobeniusNorm(), 0.0);
+}
+
+TEST(TranslatorTest, BackwardMatchesNumericGradientThroughStack) {
+  Rng rng(5);
+  Translator t(3, 4, 2, false, rng);
+  Matrix in = GaussianInit(3, 4, 1.0, rng);
+  Matrix target = GaussianInit(3, 4, 1.0, rng);
+
+  Tape tape;
+  Var x = tape.Input(in, true);
+  Var loss = RowCosineLoss(t.Apply(tape, x), tape.Input(target, false));
+  tape.Backward(loss);
+
+  Matrix numeric = NumericGradient(
+      [&](const Matrix& probe) {
+        Tape t2;
+        Var px = t2.Input(probe, false);
+        return RowCosineLoss(t.Apply(t2, px), t2.Input(target, false))
+            .value()(0, 0);
+      },
+      in);
+  EXPECT_LT(MaxRelativeError(x.grad(), numeric), 2e-5);
+}
+
+TEST(TranslatorTest, TrainingShrinksTranslationLoss) {
+  Rng rng(6);
+  Translator t(4, 8, 2, false, rng);
+  AdamOptimizer opt(AdamConfig{.learning_rate = 0.01});
+  t.RegisterParams(&opt);
+  Matrix in = GaussianInit(4, 8, 1.0, rng);
+  Matrix target = GaussianInit(4, 8, 1.0, rng);
+
+  double first = 0.0, last = 0.0;
+  for (int step = 0; step < 400; ++step) {
+    Tape tape;
+    Var x = tape.Input(in, false);
+    Var loss = RowCosineLoss(t.Apply(tape, x), tape.Input(target, false));
+    if (step == 0) first = loss.value()(0, 0);
+    last = loss.value()(0, 0);
+    tape.Backward(loss);
+    opt.Step();
+  }
+  EXPECT_LT(last, first * 0.5);
+}
+
+TEST(TranslatorDeathTest, WrongInputShapeAborts) {
+  Rng rng(7);
+  Translator t(4, 8, 1, false, rng);
+  Tape tape;
+  Var x = tape.Input(Matrix(5, 8, 0.0), false);
+  EXPECT_DEATH(t.Apply(tape, x), "Check failed");
+}
+
+}  // namespace
+}  // namespace transn

@@ -1,0 +1,196 @@
+#include "core/transn.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "eval/node_classification.h"
+#include "test_graphs.h"
+
+namespace transn {
+namespace {
+
+TransNConfig SmallConfig() {
+  TransNConfig cfg;
+  cfg.dim = 16;
+  cfg.iterations = 3;
+  cfg.walk.walk_length = 12;
+  cfg.walk.min_walks_per_node = 2;
+  cfg.walk.max_walks_per_node = 4;
+  cfg.sgns.negatives = 3;
+  cfg.translator_encoders = 2;
+  cfg.translator_seq_len = 4;
+  cfg.cross_paths_per_pair = 15;
+  cfg.seed = 17;
+  return cfg;
+}
+
+TEST(TransNTest, BuildsViewsAndPairs) {
+  HeteroGraph g = Fig2aAcademicNetwork();
+  TransNModel model(&g, SmallConfig());
+  EXPECT_EQ(model.views().size(), 3u);
+  EXPECT_EQ(model.view_pairs().size(), 2u);
+  EXPECT_EQ(model.num_cross_trainers(), 2u);
+}
+
+TEST(TransNTest, FinalEmbeddingsAverageViewSpecificOnes) {
+  HeteroGraph g = Fig2aAcademicNetwork();
+  TransNConfig cfg = SmallConfig();
+  // Plain (unnormalized) §III-C averaging for exact arithmetic checks.
+  cfg.view_average = ViewAverageKind::kPlain;
+  TransNModel model(&g, cfg);
+  model.Fit();
+  Matrix final = model.FinalEmbeddings();
+  ASSERT_EQ(final.rows(), g.num_nodes());
+  ASSERT_EQ(final.cols(), 16u);
+
+  // A1 (node 0) is in the authorship (view 0) and affiliation (view 2)
+  // views; its final embedding must be the mean of those two.
+  std::vector<double> v0 = model.ViewEmbedding(0, 0);
+  std::vector<double> v2 = model.ViewEmbedding(2, 0);
+  for (size_t c = 0; c < 16; ++c) {
+    EXPECT_NEAR(final(0, c), (v0[c] + v2[c]) / 2.0, 1e-12);
+  }
+
+  // U1 (node 5) appears only in the affiliation view.
+  std::vector<double> u = model.ViewEmbedding(2, 5);
+  for (size_t c = 0; c < 16; ++c) EXPECT_NEAR(final(5, c), u[c], 1e-12);
+}
+
+TEST(TransNTest, ViewEmbeddingZeroWhenAbsent) {
+  HeteroGraph g = Fig2aAcademicNetwork();
+  TransNModel model(&g, SmallConfig());
+  // U1 (node 5) is not in the citation view (view 1).
+  std::vector<double> v = model.ViewEmbedding(1, 5);
+  for (double x : v) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(TransNTest, DeterministicForFixedSeed) {
+  HeteroGraph g = TwoCommunityNetwork(15, 5);
+  TransNModel m1(&g, SmallConfig());
+  TransNModel m2(&g, SmallConfig());
+  m1.Fit();
+  m2.Fit();
+  Matrix e1 = m1.FinalEmbeddings();
+  Matrix e2 = m2.FinalEmbeddings();
+  for (size_t i = 0; i < e1.size(); ++i) {
+    ASSERT_DOUBLE_EQ(e1.data()[i], e2.data()[i]);
+  }
+}
+
+TEST(TransNTest, DifferentSeedsDiffer) {
+  HeteroGraph g = TwoCommunityNetwork(15, 5);
+  TransNConfig c1 = SmallConfig(), c2 = SmallConfig();
+  c2.seed = c1.seed + 1;
+  TransNModel m1(&g, c1), m2(&g, c2);
+  m1.Fit();
+  m2.Fit();
+  Matrix diff = Sub(m1.FinalEmbeddings(), m2.FinalEmbeddings());
+  EXPECT_GT(diff.FrobeniusNorm(), 1e-6);
+}
+
+TEST(TransNTest, EmbeddingsClassifyCommunities) {
+  HeteroGraph g = TwoCommunityNetwork(40, 6);
+  TransNConfig cfg = SmallConfig();
+  cfg.iterations = 5;
+  TransNModel model(&g, cfg);
+  model.Fit();
+  auto res = EvaluateNodeClassification(g, model.FinalEmbeddings(),
+                                        {.repeats = 5, .seed = 2});
+  EXPECT_GT(res.micro_f1, 0.8);
+  EXPECT_GT(res.macro_f1, 0.8);
+}
+
+TEST(TransNTest, WithoutCrossViewSkipsCrossTrainers) {
+  HeteroGraph g = Fig2aAcademicNetwork();
+  TransNConfig cfg = SmallConfig();
+  cfg.enable_cross_view = false;
+  TransNModel model(&g, cfg);
+  EXPECT_EQ(model.num_cross_trainers(), 0u);
+  TransNIterationStats stats = model.RunIteration();
+  EXPECT_DOUBLE_EQ(stats.mean_cross_view_loss, 0.0);
+  EXPECT_GT(stats.mean_single_view_loss, 0.0);
+}
+
+TEST(TransNTest, AllAblationVariantsRun) {
+  HeteroGraph g = TwoCommunityNetwork(12, 7);
+  for (int variant = 0; variant < 5; ++variant) {
+    TransNConfig cfg = SmallConfig();
+    cfg.iterations = 1;
+    switch (variant) {
+      case 0:
+        cfg.enable_cross_view = false;
+        break;
+      case 1:
+        cfg.simple_walk = true;
+        break;
+      case 2:
+        cfg.simple_translator = true;
+        break;
+      case 3:
+        cfg.enable_translation_tasks = false;
+        break;
+      case 4:
+        cfg.enable_reconstruction_tasks = false;
+        break;
+    }
+    TransNModel model(&g, cfg);
+    model.Fit();
+    Matrix emb = model.FinalEmbeddings();
+    for (size_t i = 0; i < emb.size(); ++i) {
+      ASSERT_TRUE(std::isfinite(emb.data()[i])) << "variant " << variant;
+    }
+  }
+}
+
+TEST(TransNTest, SharedViewInitAlignsViewSpaces) {
+  HeteroGraph g = Fig2aAcademicNetwork();
+  TransNConfig cfg = SmallConfig();
+  cfg.shared_view_init = true;
+  TransNModel model(&g, cfg);
+  // Before training, node A1's embeddings in the authorship (0) and
+  // affiliation (2) views must be identical.
+  std::vector<double> v0 = model.ViewEmbedding(0, 0);
+  std::vector<double> v2 = model.ViewEmbedding(2, 0);
+  for (size_t c = 0; c < v0.size(); ++c) EXPECT_DOUBLE_EQ(v0[c], v2[c]);
+
+  TransNConfig indep = SmallConfig();
+  indep.shared_view_init = false;
+  TransNModel model2(&g, indep);
+  std::vector<double> w0 = model2.ViewEmbedding(0, 0);
+  std::vector<double> w2 = model2.ViewEmbedding(2, 0);
+  double diff = 0.0;
+  for (size_t c = 0; c < w0.size(); ++c) diff += std::fabs(w0[c] - w2[c]);
+  EXPECT_GT(diff, 1e-9);
+}
+
+TEST(TransNTest, NormalizedAverageUnitNormForSingleViewNodes) {
+  HeteroGraph g = Fig2aAcademicNetwork();
+  TransNConfig cfg = SmallConfig();
+  cfg.view_average = ViewAverageKind::kRowNormalized;
+  TransNModel model(&g, cfg);
+  model.Fit();
+  Matrix emb = model.FinalEmbeddings();
+  // U1 (node 5) lives only in the affiliation view: its final embedding is
+  // a single normalized vector -> unit norm.
+  double norm = 0.0;
+  for (size_t c = 0; c < emb.cols(); ++c) norm += emb(5, c) * emb(5, c);
+  EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-9);
+}
+
+TEST(TransNTest, HistoryRecordsIterations) {
+  HeteroGraph g = Fig2aAcademicNetwork();
+  TransNModel model(&g, SmallConfig());
+  model.Fit();
+  EXPECT_EQ(model.history().size(), SmallConfig().iterations);
+}
+
+TEST(TransNDeathTest, CrossViewWithNoTasksAborts) {
+  HeteroGraph g = Fig2aAcademicNetwork();
+  TransNConfig cfg = SmallConfig();
+  cfg.enable_translation_tasks = false;
+  cfg.enable_reconstruction_tasks = false;
+  EXPECT_DEATH(TransNModel(&g, cfg), "at least one");
+}
+
+}  // namespace
+}  // namespace transn

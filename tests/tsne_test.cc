@@ -1,0 +1,77 @@
+#include "eval/tsne.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "eval/metrics.h"
+#include "nn/init.h"
+#include "util/rng.h"
+
+namespace transn {
+namespace {
+
+/// Three well-separated Gaussian blobs in 10-D.
+Matrix Blobs(std::vector<int>* labels, uint64_t seed) {
+  Rng rng(seed);
+  const int per = 20;
+  Matrix x(3 * per, 10);
+  labels->clear();
+  for (int k = 0; k < 3; ++k) {
+    for (int i = 0; i < per; ++i) {
+      const size_t row = static_cast<size_t>(k * per + i);
+      for (size_t c = 0; c < 10; ++c) {
+        x(row, c) = 8.0 * k * (c == 0 ? 1.0 : 0.0) + 0.3 * rng.NextGaussian();
+      }
+      labels->push_back(k);
+    }
+  }
+  return x;
+}
+
+TEST(TsneTest, OutputShape) {
+  std::vector<int> labels;
+  Matrix x = Blobs(&labels, 1);
+  Matrix y = Tsne(x, {.iterations = 50});
+  EXPECT_EQ(y.rows(), x.rows());
+  EXPECT_EQ(y.cols(), 2u);
+}
+
+TEST(TsneTest, OutputIsFiniteAndCentered) {
+  std::vector<int> labels;
+  Matrix x = Blobs(&labels, 2);
+  Matrix y = Tsne(x, {.iterations = 120});
+  double mean0 = 0.0, mean1 = 0.0;
+  for (size_t r = 0; r < y.rows(); ++r) {
+    ASSERT_TRUE(std::isfinite(y(r, 0)));
+    ASSERT_TRUE(std::isfinite(y(r, 1)));
+    mean0 += y(r, 0);
+    mean1 += y(r, 1);
+  }
+  EXPECT_NEAR(mean0 / y.rows(), 0.0, 1e-9);
+  EXPECT_NEAR(mean1 / y.rows(), 0.0, 1e-9);
+}
+
+TEST(TsneTest, SeparatedBlobsStaySeparated) {
+  std::vector<int> labels;
+  Matrix x = Blobs(&labels, 3);
+  Matrix y = Tsne(x, {.perplexity = 10.0, .iterations = 400});
+  EXPECT_GT(SilhouetteScore(y, labels), 0.5);
+}
+
+TEST(TsneTest, DeterministicForSeed) {
+  std::vector<int> labels;
+  Matrix x = Blobs(&labels, 4);
+  Matrix y1 = Tsne(x, {.iterations = 60, .seed = 9});
+  Matrix y2 = Tsne(x, {.iterations = 60, .seed = 9});
+  for (size_t i = 0; i < y1.size(); ++i) {
+    ASSERT_DOUBLE_EQ(y1.data()[i], y2.data()[i]);
+  }
+}
+
+TEST(TsneDeathTest, PerplexityTooLargeAborts) {
+  Matrix x(10, 3, 0.0);
+  EXPECT_DEATH(Tsne(x, {.perplexity = 5.0}), "perplexity too large");
+}
+
+}  // namespace
+}  // namespace transn

@@ -1,0 +1,103 @@
+#include "graph/view_pair.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+#include "test_graphs.h"
+
+namespace transn {
+namespace {
+
+TEST(FindViewPairsTest, Fig2aPairs) {
+  HeteroGraph g = Fig2aAcademicNetwork();
+  std::vector<View> views = BuildViews(g);
+  std::vector<ViewPair> pairs = FindViewPairs(views);
+  // authorship∩citation = {P1,P2}; authorship∩affiliation = {A1,A3};
+  // citation∩affiliation = ∅.
+  ASSERT_EQ(pairs.size(), 2u);
+
+  EXPECT_EQ(pairs[0].view_i, 0u);
+  EXPECT_EQ(pairs[0].view_j, 1u);
+  EXPECT_EQ(pairs[0].common_nodes, (std::vector<NodeId>{3, 4}));
+
+  EXPECT_EQ(pairs[1].view_i, 0u);
+  EXPECT_EQ(pairs[1].view_j, 2u);
+  EXPECT_EQ(pairs[1].common_nodes, (std::vector<NodeId>{0, 2}));
+}
+
+TEST(FindViewPairsTest, DisjointViewsProduceNoPair) {
+  HeteroGraphBuilder b;
+  NodeTypeId t = b.AddNodeType("X");
+  EdgeTypeId e1 = b.AddEdgeType("r1");
+  EdgeTypeId e2 = b.AddEdgeType("r2");
+  for (int i = 0; i < 4; ++i) b.AddNode(t);
+  b.AddEdge(0, 1, e1);
+  b.AddEdge(2, 3, e2);
+  HeteroGraph g = b.Build();
+  EXPECT_TRUE(FindViewPairs(BuildViews(g)).empty());
+}
+
+TEST(PairedSubviewTest, ContainsCommonNodesAndNeighbors) {
+  HeteroGraph g = Fig2aAcademicNetwork();
+  std::vector<View> views = BuildViews(g);
+  std::vector<ViewPair> pairs = FindViewPairs(views);
+
+  // Pair (authorship, citation) common = {P1, P2}. In the authorship view
+  // the paired subview is P1,P2 plus their authorship neighbors A1,A2,A3.
+  PairedSubview sub =
+      BuildPairedSubview(views[0], pairs[0].common_nodes);
+  std::set<NodeId> nodes(sub.graph.nodes().begin(), sub.graph.nodes().end());
+  EXPECT_EQ(nodes, (std::set<NodeId>{0, 1, 2, 3, 4}));
+
+  EXPECT_EQ(sub.num_common(), 2u);
+  EXPECT_TRUE(sub.is_common[sub.graph.ToLocal(3)]);
+  EXPECT_TRUE(sub.is_common[sub.graph.ToLocal(4)]);
+  EXPECT_FALSE(sub.is_common[sub.graph.ToLocal(0)]);
+}
+
+TEST(PairedSubviewTest, KeepsOnlyInducedEdges) {
+  // A chain a-b-c-d in one view with only {b} common: subview must hold
+  // a-b and b-c (edges incident to kept nodes a,b,c) but not c-d? c and d:
+  // c is kept (neighbor of b), d is not adjacent to any common node.
+  HeteroGraphBuilder bld;
+  NodeTypeId t = bld.AddNodeType("X");
+  EdgeTypeId e = bld.AddEdgeType("r");
+  for (int i = 0; i < 4; ++i) bld.AddNode(t);
+  bld.AddEdge(0, 1, e);
+  bld.AddEdge(1, 2, e);
+  bld.AddEdge(2, 3, e);
+  HeteroGraph g = bld.Build();
+  std::vector<View> views = BuildViews(g);
+
+  PairedSubview sub = BuildPairedSubview(views[0], {1});
+  std::set<NodeId> nodes(sub.graph.nodes().begin(), sub.graph.nodes().end());
+  EXPECT_EQ(nodes, (std::set<NodeId>{0, 1, 2}));
+  EXPECT_EQ(sub.graph.num_edges(), 2u);  // 0-1 and 1-2; 2-3 dropped
+}
+
+TEST(PairedSubviewTest, IntersectionReadingWouldBeDegenerate) {
+  // Documents the Definition-5 reading choice (DESIGN.md §2.4): with the
+  // literal M ∩ A, the Fig. 2(a) (authorship, citation) subview would keep
+  // only common nodes adjacent to other common nodes — here none, since P1
+  // and P2 are not authorship-adjacent. The union reading keeps a usable
+  // subview (asserted in ContainsCommonNodesAndNeighbors above).
+  HeteroGraph g = Fig2aAcademicNetwork();
+  std::vector<View> views = BuildViews(g);
+  const ViewGraph& authorship = views[0].graph;
+  // P1 (id 3) and P2 (id 4) share no authorship edge:
+  EXPECT_FALSE(authorship.AreAdjacent(authorship.ToLocal(3),
+                                      authorship.ToLocal(4)));
+}
+
+TEST(PairedSubviewTest, WeightsPreserved) {
+  HeteroGraph g = Fig4BookRatingNetwork();
+  std::vector<View> views = BuildViews(g);
+  PairedSubview sub = BuildPairedSubview(views[0], {4});  // B2 common
+  ViewGraph::LocalId b2 = sub.graph.ToLocal(4);
+  ASSERT_NE(b2, kInvalidNode);
+  EXPECT_EQ(sub.graph.degree(b2), 3u);
+  EXPECT_DOUBLE_EQ(sub.graph.weighted_degree(b2), 8.0);  // 2+5+1
+}
+
+}  // namespace
+}  // namespace transn

@@ -1,0 +1,267 @@
+// Command-line interface to the TransN library.
+//
+//   transn_cli generate --dataset AMiner --scale 0.5 --seed 1 --out g.tsv
+//   transn_cli stats    --graph g.tsv
+//   transn_cli train    --graph g.tsv --out emb.tsv [--method transn|line|
+//                        node2vec|mve] [--dim 128] [--iterations 5] ...
+//   transn_cli classify --graph g.tsv --embeddings emb.tsv [--repeats 10]
+//   transn_cli linkpred --graph g.tsv [--method transn] [--removal 0.4]
+//
+// Every subcommand exits non-zero with a message on stderr for bad input.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "baselines/line.h"
+#include "baselines/mve.h"
+#include "baselines/node2vec.h"
+#include "core/model_io.h"
+#include "core/transn.h"
+#include "data/datasets.h"
+#include "eval/link_prediction.h"
+#include "eval/node_classification.h"
+#include "graph/graph_io.h"
+#include "graph/graph_stats.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace transn;
+
+/// Minimal --flag value parser; flags may appear in any order.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (!StartsWith(key, "--")) {
+        Fail("expected --flag, got '" + key + "'");
+      }
+      if (i + 1 >= argc) Fail("missing value for " + key);
+      values_[key.substr(2)] = argv[++i];
+    }
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    if (it != values_.end()) {
+      used_.insert(key);
+      return it->second;
+    }
+    if (fallback.empty()) Fail("missing required flag --" + key);
+    return fallback;
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    used_.insert(key);
+    double v = 0;
+    if (!ParseDouble(it->second, &v)) Fail("bad number for --" + key);
+    return v;
+  }
+
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    used_.insert(key);
+    int64_t v = 0;
+    if (!ParseInt64(it->second, &v)) Fail("bad integer for --" + key);
+    return v;
+  }
+
+  bool GetBool(const std::string& key, bool fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    used_.insert(key);
+    return it->second == "true" || it->second == "1";
+  }
+
+  void CheckAllUsed() const {
+    for (const auto& [key, value] : values_) {
+      if (used_.count(key) == 0) Fail("unknown flag --" + key);
+    }
+  }
+
+  [[noreturn]] static void Fail(const std::string& message) {
+    std::fprintf(stderr, "error: %s\n", message.c_str());
+    std::exit(2);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> used_;
+};
+
+HeteroGraph LoadGraphOrDie(const std::string& path) {
+  auto g = LoadGraph(path);
+  if (!g.ok()) Args::Fail(g.status().ToString());
+  return std::move(g).value();
+}
+
+int CmdGenerate(const Args& args) {
+  std::string dataset = args.GetString("dataset");
+  double scale = args.GetDouble("scale", 1.0);
+  uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  std::string out = args.GetString("out");
+  args.CheckAllUsed();
+
+  auto g = MakeDataset(dataset, scale, seed);
+  if (!g.ok()) Args::Fail(g.status().ToString());
+  Status s = SaveGraph(*g, out);
+  if (!s.ok()) Args::Fail(s.ToString());
+  std::printf("wrote %s: %zu nodes, %zu edges\n", out.c_str(), g->num_nodes(),
+              g->num_edges());
+  return 0;
+}
+
+int CmdStats(const Args& args) {
+  HeteroGraph g = LoadGraphOrDie(args.GetString("graph"));
+  args.CheckAllUsed();
+  GraphStats s = ComputeStats(g);
+  std::printf("nodes: %zu (%s)\n", s.num_nodes,
+              FormatTypeCounts(s.nodes_per_type).c_str());
+  std::printf("edges: %zu (%s)\n", s.num_edges,
+              FormatTypeCounts(s.edges_per_type).c_str());
+  std::printf("labeled: %zu%s\n", s.num_labeled,
+              s.labeled_type.empty() ? ""
+                                     : (" (" + s.labeled_type + ")").c_str());
+  std::printf("average degree: %.2f, density: %.3e\n", s.average_degree,
+              s.density);
+  return 0;
+}
+
+TransNConfig TransNConfigFromArgs(const Args& args) {
+  TransNConfig cfg;
+  cfg.dim = static_cast<size_t>(args.GetInt("dim", 128));
+  cfg.iterations = static_cast<size_t>(args.GetInt("iterations", 5));
+  cfg.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  cfg.walk.walk_length =
+      static_cast<size_t>(args.GetInt("walk-length", 80));
+  cfg.walk.min_walks_per_node =
+      static_cast<size_t>(args.GetInt("min-walks", 10));
+  cfg.walk.max_walks_per_node =
+      static_cast<size_t>(args.GetInt("max-walks", 32));
+  cfg.translator_encoders =
+      static_cast<size_t>(args.GetInt("encoders", 6));
+  cfg.translator_seq_len = static_cast<size_t>(args.GetInt("seq-len", 8));
+  cfg.cross_paths_per_pair =
+      static_cast<size_t>(args.GetInt("cross-paths", 100));
+  cfg.enable_cross_view = args.GetBool("cross-view", true);
+  cfg.simple_walk = args.GetBool("simple-walk", false);
+  cfg.simple_translator = args.GetBool("simple-translator", false);
+  cfg.enable_translation_tasks = args.GetBool("translation-tasks", true);
+  cfg.enable_reconstruction_tasks = args.GetBool("reconstruction-tasks", true);
+  return cfg;
+}
+
+Matrix TrainByMethod(const HeteroGraph& g, const std::string& method,
+                     const Args& args) {
+  const size_t dim = static_cast<size_t>(args.GetInt("dim", 128));
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  if (method == "transn") {
+    TransNModel model(&g, TransNConfigFromArgs(args));
+    model.Fit();
+    return model.FinalEmbeddings();
+  }
+  if (method == "line") {
+    return RunLine(g, {.dim = dim, .seed = seed});
+  }
+  if (method == "node2vec") {
+    Node2VecBaselineConfig cfg;
+    cfg.dim = dim;
+    cfg.seed = seed;
+    return RunNode2Vec(g, cfg);
+  }
+  if (method == "mve") {
+    MveConfig cfg;
+    cfg.dim = dim;
+    cfg.seed = seed;
+    return RunMve(g, cfg);
+  }
+  Args::Fail("unknown --method '" + method +
+             "' (transn|line|node2vec|mve)");
+}
+
+int CmdTrain(const Args& args) {
+  HeteroGraph g = LoadGraphOrDie(args.GetString("graph"));
+  std::string out = args.GetString("out");
+  std::string method = args.GetString("method", "transn");
+  Matrix emb = TrainByMethod(g, method, args);
+  args.CheckAllUsed();
+  Status s = SaveEmbeddings(g, emb, out);
+  if (!s.ok()) Args::Fail(s.ToString());
+  std::printf("wrote %s: %zu x %zu embeddings (%s)\n", out.c_str(),
+              emb.rows(), emb.cols(), method.c_str());
+  return 0;
+}
+
+int CmdClassify(const Args& args) {
+  HeteroGraph g = LoadGraphOrDie(args.GetString("graph"));
+  auto loaded = LoadEmbeddings(args.GetString("embeddings"));
+  if (!loaded.ok()) Args::Fail(loaded.status().ToString());
+  if (loaded->embeddings.rows() != g.num_nodes()) {
+    Args::Fail("embedding row count does not match the graph");
+  }
+  NodeClassificationConfig eval;
+  eval.repeats = static_cast<size_t>(args.GetInt("repeats", 10));
+  eval.seed = static_cast<uint64_t>(args.GetInt("seed", 7));
+  args.CheckAllUsed();
+  auto res = EvaluateNodeClassification(g, loaded->embeddings, eval);
+  std::printf("macro-F1 %.4f +/- %.4f\nmicro-F1 %.4f +/- %.4f\n",
+              res.macro_f1, res.macro_f1_stddev, res.micro_f1,
+              res.micro_f1_stddev);
+  return 0;
+}
+
+int CmdLinkpred(const Args& args) {
+  HeteroGraph g = LoadGraphOrDie(args.GetString("graph"));
+  LinkPredictionConfig task_cfg;
+  task_cfg.removal_fraction = args.GetDouble("removal", 0.4);
+  task_cfg.seed = static_cast<uint64_t>(args.GetInt("task-seed", 13));
+  LinkPredictionTask task = MakeLinkPredictionTask(g, task_cfg);
+  std::string method = args.GetString("method", "transn");
+  Matrix emb = TrainByMethod(task.residual, method, args);
+  args.CheckAllUsed();
+  std::printf("AUC %.4f (%zu held-out edges, method %s)\n",
+              ScoreLinkPrediction(emb, task), task.positives.size(),
+              method.c_str());
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: transn_cli <generate|stats|train|classify|linkpred> --flags\n"
+      "  generate --dataset <AMiner|BLOG|App-Daily|App-Weekly> --out g.tsv\n"
+      "           [--scale 1.0] [--seed 42]\n"
+      "  stats    --graph g.tsv\n"
+      "  train    --graph g.tsv --out emb.tsv [--method transn] [--dim 128]\n"
+      "           [--iterations 5] [--walk-length 80] [--encoders 6] ...\n"
+      "  classify --graph g.tsv --embeddings emb.tsv [--repeats 10]\n"
+      "  linkpred --graph g.tsv [--method transn] [--removal 0.4]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  SetMinLogSeverity(LogSeverity::kWarning);
+  const std::string command = argv[1];
+  Args args(argc, argv, 2);
+  if (command == "generate") return CmdGenerate(args);
+  if (command == "stats") return CmdStats(args);
+  if (command == "train") return CmdTrain(args);
+  if (command == "classify") return CmdClassify(args);
+  if (command == "linkpred") return CmdLinkpred(args);
+  Usage();
+  return 2;
+}
