@@ -38,6 +38,9 @@ int main(int argc, char** argv) {
   cfg.translator_seq_len = 8;
   cfg.cross_paths_per_pair = 60;
   cfg.seed = 11;
+  // 0 = Hogwild training on all hardware threads. Set to 1 for the exact
+  // (bit-reproducible) sequential path.
+  cfg.num_threads = 0;
 
   WallTimer timer;
   TransNModel model(&g, cfg);

@@ -77,6 +77,10 @@ int main() {
   cfg.translator_seq_len = 4;
   cfg.cross_paths_per_pair = 40;
   cfg.seed = 7;
+  // num_threads = 1 (the default) keeps this run bit-reproducible from the
+  // seed; set 0 (all cores) or >1 for Hogwild parallel training on larger
+  // graphs — statistically equivalent, not bit-identical.
+  cfg.num_threads = 1;
 
   TransNModel model(&g, cfg);
   model.Fit();

@@ -1,5 +1,6 @@
 #include "core/cross_view.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "nn/ops.h"
@@ -53,7 +54,7 @@ CrossViewTrainer::CrossViewTrainer(const ViewPair* pair,
 }
 
 std::vector<std::vector<NodeId>> CrossViewTrainer::SampleCommonWindows(
-    int side, Rng& rng, size_t max_windows) {
+    int side, Rng& rng, size_t max_windows) const {
   CHECK(side == 0 || side == 1);
   const PairedSubview& sub = side == 0 ? subview_i_ : subview_j_;
   RandomWalker* walker = side == 0 ? walker_i_.get() : walker_j_.get();
@@ -163,12 +164,40 @@ double CrossViewTrainer::TrainWindow(const std::vector<NodeId>& window,
   return loss_value;
 }
 
-double CrossViewTrainer::RunIteration(Rng& rng) {
+double CrossViewTrainer::RunIteration(Rng& rng, ThreadPool* pool) {
   double total = 0.0;
   size_t count = 0;
+  const size_t max_windows = config_.cross_paths_per_pair;
   for (int side = 0; side <= 1; ++side) {
-    std::vector<std::vector<NodeId>> windows =
-        SampleCommonWindows(side, rng, config_.cross_paths_per_pair);
+    std::vector<std::vector<NodeId>> windows;
+    const size_t num_shards =
+        pool != nullptr ? std::min(pool->num_threads(), max_windows) : 1;
+    if (num_shards <= 1) {
+      windows = SampleCommonWindows(side, rng, max_windows);
+    } else {
+      // Fan the walk-heavy sampling out across the pool; each shard samples
+      // its slice of the window quota with its own split RNG. Merging in
+      // shard order keeps the result independent of scheduling.
+      std::vector<Rng> shard_rngs;
+      shard_rngs.reserve(num_shards);
+      for (size_t s = 0; s < num_shards; ++s) {
+        shard_rngs.push_back(rng.Split());
+      }
+      std::vector<std::vector<std::vector<NodeId>>> shard_windows(num_shards);
+      for (size_t s = 0; s < num_shards; ++s) {
+        const size_t quota = max_windows / num_shards +
+                             (s < max_windows % num_shards ? 1 : 0);
+        pool->Schedule([this, side, quota, s, &shard_rngs, &shard_windows] {
+          shard_windows[s] = SampleCommonWindows(side, shard_rngs[s], quota);
+        });
+      }
+      pool->Wait();
+      for (auto& shard : shard_windows) {
+        for (auto& window : shard) windows.push_back(std::move(window));
+      }
+    }
+    // Translator weights and Adam state are shared across windows, so the
+    // optimization itself stays sequential.
     for (const auto& window : windows) {
       total += TrainWindow(window, /*from_i=*/side == 0, rng);
       ++count;

@@ -27,7 +27,14 @@ class CrossViewTrainer {
 
   /// One pass of lines 9–12 of Algorithm 1. Returns the mean per-window
   /// loss (0 when no trainable window could be sampled).
-  double RunIteration(Rng& rng);
+  ///
+  /// With a pool of more than one thread, window *sampling* (the walk-heavy
+  /// part) fans out across workers with split RNGs; the translator/Adam
+  /// optimization stays sequential because its state (dense Adam moments,
+  /// shared step counter) is not safe to update concurrently. Null pool (or
+  /// one thread) is bit-identical to the sequential algorithm.
+  double RunIteration(Rng& rng, ThreadPool* pool);
+  double RunIteration(Rng& rng) { return RunIteration(rng, nullptr); }
 
   /// The view-pair this trainer operates on.
   const ViewPair& pair() const { return *pair_; }
@@ -42,9 +49,10 @@ class CrossViewTrainer {
 
   /// Samples up to `max_windows` fixed-length common-node windows from one
   /// side's paired subview (side 0 = i, 1 = j), as global node ids. Public
-  /// for tests and the Theorem-1 bench.
-  std::vector<std::vector<NodeId>> SampleCommonWindows(int side, Rng& rng,
-                                                       size_t max_windows);
+  /// for tests and the Theorem-1 bench. Const and reentrant: parallel
+  /// iterations call it concurrently with per-shard RNGs.
+  std::vector<std::vector<NodeId>> SampleCommonWindows(
+      int side, Rng& rng, size_t max_windows) const;
 
  private:
   /// Runs translation+reconstruction for one window sampled on `from_i`'s

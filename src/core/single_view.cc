@@ -1,5 +1,6 @@
 #include "core/single_view.h"
 
+#include "util/timer.h"
 #include "walk/corpus.h"
 
 namespace transn {
@@ -39,43 +40,103 @@ SingleViewTrainer::SingleViewTrainer(const View* view,
                                            config_.EffectiveWalkConfig());
 }
 
-double SingleViewTrainer::RunIteration(Rng& rng) {
+double SingleViewTrainer::RunIteration(Rng& rng, ThreadPool* pool) {
+  WallTimer timer;
   std::unique_ptr<SgnsTrainer> sgns;
   if (hsoftmax_ == nullptr) {
     sgns = std::make_unique<SgnsTrainer>(input_.get(), context_.get(),
                                          sampler_.get(), config_.sgns);
   }
-  double total_loss = 0.0;
-  size_t pairs = 0;
   const size_t n = view_->graph.num_nodes();
   const bool degree_starts = walker_->config().degree_biased_starts;
 
-  // Stream walks one at a time (the corpus is never materialized).
-  auto train_walk = [&](const std::vector<ViewGraph::LocalId>& walk) {
-    ForEachContextPairDef6(walk, view_->is_heter, [&](ContextPair p) {
-      total_loss += hsoftmax_ != nullptr
-                        ? hsoftmax_->TrainPair(p.center, p.context)
-                        : sgns->TrainPair(p.center, p.context, rng);
-      ++pairs;
-    });
-  };
-
-  if (degree_starts) {
+  size_t uniform_total = 0;
+  if (!degree_starts) {
     for (ViewGraph::LocalId node = 0; node < n; ++node) {
-      const size_t count = walker_->WalksPerNode(node);
-      for (size_t w = 0; w < count; ++w) train_walk(walker_->Walk(node, rng));
-    }
-  } else {
-    size_t total = 0;
-    for (ViewGraph::LocalId node = 0; node < n; ++node) {
-      total += walker_->WalksPerNode(node);
-    }
-    for (size_t w = 0; w < total; ++w) {
-      train_walk(walker_->Walk(
-          static_cast<ViewGraph::LocalId>(rng.NextUint64(n)), rng));
+      uniform_total += walker_->WalksPerNode(node);
     }
   }
-  return pairs > 0 ? total_loss / static_cast<double>(pairs) : 0.0;
+
+  struct ShardTotals {
+    double loss = 0.0;
+    size_t pairs = 0;
+    size_t walks = 0;
+  };
+
+  // One worker's share of the corpus, streamed walk by walk (never
+  // materialized). With degree-biased starts the nodes are strided so that
+  // high-degree (and therefore high-walk-count) nodes spread evenly across
+  // shards; otherwise the uniform-start walk budget is split. Shard 0 of 1
+  // with the caller's rng is exactly the sequential algorithm.
+  auto run_shard = [&](size_t shard, size_t num_shards, Rng* shard_rng,
+                       ShardTotals* out) {
+    std::vector<ViewGraph::LocalId> walk;
+    auto train_walk = [&] {
+      ForEachContextPairDef6(walk, view_->is_heter, [&](ContextPair p) {
+        out->loss += hsoftmax_ != nullptr
+                         ? hsoftmax_->TrainPair(p.center, p.context)
+                         : sgns->TrainPair(p.center, p.context, *shard_rng);
+        ++out->pairs;
+      });
+      ++out->walks;
+    };
+    if (degree_starts) {
+      for (size_t node = shard; node < n; node += num_shards) {
+        const ViewGraph::LocalId local = static_cast<ViewGraph::LocalId>(node);
+        const size_t count = walker_->WalksPerNode(local);
+        for (size_t w = 0; w < count; ++w) {
+          walker_->WalkInto(local, *shard_rng, &walk);
+          train_walk();
+        }
+      }
+    } else {
+      const size_t quota = uniform_total / num_shards +
+                           (shard < uniform_total % num_shards ? 1 : 0);
+      for (size_t w = 0; w < quota; ++w) {
+        walker_->WalkInto(
+            static_cast<ViewGraph::LocalId>(shard_rng->NextUint64(n)),
+            *shard_rng, &walk);
+        train_walk();
+      }
+    }
+  };
+
+  ShardTotals totals;
+  const size_t num_shards = pool != nullptr ? pool->num_threads() : 1;
+  if (num_shards <= 1) {
+    // Sequential path: identical walk order and RNG stream as the original
+    // single-threaded implementation (bit-reproducible from the seed).
+    run_shard(0, 1, &rng, &totals);
+  } else {
+    // Hogwild: per-shard RNGs split deterministically off the main stream;
+    // workers race benignly on the shared tables (see util/hogwild.h).
+    std::vector<Rng> shard_rngs;
+    shard_rngs.reserve(num_shards);
+    for (size_t s = 0; s < num_shards; ++s) shard_rngs.push_back(rng.Split());
+    std::vector<ShardTotals> shard_totals(num_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
+      pool->Schedule(
+          [&, s] { run_shard(s, num_shards, &shard_rngs[s], &shard_totals[s]); });
+    }
+    pool->Wait();
+    for (const ShardTotals& t : shard_totals) {
+      totals.loss += t.loss;
+      totals.pairs += t.pairs;
+      totals.walks += t.walks;
+    }
+  }
+
+  stats_.mean_loss =
+      totals.pairs > 0 ? totals.loss / static_cast<double>(totals.pairs) : 0.0;
+  stats_.pairs = totals.pairs;
+  stats_.walks = totals.walks;
+  stats_.seconds = timer.ElapsedSeconds();
+  LOG(INFO) << "single-view pass: " << stats_.pairs << " pairs / "
+            << stats_.walks << " walks in " << stats_.seconds << "s ("
+            << stats_.pairs_per_second() << " pairs/s, "
+            << stats_.walks_per_second() << " walks/s, " << num_shards
+            << " shard(s))";
+  return stats_.mean_loss;
 }
 
 }  // namespace transn

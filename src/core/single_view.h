@@ -9,9 +9,29 @@
 #include "emb/negative_sampler.h"
 #include "emb/sgns.h"
 #include "graph/view.h"
+#include "util/thread_pool.h"
 #include "walk/random_walk.h"
 
 namespace transn {
+
+/// Volume and timing diagnostics of one RunIteration pass; consumed by the
+/// training log, TransNIterationStats, and bench/parallel_scaling.
+struct SingleViewIterationStats {
+  double mean_loss = 0.0;
+  /// SGNS / hierarchical-softmax updates applied (Definition-6 pairs).
+  size_t pairs = 0;
+  /// Walks streamed.
+  size_t walks = 0;
+  /// Wall-clock seconds of the pass.
+  double seconds = 0.0;
+
+  double pairs_per_second() const {
+    return seconds > 0.0 ? static_cast<double>(pairs) / seconds : 0.0;
+  }
+  double walks_per_second() const {
+    return seconds > 0.0 ? static_cast<double>(walks) / seconds : 0.0;
+  }
+};
 
 /// The single-view algorithm (§III-A) for one view φ_i: owns the
 /// view-specific embedding tables and trains them with SGNS over biased
@@ -28,7 +48,19 @@ class SingleViewTrainer {
 
   /// One pass of lines 4–7 of Algorithm 1: streams a fresh walk corpus and
   /// applies one SGNS update per context pair. Returns the mean pair loss.
-  double RunIteration(Rng& rng);
+  ///
+  /// With a null `pool` (or a pool of one thread) the pass is sequential
+  /// and bit-reproducible from `rng`. Otherwise walk starts are sharded
+  /// across the pool's workers, each with its own RNG split off `rng`,
+  /// applying Hogwild (lock-free, benignly racy) updates to the shared
+  /// tables — statistically equivalent but not bit-deterministic.
+  double RunIteration(Rng& rng, ThreadPool* pool);
+  double RunIteration(Rng& rng) { return RunIteration(rng, nullptr); }
+
+  /// Diagnostics of the most recent RunIteration call.
+  const SingleViewIterationStats& last_iteration_stats() const {
+    return stats_;
+  }
 
   const View& view() const { return *view_; }
   const ViewGraph& graph() const { return view_->graph; }
@@ -53,6 +85,7 @@ class SingleViewTrainer {
   std::unique_ptr<NegativeSampler> sampler_;
   std::unique_ptr<HierarchicalSoftmaxTrainer> hsoftmax_;
   std::unique_ptr<RandomWalker> walker_;
+  SingleViewIterationStats stats_;
 };
 
 }  // namespace transn

@@ -11,6 +11,14 @@ TransNModel::TransNModel(const HeteroGraph* graph, TransNConfig config)
   CHECK(graph_ != nullptr);
   CHECK_GT(graph_->num_nodes(), 0u);
 
+  // Hogwild pool (TransNConfig::num_threads): 1 keeps the exact sequential
+  // path; 0 = hardware concurrency. A pool that resolves to a single worker
+  // is dropped — the sequential path is then both faster and reproducible.
+  if (config_.num_threads != 1) {
+    auto pool = std::make_unique<ThreadPool>(config_.num_threads);
+    if (pool->num_threads() > 1) pool_ = std::move(pool);
+  }
+
   // Line 1 of Algorithm 1: generate views and view-pairs.
   views_ = BuildViews(*graph_);
   pairs_ = FindViewPairs(views_);
@@ -58,7 +66,11 @@ TransNIterationStats TransNModel::RunIteration() {
   size_t active_views = 0;
   for (auto& trainer : single_) {
     if (trainer == nullptr) continue;
-    stats.mean_single_view_loss += trainer->RunIteration(rng_);
+    stats.mean_single_view_loss += trainer->RunIteration(rng_, pool_.get());
+    const SingleViewIterationStats& sv = trainer->last_iteration_stats();
+    stats.single_view_pairs += sv.pairs;
+    stats.single_view_walks += sv.walks;
+    stats.single_view_seconds += sv.seconds;
     ++active_views;
   }
   if (active_views > 0) {
@@ -66,7 +78,7 @@ TransNIterationStats TransNModel::RunIteration() {
   }
   if (!cross_.empty()) {
     for (auto& trainer : cross_) {
-      stats.mean_cross_view_loss += trainer->RunIteration(rng_);
+      stats.mean_cross_view_loss += trainer->RunIteration(rng_, pool_.get());
     }
     stats.mean_cross_view_loss /= static_cast<double>(cross_.size());
   }
@@ -80,7 +92,9 @@ void TransNModel::Fit() {
     LOG(INFO) << "TransN iteration " << (iter + 1) << "/"
               << config_.iterations
               << " single-view loss=" << stats.mean_single_view_loss
-              << " cross-view loss=" << stats.mean_cross_view_loss;
+              << " cross-view loss=" << stats.mean_cross_view_loss
+              << " (" << stats.single_view_pairs << " pairs, "
+              << stats.single_view_pairs_per_second() << " pairs/s)";
   }
 }
 

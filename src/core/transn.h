@@ -17,6 +17,18 @@ namespace transn {
 struct TransNIterationStats {
   double mean_single_view_loss = 0.0;
   double mean_cross_view_loss = 0.0;
+  /// Single-view hot-path volume/timing, summed over the active views
+  /// (pairs = SGNS/HS updates, seconds = wall clock of those passes). Feeds
+  /// the training log and bench/parallel_scaling.
+  size_t single_view_pairs = 0;
+  size_t single_view_walks = 0;
+  double single_view_seconds = 0.0;
+
+  double single_view_pairs_per_second() const {
+    return single_view_seconds > 0.0
+               ? static_cast<double>(single_view_pairs) / single_view_seconds
+               : 0.0;
+  }
 };
 
 /// The TransN framework (Algorithm 1): separates the network into views and
@@ -72,6 +84,9 @@ class TransNModel {
   const HeteroGraph* graph_;
   TransNConfig config_;
   Rng rng_;
+  /// Hogwild worker pool; null when config.num_threads == 1 (the exact
+  /// sequential, bit-reproducible path).
+  std::unique_ptr<ThreadPool> pool_;
   std::vector<View> views_;
   std::vector<ViewPair> pairs_;
   /// Parallel to views_; null for empty views.

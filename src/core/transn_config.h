@@ -44,6 +44,14 @@ struct TransNConfig {
   size_t iterations = 5;
   uint64_t seed = 42;
 
+  /// Worker threads for Hogwild parallel training. 1 (default) keeps the
+  /// exact sequential path, bit-reproducible from `seed`; 0 selects
+  /// hardware concurrency; > 1 shards walk starts across a thread pool with
+  /// per-shard split RNGs and applies lock-free SGNS / hierarchical-softmax
+  /// updates to the shared tables — statistically equivalent, but not
+  /// bit-deterministic (DESIGN.md "Parallel training & reproducibility").
+  size_t num_threads = 1;
+
   // --- single-view algorithm (§III-A) ---
   WalkConfig walk;
   SgnsConfig sgns;  // sgns.learning_rate is γ_single

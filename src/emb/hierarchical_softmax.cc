@@ -4,6 +4,9 @@
 #include <cmath>
 #include <queue>
 
+#include "emb/sgns.h"
+#include "util/hogwild.h"
+
 namespace transn {
 namespace {
 
@@ -72,7 +75,6 @@ HierarchicalSoftmaxTrainer::HierarchicalSoftmaxTrainer(
       learning_rate_(learning_rate) {
   CHECK(input_ != nullptr);
   CHECK_EQ(counts.size(), input_->num_rows());
-  center_grad_.resize(input_->dim());
 }
 
 double HierarchicalSoftmaxTrainer::TrainPair(uint32_t center,
@@ -81,12 +83,36 @@ double HierarchicalSoftmaxTrainer::TrainPair(uint32_t center,
   double* v = input_->Row(center);
   const std::vector<bool>& code = tree_.Code(context);
   const std::vector<uint32_t>& path = tree_.Path(context);
-  std::fill(center_grad_.begin(), center_grad_.end(), 0.0);
+
+  // Per-call scratch (stack for practical dims) keeps TrainPair reentrant
+  // for Hogwild workers sharing this trainer; see SgnsTrainer::TrainPair.
+  constexpr size_t kMaxStackDim = SgnsTrainer::kMaxStackDim;
+  double stack_grad[kMaxStackDim];
+  std::vector<double> heap_grad;
+  double* center_grad = stack_grad;
+  if (d > kMaxStackDim) {
+    heap_grad.resize(d);
+    center_grad = heap_grad.data();
+  }
+  std::fill(center_grad, center_grad + d, 0.0);
+
+  // Snapshot of the center row: v is only written after the path loop, so
+  // single-threaded results are unchanged, while concurrent workers see one
+  // consistent center vector per pair.
+  double stack_v[kMaxStackDim];
+  std::vector<double> heap_v;
+  double* v_snap = stack_v;
+  if (d > kMaxStackDim) {
+    heap_v.resize(d);
+    v_snap = heap_v.data();
+  }
+  for (size_t i = 0; i < d; ++i) v_snap[i] = hogwild::Load(v + i);
+
   double loss = 0.0;
   for (size_t j = 0; j < code.size(); ++j) {
     double* u = node_vectors_.Row(path[j]);
     double score = 0.0;
-    for (size_t i = 0; i < d; ++i) score += u[i] * v[i];
+    for (size_t i = 0; i < d; ++i) score += hogwild::Load(u + i) * v_snap[i];
     // Label 1 for branch 0 (word2vec convention): p = sigma(u.v).
     const double label = code[j] ? 0.0 : 1.0;
     const double pred = Sigmoid(score);
@@ -94,11 +120,13 @@ double HierarchicalSoftmaxTrainer::TrainPair(uint32_t center,
                         : -std::log(std::max(1.0 - pred, 1e-12));
     const double g = pred - label;
     for (size_t i = 0; i < d; ++i) {
-      center_grad_[i] += g * u[i];
-      u[i] -= learning_rate_ * g * v[i];
+      center_grad[i] += g * hogwild::Load(u + i);
+      hogwild::SubInPlace(u + i, learning_rate_ * g * v_snap[i]);
     }
   }
-  for (size_t i = 0; i < d; ++i) v[i] -= learning_rate_ * center_grad_[i];
+  for (size_t i = 0; i < d; ++i) {
+    hogwild::SubInPlace(v + i, learning_rate_ * center_grad[i]);
+  }
   return loss;
 }
 

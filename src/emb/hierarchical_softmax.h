@@ -54,6 +54,9 @@ class HierarchicalSoftmaxTrainer {
                              double learning_rate);
 
   /// One SGD update; returns the pair's loss (before the update).
+  ///
+  /// Reentrant (per-call scratch, relaxed-atomic row access): concurrent
+  /// Hogwild workers may share one trainer; see SgnsTrainer::TrainPair.
   double TrainPair(uint32_t center, uint32_t context);
 
   void set_learning_rate(double lr) { learning_rate_ = lr; }
@@ -64,7 +67,6 @@ class HierarchicalSoftmaxTrainer {
   HuffmanTree tree_;
   EmbeddingTable node_vectors_;  // one row per internal node
   double learning_rate_;
-  std::vector<double> center_grad_;  // scratch
 };
 
 }  // namespace transn

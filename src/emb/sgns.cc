@@ -2,18 +2,13 @@
 
 #include <cmath>
 
+#include "util/hogwild.h"
 #include "util/logging.h"
 
 namespace transn {
 namespace {
 
 double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
-
-double DotRows(const double* a, const double* b, size_t n) {
-  double acc = 0.0;
-  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
-  return acc;
-}
 
 }  // namespace
 
@@ -23,27 +18,49 @@ SgnsTrainer::SgnsTrainer(EmbeddingTable* input, EmbeddingTable* context,
   CHECK(input_ != nullptr && context_ != nullptr && sampler_ != nullptr);
   CHECK_EQ(input_->dim(), context_->dim());
   CHECK_GE(config_.negatives, 1);
-  center_grad_.resize(input_->dim());
 }
 
 double SgnsTrainer::TrainPair(uint32_t center, uint32_t context, Rng& rng) {
   const size_t d = input_->dim();
   const double lr = config_.learning_rate;
   double* v = input_->Row(center);
-  std::fill(center_grad_.begin(), center_grad_.end(), 0.0);
-  double loss = 0.0;
 
+  // Per-call scratch keeps TrainPair reentrant: concurrent Hogwild workers
+  // share one trainer. A stack buffer covers every practical dim without
+  // allocating on the hot path.
+  double stack_grad[kMaxStackDim];
+  std::vector<double> heap_grad;
+  double* center_grad = stack_grad;
+  if (d > kMaxStackDim) {
+    heap_grad.resize(d);
+    center_grad = heap_grad.data();
+  }
+  std::fill(center_grad, center_grad + d, 0.0);
+
+  // The center row is read once per pair; the snapshot keeps the math of
+  // one pair internally consistent even while other workers update v.
+  double stack_v[kMaxStackDim];
+  std::vector<double> heap_v;
+  double* v_snap = stack_v;
+  if (d > kMaxStackDim) {
+    heap_v.resize(d);
+    v_snap = heap_v.data();
+  }
+  for (size_t i = 0; i < d; ++i) v_snap[i] = hogwild::Load(v + i);
+
+  double loss = 0.0;
   auto update_with = [&](uint32_t ctx_id, double label) {
     double* u = context_->Row(ctx_id);
-    const double score = DotRows(v, u, d);
+    double score = 0.0;
+    for (size_t i = 0; i < d; ++i) score += v_snap[i] * hogwild::Load(u + i);
     const double pred = Sigmoid(score);
     // d(-log sigma(label-signed score))/dscore = pred - label.
     const double g = pred - label;
     loss += label > 0.5 ? -std::log(std::max(pred, 1e-12))
                         : -std::log(std::max(1.0 - pred, 1e-12));
     for (size_t i = 0; i < d; ++i) {
-      center_grad_[i] += g * u[i];
-      u[i] -= lr * g * v[i];
+      center_grad[i] += g * hogwild::Load(u + i);
+      hogwild::SubInPlace(u + i, lr * g * v_snap[i]);
     }
   };
 
@@ -51,7 +68,9 @@ double SgnsTrainer::TrainPair(uint32_t center, uint32_t context, Rng& rng) {
   for (int k = 0; k < config_.negatives; ++k) {
     update_with(sampler_->Sample(rng, context), 0.0);
   }
-  for (size_t i = 0; i < d; ++i) v[i] -= lr * center_grad_[i];
+  for (size_t i = 0; i < d; ++i) {
+    hogwild::SubInPlace(v + i, lr * center_grad[i]);
+  }
   return loss;
 }
 

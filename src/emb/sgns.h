@@ -23,6 +23,10 @@ struct SgnsConfig {
 
 class SgnsTrainer {
  public:
+  /// Dimensions at or below this use stack scratch inside TrainPair (no
+  /// per-pair allocation); larger dims fall back to a heap buffer.
+  static constexpr size_t kMaxStackDim = 512;
+
   /// Both tables must share dim(); they and the sampler must outlive the
   /// trainer.
   SgnsTrainer(EmbeddingTable* input, EmbeddingTable* context,
@@ -30,6 +34,11 @@ class SgnsTrainer {
 
   /// One SGD update for a (center, context) pair and its negatives.
   /// Returns the pair's loss (before the update), for monitoring.
+  ///
+  /// Reentrant: holds no mutable trainer state, so concurrent Hogwild
+  /// workers may call it on one shared trainer (each with its own Rng).
+  /// Row accesses go through relaxed atomics (util/hogwild.h), so parallel
+  /// updates race benignly instead of invoking UB.
   double TrainPair(uint32_t center, uint32_t context, Rng& rng);
 
   const SgnsConfig& config() const { return config_; }
@@ -40,7 +49,6 @@ class SgnsTrainer {
   EmbeddingTable* context_;
   const NegativeSampler* sampler_;
   SgnsConfig config_;
-  std::vector<double> center_grad_;  // scratch, avoids per-pair allocation
 };
 
 }  // namespace transn

@@ -1,0 +1,33 @@
+#ifndef TRANSN_UTIL_HOGWILD_H_
+#define TRANSN_UTIL_HOGWILD_H_
+
+#include <atomic>
+
+namespace transn {
+namespace hogwild {
+
+/// Accessors for Hogwild-style (Recht et al., 2011) lock-free SGD on shared
+/// embedding tables: concurrent workers read and write rows without
+/// synchronization, accepting occasional lost updates. All accesses go
+/// through relaxed atomics so the races are well-defined (no UB, clean under
+/// ThreadSanitizer); on x86-64 a relaxed 8-byte load/store compiles to a
+/// plain mov, so the single-threaded path keeps its exact numeric behavior.
+
+inline double Load(const double* p) {
+  return std::atomic_ref<double>(*const_cast<double*>(p))
+      .load(std::memory_order_relaxed);
+}
+
+inline void Store(double* p, double v) {
+  std::atomic_ref<double>(*p).store(v, std::memory_order_relaxed);
+}
+
+/// *p -= delta as a load+store pair rather than an atomic RMW: Hogwild
+/// tolerates lost updates, and avoiding lock-prefixed instructions keeps the
+/// hot loop free of cache-line write stalls.
+inline void SubInPlace(double* p, double delta) { Store(p, Load(p) - delta); }
+
+}  // namespace hogwild
+}  // namespace transn
+
+#endif  // TRANSN_UTIL_HOGWILD_H_

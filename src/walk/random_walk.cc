@@ -18,7 +18,8 @@ size_t RandomWalker::WalksPerNode(ViewGraph::LocalId n) const {
 }
 
 ViewGraph::LocalId RandomWalker::Step(ViewGraph::LocalId cur,
-                                      double prev_weight, Rng& rng) const {
+                                      double prev_weight, Rng& rng,
+                                      std::vector<double>& probs) const {
   const size_t deg = graph_->degree(cur);
   if (deg == 0) return kInvalidNode;
   const ViewGraph::LocalId* nbrs = graph_->NeighborIds(cur);
@@ -35,7 +36,7 @@ ViewGraph::LocalId RandomWalker::Step(ViewGraph::LocalId cur,
   const bool use_pi2 =
       is_heter_ && config_.correlated && prev_weight >= 0.0 && delta > 0.0;
 
-  std::vector<double> probs(deg);
+  probs.resize(deg);
   double total = 0.0;
   for (size_t k = 0; k < deg; ++k) {
     double p = weights[k];  // π1 ∝ edge weight (Eq. 6)
@@ -61,12 +62,21 @@ ViewGraph::LocalId RandomWalker::Step(ViewGraph::LocalId cur,
 std::vector<ViewGraph::LocalId> RandomWalker::Walk(ViewGraph::LocalId start,
                                                    Rng& rng) const {
   std::vector<ViewGraph::LocalId> path;
+  WalkInto(start, rng, &path);
+  return path;
+}
+
+void RandomWalker::WalkInto(ViewGraph::LocalId start, Rng& rng,
+                            std::vector<ViewGraph::LocalId>* out) const {
+  std::vector<ViewGraph::LocalId>& path = *out;
+  path.clear();
   path.reserve(config_.walk_length);
   path.push_back(start);
+  std::vector<double> probs;  // step-distribution scratch, one per walk
   double prev_weight = -1.0;
   ViewGraph::LocalId cur = start;
   while (path.size() < config_.walk_length) {
-    ViewGraph::LocalId next = Step(cur, prev_weight, rng);
+    ViewGraph::LocalId next = Step(cur, prev_weight, rng, probs);
     if (next == kInvalidNode) break;
     // Record the weight of the traversed edge for π2 at the next step.
     const ViewGraph::LocalId* nbrs = graph_->NeighborIds(cur);
@@ -80,7 +90,6 @@ std::vector<ViewGraph::LocalId> RandomWalker::Walk(ViewGraph::LocalId start,
     path.push_back(next);
     cur = next;
   }
-  return path;
 }
 
 std::vector<std::vector<ViewGraph::LocalId>> RandomWalker::SampleCorpus(

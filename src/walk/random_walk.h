@@ -28,6 +28,10 @@ struct WalkConfig {
 };
 
 /// Samples walks from one view (or paired subview) per Equations (4)-(7).
+///
+/// Thread-safe: every method is const and all mutable state (the Rng, the
+/// output buffer) is caller-supplied, so Hogwild workers share one walker
+/// with per-thread Rngs.
 class RandomWalker {
  public:
   /// `graph` must outlive the walker. `is_heter` activates the correlated
@@ -38,6 +42,11 @@ class RandomWalker {
   /// ids). Stops early when it reaches an isolated node.
   std::vector<ViewGraph::LocalId> Walk(ViewGraph::LocalId start,
                                        Rng& rng) const;
+
+  /// Walk() into a caller-owned buffer (cleared first). Training loops reuse
+  /// one buffer per worker to keep walk streaming allocation-free.
+  void WalkInto(ViewGraph::LocalId start, Rng& rng,
+                std::vector<ViewGraph::LocalId>* out) const;
 
   /// Number of walks the corpus starts at node n: clamp(degree(n),
   /// [min,max] walks per node).
@@ -54,9 +63,9 @@ class RandomWalker {
  private:
   /// Picks the next node from `cur`, given the weight of the edge taken into
   /// `cur` (or a negative value on the first step). Returns kInvalidNode for
-  /// isolated nodes.
+  /// isolated nodes. `probs` is scratch reused across steps of one walk.
   ViewGraph::LocalId Step(ViewGraph::LocalId cur, double prev_weight,
-                          Rng& rng) const;
+                          Rng& rng, std::vector<double>& probs) const;
 
   const ViewGraph* graph_;
   bool is_heter_;

@@ -1,0 +1,128 @@
+// Regression tests for the reentrancy of the pair trainers: TrainPair must
+// hold no mutable trainer state, so that concurrent Hogwild workers can
+// share one trainer. The concurrent tests are the TSan targets — before the
+// per-call-scratch fix, a shared center_grad_ member made concurrent calls
+// corrupt gradients (and race under TSan) even on disjoint rows.
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "emb/hierarchical_softmax.h"
+#include "emb/negative_sampler.h"
+#include "emb/sgns.h"
+
+namespace transn {
+namespace {
+
+constexpr size_t kVocab = 64;
+constexpr size_t kDim = 24;
+constexpr int kThreads = 4;
+constexpr int kPairsPerThread = 2000;
+
+void ExpectAllFinite(const EmbeddingTable& table) {
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.dim(); ++c) {
+      ASSERT_TRUE(std::isfinite(table.Row(r)[c]))
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(SgnsReentrancyTest, ConcurrentTrainPairOnSharedTrainer) {
+  Rng init(3);
+  EmbeddingTable input(kVocab, kDim, init);
+  EmbeddingTable context(kVocab, kDim);
+  std::vector<double> counts(kVocab, 1.0);
+  NegativeSampler sampler(counts);
+  SgnsTrainer trainer(&input, &context, &sampler,
+                      {.negatives = 3, .learning_rate = 0.025});
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&trainer, t] {
+      Rng rng(100 + t);
+      for (int i = 0; i < kPairsPerThread; ++i) {
+        const uint32_t center = static_cast<uint32_t>(rng.NextUint64(kVocab));
+        const uint32_t ctx = static_cast<uint32_t>(rng.NextUint64(kVocab));
+        const double loss = trainer.TrainPair(center, ctx, rng);
+        ASSERT_TRUE(std::isfinite(loss));
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  ExpectAllFinite(input);
+  ExpectAllFinite(context);
+}
+
+TEST(SgnsReentrancyTest, SequentialResultsAreDeterministic) {
+  // Two trainers over identical tables and RNG streams must produce
+  // byte-identical tables — the per-call scratch must not perturb the
+  // sequential math.
+  auto run = [] {
+    Rng init(5);
+    auto input = std::make_unique<EmbeddingTable>(kVocab, kDim, init);
+    auto context = std::make_unique<EmbeddingTable>(kVocab, kDim);
+    std::vector<double> counts(kVocab, 1.0);
+    NegativeSampler sampler(counts);
+    SgnsTrainer trainer(input.get(), context.get(), &sampler,
+                        {.negatives = 5, .learning_rate = 0.05});
+    Rng rng(17);
+    for (int i = 0; i < 500; ++i) {
+      const uint32_t center = static_cast<uint32_t>(rng.NextUint64(kVocab));
+      const uint32_t ctx = static_cast<uint32_t>(rng.NextUint64(kVocab));
+      trainer.TrainPair(center, ctx, rng);
+    }
+    return input;
+  };
+  auto a = run();
+  auto b = run();
+  for (size_t r = 0; r < kVocab; ++r) {
+    for (size_t c = 0; c < kDim; ++c) {
+      ASSERT_EQ(a->Row(r)[c], b->Row(r)[c]) << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(SgnsReentrancyTest, LargeDimHeapScratchPath) {
+  // Dims above SgnsTrainer::kMaxStackDim take the heap-scratch branch.
+  const size_t dim = SgnsTrainer::kMaxStackDim + 16;
+  Rng init(7);
+  EmbeddingTable input(8, dim, init);
+  EmbeddingTable context(8, dim);
+  std::vector<double> counts(8, 1.0);
+  NegativeSampler sampler(counts);
+  SgnsTrainer trainer(&input, &context, &sampler,
+                      {.negatives = 2, .learning_rate = 0.05});
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(std::isfinite(trainer.TrainPair(i % 8, (i + 3) % 8, rng)));
+  }
+  ExpectAllFinite(input);
+}
+
+TEST(HierarchicalSoftmaxReentrancyTest, ConcurrentTrainPairOnSharedTrainer) {
+  Rng init(11);
+  EmbeddingTable input(kVocab, kDim, init);
+  std::vector<double> counts(kVocab);
+  for (size_t i = 0; i < kVocab; ++i) counts[i] = 1.0 + (i % 7);
+  HierarchicalSoftmaxTrainer trainer(&input, counts, 0.025);
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&trainer, t] {
+      Rng rng(200 + t);
+      for (int i = 0; i < kPairsPerThread; ++i) {
+        const uint32_t center = static_cast<uint32_t>(rng.NextUint64(kVocab));
+        const uint32_t ctx = static_cast<uint32_t>(rng.NextUint64(kVocab));
+        ASSERT_TRUE(std::isfinite(trainer.TrainPair(center, ctx)));
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  ExpectAllFinite(input);
+}
+
+}  // namespace
+}  // namespace transn

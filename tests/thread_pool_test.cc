@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -62,6 +63,90 @@ TEST(ParallelForTest, ZeroAndOneElement) {
   EXPECT_EQ(calls, 0);
   ParallelFor(pool, 1, [&calls](size_t) { ++calls; });
   EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolStressTest, ManySmallTasksFromMultipleProducers) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  constexpr int kProducers = 4;
+  constexpr int kTasksPerProducer = 500;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &counter] {
+      for (int i = 0; i < kTasksPerProducer; ++i) {
+        pool.Schedule([&counter] { counter.fetch_add(1); });
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  pool.Wait();
+  EXPECT_EQ(counter.load(), kProducers * kTasksPerProducer);
+}
+
+TEST(ThreadPoolStressTest, WaitConcurrentWithSchedule) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  std::atomic<bool> stop{false};
+  // Hammer Wait() from two threads while the main thread keeps scheduling;
+  // Wait must never miss work or deadlock.
+  std::vector<std::thread> waiters;
+  for (int w = 0; w < 2; ++w) {
+    waiters.emplace_back([&pool, &stop] {
+      while (!stop.load()) pool.Wait();
+    });
+  }
+  for (int i = 0; i < 300; ++i) {
+    pool.Schedule([&done] { done.fetch_add(1); });
+  }
+  pool.Wait();
+  stop.store(true);
+  for (std::thread& t : waiters) t.join();
+  EXPECT_EQ(done.load(), 300);
+}
+
+TEST(ThreadPoolStressTest, PoolOfSizeOneRunsTasksInFifoOrder) {
+  ThreadPool pool(1);
+  ASSERT_EQ(pool.num_threads(), 1u);
+  std::vector<int> order;  // written only by the single worker thread
+  for (int i = 0; i < 100; ++i) {
+    pool.Schedule([&order, i] { order.push_back(i); });
+  }
+  pool.Wait();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolStressTest, DestructionWithEmptyQueue) {
+  { ThreadPool pool(3); }  // never scheduled anything
+  {
+    ThreadPool pool(3);
+    pool.Wait();  // Wait on an idle pool, then destroy
+  }
+  SUCCEED();
+}
+
+TEST(ThreadPoolStressTest, ScheduleFromInsideATask) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Schedule([&pool, &counter] {
+      pool.Schedule([&counter] { counter.fetch_add(1); });
+    });
+  }
+  pool.Wait();  // must cover tasks scheduled by tasks
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolStressTest, RepeatedScheduleWaitCycles) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    for (int i = 0; i < 20; ++i) {
+      pool.Schedule([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), (cycle + 1) * 20);
+  }
 }
 
 }  // namespace

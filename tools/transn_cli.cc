@@ -25,6 +25,7 @@
 #include "eval/link_prediction.h"
 #include "eval/node_classification.h"
 #include "graph/graph_io.h"
+#include "util/logging.h"
 #include "graph/graph_stats.h"
 #include "util/string_util.h"
 
@@ -141,6 +142,10 @@ TransNConfig TransNConfigFromArgs(const Args& args) {
   cfg.dim = static_cast<size_t>(args.GetInt("dim", 128));
   cfg.iterations = static_cast<size_t>(args.GetInt("iterations", 5));
   cfg.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  // 1 = sequential/bit-reproducible, 0 = all hardware threads, >1 = Hogwild.
+  const int64_t threads = args.GetInt("threads", 1);
+  CHECK_GE(threads, 0) << "--threads must be >= 0 (0 = all cores)";
+  cfg.num_threads = static_cast<size_t>(threads);
   cfg.walk.walk_length =
       static_cast<size_t>(args.GetInt("walk-length", 80));
   cfg.walk.min_walks_per_node =
@@ -242,7 +247,9 @@ void Usage() {
       "           [--scale 1.0] [--seed 42]\n"
       "  stats    --graph g.tsv\n"
       "  train    --graph g.tsv --out emb.tsv [--method transn] [--dim 128]\n"
-      "           [--iterations 5] [--walk-length 80] [--encoders 6] ...\n"
+      "           [--iterations 5] [--walk-length 80] [--encoders 6]\n"
+      "           [--threads 1]  (0 = all cores; >1 = Hogwild, not\n"
+      "           bit-reproducible) ...\n"
       "  classify --graph g.tsv --embeddings emb.tsv [--repeats 10]\n"
       "  linkpred --graph g.tsv [--method transn] [--removal 0.4]\n");
 }
