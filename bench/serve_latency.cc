@@ -1,0 +1,172 @@
+// Google-benchmark coverage for the serving read path: exact and quantized
+// k-NN scans (single-thread and sharded) over synthetic embedding tables,
+// plus the end-to-end QueryServer batch loop against a real exported model,
+// reporting items/s (QPS) and the server's own p50/p99 latency counters.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/model_io.h"
+#include "core/transn.h"
+#include "data/hsbm.h"
+#include "nn/init.h"
+#include "serve/embedding_store.h"
+#include "serve/knn_index.h"
+#include "serve/query_server.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace transn {
+namespace {
+
+constexpr size_t kDim = 64;
+
+const Matrix& BaseTable(size_t rows) {
+  static std::map<size_t, Matrix>* tables = new std::map<size_t, Matrix>();
+  auto it = tables->find(rows);
+  if (it == tables->end()) {
+    Rng rng(rows);
+    it = tables->emplace(rows, GaussianInit(rows, kDim, 1.0, rng)).first;
+  }
+  return it->second;
+}
+
+void BM_ExactScan(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const Matrix& base = BaseTable(rows);
+  KnnIndex index(&base, {.metric = KnnMetric::kCosine});
+  Rng rng(7);
+  Matrix queries = GaussianInit(64, kDim, 1.0, rng);
+  size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Search(queries.Row(q % 64), 10));
+    ++q;
+  }
+  state.SetItemsProcessed(state.iterations());  // items/s == QPS
+}
+BENCHMARK(BM_ExactScan)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_ExactScanSharded(benchmark::State& state) {
+  const size_t rows = 1 << 16;
+  const Matrix& base = BaseTable(rows);
+  KnnIndex index(&base, {.metric = KnnMetric::kCosine});
+  ThreadPool pool(static_cast<size_t>(state.range(0)));
+  Rng rng(7);
+  Matrix queries = GaussianInit(64, kDim, 1.0, rng);
+  size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Search(queries.Row(q % 64), 10, &pool));
+    ++q;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExactScanSharded)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_QuantizedScan(benchmark::State& state) {
+  const size_t rows = 1 << 16;
+  const Matrix& base = BaseTable(rows);
+  KnnIndexOptions opts;
+  opts.metric = KnnMetric::kCosine;
+  opts.num_centroids = 256;
+  static KnnIndex* index = new KnnIndex(&base, opts);  // k-means built once
+  Rng rng(7);
+  Matrix queries = GaussianInit(64, kDim, 1.0, rng);
+  const size_t nprobe = static_cast<size_t>(state.range(0));
+  size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index->SearchQuantized(queries.Row(q % 64), 10, nprobe));
+    ++q;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QuantizedScan)->Arg(8)->Arg(32)->Arg(64);
+
+/// A real exported model for the end-to-end path: HSBM-trained TransN,
+/// written through ExportServingModel once and memory-loaded back.
+const EmbeddingStore& BenchStore() {
+  static const EmbeddingStore* store = [] {
+    HsbmSpec spec;
+    spec.node_types = {{"user", 600}, {"item", 300}};
+    spec.edge_types = {
+        {.name = "UU", .type_a = 0, .type_b = 0, .num_edges = 2400},
+        {.name = "UI", .type_a = 0, .type_b = 1, .num_edges = 1800},
+    };
+    spec.num_communities = 4;
+    spec.seed = 9;
+    HeteroGraph g = GenerateHsbm(spec);
+    TransNConfig cfg;
+    cfg.dim = kDim;
+    cfg.iterations = 1;
+    cfg.walk.walk_length = 10;
+    cfg.walk.min_walks_per_node = 2;
+    cfg.walk.max_walks_per_node = 3;
+    cfg.translator_encoders = 2;
+    cfg.translator_seq_len = 4;
+    cfg.cross_paths_per_pair = 10;
+    cfg.seed = 13;
+    TransNModel model(&g, cfg);
+    model.Fit();
+    const std::string path = "/tmp/transn_serve_latency_model.bin";
+    CHECK(ExportServingModel(model, path).ok());
+    auto loaded = EmbeddingStore::Load(path);
+    CHECK(loaded.ok());
+    std::remove(path.c_str());
+    return new EmbeddingStore(std::move(loaded).value());
+  }();
+  return *store;
+}
+
+void BM_QueryServerBatch(benchmark::State& state) {
+  const EmbeddingStore& store = BenchStore();
+  QueryServerOptions opts;
+  opts.k = 10;
+  opts.num_threads = static_cast<size_t>(state.range(0));
+  QueryServer server(&store, opts);
+  std::vector<std::string> names;
+  for (NodeId n = 0; n < store.num_nodes(); ++n) {
+    names.push_back(store.node_name(n));
+  }
+  server.Warmup(32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.HandleBatch(names));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() *
+                                               names.size()));
+  state.counters["qps"] = server.qps();
+  state.counters["p50_ms"] = server.latency().Percentile(50) * 1e3;
+  state.counters["p99_ms"] = server.latency().Percentile(99) * 1e3;
+}
+BENCHMARK(BM_QueryServerBatch)->Arg(1)->Arg(4);
+
+void BM_ColdStartResolve(benchmark::State& state) {
+  const EmbeddingStore& store = BenchStore();
+  // View 0 ("UU") holds only users; any item node is a cold-start query.
+  QueryServerOptions opts;
+  opts.target_view = 0;
+  opts.k = 10;
+  QueryServer server(&store, opts);
+  std::vector<std::string> items;
+  for (NodeId n = 0; n < store.num_nodes(); ++n) {
+    if (store.view(0).LocalOf(n) < 0) items.push_back(store.node_name(n));
+  }
+  CHECK(!items.empty());
+  size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.Handle(items[q % items.size()]));
+    ++q;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["p99_ms"] = server.latency().Percentile(99) * 1e3;
+}
+BENCHMARK(BM_ColdStartResolve);
+
+}  // namespace
+}  // namespace transn
+
+BENCHMARK_MAIN();

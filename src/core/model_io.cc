@@ -1,9 +1,11 @@
 #include "core/model_io.h"
 
 #include <fstream>
+#include <limits>
 #include <map>
 
 #include "core/transn.h"
+#include "serve/serving_format.h"
 #include "util/string_util.h"
 
 namespace transn {
@@ -16,7 +18,9 @@ Status SaveEmbeddings(const HeteroGraph& g, const Matrix& embeddings,
   std::ofstream out(path);
   if (!out) return Status::IoError("cannot open for write: " + path);
   out << embeddings.rows() << "\t" << embeddings.cols() << "\n";
-  out.precision(9);
+  // max_digits10 makes the text round-trip bit-exact (shortest precision
+  // that distinguishes every double); 9 digits used to lose the low bits.
+  out.precision(std::numeric_limits<double>::max_digits10);
   for (NodeId n = 0; n < g.num_nodes(); ++n) {
     out << g.node_name(n);
     const double* row = embeddings.Row(n);
@@ -28,36 +32,71 @@ Status SaveEmbeddings(const HeteroGraph& g, const Matrix& embeddings,
 }
 
 StatusOr<LoadedEmbeddings> LoadEmbeddings(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open: " + path);
+  in.seekg(0, std::ios::end);
+  const double file_size = static_cast<double>(std::streamoff(in.tellg()));
+  in.seekg(0, std::ios::beg);
+
   std::string line;
-  if (!std::getline(in, line)) return Status::InvalidArgument("empty file");
+  if (!std::getline(in, line) || Trim(line).empty()) {
+    return Status::InvalidArgument("empty embedding file: " + path);
+  }
+  // Trim handles CRLF line endings and stray surrounding whitespace on every
+  // line (files written on Windows or hand-edited must not crash the loader).
   std::vector<std::string> header = Split(Trim(line), '\t');
   int64_t rows = 0, cols = 0;
   if (header.size() != 2 || !ParseInt64(header[0], &rows) ||
       !ParseInt64(header[1], &cols) || rows < 0 || cols <= 0) {
     return Status::InvalidArgument("bad embedding header: " + line);
   }
+  // A row needs at least "x" + cols * "\t0" + "\n" bytes, so a header whose
+  // claim exceeds what the file can physically hold is rejected *before* the
+  // matrix allocation (a corrupt header must not drive a bad_alloc crash).
+  if (static_cast<double>(rows) * (2.0 * static_cast<double>(cols) + 2.0) >
+      file_size) {
+    return Status::InvalidArgument(StrFormat(
+        "embedding header claims %lld x %lld values but the file is only "
+        "%.0f bytes",
+        static_cast<long long>(rows), static_cast<long long>(cols),
+        file_size));
+  }
   LoadedEmbeddings out;
   out.embeddings.Resize(static_cast<size_t>(rows), static_cast<size_t>(cols));
   out.names.reserve(static_cast<size_t>(rows));
   for (int64_t r = 0; r < rows; ++r) {
     if (!std::getline(in, line)) {
-      return Status::InvalidArgument("truncated embedding file");
+      return Status::InvalidArgument(
+          StrFormat("truncated embedding file: %lld of %lld rows",
+                    static_cast<long long>(r), static_cast<long long>(rows)));
     }
     std::vector<std::string> fields = Split(Trim(line), '\t');
     if (fields.size() != static_cast<size_t>(cols) + 1) {
-      return Status::InvalidArgument(
-          StrFormat("row %lld: expected %lld values", static_cast<long long>(r),
-                    static_cast<long long>(cols)));
+      return Status::InvalidArgument(StrFormat(
+          "row %lld: expected %lld values, got %zu",
+          static_cast<long long>(r), static_cast<long long>(cols),
+          fields.size() - (fields.empty() ? 0 : 1)));
     }
     out.names.push_back(fields[0]);
     for (int64_t c = 0; c < cols; ++c) {
       double v = 0.0;
+      // ParseDouble trims, so per-field stray whitespace is tolerated; any
+      // non-numeric residue is a hard error.
       if (!ParseDouble(fields[static_cast<size_t>(c) + 1], &v)) {
-        return Status::InvalidArgument("bad embedding value: " + fields[c + 1]);
+        return Status::InvalidArgument(StrFormat(
+            "row %lld: bad embedding value '%s'", static_cast<long long>(r),
+            fields[static_cast<size_t>(c) + 1].c_str()));
       }
       out.embeddings(static_cast<size_t>(r), static_cast<size_t>(c)) = v;
+    }
+  }
+  // Blank trailing lines are fine; any further payload means the header row
+  // count disagrees with the data, which deserves a loud failure.
+  while (std::getline(in, line)) {
+    if (!Trim(line).empty()) {
+      return Status::InvalidArgument(
+          StrFormat("trailing data after %lld embedding rows",
+                    static_cast<long long>(rows)));
     }
   }
   return out;
@@ -188,6 +227,85 @@ Status LoadTransNCheckpoint(TransNModel* model, const std::string& path) {
         StrFormat("checkpoint has %zu matrices but model expects %zu",
                   matrices.size(), assigned));
   }
+  return Status::Ok();
+}
+
+namespace {
+
+void AppendMatrix(std::string* buf, const Matrix& m) {
+  const double* data = m.data();
+  for (size_t i = 0; i < m.size(); ++i) AppendF64(buf, data[i]);
+}
+
+void AppendTranslator(std::string* buf, const Translator& t, uint32_t from,
+                      uint32_t to) {
+  AppendU32(buf, from);
+  AppendU32(buf, to);
+  AppendU8(buf, t.simple() ? 1 : 0);
+  AppendU8(buf, t.final_relu() ? 1 : 0);
+  AppendU32(buf, static_cast<uint32_t>(t.num_encoders()));
+  for (size_t e = 0; e < t.num_encoders(); ++e) {
+    AppendMatrix(buf, t.weight(e).value);
+    AppendMatrix(buf, t.bias(e).value);
+  }
+}
+
+}  // namespace
+
+Status ExportServingModel(const TransNModel& model, const std::string& path) {
+  const HeteroGraph& g = model.graph();
+  const std::vector<View>& views = model.views();
+  const size_t num_translators = 2 * model.num_cross_trainers();
+  if (g.num_nodes() > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument("graph too large for serving format v1");
+  }
+
+  std::string buf;
+  buf.append(kServingMagic, sizeof(kServingMagic));
+  AppendU32(&buf, kServingFormatVersion);
+  AppendU32(&buf, static_cast<uint32_t>(model.config().dim));
+  AppendU32(&buf, num_translators > 0
+                      ? static_cast<uint32_t>(model.config().translator_seq_len)
+                      : 0);
+  AppendU32(&buf, static_cast<uint32_t>(g.num_nodes()));
+  AppendU32(&buf, static_cast<uint32_t>(views.size()));
+  AppendU32(&buf, static_cast<uint32_t>(num_translators));
+  AppendU8(&buf, kServingFlagFinalEmbeddings);
+
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    AppendString(&buf, g.node_name(n));
+  }
+  AppendMatrix(&buf, model.FinalEmbeddings());
+
+  for (size_t i = 0; i < views.size(); ++i) {
+    const View& view = views[i];
+    AppendString(&buf, g.edge_type_name(view.edge_type));
+    AppendU8(&buf, view.is_heter ? 1 : 0);
+    const SingleViewTrainer* sv = model.single_view_trainer_or_null(i);
+    if (sv == nullptr) {  // empty view: metadata only
+      AppendU32(&buf, 0);
+      continue;
+    }
+    const std::vector<NodeId>& locals = view.graph.nodes();
+    AppendU32(&buf, static_cast<uint32_t>(locals.size()));
+    for (NodeId global : locals) AppendU32(&buf, global);
+    AppendMatrix(&buf, sv->embeddings().values());
+  }
+
+  for (size_t p = 0; p < model.num_cross_trainers(); ++p) {
+    const CrossViewTrainer& cross = model.cross_view_trainer(p);
+    const uint32_t vi = static_cast<uint32_t>(cross.pair().view_i);
+    const uint32_t vj = static_cast<uint32_t>(cross.pair().view_j);
+    AppendTranslator(&buf, cross.translator_ij(), vi, vj);
+    AppendTranslator(&buf, cross.translator_ji(), vj, vi);
+  }
+
+  AppendU64(&buf, ServingChecksum(buf.data(), buf.size()));
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  if (!out) return Status::IoError("write failed: " + path);
   return Status::Ok();
 }
 

@@ -36,6 +36,14 @@ Status SaveTransNCheckpoint(const TransNModel& model, const std::string& path);
 
 Status LoadTransNCheckpoint(TransNModel* model, const std::string& path);
 
+/// Exports a trained model in the immutable binary serving format consumed
+/// by serve/EmbeddingStore (layout in serve/serving_format.h): node-name
+/// index, final embeddings, every view's embedding table with its
+/// local→global id map, and all translator W/b parameters at full double
+/// precision. This is the read path of `transn_serve`; unlike checkpoints it
+/// is self-contained (no graph or config needed to load).
+Status ExportServingModel(const TransNModel& model, const std::string& path);
+
 }  // namespace transn
 
 #endif  // TRANSN_CORE_MODEL_IO_H_

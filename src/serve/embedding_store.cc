@@ -1,0 +1,169 @@
+#include "serve/embedding_store.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "serve/serving_format.h"
+#include "util/string_util.h"
+
+namespace transn {
+
+namespace {
+
+// A malformed header must not drive a multi-gigabyte allocation; these caps
+// are far above anything the trainer produces.
+constexpr uint32_t kMaxDim = 1u << 20;
+constexpr uint32_t kMaxSeqLen = 1u << 16;
+constexpr uint32_t kMaxCount = 1u << 28;  // nodes / views / translators
+
+Status Malformed(const std::string& what, const ByteReader& r) {
+  return Status::InvalidArgument(
+      StrFormat("serving model: %s (offset %zu)", what.c_str(), r.offset()));
+}
+
+/// Reads rows×cols doubles into `m`; fails on truncation.
+bool ReadMatrix(ByteReader& r, size_t rows, size_t cols, Matrix* m) {
+  m->Resize(rows, cols);
+  double* data = m->data();
+  for (size_t i = 0; i < rows * cols; ++i) {
+    if (!r.ReadF64(&data[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int EmbeddingStore::FindViewByName(const std::string& name) const {
+  for (size_t i = 0; i < views_.size(); ++i) {
+    if (views_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const ServingTranslator* EmbeddingStore::FindTranslator(uint32_t from,
+                                                        uint32_t to) const {
+  for (const ServingTranslator& t : translators_) {
+    if (t.from_view == from && t.to_view == to) return &t;
+  }
+  return nullptr;
+}
+
+StatusOr<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in.good() && !in.eof()) return Status::IoError("read failed: " + path);
+  const std::string data = std::move(buf).str();
+
+  if (data.size() < sizeof(kServingMagic) + sizeof(uint64_t) ||
+      memcmp(data.data(), kServingMagic, sizeof(kServingMagic)) != 0) {
+    return Status::InvalidArgument("not a TransN serving model: " + path);
+  }
+  // Verify the trailing checksum before trusting any field.
+  const size_t body_size = data.size() - sizeof(uint64_t);
+  ByteReader trailer(std::string_view(data).substr(body_size));
+  uint64_t stored_sum = 0;
+  trailer.ReadU64(&stored_sum);
+  if (ServingChecksum(data.data(), body_size) != stored_sum) {
+    return Status::InvalidArgument("serving model checksum mismatch: " + path);
+  }
+
+  ByteReader r(std::string_view(data).substr(0, body_size));
+  char magic[sizeof(kServingMagic)];
+  r.ReadRaw(magic, sizeof(magic));
+
+  uint32_t version = 0, dim = 0, seq_len = 0;
+  uint32_t num_nodes = 0, num_views = 0, num_translators = 0;
+  uint8_t flags = 0;
+  if (!r.ReadU32(&version)) return Malformed("truncated header", r);
+  if (version != kServingFormatVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported serving format version %u", version));
+  }
+  if (!r.ReadU32(&dim) || !r.ReadU32(&seq_len) || !r.ReadU32(&num_nodes) ||
+      !r.ReadU32(&num_views) || !r.ReadU32(&num_translators) ||
+      !r.ReadU8(&flags)) {
+    return Malformed("truncated header", r);
+  }
+  if (dim == 0 || dim > kMaxDim || seq_len > kMaxSeqLen ||
+      num_nodes > kMaxCount || num_views > kMaxCount ||
+      num_translators > kMaxCount) {
+    return Malformed("implausible header counts", r);
+  }
+
+  EmbeddingStore store;
+  store.dim_ = dim;
+  store.seq_len_ = seq_len;
+
+  store.node_names_.resize(num_nodes);
+  store.name_to_id_.reserve(num_nodes);
+  for (uint32_t n = 0; n < num_nodes; ++n) {
+    if (!r.ReadString(&store.node_names_[n])) {
+      return Malformed("truncated node-name index", r);
+    }
+    store.name_to_id_.emplace(store.node_names_[n], n);
+  }
+
+  if (flags & kServingFlagFinalEmbeddings) {
+    if (!ReadMatrix(r, num_nodes, dim, &store.final_embeddings_)) {
+      return Malformed("truncated final embeddings", r);
+    }
+  }
+
+  store.views_.resize(num_views);
+  for (uint32_t v = 0; v < num_views; ++v) {
+    ServingView& view = store.views_[v];
+    uint8_t is_heter = 0;
+    uint32_t num_local = 0;
+    if (!r.ReadString(&view.name) || !r.ReadU8(&is_heter) ||
+        !r.ReadU32(&num_local)) {
+      return Malformed("truncated view header", r);
+    }
+    if (num_local > num_nodes) return Malformed("view larger than graph", r);
+    view.is_heter = is_heter != 0;
+    view.global_ids.resize(num_local);
+    view.global_to_local.reserve(num_local);
+    for (uint32_t i = 0; i < num_local; ++i) {
+      uint32_t global = 0;
+      if (!r.ReadU32(&global)) return Malformed("truncated view id map", r);
+      if (global >= num_nodes) return Malformed("view id out of range", r);
+      view.global_ids[i] = global;
+      view.global_to_local.emplace(global, i);
+    }
+    if (!ReadMatrix(r, num_local, dim, &view.embeddings)) {
+      return Malformed("truncated view embeddings", r);
+    }
+  }
+
+  store.translators_.resize(num_translators);
+  for (uint32_t t = 0; t < num_translators; ++t) {
+    ServingTranslator& tr = store.translators_[t];
+    uint8_t simple = 0, final_relu = 0;
+    uint32_t num_encoders = 0;
+    if (!r.ReadU32(&tr.from_view) || !r.ReadU32(&tr.to_view) ||
+        !r.ReadU8(&simple) || !r.ReadU8(&final_relu) ||
+        !r.ReadU32(&num_encoders)) {
+      return Malformed("truncated translator header", r);
+    }
+    if (tr.from_view >= num_views || tr.to_view >= num_views ||
+        num_encoders == 0 || num_encoders > kMaxSeqLen || seq_len < 2) {
+      return Malformed("bad translator header", r);
+    }
+    tr.simple = simple != 0;
+    tr.final_relu = final_relu != 0;
+    tr.weights.resize(num_encoders);
+    tr.biases.resize(num_encoders);
+    for (uint32_t e = 0; e < num_encoders; ++e) {
+      if (!ReadMatrix(r, seq_len, seq_len, &tr.weights[e]) ||
+          !ReadMatrix(r, seq_len, 1, &tr.biases[e])) {
+        return Malformed("truncated translator parameters", r);
+      }
+    }
+  }
+
+  if (!r.AtEnd()) return Malformed("trailing bytes after translators", r);
+  return store;
+}
+
+}  // namespace transn

@@ -1,0 +1,104 @@
+#ifndef TRANSN_SERVE_EMBEDDING_STORE_H_
+#define TRANSN_SERVE_EMBEDDING_STORE_H_
+
+#include <stdint.h>
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "nn/matrix.h"
+#include "util/status.h"
+
+namespace transn {
+
+/// One view's slice of a serving model: the view-specific embedding table
+/// (full double precision, one row per local node) plus the local↔global id
+/// mapping. Immutable after load.
+struct ServingView {
+  /// Edge-type name of the view ("friendship", "UK", …); CLI addressing.
+  std::string name;
+  bool is_heter = false;
+  /// Local row r holds the embedding of global node global_ids[r].
+  std::vector<NodeId> global_ids;
+  /// num_local × dim.
+  Matrix embeddings;
+
+  /// Local row of a global node, or -1 when the node is not in this view.
+  /// O(1) hash lookup.
+  int64_t LocalOf(NodeId global) const {
+    auto it = global_to_local.find(global);
+    return it == global_to_local.end() ? -1 : static_cast<int64_t>(it->second);
+  }
+
+  /// Built at load time from global_ids.
+  std::unordered_map<NodeId, uint32_t> global_to_local;
+};
+
+/// A stored translator T_{from→to} (weights only; see core/translator.h for
+/// the architecture). `weights[e]` is the L×L feed-forward matrix of encoder
+/// e and `biases[e]` its L×1 bias.
+struct ServingTranslator {
+  uint32_t from_view = 0;
+  uint32_t to_view = 0;
+  bool simple = false;
+  bool final_relu = false;
+  std::vector<Matrix> weights;
+  std::vector<Matrix> biases;
+};
+
+/// Read-only, versioned binary model store: the serving-side image of a
+/// trained TransNModel (per-view embeddings, translators, final averaged
+/// embeddings, node-name index). Written by ExportServingModel() in
+/// core/model_io; the file layout is documented in serve/serving_format.h.
+class EmbeddingStore {
+ public:
+  /// An empty store (no nodes, no views); the real entry point is Load().
+  /// Public because StatusOr<EmbeddingStore> requires default construction.
+  EmbeddingStore() = default;
+
+  /// Loads and fully validates a serving model (magic, version, section
+  /// bounds, shapes, trailing FNV-1a checksum).
+  static StatusOr<EmbeddingStore> Load(const std::string& path);
+
+  size_t dim() const { return dim_; }
+  /// Translator path length L; 0 when the model has no translators.
+  size_t seq_len() const { return seq_len_; }
+  size_t num_nodes() const { return node_names_.size(); }
+
+  const std::string& node_name(NodeId n) const { return node_names_[n]; }
+  /// Global id of a node name, or kInvalidNode. O(1) hash lookup.
+  NodeId FindNode(const std::string& name) const {
+    auto it = name_to_id_.find(name);
+    return it == name_to_id_.end() ? kInvalidNode : it->second;
+  }
+
+  const std::vector<ServingView>& views() const { return views_; }
+  const ServingView& view(size_t i) const { return views_[i]; }
+  /// Index of the view with this edge-type name, or -1.
+  int FindViewByName(const std::string& name) const;
+
+  const std::vector<ServingTranslator>& translators() const {
+    return translators_;
+  }
+  /// The stored translator T_{from→to}, or null when that direction was not
+  /// exported.
+  const ServingTranslator* FindTranslator(uint32_t from, uint32_t to) const;
+
+  /// Final (view-averaged, §III-C) embeddings: num_nodes × dim.
+  const Matrix& final_embeddings() const { return final_embeddings_; }
+
+ private:
+  size_t dim_ = 0;
+  size_t seq_len_ = 0;
+  std::vector<std::string> node_names_;
+  std::unordered_map<std::string, NodeId> name_to_id_;
+  Matrix final_embeddings_;
+  std::vector<ServingView> views_;
+  std::vector<ServingTranslator> translators_;
+};
+
+}  // namespace transn
+
+#endif  // TRANSN_SERVE_EMBEDDING_STORE_H_

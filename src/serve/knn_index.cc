@@ -1,0 +1,287 @@
+#include "serve/knn_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace transn {
+
+namespace {
+
+/// Serial scans below this row count even when a pool is available (the
+/// fan-out overhead dominates). Does not affect results, only scheduling.
+constexpr size_t kMinRowsPerShard = 2048;
+
+/// 4-way unrolled dot product: four independent accumulators keep the FMA
+/// pipeline full on the scan hot path.
+double Dot4(const double* a, const double* b, size_t n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < n; ++i) s0 += a[i] * b[i];
+  return (s0 + s1) + (s2 + s3);
+}
+
+/// Total order all scans agree on: higher score first, ties to the smaller
+/// row id. This is what makes sharded results independent of thread count.
+inline bool Better(const KnnResult& a, const KnnResult& b) {
+  return a.score != b.score ? a.score > b.score : a.row < b.row;
+}
+
+double SquaredDistance(const double* a, const double* b, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace
+
+KnnIndex::KnnIndex(const Matrix* base, KnnIndexOptions options,
+                   ThreadPool* pool)
+    : base_(base), options_(options) {
+  CHECK(base != nullptr);
+  if (options_.metric == KnnMetric::kCosine) {
+    inv_norms_.resize(base_->rows());
+    for (size_t r = 0; r < base_->rows(); ++r) {
+      const double norm = std::sqrt(Dot4(base_->Row(r), base_->Row(r),
+                                         base_->cols()));
+      inv_norms_[r] = norm > 0.0 ? 1.0 / norm : 0.0;
+    }
+  }
+  if (options_.num_centroids > 0 && base_->rows() > 0) BuildQuantizer(pool);
+}
+
+size_t KnnIndex::num_rows() const { return base_->rows(); }
+
+double KnnIndex::RowScore(uint32_t row, const double* query,
+                          double query_inv_norm) const {
+  double s = Dot4(base_->Row(row), query, base_->cols());
+  if (options_.metric == KnnMetric::kCosine) {
+    s *= inv_norms_[row] * query_inv_norm;
+  }
+  return s;
+}
+
+void KnnIndex::ScanRange(const double* query, double query_inv_norm,
+                         uint32_t begin, uint32_t end, size_t k,
+                         std::vector<KnnResult>* heap) const {
+  // Bounded partial heap: `heap` is a binary heap whose front is the current
+  // k-th best (the *worst* kept result) under the Better total order. The
+  // inner loop's common case is the two threshold compares below — heap
+  // operations only fire when a row actually displaces the front.
+  double threshold_score = heap->size() == k && k > 0
+                               ? heap->front().score
+                               : -std::numeric_limits<double>::infinity();
+  uint32_t threshold_row = heap->size() == k && k > 0 ? heap->front().row : 0;
+  for (uint32_t r = begin; r < end; ++r) {
+    const double score = RowScore(r, query, query_inv_norm);
+    if (heap->size() < k) {
+      heap->push_back({r, score});
+      std::push_heap(heap->begin(), heap->end(), Better);
+      if (heap->size() == k) {
+        threshold_score = heap->front().score;
+        threshold_row = heap->front().row;
+      }
+      continue;
+    }
+    if (score < threshold_score ||
+        (score == threshold_score && r > threshold_row)) {
+      continue;
+    }
+    std::pop_heap(heap->begin(), heap->end(), Better);
+    heap->back() = {r, score};
+    std::push_heap(heap->begin(), heap->end(), Better);
+    threshold_score = heap->front().score;
+    threshold_row = heap->front().row;
+  }
+}
+
+void KnnIndex::ScanRows(const double* query, double query_inv_norm,
+                        const std::vector<uint32_t>& rows, size_t k,
+                        std::vector<KnnResult>* heap) const {
+  for (uint32_t r : rows) {
+    const double score = RowScore(r, query, query_inv_norm);
+    if (heap->size() < k) {
+      heap->push_back({r, score});
+      std::push_heap(heap->begin(), heap->end(), Better);
+      continue;
+    }
+    const KnnResult& worst = heap->front();
+    if (score < worst.score || (score == worst.score && r > worst.row)) {
+      continue;
+    }
+    std::pop_heap(heap->begin(), heap->end(), Better);
+    heap->back() = {r, score};
+    std::push_heap(heap->begin(), heap->end(), Better);
+  }
+}
+
+std::vector<KnnResult> KnnIndex::Search(const double* query, size_t k,
+                                        ThreadPool* pool) const {
+  const size_t n = base_->rows();
+  k = std::min(k, n);
+  if (k == 0) return {};
+  double query_inv_norm = 1.0;
+  if (options_.metric == KnnMetric::kCosine) {
+    const double norm = std::sqrt(Dot4(query, query, base_->cols()));
+    query_inv_norm = norm > 0.0 ? 1.0 / norm : 0.0;
+  }
+
+  const size_t max_shards =
+      pool != nullptr ? std::min(pool->num_threads(), n / kMinRowsPerShard)
+                      : 0;
+  std::vector<KnnResult> merged;
+  if (max_shards <= 1) {
+    merged.reserve(k);
+    ScanRange(query, query_inv_norm, 0, static_cast<uint32_t>(n), k, &merged);
+  } else {
+    // Each shard keeps its own top-k; the union necessarily contains the
+    // global top-k under the shared total order, so the merge below is exact
+    // and thread-count-independent.
+    std::vector<std::vector<KnnResult>> shard_heaps(max_shards);
+    ParallelFor(*pool, max_shards, [&](size_t s) {
+      const uint32_t begin = static_cast<uint32_t>(n * s / max_shards);
+      const uint32_t end = static_cast<uint32_t>(n * (s + 1) / max_shards);
+      shard_heaps[s].reserve(k);
+      ScanRange(query, query_inv_norm, begin, end, k, &shard_heaps[s]);
+    });
+    for (const auto& h : shard_heaps) {
+      merged.insert(merged.end(), h.begin(), h.end());
+    }
+  }
+  std::sort(merged.begin(), merged.end(), Better);
+  if (merged.size() > k) merged.resize(k);
+  return merged;
+}
+
+std::vector<KnnResult> KnnIndex::SearchQuantized(const double* query, size_t k,
+                                                 size_t nprobe) const {
+  CHECK_GT(centroids_.rows(), 0u) << "index built without quantization";
+  const size_t n = base_->rows();
+  k = std::min(k, n);
+  if (k == 0) return {};
+  double query_inv_norm = 1.0;
+  if (options_.metric == KnnMetric::kCosine) {
+    const double norm = std::sqrt(Dot4(query, query, base_->cols()));
+    query_inv_norm = norm > 0.0 ? 1.0 / norm : 0.0;
+  }
+
+  // Rank cells by the query's score against their centroid.
+  std::vector<KnnResult> ranked(centroids_.rows());
+  for (size_t c = 0; c < centroids_.rows(); ++c) {
+    double s = Dot4(centroids_.Row(c), query, centroids_.cols());
+    if (options_.metric == KnnMetric::kCosine) {
+      const double cn =
+          std::sqrt(Dot4(centroids_.Row(c), centroids_.Row(c),
+                         centroids_.cols()));
+      s = cn > 0.0 ? s / cn * query_inv_norm : 0.0;
+    }
+    ranked[c] = {static_cast<uint32_t>(c), s};
+  }
+  std::sort(ranked.begin(), ranked.end(), Better);
+  if (nprobe == 0) nprobe = ranked.size();
+  nprobe = std::min(nprobe, ranked.size());
+
+  std::vector<KnnResult> heap;
+  heap.reserve(k);
+  for (size_t i = 0; i < nprobe; ++i) {
+    ScanRows(query, query_inv_norm, cells_[ranked[i].row], k, &heap);
+  }
+  std::sort(heap.begin(), heap.end(), Better);
+  if (heap.size() > k) heap.resize(k);
+  return heap;
+}
+
+void KnnIndex::BuildQuantizer(ThreadPool* pool) {
+  const size_t n = base_->rows();
+  const size_t d = base_->cols();
+  const size_t kc = std::min(options_.num_centroids, n);
+
+  // Cosine clusters the direction sphere: work on L2-normalized copies so
+  // Euclidean assignment approximates angular proximity (spherical k-means).
+  Matrix points;
+  const Matrix* pts = base_;
+  if (options_.metric == KnnMetric::kCosine) {
+    points = *base_;
+    for (size_t r = 0; r < n; ++r) {
+      double* row = points.Row(r);
+      for (size_t c = 0; c < d; ++c) row[c] *= inv_norms_[r];
+    }
+    pts = &points;
+  }
+
+  Rng rng(options_.seed);
+  std::vector<uint32_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
+  rng.Shuffle(order);
+  centroids_.Resize(kc, d);
+  for (size_t c = 0; c < kc; ++c) {
+    const double* row = pts->Row(order[c]);
+    std::copy(row, row + d, centroids_.Row(c));
+  }
+
+  std::vector<uint32_t> assign(n, 0);
+  auto assign_row = [&](size_t r) {
+    double best = std::numeric_limits<double>::infinity();
+    uint32_t best_c = 0;
+    for (size_t c = 0; c < kc; ++c) {
+      const double dist = SquaredDistance(pts->Row(r), centroids_.Row(c), d);
+      if (dist < best) {  // ties keep the smaller index: deterministic
+        best = dist;
+        best_c = static_cast<uint32_t>(c);
+      }
+    }
+    assign[r] = best_c;
+  };
+
+  for (size_t it = 0; it < options_.kmeans_iterations; ++it) {
+    if (pool != nullptr && pool->num_threads() > 1 && n >= kMinRowsPerShard) {
+      ParallelFor(*pool, n, assign_row);  // pure per-row: deterministic
+    } else {
+      for (size_t r = 0; r < n; ++r) assign_row(r);
+    }
+    centroids_.Fill(0.0);
+    std::vector<size_t> counts(kc, 0);
+    for (size_t r = 0; r < n; ++r) {
+      double* ctr = centroids_.Row(assign[r]);
+      const double* row = pts->Row(r);
+      for (size_t c = 0; c < d; ++c) ctr[c] += row[c];
+      ++counts[assign[r]];
+    }
+    for (size_t c = 0; c < kc; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cell from a random point (deterministic stream).
+        const double* row = pts->Row(rng.NextUint64(n));
+        std::copy(row, row + d, centroids_.Row(c));
+        continue;
+      }
+      double* ctr = centroids_.Row(c);
+      const double inv = 1.0 / static_cast<double>(counts[c]);
+      for (size_t i = 0; i < d; ++i) ctr[i] *= inv;
+    }
+  }
+
+  // Final assignment defines the cells (rows within a cell stay ascending).
+  if (pool != nullptr && pool->num_threads() > 1 && n >= kMinRowsPerShard) {
+    ParallelFor(*pool, n, assign_row);
+  } else {
+    for (size_t r = 0; r < n; ++r) assign_row(r);
+  }
+  cells_.assign(kc, {});
+  for (size_t r = 0; r < n; ++r) {
+    cells_[assign[r]].push_back(static_cast<uint32_t>(r));
+  }
+}
+
+}  // namespace transn

@@ -1,0 +1,149 @@
+#include "serve/query_server.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace transn {
+
+QueryServer::QueryServer(const EmbeddingStore* store,
+                         QueryServerOptions options)
+    : store_(store), options_(options), translation_(store) {
+  CHECK(store != nullptr);
+  CHECK_GE(options_.target_view, -1);
+  CHECK_LT(options_.target_view, static_cast<int>(store->views().size()));
+  CHECK_GT(options_.k, 0u);
+
+  const size_t rows = target_matrix().rows();
+  KnnIndexOptions idx;
+  idx.metric = options_.metric;
+  idx.seed = options_.seed;
+  if (options_.quantized) {
+    idx.num_centroids =
+        options_.num_centroids > 0
+            ? options_.num_centroids
+            : std::max<size_t>(
+                  1, static_cast<size_t>(std::sqrt(
+                         static_cast<double>(std::max<size_t>(rows, 1)))));
+    if (options_.nprobe == 0) {
+      options_.nprobe = std::max<size_t>(1, idx.num_centroids / 4);
+    }
+  }
+  if (options_.num_threads != 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+    options_.num_threads = pool_->num_threads();
+  }
+  index_ = std::make_unique<KnnIndex>(&target_matrix(), idx, pool_.get());
+}
+
+QueryServer::~QueryServer() = default;
+
+const Matrix& QueryServer::target_matrix() const {
+  return options_.target_view >= 0
+             ? store_->view(static_cast<size_t>(options_.target_view))
+                   .embeddings
+             : store_->final_embeddings();
+}
+
+NodeId QueryServer::RowToGlobal(uint32_t row) const {
+  return options_.target_view >= 0
+             ? store_->view(static_cast<size_t>(options_.target_view))
+                   .global_ids[row]
+             : static_cast<NodeId>(row);
+}
+
+QueryResponse QueryServer::HandleInternal(const std::string& node_name,
+                                          LatencyHistogram* hist) {
+  WallTimer timer;
+  QueryResponse resp;
+  const NodeId node = store_->FindNode(node_name);
+  if (node == kInvalidNode) {
+    resp.status = Status::NotFound("unknown node '" + node_name + "'");
+    if (hist != nullptr) hist->Record(timer.ElapsedSeconds());
+    return resp;
+  }
+  resp.node = node;
+
+  const double* query = nullptr;
+  std::vector<double> resolved_storage;
+  if (options_.target_view < 0) {
+    query = store_->final_embeddings().Row(node);
+  } else {
+    auto resolved =
+        translation_.Resolve(node, static_cast<uint32_t>(options_.target_view));
+    if (!resolved.ok()) {
+      resp.status = resolved.status();
+      if (hist != nullptr) hist->Record(timer.ElapsedSeconds());
+      return resp;
+    }
+    resp.translated = resolved->translated;
+    resp.chain = resolved->chain;
+    resolved_storage = std::move(resolved->embedding);
+    query = resolved_storage.data();
+  }
+
+  // Over-fetch one so dropping the query node itself still yields k.
+  const size_t want = options_.k + (options_.exclude_self ? 1 : 0);
+  // Per-request scans stay serial: HandleBatch already parallelizes across
+  // requests, and nesting ParallelFor inside a pool worker would deadlock.
+  std::vector<KnnResult> hits =
+      options_.quantized
+          ? index_->SearchQuantized(query, want, options_.nprobe)
+          : index_->Search(query, want, nullptr);
+
+  resp.neighbors.reserve(options_.k);
+  for (const KnnResult& hit : hits) {
+    const NodeId global = RowToGlobal(hit.row);
+    if (options_.exclude_self && global == node) continue;
+    if (resp.neighbors.size() == options_.k) break;
+    resp.neighbors.push_back({global, hit.score});
+  }
+  if (hist != nullptr) hist->Record(timer.ElapsedSeconds());
+  return resp;
+}
+
+QueryResponse QueryServer::Handle(const std::string& node_name, bool record) {
+  return HandleInternal(node_name, record ? &latency_ : nullptr);
+}
+
+std::vector<QueryResponse> QueryServer::HandleBatch(
+    const std::vector<std::string>& node_names) {
+  std::vector<QueryResponse> responses(node_names.size());
+  if (pool_ == nullptr || pool_->num_threads() <= 1 || node_names.size() <= 1) {
+    for (size_t i = 0; i < node_names.size(); ++i) {
+      responses[i] = HandleInternal(node_names[i], &latency_);
+    }
+    return responses;
+  }
+  // Contiguous request shards, one latency histogram per shard; each request
+  // writes only its own response slot, so output order and content match the
+  // sequential path exactly.
+  const size_t shards = std::min(pool_->num_threads(), node_names.size());
+  std::vector<LatencyHistogram> shard_hist(shards);
+  ParallelFor(*pool_, shards, [&](size_t s) {
+    const size_t begin = node_names.size() * s / shards;
+    const size_t end = node_names.size() * (s + 1) / shards;
+    for (size_t i = begin; i < end; ++i) {
+      responses[i] = HandleInternal(node_names[i], &shard_hist[s]);
+    }
+  });
+  for (const LatencyHistogram& h : shard_hist) latency_.Merge(h);
+  return responses;
+}
+
+void QueryServer::Warmup(size_t n) {
+  if (store_->num_nodes() == 0) return;
+  for (size_t i = 0; i < n; ++i) {
+    Handle(store_->node_name(static_cast<NodeId>(i % store_->num_nodes())),
+           /*record=*/false);
+  }
+}
+
+double QueryServer::qps() const {
+  const double total = latency_.mean() * static_cast<double>(latency_.count());
+  return total > 0.0 ? static_cast<double>(latency_.count()) / total : 0.0;
+}
+
+}  // namespace transn

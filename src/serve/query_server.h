@@ -1,0 +1,102 @@
+#ifndef TRANSN_SERVE_QUERY_SERVER_H_
+#define TRANSN_SERVE_QUERY_SERVER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/embedding_store.h"
+#include "serve/knn_index.h"
+#include "serve/translation_service.h"
+#include "util/histogram.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace transn {
+
+struct QueryServerOptions {
+  /// View to search: an index into the store's views, or -1 for the final
+  /// (view-averaged) embeddings over all nodes.
+  int target_view = -1;
+  KnnMetric metric = KnnMetric::kCosine;
+  size_t k = 10;
+  /// Request-level parallelism for HandleBatch; 1 = sequential. Results are
+  /// identical for every thread count.
+  size_t num_threads = 1;
+  /// Use the coarse-quantized pruned scan instead of the exact one.
+  bool quantized = false;
+  /// 0 = sqrt(num rows), clamped to [1, rows].
+  size_t num_centroids = 0;
+  /// Cells probed per quantized query; 0 = num_centroids / 4 (min 1).
+  size_t nprobe = 0;
+  /// Drop the query node itself from its result list.
+  bool exclude_self = true;
+  uint64_t seed = 42;
+};
+
+struct ScoredNode {
+  NodeId node = kInvalidNode;
+  double score = 0.0;
+};
+
+struct QueryResponse {
+  Status status;  // per-request failure (unknown name, unreachable view)
+  NodeId node = kInvalidNode;
+  /// True when the query embedding came from the cold-start translation
+  /// path; `chain` then lists the view indices walked.
+  bool translated = false;
+  std::vector<uint32_t> chain;
+  std::vector<ScoredNode> neighbors;
+};
+
+/// The read-path request loop: looks up (or cold-start-translates) the
+/// query node's embedding, runs the k-NN scan, and records per-request
+/// latency. HandleBatch shards whole requests across a thread pool — each
+/// request is processed end-to-end by one worker into its own response
+/// slot, and the scans themselves are deterministic, so batch output is
+/// byte-identical single- vs multi-threaded.
+class QueryServer {
+ public:
+  /// Builds the k-NN index over the configured target matrix eagerly.
+  /// `store` must outlive the server.
+  QueryServer(const EmbeddingStore* store, QueryServerOptions options);
+  ~QueryServer();
+
+  /// Resolves one query by node name. Records latency unless `record` is
+  /// false (warmup).
+  QueryResponse Handle(const std::string& node_name, bool record = true);
+
+  /// Processes a batch with options.num_threads workers.
+  std::vector<QueryResponse> HandleBatch(
+      const std::vector<std::string>& node_names);
+
+  /// Runs `n` unrecorded queries round-robin over the store's nodes to
+  /// touch caches and fault pages before measurement.
+  void Warmup(size_t n);
+
+  /// Merged per-request latency across all Handle/HandleBatch calls.
+  const LatencyHistogram& latency() const { return latency_; }
+  /// Completed (recorded) queries per second of accumulated request time.
+  double qps() const;
+
+  const KnnIndex& index() const { return *index_; }
+  const QueryServerOptions& options() const { return options_; }
+
+ private:
+  QueryResponse HandleInternal(const std::string& node_name,
+                               LatencyHistogram* hist);
+  /// The matrix being scanned and the mapping of its rows to global ids.
+  const Matrix& target_matrix() const;
+  NodeId RowToGlobal(uint32_t row) const;
+
+  const EmbeddingStore* store_;
+  QueryServerOptions options_;
+  TranslationService translation_;
+  std::unique_ptr<KnnIndex> index_;
+  std::unique_ptr<ThreadPool> pool_;  // only when num_threads > 1
+  LatencyHistogram latency_;
+};
+
+}  // namespace transn
+
+#endif  // TRANSN_SERVE_QUERY_SERVER_H_

@@ -1,0 +1,148 @@
+#ifndef TRANSN_SERVE_SERVING_FORMAT_H_
+#define TRANSN_SERVE_SERVING_FORMAT_H_
+
+#include <stdint.h>
+#include <string.h>
+
+#include <string>
+#include <string_view>
+
+namespace transn {
+
+// The TransN serving-model binary format, version 1. Shared by the writer
+// (core/model_io: ExportServingModel) and the reader (serve/embedding_store).
+//
+// All integers and IEEE-754 doubles are little-endian regardless of host
+// byte order. Layout:
+//
+//   bytes [0,8)   magic "TRNSERV1"
+//   u32           format version (1)
+//   u32           dim            embedding dimensionality d
+//   u32           seq_len        translator path length L (0 if none)
+//   u32           num_nodes      global node count
+//   u32           num_views
+//   u32           num_translators
+//   u8            flags          bit 0: final (view-averaged) embeddings
+//   node names    num_nodes × { u32 len, bytes }   (global id = order)
+//   final emb     num_nodes × dim f64              (iff flag bit 0)
+//   views         num_views × {
+//                   u32 len + edge-type name bytes
+//                   u8  is_heter
+//                   u32 num_local
+//                   num_local × u32 global node id (local row = order)
+//                   num_local × dim f64 embedding rows }
+//   translators   num_translators × {
+//                   u32 from_view, u32 to_view     (view indices)
+//                   u8  simple, u8 final_relu
+//                   u32 num_encoders               (stored W/b pairs)
+//                   num_encoders × { L*L f64 W row-major, L f64 b } }
+//   u64           FNV-1a 64 checksum of every preceding byte
+//
+// The format is immutable once written: the store loads it read-only with
+// full double precision (unlike the lossy TSV path, which exists for
+// interchange with the evaluation scripts).
+
+inline constexpr char kServingMagic[8] = {'T', 'R', 'N', 'S', 'E', 'R',
+                                          'V', '1'};
+inline constexpr uint32_t kServingFormatVersion = 1;
+inline constexpr uint8_t kServingFlagFinalEmbeddings = 1;
+
+/// FNV-1a 64-bit over a byte range; the file trailer.
+inline uint64_t ServingChecksum(const void* data, size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// --- little-endian append helpers (writer side) ---
+
+inline void AppendU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+inline void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void AppendF64(std::string* out, double d) {
+  uint64_t bits;
+  memcpy(&bits, &d, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+inline void AppendString(std::string* out, std::string_view s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+/// Bounds-checked cursor over a loaded file buffer (reader side). Every
+/// Read* returns false instead of running past the end, so a truncated or
+/// corrupt file surfaces as a Status, never as UB.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  size_t offset() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+  bool ReadRaw(void* out, size_t n) {
+    if (remaining() < n) return false;
+    memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool ReadU8(uint8_t* out) { return ReadRaw(out, 1); }
+
+  bool ReadU32(uint32_t* out) {
+    unsigned char b[4];
+    if (!ReadRaw(b, 4)) return false;
+    *out = 0;
+    for (int i = 0; i < 4; ++i) *out |= static_cast<uint32_t>(b[i]) << (8 * i);
+    return true;
+  }
+
+  bool ReadU64(uint64_t* out) {
+    unsigned char b[8];
+    if (!ReadRaw(b, 8)) return false;
+    *out = 0;
+    for (int i = 0; i < 8; ++i) *out |= static_cast<uint64_t>(b[i]) << (8 * i);
+    return true;
+  }
+
+  bool ReadF64(double* out) {
+    uint64_t bits;
+    if (!ReadU64(&bits)) return false;
+    memcpy(out, &bits, sizeof(*out));
+    return true;
+  }
+
+  bool ReadString(std::string* out) {
+    uint32_t len;
+    if (!ReadU32(&len) || remaining() < len) return false;
+    out->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace transn
+
+#endif  // TRANSN_SERVE_SERVING_FORMAT_H_

@@ -1,0 +1,139 @@
+#include "serve/translation_service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "util/string_util.h"
+
+namespace transn {
+
+TranslationService::TranslationService(const EmbeddingStore* store)
+    : store_(store) {
+  CHECK(store != nullptr);
+}
+
+std::vector<double> TranslationService::ApplyTranslator(
+    const ServingTranslator& t, const double* embedding) const {
+  const size_t L = store_->seq_len();
+  const size_t d = store_->dim();
+  CHECK_GE(L, 2u);
+  Matrix x(L, d);
+  for (size_t r = 0; r < L; ++r) {
+    std::copy(embedding, embedding + d, x.Row(r));
+  }
+  // Mirrors core Translator::Apply (Eq. 8–9) without the autograd tape.
+  const double inv_sqrt_d = 1.0 / std::sqrt(static_cast<double>(d));
+  for (size_t e = 0; e < t.weights.size(); ++e) {
+    if (!t.simple) {
+      Matrix scores = Scale(MatMulNT(x, x), inv_sqrt_d);
+      x = MatMul(RowSoftmax(scores), x);
+    }
+    Matrix pre = MatMul(t.weights[e], x);
+    for (size_t r = 0; r < L; ++r) {
+      const double b = t.biases[e](r, 0);
+      double* row = pre.Row(r);
+      for (size_t c = 0; c < d; ++c) row[c] += b;
+    }
+    const bool last = e + 1 == t.weights.size();
+    if (!last || t.final_relu) {
+      for (size_t i = 0; i < pre.size(); ++i) {
+        pre.data()[i] = std::max(pre.data()[i], 0.0);
+      }
+    }
+    x = std::move(pre);
+  }
+  std::vector<double> out(d, 0.0);
+  for (size_t r = 0; r < L; ++r) {
+    const double* row = x.Row(r);
+    for (size_t c = 0; c < d; ++c) out[c] += row[c];
+  }
+  const double inv_l = 1.0 / static_cast<double>(L);
+  for (double& v : out) v *= inv_l;
+  return out;
+}
+
+StatusOr<ResolvedEmbedding> TranslationService::Resolve(
+    NodeId node, uint32_t target_view) const {
+  const std::vector<ServingView>& views = store_->views();
+  if (target_view >= views.size()) {
+    return Status::InvalidArgument(
+        StrFormat("target view %u out of range", target_view));
+  }
+  if (node >= store_->num_nodes()) {
+    return Status::NotFound(StrFormat("unknown node id %u", node));
+  }
+
+  ResolvedEmbedding out;
+  const ServingView& tv = views[target_view];
+  const int64_t direct = tv.LocalOf(node);
+  if (direct >= 0) {
+    const double* row = tv.embeddings.Row(static_cast<size_t>(direct));
+    out.embedding.assign(row, row + store_->dim());
+    out.chain = {target_view};
+    return out;
+  }
+
+  // Multi-source BFS over the directed translator graph: start from every
+  // view containing the node (ascending index), expand translators in store
+  // order. First arrival at the target is a shortest chain, and the fixed
+  // expansion order makes the choice deterministic.
+  constexpr int32_t kUnvisited = -2;
+  constexpr int32_t kSource = -1;
+  std::vector<int32_t> parent(views.size(), kUnvisited);
+  std::deque<uint32_t> frontier;
+  for (uint32_t v = 0; v < views.size(); ++v) {
+    if (views[v].LocalOf(node) >= 0) {
+      parent[v] = kSource;
+      frontier.push_back(v);
+    }
+  }
+  if (frontier.empty()) {
+    return Status::NotFound(StrFormat(
+        "node '%s' has no embedding in any view",
+        store_->node_name(node).c_str()));
+  }
+  bool reached = false;
+  while (!frontier.empty() && !reached) {
+    const uint32_t u = frontier.front();
+    frontier.pop_front();
+    for (const ServingTranslator& t : store_->translators()) {
+      if (t.from_view != u || parent[t.to_view] != kUnvisited) continue;
+      parent[t.to_view] = static_cast<int32_t>(u);
+      if (t.to_view == target_view) {
+        reached = true;
+        break;
+      }
+      frontier.push_back(t.to_view);
+    }
+  }
+  if (!reached) {
+    return Status::FailedPrecondition(StrFormat(
+        "no translator chain reaches view '%s' from any view containing "
+        "'%s'",
+        tv.name.c_str(), store_->node_name(node).c_str()));
+  }
+
+  out.chain.clear();
+  for (int32_t v = static_cast<int32_t>(target_view); v != kSource;
+       v = parent[v]) {
+    out.chain.push_back(static_cast<uint32_t>(v));
+  }
+  std::reverse(out.chain.begin(), out.chain.end());
+
+  const ServingView& sv = views[out.chain.front()];
+  const int64_t src_local = sv.LocalOf(node);
+  CHECK_GE(src_local, 0);
+  const double* src_row = sv.embeddings.Row(static_cast<size_t>(src_local));
+  out.embedding.assign(src_row, src_row + store_->dim());
+  for (size_t hop = 0; hop + 1 < out.chain.size(); ++hop) {
+    const ServingTranslator* t =
+        store_->FindTranslator(out.chain[hop], out.chain[hop + 1]);
+    CHECK(t != nullptr);  // BFS only walked stored translators
+    out.embedding = ApplyTranslator(*t, out.embedding.data());
+  }
+  out.translated = true;
+  return out;
+}
+
+}  // namespace transn

@@ -1,0 +1,62 @@
+#ifndef TRANSN_SERVE_TRANSLATION_SERVICE_H_
+#define TRANSN_SERVE_TRANSLATION_SERVICE_H_
+
+#include <stdint.h>
+
+#include <vector>
+
+#include "serve/embedding_store.h"
+#include "util/status.h"
+
+namespace transn {
+
+/// A query embedding resolved into a target view's space.
+struct ResolvedEmbedding {
+  std::vector<double> embedding;
+  /// True when the node was absent from the target view and its embedding
+  /// was produced by translation (cross-view cold-start).
+  bool translated = false;
+  /// View indices walked, source first, target last; {target} when direct.
+  std::vector<uint32_t> chain;
+};
+
+/// Cross-view cold-start resolution (the serving-side use of Eq. 1–3): a
+/// query node that is missing from the target view is answered by taking
+/// its embedding from a view that *does* contain it and pushing it through
+/// the stored translator chain into the target view's space.
+///
+/// The chain is the shortest directed translator path (BFS over the
+/// view-pair translator graph) from any view containing the node to the
+/// target; among equal-length paths the one with the smallest view indices
+/// wins, so resolution is deterministic.
+///
+/// Translators are trained on L-row path-matrix windows, not single
+/// vectors. At serving time a single embedding is translated by tiling it
+/// into all L rows, running the translator forward pass, and averaging the
+/// output rows — under tiled input the self-attention stage is exactly the
+/// identity (uniform softmax over identical rows), so this reduces to the
+/// feed-forward stack's mean path response (DESIGN.md §5).
+class TranslationService {
+ public:
+  /// `store` must outlive the service.
+  explicit TranslationService(const EmbeddingStore* store);
+
+  /// Resolves `node`'s embedding in `target_view`'s space. Fails with
+  /// kNotFound when the node is in no view, and with kFailedPrecondition
+  /// when no translator chain reaches the target view.
+  StatusOr<ResolvedEmbedding> Resolve(NodeId node, uint32_t target_view) const;
+
+  /// One translation hop: tiles `embedding` (store dim) into the L×d path
+  /// matrix, applies the translator, returns the row-averaged output.
+  /// Exposed for tests (must match core Translator::Forward on the tiled
+  /// input).
+  std::vector<double> ApplyTranslator(const ServingTranslator& t,
+                                      const double* embedding) const;
+
+ private:
+  const EmbeddingStore* store_;
+};
+
+}  // namespace transn
+
+#endif  // TRANSN_SERVE_TRANSLATION_SERVICE_H_

@@ -1,0 +1,99 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace transn {
+
+namespace {
+
+// Buckets span [kMinSeconds, kMinSeconds * kGrowth^(kNumBuckets-1)]:
+// 100ns .. ~1100s at ~5% relative width.
+constexpr double kMinSeconds = 1e-7;
+constexpr double kGrowth = 1.05;
+constexpr size_t kNumBuckets = 475;
+const double kInvLogGrowth = 1.0 / std::log(kGrowth);
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() : buckets_(kNumBuckets, 0) {}
+
+size_t LatencyHistogram::BucketIndex(double seconds) {
+  if (!(seconds > kMinSeconds)) return 0;  // also catches NaN
+  double idx = std::log(seconds / kMinSeconds) * kInvLogGrowth;
+  return std::min(static_cast<size_t>(idx), kNumBuckets - 1);
+}
+
+double LatencyHistogram::BucketValue(size_t index) {
+  // Geometric midpoint of bucket [g^i, g^{i+1}) * kMinSeconds.
+  return kMinSeconds * std::pow(kGrowth, static_cast<double>(index) + 0.5);
+}
+
+void LatencyHistogram::Record(double seconds) {
+  if (std::isnan(seconds)) return;
+  seconds = std::max(seconds, 0.0);
+  ++buckets_[BucketIndex(seconds)];
+  if (count_ == 0) {
+    min_ = max_ = seconds;
+  } else {
+    min_ = std::min(min_, seconds);
+    max_ = std::max(max_, seconds);
+  }
+  ++count_;
+  sum_ += seconds;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  CHECK_EQ(buckets_.size(), other.buckets_.size());
+  if (other.count_ == 0) return;
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double LatencyHistogram::min() const { return count_ ? min_ : 0.0; }
+double LatencyHistogram::max() const { return count_ ? max_ : 0.0; }
+
+double LatencyHistogram::mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  if (p <= 0.0) return min_;
+  if (p >= 100.0) return max_;
+  // Rank of the requested percentile (1-based, nearest-rank method).
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  rank = std::max<uint64_t>(rank, 1);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      // Clamp to the observed range so tiny counts stay sensible.
+      return std::clamp(BucketValue(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::string LatencyHistogram::Summary() const {
+  return StrFormat(
+      "n=%llu mean=%.3fms p50=%.3fms p95=%.3fms p99=%.3fms max=%.3fms",
+      static_cast<unsigned long long>(count_), mean() * 1e3,
+      Percentile(50) * 1e3, Percentile(95) * 1e3, Percentile(99) * 1e3,
+      max() * 1e3);
+}
+
+}  // namespace transn

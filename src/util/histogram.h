@@ -1,0 +1,56 @@
+#ifndef TRANSN_UTIL_HISTOGRAM_H_
+#define TRANSN_UTIL_HISTOGRAM_H_
+
+#include <stddef.h>
+#include <stdint.h>
+
+#include <string>
+#include <vector>
+
+namespace transn {
+
+/// Log-bucketed latency histogram. Samples are recorded in seconds into
+/// geometrically spaced buckets (growth factor ~1.05, i.e. ~5% relative
+/// resolution) covering [100ns, ~1000s]; values outside the range clamp to
+/// the edge buckets. Exact min/max/sum are tracked alongside, so mean() is
+/// exact while Percentile() has bucket resolution.
+///
+/// Not thread-safe: the serving layer keeps one histogram per worker and
+/// Merge()s them after a batch.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void Record(double seconds);
+
+  /// Folds `other`'s samples into this histogram.
+  void Merge(const LatencyHistogram& other);
+
+  uint64_t count() const { return count_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+
+  /// The p-th percentile (p in [0, 100]) as the geometric midpoint of the
+  /// bucket containing that rank; 0 when empty. Percentile(0) returns the
+  /// exact min and Percentile(100) the exact max.
+  double Percentile(double p) const;
+
+  /// "n=… mean=… p50=… p95=… p99=… max=…" with millisecond units; the
+  /// serving CLI and benches print this at exit.
+  std::string Summary() const;
+
+ private:
+  static size_t BucketIndex(double seconds);
+  static double BucketValue(size_t index);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace transn
+
+#endif  // TRANSN_UTIL_HISTOGRAM_H_

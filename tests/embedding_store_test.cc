@@ -1,0 +1,180 @@
+#include "serve/embedding_store.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+#include "core/model_io.h"
+#include "core/transn.h"
+#include "serve/serving_format.h"
+#include "serve_test_util.h"
+#include "test_graphs.h"
+
+namespace transn {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(EmbeddingStoreTest, RoundTripIsBitExact) {
+  HeteroGraph g = TwoCommunityNetwork(12, 4);
+  TransNModel model(&g, SmallServeConfig());
+  model.Fit();
+  EmbeddingStore store = ExportAndLoad(model, "store_roundtrip.bin");
+
+  EXPECT_EQ(store.dim(), SmallServeConfig().dim);
+  EXPECT_EQ(store.seq_len(), SmallServeConfig().translator_seq_len);
+  ASSERT_EQ(store.num_nodes(), g.num_nodes());
+  ASSERT_EQ(store.views().size(), model.views().size());
+
+  // Node-name index round-trips and the hash lookup inverts it.
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    EXPECT_EQ(store.node_name(n), g.node_name(n));
+    EXPECT_EQ(store.FindNode(g.node_name(n)), n);
+  }
+  EXPECT_EQ(store.FindNode("no-such-node"), kInvalidNode);
+
+  // Final embeddings are bit-exact (binary f64, not lossy text).
+  Matrix final_emb = model.FinalEmbeddings();
+  ASSERT_TRUE(store.final_embeddings().SameShape(final_emb));
+  for (size_t i = 0; i < final_emb.size(); ++i) {
+    EXPECT_EQ(store.final_embeddings().data()[i], final_emb.data()[i]);
+  }
+
+  // Per-view tables and local→global maps are bit-exact.
+  for (size_t v = 0; v < model.views().size(); ++v) {
+    const ServingView& sv = store.view(v);
+    const View& mv = model.views()[v];
+    EXPECT_EQ(sv.name, g.edge_type_name(mv.edge_type));
+    EXPECT_EQ(sv.is_heter, mv.is_heter);
+    const SingleViewTrainer* trainer = model.single_view_trainer_or_null(v);
+    ASSERT_NE(trainer, nullptr);
+    ASSERT_EQ(sv.global_ids.size(), mv.graph.num_nodes());
+    for (size_t l = 0; l < sv.global_ids.size(); ++l) {
+      EXPECT_EQ(sv.global_ids[l], mv.graph.ToGlobal(
+                                      static_cast<ViewGraph::LocalId>(l)));
+      EXPECT_EQ(sv.LocalOf(sv.global_ids[l]), static_cast<int64_t>(l));
+    }
+    const Matrix& values = trainer->embeddings().values();
+    ASSERT_TRUE(sv.embeddings.SameShape(values));
+    for (size_t i = 0; i < values.size(); ++i) {
+      EXPECT_EQ(sv.embeddings.data()[i], values.data()[i]);
+    }
+  }
+
+  // Both translator directions of the one view-pair are stored bit-exact.
+  ASSERT_EQ(store.translators().size(), 2 * model.num_cross_trainers());
+  const CrossViewTrainer& cross = model.cross_view_trainer(0);
+  const ServingTranslator* t_ij = store.FindTranslator(
+      static_cast<uint32_t>(cross.pair().view_i),
+      static_cast<uint32_t>(cross.pair().view_j));
+  ASSERT_NE(t_ij, nullptr);
+  ASSERT_EQ(t_ij->weights.size(), cross.translator_ij().num_encoders());
+  for (size_t e = 0; e < t_ij->weights.size(); ++e) {
+    const Matrix& w = cross.translator_ij().weight(e).value;
+    ASSERT_TRUE(t_ij->weights[e].SameShape(w));
+    for (size_t i = 0; i < w.size(); ++i) {
+      EXPECT_EQ(t_ij->weights[e].data()[i], w.data()[i]);
+    }
+    const Matrix& b = cross.translator_ij().bias(e).value;
+    for (size_t i = 0; i < b.size(); ++i) {
+      EXPECT_EQ(t_ij->biases[e].data()[i], b.data()[i]);
+    }
+  }
+  EXPECT_EQ(store.FindTranslator(99, 0), nullptr);
+}
+
+TEST(EmbeddingStoreTest, FindViewByName) {
+  HeteroGraph g = TwoCommunityNetwork(10, 3);
+  TransNModel model(&g, SmallServeConfig());
+  EmbeddingStore store = ExportAndLoad(model, "store_names.bin");
+  EXPECT_EQ(store.FindViewByName("friendship"), 0);
+  EXPECT_EQ(store.FindViewByName("tagging"), 1);
+  EXPECT_EQ(store.FindViewByName("bogus"), -1);
+}
+
+TEST(EmbeddingStoreTest, MissingFileIsIoError) {
+  EXPECT_EQ(EmbeddingStore::Load("/no/such/model.bin").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(EmbeddingStoreTest, RejectsWrongMagic) {
+  std::string path = TempPath("store_magic.bin");
+  std::ofstream(path, std::ios::binary) << "definitely not a model file";
+  auto store = EmbeddingStore::Load(path);
+  EXPECT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(EmbeddingStoreTest, RejectsCorruptedAndTruncatedFiles) {
+  HeteroGraph g = TwoCommunityNetwork(10, 3);
+  TransNModel model(&g, SmallServeConfig());
+  std::string path = TempPath("store_corrupt.bin");
+  ASSERT_TRUE(ExportServingModel(model, path).ok());
+
+  std::string blob;
+  {
+    std::ifstream in(path, std::ios::binary);
+    blob.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(blob.size(), 64u);
+
+  // A single flipped payload byte trips the FNV-1a trailer.
+  std::string flipped = blob;
+  flipped[blob.size() / 2] = static_cast<char>(flipped[blob.size() / 2] ^ 0x5a);
+  std::ofstream(path, std::ios::binary).write(flipped.data(),
+                                              flipped.size());
+  auto corrupt = EmbeddingStore::Load(path);
+  EXPECT_FALSE(corrupt.ok());
+  EXPECT_NE(corrupt.status().message().find("checksum"), std::string::npos);
+
+  // Truncation at any of a few prefixes is a clean error, never a crash.
+  for (size_t keep : {9ul, 40ul, blob.size() / 2, blob.size() - 1}) {
+    std::ofstream(path, std::ios::binary).write(blob.data(), keep);
+    EXPECT_FALSE(EmbeddingStore::Load(path).ok()) << "prefix " << keep;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EmbeddingStoreTest, ChecksummedEmptyModelLoads) {
+  // A header-only model (no nodes/views/translators) is valid.
+  std::string buf;
+  buf.append(kServingMagic, sizeof(kServingMagic));
+  AppendU32(&buf, kServingFormatVersion);
+  AppendU32(&buf, 4);  // dim
+  AppendU32(&buf, 0);  // seq_len
+  AppendU32(&buf, 0);  // nodes
+  AppendU32(&buf, 0);  // views
+  AppendU32(&buf, 0);  // translators
+  AppendU8(&buf, 0);   // no final embeddings
+  AppendU64(&buf, ServingChecksum(buf.data(), buf.size()));
+  std::string path = TempPath("store_empty.bin");
+  std::ofstream(path, std::ios::binary).write(buf.data(), buf.size());
+  auto store = EmbeddingStore::Load(path);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ(store->num_nodes(), 0u);
+  EXPECT_EQ(store->dim(), 4u);
+  std::remove(path.c_str());
+}
+
+TEST(EmbeddingStoreTest, RejectsUnsupportedVersion) {
+  std::string buf;
+  buf.append(kServingMagic, sizeof(kServingMagic));
+  AppendU32(&buf, kServingFormatVersion + 7);
+  for (int i = 0; i < 5; ++i) AppendU32(&buf, 0);
+  AppendU8(&buf, 0);
+  AppendU64(&buf, ServingChecksum(buf.data(), buf.size()));
+  std::string path = TempPath("store_version.bin");
+  std::ofstream(path, std::ios::binary).write(buf.data(), buf.size());
+  auto store = EmbeddingStore::Load(path);
+  EXPECT_FALSE(store.ok());
+  EXPECT_NE(store.status().message().find("version"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace transn

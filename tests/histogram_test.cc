@@ -1,0 +1,101 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace transn {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogram) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST(LatencyHistogramTest, SingleSample) {
+  LatencyHistogram h;
+  h.Record(0.010);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.010);
+  EXPECT_DOUBLE_EQ(h.min(), 0.010);
+  EXPECT_DOUBLE_EQ(h.max(), 0.010);
+  // Bucketed percentile carries ~5% relative resolution.
+  EXPECT_NEAR(h.Percentile(50), 0.010, 0.010 * 0.06);
+}
+
+TEST(LatencyHistogramTest, PercentilesOfUniformRamp) {
+  LatencyHistogram h;
+  // 1ms .. 1000ms in 1ms steps.
+  for (int i = 1; i <= 1000; ++i) h.Record(i * 1e-3);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_NEAR(h.Percentile(50), 0.500, 0.500 * 0.07);
+  EXPECT_NEAR(h.Percentile(95), 0.950, 0.950 * 0.07);
+  EXPECT_NEAR(h.Percentile(99), 0.990, 0.990 * 0.07);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 0.001);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 1.000);
+  EXPECT_NEAR(h.mean(), 0.5005, 1e-9);
+}
+
+TEST(LatencyHistogramTest, PercentilesAreMonotone) {
+  LatencyHistogram h;
+  for (int i = 0; i < 500; ++i) h.Record(1e-5 * (1 + i % 37));
+  double prev = 0.0;
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9}) {
+    const double v = h.Percentile(p);
+    EXPECT_GE(v, prev) << "p" << p;
+    prev = v;
+  }
+}
+
+TEST(LatencyHistogramTest, MergeMatchesCombinedRecording) {
+  LatencyHistogram a, b, combined;
+  for (int i = 1; i <= 100; ++i) {
+    const double v = i * 1e-4;
+    (i % 2 == 0 ? a : b).Record(v);
+    combined.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.mean(), combined.mean());
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+  for (double p : {50.0, 95.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(a.Percentile(p), combined.Percentile(p));
+  }
+}
+
+TEST(LatencyHistogramTest, MergeIntoEmpty) {
+  LatencyHistogram a, b;
+  b.Record(0.002);
+  b.Record(0.004);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.min(), 0.002);
+  EXPECT_DOUBLE_EQ(a.max(), 0.004);
+}
+
+TEST(LatencyHistogramTest, OutOfRangeSamplesClampToEdgeBuckets) {
+  LatencyHistogram h;
+  h.Record(0.0);      // below bucket range
+  h.Record(1e-12);    // far below
+  h.Record(5000.0);   // above bucket range
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5000.0);
+  EXPECT_LE(h.Percentile(1), h.Percentile(99));
+}
+
+TEST(LatencyHistogramTest, SummaryMentionsPercentiles) {
+  LatencyHistogram h;
+  h.Record(0.001);
+  const std::string s = h.Summary();
+  EXPECT_NE(s.find("p50="), std::string::npos);
+  EXPECT_NE(s.find("p95="), std::string::npos);
+  EXPECT_NE(s.find("p99="), std::string::npos);
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace transn

@@ -1,0 +1,224 @@
+#include "serve/knn_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "core/transn.h"
+#include "data/hsbm.h"
+#include "nn/init.h"
+#include "util/rng.h"
+
+namespace transn {
+namespace {
+
+/// O(n·d) reference: score every row, full sort by (score desc, row asc).
+std::vector<KnnResult> NaiveTopK(const Matrix& base, const double* query,
+                                 size_t k, KnnMetric metric) {
+  std::vector<KnnResult> all(base.rows());
+  double qq = 0.0;
+  for (size_t c = 0; c < base.cols(); ++c) qq += query[c] * query[c];
+  const double q_norm = std::sqrt(qq);
+  for (size_t r = 0; r < base.rows(); ++r) {
+    double s = 0.0;
+    for (size_t c = 0; c < base.cols(); ++c) s += base(r, c) * query[c];
+    if (metric == KnnMetric::kCosine) {
+      double rr = 0.0;
+      for (size_t c = 0; c < base.cols(); ++c) rr += base(r, c) * base(r, c);
+      const double r_norm = std::sqrt(rr);
+      s = (r_norm > 0.0 && q_norm > 0.0) ? s / (r_norm * q_norm) : 0.0;
+    }
+    all[r] = {static_cast<uint32_t>(r), s};
+  }
+  std::sort(all.begin(), all.end(), [](const KnnResult& a, const KnnResult& b) {
+    return a.score != b.score ? a.score > b.score : a.row < b.row;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+/// Embeddings with HSBM community structure: a small heterogeneous block
+/// model trained for one TransN iteration (the satellite's "HSBM
+/// embeddings" workload for the recall bound).
+Matrix HsbmEmbeddings(size_t* out_rows) {
+  HsbmSpec spec;
+  spec.node_types = {{"user", 220}, {"item", 120}};
+  spec.edge_types = {
+      {.name = "UU", .type_a = 0, .type_b = 0, .num_edges = 900},
+      {.name = "UI", .type_a = 0, .type_b = 1, .num_edges = 700},
+  };
+  spec.num_communities = 4;
+  spec.seed = 11;
+  HeteroGraph g = GenerateHsbm(spec);
+
+  TransNConfig cfg;
+  cfg.dim = 16;
+  cfg.iterations = 1;
+  cfg.walk.walk_length = 10;
+  cfg.walk.min_walks_per_node = 2;
+  cfg.walk.max_walks_per_node = 4;
+  cfg.translator_encoders = 2;
+  cfg.translator_seq_len = 4;
+  cfg.cross_paths_per_pair = 20;
+  cfg.seed = 3;
+  TransNModel model(&g, cfg);
+  model.Fit();
+  *out_rows = g.num_nodes();
+  return model.FinalEmbeddings();
+}
+
+TEST(KnnIndexTest, ExactScanMatchesNaiveReference) {
+  Rng rng(7);
+  Matrix base = GaussianInit(257, 24, 1.0, rng);
+  for (KnnMetric metric : {KnnMetric::kCosine, KnnMetric::kDot}) {
+    KnnIndex index(&base, {.metric = metric});
+    for (int q = 0; q < 20; ++q) {
+      Matrix query = GaussianInit(1, 24, 1.0, rng);
+      for (size_t k : {1ul, 5ul, 17ul}) {
+        std::vector<KnnResult> got = index.Search(query.Row(0), k);
+        std::vector<KnnResult> want = NaiveTopK(base, query.Row(0), k, metric);
+        ASSERT_EQ(got.size(), want.size());
+        for (size_t i = 0; i < got.size(); ++i) {
+          EXPECT_EQ(got[i].row, want[i].row) << "k=" << k << " i=" << i;
+          EXPECT_NEAR(got[i].score, want[i].score, 1e-12);
+        }
+      }
+    }
+  }
+}
+
+TEST(KnnIndexTest, DuplicateRowsBreakTiesByRowId) {
+  Matrix base(6, 3);
+  for (size_t r = 0; r < 6; ++r) {
+    base(r, 0) = 1.0;  // rows 0..5 identical: scores all tie
+  }
+  KnnIndex index(&base, {.metric = KnnMetric::kCosine});
+  const double query[3] = {1.0, 0.0, 0.0};
+  std::vector<KnnResult> got = index.Search(query, 3);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].row, 0u);
+  EXPECT_EQ(got[1].row, 1u);
+  EXPECT_EQ(got[2].row, 2u);
+}
+
+TEST(KnnIndexTest, KLargerThanRowsReturnsAllRows) {
+  Rng rng(3);
+  Matrix base = GaussianInit(5, 4, 1.0, rng);
+  KnnIndex index(&base, {});
+  Matrix query = GaussianInit(1, 4, 1.0, rng);
+  EXPECT_EQ(index.Search(query.Row(0), 50).size(), 5u);
+  EXPECT_TRUE(index.Search(query.Row(0), 0).empty());
+}
+
+TEST(KnnIndexTest, ZeroQueryIsDeterministicUnderCosine) {
+  Rng rng(9);
+  Matrix base = GaussianInit(40, 8, 1.0, rng);
+  KnnIndex index(&base, {.metric = KnnMetric::kCosine});
+  std::vector<double> zeros(8, 0.0);
+  std::vector<KnnResult> got = index.Search(zeros.data(), 4);
+  ASSERT_EQ(got.size(), 4u);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].row, i);  // all scores 0 → ascending row ids
+    EXPECT_EQ(got[i].score, 0.0);
+  }
+}
+
+TEST(KnnIndexTest, ShardedScanIdenticalToSequential) {
+  Rng rng(13);
+  // > kMinRowsPerShard per shard so the pool path actually engages.
+  Matrix base = GaussianInit(9000, 12, 1.0, rng);
+  KnnIndex index(&base, {.metric = KnnMetric::kCosine});
+  ThreadPool pool(4);
+  for (int q = 0; q < 10; ++q) {
+    Matrix query = GaussianInit(1, 12, 1.0, rng);
+    std::vector<KnnResult> seq = index.Search(query.Row(0), 10, nullptr);
+    std::vector<KnnResult> par = index.Search(query.Row(0), 10, &pool);
+    ASSERT_EQ(seq.size(), par.size());
+    for (size_t i = 0; i < seq.size(); ++i) {
+      EXPECT_EQ(seq[i].row, par[i].row);
+      EXPECT_EQ(seq[i].score, par[i].score);  // bit-identical
+    }
+  }
+}
+
+TEST(KnnIndexTest, QuantizedRecallOnHsbmEmbeddings) {
+  size_t rows = 0;
+  Matrix base = HsbmEmbeddings(&rows);
+  ASSERT_GT(rows, 200u);
+
+  KnnIndexOptions opts;
+  opts.metric = KnnMetric::kCosine;
+  opts.num_centroids = 16;
+  opts.seed = 21;
+  KnnIndex index(&base, opts);
+  ASSERT_EQ(index.num_centroids(), 16u);
+
+  const size_t k = 10;
+  const size_t nprobe = 8;
+  size_t hit = 0, total = 0;
+  for (size_t q = 0; q < rows; q += 7) {  // ~50 spread-out query nodes
+    std::vector<KnnResult> exact = index.Search(base.Row(q), k);
+    std::vector<KnnResult> approx = index.SearchQuantized(base.Row(q), k,
+                                                          nprobe);
+    std::set<uint32_t> truth;
+    for (const KnnResult& r : exact) truth.insert(r.row);
+    for (const KnnResult& r : approx) hit += truth.count(r.row);
+    total += exact.size();
+  }
+  const double recall = static_cast<double>(hit) / static_cast<double>(total);
+  EXPECT_GE(recall, 0.95) << "top-" << k << " recall over " << total / k
+                          << " queries";
+}
+
+TEST(KnnIndexTest, QuantizedWithAllCellsProbedEqualsExact) {
+  Rng rng(31);
+  Matrix base = GaussianInit(300, 10, 1.0, rng);
+  KnnIndexOptions opts;
+  opts.num_centroids = 10;
+  KnnIndex index(&base, opts);
+  for (int q = 0; q < 10; ++q) {
+    Matrix query = GaussianInit(1, 10, 1.0, rng);
+    std::vector<KnnResult> exact = index.Search(query.Row(0), 7);
+    std::vector<KnnResult> all_cells =
+        index.SearchQuantized(query.Row(0), 7, /*nprobe=*/0);
+    ASSERT_EQ(exact.size(), all_cells.size());
+    for (size_t i = 0; i < exact.size(); ++i) {
+      EXPECT_EQ(exact[i].row, all_cells[i].row);
+      EXPECT_EQ(exact[i].score, all_cells[i].score);
+    }
+  }
+}
+
+TEST(KnnIndexTest, QuantizerCellsPartitionTheRows) {
+  Rng rng(17);
+  Matrix base = GaussianInit(200, 6, 1.0, rng);
+  KnnIndexOptions opts;
+  opts.num_centroids = 8;
+  KnnIndex index(&base, opts);
+  std::set<uint32_t> seen;
+  for (const auto& cell : index.cells()) {
+    for (uint32_t r : cell) {
+      EXPECT_TRUE(seen.insert(r).second) << "row in two cells";
+    }
+  }
+  EXPECT_EQ(seen.size(), base.rows());
+}
+
+TEST(KnnIndexTest, QuantizerBuildDeterministicAcrossPools) {
+  Rng rng(23);
+  Matrix base = GaussianInit(5000, 8, 1.0, rng);
+  KnnIndexOptions opts;
+  opts.num_centroids = 12;
+  ThreadPool pool(4);
+  KnnIndex serial(&base, opts, nullptr);
+  KnnIndex parallel(&base, opts, &pool);
+  ASSERT_EQ(serial.cells().size(), parallel.cells().size());
+  for (size_t c = 0; c < serial.cells().size(); ++c) {
+    EXPECT_EQ(serial.cells()[c], parallel.cells()[c]);
+  }
+}
+
+}  // namespace
+}  // namespace transn

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 
 #include <gtest/gtest.h>
 #include "core/transn.h"
@@ -16,7 +17,7 @@ std::string TempPath(const char* name) {
   return std::string(::testing::TempDir()) + "/" + name;
 }
 
-TEST(ModelIoTest, RoundTrip) {
+TEST(ModelIoTest, RoundTripIsBitExact) {
   HeteroGraph g = Fig2aAcademicNetwork();
   Rng rng(1);
   Matrix emb = GaussianInit(g.num_nodes(), 8, 1.0, rng);
@@ -28,8 +29,32 @@ TEST(ModelIoTest, RoundTrip) {
   ASSERT_EQ(loaded->embeddings.rows(), g.num_nodes());
   ASSERT_EQ(loaded->embeddings.cols(), 8u);
   EXPECT_EQ(loaded->names[0], "A1");
+  // max_digits10 text output round-trips every double exactly.
   for (size_t i = 0; i < emb.size(); ++i) {
-    EXPECT_NEAR(loaded->embeddings.data()[i], emb.data()[i], 1e-7);
+    EXPECT_EQ(loaded->embeddings.data()[i], emb.data()[i]) << "index " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, RoundTripPreservesExtremeValues) {
+  HeteroGraphBuilder b;
+  NodeTypeId t = b.AddNodeType("T");
+  b.AddNode(t, "x");
+  b.AddNode(t, "y");
+  HeteroGraph g = b.Build();
+  Matrix emb(2, 3);
+  emb(0, 0) = 1.0 / 3.0;                                   // repeating binary
+  emb(0, 1) = std::numeric_limits<double>::min();          // smallest normal
+  emb(0, 2) = -std::numeric_limits<double>::max();
+  emb(1, 0) = 0.1 + 0.2;                                   // 0.30000000000000004
+  emb(1, 1) = -0.0;
+  emb(1, 2) = std::numeric_limits<double>::epsilon();
+  std::string path = TempPath("emb_extreme.tsv");
+  ASSERT_TRUE(SaveEmbeddings(g, emb, path).ok());
+  auto loaded = LoadEmbeddings(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (size_t i = 0; i < emb.size(); ++i) {
+    EXPECT_EQ(loaded->embeddings.data()[i], emb.data()[i]) << "index " << i;
   }
   std::remove(path.c_str());
 }
@@ -57,6 +82,57 @@ TEST(ModelIoTest, MalformedFilesRejected) {
   EXPECT_FALSE(LoadEmbeddings(path).ok());
   write("1\t2\nn0\t1\tx\n");  // bad value
   EXPECT_FALSE(LoadEmbeddings(path).ok());
+  write("1\t2\nn0\t1\t2\ntrailing junk\n");  // extra non-blank data
+  EXPECT_FALSE(LoadEmbeddings(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, AbsurdHeaderRejectedWithoutAllocating) {
+  // A tiny file claiming billions of rows must fail cleanly (no bad_alloc):
+  // the header is checked against what the file could possibly hold.
+  std::string path = TempPath("huge_header.tsv");
+  {
+    std::ofstream out(path);
+    out << "4000000000\t4000000000\nn0\t1\t2\n";
+  }
+  auto loaded = LoadEmbeddings(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, ToleratesCrlfAndTrailingWhitespace) {
+  std::string path = TempPath("crlf_emb.tsv");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "2\t3\r\n"
+        << "n0\t1.5\t-2.25\t0.125\t\r\n"   // CRLF + trailing tab
+        << "n1\t0.5\t3\t-1 \r\n"           // trailing space
+        << "\r\n";                         // blank trailing line
+  }
+  auto loaded = LoadEmbeddings(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->embeddings.rows(), 2u);
+  ASSERT_EQ(loaded->embeddings.cols(), 3u);
+  EXPECT_EQ(loaded->names[0], "n0");
+  EXPECT_EQ(loaded->names[1], "n1");
+  EXPECT_EQ(loaded->embeddings(0, 0), 1.5);
+  EXPECT_EQ(loaded->embeddings(0, 1), -2.25);
+  EXPECT_EQ(loaded->embeddings(0, 2), 0.125);
+  EXPECT_EQ(loaded->embeddings(1, 2), -1.0);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, ShortRowReportsRowNumber) {
+  std::string path = TempPath("short_row.tsv");
+  {
+    std::ofstream out(path);
+    out << "2\t3\nn0\t1\t2\t3\nn1\t1\t2\n";
+  }
+  auto loaded = LoadEmbeddings(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("row 1"), std::string::npos)
+      << loaded.status().message();
   std::remove(path.c_str());
 }
 

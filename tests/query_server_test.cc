@@ -1,0 +1,147 @@
+#include "serve/query_server.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "core/transn.h"
+#include "serve_test_util.h"
+#include "test_graphs.h"
+
+namespace transn {
+namespace {
+
+class QueryServerTest : public ::testing::Test {
+ protected:
+  QueryServerTest() : graph_(TwoCommunityNetwork(12, 4)) {
+    TransNModel model(&graph_, SmallServeConfig());
+    model.Fit();
+    store_ = std::make_unique<EmbeddingStore>(
+        ExportAndLoad(model, "qs_model.bin"));
+  }
+
+  /// Every node's name (unnamed nodes serialize as "n<id>").
+  std::vector<std::string> AllNames() const {
+    std::vector<std::string> names;
+    for (NodeId n = 0; n < store_->num_nodes(); ++n) {
+      names.push_back(store_->node_name(n));
+    }
+    return names;
+  }
+
+  HeteroGraph graph_;
+  std::unique_ptr<EmbeddingStore> store_;
+};
+
+TEST_F(QueryServerTest, BatchIsIdenticalSingleVsMultiThreaded) {
+  // friendship view as target: persons resolve directly, tags go through
+  // the cold-start translation path, and one name is unknown — all three
+  // kinds must come back byte-identical for any thread count.
+  QueryServerOptions opts;
+  opts.target_view = 0;
+  opts.k = 5;
+  std::vector<std::string> names = AllNames();
+  names.push_back("no-such-node");
+
+  opts.num_threads = 1;
+  QueryServer serial(store_.get(), opts);
+  opts.num_threads = 4;
+  QueryServer threaded(store_.get(), opts);
+
+  std::vector<QueryResponse> a = serial.HandleBatch(names);
+  std::vector<QueryResponse> b = threaded.HandleBatch(names);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].status.code(), b[i].status.code()) << names[i];
+    EXPECT_EQ(a[i].node, b[i].node);
+    EXPECT_EQ(a[i].translated, b[i].translated);
+    EXPECT_EQ(a[i].chain, b[i].chain);
+    ASSERT_EQ(a[i].neighbors.size(), b[i].neighbors.size()) << names[i];
+    for (size_t j = 0; j < a[i].neighbors.size(); ++j) {
+      EXPECT_EQ(a[i].neighbors[j].node, b[i].neighbors[j].node);
+      EXPECT_EQ(a[i].neighbors[j].score, b[i].neighbors[j].score);
+    }
+  }
+  // Both servers recorded one latency sample per request.
+  EXPECT_EQ(serial.latency().count(), names.size());
+  EXPECT_EQ(threaded.latency().count(), names.size());
+}
+
+TEST_F(QueryServerTest, ColdStartQueryIsTranslatedIntoTargetView) {
+  QueryServerOptions opts;
+  opts.target_view = 0;  // friendship: persons only
+  opts.k = 4;
+  QueryServer server(store_.get(), opts);
+
+  const NodeId tag = static_cast<NodeId>(2 * 12);  // first tag node
+  ASSERT_LT(store_->view(0).LocalOf(tag), 0);
+  QueryResponse resp = server.Handle(store_->node_name(tag));
+  ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+  EXPECT_EQ(resp.node, tag);
+  EXPECT_TRUE(resp.translated);
+  EXPECT_EQ(resp.chain, (std::vector<uint32_t>{1, 0}));
+  ASSERT_EQ(resp.neighbors.size(), 4u);
+  for (const ScoredNode& n : resp.neighbors) {
+    EXPECT_GE(store_->view(0).LocalOf(n.node), 0)
+        << "neighbor outside target view";
+  }
+}
+
+TEST_F(QueryServerTest, ExcludeSelfDropsTheQueryNode) {
+  QueryServerOptions opts;
+  opts.k = 3;
+  opts.exclude_self = true;
+  QueryServer with(store_.get(), opts);
+  opts.exclude_self = false;
+  QueryServer without(store_.get(), opts);
+
+  const std::string name = store_->node_name(0);
+  QueryResponse excl = with.Handle(name);
+  ASSERT_TRUE(excl.status.ok());
+  ASSERT_EQ(excl.neighbors.size(), 3u);
+  for (const ScoredNode& n : excl.neighbors) EXPECT_NE(n.node, NodeId{0});
+
+  QueryResponse incl = without.Handle(name);
+  ASSERT_TRUE(incl.status.ok());
+  ASSERT_EQ(incl.neighbors.size(), 3u);
+  EXPECT_EQ(incl.neighbors[0].node, NodeId{0});  // cosine self-match first
+}
+
+TEST_F(QueryServerTest, WarmupIsNotRecorded) {
+  QueryServer server(store_.get(), {});
+  server.Warmup(5);
+  EXPECT_EQ(server.latency().count(), 0u);
+  EXPECT_EQ(server.qps(), 0.0);
+  server.Handle(store_->node_name(1));
+  EXPECT_EQ(server.latency().count(), 1u);
+  EXPECT_GT(server.qps(), 0.0);
+}
+
+TEST_F(QueryServerTest, UnknownNodeIsPerRequestNotFound) {
+  QueryServer server(store_.get(), {});
+  QueryResponse resp = server.Handle("definitely-missing");
+  EXPECT_EQ(resp.status.code(), StatusCode::kNotFound);
+  EXPECT_TRUE(resp.neighbors.empty());
+  // Failures still count toward the latency histogram.
+  EXPECT_EQ(server.latency().count(), 1u);
+}
+
+TEST_F(QueryServerTest, QuantizedModeServesTopK) {
+  QueryServerOptions opts;
+  opts.quantized = true;  // default centroids = sqrt(rows), nprobe derived
+  opts.k = 5;
+  QueryServer server(store_.get(), opts);
+  EXPECT_GT(server.index().num_centroids(), 0u);
+  EXPECT_GT(server.options().nprobe, 0u);
+
+  QueryResponse resp = server.Handle(store_->node_name(2));
+  ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+  EXPECT_EQ(resp.neighbors.size(), 5u);
+  // Scores come back in the scan's total order.
+  for (size_t j = 1; j < resp.neighbors.size(); ++j) {
+    EXPECT_GE(resp.neighbors[j - 1].score, resp.neighbors[j].score);
+  }
+}
+
+}  // namespace
+}  // namespace transn

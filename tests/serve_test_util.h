@@ -1,0 +1,45 @@
+#ifndef TRANSN_TESTS_SERVE_TEST_UTIL_H_
+#define TRANSN_TESTS_SERVE_TEST_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+#include "core/model_io.h"
+#include "core/transn.h"
+#include "serve/embedding_store.h"
+
+namespace transn {
+
+/// Small, fast TransN config shared by the serving tests: enough structure
+/// for views, translators, and embeddings to exist without slow training.
+inline TransNConfig SmallServeConfig() {
+  TransNConfig cfg;
+  cfg.dim = 12;
+  cfg.iterations = 1;
+  cfg.walk.walk_length = 10;
+  cfg.walk.min_walks_per_node = 2;
+  cfg.walk.max_walks_per_node = 3;
+  cfg.translator_encoders = 2;
+  cfg.translator_seq_len = 4;
+  cfg.cross_paths_per_pair = 10;
+  cfg.seed = 5;
+  return cfg;
+}
+
+/// Exports `model` to a temp file and loads it back as an EmbeddingStore.
+/// The file is removed before returning.
+inline EmbeddingStore ExportAndLoad(const TransNModel& model,
+                                    const char* filename) {
+  std::string path = std::string(::testing::TempDir()) + "/" + filename;
+  Status s = ExportServingModel(model, path);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  auto store = EmbeddingStore::Load(path);
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  std::remove(path.c_str());
+  return std::move(store).value();
+}
+
+}  // namespace transn
+
+#endif  // TRANSN_TESTS_SERVE_TEST_UTIL_H_

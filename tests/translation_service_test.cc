@@ -1,0 +1,210 @@
+#include "serve/translation_service.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "core/transn.h"
+#include "core/translator.h"
+#include "serve_test_util.h"
+#include "test_graphs.h"
+
+namespace transn {
+namespace {
+
+/// Row-average of the core translator's forward pass on the embedding tiled
+/// into all L rows — the reference the serving-side ApplyTranslator must
+/// reproduce.
+std::vector<double> TiledForwardReference(const Translator& t,
+                                          const std::vector<double>& emb) {
+  Matrix tiled(t.seq_len(), t.dim());
+  for (size_t r = 0; r < t.seq_len(); ++r) {
+    for (size_t c = 0; c < t.dim(); ++c) tiled(r, c) = emb[c];
+  }
+  Matrix out = t.Forward(tiled);
+  std::vector<double> avg(t.dim(), 0.0);
+  for (size_t r = 0; r < out.rows(); ++r) {
+    for (size_t c = 0; c < out.cols(); ++c) avg[c] += out(r, c);
+  }
+  for (double& v : avg) v /= static_cast<double>(out.rows());
+  return avg;
+}
+
+TEST(TranslationServiceTest, DirectHitReturnsViewRowUntranslated) {
+  HeteroGraph g = TwoCommunityNetwork(10, 3);
+  TransNModel model(&g, SmallServeConfig());
+  model.Fit();
+  EmbeddingStore store = ExportAndLoad(model, "ts_direct.bin");
+  TranslationService service(&store);
+
+  const NodeId person = 0;  // every person has friendship edges
+  auto resolved = service.Resolve(person, /*target_view=*/0);
+  ASSERT_TRUE(resolved.ok()) << resolved.status().ToString();
+  EXPECT_FALSE(resolved->translated);
+  EXPECT_EQ(resolved->chain, std::vector<uint32_t>{0});
+  std::vector<double> want = model.ViewEmbedding(0, person);
+  ASSERT_EQ(resolved->embedding.size(), want.size());
+  for (size_t c = 0; c < want.size(); ++c) {
+    EXPECT_EQ(resolved->embedding[c], want[c]);  // stored binary, bit-exact
+  }
+}
+
+TEST(TranslationServiceTest, ColdStartMatchesCoreTranslatorForward) {
+  HeteroGraph g = TwoCommunityNetwork(10, 3);
+  TransNModel model(&g, SmallServeConfig());
+  model.Fit();
+  EmbeddingStore store = ExportAndLoad(model, "ts_coldstart.bin");
+  TranslationService service(&store);
+
+  // Tags live only in the tagging view; asking for one in the friendship
+  // view exercises the cold-start path through T_{tagging->friendship}.
+  ASSERT_EQ(store.FindViewByName("friendship"), 0);
+  ASSERT_EQ(store.FindViewByName("tagging"), 1);
+  const NodeId tag = static_cast<NodeId>(2 * 10);  // first tag node
+  ASSERT_EQ(store.view(1).LocalOf(tag) >= 0, true);
+  ASSERT_LT(store.view(0).LocalOf(tag), 0);
+
+  auto resolved = service.Resolve(tag, /*target_view=*/0);
+  ASSERT_TRUE(resolved.ok()) << resolved.status().ToString();
+  EXPECT_TRUE(resolved->translated);
+  EXPECT_EQ(resolved->chain, (std::vector<uint32_t>{1, 0}));
+
+  const CrossViewTrainer& cross = model.cross_view_trainer(0);
+  ASSERT_EQ(cross.pair().view_i, 0u);
+  ASSERT_EQ(cross.pair().view_j, 1u);
+  std::vector<double> want =
+      TiledForwardReference(cross.translator_ji(), model.ViewEmbedding(1, tag));
+  ASSERT_EQ(resolved->embedding.size(), want.size());
+  for (size_t c = 0; c < want.size(); ++c) {
+    EXPECT_NEAR(resolved->embedding[c], want[c], 1e-12) << "col " << c;
+  }
+}
+
+TEST(TranslationServiceTest, ApplyTranslatorMatchesCoreOnArbitraryInput) {
+  HeteroGraph g = TwoCommunityNetwork(8, 7);
+  TransNModel model(&g, SmallServeConfig());
+  model.Fit();
+  EmbeddingStore store = ExportAndLoad(model, "ts_apply.bin");
+  TranslationService service(&store);
+
+  const ServingTranslator* t01 = store.FindTranslator(0, 1);
+  ASSERT_NE(t01, nullptr);
+  std::vector<double> emb(store.dim());
+  for (size_t c = 0; c < emb.size(); ++c) {
+    emb[c] = 0.25 * static_cast<double>(c) - 1.0;  // mixed-sign input
+  }
+  std::vector<double> got = service.ApplyTranslator(*t01, emb.data());
+  std::vector<double> want =
+      TiledForwardReference(model.cross_view_trainer(0).translator_ij(), emb);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t c = 0; c < got.size(); ++c) {
+    EXPECT_NEAR(got[c], want[c], 1e-12);
+  }
+}
+
+TEST(TranslationServiceTest, MultiHopChainAcrossViewPairs) {
+  // Fig. 2(a): U1 exists only in the affiliation view, and no
+  // affiliation<->citation pair exists (no common nodes), so reaching the
+  // citation view requires affiliation -> authorship -> citation.
+  HeteroGraph g = Fig2aAcademicNetwork();
+  TransNConfig cfg = SmallServeConfig();
+  cfg.translator_seq_len = 2;  // tiny views: keep windows samplable
+  TransNModel model(&g, cfg);
+  model.Fit();
+  EmbeddingStore store = ExportAndLoad(model, "ts_multihop.bin");
+  TranslationService service(&store);
+
+  const int authorship = store.FindViewByName("authorship");
+  const int citation = store.FindViewByName("citation");
+  const int affiliation = store.FindViewByName("affiliation");
+  ASSERT_GE(authorship, 0);
+  ASSERT_GE(citation, 0);
+  ASSERT_GE(affiliation, 0);
+  ASSERT_EQ(store.FindTranslator(static_cast<uint32_t>(affiliation),
+                                 static_cast<uint32_t>(citation)),
+            nullptr);
+
+  const NodeId u1 = store.FindNode("U1");
+  ASSERT_NE(u1, kInvalidNode);
+  ASSERT_LT(store.view(citation).LocalOf(u1), 0);
+
+  auto resolved = service.Resolve(u1, static_cast<uint32_t>(citation));
+  ASSERT_TRUE(resolved.ok()) << resolved.status().ToString();
+  EXPECT_TRUE(resolved->translated);
+  ASSERT_EQ(resolved->chain,
+            (std::vector<uint32_t>{static_cast<uint32_t>(affiliation),
+                                   static_cast<uint32_t>(authorship),
+                                   static_cast<uint32_t>(citation)}));
+
+  // The chain result equals manually composing the two stored hops.
+  const ServingTranslator* hop1 = store.FindTranslator(
+      static_cast<uint32_t>(affiliation), static_cast<uint32_t>(authorship));
+  const ServingTranslator* hop2 = store.FindTranslator(
+      static_cast<uint32_t>(authorship), static_cast<uint32_t>(citation));
+  ASSERT_NE(hop1, nullptr);
+  ASSERT_NE(hop2, nullptr);
+  const ServingView& src = store.view(affiliation);
+  const int64_t local = src.LocalOf(u1);
+  ASSERT_GE(local, 0);
+  std::vector<double> x(src.embeddings.Row(static_cast<size_t>(local)),
+                        src.embeddings.Row(static_cast<size_t>(local)) +
+                            store.dim());
+  x = service.ApplyTranslator(*hop1, x.data());
+  x = service.ApplyTranslator(*hop2, x.data());
+  ASSERT_EQ(resolved->embedding.size(), x.size());
+  for (size_t c = 0; c < x.size(); ++c) {
+    EXPECT_EQ(resolved->embedding[c], x[c]);
+  }
+}
+
+TEST(TranslationServiceTest, NodeInNoViewIsNotFound) {
+  HeteroGraphBuilder b;
+  NodeTypeId person = b.AddNodeType("Person");
+  EdgeTypeId friendship = b.AddEdgeType("friendship");
+  NodeId n0 = b.AddNode(person);
+  NodeId n1 = b.AddNode(person);
+  NodeId isolated = b.AddNode(person);
+  b.AddEdge(n0, n1, friendship);
+  HeteroGraph g = b.Build();
+
+  TransNConfig cfg = SmallServeConfig();
+  cfg.translator_seq_len = 2;
+  TransNModel model(&g, cfg);
+  model.Fit();
+  EmbeddingStore store = ExportAndLoad(model, "ts_notfound.bin");
+  TranslationService service(&store);
+
+  auto resolved = service.Resolve(isolated, 0);
+  EXPECT_EQ(resolved.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TranslationServiceTest, DisconnectedViewsAreFailedPrecondition) {
+  // Two views with disjoint node sets: no view-pair, so no translator chain.
+  HeteroGraphBuilder b;
+  NodeTypeId ta = b.AddNodeType("A");
+  NodeTypeId tb = b.AddNodeType("B");
+  EdgeTypeId ea = b.AddEdgeType("ea");
+  EdgeTypeId eb = b.AddEdgeType("eb");
+  NodeId a0 = b.AddNode(ta);
+  NodeId a1 = b.AddNode(ta);
+  NodeId b0 = b.AddNode(tb);
+  NodeId b1 = b.AddNode(tb);
+  b.AddEdge(a0, a1, ea);
+  b.AddEdge(b0, b1, eb);
+  HeteroGraph g = b.Build();
+
+  TransNConfig cfg = SmallServeConfig();
+  cfg.translator_seq_len = 2;
+  TransNModel model(&g, cfg);
+  model.Fit();
+  EmbeddingStore store = ExportAndLoad(model, "ts_unreachable.bin");
+  ASSERT_TRUE(store.translators().empty());
+  TranslationService service(&store);
+
+  const int view_eb = store.FindViewByName("eb");
+  ASSERT_GE(view_eb, 0);
+  auto resolved = service.Resolve(a0, static_cast<uint32_t>(view_eb));
+  EXPECT_EQ(resolved.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace transn

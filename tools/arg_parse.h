@@ -1,0 +1,93 @@
+#ifndef TRANSN_TOOLS_ARG_PARSE_H_
+#define TRANSN_TOOLS_ARG_PARSE_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+
+#include "util/string_util.h"
+
+namespace transn {
+
+/// Minimal --flag value parser shared by the CLIs; flags may appear in any
+/// order. Unknown flags are caught by CheckAllUsed() after every handler has
+/// pulled what it needs.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (!StartsWith(key, "--")) {
+        Fail("expected --flag, got '" + key + "'");
+      }
+      if (i + 1 >= argc) Fail("missing value for " + key);
+      values_[key.substr(2)] = argv[++i];
+    }
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    if (it != values_.end()) {
+      used_.insert(key);
+      return it->second;
+    }
+    if (fallback.empty()) Fail("missing required flag --" + key);
+    return fallback;
+  }
+
+  /// Like GetString but an absent flag yields "" instead of an error (for
+  /// genuinely optional string flags with no sensible default).
+  std::string GetOptionalString(const std::string& key) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return "";
+    used_.insert(key);
+    return it->second;
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    used_.insert(key);
+    double v = 0;
+    if (!ParseDouble(it->second, &v)) Fail("bad number for --" + key);
+    return v;
+  }
+
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    used_.insert(key);
+    int64_t v = 0;
+    if (!ParseInt64(it->second, &v)) Fail("bad integer for --" + key);
+    return v;
+  }
+
+  bool GetBool(const std::string& key, bool fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    used_.insert(key);
+    return it->second == "true" || it->second == "1";
+  }
+
+  void CheckAllUsed() const {
+    for (const auto& [key, value] : values_) {
+      if (used_.count(key) == 0) Fail("unknown flag --" + key);
+    }
+  }
+
+  [[noreturn]] static void Fail(const std::string& message) {
+    std::fprintf(stderr, "error: %s\n", message.c_str());
+    std::exit(2);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> used_;
+};
+
+}  // namespace transn
+
+#endif  // TRANSN_TOOLS_ARG_PARSE_H_

@@ -11,11 +11,10 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <map>
-#include <set>
 #include <string>
 #include <vector>
 
+#include "arg_parse.h"
 #include "baselines/line.h"
 #include "baselines/mve.h"
 #include "baselines/node2vec.h"
@@ -32,72 +31,6 @@
 namespace {
 
 using namespace transn;
-
-/// Minimal --flag value parser; flags may appear in any order.
-class Args {
- public:
-  Args(int argc, char** argv, int first) {
-    for (int i = first; i < argc; ++i) {
-      std::string key = argv[i];
-      if (!StartsWith(key, "--")) {
-        Fail("expected --flag, got '" + key + "'");
-      }
-      if (i + 1 >= argc) Fail("missing value for " + key);
-      values_[key.substr(2)] = argv[++i];
-    }
-  }
-
-  std::string GetString(const std::string& key,
-                        const std::string& fallback = "") const {
-    auto it = values_.find(key);
-    if (it != values_.end()) {
-      used_.insert(key);
-      return it->second;
-    }
-    if (fallback.empty()) Fail("missing required flag --" + key);
-    return fallback;
-  }
-
-  double GetDouble(const std::string& key, double fallback) const {
-    auto it = values_.find(key);
-    if (it == values_.end()) return fallback;
-    used_.insert(key);
-    double v = 0;
-    if (!ParseDouble(it->second, &v)) Fail("bad number for --" + key);
-    return v;
-  }
-
-  int64_t GetInt(const std::string& key, int64_t fallback) const {
-    auto it = values_.find(key);
-    if (it == values_.end()) return fallback;
-    used_.insert(key);
-    int64_t v = 0;
-    if (!ParseInt64(it->second, &v)) Fail("bad integer for --" + key);
-    return v;
-  }
-
-  bool GetBool(const std::string& key, bool fallback) const {
-    auto it = values_.find(key);
-    if (it == values_.end()) return fallback;
-    used_.insert(key);
-    return it->second == "true" || it->second == "1";
-  }
-
-  void CheckAllUsed() const {
-    for (const auto& [key, value] : values_) {
-      if (used_.count(key) == 0) Fail("unknown flag --" + key);
-    }
-  }
-
-  [[noreturn]] static void Fail(const std::string& message) {
-    std::fprintf(stderr, "error: %s\n", message.c_str());
-    std::exit(2);
-  }
-
- private:
-  std::map<std::string, std::string> values_;
-  mutable std::set<std::string> used_;
-};
 
 HeteroGraph LoadGraphOrDie(const std::string& path) {
   auto g = LoadGraph(path);
@@ -165,14 +98,41 @@ TransNConfig TransNConfigFromArgs(const Args& args) {
   return cfg;
 }
 
+/// Trains (or restores) a TransN model with the checkpoint / serving-export
+/// plumbing: --load-checkpoint restores the matrices before training (use
+/// --iterations 0 to skip training entirely and just re-export),
+/// --save-checkpoint and --export-serving write the trained model out.
+Matrix TrainTransN(const HeteroGraph& g, const Args& args) {
+  TransNModel model(&g, TransNConfigFromArgs(args));
+  const std::string load_ckpt = args.GetOptionalString("load-checkpoint");
+  if (!load_ckpt.empty()) {
+    Status s = LoadTransNCheckpoint(&model, load_ckpt);
+    if (!s.ok()) Args::Fail(s.ToString());
+    std::printf("restored checkpoint %s\n", load_ckpt.c_str());
+  }
+  model.Fit();
+  const std::string save_ckpt = args.GetOptionalString("save-checkpoint");
+  if (!save_ckpt.empty()) {
+    Status s = SaveTransNCheckpoint(model, save_ckpt);
+    if (!s.ok()) Args::Fail(s.ToString());
+    std::printf("wrote checkpoint %s\n", save_ckpt.c_str());
+  }
+  const std::string serving = args.GetOptionalString("export-serving");
+  if (!serving.empty()) {
+    Status s = ExportServingModel(model, serving);
+    if (!s.ok()) Args::Fail(s.ToString());
+    std::printf("wrote serving model %s (query with transn_serve)\n",
+                serving.c_str());
+  }
+  return model.FinalEmbeddings();
+}
+
 Matrix TrainByMethod(const HeteroGraph& g, const std::string& method,
                      const Args& args) {
   const size_t dim = static_cast<size_t>(args.GetInt("dim", 128));
   const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 42));
   if (method == "transn") {
-    TransNModel model(&g, TransNConfigFromArgs(args));
-    model.Fit();
-    return model.FinalEmbeddings();
+    return TrainTransN(g, args);
   }
   if (method == "line") {
     return RunLine(g, {.dim = dim, .seed = seed});
@@ -249,7 +209,9 @@ void Usage() {
       "  train    --graph g.tsv --out emb.tsv [--method transn] [--dim 128]\n"
       "           [--iterations 5] [--walk-length 80] [--encoders 6]\n"
       "           [--threads 1]  (0 = all cores; >1 = Hogwild, not\n"
-      "           bit-reproducible) ...\n"
+      "           bit-reproducible)\n"
+      "           [--save-checkpoint m.ckpt] [--load-checkpoint m.ckpt]\n"
+      "           [--export-serving m.bin]  (binary model for transn_serve)\n"
       "  classify --graph g.tsv --embeddings emb.tsv [--repeats 10]\n"
       "  linkpred --graph g.tsv [--method transn] [--removal 0.4]\n");
 }

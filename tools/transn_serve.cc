@@ -1,0 +1,190 @@
+// Embedding serving CLI: answers k-NN similarity queries from a binary
+// serving model exported by `transn_cli train --export-serving model.bin`.
+//
+//   transn_serve info  --model model.bin
+//   transn_serve query --model model.bin [--view final|<edge-type name>]
+//                      [--k 10] [--metric cosine|dot] [--index exact|quantized]
+//                      [--centroids 0] [--nprobe 0] [--threads 1]
+//                      [--queries names.txt] [--sample 0] [--warmup 0]
+//
+// Query mode reads node names (one per line; '#' comments skipped) from
+// --queries, or stdin when neither --queries nor --sample is given, and
+// prints one line per neighbor:
+//
+//   <query>  <rank>  <neighbor>  <score>  [via <view chain>]
+//
+// A node absent from the target view is answered through the cold-start
+// translation path (its embedding from another view pushed through the
+// stored translator chain). At exit the per-request latency histogram
+// (p50/p95/p99), wall-clock QPS, and error count go to stderr.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "arg_parse.h"
+#include "serve/embedding_store.h"
+#include "serve/query_server.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace transn;
+
+EmbeddingStore LoadStoreOrDie(const Args& args) {
+  auto store = EmbeddingStore::Load(args.GetString("model"));
+  if (!store.ok()) Args::Fail(store.status().ToString());
+  return std::move(store).value();
+}
+
+int CmdInfo(const Args& args) {
+  EmbeddingStore store = LoadStoreOrDie(args);
+  args.CheckAllUsed();
+  std::printf("serving model: %zu nodes, dim %zu, %zu views, "
+              "%zu translators (seq len %zu)\n",
+              store.num_nodes(), store.dim(), store.views().size(),
+              store.translators().size(), store.seq_len());
+  for (size_t i = 0; i < store.views().size(); ++i) {
+    const ServingView& v = store.view(i);
+    std::printf("  view %zu '%s': %zu nodes (%s)\n", i, v.name.c_str(),
+                v.global_ids.size(), v.is_heter ? "heter" : "homo");
+  }
+  for (const ServingTranslator& t : store.translators()) {
+    std::printf("  translator %s -> %s: %zu encoder(s)%s\n",
+                store.view(t.from_view).name.c_str(),
+                store.view(t.to_view).name.c_str(), t.weights.size(),
+                t.simple ? " [simple]" : "");
+  }
+  return 0;
+}
+
+std::vector<std::string> ReadQueries(const Args& args,
+                                     const EmbeddingStore& store) {
+  std::vector<std::string> queries;
+  const int64_t sample = args.GetInt("sample", 0);
+  const std::string path = args.GetOptionalString("queries");
+  if (sample > 0) {
+    if (!path.empty()) Args::Fail("--queries and --sample are exclusive");
+    for (int64_t i = 0; i < sample; ++i) {
+      queries.push_back(store.node_name(
+          static_cast<NodeId>(i % static_cast<int64_t>(store.num_nodes()))));
+    }
+    return queries;
+  }
+  std::ifstream file;
+  if (!path.empty() && path != "-") {
+    file.open(path);
+    if (!file) Args::Fail("cannot open --queries file: " + path);
+  }
+  std::istream& in = file.is_open() ? file : std::cin;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string name(Trim(line));
+    if (name.empty() || name[0] == '#') continue;
+    queries.push_back(std::move(name));
+  }
+  return queries;
+}
+
+int CmdQuery(const Args& args) {
+  EmbeddingStore store = LoadStoreOrDie(args);
+
+  QueryServerOptions opts;
+  const std::string view_name = args.GetString("view", "final");
+  if (view_name != "final") {
+    opts.target_view = store.FindViewByName(view_name);
+    if (opts.target_view < 0) Args::Fail("no view named '" + view_name + "'");
+  }
+  opts.k = static_cast<size_t>(args.GetInt("k", 10));
+  const std::string metric = args.GetString("metric", "cosine");
+  if (metric == "cosine") {
+    opts.metric = KnnMetric::kCosine;
+  } else if (metric == "dot") {
+    opts.metric = KnnMetric::kDot;
+  } else {
+    Args::Fail("bad --metric '" + metric + "' (cosine|dot)");
+  }
+  const std::string index = args.GetString("index", "exact");
+  if (index == "quantized") {
+    opts.quantized = true;
+  } else if (index != "exact") {
+    Args::Fail("bad --index '" + index + "' (exact|quantized)");
+  }
+  opts.num_centroids = static_cast<size_t>(args.GetInt("centroids", 0));
+  opts.nprobe = static_cast<size_t>(args.GetInt("nprobe", 0));
+  const int64_t threads = args.GetInt("threads", 1);
+  if (threads < 0) Args::Fail("--threads must be >= 0 (0 = all cores)");
+  opts.num_threads = static_cast<size_t>(threads);
+  const int64_t warmup = args.GetInt("warmup", 0);
+  std::vector<std::string> queries = ReadQueries(args, store);
+  args.CheckAllUsed();
+
+  QueryServer server(&store, opts);
+  if (warmup > 0) server.Warmup(static_cast<size_t>(warmup));
+
+  WallTimer wall;
+  std::vector<QueryResponse> responses = server.HandleBatch(queries);
+  const double wall_seconds = wall.ElapsedSeconds();
+
+  size_t errors = 0;
+  for (size_t q = 0; q < responses.size(); ++q) {
+    const QueryResponse& resp = responses[q];
+    if (!resp.status.ok()) {
+      std::printf("# %s: %s\n", queries[q].c_str(),
+                  resp.status.ToString().c_str());
+      ++errors;
+      continue;
+    }
+    std::string via;
+    if (resp.translated) {
+      via = "\tvia";
+      for (uint32_t v : resp.chain) via += " " + store.view(v).name;
+    }
+    for (size_t r = 0; r < resp.neighbors.size(); ++r) {
+      std::printf("%s\t%zu\t%s\t%.6f%s\n", queries[q].c_str(), r + 1,
+                  store.node_name(resp.neighbors[r].node).c_str(),
+                  resp.neighbors[r].score, via.c_str());
+    }
+  }
+
+  const LatencyHistogram& lat = server.latency();
+  std::fprintf(stderr,
+               "served %zu queries (%zu failed) in %.3fs: %.0f QPS "
+               "wall-clock, latency %s\n",
+               queries.size(), errors, wall_seconds,
+               wall_seconds > 0.0
+                   ? static_cast<double>(queries.size()) / wall_seconds
+                   : 0.0,
+               lat.Summary().c_str());
+  return errors == 0 ? 0 : 1;
+}
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: transn_serve <info|query> --model model.bin [--flags]\n"
+      "  info   --model model.bin\n"
+      "  query  --model model.bin [--view final|<edge-type>] [--k 10]\n"
+      "         [--metric cosine|dot] [--index exact|quantized]\n"
+      "         [--centroids 0] [--nprobe 0] [--threads 1]\n"
+      "         [--queries names.txt|-] [--sample 0] [--warmup 0]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  SetMinLogSeverity(LogSeverity::kWarning);
+  const std::string command = argv[1];
+  Args args(argc, argv, 2);
+  if (command == "info") return CmdInfo(args);
+  if (command == "query") return CmdQuery(args);
+  Usage();
+  return 2;
+}
