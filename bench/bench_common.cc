@@ -12,6 +12,7 @@
 #include "baselines/simple_kg.h"
 #include "core/transn.h"
 #include "data/datasets.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace transn {
@@ -183,6 +184,17 @@ void EmitTable(const TablePrinter& table, const std::string& name) {
     LOG(WARNING) << "could not write " << path << ": " << s.ToString();
   } else {
     std::printf("(csv written to %s)\n", path.c_str());
+  }
+  // Sidecar observability snapshot: everything the run recorded so far
+  // (walk/train/io metrics + nested spans), for timing regressions that the
+  // result table alone cannot explain.
+  const std::string metrics_path = name + ".metrics.json";
+  s = obs::DumpDefaultObservability(metrics_path);
+  if (!s.ok()) {
+    LOG(WARNING) << "could not write " << metrics_path << ": "
+                 << s.ToString();
+  } else {
+    std::printf("(metrics snapshot written to %s)\n", metrics_path.c_str());
   }
 }
 

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Fails when a metric name registered in src/obs/metric_names.h is missing
+# from the catalog in docs/OPERATIONS.md. Run from the repository root (the
+# docs-consistency CI job does); no arguments.
+#
+# A "metric name" is any quoted dotted identifier in metric_names.h, e.g.
+# "train.pairs_total". Requiring at least one dot keeps incidental quoted
+# strings (and the hyphenated schema id) out of the extraction. The docs must
+# mention each name in backticks, the way the catalog table renders them.
+set -euo pipefail
+
+names_header="src/obs/metric_names.h"
+docs="docs/OPERATIONS.md"
+
+[[ -f "$names_header" ]] || { echo "missing $names_header" >&2; exit 1; }
+[[ -f "$docs" ]] || { echo "missing $docs" >&2; exit 1; }
+
+names=$(grep -oE '"[a-z0-9_]+(\.[a-z0-9_]+)+"' "$names_header" \
+          | tr -d '"' | sort -u)
+[[ -n "$names" ]] || { echo "no metric names found in $names_header" >&2; exit 1; }
+
+missing=0
+while IFS= read -r name; do
+  if ! grep -qF "\`$name\`" "$docs"; then
+    echo "metric '$name' is registered in $names_header but not documented" \
+         "in $docs" >&2
+    missing=1
+  fi
+done <<< "$names"
+
+if [[ "$missing" -ne 0 ]]; then
+  echo "add the missing names to the catalog table in $docs" >&2
+  exit 1
+fi
+echo "OK: every metric name in $names_header is documented in $docs"

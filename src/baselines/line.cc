@@ -5,6 +5,8 @@
 #include "emb/embedding_table.h"
 #include "emb/negative_sampler.h"
 #include "emb/sgns.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 #include "util/alias_table.h"
 
 namespace transn {
@@ -21,6 +23,10 @@ Matrix RunLine(const HeteroGraph& g, const LineConfig& config) {
   std::vector<double> edge_weights(g.num_edges());
   for (size_t e = 0; e < g.num_edges(); ++e) edge_weights[e] = g.edge_weight(e);
   AliasTable edge_sampler(edge_weights);
+  obs::MetricsRegistry::Default()
+      .GetCounter(obs::kWalkAliasRebuildsTotal, "rebuilds",
+                  "alias-table constructions (noise/edge samplers)")
+      ->Increment();
 
   // Noise distribution: weighted degree ^ 0.75.
   std::vector<double> degrees(n, 0.0);

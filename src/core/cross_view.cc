@@ -4,6 +4,9 @@
 #include <unordered_map>
 
 #include "nn/ops.h"
+#include "obs/metric_names.h"
+#include "obs/trace.h"
+#include "util/timer.h"
 
 namespace transn {
 namespace {
@@ -33,6 +36,20 @@ CrossViewTrainer::CrossViewTrainer(const ViewPair* pair,
       embedding_adam_(AdamConfig{.learning_rate = config.cross_learning_rate}) {
   CHECK(pair_ != nullptr && side_i_ != nullptr && side_j_ != nullptr);
   CHECK(!pair_->common_nodes.empty());
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  windows_counter_ =
+      registry.GetCounter(obs::kTrainCrossWindowsTotal, "windows",
+                          "common-node windows trained (T/R objectives)");
+  translator_steps_counter_ =
+      registry.GetCounter(obs::kTrainTranslatorStepsTotal, "steps",
+                          "dense Adam steps on the translator parameters");
+  adam_row_updates_counter_ =
+      registry.GetCounter(obs::kTrainAdamRowUpdatesTotal, "rows",
+                          "sparse Adam embedding-row updates from cross-view");
+  adam_step_seconds_hist_ = registry.GetHistogram(
+      obs::kTrainAdamStepSeconds, "seconds",
+      "optimizer phase (translator step + row updates) of one window");
 
   subview_i_ = BuildPairedSubview(side_i_->view(), pair_->common_nodes);
   subview_j_ = BuildPairedSubview(side_j_->view(), pair_->common_nodes);
@@ -112,6 +129,7 @@ void CrossViewTrainer::ApplyEmbeddingGrads(const std::vector<NodeId>& window,
   for (const auto& [row, grad] : row_grads) {
     table.AdamStep(row, grad.data(), embedding_adam_);
   }
+  adam_row_updates_counter_->Increment(row_grads.size());
 }
 
 double CrossViewTrainer::TrainWindow(const std::vector<NodeId>& window,
@@ -158,13 +176,18 @@ double CrossViewTrainer::TrainWindow(const std::vector<NodeId>& window,
 
   const double loss_value = loss.value()(0, 0);
   tape.Backward(loss);
+  WallTimer step_timer;
   translator_opt_.Step();
   ApplyEmbeddingGrads(window, a.grad(), src);
   ApplyEmbeddingGrads(window, a_target.grad(), dst);
+  adam_step_seconds_hist_->Record(step_timer.ElapsedSeconds());
+  translator_steps_counter_->Increment();
+  windows_counter_->Increment();
   return loss_value;
 }
 
 double CrossViewTrainer::RunIteration(Rng& rng, ThreadPool* pool) {
+  const obs::TraceSpan cross_span("cross_view");
   double total = 0.0;
   size_t count = 0;
   const size_t max_windows = config_.cross_paths_per_pair;
@@ -184,12 +207,18 @@ double CrossViewTrainer::RunIteration(Rng& rng, ThreadPool* pool) {
         shard_rngs.push_back(rng.Split());
       }
       std::vector<std::vector<std::vector<NodeId>>> shard_windows(num_shards);
+      // Workers start with empty span stacks, so shard spans nest under the
+      // cross_view span via an explicit parent path.
+      const std::string span_parent = cross_span.path();
       for (size_t s = 0; s < num_shards; ++s) {
         const size_t quota = max_windows / num_shards +
                              (s < max_windows % num_shards ? 1 : 0);
-        pool->Schedule([this, side, quota, s, &shard_rngs, &shard_windows] {
-          shard_windows[s] = SampleCommonWindows(side, shard_rngs[s], quota);
-        });
+        pool->Schedule(
+            [this, side, quota, s, &shard_rngs, &shard_windows, span_parent] {
+              const obs::TraceSpan shard_span("shard", span_parent, nullptr);
+              shard_windows[s] =
+                  SampleCommonWindows(side, shard_rngs[s], quota);
+            });
       }
       pool->Wait();
       for (auto& shard : shard_windows) {

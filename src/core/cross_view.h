@@ -8,6 +8,7 @@
 #include "core/translator.h"
 #include "core/transn_config.h"
 #include "graph/view_pair.h"
+#include "obs/metrics.h"
 
 namespace transn {
 
@@ -75,6 +76,11 @@ class CrossViewTrainer {
   std::unique_ptr<Translator> translator_ji_;
   AdamOptimizer translator_opt_;
   AdamConfig embedding_adam_;
+  /// Registry handles cached at construction (see obs/metric_names.h).
+  obs::Counter* windows_counter_;
+  obs::Counter* translator_steps_counter_;
+  obs::Counter* adam_row_updates_counter_;
+  obs::Histogram* adam_step_seconds_hist_;
 };
 
 }  // namespace transn

@@ -5,13 +5,25 @@
 #include <map>
 
 #include "core/transn.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 #include "serve/serving_format.h"
 #include "util/string_util.h"
 
 namespace transn {
+namespace {
+
+/// Scoped wall-time recording for one of the io.* histograms.
+obs::Histogram* IoHistogram(const char* name, const char* help) {
+  return obs::MetricsRegistry::Default().GetHistogram(name, "seconds", help);
+}
+
+}  // namespace
 
 Status SaveEmbeddings(const HeteroGraph& g, const Matrix& embeddings,
                       const std::string& path) {
+  const obs::ScopedHistogramTimer io_timer(IoHistogram(
+      obs::kIoEmbeddingsSaveSeconds, "SaveEmbeddings wall time"));
   if (embeddings.rows() != g.num_nodes()) {
     return Status::InvalidArgument("embedding rows != graph nodes");
   }
@@ -32,6 +44,8 @@ Status SaveEmbeddings(const HeteroGraph& g, const Matrix& embeddings,
 }
 
 StatusOr<LoadedEmbeddings> LoadEmbeddings(const std::string& path) {
+  const obs::ScopedHistogramTimer io_timer(IoHistogram(
+      obs::kIoEmbeddingsLoadSeconds, "LoadEmbeddings wall time"));
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open: " + path);
   in.seekg(0, std::ios::end);
@@ -147,6 +161,8 @@ void ForEachModelMatrix(TransNModel& model, Fn&& fn) {
 
 Status SaveTransNCheckpoint(const TransNModel& model,
                             const std::string& path) {
+  const obs::ScopedHistogramTimer io_timer(IoHistogram(
+      obs::kIoCheckpointSaveSeconds, "SaveTransNCheckpoint wall time"));
   std::ofstream out(path);
   if (!out) return Status::IoError("cannot open for write: " + path);
   out << "# transn checkpoint v1\n";
@@ -162,6 +178,8 @@ Status SaveTransNCheckpoint(const TransNModel& model,
 }
 
 Status LoadTransNCheckpoint(TransNModel* model, const std::string& path) {
+  const obs::ScopedHistogramTimer io_timer(IoHistogram(
+      obs::kIoCheckpointLoadSeconds, "LoadTransNCheckpoint wall time"));
   CHECK(model != nullptr);
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open: " + path);
@@ -253,6 +271,8 @@ void AppendTranslator(std::string* buf, const Translator& t, uint32_t from,
 }  // namespace
 
 Status ExportServingModel(const TransNModel& model, const std::string& path) {
+  const obs::ScopedHistogramTimer io_timer(IoHistogram(
+      obs::kIoServingExportSeconds, "ExportServingModel wall time"));
   const HeteroGraph& g = model.graph();
   const std::vector<View>& views = model.views();
   const size_t num_translators = 2 * model.num_cross_trainers();

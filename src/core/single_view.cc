@@ -1,5 +1,7 @@
 #include "core/single_view.h"
 
+#include "obs/metric_names.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 #include "walk/corpus.h"
 
@@ -10,6 +12,24 @@ SingleViewTrainer::SingleViewTrainer(const View* view,
                                      const Matrix* shared_init)
     : view_(view), config_(config) {
   CHECK(view_ != nullptr);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  pairs_counter_ = registry.GetCounter(
+      obs::kTrainPairsTotal, "pairs", "SGNS/HS context pairs trained");
+  grad_updates_counter_ =
+      registry.GetCounter(obs::kTrainGradientUpdatesTotal, "updates",
+                          "embedding gradient updates applied");
+  view_seconds_hist_ = registry.GetHistogram(
+      obs::kTrainViewSeconds, "seconds", "wall time of one single-view pass");
+  view_pairs_counter_ = nullptr;
+  labeled_view_seconds_hist_ = nullptr;
+  if (!view_->name.empty()) {
+    view_pairs_counter_ = registry.GetCounter(
+        obs::LabeledName(obs::kTrainPairsTotal, "view", view_->name), "pairs",
+        "SGNS/HS context pairs trained in this view");
+    labeled_view_seconds_hist_ = registry.GetHistogram(
+        obs::LabeledName(obs::kTrainViewSeconds, "view", view_->name),
+        "seconds", "wall time of one single-view pass over this view");
+  }
   const size_t n = view_->graph.num_nodes();
   CHECK_GT(n, 0u) << "cannot train an empty view";
   input_ = std::make_unique<EmbeddingTable>(n, config_.dim, rng);
@@ -41,6 +61,9 @@ SingleViewTrainer::SingleViewTrainer(const View* view,
 }
 
 double SingleViewTrainer::RunIteration(Rng& rng, ThreadPool* pool) {
+  const obs::TraceSpan view_span(
+      view_->name.empty() ? std::string("view")
+                          : "view:" + view_->name);
   WallTimer timer;
   std::unique_ptr<SgnsTrainer> sgns;
   if (hsoftmax_ == nullptr) {
@@ -114,9 +137,12 @@ double SingleViewTrainer::RunIteration(Rng& rng, ThreadPool* pool) {
     shard_rngs.reserve(num_shards);
     for (size_t s = 0; s < num_shards; ++s) shard_rngs.push_back(rng.Split());
     std::vector<ShardTotals> shard_totals(num_shards);
+    const std::string span_parent = view_span.path();
     for (size_t s = 0; s < num_shards; ++s) {
-      pool->Schedule(
-          [&, s] { run_shard(s, num_shards, &shard_rngs[s], &shard_totals[s]); });
+      pool->Schedule([&, span_parent, s] {
+        const obs::TraceSpan shard_span("shard", span_parent, nullptr);
+        run_shard(s, num_shards, &shard_rngs[s], &shard_totals[s]);
+      });
     }
     pool->Wait();
     for (const ShardTotals& t : shard_totals) {
@@ -131,11 +157,19 @@ double SingleViewTrainer::RunIteration(Rng& rng, ThreadPool* pool) {
   stats_.pairs = totals.pairs;
   stats_.walks = totals.walks;
   stats_.seconds = timer.ElapsedSeconds();
-  LOG(INFO) << "single-view pass: " << stats_.pairs << " pairs / "
-            << stats_.walks << " walks in " << stats_.seconds << "s ("
-            << stats_.pairs_per_second() << " pairs/s, "
-            << stats_.walks_per_second() << " walks/s, " << num_shards
-            << " shard(s))";
+
+  // Pass totals feed the registry once per pass (never per pair): the hot
+  // loop stays free of metric writes, which is what keeps metrics-enabled
+  // training within noise of the uninstrumented baseline.
+  pairs_counter_->Increment(totals.pairs);
+  grad_updates_counter_->Increment(totals.pairs);
+  view_seconds_hist_->Record(stats_.seconds);
+  if (view_pairs_counter_ != nullptr) {
+    view_pairs_counter_->Increment(totals.pairs);
+  }
+  if (labeled_view_seconds_hist_ != nullptr) {
+    labeled_view_seconds_hist_->Record(stats_.seconds);
+  }
   return stats_.mean_loss;
 }
 

@@ -9,6 +9,7 @@
 #include "emb/negative_sampler.h"
 #include "emb/sgns.h"
 #include "graph/view.h"
+#include "obs/metrics.h"
 #include "util/thread_pool.h"
 #include "walk/random_walk.h"
 
@@ -86,6 +87,13 @@ class SingleViewTrainer {
   std::unique_ptr<HierarchicalSoftmaxTrainer> hsoftmax_;
   std::unique_ptr<RandomWalker> walker_;
   SingleViewIterationStats stats_;
+  /// Registry handles cached at construction (see obs/metric_names.h).
+  /// The labeled variants are null for hand-built views with no name.
+  obs::Counter* pairs_counter_;
+  obs::Counter* view_pairs_counter_;
+  obs::Counter* grad_updates_counter_;
+  obs::Histogram* view_seconds_hist_;
+  obs::Histogram* labeled_view_seconds_hist_;
 };
 
 }  // namespace transn

@@ -3,6 +3,10 @@
 #include <cmath>
 
 #include "nn/init.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/timer.h"
 
 namespace transn {
 
@@ -62,6 +66,8 @@ TransNModel::TransNModel(const HeteroGraph* graph, TransNConfig config)
 }
 
 TransNIterationStats TransNModel::RunIteration() {
+  const obs::TraceSpan iter_span("iteration");
+  WallTimer iter_timer;
   TransNIterationStats stats;
   size_t active_views = 0;
   for (auto& trainer : single_) {
@@ -83,10 +89,35 @@ TransNIterationStats TransNModel::RunIteration() {
     stats.mean_cross_view_loss /= static_cast<double>(cross_.size());
   }
   history_.push_back(stats);
+
+  // Per-pass rollups (registered by name, dumped via --metrics-out). The
+  // per-view pairs/seconds are recorded inside SingleViewTrainer.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  registry
+      .GetCounter(obs::kTrainIterationsTotal, "iterations",
+                  "Algorithm-1 passes completed")
+      ->Increment();
+  registry
+      .GetHistogram(obs::kTrainIterationSeconds, "seconds",
+                    "wall time of one Algorithm-1 pass")
+      ->Record(iter_timer.ElapsedSeconds());
+  registry
+      .GetGauge(obs::kTrainSingleViewLoss, "loss",
+                "mean single-view loss of the most recent pass")
+      ->Set(stats.mean_single_view_loss);
+  registry
+      .GetGauge(obs::kTrainCrossViewLoss, "loss",
+                "mean cross-view loss of the most recent pass")
+      ->Set(stats.mean_cross_view_loss);
+  registry
+      .GetGauge(obs::kTrainPairsPerSecond, "pairs/s",
+                "single-view throughput of the most recent pass")
+      ->Set(stats.single_view_pairs_per_second());
   return stats;
 }
 
 void TransNModel::Fit() {
+  const obs::TraceSpan fit_span("train");
   for (size_t iter = 0; iter < config_.iterations; ++iter) {
     TransNIterationStats stats = RunIteration();
     LOG(INFO) << "TransN iteration " << (iter + 1) << "/"

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace transn {
@@ -15,6 +17,10 @@ NegativeSampler::NegativeSampler(const std::vector<double>& counts,
     weights[i] = counts[i] > 0.0 ? std::pow(counts[i], power) : 0.0;
   }
   table_.Build(weights);
+  obs::MetricsRegistry::Default()
+      .GetCounter(obs::kWalkAliasRebuildsTotal, "rebuilds",
+                  "alias-table constructions (noise/edge samplers)")
+      ->Increment();
 }
 
 uint32_t NegativeSampler::Sample(Rng& rng, uint32_t exclude) const {

@@ -3,11 +3,16 @@
 #include <fstream>
 #include <unordered_map>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 #include "util/string_util.h"
 
 namespace transn {
 
 Status SaveGraph(const HeteroGraph& g, const std::string& path) {
+  const obs::ScopedHistogramTimer io_timer(
+      obs::MetricsRegistry::Default().GetHistogram(
+          obs::kIoGraphSaveSeconds, "seconds", "SaveGraph wall time"));
   std::ofstream out(path);
   if (!out) return Status::IoError("cannot open for write: " + path);
   out << "# transn graph v1\n";
@@ -34,6 +39,9 @@ Status SaveGraph(const HeteroGraph& g, const std::string& path) {
 }
 
 StatusOr<HeteroGraph> LoadGraph(const std::string& path) {
+  const obs::ScopedHistogramTimer io_timer(
+      obs::MetricsRegistry::Default().GetHistogram(
+          obs::kIoGraphLoadSeconds, "seconds", "LoadGraph wall time"));
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open: " + path);
 

@@ -90,6 +90,7 @@ std::vector<View> BuildViews(const HeteroGraph& g) {
   for (EdgeTypeId t = 0; t < g.num_edge_types(); ++t) {
     View& view = views[t];
     view.edge_type = t;
+    view.name = g.edge_type_name(t);
     view.graph = ViewGraph::FromEdges(buckets[t]);
     if (view.graph.num_nodes() == 0) continue;
 

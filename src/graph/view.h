@@ -1,6 +1,7 @@
 #ifndef TRANSN_GRAPH_VIEW_H_
 #define TRANSN_GRAPH_VIEW_H_
 
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -78,6 +79,9 @@ class ViewGraph {
 /// homo-view (one node type) or a heter-view (exactly two node types).
 struct View {
   EdgeTypeId edge_type = 0;
+  /// Edge-type name (set by BuildViews; empty for hand-built views). Used
+  /// as the {view=...} label on per-view metrics and span names.
+  std::string name;
   /// The one or two node types appearing in this view. type_a == type_b for
   /// homo-views.
   NodeTypeId type_a = 0;

@@ -1,0 +1,49 @@
+#ifndef TRANSN_OBS_JSON_ESCAPE_H_
+#define TRANSN_OBS_JSON_ESCAPE_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/string_util.h"
+
+namespace transn {
+namespace obs {
+
+/// Minimal JSON string escaping (quotes, backslash, control chars). Metric
+/// and span names are library-controlled, but view labels come from user
+/// edge-type names, so the exporters escape everything they quote.
+inline std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace transn
+
+#endif  // TRANSN_OBS_JSON_ESCAPE_H_

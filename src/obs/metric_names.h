@@ -1,0 +1,84 @@
+#ifndef TRANSN_OBS_METRIC_NAMES_H_
+#define TRANSN_OBS_METRIC_NAMES_H_
+
+// Canonical metric names for every subsystem. All instrumentation sites must
+// register metrics through these constants — never inline string literals —
+// so the name catalog in docs/OPERATIONS.md stays complete.
+// scripts/check_metrics_docs.sh (run by the docs-consistency CI job) greps
+// the quoted names below and fails if any is missing from the catalog table.
+//
+// Naming convention: "<subsystem>.<what>[_total|_seconds]".
+//   *_total    monotonic counters
+//   *_seconds  latency/duration histograms (recorded in seconds)
+// Per-view variants carry a "{view=<edge-type>}" label suffix built with
+// obs::LabeledName(); only the base name appears in this file.
+
+namespace transn {
+namespace obs {
+
+// --- src/walk/: walk generation -------------------------------------------
+/// Random walks streamed (every WalkInto/Walk call).
+inline constexpr char kWalkWalksTotal[] = "walk.walks_total";
+/// Nodes emitted across all walks (walk lengths summed).
+inline constexpr char kWalkStepsTotal[] = "walk.steps_total";
+/// Alias-table (noise distribution / edge sampler) rebuilds.
+inline constexpr char kWalkAliasRebuildsTotal[] = "walk.alias_rebuilds_total";
+
+// --- src/core/ + src/emb/: training ---------------------------------------
+/// Full Algorithm-1 passes completed.
+inline constexpr char kTrainIterationsTotal[] = "train.iterations_total";
+/// Wall time of one full Algorithm-1 pass.
+inline constexpr char kTrainIterationSeconds[] = "train.iteration_seconds";
+/// SGNS / hierarchical-softmax context pairs trained.
+inline constexpr char kTrainPairsTotal[] = "train.pairs_total";
+/// Embedding gradient updates applied (SGD pairs + sparse-Adam rows).
+inline constexpr char kTrainGradientUpdatesTotal[] =
+    "train.gradient_updates_total";
+/// Single-view pairs/sec of the most recent pass (all views summed).
+inline constexpr char kTrainPairsPerSecond[] = "train.pairs_per_second";
+/// Wall time of one single-view pass (per view when labeled).
+inline constexpr char kTrainViewSeconds[] = "train.view_seconds";
+/// Mean single-view loss of the most recent pass.
+inline constexpr char kTrainSingleViewLoss[] = "train.single_view_loss";
+/// Mean cross-view loss of the most recent pass.
+inline constexpr char kTrainCrossViewLoss[] = "train.cross_view_loss";
+/// Cross-view common-node windows optimized.
+inline constexpr char kTrainCrossWindowsTotal[] = "train.cross_windows_total";
+/// Dense Adam steps applied to translator parameters.
+inline constexpr char kTrainTranslatorStepsTotal[] =
+    "train.translator_steps_total";
+/// Sparse-Adam row updates applied to embedding tables by cross-view losses.
+inline constexpr char kTrainAdamRowUpdatesTotal[] =
+    "train.adam_row_updates_total";
+/// Latency of one cross-view optimizer step (translator Adam + row Adam).
+inline constexpr char kTrainAdamStepSeconds[] = "train.adam_step_seconds";
+
+// --- I/O: graph / embedding / model files ---------------------------------
+inline constexpr char kIoGraphLoadSeconds[] = "io.graph_load_seconds";
+inline constexpr char kIoGraphSaveSeconds[] = "io.graph_save_seconds";
+inline constexpr char kIoEmbeddingsSaveSeconds[] = "io.embeddings_save_seconds";
+inline constexpr char kIoEmbeddingsLoadSeconds[] = "io.embeddings_load_seconds";
+inline constexpr char kIoCheckpointSaveSeconds[] = "io.checkpoint_save_seconds";
+inline constexpr char kIoCheckpointLoadSeconds[] = "io.checkpoint_load_seconds";
+inline constexpr char kIoServingExportSeconds[] = "io.serving_export_seconds";
+
+// --- src/serve/: query path -----------------------------------------------
+/// Binary serving-model load + verify time.
+inline constexpr char kServeModelLoadSeconds[] = "serve.model_load_seconds";
+/// k-NN index construction time (exact or quantized).
+inline constexpr char kServeIndexBuildSeconds[] = "serve.index_build_seconds";
+/// Recorded (non-warmup) queries handled.
+inline constexpr char kServeRequestsTotal[] = "serve.requests_total";
+/// Recorded queries that returned a non-OK status.
+inline constexpr char kServeRequestErrorsTotal[] = "serve.request_errors_total";
+/// Queries answered through the cold-start translator chain.
+inline constexpr char kServeColdStartTotal[] =
+    "serve.coldstart_translations_total";
+/// End-to-end per-request latency (same data as QueryServer::latency()).
+inline constexpr char kServeRequestLatencySeconds[] =
+    "serve.request_latency_seconds";
+
+}  // namespace obs
+}  // namespace transn
+
+#endif  // TRANSN_OBS_METRIC_NAMES_H_

@@ -1,0 +1,295 @@
+#include "obs/metrics.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/json_escape.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace transn {
+namespace obs {
+
+namespace {
+
+/// Splits "base{key=value}" into its parts; labels empty when absent.
+struct ParsedName {
+  std::string_view base;
+  std::string_view label_key;
+  std::string_view label_value;
+};
+
+ParsedName ParseName(std::string_view name) {
+  ParsedName parsed{name, {}, {}};
+  const size_t brace = name.find('{');
+  if (brace == std::string_view::npos || name.back() != '}') return parsed;
+  parsed.base = name.substr(0, brace);
+  std::string_view labels = name.substr(brace + 1, name.size() - brace - 2);
+  const size_t eq = labels.find('=');
+  if (eq == std::string_view::npos) return parsed;
+  parsed.label_key = labels.substr(0, eq);
+  parsed.label_value = labels.substr(eq + 1);
+  return parsed;
+}
+
+/// "train.pairs_total" -> "transn_train_pairs_total".
+std::string PrometheusName(std::string_view base) {
+  std::string out = "transn_";
+  for (char c : base) out += c == '.' ? '_' : c;
+  return out;
+}
+
+std::string PrometheusLabels(const ParsedName& parsed,
+                             std::string_view extra_key = "",
+                             std::string_view extra_value = "") {
+  std::string labels;
+  auto append = [&labels](std::string_view k, std::string_view v) {
+    if (k.empty()) return;
+    if (!labels.empty()) labels += ',';
+    labels += std::string(k) + "=\"" + std::string(v) + "\"";
+  };
+  append(parsed.label_key, parsed.label_value);
+  append(extra_key, extra_value);
+  return labels.empty() ? "" : "{" + labels + "}";
+}
+
+}  // namespace
+
+size_t ThisThreadShard() {
+  static std::atomic<size_t> next_shard{0};
+  thread_local const size_t shard =
+      next_shard.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+const char* MetricTypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Histogram::Histogram() = default;
+
+void Histogram::Record(double seconds) {
+  Shard& s = shards_[ThisThreadShard()];
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.hist.Record(seconds);
+}
+
+LatencyHistogram Histogram::Snapshot() const {
+  LatencyHistogram merged;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    merged.Merge(s.hist);
+  }
+  return merged;
+}
+
+std::string LabeledName(std::string_view base, std::string_view key,
+                        std::string_view value) {
+  std::string out(base);
+  out += '{';
+  out += key;
+  out += '=';
+  out += value;
+  out += '}';
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(std::string_view name,
+                                                      MetricType type,
+                                                      std::string_view unit,
+                                                      std::string_view help) {
+  CHECK(!name.empty()) << "metric name must be non-empty";
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.info = {std::string(name), type, std::string(unit),
+                  std::string(help)};
+    switch (type) {
+      case MetricType::kCounter:
+        entry.counter = std::make_unique<Counter>();
+        break;
+      case MetricType::kGauge:
+        entry.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricType::kHistogram:
+        entry.histogram = std::make_unique<Histogram>();
+        break;
+    }
+    it = entries_.emplace(std::string(name), std::move(entry)).first;
+  }
+  CHECK(it->second.info.type == type)
+      << "metric '" << std::string(name) << "' already registered as "
+      << MetricTypeName(it->second.info.type) << ", requested "
+      << MetricTypeName(type);
+  return &it->second;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view unit,
+                                     std::string_view help) {
+  return FindOrCreate(name, MetricType::kCounter, unit, help)->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, std::string_view unit,
+                                 std::string_view help) {
+  return FindOrCreate(name, MetricType::kGauge, unit, help)->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view unit,
+                                         std::string_view help) {
+  return FindOrCreate(name, MetricType::kHistogram, unit, help)
+      ->histogram.get();
+}
+
+std::vector<MetricInfo> MetricsRegistry::Metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricInfo> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(entry.info);
+  return out;
+}
+
+void MetricsRegistry::WriteJson(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\"metrics\":[";
+  bool first = true;
+  for (const auto& [name, entry] : entries_) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << JsonEscape(entry.info.name) << "\",\"type\":\""
+       << MetricTypeName(entry.info.type) << '"';
+    if (!entry.info.unit.empty()) {
+      os << ",\"unit\":\"" << JsonEscape(entry.info.unit) << '"';
+    }
+    if (!entry.info.help.empty()) {
+      os << ",\"help\":\"" << JsonEscape(entry.info.help) << '"';
+    }
+    switch (entry.info.type) {
+      case MetricType::kCounter:
+        os << ",\"value\":" << entry.counter->Value();
+        break;
+      case MetricType::kGauge:
+        os << ",\"value\":" << StrFormat("%.17g", entry.gauge->Value());
+        break;
+      case MetricType::kHistogram: {
+        const LatencyHistogram h = entry.histogram->Snapshot();
+        os << StrFormat(
+            ",\"count\":%llu,\"mean\":%.9g,\"min\":%.9g,\"p50\":%.9g,"
+            "\"p95\":%.9g,\"p99\":%.9g,\"max\":%.9g",
+            static_cast<unsigned long long>(h.count()), h.mean(), h.min(),
+            h.Percentile(50), h.Percentile(95), h.Percentile(99), h.max());
+        break;
+      }
+    }
+    os << '}';
+  }
+  os << "]}";
+}
+
+void MetricsRegistry::WritePrometheus(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Group series of one base name under a single TYPE/HELP header.
+  std::string last_base;
+  for (const auto& [name, entry] : entries_) {
+    const ParsedName parsed = ParseName(entry.info.name);
+    const std::string prom = PrometheusName(parsed.base);
+    if (parsed.base != last_base) {
+      last_base = std::string(parsed.base);
+      if (!entry.info.help.empty()) {
+        os << "# HELP " << prom << ' ' << entry.info.help << '\n';
+      }
+      os << "# TYPE " << prom << ' '
+         << (entry.info.type == MetricType::kHistogram
+                 ? "summary"
+                 : MetricTypeName(entry.info.type))
+         << '\n';
+    }
+    switch (entry.info.type) {
+      case MetricType::kCounter:
+        os << prom << PrometheusLabels(parsed) << ' '
+           << entry.counter->Value() << '\n';
+        break;
+      case MetricType::kGauge:
+        os << prom << PrometheusLabels(parsed) << ' '
+           << StrFormat("%.17g", entry.gauge->Value()) << '\n';
+        break;
+      case MetricType::kHistogram: {
+        const LatencyHistogram h = entry.histogram->Snapshot();
+        const struct {
+          const char* q;
+          double v;
+        } quantiles[] = {{"0.5", h.Percentile(50)},
+                         {"0.95", h.Percentile(95)},
+                         {"0.99", h.Percentile(99)}};
+        for (const auto& q : quantiles) {
+          os << prom << PrometheusLabels(parsed, "quantile", q.q) << ' '
+             << StrFormat("%.9g", q.v) << '\n';
+        }
+        os << prom << "_sum" << PrometheusLabels(parsed) << ' '
+           << StrFormat("%.9g", h.mean() * static_cast<double>(h.count()))
+           << '\n';
+        os << prom << "_count" << PrometheusLabels(parsed) << ' ' << h.count()
+           << '\n';
+        break;
+      }
+    }
+  }
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+void WriteObservabilityJson(const MetricsRegistry& registry,
+                            const TraceCollector& traces, std::ostream& os) {
+  os << "{\"schema\":\"transn-obs-v1\",";
+  // Splice the registry's {"metrics": [...]} object in as two keys.
+  std::ostringstream metrics;
+  registry.WriteJson(metrics);
+  const std::string m = metrics.str();
+  // Strip the outer braces: {"metrics":[...]} -> "metrics":[...].
+  os << m.substr(1, m.size() - 2) << ",\"spans\":";
+  traces.WriteJson(os);
+  os << '}';
+}
+
+Status DumpDefaultObservability(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open metrics output file: " + path);
+  }
+  WriteObservabilityJson(MetricsRegistry::Default(), TraceCollector::Default(),
+                         out);
+  out << '\n';
+  out.flush();
+  if (!out) return Status::IoError("failed writing metrics file: " + path);
+  return Status::Ok();
+}
+
+}  // namespace obs
+}  // namespace transn

@@ -1,0 +1,198 @@
+#ifndef TRANSN_OBS_METRICS_H_
+#define TRANSN_OBS_METRICS_H_
+
+#include <stddef.h>
+#include <stdint.h>
+
+#include <array>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/histogram.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace transn {
+namespace obs {
+
+class TraceCollector;
+
+/// Write-side sharding factor shared by Counter and Histogram: each thread
+/// is pinned (round-robin at first use) to one of kMetricShards lanes, so
+/// concurrent writers land on different cache lines / different shard
+/// mutexes and a scrape never blocks the hot path for long.
+inline constexpr size_t kMetricShards = 16;
+
+/// The calling thread's shard lane (stable for the thread's lifetime).
+size_t ThisThreadShard();
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// "counter" | "gauge" | "histogram".
+const char* MetricTypeName(MetricType type);
+
+/// Monotonic counter. Increment() is a relaxed fetch_add on the calling
+/// thread's shard — no locks, no cross-thread cache-line sharing — so
+/// concurrent increments always sum exactly. Value() sums the shards; a
+/// snapshot taken during concurrent writes is a valid (possibly slightly
+/// stale) intermediate total.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t delta = 1) {
+    shards_[ThisThreadShard()].value.fetch_add(delta,
+                                               std::memory_order_relaxed);
+  }
+  uint64_t Value() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Last-write-wins instantaneous value (losses, rates).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-bucketed latency histogram (util/LatencyHistogram per shard). Each
+/// Record() takes the calling thread's shard mutex — uncontended in steady
+/// state since a thread always hits the same shard — and Snapshot() merges
+/// the shards under their mutexes, so scrape-during-write is race-free.
+class Histogram {
+ public:
+  Histogram();
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(double seconds);
+  /// Merged copy of all shards.
+  LatencyHistogram Snapshot() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    LatencyHistogram hist;
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Registration metadata, echoed into the JSON / Prometheus exports.
+struct MetricInfo {
+  std::string name;
+  MetricType type = MetricType::kCounter;
+  std::string unit;
+  std::string help;
+};
+
+/// "base{key=value}" — the per-view variant naming convention. Only the base
+/// name must appear in the docs/OPERATIONS.md catalog; exporters split the
+/// suffix back into a Prometheus label.
+std::string LabeledName(std::string_view base, std::string_view key,
+                        std::string_view value);
+
+/// Process-wide registry of named metrics. Registration (Get*) takes a mutex
+/// and returns a stable handle pointer — call it once at construction time
+/// and cache the handle; the handles themselves are lock-free (Counter,
+/// Gauge) or per-thread-shard locked (Histogram) on the hot path.
+///
+/// Instrumentation sites use MetricsRegistry::Default(); tests construct
+/// their own instances.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry used by all built-in instrumentation.
+  static MetricsRegistry& Default();
+
+  /// Finds or registers a metric. Re-registering an existing name returns
+  /// the same handle (first registration's unit/help win); registering the
+  /// same name as a different type CHECK-fails.
+  Counter* GetCounter(std::string_view name, std::string_view unit = "",
+                      std::string_view help = "");
+  Gauge* GetGauge(std::string_view name, std::string_view unit = "",
+                  std::string_view help = "");
+  Histogram* GetHistogram(std::string_view name, std::string_view unit = "",
+                          std::string_view help = "");
+
+  /// Metadata of every registered metric, name-sorted.
+  std::vector<MetricInfo> Metrics() const;
+
+  /// {"metrics": [...]} — one object per metric; histograms expand to
+  /// count/mean/min/p50/p95/p99/max (seconds).
+  void WriteJson(std::ostream& os) const;
+
+  /// Prometheus text exposition: names mangled to transn_<base with dots as
+  /// underscores>, "{key=value}" suffixes as label sets, histograms as
+  /// summary-style quantile series plus _sum/_count.
+  void WritePrometheus(std::ostream& os) const;
+
+  /// Drops every registered metric. Outstanding handles dangle — only for
+  /// tests that own the registry instance.
+  void Reset();
+
+ private:
+  struct Entry {
+    MetricInfo info;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Entry* FindOrCreate(std::string_view name, MetricType type,
+                      std::string_view unit, std::string_view help);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+/// Full observability dump — {"schema": "transn-obs-v1", "metrics": [...],
+/// "spans": [...]} — the payload behind the tools' --metrics-out flag and
+/// the bench sidecar files.
+void WriteObservabilityJson(const MetricsRegistry& registry,
+                            const TraceCollector& traces, std::ostream& os);
+
+/// WriteObservabilityJson for the default registry/collector, to `path`.
+Status DumpDefaultObservability(const std::string& path);
+
+/// RAII timer recording its scope's wall time into a Histogram (I/O paths
+/// with early returns). `hist` must outlive the timer; null disables it.
+class ScopedHistogramTimer {
+ public:
+  explicit ScopedHistogramTimer(Histogram* hist) : hist_(hist) {}
+  ScopedHistogramTimer(const ScopedHistogramTimer&) = delete;
+  ScopedHistogramTimer& operator=(const ScopedHistogramTimer&) = delete;
+  ~ScopedHistogramTimer() {
+    if (hist_ != nullptr) hist_->Record(timer_.ElapsedSeconds());
+  }
+
+ private:
+  Histogram* hist_;
+  WallTimer timer_;
+};
+
+}  // namespace obs
+}  // namespace transn
+
+#endif  // TRANSN_OBS_METRICS_H_

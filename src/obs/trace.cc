@@ -1,0 +1,175 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "obs/json_escape.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace transn {
+namespace obs {
+
+namespace {
+
+/// Per-thread stack of open span paths. Heap-allocated and leaked so spans
+/// living in thread_local destructors never observe a destroyed stack.
+std::vector<std::string>& SpanStack() {
+  thread_local std::vector<std::string>* stack =
+      new std::vector<std::string>();
+  return *stack;
+}
+
+}  // namespace
+
+TraceCollector& TraceCollector::Default() {
+  static TraceCollector* collector = new TraceCollector();
+  return *collector;
+}
+
+void TraceCollector::Record(std::string_view path, double seconds) {
+  if (path.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Materialize ancestors so the export tree is connected even while the
+  // parent span is still open (its own timing folds in when it closes).
+  for (size_t slash = path.find('/'); slash != std::string_view::npos;
+       slash = path.find('/', slash + 1)) {
+    nodes_.try_emplace(std::string(path.substr(0, slash)));
+  }
+  auto [it, inserted] = nodes_.try_emplace(std::string(path));
+  SpanStats& s = it->second;
+  if (s.count == 0) {
+    s.min_seconds = s.max_seconds = seconds;
+  } else {
+    s.min_seconds = std::min(s.min_seconds, seconds);
+    s.max_seconds = std::max(s.max_seconds, seconds);
+  }
+  ++s.count;
+  s.total_seconds += seconds;
+}
+
+std::vector<std::string> TraceCollector::Paths() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(nodes_.size());
+  for (const auto& [path, stats] : nodes_) out.push_back(path);
+  return out;
+}
+
+SpanStats TraceCollector::GetStats(std::string_view path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(path);
+  return it == nodes_.end() ? SpanStats{} : it->second;
+}
+
+void TraceCollector::WriteJson(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Link the flat path map into an explicit tree: every node's parent (the
+  // prefix before its last '/') exists because Record() materializes
+  // ancestors. Sibling order is the map's path order.
+  struct TreeNode {
+    const std::string* path;
+    const SpanStats* stats;
+    std::vector<size_t> children;
+  };
+  std::vector<TreeNode> tree;
+  tree.reserve(nodes_.size());
+  std::map<std::string_view, size_t> index;
+  std::vector<size_t> roots;
+  for (const auto& [path, stats] : nodes_) {
+    tree.push_back({&path, &stats, {}});
+    index.emplace(path, tree.size() - 1);
+  }
+  for (size_t i = 0; i < tree.size(); ++i) {
+    const std::string& path = *tree[i].path;
+    const size_t last_slash = path.rfind('/');
+    if (last_slash == std::string::npos) {
+      roots.push_back(i);
+      continue;
+    }
+    auto parent = index.find(std::string_view(path).substr(0, last_slash));
+    CHECK(parent != index.end()) << "span '" << path << "' has no parent";
+    tree[parent->second].children.push_back(i);
+  }
+
+  auto write_node = [&](auto&& self, size_t i) -> void {
+    const TreeNode& node = tree[i];
+    const std::string& path = *node.path;
+    const size_t last_slash = path.rfind('/');
+    const std::string_view name =
+        last_slash == std::string::npos
+            ? std::string_view(path)
+            : std::string_view(path).substr(last_slash + 1);
+    const SpanStats& stats = *node.stats;
+    os << "{\"name\":\"" << JsonEscape(name) << "\",\"path\":\""
+       << JsonEscape(path) << '"'
+       << StrFormat(",\"count\":%llu,\"total_seconds\":%.9g,"
+                    "\"mean_seconds\":%.9g,\"min_seconds\":%.9g,"
+                    "\"max_seconds\":%.9g",
+                    static_cast<unsigned long long>(stats.count),
+                    stats.total_seconds,
+                    stats.count > 0
+                        ? stats.total_seconds /
+                              static_cast<double>(stats.count)
+                        : 0.0,
+                    stats.min_seconds, stats.max_seconds)
+       << ",\"children\":[";
+    for (size_t c = 0; c < node.children.size(); ++c) {
+      if (c > 0) os << ',';
+      self(self, node.children[c]);
+    }
+    os << "]}";
+  };
+  os << '[';
+  for (size_t r = 0; r < roots.size(); ++r) {
+    if (r > 0) os << ',';
+    write_node(write_node, roots[r]);
+  }
+  os << ']';
+}
+
+void TraceCollector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  nodes_.clear();
+}
+
+TraceSpan::TraceSpan(std::string_view name, TraceCollector* collector)
+    : collector_(collector != nullptr ? collector
+                                      : &TraceCollector::Default()) {
+  std::vector<std::string>& stack = SpanStack();
+  Open(name, stack.empty() ? std::string_view() : stack.back());
+}
+
+TraceSpan::TraceSpan(std::string_view name, std::string_view parent_path,
+                     TraceCollector* collector)
+    : collector_(collector != nullptr ? collector
+                                      : &TraceCollector::Default()) {
+  Open(name, parent_path);
+}
+
+void TraceSpan::Open(std::string_view name, std::string_view parent_path) {
+  CHECK(!name.empty()) << "span name must be non-empty";
+  if (!parent_path.empty()) {
+    path_ = std::string(parent_path) + '/';
+  }
+  // '/' is the path separator; names must not fork the tree accidentally.
+  for (char c : name) path_ += c == '/' ? '_' : c;
+  SpanStack().push_back(path_);
+  timer_.Restart();
+}
+
+std::string TraceSpan::CurrentPath() {
+  const std::vector<std::string>& stack = SpanStack();
+  return stack.empty() ? std::string() : stack.back();
+}
+
+TraceSpan::~TraceSpan() {
+  const double seconds = timer_.ElapsedSeconds();
+  std::vector<std::string>& stack = SpanStack();
+  CHECK(!stack.empty() && stack.back() == path_)
+      << "TraceSpan destroyed out of LIFO order: " << path_;
+  stack.pop_back();
+  collector_->Record(path_, seconds);
+}
+
+}  // namespace obs
+}  // namespace transn

@@ -1,0 +1,105 @@
+#ifndef TRANSN_OBS_TRACE_H_
+#define TRANSN_OBS_TRACE_H_
+
+#include <stdint.h>
+
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace transn {
+namespace obs {
+
+/// Aggregated timing of one span path (e.g. "train/iteration/view:UU").
+struct SpanStats {
+  uint64_t count = 0;
+  double total_seconds = 0.0;
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+};
+
+/// Sink for completed TraceSpans: a path-keyed aggregate tree ("a/b/c" is a
+/// child of "a/b"). Record() takes a mutex, so it belongs at coarse span
+/// granularity (epoch / view / shard), not per-pair. Ancestor paths are
+/// materialized on first child record so the export tree is always
+/// connected, even while a parent span is still open.
+class TraceCollector {
+ public:
+  TraceCollector() = default;
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// The process-wide collector used by all built-in instrumentation.
+  static TraceCollector& Default();
+
+  /// Folds one completed span into the aggregate at `path`.
+  void Record(std::string_view path, double seconds);
+
+  /// All recorded paths in sorted (depth-first tree) order.
+  std::vector<std::string> Paths() const;
+
+  /// Aggregate for `path`; zero-count stats for unknown paths.
+  SpanStats GetStats(std::string_view path) const;
+
+  /// Nested span forest: [{"name", "path", "count", "total_seconds",
+  /// "mean_seconds", "min_seconds", "max_seconds", "children": [...]}].
+  void WriteJson(std::ostream& os) const;
+
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, SpanStats, std::less<>> nodes_;
+};
+
+/// RAII scoped timer that nests: spans opened on the same thread stack up
+/// ("train" → "train/iteration" → "train/iteration/view:UU"), and a worker
+/// thread joins a parent on another thread by passing the parent's path
+/// explicitly (capture TraceSpan::CurrentPath() before scheduling).
+///
+///   TraceSpan iter("iteration");                  // child of enclosing span
+///   const std::string parent = TraceSpan::CurrentPath();
+///   pool->Schedule([parent] { TraceSpan shard("shard", parent); ... });
+///
+/// The destructor records the elapsed wall time into the collector. Spans
+/// must be destroyed in LIFO order per thread (automatic with scoping).
+class TraceSpan {
+ public:
+  /// Opens a span named `name` under the calling thread's innermost open
+  /// span (or as a root). '/' in names is replaced by '_' — it is the path
+  /// separator. Null collector selects TraceCollector::Default().
+  explicit TraceSpan(std::string_view name, TraceCollector* collector = nullptr);
+
+  /// Opens a span under an explicit parent path (empty = root), regardless
+  /// of what is open on the calling thread. This is the cross-thread hook:
+  /// shard spans on pool workers nest under the scheduling thread's span.
+  TraceSpan(std::string_view name, std::string_view parent_path,
+            TraceCollector* collector);
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan();
+
+  /// Full path of this span, e.g. "train/iteration/view:UU".
+  const std::string& path() const { return path_; }
+
+  /// Path of the calling thread's innermost open span; "" when none.
+  static std::string CurrentPath();
+
+ private:
+  void Open(std::string_view name, std::string_view parent_path);
+
+  TraceCollector* collector_;
+  std::string path_;
+  WallTimer timer_;
+};
+
+}  // namespace obs
+}  // namespace transn
+
+#endif  // TRANSN_OBS_TRACE_H_

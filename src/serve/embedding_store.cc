@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 #include "serve/serving_format.h"
 #include "util/string_util.h"
 
@@ -49,6 +51,10 @@ const ServingTranslator* EmbeddingStore::FindTranslator(uint32_t from,
 }
 
 StatusOr<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {
+  const obs::ScopedHistogramTimer load_timer(
+      obs::MetricsRegistry::Default().GetHistogram(
+          obs::kServeModelLoadSeconds, "seconds",
+          "serving-model read + checksum + parse wall time"));
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open: " + path);
   std::ostringstream buf;

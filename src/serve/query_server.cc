@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metric_names.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -35,7 +36,26 @@ QueryServer::QueryServer(const EmbeddingStore* store,
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
     options_.num_threads = pool_->num_threads();
   }
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  requests_counter_ = registry.GetCounter(obs::kServeRequestsTotal, "requests",
+                                          "recorded queries handled");
+  errors_counter_ =
+      registry.GetCounter(obs::kServeRequestErrorsTotal, "requests",
+                          "recorded queries with a non-OK status");
+  coldstart_counter_ =
+      registry.GetCounter(obs::kServeColdStartTotal, "requests",
+                          "queries resolved via cold-start translation");
+  latency_hist_ = registry.GetHistogram(obs::kServeRequestLatencySeconds,
+                                        "seconds",
+                                        "end-to-end per-request latency");
+
+  WallTimer build_timer;
   index_ = std::make_unique<KnnIndex>(&target_matrix(), idx, pool_.get());
+  registry
+      .GetHistogram(obs::kServeIndexBuildSeconds, "seconds",
+                    "k-NN index construction time")
+      ->Record(build_timer.ElapsedSeconds());
 }
 
 QueryServer::~QueryServer() = default;
@@ -58,11 +78,23 @@ QueryResponse QueryServer::HandleInternal(const std::string& node_name,
                                           LatencyHistogram* hist) {
   WallTimer timer;
   QueryResponse resp;
+  // A null `hist` marks warmup traffic, which is excluded from both the
+  // local histogram and the registry's serve.* series.
+  auto finish = [&](QueryResponse r) {
+    if (hist != nullptr) {
+      const double seconds = timer.ElapsedSeconds();
+      hist->Record(seconds);
+      latency_hist_->Record(seconds);
+      requests_counter_->Increment();
+      if (!r.status.ok()) errors_counter_->Increment();
+      if (r.translated) coldstart_counter_->Increment();
+    }
+    return r;
+  };
   const NodeId node = store_->FindNode(node_name);
   if (node == kInvalidNode) {
     resp.status = Status::NotFound("unknown node '" + node_name + "'");
-    if (hist != nullptr) hist->Record(timer.ElapsedSeconds());
-    return resp;
+    return finish(std::move(resp));
   }
   resp.node = node;
 
@@ -75,8 +107,7 @@ QueryResponse QueryServer::HandleInternal(const std::string& node_name,
         translation_.Resolve(node, static_cast<uint32_t>(options_.target_view));
     if (!resolved.ok()) {
       resp.status = resolved.status();
-      if (hist != nullptr) hist->Record(timer.ElapsedSeconds());
-      return resp;
+      return finish(std::move(resp));
     }
     resp.translated = resolved->translated;
     resp.chain = resolved->chain;
@@ -100,8 +131,7 @@ QueryResponse QueryServer::HandleInternal(const std::string& node_name,
     if (resp.neighbors.size() == options_.k) break;
     resp.neighbors.push_back({global, hit.score});
   }
-  if (hist != nullptr) hist->Record(timer.ElapsedSeconds());
-  return resp;
+  return finish(std::move(resp));
 }
 
 QueryResponse QueryServer::Handle(const std::string& node_name, bool record) {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/embedding_store.h"
 #include "serve/knn_index.h"
 #include "serve/translation_service.h"
@@ -95,6 +96,14 @@ class QueryServer {
   std::unique_ptr<KnnIndex> index_;
   std::unique_ptr<ThreadPool> pool_;  // only when num_threads > 1
   LatencyHistogram latency_;
+  /// Registry handles cached at construction (see obs/metric_names.h); the
+  /// serve.* metrics mirror latency_ into the process-wide registry so
+  /// --metrics-out dumps include the query path. Warmup traffic is excluded,
+  /// matching latency_.
+  obs::Counter* requests_counter_;
+  obs::Counter* errors_counter_;
+  obs::Counter* coldstart_counter_;
+  obs::Histogram* latency_hist_;
 };
 
 }  // namespace transn

@@ -2,11 +2,19 @@
 
 #include <algorithm>
 
+#include "obs/metric_names.h"
+
 namespace transn {
 
 RandomWalker::RandomWalker(const ViewGraph* graph, bool is_heter,
                            WalkConfig config)
-    : graph_(graph), is_heter_(is_heter), config_(config) {
+    : graph_(graph),
+      is_heter_(is_heter),
+      config_(config),
+      walks_counter_(obs::MetricsRegistry::Default().GetCounter(
+          obs::kWalkWalksTotal, "walks", "random walks streamed")),
+      steps_counter_(obs::MetricsRegistry::Default().GetCounter(
+          obs::kWalkStepsTotal, "nodes", "nodes emitted across all walks")) {
   CHECK(graph_ != nullptr);
   CHECK_GE(config_.walk_length, 1u);
   CHECK_GE(config_.max_walks_per_node, config_.min_walks_per_node);
@@ -90,6 +98,8 @@ void RandomWalker::WalkInto(ViewGraph::LocalId start, Rng& rng,
     path.push_back(next);
     cur = next;
   }
+  walks_counter_->Increment();
+  steps_counter_->Increment(path.size());
 }
 
 std::vector<std::vector<ViewGraph::LocalId>> RandomWalker::SampleCorpus(

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "graph/view.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace transn {
@@ -70,6 +71,10 @@ class RandomWalker {
   const ViewGraph* graph_;
   bool is_heter_;
   WalkConfig config_;
+  /// walk.walks_total / walk.steps_total handles (thread-safe; one relaxed
+  /// shard increment per walk, so Hogwild workers share the walker freely).
+  obs::Counter* walks_counter_;
+  obs::Counter* steps_counter_;
 };
 
 }  // namespace transn

@@ -1,0 +1,219 @@
+#include "obs/metrics.h"
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace transn {
+namespace obs {
+namespace {
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.ops_total");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  ThreadPool pool(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.Schedule([counter] {
+      for (int i = 0; i < kPerThread; ++i) counter->Increment();
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter->Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(CounterTest, DeltaIncrements) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.bytes_total");
+  counter->Increment(5);
+  counter->Increment();
+  counter->Increment(100);
+  EXPECT_EQ(counter->Value(), 106u);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("test.loss_value");
+  EXPECT_EQ(gauge->Value(), 0.0);
+  gauge->Set(1.5);
+  gauge->Set(-2.25);
+  EXPECT_EQ(gauge->Value(), -2.25);
+}
+
+TEST(HistogramTest, ConcurrentRecordsAllCounted) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("test.latency_seconds");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  ThreadPool pool(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.Schedule([hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist->Record(1e-4 * static_cast<double>(t + 1));
+      }
+    });
+  }
+  pool.Wait();
+  LatencyHistogram merged = hist->Snapshot();
+  EXPECT_EQ(merged.count(), static_cast<size_t>(kThreads) * kPerThread);
+  EXPECT_GT(merged.mean(), 0.0);
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameHandle) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("test.same_total", "ops", "first wins");
+  Counter* b = registry.GetCounter("test.same_total", "ignored", "ignored");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(registry.GetCounter("test.other_total"), a);
+
+  std::vector<MetricInfo> metrics = registry.Metrics();
+  ASSERT_EQ(metrics.size(), 2u);
+  // Name-sorted; first registration's metadata is kept.
+  EXPECT_EQ(metrics[0].name, "test.other_total");
+  EXPECT_EQ(metrics[1].name, "test.same_total");
+  EXPECT_EQ(metrics[1].unit, "ops");
+  EXPECT_EQ(metrics[1].help, "first wins");
+}
+
+TEST(MetricsRegistryTest, TypeMismatchDies) {
+  MetricsRegistry registry;
+  registry.GetCounter("test.mismatch");
+  EXPECT_DEATH(registry.GetGauge("test.mismatch"), "already registered");
+}
+
+TEST(MetricsRegistryTest, LabeledNameFormat) {
+  EXPECT_EQ(LabeledName("train.pairs_total", "view", "UU"),
+            "train.pairs_total{view=UU}");
+}
+
+TEST(MetricsRegistryTest, JsonExportContainsAllMetrics) {
+  MetricsRegistry registry;
+  registry.GetCounter("test.ops_total", "ops")->Increment(3);
+  registry.GetGauge("test.loss_value")->Set(1.5);
+  registry.GetHistogram("test.latency_seconds")->Record(0.25);
+
+  std::ostringstream os;
+  registry.WriteJson(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(Contains(json, "\"metrics\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"test.ops_total\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"value\":3")) << json;
+  EXPECT_TRUE(Contains(json, "\"test.loss_value\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"test.latency_seconds\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"count\":1")) << json;
+  EXPECT_TRUE(Contains(json, "\"p99\"")) << json;
+}
+
+TEST(MetricsRegistryTest, PrometheusExportManglesNamesAndLabels) {
+  MetricsRegistry registry;
+  registry.GetCounter("train.pairs_total")->Increment(7);
+  registry.GetCounter(LabeledName("train.pairs_total", "view", "UU"))
+      ->Increment(4);
+  registry.GetHistogram("serve.request_latency_seconds")->Record(0.001);
+
+  std::ostringstream os;
+  registry.WritePrometheus(os);
+  const std::string text = os.str();
+  EXPECT_TRUE(Contains(text, "# TYPE transn_train_pairs_total counter"))
+      << text;
+  EXPECT_TRUE(Contains(text, "transn_train_pairs_total 7")) << text;
+  EXPECT_TRUE(Contains(text, "transn_train_pairs_total{view=\"UU\"} 4"))
+      << text;
+  EXPECT_TRUE(
+      Contains(text, "transn_serve_request_latency_seconds{quantile=\"0.99\"}"))
+      << text;
+  EXPECT_TRUE(Contains(text, "transn_serve_request_latency_seconds_count 1"))
+      << text;
+}
+
+// Scrapes must be safe while writers are mid-flight (the TSan CI job runs
+// this test): the exact totals observed are unconstrained, but there must be
+// no data race and the final scrape sees everything.
+TEST(MetricsRegistryTest, ScrapeDuringWriteIsRaceFree) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.ops_total");
+  Histogram* hist = registry.GetHistogram("test.latency_seconds");
+  constexpr int kWriters = 4;
+  constexpr int kPerThread = 5000;
+  std::atomic<bool> stop{false};
+
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      std::ostringstream os;
+      registry.WriteJson(os);
+      registry.WritePrometheus(os);
+      EXPECT_FALSE(os.str().empty());
+    }
+  });
+  {
+    ThreadPool pool(kWriters);
+    for (int t = 0; t < kWriters; ++t) {
+      pool.Schedule([&] {
+        for (int i = 0; i < kPerThread; ++i) {
+          counter->Increment();
+          hist->Record(1e-5);
+        }
+      });
+    }
+    pool.Wait();
+  }
+  stop.store(true, std::memory_order_release);
+  scraper.join();
+
+  EXPECT_EQ(counter->Value(), static_cast<uint64_t>(kWriters) * kPerThread);
+  EXPECT_EQ(hist->Snapshot().count(),
+            static_cast<size_t>(kWriters) * kPerThread);
+}
+
+// Registration while another thread registers different names must also be
+// race-free (both take the registry mutex).
+TEST(MetricsRegistryTest, ConcurrentRegistrationIsSafe) {
+  MetricsRegistry registry;
+  ThreadPool pool(4);
+  for (int t = 0; t < 4; ++t) {
+    pool.Schedule([&registry, t] {
+      for (int i = 0; i < 100; ++i) {
+        registry
+            .GetCounter("test.shared_total")  // same name from all threads
+            ->Increment();
+        registry.GetGauge(LabeledName("test.gauge_value", "thread",
+                                      std::to_string(t)));
+      }
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(registry.GetCounter("test.shared_total")->Value(), 400u);
+  EXPECT_EQ(registry.Metrics().size(), 5u);
+}
+
+TEST(ObservabilityJsonTest, CombinedDumpHasSchemaMetricsAndSpans) {
+  MetricsRegistry registry;
+  TraceCollector traces;
+  registry.GetCounter("test.ops_total")->Increment();
+  { TraceSpan span("unit_test", &traces); }
+
+  std::ostringstream os;
+  WriteObservabilityJson(registry, traces, os);
+  const std::string json = os.str();
+  EXPECT_TRUE(Contains(json, "\"schema\":\"transn-obs-v1\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"metrics\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"spans\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"test.ops_total\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"unit_test\"")) << json;
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace transn

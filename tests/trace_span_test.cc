@@ -1,0 +1,205 @@
+#include "obs/trace.h"
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.h"
+
+namespace transn {
+namespace obs {
+namespace {
+
+TEST(TraceSpanTest, NestingBuildsSlashPaths) {
+  TraceCollector collector;
+  {
+    TraceSpan walk("walk", &collector);
+    EXPECT_EQ(walk.path(), "walk");
+    {
+      TraceSpan view("view", &collector);
+      EXPECT_EQ(view.path(), "walk/view");
+    }
+  }
+  std::vector<std::string> paths = collector.Paths();
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0], "walk");
+  EXPECT_EQ(paths[1], "walk/view");
+  EXPECT_EQ(collector.GetStats("walk").count, 1u);
+  EXPECT_EQ(collector.GetStats("walk/view").count, 1u);
+}
+
+TEST(TraceSpanTest, SiblingSpansAggregate) {
+  TraceCollector collector;
+  for (int i = 0; i < 3; ++i) {
+    TraceSpan span("pass", &collector);
+  }
+  const SpanStats stats = collector.GetStats("pass");
+  EXPECT_EQ(stats.count, 3u);
+  EXPECT_GE(stats.total_seconds, 0.0);
+  EXPECT_LE(stats.min_seconds, stats.max_seconds);
+  EXPECT_GE(stats.total_seconds, stats.max_seconds);
+}
+
+TEST(TraceSpanTest, InnerBeforeOuterOrdering) {
+  // The inner span must close (and record) before the outer one; the outer
+  // total includes the inner's, never the reverse.
+  TraceCollector collector;
+  {
+    TraceSpan outer("outer", &collector);
+    {
+      TraceSpan inner("inner", &collector);
+    }
+    EXPECT_EQ(collector.GetStats("outer/inner").count, 1u);
+    EXPECT_EQ(collector.GetStats("outer").count, 0u);  // still open
+  }
+  const SpanStats outer = collector.GetStats("outer");
+  EXPECT_EQ(outer.count, 1u);
+  EXPECT_GE(outer.total_seconds,
+            collector.GetStats("outer/inner").total_seconds);
+}
+
+TEST(TraceSpanTest, CurrentPathTracksInnermostSpan) {
+  TraceCollector collector;
+  EXPECT_EQ(TraceSpan::CurrentPath(), "");
+  {
+    TraceSpan a("a", &collector);
+    EXPECT_EQ(TraceSpan::CurrentPath(), "a");
+    {
+      TraceSpan b("b", &collector);
+      EXPECT_EQ(TraceSpan::CurrentPath(), "a/b");
+    }
+    EXPECT_EQ(TraceSpan::CurrentPath(), "a");
+  }
+  EXPECT_EQ(TraceSpan::CurrentPath(), "");
+}
+
+TEST(TraceSpanTest, SlashInNameIsSanitized) {
+  TraceCollector collector;
+  {
+    TraceSpan span("view:a/b", &collector);
+    EXPECT_EQ(span.path(), "view:a_b");
+  }
+  EXPECT_EQ(collector.GetStats("view:a_b").count, 1u);
+}
+
+TEST(TraceSpanTest, ExplicitParentNestsAcrossThreads) {
+  TraceCollector collector;
+  {
+    TraceSpan train("train", &collector);
+    const std::string parent = train.path();
+    std::thread worker([&collector, parent] {
+      // The worker's own stack is empty; nesting comes from the explicit
+      // parent path captured on the scheduling thread.
+      EXPECT_EQ(TraceSpan::CurrentPath(), "");
+      TraceSpan shard("shard", parent, &collector);
+      EXPECT_EQ(shard.path(), "train/shard");
+    });
+    worker.join();
+  }
+  EXPECT_EQ(collector.GetStats("train/shard").count, 1u);
+  EXPECT_EQ(collector.GetStats("train").count, 1u);
+}
+
+TEST(TraceSpanTest, PoolShardSpansCountedExactly) {
+  TraceCollector collector;
+  constexpr size_t kShards = 8;
+  {
+    TraceSpan view("view", &collector);
+    const std::string parent = view.path();
+    ThreadPool pool(4);
+    for (size_t s = 0; s < kShards; ++s) {
+      pool.Schedule([&collector, parent] {
+        TraceSpan shard("shard", parent, &collector);
+      });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(collector.GetStats("view/shard").count, kShards);
+}
+
+TEST(TraceCollectorTest, AncestorsMaterializedWhileParentOpen) {
+  TraceCollector collector;
+  collector.Record("train/iteration/view:UU", 0.5);
+  // The intermediate paths exist as zero-count placeholders, keeping the
+  // export tree connected even though no parent span has closed yet.
+  std::vector<std::string> paths = collector.Paths();
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_EQ(paths[0], "train");
+  EXPECT_EQ(paths[1], "train/iteration");
+  EXPECT_EQ(paths[2], "train/iteration/view:UU");
+  EXPECT_EQ(collector.GetStats("train").count, 0u);
+  EXPECT_EQ(collector.GetStats("train/iteration/view:UU").count, 1u);
+}
+
+TEST(TraceCollectorTest, StatsAggregateMinMaxTotal) {
+  TraceCollector collector;
+  collector.Record("span", 2.0);
+  collector.Record("span", 1.0);
+  collector.Record("span", 4.0);
+  const SpanStats stats = collector.GetStats("span");
+  EXPECT_EQ(stats.count, 3u);
+  EXPECT_DOUBLE_EQ(stats.total_seconds, 7.0);
+  EXPECT_DOUBLE_EQ(stats.min_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max_seconds, 4.0);
+}
+
+TEST(TraceCollectorTest, JsonNestsChildrenUnderParents) {
+  TraceCollector collector;
+  collector.Record("train/iteration", 1.0);
+  collector.Record("train", 3.0);
+  collector.Record("serve", 0.5);
+  std::ostringstream os;
+  collector.WriteJson(os);
+  const std::string json = os.str();
+  // Two roots; "iteration" appears only inside train's children array.
+  const size_t train_pos = json.find("\"path\":\"train\"");
+  const size_t child_pos = json.find("\"path\":\"train/iteration\"");
+  const size_t serve_pos = json.find("\"path\":\"serve\"");
+  ASSERT_NE(train_pos, std::string::npos) << json;
+  ASSERT_NE(child_pos, std::string::npos) << json;
+  ASSERT_NE(serve_pos, std::string::npos) << json;
+  EXPECT_LT(train_pos, child_pos) << json;
+  EXPECT_NE(json.find("\"children\":[{\"name\":\"iteration\""),
+            std::string::npos)
+      << json;
+}
+
+// Paths that sort between a parent and its children (characters like '-'
+// and '.' precede '/') must not detach the subtree.
+TEST(TraceCollectorTest, JsonTreeSurvivesInterleavedSiblingNames) {
+  TraceCollector collector;
+  collector.Record("train/iteration", 1.0);
+  collector.Record("train-extra", 1.0);  // sorts between "train" and "train/"
+  collector.Record("train.dotted", 1.0);
+  std::ostringstream os;
+  collector.WriteJson(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"children\":[{\"name\":\"iteration\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"path\":\"train-extra\""), std::string::npos) << json;
+}
+
+TEST(TraceCollectorTest, ResetClearsEverything) {
+  TraceCollector collector;
+  collector.Record("a/b", 1.0);
+  collector.Reset();
+  EXPECT_TRUE(collector.Paths().empty());
+  EXPECT_EQ(collector.GetStats("a/b").count, 0u);
+}
+
+TEST(TraceSpanTest, DefaultCollectorIsUsedWhenNull) {
+  const SpanStats before = TraceCollector::Default().GetStats("default_span");
+  {
+    TraceSpan span("default_span");
+  }
+  const SpanStats after = TraceCollector::Default().GetStats("default_span");
+  EXPECT_EQ(after.count, before.count + 1);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace transn

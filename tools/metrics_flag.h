@@ -1,0 +1,36 @@
+#ifndef TRANSN_TOOLS_METRICS_FLAG_H_
+#define TRANSN_TOOLS_METRICS_FLAG_H_
+
+#include <cstdio>
+#include <string>
+
+#include "arg_parse.h"
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace transn {
+
+/// Reads the --metrics-out flag shared by every transn_cli / transn_serve
+/// subcommand. Must be called before Args::CheckAllUsed() so the flag
+/// counts as consumed.
+inline std::string MetricsOutPath(const Args& args) {
+  return args.GetOptionalString("metrics-out");
+}
+
+/// Dumps the process-wide observability JSON (metrics + nested spans, schema
+/// transn-obs-v1) to `path`; no-op when the flag was absent. A failure is a
+/// stderr warning, not an exit-code change — a bad metrics path must not
+/// fail an otherwise successful run.
+inline void MaybeDumpMetrics(const std::string& path) {
+  if (path.empty()) return;
+  Status s = obs::DumpDefaultObservability(path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "warning: --metrics-out: %s\n", s.ToString().c_str());
+    return;
+  }
+  std::fprintf(stderr, "wrote metrics dump %s\n", path.c_str());
+}
+
+}  // namespace transn
+
+#endif  // TRANSN_TOOLS_METRICS_FLAG_H_

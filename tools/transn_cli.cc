@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "arg_parse.h"
+#include "metrics_flag.h"
 #include "baselines/line.h"
 #include "baselines/mve.h"
 #include "baselines/node2vec.h"
@@ -43,6 +44,7 @@ int CmdGenerate(const Args& args) {
   double scale = args.GetDouble("scale", 1.0);
   uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 42));
   std::string out = args.GetString("out");
+  const std::string metrics_out = MetricsOutPath(args);
   args.CheckAllUsed();
 
   auto g = MakeDataset(dataset, scale, seed);
@@ -51,11 +53,13 @@ int CmdGenerate(const Args& args) {
   if (!s.ok()) Args::Fail(s.ToString());
   std::printf("wrote %s: %zu nodes, %zu edges\n", out.c_str(), g->num_nodes(),
               g->num_edges());
+  MaybeDumpMetrics(metrics_out);
   return 0;
 }
 
 int CmdStats(const Args& args) {
   HeteroGraph g = LoadGraphOrDie(args.GetString("graph"));
+  const std::string metrics_out = MetricsOutPath(args);
   args.CheckAllUsed();
   GraphStats s = ComputeStats(g);
   std::printf("nodes: %zu (%s)\n", s.num_nodes,
@@ -67,6 +71,7 @@ int CmdStats(const Args& args) {
                                      : (" (" + s.labeled_type + ")").c_str());
   std::printf("average degree: %.2f, density: %.3e\n", s.average_degree,
               s.density);
+  MaybeDumpMetrics(metrics_out);
   return 0;
 }
 
@@ -157,12 +162,14 @@ int CmdTrain(const Args& args) {
   HeteroGraph g = LoadGraphOrDie(args.GetString("graph"));
   std::string out = args.GetString("out");
   std::string method = args.GetString("method", "transn");
+  const std::string metrics_out = MetricsOutPath(args);
   Matrix emb = TrainByMethod(g, method, args);
   args.CheckAllUsed();
   Status s = SaveEmbeddings(g, emb, out);
   if (!s.ok()) Args::Fail(s.ToString());
   std::printf("wrote %s: %zu x %zu embeddings (%s)\n", out.c_str(),
               emb.rows(), emb.cols(), method.c_str());
+  MaybeDumpMetrics(metrics_out);
   return 0;
 }
 
@@ -176,11 +183,13 @@ int CmdClassify(const Args& args) {
   NodeClassificationConfig eval;
   eval.repeats = static_cast<size_t>(args.GetInt("repeats", 10));
   eval.seed = static_cast<uint64_t>(args.GetInt("seed", 7));
+  const std::string metrics_out = MetricsOutPath(args);
   args.CheckAllUsed();
   auto res = EvaluateNodeClassification(g, loaded->embeddings, eval);
   std::printf("macro-F1 %.4f +/- %.4f\nmicro-F1 %.4f +/- %.4f\n",
               res.macro_f1, res.macro_f1_stddev, res.micro_f1,
               res.micro_f1_stddev);
+  MaybeDumpMetrics(metrics_out);
   return 0;
 }
 
@@ -191,11 +200,13 @@ int CmdLinkpred(const Args& args) {
   task_cfg.seed = static_cast<uint64_t>(args.GetInt("task-seed", 13));
   LinkPredictionTask task = MakeLinkPredictionTask(g, task_cfg);
   std::string method = args.GetString("method", "transn");
+  const std::string metrics_out = MetricsOutPath(args);
   Matrix emb = TrainByMethod(task.residual, method, args);
   args.CheckAllUsed();
   std::printf("AUC %.4f (%zu held-out edges, method %s)\n",
               ScoreLinkPrediction(emb, task), task.positives.size(),
               method.c_str());
+  MaybeDumpMetrics(metrics_out);
   return 0;
 }
 
@@ -213,7 +224,9 @@ void Usage() {
       "           [--save-checkpoint m.ckpt] [--load-checkpoint m.ckpt]\n"
       "           [--export-serving m.bin]  (binary model for transn_serve)\n"
       "  classify --graph g.tsv --embeddings emb.tsv [--repeats 10]\n"
-      "  linkpred --graph g.tsv [--method transn] [--removal 0.4]\n");
+      "  linkpred --graph g.tsv [--method transn] [--removal 0.4]\n"
+      "every subcommand accepts [--metrics-out m.json] to dump the\n"
+      "observability JSON (metric registry + nested trace spans) at exit\n");
 }
 
 }  // namespace

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "arg_parse.h"
+#include "metrics_flag.h"
 #include "serve/embedding_store.h"
 #include "serve/query_server.h"
 #include "util/logging.h"
@@ -42,6 +43,7 @@ EmbeddingStore LoadStoreOrDie(const Args& args) {
 
 int CmdInfo(const Args& args) {
   EmbeddingStore store = LoadStoreOrDie(args);
+  const std::string metrics_out = MetricsOutPath(args);
   args.CheckAllUsed();
   std::printf("serving model: %zu nodes, dim %zu, %zu views, "
               "%zu translators (seq len %zu)\n",
@@ -58,6 +60,7 @@ int CmdInfo(const Args& args) {
                 store.view(t.to_view).name.c_str(), t.weights.size(),
                 t.simple ? " [simple]" : "");
   }
+  MaybeDumpMetrics(metrics_out);
   return 0;
 }
 
@@ -119,6 +122,7 @@ int CmdQuery(const Args& args) {
   if (threads < 0) Args::Fail("--threads must be >= 0 (0 = all cores)");
   opts.num_threads = static_cast<size_t>(threads);
   const int64_t warmup = args.GetInt("warmup", 0);
+  const std::string metrics_out = MetricsOutPath(args);
   std::vector<std::string> queries = ReadQueries(args, store);
   args.CheckAllUsed();
 
@@ -159,6 +163,9 @@ int CmdQuery(const Args& args) {
                    ? static_cast<double>(queries.size()) / wall_seconds
                    : 0.0,
                lat.Summary().c_str());
+  // The same p50/p95/p99 data is in the JSON dump under
+  // serve.request_latency_seconds.
+  MaybeDumpMetrics(metrics_out);
   return errors == 0 ? 0 : 1;
 }
 
@@ -170,7 +177,9 @@ void Usage() {
       "  query  --model model.bin [--view final|<edge-type>] [--k 10]\n"
       "         [--metric cosine|dot] [--index exact|quantized]\n"
       "         [--centroids 0] [--nprobe 0] [--threads 1]\n"
-      "         [--queries names.txt|-] [--sample 0] [--warmup 0]\n");
+      "         [--queries names.txt|-] [--sample 0] [--warmup 0]\n"
+      "both subcommands accept [--metrics-out m.json] to dump the\n"
+      "observability JSON (metric registry + nested trace spans) at exit\n");
 }
 
 }  // namespace
