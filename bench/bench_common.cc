@@ -3,6 +3,10 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include <cinttypes>
+#include <cstring>
+#include <fstream>
+
 #include "baselines/hin2vec.h"
 #include "baselines/line.h"
 #include "baselines/metapath2vec.h"
@@ -12,8 +16,11 @@
 #include "baselines/simple_kg.h"
 #include "core/transn.h"
 #include "data/datasets.h"
+#include "obs/json_escape.h"
 #include "obs/metrics.h"
 #include "util/logging.h"
+#include "util/string_util.h"
+#include "util/vec.h"
 
 namespace transn {
 namespace bench {
@@ -196,6 +203,37 @@ void EmitTable(const TablePrinter& table, const std::string& name) {
   } else {
     std::printf("(metrics snapshot written to %s)\n", metrics_path.c_str());
   }
+}
+
+void WriteBenchJson(const std::string& name,
+                    const std::vector<BenchJsonEntry>& entries) {
+  const char* dir = std::getenv("TRANSN_BENCH_OUT_DIR");
+  std::string path = dir != nullptr && dir[0] != '\0'
+                         ? std::string(dir) + "/BENCH_" + name + ".json"
+                         : "BENCH_" + name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    LOG(WARNING) << "could not open " << path << " for writing";
+    return;
+  }
+  out << "{\n  \"schema\": \"transn-bench-v1\",\n  \"bench\": \""
+      << obs::JsonEscape(name) << "\",\n  \"isa\": \""
+      << vec::IsaName(vec::ActiveIsa()) << "\",\n  \"benches\": {";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const BenchJsonEntry& e = entries[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    \"" << obs::JsonEscape(e.name) << "\": {\"metric\": \""
+        << obs::JsonEscape(e.metric) << "\", \"value\": "
+        << StrFormat("%.17g", e.value) << ", \"unit\": \""
+        << obs::JsonEscape(e.unit) << "\"}";
+  }
+  out << "\n  }\n}\n";
+  out.close();
+  if (!out) {
+    LOG(WARNING) << "could not write " << path;
+    return;
+  }
+  std::printf("(bench json written to %s)\n", path.c_str());
 }
 
 }  // namespace bench

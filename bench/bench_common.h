@@ -51,6 +51,25 @@ std::vector<Method> AblationMethods();
 /// working directory.
 void EmitTable(const TablePrinter& table, const std::string& name);
 
+/// One scalar result in a BENCH_*.json dump: bench name -> {metric, value,
+/// unit}. `name` keys the "benches" object, so it must be unique per file.
+struct BenchJsonEntry {
+  std::string name;    // e.g. "dot_d128_avx2"
+  std::string metric;  // e.g. "speedup_vs_scalar", "pairs_per_second"
+  double value = 0.0;
+  std::string unit;    // e.g. "x", "pairs/s", "ns/op"
+};
+
+/// Writes `BENCH_<name>.json` (schema transn-bench-v1) to the working
+/// directory — CI runs the benches from the repo root, so the dumps land
+/// there. TRANSN_BENCH_OUT_DIR overrides the directory. Schema:
+///   {"schema": "transn-bench-v1", "bench": "<name>",
+///    "isa": "<active kernel ISA>",
+///    "benches": {"<entry name>": {"metric": ..., "value": ..., "unit": ...}}}
+/// A write failure is a stderr warning, not an exit-code change.
+void WriteBenchJson(const std::string& name,
+                    const std::vector<BenchJsonEntry>& entries);
+
 }  // namespace bench
 }  // namespace transn
 

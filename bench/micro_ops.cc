@@ -1,9 +1,18 @@
 // Google-benchmark microbenchmarks for the hot primitives: alias sampling,
 // biased correlated walk steps, SGNS pair updates, dense/sparse matmul, and
-// translator forward+backward.
+// translator forward+backward — plus before/after timings of every vector
+// kernel (util/vec.h) against its scalar reference. main() first writes the
+// kernel speedups to BENCH_kernels.json (schema transn-bench-v1, see
+// bench_common.h), then runs the registered google benchmarks as usual.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+#include "bench_common.h"
 #include "core/translator.h"
 #include "data/datasets.h"
 #include "emb/embedding_table.h"
@@ -12,6 +21,8 @@
 #include "graph/view.h"
 #include "nn/init.h"
 #include "nn/ops.h"
+#include "util/timer.h"
+#include "util/vec.h"
 #include "walk/random_walk.h"
 
 namespace transn {
@@ -113,7 +124,179 @@ void BM_TranslatorForwardBackward(benchmark::State& state) {
 }
 BENCHMARK(BM_TranslatorForwardBackward)->Arg(1)->Arg(3)->Arg(6);
 
+// --- vec.h kernels: dispatched vs scalar reference -------------------------
+
+/// Fills `n` doubles with a reproducible non-trivial pattern in (-1, 1).
+std::vector<double> KernelOperand(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.NextDouble(-1.0, 1.0);
+  return v;
+}
+
+void BM_VecDot(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const auto a = KernelOperand(d, 10);
+  const auto b = KernelOperand(d, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vec::Dot(a.data(), b.data(), d));
+  }
+}
+BENCHMARK(BM_VecDot)->Arg(64)->Arg(128);
+
+void BM_VecDotScalarRef(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const auto a = KernelOperand(d, 10);
+  const auto b = KernelOperand(d, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vec::ref::Dot(a.data(), b.data(), d));
+  }
+}
+BENCHMARK(BM_VecDotScalarRef)->Arg(64)->Arg(128);
+
+void BM_VecAxpy(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const auto x = KernelOperand(d, 12);
+  auto y = KernelOperand(d, 13);
+  for (auto _ : state) {
+    vec::Axpy(0.25, x.data(), y.data(), d);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_VecAxpy)->Arg(64)->Arg(128);
+
+void BM_VecFusedSgnsUpdate(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const auto v = KernelOperand(d, 14);
+  auto u = KernelOperand(d, 15);
+  std::vector<double> grad(d, 0.0);
+  for (auto _ : state) {
+    vec::FusedSgnsUpdate(0.5, 0.0125, v.data(), u.data(), grad.data(), d);
+    benchmark::DoNotOptimize(u.data());
+    benchmark::DoNotOptimize(grad.data());
+  }
+}
+BENCHMARK(BM_VecFusedSgnsUpdate)->Arg(64)->Arg(128);
+
+// --- BENCH_kernels.json: hand-timed before/after per kernel ----------------
+
+/// Times `fn` (one run = `d`-sized kernel call) and returns ns/call. The
+/// repeat count targets a few milliseconds per measurement; the minimum of
+/// several trials is reported — the standard microbenchmark estimator, since
+/// scheduler preemption and frequency dips only ever inflate a trial.
+template <typename Fn>
+double TimeKernelNs(size_t iters, Fn&& fn) {
+  // Warm up (first AVX2 call pays the dispatch branch + frequency ramp).
+  for (size_t i = 0; i < iters / 16 + 1; ++i) fn();
+  constexpr size_t kTrials = 5;
+  const size_t per_trial = iters / kTrials + 1;
+  double best_ns = std::numeric_limits<double>::infinity();
+  for (size_t t = 0; t < kTrials; ++t) {
+    WallTimer timer;
+    for (size_t i = 0; i < per_trial; ++i) fn();
+    best_ns = std::min(best_ns, timer.ElapsedSeconds() * 1e9 /
+                                    static_cast<double>(per_trial));
+  }
+  return best_ns;
+}
+
+void AppendKernelEntries(const std::string& kernel, size_t d, double ref_ns,
+                         double simd_ns,
+                         std::vector<bench::BenchJsonEntry>* entries) {
+  const std::string base = kernel + "_d" + std::to_string(d);
+  entries->push_back({base + "_scalar", "latency", ref_ns, "ns/op"});
+  entries->push_back({base + "_" + vec::IsaName(vec::ActiveIsa()), "latency",
+                      simd_ns, "ns/op"});
+  entries->push_back({base + "_speedup", "speedup_vs_scalar",
+                      simd_ns > 0.0 ? ref_ns / simd_ns : 0.0, "x"});
+}
+
+/// Benchmarks every vec.h kernel against its scalar reference at the two
+/// embedding dims the repo actually trains with, and dumps the results to
+/// BENCH_kernels.json in the working directory.
+void WriteKernelBenchJson() {
+  std::vector<bench::BenchJsonEntry> entries;
+  constexpr size_t kIters = 400000;
+  for (size_t d : {size_t{64}, size_t{128}}) {
+    const auto a = KernelOperand(d, 20);
+    const auto b = KernelOperand(d, 21);
+    auto y = KernelOperand(d, 22);
+    std::vector<double> grad(d, 0.0);
+    volatile double sink = 0.0;
+
+    AppendKernelEntries(
+        "dot", d,
+        TimeKernelNs(kIters,
+                     [&] { sink = vec::ref::Dot(a.data(), b.data(), d); }),
+        TimeKernelNs(kIters, [&] { sink = vec::Dot(a.data(), b.data(), d); }),
+        &entries);
+    AppendKernelEntries(
+        "axpy", d,
+        TimeKernelNs(kIters,
+                     [&] { vec::ref::Axpy(0.25, a.data(), y.data(), d); }),
+        TimeKernelNs(kIters, [&] { vec::Axpy(0.25, a.data(), y.data(), d); }),
+        &entries);
+    AppendKernelEntries(
+        "scaled_sub", d,
+        TimeKernelNs(
+            kIters, [&] { vec::ref::ScaledSub(y.data(), 0.25, a.data(), d); }),
+        TimeKernelNs(kIters,
+                     [&] { vec::ScaledSub(y.data(), 0.25, a.data(), d); }),
+        &entries);
+    AppendKernelEntries(
+        "squared_distance", d,
+        TimeKernelNs(
+            kIters,
+            [&] { sink = vec::ref::SquaredDistance(a.data(), b.data(), d); }),
+        TimeKernelNs(
+            kIters,
+            [&] { sink = vec::SquaredDistance(a.data(), b.data(), d); }),
+        &entries);
+    AppendKernelEntries(
+        "fused_sgns", d,
+        TimeKernelNs(kIters,
+                     [&] {
+                       vec::ref::FusedSgnsUpdate(0.5, 0.0125, a.data(),
+                                                 y.data(), grad.data(), d);
+                     }),
+        TimeKernelNs(kIters,
+                     [&] {
+                       vec::FusedSgnsUpdate(0.5, 0.0125, a.data(), y.data(),
+                                            grad.data(), d);
+                     }),
+        &entries);
+    (void)sink;
+  }
+  // Sigmoid: LUT (active whenever SIMD is) vs exact std::exp reference.
+  {
+    const auto xs = KernelOperand(256, 23);
+    volatile double sink = 0.0;
+    const double ref_ns = TimeKernelNs(40000, [&] {
+      double acc = 0.0;
+      for (double x : xs) acc += vec::ref::Sigmoid(8.0 * x);
+      sink = acc;
+    });
+    const double lut_ns = TimeKernelNs(40000, [&] {
+      double acc = 0.0;
+      for (double x : xs) acc += vec::Sigmoid(8.0 * x);
+      sink = acc;
+    });
+    (void)sink;
+    AppendKernelEntries("sigmoid_x256", 1, ref_ns, lut_ns, &entries);
+  }
+  bench::WriteBenchJson("kernels", entries);
+}
+
 }  // namespace
 }  // namespace transn
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::printf("vector kernel ISA: %s\n",
+              transn::vec::IsaName(transn::vec::ActiveIsa()));
+  transn::WriteKernelBenchJson();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

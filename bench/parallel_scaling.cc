@@ -13,11 +13,13 @@
 
 #include <cstdio>
 #include <thread>
+#include <vector>
 
 #include "bench_common.h"
 #include "core/transn.h"
 #include "data/hsbm.h"
 #include "util/string_util.h"
+#include "util/vec.h"
 
 namespace {
 
@@ -44,6 +46,29 @@ HeteroGraph ScalingHsbm(double scale, uint64_t seed) {
   return GenerateHsbm(spec);
 }
 
+/// One measured training run: total single-view pairs/sec over
+/// `cfg.iterations` iterations at `threads` workers.
+double MeasurePairsPerSec(const HeteroGraph& g, TransNConfig cfg,
+                          size_t threads, size_t* pairs_out = nullptr,
+                          size_t* walks_out = nullptr,
+                          double* seconds_out = nullptr) {
+  cfg.num_threads = threads;
+  TransNModel model(&g, cfg);
+  size_t pairs = 0;
+  size_t walks = 0;
+  double seconds = 0.0;
+  for (size_t i = 0; i < cfg.iterations; ++i) {
+    const TransNIterationStats stats = model.RunIteration();
+    pairs += stats.single_view_pairs;
+    walks += stats.single_view_walks;
+    seconds += stats.single_view_seconds;
+  }
+  if (pairs_out != nullptr) *pairs_out = pairs;
+  if (walks_out != nullptr) *walks_out = walks;
+  if (seconds_out != nullptr) *seconds_out = seconds;
+  return seconds > 0.0 ? pairs / seconds : 0.0;
+}
+
 }  // namespace
 
 int main() {
@@ -53,9 +78,10 @@ int main() {
   std::printf(
       "PARALLEL SCALING: Hogwild single-view training throughput vs thread "
       "count\nHSBM network (scale %.2f): %zu nodes, %zu edges; hardware "
-      "threads: %u\n\n",
+      "threads: %u; kernel ISA: %s\n\n",
       scale, g.num_nodes(), g.num_edges(),
-      std::thread::hardware_concurrency());
+      std::thread::hardware_concurrency(),
+      vec::IsaName(vec::ActiveIsa()));
 
   TransNConfig base = BenchTransNConfig(BenchSeed());
   base.dim = 64;
@@ -65,23 +91,16 @@ int main() {
   base.walk.max_walks_per_node = 6;
   base.enable_cross_view = false;  // isolate the Hogwild hot path
 
+  std::vector<BenchJsonEntry> json;
   TablePrinter table({"threads", "pairs", "seconds", "pairs/sec", "walks/sec",
                       "speedup vs 1 thread"});
   double base_pairs_per_sec = 0.0;
   for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
-    TransNConfig cfg = base;
-    cfg.num_threads = threads;
-    TransNModel model(&g, cfg);
     size_t pairs = 0;
     size_t walks = 0;
     double seconds = 0.0;
-    for (size_t i = 0; i < cfg.iterations; ++i) {
-      const TransNIterationStats stats = model.RunIteration();
-      pairs += stats.single_view_pairs;
-      walks += stats.single_view_walks;
-      seconds += stats.single_view_seconds;
-    }
-    const double pairs_per_sec = seconds > 0.0 ? pairs / seconds : 0.0;
+    const double pairs_per_sec =
+        MeasurePairsPerSec(g, base, threads, &pairs, &walks, &seconds);
     const double walks_per_sec = seconds > 0.0 ? walks / seconds : 0.0;
     if (threads == 1) base_pairs_per_sec = pairs_per_sec;
     table.AddRow({StrFormat("%zu", threads), StrFormat("%zu", pairs),
@@ -95,6 +114,8 @@ int main() {
                       2)});
     std::fprintf(stderr, "  threads=%zu: %.0f pairs/s\n", threads,
                  pairs_per_sec);
+    json.push_back({StrFormat("pairs_per_sec_t%zu", threads),
+                    "pairs_per_second", pairs_per_sec, "pairs/s"});
   }
 
   EmitTable(table, "parallel_scaling");
@@ -103,5 +124,43 @@ int main() {
       "seed); >1 threads apply Hogwild updates (statistically equivalent, "
       "not bit-deterministic). Rows beyond the hardware thread count "
       "oversubscribe and plateau.\n");
+
+  // --- Vector kernels on vs off (util/vec.h) -------------------------------
+  // Same workload at 1 and hardware-concurrency threads, with the SIMD
+  // kernels force-disabled and then re-enabled: the per-PR record of what
+  // the kernel layer buys on top of Hogwild scaling.
+  const size_t hw = std::thread::hardware_concurrency() > 0
+                        ? std::thread::hardware_concurrency()
+                        : 1;
+  std::printf("\nKERNELS ON vs OFF: pairs/sec with the vec.h SIMD kernels "
+              "(isa %s) vs the scalar fallback\n\n",
+              vec::IsaName(vec::BestIsa()));
+  TablePrinter kernels_table(
+      {"threads", "pairs/sec scalar", "pairs/sec simd", "kernel speedup"});
+  const bool simd_was_enabled = vec::SimdEnabled();
+  for (size_t threads : {size_t{1}, hw}) {
+    vec::SetSimdEnabled(false);
+    const double scalar_pps = MeasurePairsPerSec(g, base, threads);
+    vec::SetSimdEnabled(true);
+    const double simd_pps = MeasurePairsPerSec(g, base, threads);
+    kernels_table.AddRow(
+        {StrFormat("%zu", threads), TablePrinter::Num(scalar_pps, 0),
+         TablePrinter::Num(simd_pps, 0),
+         TablePrinter::Num(scalar_pps > 0.0 ? simd_pps / scalar_pps : 0.0,
+                           2)});
+    std::fprintf(stderr, "  threads=%zu: scalar %.0f, simd %.0f pairs/s\n",
+                 threads, scalar_pps, simd_pps);
+    json.push_back({StrFormat("pairs_per_sec_t%zu_scalar", threads),
+                    "pairs_per_second", scalar_pps, "pairs/s"});
+    json.push_back({StrFormat("pairs_per_sec_t%zu_simd", threads),
+                    "pairs_per_second", simd_pps, "pairs/s"});
+    json.push_back({StrFormat("kernel_speedup_t%zu", threads),
+                    "speedup_vs_scalar",
+                    scalar_pps > 0.0 ? simd_pps / scalar_pps : 0.0, "x"});
+    if (threads == hw) break;  // hw may equal 1; don't measure twice
+  }
+  vec::SetSimdEnabled(simd_was_enabled);
+  EmitTable(kernels_table, "parallel_scaling_kernels");
+  WriteBenchJson("parallel_scaling", json);
   return 0;
 }

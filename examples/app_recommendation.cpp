@@ -14,6 +14,7 @@
 #include "data/datasets.h"
 #include "eval/link_prediction.h"
 #include "util/timer.h"
+#include "util/vec.h"
 
 int main(int argc, char** argv) {
   using namespace transn;
@@ -61,7 +62,7 @@ int main(int argc, char** argv) {
     for (NodeId applet : applets) {
       if (task.residual.HasEdge(user, applet)) continue;  // already used
       scored.push_back(
-          {Dot(emb.Row(user), emb.Row(applet), emb.cols()), applet});
+          {vec::Dot(emb.Row(user), emb.Row(applet), emb.cols()), applet});
     }
     std::partial_sort(scored.begin(), scored.begin() + 5, scored.end(),
                       [](const auto& a, const auto& b) { return a.first > b.first; });

@@ -10,6 +10,7 @@
 
 #include "core/transn.h"
 #include "graph/hetero_graph.h"
+#include "util/vec.h"
 
 namespace {
 
@@ -52,9 +53,9 @@ HeteroGraph BuildToyNetwork() {
 }
 
 double Cosine(const Matrix& emb, NodeId a, NodeId b) {
-  double ab = Dot(emb.Row(a), emb.Row(b), emb.cols());
-  double aa = Dot(emb.Row(a), emb.Row(a), emb.cols());
-  double bb = Dot(emb.Row(b), emb.Row(b), emb.cols());
+  double ab = vec::Dot(emb.Row(a), emb.Row(b), emb.cols());
+  double aa = vec::Dot(emb.Row(a), emb.Row(a), emb.cols());
+  double bb = vec::Dot(emb.Row(b), emb.Row(b), emb.cols());
   return ab / std::sqrt(std::max(aa * bb, 1e-30));
 }
 

@@ -13,15 +13,16 @@
 
 #include "core/transn.h"
 #include "data/datasets.h"
+#include "util/vec.h"
 
 namespace {
 
 using namespace transn;
 
 double RowCosine(const Matrix& a, size_t ra, const Matrix& b, size_t rb) {
-  double ab = Dot(a.Row(ra), b.Row(rb), a.cols());
-  double aa = Dot(a.Row(ra), a.Row(ra), a.cols());
-  double bb = Dot(b.Row(rb), b.Row(rb), b.cols());
+  double ab = vec::Dot(a.Row(ra), b.Row(rb), a.cols());
+  double aa = vec::Dot(a.Row(ra), a.Row(ra), a.cols());
+  double bb = vec::Dot(b.Row(rb), b.Row(rb), b.cols());
   return ab / std::sqrt(std::max(aa * bb, 1e-30));
 }
 

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Fails when a private dot-product / sigmoid implementation creeps back into
+# src/ outside the shared kernel layer (util/vec.*). Run from the repository
+# root (the docs-consistency CI job does); no arguments.
+#
+# PR 4 rewired the three historical private dot loops (sgns.cc, knn_index.cc
+# Dot4, matrix.cc Dot) through vec::Dot — this guard keeps it that way. Two
+# shapes are banned outside src/util/vec.cc:
+#
+#   1. scalar dot accumulation:   acc += a[i] * b[i];
+#   2. a private logistic sigmoid named Sigmoid returning 1/(1+exp(-x))
+#      (the emb/ trainers must use vec::Sigmoid; baselines/ and nn/ops.cc
+#      autograd kernels are grandfathered below — they are not hot paths and
+#      nn::Sigmoid is a Matrix op, not a scalar helper).
+set -euo pipefail
+
+src_dir="src"
+allow_sigmoid_regex='^src/(util/vec\.(cc|h)|nn/ops\.cc|baselines/)'
+
+[[ -d "$src_dir" ]] || { echo "run from the repository root" >&2; exit 1; }
+
+fail=0
+
+# 1. Private dot-accumulation loops: `x += a[i] * b[i];` over any index var.
+dot_hits=$(grep -rnE \
+    '\+= *[A-Za-z_][A-Za-z_0-9]*\[[a-z]+\] *\* *[A-Za-z_][A-Za-z_0-9]*\[[a-z]+\] *;' \
+    "$src_dir" --include='*.cc' --include='*.h' \
+  | grep -v '^src/util/vec\.cc' || true)
+if [[ -n "$dot_hits" ]]; then
+  echo "private dot-product loops found outside src/util/vec.cc —" \
+       "use vec::Dot (util/vec.h):" >&2
+  echo "$dot_hits" >&2
+  fail=1
+fi
+
+# 2. Private scalar Sigmoid helpers outside the allowlist.
+sig_hits=$(grep -rnE 'double +Sigmoid *\( *double' \
+    "$src_dir" --include='*.cc' --include='*.h' \
+  | grep -vE "$allow_sigmoid_regex" || true)
+if [[ -n "$sig_hits" ]]; then
+  echo "private scalar Sigmoid found outside the kernel layer —" \
+       "use vec::Sigmoid (util/vec.h):" >&2
+  echo "$sig_hits" >&2
+  fail=1
+fi
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "route inner-product / sigmoid hot loops through util/vec.h" >&2
+  exit 1
+fi
+echo "OK: no private dot-product or sigmoid implementations outside util/vec"

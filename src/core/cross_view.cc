@@ -7,6 +7,7 @@
 #include "obs/metric_names.h"
 #include "obs/trace.h"
 #include "util/timer.h"
+#include "util/vec.h"
 
 namespace transn {
 namespace {
@@ -121,8 +122,7 @@ void CrossViewTrainer::ApplyEmbeddingGrads(const std::vector<NodeId>& window,
     CHECK_NE(local, kInvalidNode);
     auto [it, inserted] =
         row_grads.try_emplace(local, std::vector<double>(grads.cols(), 0.0));
-    const double* g = grads.Row(k);
-    for (size_t c = 0; c < grads.cols(); ++c) it->second[c] += g[c];
+    vec::Axpy(1.0, grads.Row(k), it->second.data(), grads.cols());
   }
   EmbeddingTable& table = side->embeddings();
   table.BeginAdamStep();

@@ -7,6 +7,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/timer.h"
+#include "util/vec.h"
 
 namespace transn {
 
@@ -14,6 +15,12 @@ TransNModel::TransNModel(const HeteroGraph* graph, TransNConfig config)
     : graph_(graph), config_(config), rng_(config.seed) {
   CHECK(graph_ != nullptr);
   CHECK_GT(graph_->num_nodes(), 0u);
+
+  // Record which kernel ISA this training run dispatches to (see util/vec.h).
+  obs::MetricsRegistry::Default()
+      .GetGauge(obs::kKernelsIsa, "isa",
+                "vector-kernel ISA: 0=scalar, 1=avx2, 2=neon")
+      ->Set(static_cast<double>(vec::ActiveIsa()));
 
   // Hogwild pool (TransNConfig::num_threads): 1 keeps the exact sequential
   // path; 0 = hardware concurrency. A pool that resolves to a single worker
@@ -143,7 +150,7 @@ Matrix TransNModel::FinalEmbeddings() const {
       double norm_sum = 0.0;
       for (ViewGraph::LocalId local = 0; local < vg.num_nodes(); ++local) {
         const double* row = table.Row(local);
-        norm_sum += std::sqrt(Dot(row, row, config_.dim));
+        norm_sum += std::sqrt(vec::Dot(row, row, config_.dim));
       }
       const double mean_norm = norm_sum / static_cast<double>(vg.num_nodes());
       if (mean_norm > 1e-12) view_scale = 1.0 / mean_norm;
@@ -155,11 +162,11 @@ Matrix TransNModel::FinalEmbeddings() const {
       double* dst = out.Row(global);
       double scale = view_scale;
       if (config_.view_average == ViewAverageKind::kRowNormalized) {
-        const double norm = std::sqrt(Dot(row, row, config_.dim));
+        const double norm = std::sqrt(vec::Dot(row, row, config_.dim));
         if (norm <= 1e-12) continue;
         scale = 1.0 / norm;
       }
-      for (size_t c = 0; c < config_.dim; ++c) dst[c] += scale * row[c];
+      vec::Axpy(scale, row, dst, config_.dim);
       ++view_counts[global];
     }
   }

@@ -1,5 +1,7 @@
 #include "emb/embedding_table.h"
 
+#include "util/vec.h"
+
 namespace transn {
 
 EmbeddingTable::EmbeddingTable(size_t num_rows, size_t dim, Rng& rng)
@@ -17,8 +19,7 @@ EmbeddingTable::EmbeddingTable(size_t num_rows, size_t dim)
 }
 
 void EmbeddingTable::SgdStep(size_t r, const double* grad, double lr) {
-  double* row = Row(r);
-  for (size_t i = 0; i < dim(); ++i) row[i] -= lr * grad[i];
+  vec::ScaledSub(Row(r), lr, grad, dim());
 }
 
 void EmbeddingTable::EnsureAdamState() {

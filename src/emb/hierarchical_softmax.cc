@@ -4,15 +4,12 @@
 #include <cmath>
 #include <queue>
 
+#include "emb/pair_scratch.h"
 #include "emb/sgns.h"
 #include "util/hogwild.h"
+#include "util/vec.h"
 
 namespace transn {
-namespace {
-
-double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
-
-}  // namespace
 
 HuffmanTree::HuffmanTree(const std::vector<double>& counts) {
   const size_t vocab = counts.size();
@@ -84,45 +81,35 @@ double HierarchicalSoftmaxTrainer::TrainPair(uint32_t center,
   const std::vector<bool>& code = tree_.Code(context);
   const std::vector<uint32_t>& path = tree_.Path(context);
 
-  // Per-call scratch (stack for practical dims) keeps TrainPair reentrant
+  // Per-thread scratch (stack for practical dims) keeps TrainPair reentrant
   // for Hogwild workers sharing this trainer; see SgnsTrainer::TrainPair.
   constexpr size_t kMaxStackDim = SgnsTrainer::kMaxStackDim;
-  double stack_grad[kMaxStackDim];
-  std::vector<double> heap_grad;
-  double* center_grad = stack_grad;
-  if (d > kMaxStackDim) {
-    heap_grad.resize(d);
-    center_grad = heap_grad.data();
-  }
+  double stack_buf[3 * kMaxStackDim];
+  double* scratch = d <= kMaxStackDim ? stack_buf : PairScratch(3 * d);
+  double* center_grad = scratch;
+  double* v_snap = scratch + d;
+  double* u_snap = scratch + 2 * d;
   std::fill(center_grad, center_grad + d, 0.0);
 
   // Snapshot of the center row: v is only written after the path loop, so
   // single-threaded results are unchanged, while concurrent workers see one
   // consistent center vector per pair.
-  double stack_v[kMaxStackDim];
-  std::vector<double> heap_v;
-  double* v_snap = stack_v;
-  if (d > kMaxStackDim) {
-    heap_v.resize(d);
-    v_snap = heap_v.data();
-  }
   for (size_t i = 0; i < d; ++i) v_snap[i] = hogwild::Load(v + i);
 
   double loss = 0.0;
   for (size_t j = 0; j < code.size(); ++j) {
     double* u = node_vectors_.Row(path[j]);
-    double score = 0.0;
-    for (size_t i = 0; i < d; ++i) score += hogwild::Load(u + i) * v_snap[i];
+    // Snapshot the internal-node row so the kernels read private memory.
+    for (size_t i = 0; i < d; ++i) u_snap[i] = hogwild::Load(u + i);
+    const double score = vec::Dot(u_snap, v_snap, d);
     // Label 1 for branch 0 (word2vec convention): p = sigma(u.v).
     const double label = code[j] ? 0.0 : 1.0;
-    const double pred = Sigmoid(score);
-    loss += label > 0.5 ? -std::log(std::max(pred, 1e-12))
-                        : -std::log(std::max(1.0 - pred, 1e-12));
+    const double pred = vec::Sigmoid(score);
+    loss += vec::SgnsPairLoss(score, pred, label > 0.5);
     const double g = pred - label;
-    for (size_t i = 0; i < d; ++i) {
-      center_grad[i] += g * hogwild::Load(u + i);
-      hogwild::SubInPlace(u + i, learning_rate_ * g * v_snap[i]);
-    }
+    vec::FusedSgnsUpdate(g, learning_rate_ * g, v_snap, u_snap, center_grad,
+                         d);
+    for (size_t i = 0; i < d; ++i) hogwild::Store(u + i, u_snap[i]);
   }
   for (size_t i = 0; i < d; ++i) {
     hogwild::SubInPlace(v + i, learning_rate_ * center_grad[i]);

@@ -1,0 +1,24 @@
+#ifndef TRANSN_EMB_PAIR_SCRATCH_H_
+#define TRANSN_EMB_PAIR_SCRATCH_H_
+
+#include <stddef.h>
+
+#include <vector>
+
+namespace transn {
+
+/// Reusable per-thread scratch for the pair trainers' snapshot/gradient
+/// buffers when the embedding dimension exceeds the stack budget. The buffer
+/// grows monotonically and is reused across TrainPair calls, so the hot path
+/// never allocates after the first oversized call on a thread (the old code
+/// constructed std::vectors per call). thread_local keeps TrainPair
+/// reentrant across concurrent Hogwild workers sharing one trainer.
+inline double* PairScratch(size_t n) {
+  thread_local std::vector<double> buffer;
+  if (buffer.size() < n) buffer.resize(n);
+  return buffer.data();
+}
+
+}  // namespace transn
+
+#endif  // TRANSN_EMB_PAIR_SCRATCH_H_

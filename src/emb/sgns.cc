@@ -1,16 +1,13 @@
 #include "emb/sgns.h"
 
-#include <cmath>
+#include <algorithm>
 
+#include "emb/pair_scratch.h"
 #include "util/hogwild.h"
 #include "util/logging.h"
+#include "util/vec.h"
 
 namespace transn {
-namespace {
-
-double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
-
-}  // namespace
 
 SgnsTrainer::SgnsTrainer(EmbeddingTable* input, EmbeddingTable* context,
                          const NegativeSampler* sampler, SgnsConfig config)
@@ -25,43 +22,36 @@ double SgnsTrainer::TrainPair(uint32_t center, uint32_t context, Rng& rng) {
   const double lr = config_.learning_rate;
   double* v = input_->Row(center);
 
-  // Per-call scratch keeps TrainPair reentrant: concurrent Hogwild workers
-  // share one trainer. A stack buffer covers every practical dim without
-  // allocating on the hot path.
-  double stack_grad[kMaxStackDim];
-  std::vector<double> heap_grad;
-  double* center_grad = stack_grad;
-  if (d > kMaxStackDim) {
-    heap_grad.resize(d);
-    center_grad = heap_grad.data();
-  }
+  // Three private d-sized buffers keep TrainPair reentrant (concurrent
+  // Hogwild workers share one trainer) and give the vector kernels race-free
+  // operands: center_grad accumulates the center update, v_snap / u_snap are
+  // relaxed-atomic snapshots of the shared rows. Stack for every practical
+  // dim; a reusable per-thread buffer beyond that (no per-call allocation).
+  double stack_buf[3 * kMaxStackDim];
+  double* scratch = d <= kMaxStackDim ? stack_buf : PairScratch(3 * d);
+  double* center_grad = scratch;
+  double* v_snap = scratch + d;
+  double* u_snap = scratch + 2 * d;
   std::fill(center_grad, center_grad + d, 0.0);
 
   // The center row is read once per pair; the snapshot keeps the math of
   // one pair internally consistent even while other workers update v.
-  double stack_v[kMaxStackDim];
-  std::vector<double> heap_v;
-  double* v_snap = stack_v;
-  if (d > kMaxStackDim) {
-    heap_v.resize(d);
-    v_snap = heap_v.data();
-  }
   for (size_t i = 0; i < d; ++i) v_snap[i] = hogwild::Load(v + i);
 
   double loss = 0.0;
   auto update_with = [&](uint32_t ctx_id, double label) {
     double* u = context_->Row(ctx_id);
-    double score = 0.0;
-    for (size_t i = 0; i < d; ++i) score += v_snap[i] * hogwild::Load(u + i);
-    const double pred = Sigmoid(score);
+    // Snapshot u so the dot product and the fused update read one consistent
+    // row (and so the SIMD lanes never touch shared memory).
+    for (size_t i = 0; i < d; ++i) u_snap[i] = hogwild::Load(u + i);
+    const double score = vec::Dot(v_snap, u_snap, d);
+    const double pred = vec::Sigmoid(score);
     // d(-log sigma(label-signed score))/dscore = pred - label.
     const double g = pred - label;
-    loss += label > 0.5 ? -std::log(std::max(pred, 1e-12))
-                        : -std::log(std::max(1.0 - pred, 1e-12));
-    for (size_t i = 0; i < d; ++i) {
-      center_grad[i] += g * hogwild::Load(u + i);
-      hogwild::SubInPlace(u + i, lr * g * v_snap[i]);
-    }
+    loss += vec::SgnsPairLoss(score, pred, label > 0.5);
+    // center_grad += g * u;  u -= lr*g * v_snap  (one fused pass).
+    vec::FusedSgnsUpdate(g, lr * g, v_snap, u_snap, center_grad, d);
+    for (size_t i = 0; i < d; ++i) hogwild::Store(u + i, u_snap[i]);
   };
 
   update_with(context, 1.0);

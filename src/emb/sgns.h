@@ -23,8 +23,9 @@ struct SgnsConfig {
 
 class SgnsTrainer {
  public:
-  /// Dimensions at or below this use stack scratch inside TrainPair (no
-  /// per-pair allocation); larger dims fall back to a heap buffer.
+  /// Dimensions at or below this use stack scratch inside TrainPair; larger
+  /// dims fall back to a reusable per-thread buffer (emb/pair_scratch.h).
+  /// Either way the hot path never allocates.
   static constexpr size_t kMaxStackDim = 512;
 
   /// Both tables must share dim(); they and the sampler must outlive the
@@ -38,7 +39,8 @@ class SgnsTrainer {
   /// Reentrant: holds no mutable trainer state, so concurrent Hogwild
   /// workers may call it on one shared trainer (each with its own Rng).
   /// Row accesses go through relaxed atomics (util/hogwild.h), so parallel
-  /// updates race benignly instead of invoking UB.
+  /// updates race benignly instead of invoking UB; the arithmetic runs on
+  /// private row snapshots through the vectorized kernels (util/vec.h).
   double TrainPair(uint32_t center, uint32_t context, Rng& rng);
 
   const SgnsConfig& config() const { return config_; }

@@ -5,6 +5,7 @@
 
 #include "eval/metrics.h"
 #include "util/rng.h"
+#include "util/vec.h"
 
 namespace transn {
 
@@ -101,7 +102,7 @@ double ScoreLinkPrediction(const Matrix& embeddings,
                  bool label) {
     for (const auto& [u, v] : pairs) {
       scores.push_back(
-          Dot(embeddings.Row(u), embeddings.Row(v), embeddings.cols()));
+          vec::Dot(embeddings.Row(u), embeddings.Row(v), embeddings.cols()));
       labels.push_back(label);
     }
   };

@@ -5,6 +5,7 @@
 
 #include "nn/adam.h"
 #include "util/logging.h"
+#include "util/vec.h"
 
 namespace transn {
 
@@ -17,11 +18,11 @@ Matrix LogisticRegression::Logits(const Matrix& x) const {
     for (size_t d = 0; d < x.cols(); ++d) {
       const double v = xi[d];
       if (v == 0.0) continue;
-      const double* w = weights_.Row(d);
-      for (int k = 0; k < num_classes_; ++k) out[k] += v * w[k];
+      vec::Axpy(v, weights_.Row(d), out,
+                static_cast<size_t>(num_classes_));
     }
-    const double* bias = weights_.Row(x.cols());
-    for (int k = 0; k < num_classes_; ++k) out[k] += bias[k];
+    vec::Axpy(1.0, weights_.Row(x.cols()), out,
+              static_cast<size_t>(num_classes_));
   }
   return logits;
 }

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <tuple>
 
+#include "util/vec.h"
+
 namespace transn {
 
 Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
@@ -20,13 +22,13 @@ Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
 
 Matrix& Matrix::operator+=(const Matrix& other) {
   CHECK(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  vec::Axpy(1.0, other.data_.data(), data_.data(), data_.size());
   return *this;
 }
 
 Matrix& Matrix::operator-=(const Matrix& other) {
   CHECK(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  vec::ScaledSub(data_.data(), 1.0, other.data_.data(), data_.size());
   return *this;
 }
 
@@ -36,9 +38,7 @@ Matrix& Matrix::operator*=(double s) {
 }
 
 double Matrix::FrobeniusNorm() const {
-  double acc = 0.0;
-  for (double v : data_) acc += v * v;
-  return std::sqrt(acc);
+  return std::sqrt(vec::Dot(data_.data(), data_.data(), data_.size()));
 }
 
 double Matrix::MaxAbs() const {
@@ -74,8 +74,7 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
     for (size_t k = 0; k < a.cols(); ++k) {
       const double aik = a_row[k];
       if (aik == 0.0) continue;
-      const double* b_row = b.Row(k);
-      for (size_t j = 0; j < b.cols(); ++j) out_row[j] += aik * b_row[j];
+      vec::Axpy(aik, b.Row(k), out_row, b.cols());
     }
   }
   return out;
@@ -87,7 +86,7 @@ Matrix MatMulNT(const Matrix& a, const Matrix& b) {
   for (size_t i = 0; i < a.rows(); ++i) {
     const double* a_row = a.Row(i);
     for (size_t j = 0; j < b.rows(); ++j) {
-      out(i, j) = Dot(a_row, b.Row(j), a.cols());
+      out(i, j) = vec::Dot(a_row, b.Row(j), a.cols());
     }
   }
   return out;
@@ -102,8 +101,7 @@ Matrix MatMulTN(const Matrix& a, const Matrix& b) {
     for (size_t i = 0; i < a.cols(); ++i) {
       const double aki = a_row[i];
       if (aki == 0.0) continue;
-      double* out_row = out.Row(i);
-      for (size_t j = 0; j < b.cols(); ++j) out_row[j] += aki * b_row[j];
+      vec::Axpy(aki, b_row, out.Row(i), b.cols());
     }
   }
   return out;
@@ -165,12 +163,6 @@ double SumAll(const Matrix& a) {
   return acc;
 }
 
-double Dot(const double* a, const double* b, size_t n) {
-  double acc = 0.0;
-  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
-  return acc;
-}
-
 SparseMat::SparseMat(
     size_t rows, size_t cols,
     const std::vector<std::tuple<size_t, size_t, double>>& triplets)
@@ -199,9 +191,7 @@ Matrix SparseMat::Multiply(const Matrix& x) const {
   for (size_t r = 0; r < rows_; ++r) {
     double* out_row = out.Row(r);
     for (size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      const double v = values_[k];
-      const double* x_row = x.Row(col_idx_[k]);
-      for (size_t c = 0; c < x.cols(); ++c) out_row[c] += v * x_row[c];
+      vec::Axpy(values_[k], x.Row(col_idx_[k]), out_row, x.cols());
     }
   }
   return out;

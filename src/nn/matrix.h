@@ -93,7 +93,7 @@ Matrix Sub(const Matrix& a, const Matrix& b);
 Matrix Hadamard(const Matrix& a, const Matrix& b);
 Matrix Scale(const Matrix& a, double s);
 double SumAll(const Matrix& a);
-double Dot(const double* a, const double* b, size_t n);
+// Raw dot products live in the shared kernel layer: use vec::Dot (util/vec.h).
 
 /// Immutable CSR sparse matrix for graph adjacency (R-GCN propagation).
 class SparseMat {

@@ -1,5 +1,7 @@
 #include "nn/ops.h"
 
+#include "util/vec.h"
+
 #include <cmath>
 
 namespace transn {
@@ -44,7 +46,7 @@ Var RowSoftmax(const Var& a) {
     for (size_t r = 0; r < y.rows(); ++r) {
       const double* yr = y.Row(r);
       const double* gr = g.Row(r);
-      double dot = Dot(gr, yr, y.cols());
+      double dot = vec::Dot(gr, yr, y.cols());
       double* dr = dx.Row(r);
       for (size_t c = 0; c < y.cols(); ++c) dr[c] = yr[c] * (gr[c] - dot);
     }
@@ -212,7 +214,7 @@ Var RowwiseDot(const Var& a, const Var& b) {
   CHECK(x.SameShape(y));
   Matrix out(x.rows(), 1);
   for (size_t r = 0; r < x.rows(); ++r) {
-    out(r, 0) = Dot(x.Row(r), y.Row(r), x.cols());
+    out(r, 0) = vec::Dot(x.Row(r), y.Row(r), x.cols());
   }
   return tape->Emit(std::move(out), {a, b},
                     [a, b](Tape& t, const Matrix& g) {
@@ -243,9 +245,9 @@ Var RowCosineLoss(const Var& pred, const Var& target) {
   for (size_t r = 0; r < n; ++r) {
     const double* pr = p.Row(r);
     const double* qr = q.Row(r);
-    double pq = Dot(pr, qr, p.cols());
-    double pp = std::sqrt(Dot(pr, pr, p.cols())) + kNormEps;
-    double qq = std::sqrt(Dot(qr, qr, p.cols())) + kNormEps;
+    double pq = vec::Dot(pr, qr, p.cols());
+    double pp = std::sqrt(vec::Dot(pr, pr, p.cols())) + kNormEps;
+    double qq = std::sqrt(vec::Dot(qr, qr, p.cols())) + kNormEps;
     loss += 1.0 - pq / (pp * qq);
   }
   Matrix out(1, 1, loss / static_cast<double>(n));
@@ -261,9 +263,9 @@ Var RowCosineLoss(const Var& pred, const Var& target) {
           const double* pr = p.Row(r);
           const double* qr = q.Row(r);
           const size_t d = p.cols();
-          double pq = Dot(pr, qr, d);
-          double pn = std::sqrt(Dot(pr, pr, d)) + kNormEps;
-          double qn = std::sqrt(Dot(qr, qr, d)) + kNormEps;
+          double pq = vec::Dot(pr, qr, d);
+          double pn = std::sqrt(vec::Dot(pr, pr, d)) + kNormEps;
+          double qn = std::sqrt(vec::Dot(qr, qr, d)) + kNormEps;
           // d(1 - cos)/dp = -(q/(|p||q|) - (p·q) p / (|p|^3 |q|))
           for (size_t c = 0; c < d; ++c) {
             dp(r, c) =
@@ -326,9 +328,7 @@ Var L2Penalty(const Var& a, double lambda) {
   Tape* tape = a.tape();
   CHECK(tape != nullptr);
   const Matrix& x = a.value();
-  double acc = 0.0;
-  for (size_t i = 0; i < x.size(); ++i) acc += x.data()[i] * x.data()[i];
-  Matrix out(1, 1, lambda * acc);
+  Matrix out(1, 1, lambda * vec::Dot(x.data(), x.data(), x.size()));
   return tape->Emit(std::move(out), {a},
                     [a, lambda](Tape& t, const Matrix& g) {
                       t.AccumulateGrad(

@@ -24,6 +24,13 @@ inline constexpr char kWalkStepsTotal[] = "walk.steps_total";
 /// Alias-table (noise distribution / edge sampler) rebuilds.
 inline constexpr char kWalkAliasRebuildsTotal[] = "walk.alias_rebuilds_total";
 
+// --- src/util/vec.h: kernel layer ------------------------------------------
+/// ISA the vector kernels dispatch to (transn::vec::Isa as an integer:
+/// 0 = scalar, 1 = AVX2+FMA, 2 = NEON). Forced to 0 by TRANSN_NO_SIMD=1 /
+/// --no-simd. Set once by the long-lived entry points (TransNModel,
+/// QueryServer) so dashboards can tell which code path produced a run.
+inline constexpr char kKernelsIsa[] = "kernels.isa";
+
 // --- src/core/ + src/emb/: training ---------------------------------------
 /// Full Algorithm-1 passes completed.
 inline constexpr char kTrainIterationsTotal[] = "train.iterations_total";

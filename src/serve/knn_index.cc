@@ -6,6 +6,7 @@
 
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/vec.h"
 
 namespace transn {
 
@@ -15,34 +16,10 @@ namespace {
 /// fan-out overhead dominates). Does not affect results, only scheduling.
 constexpr size_t kMinRowsPerShard = 2048;
 
-/// 4-way unrolled dot product: four independent accumulators keep the FMA
-/// pipeline full on the scan hot path.
-double Dot4(const double* a, const double* b, size_t n) {
-  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    s0 += a[i] * b[i];
-    s1 += a[i + 1] * b[i + 1];
-    s2 += a[i + 2] * b[i + 2];
-    s3 += a[i + 3] * b[i + 3];
-  }
-  for (; i < n; ++i) s0 += a[i] * b[i];
-  return (s0 + s1) + (s2 + s3);
-}
-
 /// Total order all scans agree on: higher score first, ties to the smaller
 /// row id. This is what makes sharded results independent of thread count.
 inline bool Better(const KnnResult& a, const KnnResult& b) {
   return a.score != b.score ? a.score > b.score : a.row < b.row;
-}
-
-double SquaredDistance(const double* a, const double* b, size_t n) {
-  double s = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    const double d = a[i] - b[i];
-    s += d * d;
-  }
-  return s;
 }
 
 }  // namespace
@@ -54,8 +31,8 @@ KnnIndex::KnnIndex(const Matrix* base, KnnIndexOptions options,
   if (options_.metric == KnnMetric::kCosine) {
     inv_norms_.resize(base_->rows());
     for (size_t r = 0; r < base_->rows(); ++r) {
-      const double norm = std::sqrt(Dot4(base_->Row(r), base_->Row(r),
-                                         base_->cols()));
+      const double norm =
+          std::sqrt(vec::Dot(base_->Row(r), base_->Row(r), base_->cols()));
       inv_norms_[r] = norm > 0.0 ? 1.0 / norm : 0.0;
     }
   }
@@ -66,7 +43,7 @@ size_t KnnIndex::num_rows() const { return base_->rows(); }
 
 double KnnIndex::RowScore(uint32_t row, const double* query,
                           double query_inv_norm) const {
-  double s = Dot4(base_->Row(row), query, base_->cols());
+  double s = vec::Dot(base_->Row(row), query, base_->cols());
   if (options_.metric == KnnMetric::kCosine) {
     s *= inv_norms_[row] * query_inv_norm;
   }
@@ -134,7 +111,7 @@ std::vector<KnnResult> KnnIndex::Search(const double* query, size_t k,
   if (k == 0) return {};
   double query_inv_norm = 1.0;
   if (options_.metric == KnnMetric::kCosine) {
-    const double norm = std::sqrt(Dot4(query, query, base_->cols()));
+    const double norm = std::sqrt(vec::Dot(query, query, base_->cols()));
     query_inv_norm = norm > 0.0 ? 1.0 / norm : 0.0;
   }
 
@@ -173,18 +150,17 @@ std::vector<KnnResult> KnnIndex::SearchQuantized(const double* query, size_t k,
   if (k == 0) return {};
   double query_inv_norm = 1.0;
   if (options_.metric == KnnMetric::kCosine) {
-    const double norm = std::sqrt(Dot4(query, query, base_->cols()));
+    const double norm = std::sqrt(vec::Dot(query, query, base_->cols()));
     query_inv_norm = norm > 0.0 ? 1.0 / norm : 0.0;
   }
 
   // Rank cells by the query's score against their centroid.
   std::vector<KnnResult> ranked(centroids_.rows());
   for (size_t c = 0; c < centroids_.rows(); ++c) {
-    double s = Dot4(centroids_.Row(c), query, centroids_.cols());
+    double s = vec::Dot(centroids_.Row(c), query, centroids_.cols());
     if (options_.metric == KnnMetric::kCosine) {
-      const double cn =
-          std::sqrt(Dot4(centroids_.Row(c), centroids_.Row(c),
-                         centroids_.cols()));
+      const double cn = std::sqrt(
+          vec::Dot(centroids_.Row(c), centroids_.Row(c), centroids_.cols()));
       s = cn > 0.0 ? s / cn * query_inv_norm : 0.0;
     }
     ranked[c] = {static_cast<uint32_t>(c), s};
@@ -236,7 +212,8 @@ void KnnIndex::BuildQuantizer(ThreadPool* pool) {
     double best = std::numeric_limits<double>::infinity();
     uint32_t best_c = 0;
     for (size_t c = 0; c < kc; ++c) {
-      const double dist = SquaredDistance(pts->Row(r), centroids_.Row(c), d);
+      const double dist =
+          vec::SquaredDistance(pts->Row(r), centroids_.Row(c), d);
       if (dist < best) {  // ties keep the smaller index: deterministic
         best = dist;
         best_c = static_cast<uint32_t>(c);

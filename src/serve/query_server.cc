@@ -6,6 +6,7 @@
 #include "obs/metric_names.h"
 #include "util/string_util.h"
 #include "util/timer.h"
+#include "util/vec.h"
 
 namespace transn {
 
@@ -38,6 +39,11 @@ QueryServer::QueryServer(const EmbeddingStore* store,
   }
 
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  // Record which kernel ISA the scoring loops dispatch to (see util/vec.h).
+  registry
+      .GetGauge(obs::kKernelsIsa, "isa",
+                "vector-kernel ISA: 0=scalar, 1=avx2, 2=neon")
+      ->Set(static_cast<double>(vec::ActiveIsa()));
   requests_counter_ = registry.GetCounter(obs::kServeRequestsTotal, "requests",
                                           "recorded queries handled");
   errors_counter_ =

@@ -1,0 +1,487 @@
+#include "util/vec.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define TRANSN_VEC_X86 1
+#include <immintrin.h>
+// Per-function ISA targeting keeps the rest of the binary at the baseline
+// -march while these kernels use AVX2+FMA; runtime dispatch guards them.
+#define TRANSN_TARGET_AVX2 __attribute__((target("avx2,fma")))
+#elif defined(__aarch64__)
+#define TRANSN_VEC_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace transn {
+namespace vec {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Sigmoid / -log(sigmoid) lookup tables (word2vec-style, but interpolated).
+//
+// Both functions are tabulated at kLutSize+1 equally spaced nodes over
+// [-kLutRange, kLutRange] and evaluated by linear interpolation. With
+// kLutRange = 8 and kLutSize = 4096 the node spacing is h = 1/256; the
+// interpolation error of a C^2 function is bounded by h^2 * max|f''| / 8,
+// i.e. < 4.8e-7 for -log(sigmoid) (max|f''| = 1/4) and < 1.9e-7 for sigmoid
+// (max|f''| ~ 0.0962) — both comfortably under the documented 1e-6 bound.
+// Outside the table range the exact std::exp expressions are used (the
+// guarded fallback), so the LUT never extrapolates.
+// ---------------------------------------------------------------------------
+constexpr double kLutRange = 8.0;
+constexpr size_t kLutSize = 4096;
+constexpr double kLutScale = kLutSize / (2.0 * kLutRange);
+
+struct Luts {
+  double sig[kLutSize + 1];
+  double nls[kLutSize + 1];
+  Luts() {
+    for (size_t i = 0; i <= kLutSize; ++i) {
+      const double x = -kLutRange + static_cast<double>(i) / kLutScale;
+      sig[i] = ref::Sigmoid(x);
+      nls[i] = ref::NegLogSigmoid(x);
+    }
+  }
+};
+
+const Luts& GetLuts() {
+  static const Luts luts;
+  return luts;
+}
+
+inline double LutInterp(const double* table, double x) {
+  const double pos = (x + kLutRange) * kLutScale;
+  const size_t i = static_cast<size_t>(pos);
+  const double frac = pos - static_cast<double>(i);
+  return table[i] + frac * (table[i + 1] - table[i]);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch state.
+// ---------------------------------------------------------------------------
+bool EnvDisablesSimd() {
+  const char* e = std::getenv("TRANSN_NO_SIMD");
+  if (e == nullptr || e[0] == '\0') return false;
+  return !(e[0] == '0' && e[1] == '\0');  // "0" keeps SIMD on
+}
+
+Isa DetectBestIsa() {
+#if defined(TRANSN_VEC_X86)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return Isa::kAvx2;
+  }
+  return Isa::kScalar;
+#elif defined(TRANSN_VEC_NEON)
+  return Isa::kNeon;  // NEON is architecturally guaranteed on aarch64
+#else
+  return Isa::kScalar;
+#endif
+}
+
+// Function-local so the env var is read lazily (first kernel use), never
+// during static initialization of other translation units.
+std::atomic<bool>& EnabledSlot() {
+  static std::atomic<bool> enabled{!EnvDisablesSimd()};
+  return enabled;
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 + FMA kernels. Unaligned loads throughout: embedding rows are plain
+// std::vector<double> storage with no alignment guarantee.
+// ---------------------------------------------------------------------------
+#if defined(TRANSN_VEC_X86)
+
+TRANSN_TARGET_AVX2 inline double Hsum(__m256d v) {
+  __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  lo = _mm_add_pd(lo, hi);
+  const __m128d swapped = _mm_unpackhi_pd(lo, lo);
+  return _mm_cvtsd_f64(_mm_add_sd(lo, swapped));
+}
+
+TRANSN_TARGET_AVX2 double DotAvx2(const double* a, const double* b, size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  __m256d acc2 = _mm256_setzero_pd();
+  __m256d acc3 = _mm256_setzero_pd();
+  size_t i = 0;
+  // Four independent accumulators hide the FMA latency on the main body.
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 4),
+                           _mm256_loadu_pd(b + i + 4), acc1);
+    acc2 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 8),
+                           _mm256_loadu_pd(b + i + 8), acc2);
+    acc3 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 12),
+                           _mm256_loadu_pd(b + i + 12), acc3);
+  }
+  for (; i + 4 <= n; i += 4) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+  }
+  double total =
+      Hsum(_mm256_add_pd(_mm256_add_pd(acc0, acc1), _mm256_add_pd(acc2, acc3)));
+  for (; i < n; ++i) total += a[i] * b[i];  // remainder lanes, scalar
+  return total;
+}
+
+TRANSN_TARGET_AVX2 void AxpyAvx2(double a, const double* x, double* y,
+                                 size_t n) {
+  const __m256d av = _mm256_set1_pd(a);
+  size_t i = 0;
+  // 2x unroll: two independent load/fma/store chains per iteration halve
+  // the loop overhead on this store-bound kernel.
+  for (; i + 8 <= n; i += 8) {
+    const __m256d r0 = _mm256_fmadd_pd(av, _mm256_loadu_pd(x + i),
+                                       _mm256_loadu_pd(y + i));
+    const __m256d r1 = _mm256_fmadd_pd(av, _mm256_loadu_pd(x + i + 4),
+                                       _mm256_loadu_pd(y + i + 4));
+    _mm256_storeu_pd(y + i, r0);
+    _mm256_storeu_pd(y + i + 4, r1);
+  }
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        y + i, _mm256_fmadd_pd(av, _mm256_loadu_pd(x + i),
+                               _mm256_loadu_pd(y + i)));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+TRANSN_TARGET_AVX2 void ScaledSubAvx2(double* y, double a, const double* x,
+                                      size_t n) {
+  const __m256d av = _mm256_set1_pd(a);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        y + i, _mm256_fnmadd_pd(av, _mm256_loadu_pd(x + i),
+                                _mm256_loadu_pd(y + i)));
+  }
+  for (; i < n; ++i) y[i] -= a * x[i];
+}
+
+TRANSN_TARGET_AVX2 double SquaredDistanceAvx2(const double* a, const double* b,
+                                              size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d d0 =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    const __m256d d1 =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i + 4), _mm256_loadu_pd(b + i + 4));
+    acc0 = _mm256_fmadd_pd(d0, d0, acc0);
+    acc1 = _mm256_fmadd_pd(d1, d1, acc1);
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    acc0 = _mm256_fmadd_pd(d, d, acc0);
+  }
+  double total = Hsum(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    total += d * d;
+  }
+  return total;
+}
+
+TRANSN_TARGET_AVX2 void FusedSgnsUpdateAvx2(double g, double s,
+                                            const double* v, double* u,
+                                            double* grad, size_t n) {
+  const __m256d gv = _mm256_set1_pd(g);
+  const __m256d sv = _mm256_set1_pd(s);
+  size_t i = 0;
+  // 2x unroll: the grad and u chains of each half are independent, so four
+  // FMAs are in flight per iteration.
+  for (; i + 8 <= n; i += 8) {
+    const __m256d u0 = _mm256_loadu_pd(u + i);
+    const __m256d u1 = _mm256_loadu_pd(u + i + 4);
+    _mm256_storeu_pd(grad + i,
+                     _mm256_fmadd_pd(gv, u0, _mm256_loadu_pd(grad + i)));
+    _mm256_storeu_pd(grad + i + 4,
+                     _mm256_fmadd_pd(gv, u1, _mm256_loadu_pd(grad + i + 4)));
+    _mm256_storeu_pd(u + i,
+                     _mm256_fnmadd_pd(sv, _mm256_loadu_pd(v + i), u0));
+    _mm256_storeu_pd(u + i + 4,
+                     _mm256_fnmadd_pd(sv, _mm256_loadu_pd(v + i + 4), u1));
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m256d uv = _mm256_loadu_pd(u + i);
+    _mm256_storeu_pd(grad + i,
+                     _mm256_fmadd_pd(gv, uv, _mm256_loadu_pd(grad + i)));
+    _mm256_storeu_pd(u + i,
+                     _mm256_fnmadd_pd(sv, _mm256_loadu_pd(v + i), uv));
+  }
+  for (; i < n; ++i) {
+    grad[i] += g * u[i];
+    u[i] -= s * v[i];
+  }
+}
+
+#endif  // TRANSN_VEC_X86
+
+// ---------------------------------------------------------------------------
+// NEON kernels (aarch64 baseline — no runtime feature test needed).
+// ---------------------------------------------------------------------------
+#if defined(TRANSN_VEC_NEON)
+
+double DotNeon(const double* a, const double* b, size_t n) {
+  float64x2_t acc0 = vdupq_n_f64(0.0);
+  float64x2_t acc1 = vdupq_n_f64(0.0);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 = vfmaq_f64(acc0, vld1q_f64(a + i), vld1q_f64(b + i));
+    acc1 = vfmaq_f64(acc1, vld1q_f64(a + i + 2), vld1q_f64(b + i + 2));
+  }
+  double total = vaddvq_f64(vaddq_f64(acc0, acc1));
+  for (; i < n; ++i) total += a[i] * b[i];
+  return total;
+}
+
+void AxpyNeon(double a, const double* x, double* y, size_t n) {
+  const float64x2_t av = vdupq_n_f64(a);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(y + i, vfmaq_f64(vld1q_f64(y + i), av, vld1q_f64(x + i)));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+void ScaledSubNeon(double* y, double a, const double* x, size_t n) {
+  const float64x2_t av = vdupq_n_f64(a);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(y + i, vfmsq_f64(vld1q_f64(y + i), av, vld1q_f64(x + i)));
+  }
+  for (; i < n; ++i) y[i] -= a * x[i];
+}
+
+double SquaredDistanceNeon(const double* a, const double* b, size_t n) {
+  float64x2_t acc = vdupq_n_f64(0.0);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t d = vsubq_f64(vld1q_f64(a + i), vld1q_f64(b + i));
+    acc = vfmaq_f64(acc, d, d);
+  }
+  double total = vaddvq_f64(acc);
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    total += d * d;
+  }
+  return total;
+}
+
+void FusedSgnsUpdateNeon(double g, double s, const double* v, double* u,
+                         double* grad, size_t n) {
+  const float64x2_t gv = vdupq_n_f64(g);
+  const float64x2_t sv = vdupq_n_f64(s);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t uv = vld1q_f64(u + i);
+    vst1q_f64(grad + i, vfmaq_f64(vld1q_f64(grad + i), gv, uv));
+    vst1q_f64(u + i, vfmsq_f64(uv, sv, vld1q_f64(v + i)));
+  }
+  for (; i < n; ++i) {
+    grad[i] += g * u[i];
+    u[i] -= s * v[i];
+  }
+}
+
+#endif  // TRANSN_VEC_NEON
+
+}  // namespace
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+Isa BestIsa() {
+  static const Isa best = DetectBestIsa();
+  return best;
+}
+
+bool SimdEnabled() { return EnabledSlot().load(std::memory_order_relaxed); }
+
+void SetSimdEnabled(bool enabled) {
+  EnabledSlot().store(enabled, std::memory_order_relaxed);
+}
+
+Isa ActiveIsa() { return SimdEnabled() ? BestIsa() : Isa::kScalar; }
+
+// --- Scalar references ------------------------------------------------------
+// These loops ARE the historical implementations (sgns.cc, knn Dot4's
+// sequential cousin, matrix.cc Dot): sequential order, one multiply and one
+// add per element, so the scalar path stays bit-identical to the seed code.
+//
+// Auto-vectorization is disabled: the historical trainer loops ran through
+// per-element relaxed-atomic loads, which the compiler could never
+// vectorize, so a truly scalar body is both the honest before/after baseline
+// (BENCH_kernels.json) and the faithful model of the pre-kernel-layer hot
+// paths. Elementwise vectorization wouldn't change bits, but reductions are
+// already unvectorizable without -ffast-math — this keeps all five uniform.
+#if defined(__GNUC__) && !defined(__clang__)
+#define TRANSN_REF_NOVEC __attribute__((optimize("no-tree-vectorize")))
+#else
+#define TRANSN_REF_NOVEC
+#endif
+
+namespace ref {
+
+TRANSN_REF_NOVEC
+double Dot(const double* a, const double* b, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+TRANSN_REF_NOVEC
+void Axpy(double a, const double* x, double* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+TRANSN_REF_NOVEC
+void ScaledSub(double* y, double a, const double* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] -= a * x[i];
+}
+
+TRANSN_REF_NOVEC
+double SquaredDistance(const double* a, const double* b, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+TRANSN_REF_NOVEC
+void FusedSgnsUpdate(double g, double s, const double* v, double* u,
+                     double* grad, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    grad[i] += g * u[i];
+    u[i] -= s * v[i];
+  }
+}
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+double NegLogSigmoid(double x) {
+  // log(1 + e^{-x}) computed stably on both tails.
+  return x > 0.0 ? std::log1p(std::exp(-x)) : -x + std::log1p(std::exp(x));
+}
+
+}  // namespace ref
+
+// --- Dispatched kernels -----------------------------------------------------
+
+double Dot(const double* a, const double* b, size_t n) {
+  switch (ActiveIsa()) {
+#if defined(TRANSN_VEC_X86)
+    case Isa::kAvx2:
+      return DotAvx2(a, b, n);
+#endif
+#if defined(TRANSN_VEC_NEON)
+    case Isa::kNeon:
+      return DotNeon(a, b, n);
+#endif
+    default:
+      return ref::Dot(a, b, n);
+  }
+}
+
+void Axpy(double a, const double* x, double* y, size_t n) {
+  switch (ActiveIsa()) {
+#if defined(TRANSN_VEC_X86)
+    case Isa::kAvx2:
+      return AxpyAvx2(a, x, y, n);
+#endif
+#if defined(TRANSN_VEC_NEON)
+    case Isa::kNeon:
+      return AxpyNeon(a, x, y, n);
+#endif
+    default:
+      return ref::Axpy(a, x, y, n);
+  }
+}
+
+void ScaledSub(double* y, double a, const double* x, size_t n) {
+  switch (ActiveIsa()) {
+#if defined(TRANSN_VEC_X86)
+    case Isa::kAvx2:
+      return ScaledSubAvx2(y, a, x, n);
+#endif
+#if defined(TRANSN_VEC_NEON)
+    case Isa::kNeon:
+      return ScaledSubNeon(y, a, x, n);
+#endif
+    default:
+      return ref::ScaledSub(y, a, x, n);
+  }
+}
+
+double SquaredDistance(const double* a, const double* b, size_t n) {
+  switch (ActiveIsa()) {
+#if defined(TRANSN_VEC_X86)
+    case Isa::kAvx2:
+      return SquaredDistanceAvx2(a, b, n);
+#endif
+#if defined(TRANSN_VEC_NEON)
+    case Isa::kNeon:
+      return SquaredDistanceNeon(a, b, n);
+#endif
+    default:
+      return ref::SquaredDistance(a, b, n);
+  }
+}
+
+void FusedSgnsUpdate(double g, double s, const double* v, double* u,
+                     double* grad, size_t n) {
+  switch (ActiveIsa()) {
+#if defined(TRANSN_VEC_X86)
+    case Isa::kAvx2:
+      return FusedSgnsUpdateAvx2(g, s, v, u, grad, n);
+#endif
+#if defined(TRANSN_VEC_NEON)
+    case Isa::kNeon:
+      return FusedSgnsUpdateNeon(g, s, v, u, grad, n);
+#endif
+    default:
+      return ref::FusedSgnsUpdate(g, s, v, u, grad, n);
+  }
+}
+
+double Sigmoid(double x) {
+  if (ActiveIsa() == Isa::kScalar) return ref::Sigmoid(x);
+  if (x <= -kLutRange || x >= kLutRange) return ref::Sigmoid(x);
+  return LutInterp(GetLuts().sig, x);
+}
+
+double NegLogSigmoid(double x) {
+  if (ActiveIsa() == Isa::kScalar) return ref::NegLogSigmoid(x);
+  if (x <= -kLutRange || x >= kLutRange) return ref::NegLogSigmoid(x);
+  return LutInterp(GetLuts().nls, x);
+}
+
+double SgnsPairLoss(double score, double pred, bool positive) {
+  if (ActiveIsa() == Isa::kScalar) {
+    // The historical clamped expression, bit for bit.
+    return positive ? -std::log(std::max(pred, 1e-12))
+                    : -std::log(std::max(1.0 - pred, 1e-12));
+  }
+  return NegLogSigmoid(positive ? score : -score);
+}
+
+}  // namespace vec
+}  // namespace transn

@@ -1,0 +1,106 @@
+#ifndef TRANSN_UTIL_VEC_H_
+#define TRANSN_UTIL_VEC_H_
+
+#include <stddef.h>
+
+namespace transn {
+
+/// Shared vectorized kernel layer for every inner-product-shaped hot loop in
+/// the repository: the SGNS / hierarchical-softmax pair updates (src/emb),
+/// the translator matmuls and cosine losses (src/nn, src/core), and the
+/// serving k-NN scan (src/serve). All dot products, axpy updates, and fused
+/// SGNS gradient steps go through this header — private per-file loop copies
+/// are forbidden (scripts/check_kernel_dedup.sh greps for regressions).
+///
+/// Dispatch model: each kernel dispatches at runtime to the best instruction
+/// set the CPU supports — AVX2+FMA on x86-64, NEON on aarch64 — with a
+/// bit-careful scalar fallback (remainder lanes after the vector body are
+/// handled by the same scalar expressions as the reference). Setting the
+/// environment variable TRANSN_NO_SIMD to a non-empty value other than "0"
+/// (or calling SetSimdEnabled(false); tools expose --no-simd) forces the
+/// scalar path, which reproduces the pre-kernel-layer loops bit for bit:
+/// sequential accumulation order and exact std::exp-based sigmoid, so
+/// 1-thread training under TRANSN_NO_SIMD=1 is byte-identical to the
+/// historical scalar implementation.
+///
+/// Thread safety: kernels are pure functions of their operands. Hogwild
+/// callers must snapshot shared rows into private scratch via relaxed-atomic
+/// loads (util/hogwild.h) before handing them to a kernel, and write results
+/// back with relaxed-atomic stores — the vector bodies themselves only ever
+/// touch private buffers, which keeps the parallel trainers TSan-clean.
+namespace vec {
+
+/// Instruction set a kernel call dispatches to. The numeric values are
+/// stable: they are exported as the `kernels.isa` gauge.
+enum class Isa : int { kScalar = 0, kAvx2 = 1, kNeon = 2 };
+
+/// "scalar" | "avx2" | "neon".
+const char* IsaName(Isa isa);
+
+/// Best ISA this binary can run on this CPU (ignores the enable flag).
+Isa BestIsa();
+
+/// The ISA kernels dispatch to right now: BestIsa() when SIMD is enabled,
+/// kScalar otherwise.
+Isa ActiveIsa();
+
+/// SIMD dispatch state. The initial value honors TRANSN_NO_SIMD (read once,
+/// at first kernel use); SetSimdEnabled() is the programmatic escape hatch
+/// used by --no-simd flags, benches (kernels on/off comparisons), and tests.
+bool SimdEnabled();
+void SetSimdEnabled(bool enabled);
+
+/// sum_i a[i] * b[i].
+double Dot(const double* a, const double* b, size_t n);
+
+/// y[i] += a * x[i].
+void Axpy(double a, const double* x, double* y, size_t n);
+
+/// y[i] -= a * x[i].
+void ScaledSub(double* y, double a, const double* x, size_t n);
+
+/// sum_i (a[i] - b[i])^2.
+double SquaredDistance(const double* a, const double* b, size_t n);
+
+/// Fused SGNS gradient step on private buffers, one pass over the row:
+///   grad[i] += g * u[i];  u[i] -= s * v[i];
+/// where g = sigmoid(score) - label and s = learning_rate * g. The caller
+/// snapshots u from the shared table first and stores it back afterwards.
+void FusedSgnsUpdate(double g, double s, const double* v, double* u,
+                     double* grad, size_t n);
+
+/// Logistic sigmoid. SIMD enabled: word2vec-style lookup table over
+/// [-8, 8] with linear interpolation (max absolute error < 1e-6, see
+/// DESIGN.md §7) and a guarded exact-std::exp fallback outside the table
+/// range. SIMD disabled: exact 1/(1+exp(-x)) — bit-identical to the
+/// historical trainers.
+double Sigmoid(double x);
+
+/// -log(sigmoid(x)), the SGNS/HS per-pair loss term. Same LUT-vs-exact
+/// dispatch (and error bound) as Sigmoid().
+double NegLogSigmoid(double x);
+
+/// The monitoring loss of one (center, context) update, given the score and
+/// pred = Sigmoid(score). Scalar mode reproduces the historical clamped
+/// expression -log(max(pred, 1e-12)) / -log(max(1-pred, 1e-12)) bit for
+/// bit; SIMD mode uses the NegLogSigmoid LUT.
+double SgnsPairLoss(double score, double pred, bool positive);
+
+/// Exact scalar reference kernels: sequential accumulation, no FMA
+/// contraction, no lookup tables. These are the TRANSN_NO_SIMD semantics and
+/// the ground truth for the equivalence suite (tests/vec_kernels_test.cc).
+namespace ref {
+double Dot(const double* a, const double* b, size_t n);
+void Axpy(double a, const double* x, double* y, size_t n);
+void ScaledSub(double* y, double a, const double* x, size_t n);
+double SquaredDistance(const double* a, const double* b, size_t n);
+void FusedSgnsUpdate(double g, double s, const double* v, double* u,
+                     double* grad, size_t n);
+double Sigmoid(double x);
+double NegLogSigmoid(double x);
+}  // namespace ref
+
+}  // namespace vec
+}  // namespace transn
+
+#endif  // TRANSN_UTIL_VEC_H_

@@ -11,6 +11,7 @@
 #include "baselines/simple_kg.h"
 #include "eval/node_classification.h"
 #include "test_graphs.h"
+#include "util/vec.h"
 
 namespace transn {
 namespace {
@@ -50,9 +51,9 @@ TEST(BaselineUtilTest, SgnsOverWalksLearnsClusters) {
   Matrix emb = SgnsOverWalks(corpus, 6,
                              {.dim = 16, .window = 2, .epochs = 3, .seed = 2});
   auto cosine = [&](size_t a, size_t b) {
-    double ab = Dot(emb.Row(a), emb.Row(b), 16);
-    return ab / std::sqrt(Dot(emb.Row(a), emb.Row(a), 16) *
-                          Dot(emb.Row(b), emb.Row(b), 16));
+    double ab = vec::Dot(emb.Row(a), emb.Row(b), 16);
+    return ab / std::sqrt(vec::Dot(emb.Row(a), emb.Row(a), 16) *
+                          vec::Dot(emb.Row(b), emb.Row(b), 16));
   };
   EXPECT_GT(cosine(0, 1), cosine(0, 4));
   EXPECT_GT(cosine(3, 5), cosine(1, 5));

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 #include "test_graphs.h"
+#include "util/vec.h"
 
 namespace transn {
 namespace {
@@ -93,9 +94,9 @@ TEST(CrossViewTest, TranslationAlignsViews) {
       Matrix b = f.side_j->embeddings().GatherRows(rows_j);
       Matrix t = f.cross->translator_ij().Forward(a);
       for (size_t r = 0; r < len; ++r) {
-        double tb = Dot(t.Row(r), b.Row(r), t.cols());
-        double tt = Dot(t.Row(r), t.Row(r), t.cols());
-        double bb = Dot(b.Row(r), b.Row(r), t.cols());
+        double tb = vec::Dot(t.Row(r), b.Row(r), t.cols());
+        double tt = vec::Dot(t.Row(r), t.Row(r), t.cols());
+        double bb = vec::Dot(b.Row(r), b.Row(r), t.cols());
         if (tt > 1e-20 && bb > 1e-20) {
           total += tb / std::sqrt(tt * bb);
           ++count;

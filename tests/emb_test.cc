@@ -5,6 +5,7 @@
 #include "emb/negative_sampler.h"
 #include "emb/sgns.h"
 #include "nn/matrix.h"
+#include "util/vec.h"
 
 namespace transn {
 namespace {
@@ -123,9 +124,9 @@ TEST(SgnsTest, LearnsTwoClusterStructure) {
     trainer.TrainPair(3, 2, rng);
   }
   auto cosine = [&](size_t a, size_t b) {
-    double ab = Dot(input.Row(a), input.Row(b), 16);
-    double aa = Dot(input.Row(a), input.Row(a), 16);
-    double bb = Dot(input.Row(b), input.Row(b), 16);
+    double ab = vec::Dot(input.Row(a), input.Row(b), 16);
+    double aa = vec::Dot(input.Row(a), input.Row(a), 16);
+    double bb = vec::Dot(input.Row(b), input.Row(b), 16);
     return ab / std::sqrt(aa * bb);
   };
   EXPECT_GT(cosine(0, 1), cosine(0, 2));

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/vec.h"
+
 namespace transn {
 namespace {
 
@@ -90,9 +92,9 @@ TEST(HierarchicalSoftmaxTest, LearnsClusters) {
     trainer.TrainPair(3, 2);
   }
   auto cosine = [&](size_t a, size_t b) {
-    double ab = Dot(input.Row(a), input.Row(b), 16);
-    double aa = Dot(input.Row(a), input.Row(a), 16);
-    double bb = Dot(input.Row(b), input.Row(b), 16);
+    double ab = vec::Dot(input.Row(a), input.Row(b), 16);
+    double aa = vec::Dot(input.Row(a), input.Row(a), 16);
+    double bb = vec::Dot(input.Row(b), input.Row(b), 16);
     return ab / std::sqrt(std::max(aa * bb, 1e-30));
   };
   EXPECT_GT(cosine(0, 1), cosine(0, 2));

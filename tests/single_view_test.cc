@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 #include "test_graphs.h"
+#include "util/vec.h"
 
 namespace transn {
 namespace {
@@ -51,9 +52,9 @@ TEST(SingleViewTest, LearnsCommunityStructure) {
   const ViewGraph& vg = views[0].graph;
   const EmbeddingTable& emb = trainer.embeddings();
   auto cosine = [&](ViewGraph::LocalId a, ViewGraph::LocalId b) {
-    double ab = Dot(emb.Row(a), emb.Row(b), emb.dim());
-    double aa = Dot(emb.Row(a), emb.Row(a), emb.dim());
-    double bb = Dot(emb.Row(b), emb.Row(b), emb.dim());
+    double ab = vec::Dot(emb.Row(a), emb.Row(b), emb.dim());
+    double aa = vec::Dot(emb.Row(a), emb.Row(a), emb.dim());
+    double bb = vec::Dot(emb.Row(b), emb.Row(b), emb.dim());
     return ab / std::sqrt(std::max(aa * bb, 1e-30));
   };
   double intra = 0.0, inter = 0.0;

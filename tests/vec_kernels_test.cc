@@ -1,0 +1,361 @@
+// Equivalence and error-bound tests for the shared vector-kernel layer
+// (util/vec.h): every dispatched kernel against its scalar reference across
+// all remainder-lane cases, the sigmoid/log LUT against its documented error
+// bound, and an end-to-end guard that the scalar fallback reproduces the
+// historical (pre-kernel-layer) trainer loops bit for bit.
+
+#include "util/vec.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "emb/embedding_table.h"
+#include "emb/hierarchical_softmax.h"
+#include "emb/negative_sampler.h"
+#include "emb/sgns.h"
+#include "nn/matrix.h"
+#include "util/rng.h"
+
+namespace transn {
+namespace {
+
+/// Every dim in [1, 130]: covers all vector-body/remainder splits for 2-,
+/// 4-, 8-, and 16-wide strides (the AVX2 dot kernel unrolls to 16, so 130
+/// exercises full blocks + every partial tail).
+constexpr size_t kMaxDim = 130;
+
+/// Saves and restores the process-wide SIMD dispatch flag around each test,
+/// so tests that force the scalar path don't leak into their neighbors.
+class VecKernelsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = vec::SimdEnabled(); }
+  void TearDown() override { vec::SetSimdEnabled(saved_); }
+
+ private:
+  bool saved_ = true;
+};
+
+std::vector<double> RandomVec(size_t n, uint64_t seed, double lo = -1.0,
+                              double hi = 1.0) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.NextDouble(lo, hi);
+  return v;
+}
+
+TEST_F(VecKernelsTest, IsaNamesAreStable) {
+  EXPECT_STREQ(vec::IsaName(vec::Isa::kScalar), "scalar");
+  EXPECT_STREQ(vec::IsaName(vec::Isa::kAvx2), "avx2");
+  EXPECT_STREQ(vec::IsaName(vec::Isa::kNeon), "neon");
+}
+
+TEST_F(VecKernelsTest, DisablingSimdForcesScalarDispatch) {
+  vec::SetSimdEnabled(false);
+  EXPECT_FALSE(vec::SimdEnabled());
+  EXPECT_EQ(vec::ActiveIsa(), vec::Isa::kScalar);
+  vec::SetSimdEnabled(true);
+  EXPECT_TRUE(vec::SimdEnabled());
+  EXPECT_EQ(vec::ActiveIsa(), vec::BestIsa());
+}
+
+// --- Dispatched vs reference, every dim 1..130 -----------------------------
+// With SIMD enabled the vector bodies reassociate and contract (FMA), so the
+// results may differ from the sequential reference in the last bits — but
+// never by more than 1e-12 on unit-range operands. With SIMD disabled the
+// dispatched kernels must be bit-identical to the reference.
+
+TEST_F(VecKernelsTest, DotMatchesReferenceAcrossDims) {
+  vec::SetSimdEnabled(true);
+  for (size_t n = 1; n <= kMaxDim; ++n) {
+    const auto a = RandomVec(n, 2 * n);
+    const auto b = RandomVec(n, 2 * n + 1);
+    const double got = vec::Dot(a.data(), b.data(), n);
+    const double want = vec::ref::Dot(a.data(), b.data(), n);
+    EXPECT_NEAR(got, want, 1e-12) << "dim " << n;
+  }
+}
+
+TEST_F(VecKernelsTest, AxpyMatchesReferenceAcrossDims) {
+  vec::SetSimdEnabled(true);
+  for (size_t n = 1; n <= kMaxDim; ++n) {
+    const auto x = RandomVec(n, 3 * n);
+    auto y_got = RandomVec(n, 3 * n + 1);
+    auto y_want = y_got;
+    vec::Axpy(0.37, x.data(), y_got.data(), n);
+    vec::ref::Axpy(0.37, x.data(), y_want.data(), n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(y_got[i], y_want[i], 1e-12) << "dim " << n << " lane " << i;
+    }
+  }
+}
+
+TEST_F(VecKernelsTest, ScaledSubMatchesReferenceAcrossDims) {
+  vec::SetSimdEnabled(true);
+  for (size_t n = 1; n <= kMaxDim; ++n) {
+    const auto x = RandomVec(n, 5 * n);
+    auto y_got = RandomVec(n, 5 * n + 1);
+    auto y_want = y_got;
+    vec::ScaledSub(y_got.data(), 0.52, x.data(), n);
+    vec::ref::ScaledSub(y_want.data(), 0.52, x.data(), n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(y_got[i], y_want[i], 1e-12) << "dim " << n << " lane " << i;
+    }
+  }
+}
+
+TEST_F(VecKernelsTest, SquaredDistanceMatchesReferenceAcrossDims) {
+  vec::SetSimdEnabled(true);
+  for (size_t n = 1; n <= kMaxDim; ++n) {
+    const auto a = RandomVec(n, 7 * n);
+    const auto b = RandomVec(n, 7 * n + 1);
+    const double got = vec::SquaredDistance(a.data(), b.data(), n);
+    const double want = vec::ref::SquaredDistance(a.data(), b.data(), n);
+    EXPECT_NEAR(got, want, 1e-12) << "dim " << n;
+    EXPECT_GE(got, 0.0);
+  }
+}
+
+TEST_F(VecKernelsTest, FusedSgnsUpdateMatchesReferenceAcrossDims) {
+  vec::SetSimdEnabled(true);
+  for (size_t n = 1; n <= kMaxDim; ++n) {
+    const auto v = RandomVec(n, 11 * n);
+    auto u_got = RandomVec(n, 11 * n + 1);
+    auto u_want = u_got;
+    auto grad_got = RandomVec(n, 11 * n + 2);
+    auto grad_want = grad_got;
+    vec::FusedSgnsUpdate(0.43, 0.013, v.data(), u_got.data(), grad_got.data(),
+                         n);
+    vec::ref::FusedSgnsUpdate(0.43, 0.013, v.data(), u_want.data(),
+                              grad_want.data(), n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(u_got[i], u_want[i], 1e-12) << "dim " << n << " lane " << i;
+      EXPECT_NEAR(grad_got[i], grad_want[i], 1e-12)
+          << "dim " << n << " lane " << i;
+    }
+  }
+}
+
+TEST_F(VecKernelsTest, ScalarModeIsBitIdenticalToReference) {
+  vec::SetSimdEnabled(false);
+  for (size_t n = 1; n <= kMaxDim; ++n) {
+    const auto a = RandomVec(n, 13 * n);
+    const auto b = RandomVec(n, 13 * n + 1);
+    // Exact equality: with SIMD off the dispatched kernels ARE the
+    // sequential reference loops.
+    EXPECT_EQ(vec::Dot(a.data(), b.data(), n),
+              vec::ref::Dot(a.data(), b.data(), n));
+    EXPECT_EQ(vec::SquaredDistance(a.data(), b.data(), n),
+              vec::ref::SquaredDistance(a.data(), b.data(), n));
+    auto y_got = b;
+    auto y_want = b;
+    vec::Axpy(0.21, a.data(), y_got.data(), n);
+    vec::ref::Axpy(0.21, a.data(), y_want.data(), n);
+    EXPECT_EQ(y_got, y_want);
+    for (double x : a) {
+      EXPECT_EQ(vec::Sigmoid(9.0 * x), vec::ref::Sigmoid(9.0 * x));
+      EXPECT_EQ(vec::NegLogSigmoid(9.0 * x), vec::ref::NegLogSigmoid(9.0 * x));
+    }
+  }
+}
+
+// --- Sigmoid / -log(sigmoid) LUT -------------------------------------------
+
+TEST_F(VecKernelsTest, SigmoidLutStaysWithinDocumentedErrorBound) {
+  vec::SetSimdEnabled(true);
+  // Dense scan across the table range plus both guarded tails. DESIGN.md §7
+  // documents a 1e-6 max-absolute-error bound for both LUTs.
+  double max_sig_err = 0.0;
+  double max_nls_err = 0.0;
+  for (int i = -90000; i <= 90000; ++i) {
+    const double x = i * 1e-4;  // [-9, 9], step 1e-4
+    max_sig_err =
+        std::max(max_sig_err, std::abs(vec::Sigmoid(x) - vec::ref::Sigmoid(x)));
+    max_nls_err = std::max(
+        max_nls_err, std::abs(vec::NegLogSigmoid(x) - vec::ref::NegLogSigmoid(x)));
+  }
+  EXPECT_LT(max_sig_err, 1e-6);
+  EXPECT_LT(max_nls_err, 1e-6);
+}
+
+TEST_F(VecKernelsTest, SigmoidIsExactOutsideLutRange) {
+  vec::SetSimdEnabled(true);
+  for (double x : {-20.0, -8.0001, 8.0001, 20.0, 700.0, -700.0}) {
+    EXPECT_EQ(vec::Sigmoid(x), vec::ref::Sigmoid(x)) << "x=" << x;
+    EXPECT_EQ(vec::NegLogSigmoid(x), vec::ref::NegLogSigmoid(x)) << "x=" << x;
+  }
+  // Extreme tails stay finite / saturate cleanly.
+  EXPECT_EQ(vec::Sigmoid(-1000.0), 0.0);
+  EXPECT_EQ(vec::Sigmoid(1000.0), 1.0);
+  EXPECT_TRUE(std::isfinite(vec::NegLogSigmoid(-1000.0)));
+}
+
+TEST_F(VecKernelsTest, SgnsPairLossScalarModeMatchesHistoricalExpression) {
+  vec::SetSimdEnabled(false);
+  for (double score : {-30.0, -4.0, -0.5, 0.0, 0.5, 4.0, 30.0}) {
+    const double pred = vec::Sigmoid(score);
+    EXPECT_EQ(vec::SgnsPairLoss(score, pred, true),
+              -std::log(std::max(pred, 1e-12)));
+    EXPECT_EQ(vec::SgnsPairLoss(score, pred, false),
+              -std::log(std::max(1.0 - pred, 1e-12)));
+  }
+  // SIMD mode computes the same quantity through the -log(sigmoid) LUT.
+  vec::SetSimdEnabled(true);
+  for (double score : {-4.0, -0.5, 0.0, 0.5, 4.0}) {
+    const double pred = vec::Sigmoid(score);
+    EXPECT_NEAR(vec::SgnsPairLoss(score, pred, true),
+                -std::log(vec::ref::Sigmoid(score)), 1e-5);
+    EXPECT_NEAR(vec::SgnsPairLoss(score, pred, false),
+                -std::log(1.0 - vec::ref::Sigmoid(score)), 1e-5);
+  }
+}
+
+// --- End-to-end scalar-fallback guard --------------------------------------
+// Replays the historical (pre-kernel-layer) SGNS TrainPair — sequential dot,
+// exact std::exp sigmoid, interleaved grad/update loop — and checks that the
+// production trainer under the scalar fallback produces bit-identical tables
+// and losses. This is the in-process version of the TRANSN_NO_SIMD=1
+// reproducibility guarantee (DESIGN.md §7); dim 520 > kMaxStackDim also
+// exercises the per-thread scratch path.
+
+double HistoricalSigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+/// The seed repo's SgnsTrainer::TrainPair, verbatim modulo atomics (which
+/// are value-transparent single-threaded).
+double HistoricalSgnsTrainPair(Matrix* input, Matrix* context,
+                               const NegativeSampler& sampler,
+                               const SgnsConfig& cfg, uint32_t center,
+                               uint32_t ctx, Rng& rng) {
+  const size_t d = input->cols();
+  const double lr = cfg.learning_rate;
+  double* v = input->Row(center);
+  std::vector<double> center_grad(d, 0.0);
+  std::vector<double> v_snap(v, v + d);
+
+  double loss = 0.0;
+  auto update_with = [&](uint32_t ctx_id, double label) {
+    double* u = context->Row(ctx_id);
+    double score = 0.0;
+    for (size_t i = 0; i < d; ++i) score += v_snap[i] * u[i];
+    const double pred = HistoricalSigmoid(score);
+    const double g = pred - label;
+    loss += label > 0.5 ? -std::log(std::max(pred, 1e-12))
+                        : -std::log(std::max(1.0 - pred, 1e-12));
+    for (size_t i = 0; i < d; ++i) {
+      center_grad[i] += g * u[i];
+      u[i] -= lr * g * v_snap[i];
+    }
+  };
+
+  update_with(ctx, 1.0);
+  for (int k = 0; k < cfg.negatives; ++k) {
+    update_with(sampler.Sample(rng, ctx), 0.0);
+  }
+  for (size_t i = 0; i < d; ++i) v[i] -= lr * center_grad[i];
+  return loss;
+}
+
+void CheckScalarSgnsBitIdentical(size_t dim) {
+  vec::SetSimdEnabled(false);
+  constexpr size_t kVocab = 12;
+  const std::vector<double> counts(kVocab, 3.0);
+  const NegativeSampler sampler(counts);
+  const SgnsConfig cfg{.negatives = 4, .learning_rate = 0.05};
+
+  Rng init_rng(99);
+  EmbeddingTable input(kVocab, dim, init_rng);
+  EmbeddingTable context(kVocab, dim, init_rng);
+  Matrix ref_input = input.values();
+  Matrix ref_context = context.values();
+
+  SgnsTrainer trainer(&input, &context, &sampler, cfg);
+  Rng trainer_rng(7);
+  Rng ref_rng(7);
+  Rng pair_rng(8);
+  for (int step = 0; step < 200; ++step) {
+    const auto center = static_cast<uint32_t>(pair_rng.NextUint64() % kVocab);
+    auto ctx = static_cast<uint32_t>(pair_rng.NextUint64() % kVocab);
+    if (ctx == center) ctx = (ctx + 1) % kVocab;
+    const double got = trainer.TrainPair(center, ctx, trainer_rng);
+    const double want = HistoricalSgnsTrainPair(
+        &ref_input, &ref_context, sampler, cfg, center, ctx, ref_rng);
+    ASSERT_EQ(got, want) << "loss diverged at step " << step;
+  }
+  for (size_t r = 0; r < kVocab; ++r) {
+    for (size_t c = 0; c < dim; ++c) {
+      ASSERT_EQ(input.values()(r, c), ref_input(r, c))
+          << "input[" << r << "," << c << "]";
+      ASSERT_EQ(context.values()(r, c), ref_context(r, c))
+          << "context[" << r << "," << c << "]";
+    }
+  }
+}
+
+TEST_F(VecKernelsTest, ScalarFallbackSgnsIsBitIdenticalToHistoricalLoop) {
+  CheckScalarSgnsBitIdentical(16);  // stack-scratch path
+}
+
+TEST_F(VecKernelsTest, ScalarFallbackSgnsBitIdenticalBeyondStackDim) {
+  CheckScalarSgnsBitIdentical(SgnsTrainer::kMaxStackDim + 8);  // PairScratch
+}
+
+/// Same guard for hierarchical softmax: the historical loop over the Huffman
+/// path, replayed against the production trainer's returned losses and input
+/// table under the scalar fallback.
+TEST_F(VecKernelsTest, ScalarFallbackHierarchicalSoftmaxBitIdentical) {
+  vec::SetSimdEnabled(false);
+  constexpr size_t kVocab = 10;
+  constexpr size_t kDim = 16;
+  std::vector<double> counts(kVocab);
+  for (size_t i = 0; i < kVocab; ++i) counts[i] = 1.0 + static_cast<double>(i);
+
+  Rng init_rng(41);
+  EmbeddingTable input(kVocab, kDim, init_rng);
+  Matrix ref_input = input.values();
+  const double lr = 0.05;
+  HierarchicalSoftmaxTrainer trainer(&input, counts, lr);
+  const HuffmanTree& tree = trainer.tree();
+  Matrix ref_nodes(tree.num_internal_nodes(), kDim);  // zero-init, as trainer
+
+  Rng pair_rng(17);
+  for (int step = 0; step < 200; ++step) {
+    const auto center = static_cast<uint32_t>(pair_rng.NextUint64() % kVocab);
+    auto ctx = static_cast<uint32_t>(pair_rng.NextUint64() % kVocab);
+    if (ctx == center) ctx = (ctx + 1) % kVocab;
+    const double got = trainer.TrainPair(center, ctx);
+
+    // Historical reference step.
+    double* v = ref_input.Row(center);
+    const std::vector<bool>& code = tree.Code(ctx);
+    const std::vector<uint32_t>& path = tree.Path(ctx);
+    std::vector<double> center_grad(kDim, 0.0);
+    std::vector<double> v_snap(v, v + kDim);
+    double want = 0.0;
+    for (size_t j = 0; j < code.size(); ++j) {
+      double* u = ref_nodes.Row(path[j]);
+      double score = 0.0;
+      for (size_t i = 0; i < kDim; ++i) score += u[i] * v_snap[i];
+      const double label = code[j] ? 0.0 : 1.0;
+      const double pred = HistoricalSigmoid(score);
+      want += label > 0.5 ? -std::log(std::max(pred, 1e-12))
+                          : -std::log(std::max(1.0 - pred, 1e-12));
+      const double g = pred - label;
+      for (size_t i = 0; i < kDim; ++i) {
+        center_grad[i] += g * u[i];
+        u[i] -= lr * g * v_snap[i];
+      }
+    }
+    for (size_t i = 0; i < kDim; ++i) v[i] -= lr * center_grad[i];
+    ASSERT_EQ(got, want) << "loss diverged at step " << step;
+  }
+  for (size_t r = 0; r < kVocab; ++r) {
+    for (size_t c = 0; c < kDim; ++c) {
+      ASSERT_EQ(input.values()(r, c), ref_input(r, c))
+          << "input[" << r << "," << c << "]";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace transn

@@ -28,6 +28,7 @@
 #include "util/logging.h"
 #include "graph/graph_stats.h"
 #include "util/string_util.h"
+#include "util/vec.h"
 
 namespace {
 
@@ -226,7 +227,9 @@ void Usage() {
       "  classify --graph g.tsv --embeddings emb.tsv [--repeats 10]\n"
       "  linkpred --graph g.tsv [--method transn] [--removal 0.4]\n"
       "every subcommand accepts [--metrics-out m.json] to dump the\n"
-      "observability JSON (metric registry + nested trace spans) at exit\n");
+      "observability JSON (metric registry + nested trace spans) at exit,\n"
+      "and [--no-simd true] to force the scalar vector kernels (same effect\n"
+      "as TRANSN_NO_SIMD=1; see src/util/vec.h)\n");
 }
 
 }  // namespace
@@ -239,6 +242,8 @@ int main(int argc, char** argv) {
   SetMinLogSeverity(LogSeverity::kWarning);
   const std::string command = argv[1];
   Args args(argc, argv, 2);
+  // Kernel escape hatch; the TRANSN_NO_SIMD env var works too (util/vec.h).
+  if (args.GetBool("no-simd", false)) vec::SetSimdEnabled(false);
   if (command == "generate") return CmdGenerate(args);
   if (command == "stats") return CmdStats(args);
   if (command == "train") return CmdTrain(args);

@@ -30,6 +30,7 @@
 #include "serve/query_server.h"
 #include "util/logging.h"
 #include "util/timer.h"
+#include "util/vec.h"
 
 namespace {
 
@@ -179,7 +180,9 @@ void Usage() {
       "         [--centroids 0] [--nprobe 0] [--threads 1]\n"
       "         [--queries names.txt|-] [--sample 0] [--warmup 0]\n"
       "both subcommands accept [--metrics-out m.json] to dump the\n"
-      "observability JSON (metric registry + nested trace spans) at exit\n");
+      "observability JSON (metric registry + nested trace spans) at exit,\n"
+      "and [--no-simd true] to force the scalar vector kernels (same effect\n"
+      "as TRANSN_NO_SIMD=1; see src/util/vec.h)\n");
 }
 
 }  // namespace
@@ -192,6 +195,8 @@ int main(int argc, char** argv) {
   SetMinLogSeverity(LogSeverity::kWarning);
   const std::string command = argv[1];
   Args args(argc, argv, 2);
+  // Kernel escape hatch; the TRANSN_NO_SIMD env var works too (util/vec.h).
+  if (args.GetBool("no-simd", false)) vec::SetSimdEnabled(false);
   if (command == "info") return CmdInfo(args);
   if (command == "query") return CmdQuery(args);
   Usage();
