@@ -47,6 +47,10 @@ class CrossViewTrainer {
   /// Mutable access for checkpoint restore.
   Translator& mutable_translator_ij() { return *translator_ij_; }
   Translator& mutable_translator_ji() { return *translator_ji_; }
+  /// The dense Adam over both translators' parameters; checkpointing
+  /// saves/restores its step count alongside the parameters' moments.
+  AdamOptimizer& translator_optimizer() { return translator_opt_; }
+  const AdamOptimizer& translator_optimizer() const { return translator_opt_; }
 
   /// Samples up to `max_windows` fixed-length common-node windows from one
   /// side's paired subview (side 0 = i, 1 = j), as global node ids. Public

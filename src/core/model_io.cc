@@ -1,13 +1,18 @@
 #include "core/model_io.h"
 
+#include <string.h>
+
 #include <fstream>
+#include <functional>
 #include <limits>
 #include <map>
+#include <sstream>
 
 #include "core/transn.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "serve/serving_format.h"
+#include "util/safe_io.h"
 #include "util/string_util.h"
 
 namespace transn {
@@ -27,8 +32,7 @@ Status SaveEmbeddings(const HeteroGraph& g, const Matrix& embeddings,
   if (embeddings.rows() != g.num_nodes()) {
     return Status::InvalidArgument("embedding rows != graph nodes");
   }
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open for write: " + path);
+  std::ostringstream out;
   out << embeddings.rows() << "\t" << embeddings.cols() << "\n";
   // max_digits10 makes the text round-trip bit-exact (shortest precision
   // that distinguishes every double); 9 digits used to lose the low bits.
@@ -39,8 +43,9 @@ Status SaveEmbeddings(const HeteroGraph& g, const Matrix& embeddings,
     for (size_t c = 0; c < embeddings.cols(); ++c) out << "\t" << row[c];
     out << "\n";
   }
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::Ok();
+  AtomicFileWriter writer(path);
+  writer.Write(out.str());
+  return writer.Commit();
 }
 
 StatusOr<LoadedEmbeddings> LoadEmbeddings(const std::string& path) {
@@ -116,10 +121,35 @@ StatusOr<LoadedEmbeddings> LoadEmbeddings(const std::string& path) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// TransN checkpoints.
+//
+// v2 layout (text, LF-only; DESIGN.md §8):
+//
+//   # transn checkpoint v2
+//   ITER\t<completed iterations>
+//   RNG\t<s0>\t<s1>\t<s2>\t<s3>\t<0|1>\t<cached gaussian>   (all 16-hex u64)
+//   SCALAR\t<name>\t<int64>                                 (Adam step counts)
+//   MATRIX\t<name>\t<rows>\t<cols>
+//   <rows lines of tab-separated precision-17 doubles>
+//   CRC\t<8-hex CRC-32 of the section, MATRIX line through last data row>
+//   ... more MATRIX sections ...
+//   END\t<matrix count>\t<8-hex CRC-32 of every preceding byte>
+//
+// The loader parses the whole file strictly — required trailing newline,
+// per-section CRCs, and the END trailer — so every possible truncation point
+// and any single corrupted byte yields a non-OK Status. v1 files (weights
+// only, no CRCs) still load through the legacy parser.
+// ---------------------------------------------------------------------------
+
 namespace {
 
-void WriteMatrix(std::ofstream& out, const std::string& name,
-                 const Matrix& m) {
+constexpr char kCheckpointHeaderV1[] = "# transn checkpoint v1";
+constexpr char kCheckpointHeaderV2[] = "# transn checkpoint v2";
+
+std::string FormatMatrixSection(const std::string& name, const Matrix& m) {
+  std::ostringstream out;
+  out.precision(17);
   out << "MATRIX\t" << name << "\t" << m.rows() << "\t" << m.cols() << "\n";
   for (size_t r = 0; r < m.rows(); ++r) {
     const double* row = m.Row(r);
@@ -128,18 +158,102 @@ void WriteMatrix(std::ofstream& out, const std::string& name,
     }
     out << "\n";
   }
+  return out.str();
 }
 
-/// Applies fn(name, matrix_ref) to every checkpointable matrix of the
-/// model, in a deterministic order shared by save and load.
-template <typename Fn>
-void ForEachModelMatrix(TransNModel& model, Fn&& fn) {
+bool ParseHexU64(std::string_view s, uint64_t* out) {
+  if (s.empty() || s.size() > 16) return false;
+  uint64_t v = 0;
+  for (char c : s) {
+    int d = 0;
+    if (c >= '0' && c <= '9') {
+      d = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      d = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    v = (v << 4) | static_cast<uint64_t>(d);
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseHexU32(std::string_view s, uint32_t* out) {
+  uint64_t v = 0;
+  if (!ParseHexU64(s, &v) || v > 0xFFFFFFFFull) return false;
+  *out = static_cast<uint32_t>(v);
+  return true;
+}
+
+/// One writable slot the checkpoint can address: expected shape for
+/// validation plus a deferred resolver (Adam buffers are lazily allocated,
+/// so the destination must not be materialized until assignment).
+struct MatrixSlot {
+  size_t rows = 0;
+  size_t cols = 0;
+  /// Core model weights are required in every checkpoint and restored by
+  /// plain LoadTransNCheckpoint; non-core (Adam moment) slots are optional
+  /// and restored only by ResumeTransNCheckpoint.
+  bool core = false;
+  /// Destination for restore; allocates lazy Adam buffers when needed.
+  std::function<Matrix*()> resolve;
+  /// Read access for save; null when the buffer is not allocated (a table
+  /// whose rows have never seen a sparse AdamStep).
+  std::function<const Matrix*()> peek;
+};
+
+struct ScalarSlot {
+  std::function<void(int64_t)> apply;
+};
+
+struct ModelSlots {
+  std::map<std::string, MatrixSlot> matrices;
+  std::map<std::string, ScalarSlot> scalars;
+};
+
+ModelSlots BuildModelSlots(TransNModel& model) {
+  ModelSlots slots;
+  auto add_table = [&slots](const std::string& base, EmbeddingTable& table) {
+    slots.matrices[base] = {table.num_rows(), table.dim(), true,
+                            [&table] { return &table.mutable_values(); },
+                            [&table] { return &table.values(); }};
+    slots.matrices[base + ".adam_m"] = {
+        table.num_rows(), table.dim(), false,
+        [&table] { return &table.mutable_adam_m(); },
+        [&table] {
+          return table.has_adam_state() ? &table.adam_m() : nullptr;
+        }};
+    slots.matrices[base + ".adam_v"] = {
+        table.num_rows(), table.dim(), false,
+        [&table] { return &table.mutable_adam_v(); },
+        [&table] {
+          return table.has_adam_state() ? &table.adam_v() : nullptr;
+        }};
+    slots.scalars[base + ".adam_t"] = {
+        [&table](int64_t t) { table.set_adam_step_count(t); }};
+  };
+  auto add_param = [&slots](const std::string& base, Parameter& param) {
+    slots.matrices[base] = {param.value.rows(), param.value.cols(), true,
+                            [&param] { return &param.value; },
+                            [&param] { return &param.value; }};
+    // AdamOptimizer::Register allocates the moments at construction, so
+    // translator parameters always have (possibly all-zero) Adam state.
+    slots.matrices[base + ".adam_m"] = {param.value.rows(), param.value.cols(),
+                                        false,
+                                        [&param] { return &param.adam_m; },
+                                        [&param] { return &param.adam_m; }};
+    slots.matrices[base + ".adam_v"] = {param.value.rows(), param.value.cols(),
+                                        false,
+                                        [&param] { return &param.adam_v; },
+                                        [&param] { return &param.adam_v; }};
+  };
+
   for (size_t i = 0; i < model.views().size(); ++i) {
     SingleViewTrainer* sv = model.single_view_trainer_or_null(i);
     if (sv == nullptr) continue;
-    fn(StrFormat("view%zu.input", i), sv->embeddings().mutable_values());
-    fn(StrFormat("view%zu.context", i),
-       sv->context_embeddings().mutable_values());
+    add_table(StrFormat("view%zu.input", i), sv->embeddings());
+    add_table(StrFormat("view%zu.context", i), sv->context_embeddings());
   }
   for (size_t p = 0; p < model.num_cross_trainers(); ++p) {
     CrossViewTrainer& cross = model.cross_view_trainer(p);
@@ -148,13 +262,326 @@ void ForEachModelMatrix(TransNModel& model, Fn&& fn) {
                                               &cross.mutable_translator_ij()},
           {"ji", &cross.mutable_translator_ji()}}) {
       for (size_t e = 0; e < translator->num_encoders(); ++e) {
-        fn(StrFormat("cross%zu.%s.w%zu", p, dir, e),
-           translator->weight(e).value);
-        fn(StrFormat("cross%zu.%s.b%zu", p, dir, e),
-           translator->bias(e).value);
+        add_param(StrFormat("cross%zu.%s.w%zu", p, dir, e),
+                  translator->weight(e));
+        add_param(StrFormat("cross%zu.%s.b%zu", p, dir, e),
+                  translator->bias(e));
+      }
+    }
+    slots.scalars[StrFormat("cross%zu.adam_t", p)] = {
+        [&cross](int64_t t) { cross.translator_optimizer().set_step_count(t); }};
+  }
+  return slots;
+}
+
+/// Everything a checkpoint file can carry, parsed but not yet applied.
+struct ParsedCheckpoint {
+  int version = 0;
+  uint64_t iterations = 0;
+  bool has_rng = false;
+  RngState rng;
+  std::map<std::string, int64_t> scalars;
+  std::map<std::string, Matrix> matrices;
+};
+
+/// Parses the tab-separated data rows of one matrix. `header` is the split
+/// MATRIX line; `next_line` yields successive data lines.
+Status ParseMatrixBody(const std::vector<std::string>& header,
+                       const std::function<bool(std::string_view*)>& next_line,
+                       std::string* name, Matrix* out) {
+  if (header.size() != 4 || header[0] != "MATRIX") {
+    return Status::InvalidArgument("bad checkpoint MATRIX line");
+  }
+  int64_t rows = 0, cols = 0;
+  if (!ParseInt64(header[2], &rows) || !ParseInt64(header[3], &cols) ||
+      rows <= 0 || cols <= 0) {
+    return Status::InvalidArgument("bad matrix shape for " + header[1]);
+  }
+  *name = header[1];
+  out->Resize(static_cast<size_t>(rows), static_cast<size_t>(cols));
+  for (int64_t r = 0; r < rows; ++r) {
+    std::string_view line;
+    if (!next_line(&line)) {
+      return Status::InvalidArgument("truncated matrix " + *name);
+    }
+    std::vector<std::string> cells = Split(Trim(line), '\t');
+    if (cells.size() != static_cast<size_t>(cols)) {
+      return Status::InvalidArgument("bad row arity in " + *name);
+    }
+    for (int64_t c = 0; c < cols; ++c) {
+      double v = 0.0;
+      if (!ParseDouble(cells[static_cast<size_t>(c)], &v)) {
+        return Status::InvalidArgument("bad value in " + *name);
+      }
+      (*out)(static_cast<size_t>(r), static_cast<size_t>(c)) = v;
+    }
+  }
+  return Status::Ok();
+}
+
+/// The legacy v1 reader: comment/blank lines permitted, no checksums, no
+/// training state. Kept so checkpoints written before the v2 format load
+/// unchanged.
+Status ParseCheckpointV1(std::string_view content, ParsedCheckpoint* out) {
+  out->version = 1;
+  std::istringstream in{std::string(content)};
+  std::string line;
+  auto next_line = [&in, &line](std::string_view* lv) {
+    if (!std::getline(in, line)) return false;
+    *lv = line;
+    return true;
+  };
+  while (std::getline(in, line)) {
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<std::string> header = Split(trimmed, '\t');
+    std::string name;
+    Matrix m;
+    RETURN_IF_ERROR(ParseMatrixBody(header, next_line, &name, &m));
+    if (!out->matrices.emplace(name, std::move(m)).second) {
+      return Status::InvalidArgument("duplicate matrix " + name);
+    }
+  }
+  return Status::Ok();
+}
+
+/// The strict v2 reader: every line accounted for, per-section and
+/// whole-file CRCs verified, trailing newline required. Any truncation
+/// point or corrupted byte yields a non-OK Status.
+Status ParseCheckpointV2(std::string_view content, const std::string& path,
+                         ParsedCheckpoint* out) {
+  out->version = 2;
+  if (content.empty() || content.back() != '\n') {
+    return Status::InvalidArgument("truncated checkpoint (no final newline): " +
+                                   path);
+  }
+  size_t pos = 0;
+  // Pops the next line (sans newline), recording its start offset.
+  auto next_line = [&content, &pos](std::string_view* lv,
+                                    size_t* start) -> bool {
+    if (pos >= content.size()) return false;
+    if (start != nullptr) *start = pos;
+    const size_t nl = content.find('\n', pos);
+    // content ends with '\n', so nl is always found.
+    *lv = content.substr(pos, nl - pos);
+    pos = nl + 1;
+    return true;
+  };
+
+  std::string_view line;
+  next_line(&line, nullptr);  // the version header, already dispatched on
+
+  if (!next_line(&line, nullptr) || !StartsWith(line, "ITER\t")) {
+    return Status::InvalidArgument("checkpoint missing ITER line: " + path);
+  }
+  int64_t iter = 0;
+  if (!ParseInt64(line.substr(5), &iter) || iter < 0) {
+    return Status::InvalidArgument("bad ITER line: " + std::string(line));
+  }
+  out->iterations = static_cast<uint64_t>(iter);
+
+  if (!next_line(&line, nullptr) || !StartsWith(line, "RNG\t")) {
+    return Status::InvalidArgument("checkpoint missing RNG line: " + path);
+  }
+  {
+    std::vector<std::string> f = Split(line, '\t');
+    uint64_t gaussian_bits = 0;
+    int64_t has = 0;
+    if (f.size() != 7 || !ParseHexU64(f[1], &out->rng.s[0]) ||
+        !ParseHexU64(f[2], &out->rng.s[1]) ||
+        !ParseHexU64(f[3], &out->rng.s[2]) ||
+        !ParseHexU64(f[4], &out->rng.s[3]) || !ParseInt64(f[5], &has) ||
+        (has != 0 && has != 1) || !ParseHexU64(f[6], &gaussian_bits)) {
+      return Status::InvalidArgument("bad RNG line: " + std::string(line));
+    }
+    out->rng.has_cached_gaussian = has == 1;
+    memcpy(&out->rng.cached_gaussian, &gaussian_bits, sizeof(double));
+    out->has_rng = true;
+  }
+
+  // SCALAR lines, then MATRIX sections, then the END trailer.
+  bool saw_end = false;
+  bool in_scalars = true;
+  while (true) {
+    size_t line_start = 0;
+    if (!next_line(&line, &line_start)) {
+      return Status::InvalidArgument("checkpoint missing END trailer: " +
+                                     path);
+    }
+    if (StartsWith(line, "SCALAR\t")) {
+      if (!in_scalars) {
+        return Status::InvalidArgument(
+            "SCALAR line after first MATRIX section: " + path);
+      }
+      std::vector<std::string> f = Split(line, '\t');
+      int64_t v = 0;
+      if (f.size() != 3 || f[1].empty() || !ParseInt64(f[2], &v)) {
+        return Status::InvalidArgument("bad SCALAR line: " + std::string(line));
+      }
+      if (!out->scalars.emplace(f[1], v).second) {
+        return Status::InvalidArgument("duplicate scalar " + f[1]);
+      }
+      continue;
+    }
+    if (StartsWith(line, "MATRIX\t")) {
+      in_scalars = false;
+      auto data_line = [&next_line](std::string_view* lv) {
+        return next_line(lv, nullptr);
+      };
+      std::string name;
+      Matrix m;
+      RETURN_IF_ERROR(
+          ParseMatrixBody(Split(line, '\t'), data_line, &name, &m));
+      // The CRC trailer covers the MATRIX line through the last data row.
+      const size_t section_end = pos;
+      std::string_view crc_line;
+      if (!next_line(&crc_line, nullptr) || !StartsWith(crc_line, "CRC\t")) {
+        return Status::InvalidArgument("matrix " + name +
+                                       " missing CRC trailer");
+      }
+      uint32_t stored = 0;
+      if (!ParseHexU32(crc_line.substr(4), &stored)) {
+        return Status::InvalidArgument("bad CRC line for matrix " + name);
+      }
+      const uint32_t actual =
+          Crc32(content.substr(line_start, section_end - line_start));
+      if (actual != stored) {
+        return Status::DataLoss(StrFormat(
+            "CRC mismatch in checkpoint matrix %s: stored %08x, computed "
+            "%08x",
+            name.c_str(), stored, actual));
+      }
+      if (!out->matrices.emplace(name, std::move(m)).second) {
+        return Status::InvalidArgument("duplicate matrix " + name);
+      }
+      continue;
+    }
+    if (StartsWith(line, "END\t")) {
+      std::vector<std::string> f = Split(line, '\t');
+      int64_t count = 0;
+      uint32_t stored = 0;
+      if (f.size() != 3 || !ParseInt64(f[1], &count) ||
+          !ParseHexU32(f[2], &stored)) {
+        return Status::InvalidArgument("bad END line: " + std::string(line));
+      }
+      if (count < 0 ||
+          static_cast<size_t>(count) != out->matrices.size()) {
+        return Status::DataLoss(StrFormat(
+            "checkpoint END declares %lld matrices, found %zu",
+            static_cast<long long>(count), out->matrices.size()));
+      }
+      const uint32_t actual = Crc32(content.substr(0, line_start));
+      if (actual != stored) {
+        return Status::DataLoss(StrFormat(
+            "whole-file CRC mismatch: stored %08x, computed %08x", stored,
+            actual));
+      }
+      saw_end = true;
+      break;
+    }
+    return Status::InvalidArgument("unexpected checkpoint line: " +
+                                   std::string(line.substr(0, 64)));
+  }
+  if (!saw_end || pos != content.size()) {
+    return Status::InvalidArgument("trailing data after END trailer: " + path);
+  }
+  return Status::Ok();
+}
+
+Status ParseCheckpointFile(const std::string& path, ParsedCheckpoint* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in) return Status::IoError("read failed: " + path);
+  const std::string content = buf.str();
+
+  const size_t nl = content.find('\n');
+  const std::string_view first =
+      nl == std::string::npos ? std::string_view(content)
+                              : std::string_view(content).substr(0, nl);
+  if (first == kCheckpointHeaderV2) {
+    return ParseCheckpointV2(content, path, out);
+  }
+  if (first == kCheckpointHeaderV1) {
+    return ParseCheckpointV1(content, out);
+  }
+  return Status::InvalidArgument("not a transn checkpoint (bad header): " +
+                                 path);
+}
+
+/// Validates every parsed matrix against the model's slots, then assigns.
+/// Nothing in the model is touched until validation has fully passed, so a
+/// bad checkpoint never leaves a partially mutated model. With
+/// `restore_training_state`, Adam moments, step counts, RNG state, and the
+/// iteration counter are applied too.
+Status ApplyCheckpoint(TransNModel* model, ParsedCheckpoint& parsed,
+                       bool restore_training_state) {
+  ModelSlots slots = BuildModelSlots(*model);
+
+  // Validation pass: unknown names, shape mismatches, missing core
+  // matrices, and half-present Adam pairs all fail here.
+  for (const auto& [name, m] : parsed.matrices) {
+    auto it = slots.matrices.find(name);
+    if (it == slots.matrices.end()) {
+      return Status::InvalidArgument("checkpoint matrix " + name +
+                                     " does not exist in this model");
+    }
+    if (m.rows() != it->second.rows || m.cols() != it->second.cols) {
+      return Status::InvalidArgument(StrFormat(
+          "shape mismatch for %s: checkpoint %zux%zu vs model %zux%zu",
+          name.c_str(), m.rows(), m.cols(), it->second.rows,
+          it->second.cols));
+    }
+  }
+  for (const auto& [name, slot] : slots.matrices) {
+    if (slot.core && parsed.matrices.find(name) == parsed.matrices.end()) {
+      return Status::InvalidArgument("checkpoint missing matrix " + name);
+    }
+    if (!slot.core) {
+      // .adam_m and .adam_v must come as a pair or not at all.
+      const bool present = parsed.matrices.find(name) != parsed.matrices.end();
+      const std::string sibling =
+          name.substr(0, name.size() - 1) + (name.back() == 'm' ? "v" : "m");
+      const bool sibling_present =
+          parsed.matrices.find(sibling) != parsed.matrices.end();
+      if (present != sibling_present) {
+        return Status::InvalidArgument("checkpoint has " +
+                                       (present ? name : sibling) +
+                                       " without its Adam twin");
       }
     }
   }
+  for (const auto& [name, value] : parsed.scalars) {
+    (void)value;
+    if (slots.scalars.find(name) == slots.scalars.end()) {
+      return Status::InvalidArgument("checkpoint scalar " + name +
+                                     " does not exist in this model");
+    }
+  }
+  if (restore_training_state) {
+    if (parsed.version < 2) {
+      return Status::InvalidArgument(
+          "cannot resume from a v1 checkpoint (no training state); "
+          "use --load-checkpoint to restart from its weights");
+    }
+    CHECK(parsed.has_rng);  // guaranteed by ParseCheckpointV2
+  }
+
+  // Assignment pass — cannot fail.
+  for (auto& [name, m] : parsed.matrices) {
+    const MatrixSlot& slot = slots.matrices.at(name);
+    if (!slot.core && !restore_training_state) continue;
+    *slot.resolve() = std::move(m);
+  }
+  if (restore_training_state) {
+    for (const auto& [name, value] : parsed.scalars) {
+      slots.scalars.at(name).apply(value);
+    }
+    model->mutable_rng().RestoreState(parsed.rng);
+    model->set_completed_iterations(parsed.iterations);
+  }
+  return Status::Ok();
 }
 
 }  // namespace
@@ -163,88 +590,98 @@ Status SaveTransNCheckpoint(const TransNModel& model,
                             const std::string& path) {
   const obs::ScopedHistogramTimer io_timer(IoHistogram(
       obs::kIoCheckpointSaveSeconds, "SaveTransNCheckpoint wall time"));
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open for write: " + path);
-  out << "# transn checkpoint v1\n";
-  out.precision(17);
-  // ForEachModelMatrix needs mutable access structurally, but saving only
+  // BuildModelSlots needs mutable access structurally, but saving only
   // reads; the const_cast is confined here.
-  ForEachModelMatrix(const_cast<TransNModel&>(model),
-                     [&out](const std::string& name, const Matrix& m) {
-                       WriteMatrix(out, name, m);
-                     });
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::Ok();
+  ModelSlots slots = BuildModelSlots(const_cast<TransNModel&>(model));
+
+  std::string file = std::string(kCheckpointHeaderV2) + "\n";
+  file += StrFormat("ITER\t%llu\n",
+                    static_cast<unsigned long long>(
+                        model.completed_iterations()));
+  const RngState rng = model.rng().SaveState();
+  uint64_t gaussian_bits = 0;
+  memcpy(&gaussian_bits, &rng.cached_gaussian, sizeof(double));
+  file += StrFormat(
+      "RNG\t%016llx\t%016llx\t%016llx\t%016llx\t%d\t%016llx\n",
+      static_cast<unsigned long long>(rng.s[0]),
+      static_cast<unsigned long long>(rng.s[1]),
+      static_cast<unsigned long long>(rng.s[2]),
+      static_cast<unsigned long long>(rng.s[3]),
+      rng.has_cached_gaussian ? 1 : 0,
+      static_cast<unsigned long long>(gaussian_bits));
+
+  TransNModel& m = const_cast<TransNModel&>(model);
+  for (size_t i = 0; i < m.views().size(); ++i) {
+    SingleViewTrainer* sv = m.single_view_trainer_or_null(i);
+    if (sv == nullptr) continue;
+    file += StrFormat("SCALAR\tview%zu.input.adam_t\t%lld\n", i,
+                      static_cast<long long>(
+                          sv->embeddings().adam_step_count()));
+    file += StrFormat("SCALAR\tview%zu.context.adam_t\t%lld\n", i,
+                      static_cast<long long>(
+                          sv->context_embeddings().adam_step_count()));
+  }
+  for (size_t p = 0; p < m.num_cross_trainers(); ++p) {
+    file += StrFormat("SCALAR\tcross%zu.adam_t\t%lld\n", p,
+                      static_cast<long long>(
+                          m.cross_view_trainer(p)
+                              .translator_optimizer()
+                              .step_count()));
+  }
+
+  // Matrix sections in slot-map (name) order; Adam moments ride along only
+  // when allocated. Each section gets its own CRC trailer.
+  size_t num_matrices = 0;
+  for (const auto& [name, slot] : slots.matrices) {
+    // Table moments exist only after the first sparse AdamStep; peek()
+    // reports them absent without allocating (resolve() would).
+    const Matrix* mat = slot.peek();
+    if (mat == nullptr) continue;
+    const std::string section = FormatMatrixSection(name, *mat);
+    file += section;
+    file += StrFormat("CRC\t%08x\n", Crc32(section));
+    ++num_matrices;
+  }
+  file += StrFormat("END\t%zu\t%08x\n", num_matrices, Crc32(file));
+
+  AtomicFileWriter writer(path);
+  writer.Write(file);
+  Status status = writer.Commit();
+  if (status.ok()) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+    registry
+        .GetCounter(obs::kCheckpointSavesTotal, "checkpoints",
+                    "checkpoints committed (periodic and final)")
+        ->Increment();
+    registry
+        .GetGauge(obs::kCheckpointLastGoodIteration, "iteration",
+                  "iteration recorded in the last committed checkpoint")
+        ->Set(static_cast<double>(model.completed_iterations()));
+  }
+  return status;
 }
 
 Status LoadTransNCheckpoint(TransNModel* model, const std::string& path) {
   const obs::ScopedHistogramTimer io_timer(IoHistogram(
       obs::kIoCheckpointLoadSeconds, "LoadTransNCheckpoint wall time"));
   CHECK(model != nullptr);
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open: " + path);
+  ParsedCheckpoint parsed;
+  RETURN_IF_ERROR(ParseCheckpointFile(path, &parsed));
+  return ApplyCheckpoint(model, parsed, /*restore_training_state=*/false);
+}
 
-  std::map<std::string, Matrix> matrices;
-  std::string line;
-  while (std::getline(in, line)) {
-    std::string_view trimmed = Trim(line);
-    if (trimmed.empty() || trimmed[0] == '#') continue;
-    std::vector<std::string> header = Split(trimmed, '\t');
-    if (header.size() != 4 || header[0] != "MATRIX") {
-      return Status::InvalidArgument("bad checkpoint header line: " + line);
-    }
-    int64_t rows = 0, cols = 0;
-    if (!ParseInt64(header[2], &rows) || !ParseInt64(header[3], &cols) ||
-        rows <= 0 || cols <= 0) {
-      return Status::InvalidArgument("bad matrix shape: " + line);
-    }
-    Matrix m(static_cast<size_t>(rows), static_cast<size_t>(cols));
-    for (int64_t r = 0; r < rows; ++r) {
-      if (!std::getline(in, line)) {
-        return Status::InvalidArgument("truncated matrix " + header[1]);
-      }
-      std::vector<std::string> cells = Split(Trim(line), '\t');
-      if (cells.size() != static_cast<size_t>(cols)) {
-        return Status::InvalidArgument("bad row arity in " + header[1]);
-      }
-      for (int64_t c = 0; c < cols; ++c) {
-        double v = 0.0;
-        if (!ParseDouble(cells[static_cast<size_t>(c)], &v)) {
-          return Status::InvalidArgument("bad value in " + header[1]);
-        }
-        m(static_cast<size_t>(r), static_cast<size_t>(c)) = v;
-      }
-    }
-    matrices.emplace(header[1], std::move(m));
-  }
-
-  // Assign with shape validation; every expected matrix must be present.
-  Status status = Status::Ok();
-  size_t assigned = 0;
-  ForEachModelMatrix(*model, [&](const std::string& name, Matrix& dst) {
-    if (!status.ok()) return;
-    auto it = matrices.find(name);
-    if (it == matrices.end()) {
-      status = Status::InvalidArgument("checkpoint missing matrix " + name);
-      return;
-    }
-    if (!it->second.SameShape(dst)) {
-      status = Status::InvalidArgument(
-          StrFormat("shape mismatch for %s: checkpoint %zux%zu vs model "
-                    "%zux%zu",
-                    name.c_str(), it->second.rows(), it->second.cols(),
-                    dst.rows(), dst.cols()));
-      return;
-    }
-    dst = it->second;
-    ++assigned;
-  });
-  if (!status.ok()) return status;
-  if (assigned != matrices.size()) {
-    return Status::InvalidArgument(
-        StrFormat("checkpoint has %zu matrices but model expects %zu",
-                  matrices.size(), assigned));
-  }
+Status ResumeTransNCheckpoint(TransNModel* model, const std::string& path) {
+  const obs::ScopedHistogramTimer io_timer(IoHistogram(
+      obs::kIoCheckpointLoadSeconds, "ResumeTransNCheckpoint wall time"));
+  CHECK(model != nullptr);
+  ParsedCheckpoint parsed;
+  RETURN_IF_ERROR(ParseCheckpointFile(path, &parsed));
+  RETURN_IF_ERROR(ApplyCheckpoint(model, parsed,
+                                  /*restore_training_state=*/true));
+  obs::MetricsRegistry::Default()
+      .GetCounter(obs::kCheckpointResumesTotal, "resumes",
+                  "training runs resumed from a checkpoint")
+      ->Increment();
   return Status::Ok();
 }
 
@@ -268,6 +705,12 @@ void AppendTranslator(std::string* buf, const Translator& t, uint32_t from,
   }
 }
 
+/// Appends the v2 per-section CRC-32 covering buf[section_start..end).
+void AppendSectionCrc(std::string* buf, size_t section_start) {
+  AppendU32(buf,
+            Crc32(buf->data() + section_start, buf->size() - section_start));
+}
+
 }  // namespace
 
 Status ExportServingModel(const TransNModel& model, const std::string& path) {
@@ -277,12 +720,13 @@ Status ExportServingModel(const TransNModel& model, const std::string& path) {
   const std::vector<View>& views = model.views();
   const size_t num_translators = 2 * model.num_cross_trainers();
   if (g.num_nodes() > std::numeric_limits<uint32_t>::max()) {
-    return Status::InvalidArgument("graph too large for serving format v1");
+    return Status::InvalidArgument("graph too large for serving format");
   }
 
   std::string buf;
   buf.append(kServingMagic, sizeof(kServingMagic));
   AppendU32(&buf, kServingFormatVersion);
+  size_t section = buf.size();
   AppendU32(&buf, static_cast<uint32_t>(model.config().dim));
   AppendU32(&buf, num_translators > 0
                       ? static_cast<uint32_t>(model.config().translator_seq_len)
@@ -291,42 +735,53 @@ Status ExportServingModel(const TransNModel& model, const std::string& path) {
   AppendU32(&buf, static_cast<uint32_t>(views.size()));
   AppendU32(&buf, static_cast<uint32_t>(num_translators));
   AppendU8(&buf, kServingFlagFinalEmbeddings);
+  AppendSectionCrc(&buf, section);
 
+  section = buf.size();
   for (NodeId n = 0; n < g.num_nodes(); ++n) {
     AppendString(&buf, g.node_name(n));
   }
+  AppendSectionCrc(&buf, section);
+
+  section = buf.size();
   AppendMatrix(&buf, model.FinalEmbeddings());
+  AppendSectionCrc(&buf, section);
 
   for (size_t i = 0; i < views.size(); ++i) {
     const View& view = views[i];
+    section = buf.size();
     AppendString(&buf, g.edge_type_name(view.edge_type));
     AppendU8(&buf, view.is_heter ? 1 : 0);
     const SingleViewTrainer* sv = model.single_view_trainer_or_null(i);
     if (sv == nullptr) {  // empty view: metadata only
       AppendU32(&buf, 0);
+      AppendSectionCrc(&buf, section);
       continue;
     }
     const std::vector<NodeId>& locals = view.graph.nodes();
     AppendU32(&buf, static_cast<uint32_t>(locals.size()));
     for (NodeId global : locals) AppendU32(&buf, global);
     AppendMatrix(&buf, sv->embeddings().values());
+    AppendSectionCrc(&buf, section);
   }
 
   for (size_t p = 0; p < model.num_cross_trainers(); ++p) {
     const CrossViewTrainer& cross = model.cross_view_trainer(p);
     const uint32_t vi = static_cast<uint32_t>(cross.pair().view_i);
     const uint32_t vj = static_cast<uint32_t>(cross.pair().view_j);
+    section = buf.size();
     AppendTranslator(&buf, cross.translator_ij(), vi, vj);
+    AppendSectionCrc(&buf, section);
+    section = buf.size();
     AppendTranslator(&buf, cross.translator_ji(), vj, vi);
+    AppendSectionCrc(&buf, section);
   }
 
   AppendU64(&buf, ServingChecksum(buf.data(), buf.size()));
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot open for write: " + path);
-  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::Ok();
+  AtomicFileWriter writer(path);
+  writer.Write(buf);
+  return writer.Commit();
 }
 
 }  // namespace transn

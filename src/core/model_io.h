@@ -26,15 +26,32 @@ StatusOr<LoadedEmbeddings> LoadEmbeddings(const std::string& path);
 
 class TransNModel;
 
-/// Checkpoints a trained TransN model: every view-specific input/context
-/// embedding table and every translator's W/b parameters (Adam state is not
-/// saved; resumed training restarts the moment estimates). The graph and
-/// configuration are NOT stored — restoring requires constructing a
-/// TransNModel over the same graph with the same config and seed, then
-/// calling LoadTransNCheckpoint, which validates all dimensions.
+/// Checkpoints a TransN model in the v2 text format (DESIGN.md §8): every
+/// view-specific input/context embedding table and every translator's W/b
+/// parameters, plus the full training state — iteration counter, RNG state,
+/// and Adam moments/step counts — so an interrupted run resumes bit-for-bit.
+/// Each matrix section carries a CRC-32 trailer and the file ends with an
+/// END line holding the section count and a whole-file CRC; the file is
+/// written as `<path>.tmp` and atomically renamed, so a crash mid-save never
+/// clobbers the previous good checkpoint. The graph and configuration are
+/// NOT stored — restoring requires constructing a TransNModel over the same
+/// graph with the same config and seed.
 Status SaveTransNCheckpoint(const TransNModel& model, const std::string& path);
 
+/// Restores model weights from a v1 or v2 checkpoint. Training state (ITER /
+/// RNG / Adam) present in a v2 file is validated but NOT applied — this is
+/// the `--load-checkpoint` path, which re-trains from the stored weights.
+/// All shapes are validated against the model *before* anything is assigned:
+/// on any error (truncation, CRC mismatch, unknown/missing matrix, shape
+/// mismatch) the model is untouched.
 Status LoadTransNCheckpoint(TransNModel* model, const std::string& path);
+
+/// LoadTransNCheckpoint plus full training-state restore (`--resume`):
+/// iteration counter, RNG state, and Adam moments/step counts, so Fit()
+/// continues exactly where the checkpoint was taken. Requires a v2
+/// checkpoint (v1 files carry no training state). Same all-or-nothing
+/// guarantee: a bad file leaves the model untouched.
+Status ResumeTransNCheckpoint(TransNModel* model, const std::string& path);
 
 /// Exports a trained model in the immutable binary serving format consumed
 /// by serve/EmbeddingStore (layout in serve/serving_format.h): node-name

@@ -2,10 +2,12 @@
 
 #include <cmath>
 
+#include "core/model_io.h"
 #include "nn/init.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/fault.h"
 #include "util/timer.h"
 #include "util/vec.h"
 
@@ -89,6 +91,10 @@ TransNIterationStats TransNModel::RunIteration() {
   if (active_views > 0) {
     stats.mean_single_view_loss /= static_cast<double>(active_views);
   }
+  // Crash-safety failpoint: aborts the pass after the single-view updates
+  // but before the cross-view updates — the worst spot for a naive
+  // checkpointer, since the model is mid-mutation (kill-and-resume tests).
+  fault::MaybeThrow(fault::kTrainAbort);
   if (!cross_.empty()) {
     for (auto& trainer : cross_) {
       stats.mean_cross_view_loss += trainer->RunIteration(rng_, pool_.get());
@@ -96,6 +102,7 @@ TransNIterationStats TransNModel::RunIteration() {
     stats.mean_cross_view_loss /= static_cast<double>(cross_.size());
   }
   history_.push_back(stats);
+  ++completed_iterations_;
 
   // Per-pass rollups (registered by name, dumped via --metrics-out). The
   // per-view pairs/seconds are recorded inside SingleViewTrainer.
@@ -125,14 +132,30 @@ TransNIterationStats TransNModel::RunIteration() {
 
 void TransNModel::Fit() {
   const obs::TraceSpan fit_span("train");
-  for (size_t iter = 0; iter < config_.iterations; ++iter) {
+  if (config_.checkpoint_every_iters > 0) {
+    CHECK(!config_.checkpoint_path.empty())
+        << "checkpoint_every_iters requires checkpoint_path";
+  }
+  while (completed_iterations_ < config_.iterations) {
     TransNIterationStats stats = RunIteration();
-    LOG(INFO) << "TransN iteration " << (iter + 1) << "/"
+    LOG(INFO) << "TransN iteration " << completed_iterations_ << "/"
               << config_.iterations
               << " single-view loss=" << stats.mean_single_view_loss
               << " cross-view loss=" << stats.mean_cross_view_loss
               << " (" << stats.single_view_pairs << " pairs, "
               << stats.single_view_pairs_per_second() << " pairs/s)";
+    if (config_.checkpoint_every_iters > 0 &&
+        completed_iterations_ % config_.checkpoint_every_iters == 0 &&
+        completed_iterations_ < config_.iterations) {
+      // Mid-training checkpoint. A failed write must not kill the run: the
+      // failure is already counted in io.write_errors_total and the previous
+      // good checkpoint is still intact (atomic replace).
+      Status s = SaveTransNCheckpoint(*this, config_.checkpoint_path);
+      if (!s.ok()) {
+        LOG(ERROR) << "checkpoint write failed (training continues): "
+                   << s.ToString();
+      }
+    }
   }
 }
 

@@ -46,11 +46,16 @@ class TransNModel {
   /// ablation switches in `config` select the Table-V variants.
   TransNModel(const HeteroGraph* graph, TransNConfig config);
 
-  /// Runs config.iterations full passes of Algorithm 1.
+  /// Runs Algorithm-1 passes until config.iterations have completed in
+  /// total, starting from completed_iterations() — so a model restored with
+  /// ResumeTransNCheckpoint finishes exactly the remaining passes. When
+  /// config.checkpoint_every_iters > 0, writes an atomic checkpoint to
+  /// config.checkpoint_path after every N completed passes.
   void Fit();
 
   /// Runs a single pass (line 2 body); exposed for incremental training and
-  /// the Theorem-1 scaling bench. Returns that pass's losses.
+  /// the Theorem-1 scaling bench. Returns that pass's losses and advances
+  /// completed_iterations().
   TransNIterationStats RunIteration();
 
   /// Final embeddings: row n is the average of node n's view-specific
@@ -80,6 +85,16 @@ class TransNModel {
   }
   const std::vector<TransNIterationStats>& history() const { return history_; }
 
+  /// Completed Algorithm-1 passes; advanced by RunIteration and restored by
+  /// ResumeTransNCheckpoint (core/model_io).
+  size_t completed_iterations() const { return completed_iterations_; }
+  void set_completed_iterations(size_t n) { completed_iterations_ = n; }
+
+  /// The training RNG; checkpointing snapshots/restores its full state so a
+  /// resumed run draws the same sequence the uninterrupted run would have.
+  Rng& mutable_rng() { return rng_; }
+  const Rng& rng() const { return rng_; }
+
  private:
   const HeteroGraph* graph_;
   TransNConfig config_;
@@ -93,6 +108,7 @@ class TransNModel {
   std::vector<std::unique_ptr<SingleViewTrainer>> single_;
   std::vector<std::unique_ptr<CrossViewTrainer>> cross_;
   std::vector<TransNIterationStats> history_;
+  size_t completed_iterations_ = 0;
 };
 
 }  // namespace transn

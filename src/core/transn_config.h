@@ -3,6 +3,8 @@
 
 #include <stdint.h>
 
+#include <string>
+
 #include "emb/sgns.h"
 #include "walk/random_walk.h"
 
@@ -43,6 +45,15 @@ struct TransNConfig {
   /// K: outer iterations of Algorithm 1.
   size_t iterations = 5;
   uint64_t seed = 42;
+
+  /// Write an atomic checkpoint to `checkpoint_path` every this many
+  /// completed iterations (0 = off). Checkpoints carry the iteration
+  /// counter, RNG state, and Adam moments, so `--resume` continues the run
+  /// bit-for-bit where a crash interrupted it (DESIGN.md §8).
+  size_t checkpoint_every_iters = 0;
+  /// Target file for periodic checkpoints (written as `<path>.tmp` then
+  /// renamed). Required when checkpoint_every_iters > 0.
+  std::string checkpoint_path;
 
   /// Worker threads for Hogwild parallel training. 1 (default) keeps the
   /// exact sequential path, bit-reproducible from `seed`; 0 selects

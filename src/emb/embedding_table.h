@@ -41,6 +41,23 @@ class EmbeddingTable {
   /// Gathers rows into a |rows| x dim matrix (cross-view path matrices A).
   Matrix GatherRows(const std::vector<size_t>& rows) const;
 
+  // --- checkpoint access to the sparse-Adam state (core/model_io) ---
+  /// True once AdamStep has allocated the moment buffers.
+  bool has_adam_state() const { return adam_m_.rows() == values_.rows(); }
+  int64_t adam_step_count() const { return adam_t_; }
+  void set_adam_step_count(int64_t t) { adam_t_ = t; }
+  const Matrix& adam_m() const { return adam_m_; }
+  const Matrix& adam_v() const { return adam_v_; }
+  /// Allocate (if needed) and expose the moment buffers for restore.
+  Matrix& mutable_adam_m() {
+    EnsureAdamState();
+    return adam_m_;
+  }
+  Matrix& mutable_adam_v() {
+    EnsureAdamState();
+    return adam_v_;
+  }
+
  private:
   void EnsureAdamState();
 

@@ -5,6 +5,7 @@
 
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
+#include "util/safe_io.h"
 #include "util/string_util.h"
 
 namespace transn {
@@ -13,8 +14,11 @@ Status SaveGraph(const HeteroGraph& g, const std::string& path) {
   const obs::ScopedHistogramTimer io_timer(
       obs::MetricsRegistry::Default().GetHistogram(
           obs::kIoGraphSaveSeconds, "seconds", "SaveGraph wall time"));
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open for write: " + path);
+  // Format the whole file first, then atomically replace the target: a
+  // crash or full disk mid-save must never leave a torn graph file. The
+  // ostringstream keeps the v1 byte format (default float precision for
+  // edge weights) unchanged.
+  std::ostringstream out;
   out << "# transn graph v1\n";
   for (NodeTypeId t = 0; t < g.num_node_types(); ++t) {
     out << "T\t" << g.node_type_name(t) << "\n";
@@ -34,8 +38,9 @@ Status SaveGraph(const HeteroGraph& g, const std::string& path) {
         << g.edge_type_name(g.edge_type(e)) << "\t" << g.edge_weight(e)
         << "\n";
   }
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::Ok();
+  AtomicFileWriter writer(path);
+  writer.Write(out.str());
+  return writer.Commit();
 }
 
 StatusOr<HeteroGraph> LoadGraph(const std::string& path) {

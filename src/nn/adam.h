@@ -33,6 +33,9 @@ class AdamOptimizer {
   void ZeroGrad();
 
   int64_t step_count() const { return t_; }
+  /// Restores the bias-correction step count from a checkpoint; must be
+  /// paired with restoring every registered parameter's adam_m/adam_v.
+  void set_step_count(int64_t t) { t_ = t; }
   const AdamConfig& config() const { return config_; }
   void set_learning_rate(double lr) { config_.learning_rate = lr; }
 

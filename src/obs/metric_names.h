@@ -68,6 +68,19 @@ inline constexpr char kIoEmbeddingsLoadSeconds[] = "io.embeddings_load_seconds";
 inline constexpr char kIoCheckpointSaveSeconds[] = "io.checkpoint_save_seconds";
 inline constexpr char kIoCheckpointLoadSeconds[] = "io.checkpoint_load_seconds";
 inline constexpr char kIoServingExportSeconds[] = "io.serving_export_seconds";
+/// Failed file writes observed by CheckedWriter/AtomicFileWriter — real
+/// errors and injected faults alike (bridged from util/safe_io's counter by
+/// obs/metrics.cc; util/ cannot depend on obs/).
+inline constexpr char kIoWriteErrorsTotal[] = "io.write_errors_total";
+
+// --- checkpointing / crash recovery ---------------------------------------
+/// Iteration recorded in the most recent successfully committed checkpoint.
+inline constexpr char kCheckpointLastGoodIteration[] =
+    "checkpoint.last_good_iteration";
+/// Checkpoints committed (periodic and final saves alike).
+inline constexpr char kCheckpointSavesTotal[] = "checkpoint.saves_total";
+/// Training runs resumed from a checkpoint (ResumeTransNCheckpoint calls).
+inline constexpr char kCheckpointResumesTotal[] = "checkpoint.resumes_total";
 
 // --- src/serve/: query path -----------------------------------------------
 /// Binary serving-model load + verify time.

@@ -4,14 +4,30 @@
 #include <sstream>
 
 #include "obs/json_escape.h"
+#include "obs/metric_names.h"
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/safe_io.h"
 #include "util/string_util.h"
 
 namespace transn {
 namespace obs {
 
 namespace {
+
+/// Bridges util/safe_io's write-error counter into the registry as
+/// io.write_errors_total. The hook lives here (not in util/) because
+/// transn_obs links transn_util, never the reverse. Installed once at static
+/// initialization, before main() can run any writer.
+[[maybe_unused]] const bool g_write_error_bridge_installed = [] {
+  SetWriteErrorHook([] {
+    MetricsRegistry::Default()
+        .GetCounter(kIoWriteErrorsTotal, "errors",
+                    "failed file writes (CheckedWriter/AtomicFileWriter)")
+        ->Increment();
+  });
+  return true;
+}();
 
 /// Splits "base{key=value}" into its parts; labels empty when absent.
 struct ParsedName {
@@ -279,16 +295,15 @@ void WriteObservabilityJson(const MetricsRegistry& registry,
 }
 
 Status DumpDefaultObservability(const std::string& path) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
-    return Status::IoError("cannot open metrics output file: " + path);
-  }
+  // Atomic replace: a crash (or injected fault) mid-dump must never leave a
+  // torn JSON file where a previous good dump existed.
+  std::ostringstream out;
   WriteObservabilityJson(MetricsRegistry::Default(), TraceCollector::Default(),
                          out);
   out << '\n';
-  out.flush();
-  if (!out) return Status::IoError("failed writing metrics file: " + path);
-  return Status::Ok();
+  AtomicFileWriter writer(path);
+  writer.Write(out.str());
+  return writer.Commit();
 }
 
 }  // namespace obs

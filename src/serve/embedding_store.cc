@@ -6,6 +6,7 @@
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "serve/serving_format.h"
+#include "util/safe_io.h"
 #include "util/string_util.h"
 
 namespace transn {
@@ -83,15 +84,39 @@ StatusOr<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {
   uint32_t num_nodes = 0, num_views = 0, num_translators = 0;
   uint8_t flags = 0;
   if (!r.ReadU32(&version)) return Malformed("truncated header", r);
-  if (version != kServingFormatVersion) {
+  if (version != kServingFormatVersionV1 && version != kServingFormatVersion) {
     return Status::InvalidArgument(
         StrFormat("unsupported serving format version %u", version));
   }
+  // v2 files carry a CRC-32 after every section; verify each one so a
+  // corruption is pinpointed to the section it hit. v1 files rely on the
+  // (already verified) whole-file FNV trailer alone.
+  const bool per_section_crcs = version >= 2;
+  size_t section_start = r.offset();
+  auto verify_section = [&](const char* what) -> Status {
+    if (!per_section_crcs) return Status::Ok();
+    const size_t section_end = r.offset();
+    uint32_t stored = 0;
+    if (!r.ReadU32(&stored)) {
+      return Malformed(StrFormat("truncated %s CRC", what), r);
+    }
+    const uint32_t actual =
+        Crc32(data.data() + section_start, section_end - section_start);
+    if (actual != stored) {
+      return Status::DataLoss(StrFormat(
+          "serving model %s section CRC mismatch: stored %08x, computed %08x",
+          what, stored, actual));
+    }
+    section_start = r.offset();
+    return Status::Ok();
+  };
+
   if (!r.ReadU32(&dim) || !r.ReadU32(&seq_len) || !r.ReadU32(&num_nodes) ||
       !r.ReadU32(&num_views) || !r.ReadU32(&num_translators) ||
       !r.ReadU8(&flags)) {
     return Malformed("truncated header", r);
   }
+  RETURN_IF_ERROR(verify_section("header"));
   if (dim == 0 || dim > kMaxDim || seq_len > kMaxSeqLen ||
       num_nodes > kMaxCount || num_views > kMaxCount ||
       num_translators > kMaxCount) {
@@ -110,12 +135,14 @@ StatusOr<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {
     }
     store.name_to_id_.emplace(store.node_names_[n], n);
   }
+  RETURN_IF_ERROR(verify_section("node-name index"));
 
   if (flags & kServingFlagFinalEmbeddings) {
     if (!ReadMatrix(r, num_nodes, dim, &store.final_embeddings_)) {
       return Malformed("truncated final embeddings", r);
     }
   }
+  RETURN_IF_ERROR(verify_section("final embeddings"));
 
   store.views_.resize(num_views);
   for (uint32_t v = 0; v < num_views; ++v) {
@@ -140,6 +167,7 @@ StatusOr<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {
     if (!ReadMatrix(r, num_local, dim, &view.embeddings)) {
       return Malformed("truncated view embeddings", r);
     }
+    RETURN_IF_ERROR(verify_section("view"));
   }
 
   store.translators_.resize(num_translators);
@@ -166,6 +194,7 @@ StatusOr<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {
         return Malformed("truncated translator parameters", r);
       }
     }
+    RETURN_IF_ERROR(verify_section("translator"));
   }
 
   if (!r.AtEnd()) return Malformed("trailing bytes after translators", r);

@@ -9,42 +9,50 @@
 
 namespace transn {
 
-// The TransN serving-model binary format, version 1. Shared by the writer
+// The TransN serving-model binary format. Shared by the writer
 // (core/model_io: ExportServingModel) and the reader (serve/embedding_store).
 //
 // All integers and IEEE-754 doubles are little-endian regardless of host
-// byte order. Layout:
+// byte order. Layout (version 2; § marks a section boundary — in v2 every
+// section is followed by a u32 CRC-32 of that section's bytes, so the reader
+// can pinpoint which section a corruption hit; v1 files have no section
+// CRCs and are still accepted):
 //
 //   bytes [0,8)   magic "TRNSERV1"
-//   u32           format version (1)
-//   u32           dim            embedding dimensionality d
+//   u32           format version (1 or 2)
+// § u32           dim            embedding dimensionality d
 //   u32           seq_len        translator path length L (0 if none)
 //   u32           num_nodes      global node count
 //   u32           num_views
 //   u32           num_translators
 //   u8            flags          bit 0: final (view-averaged) embeddings
-//   node names    num_nodes × { u32 len, bytes }   (global id = order)
-//   final emb     num_nodes × dim f64              (iff flag bit 0)
-//   views         num_views × {
+// § node names    num_nodes × { u32 len, bytes }   (global id = order)
+// § final emb     num_nodes × dim f64              (iff flag bit 0)
+// § views         num_views × {                    (one section per view)
 //                   u32 len + edge-type name bytes
 //                   u8  is_heter
 //                   u32 num_local
 //                   num_local × u32 global node id (local row = order)
 //                   num_local × dim f64 embedding rows }
-//   translators   num_translators × {
+// § translators   num_translators × {          (one section per translator)
 //                   u32 from_view, u32 to_view     (view indices)
 //                   u8  simple, u8 final_relu
 //                   u32 num_encoders               (stored W/b pairs)
 //                   num_encoders × { L*L f64 W row-major, L f64 b } }
 //   u64           FNV-1a 64 checksum of every preceding byte
 //
-// The format is immutable once written: the store loads it read-only with
-// full double precision (unlike the lossy TSV path, which exists for
-// interchange with the evaluation scripts).
+// The version field (not the magic) is what distinguishes v1 from v2; the
+// whole-file FNV trailer covers the section CRCs too. The format is
+// immutable once written: the store loads it read-only with full double
+// precision (unlike the lossy TSV path, which exists for interchange with
+// the evaluation scripts).
 
 inline constexpr char kServingMagic[8] = {'T', 'R', 'N', 'S', 'E', 'R',
                                           'V', '1'};
-inline constexpr uint32_t kServingFormatVersion = 1;
+/// Oldest readable version: whole-file checksum only.
+inline constexpr uint32_t kServingFormatVersionV1 = 1;
+/// Current written version: per-section CRC-32 trailers.
+inline constexpr uint32_t kServingFormatVersion = 2;
 inline constexpr uint8_t kServingFlagFinalEmbeddings = 1;
 
 /// FNV-1a 64-bit over a byte range; the file trailer.

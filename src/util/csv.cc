@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/safe_io.h"
 #include "util/string_util.h"
 
 namespace transn {
@@ -77,11 +78,10 @@ std::string TablePrinter::ToCsvString() const {
 }
 
 Status TablePrinter::WriteCsv(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open for write: " + path);
-  out << ToCsvString();
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::Ok();
+  // Atomic replace via safe_io: every byte verified, no torn CSV on crash.
+  AtomicFileWriter writer(path);
+  writer.Write(ToCsvString());
+  return writer.Commit();
 }
 
 StatusOr<std::vector<std::vector<std::string>>> ReadDelimitedFile(

@@ -1,0 +1,157 @@
+#include "util/fault.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace transn {
+namespace fault {
+
+namespace {
+
+/// Parses one "point=mode" entry into (point, spec).
+Status ParseEntry(std::string_view entry, std::string* point,
+                  FaultSpec* spec) {
+  const size_t eq = entry.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    return Status::InvalidArgument("fault spec entry needs 'point=mode': " +
+                                   std::string(entry));
+  }
+  *point = std::string(Trim(entry.substr(0, eq)));
+  const std::vector<std::string> parts =
+      Split(Trim(entry.substr(eq + 1)), ':');
+  const std::string& mode = parts[0];
+  auto bad = [&entry](const char* what) {
+    return Status::InvalidArgument(StrFormat(
+        "bad fault mode '%s' in entry '%s'", what,
+        std::string(entry).c_str()));
+  };
+  if (mode == "always") {
+    if (parts.size() != 1) return bad("always takes no argument");
+    *spec = FaultSpec::Always();
+    return Status::Ok();
+  }
+  if (mode == "after") {
+    int64_t n = 0;
+    if (parts.size() != 2 || !ParseInt64(parts[1], &n) || n < 0) {
+      return bad("after needs a non-negative count");
+    }
+    *spec = FaultSpec::AfterN(static_cast<uint64_t>(n));
+    return Status::Ok();
+  }
+  if (mode == "once") {
+    int64_t n = 0;
+    if (parts.size() > 2 ||
+        (parts.size() == 2 && (!ParseInt64(parts[1], &n) || n < 0))) {
+      return bad("once takes an optional non-negative count");
+    }
+    *spec = FaultSpec::OnceAfterN(static_cast<uint64_t>(n));
+    return Status::Ok();
+  }
+  if (mode == "prob") {
+    double p = 0.0;
+    int64_t seed = 0;
+    if (parts.size() < 2 || parts.size() > 3 || !ParseDouble(parts[1], &p) ||
+        p < 0.0 || p > 1.0 ||
+        (parts.size() == 3 && !ParseInt64(parts[2], &seed))) {
+      return bad("prob needs p in [0,1] and an optional seed");
+    }
+    *spec = FaultSpec::Probability(p, static_cast<uint64_t>(seed));
+    return Status::Ok();
+  }
+  return bad(mode.c_str());
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Default() {
+  static FaultInjector* injector = [] {
+    auto* fi = new FaultInjector();
+    if (const char* env = std::getenv("TRANSN_FAULTS");
+        env != nullptr && env[0] != '\0') {
+      Status s = fi->ArmFromSpecString(env);
+      CHECK(s.ok()) << "TRANSN_FAULTS: " << s.ToString();
+      LOG(WARNING) << "fault injection armed from TRANSN_FAULTS: " << env;
+    }
+    return fi;
+  }();
+  return *injector;
+}
+
+void FaultInjector::Arm(std::string_view point, FaultSpec spec) {
+  CHECK(!point.empty()) << "failpoint name must be non-empty";
+  std::lock_guard<std::mutex> lock(mu_);
+  Point p;
+  p.spec = spec;
+  p.rng = Rng(spec.seed);
+  auto [it, inserted] = points_.insert_or_assign(std::string(point), p);
+  (void)it;
+  if (inserted) armed_points_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Status FaultInjector::ArmFromSpecString(std::string_view spec) {
+  // Normalize ';' to ',' so either separator works, then arm atomically:
+  // parse everything before arming anything.
+  std::string normalized(spec);
+  for (char& c : normalized) {
+    if (c == ';') c = ',';
+  }
+  std::vector<std::pair<std::string, FaultSpec>> parsed;
+  for (const std::string& entry : Split(normalized, ',')) {
+    if (Trim(entry).empty()) continue;
+    std::string point;
+    FaultSpec fs;
+    RETURN_IF_ERROR(ParseEntry(Trim(entry), &point, &fs));
+    parsed.emplace_back(std::move(point), fs);
+  }
+  for (auto& [point, fs] : parsed) Arm(point, fs);
+  return Status::Ok();
+}
+
+void FaultInjector::Disarm(std::string_view point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end()) return;
+  points_.erase(it);
+  armed_points_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_points_.fetch_sub(static_cast<int>(points_.size()),
+                          std::memory_order_relaxed);
+  points_.clear();
+}
+
+bool FaultInjector::ShouldFail(std::string_view point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end()) return false;
+  Point& p = it->second;
+  ++p.hits;
+  switch (p.spec.mode) {
+    case FaultMode::kAlways:
+      return true;
+    case FaultMode::kAfterN:
+      return p.hits > p.spec.after;
+    case FaultMode::kOnceAfterN:
+      if (!p.fired && p.hits > p.spec.after) {
+        p.fired = true;
+        return true;
+      }
+      return false;
+    case FaultMode::kProbability:
+      return p.rng.NextDouble() < p.spec.probability;
+  }
+  return false;
+}
+
+uint64_t FaultInjector::Hits(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+}  // namespace fault
+}  // namespace transn

@@ -1,0 +1,182 @@
+#ifndef TRANSN_UTIL_FAULT_H_
+#define TRANSN_UTIL_FAULT_H_
+
+#include <stdint.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace transn {
+namespace fault {
+
+// Process-wide fault injection for crash-safety testing (DESIGN.md §8).
+//
+// Production code plants named *failpoints* on its failure-prone edges
+// (file writes, fsync, rename, thread-pool task dispatch) by calling
+// fault::MaybeFail("io.write"). With no faults armed — the default — a
+// failpoint is a single relaxed atomic load, so the hooks can stay compiled
+// into release builds. Tests (or the TRANSN_FAULTS environment variable)
+// arm individual points with a trigger mode; the planted site then observes
+// an injected failure exactly as it would a real one.
+
+// --- canonical failpoint names ---------------------------------------------
+// Like obs/metric_names.h, sites must use these constants, not literals.
+
+/// CheckedWriter buffer flush: the write fails wholesale, as if the disk
+/// were full (ENOSPC).
+inline constexpr char kIoWrite[] = "io.write";
+/// CheckedWriter buffer flush: only half of the buffer reaches the file
+/// before the failure (a short write / torn page).
+inline constexpr char kIoShortWrite[] = "io.short_write";
+/// AtomicFileWriter::Commit: fsync of the temp file fails.
+inline constexpr char kIoFsync[] = "io.fsync";
+/// AtomicFileWriter::Commit: the temp→target rename fails, leaving the
+/// torn `<path>.tmp` behind and the target untouched (torn rename).
+inline constexpr char kIoRename[] = "io.rename";
+/// ThreadPool worker, checked before running each task: the task throws
+/// InjectedFaultError instead of executing (rethrown by Wait()).
+inline constexpr char kPoolTask[] = "pool.task";
+/// TransNModel::RunIteration, checked between the single-view and
+/// cross-view passes: training aborts mid-iteration with
+/// InjectedFaultError — the in-process stand-in for SIGKILL in the
+/// kill-and-resume tests.
+inline constexpr char kTrainAbort[] = "train.abort";
+
+/// When an armed failpoint fires. Hit counts are per-point and start at 1.
+enum class FaultMode {
+  /// Every hit fails.
+  kAlways,
+  /// Hits 1..N succeed, every later hit fails (a disk that fills up and
+  /// stays full).
+  kAfterN,
+  /// Hits 1..N succeed, hit N+1 fails, later hits succeed again (a single
+  /// transient fault, e.g. one torn rename).
+  kOnceAfterN,
+  /// Each hit fails independently with probability p (seeded, so a given
+  /// arm invocation replays deterministically).
+  kProbability,
+};
+
+struct FaultSpec {
+  FaultMode mode = FaultMode::kAlways;
+  /// Successful hits before triggering (kAfterN / kOnceAfterN).
+  uint64_t after = 0;
+  /// Per-hit failure probability (kProbability).
+  double probability = 0.0;
+  /// Seed of the per-point RNG driving kProbability.
+  uint64_t seed = 0;
+
+  static FaultSpec Always() { return {}; }
+  static FaultSpec AfterN(uint64_t n) {
+    FaultSpec s;
+    s.mode = FaultMode::kAfterN;
+    s.after = n;
+    return s;
+  }
+  static FaultSpec OnceAfterN(uint64_t n) {
+    FaultSpec s;
+    s.mode = FaultMode::kOnceAfterN;
+    s.after = n;
+    return s;
+  }
+  static FaultSpec Probability(double p, uint64_t seed = 0) {
+    FaultSpec s;
+    s.mode = FaultMode::kProbability;
+    s.probability = p;
+    s.seed = seed;
+    return s;
+  }
+};
+
+/// Thrown by MaybeThrow at control-flow failpoints (pool.task, train.abort).
+/// Only ever thrown when a fault is armed, so production runs never see it.
+class InjectedFaultError : public std::runtime_error {
+ public:
+  explicit InjectedFaultError(const std::string& point)
+      : std::runtime_error("injected fault at failpoint '" + point + "'"),
+        point_(point) {}
+  const std::string& point() const { return point_; }
+
+ private:
+  std::string point_;
+};
+
+/// Registry of armed failpoints. Thread-safe; instrumentation goes through
+/// the process-wide Default() instance (tests arm/disarm it directly and
+/// must DisarmAll() on teardown so suites stay independent).
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// The process-wide injector. The first call arms any spec found in the
+  /// TRANSN_FAULTS environment variable (CHECK-fails on a malformed spec:
+  /// a typo'd fault plan must not silently test nothing).
+  static FaultInjector& Default();
+
+  /// Arms (or re-arms, resetting hit counts) one failpoint.
+  void Arm(std::string_view point, FaultSpec spec);
+
+  /// Parses and arms a spec string:
+  ///   spec   := entry (( ';' | ',' ) entry)*
+  ///   entry  := point '=' mode
+  ///   mode   := 'always' | 'after:' N | 'once' [':' N]
+  ///           | 'prob:' P [':' SEED]
+  /// e.g. "io.write=after:3;pool.task=once;io.fsync=prob:0.01:7".
+  Status ArmFromSpecString(std::string_view spec);
+
+  void Disarm(std::string_view point);
+  void DisarmAll();
+
+  /// True when any failpoint is armed; a relaxed atomic load, the only cost
+  /// paid on un-faulted hot paths (see MaybeFail).
+  bool AnyArmed() const {
+    return armed_points_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Records a hit on `point` and reports whether it must fail. Unarmed
+  /// points never fail (and are not tracked).
+  bool ShouldFail(std::string_view point);
+
+  /// Hits recorded on an armed point (0 when not armed); diagnostics.
+  uint64_t Hits(std::string_view point) const;
+
+ private:
+  struct Point {
+    FaultSpec spec;
+    uint64_t hits = 0;
+    bool fired = false;  // kOnceAfterN latch
+    Rng rng{0};          // kProbability stream
+  };
+
+  std::atomic<int> armed_points_{0};
+  mutable std::mutex mu_;
+  std::map<std::string, Point, std::less<>> points_;
+};
+
+/// The planted-site hook: true when the armed fault at `point` fires now.
+/// Near-zero overhead while nothing is armed.
+inline bool MaybeFail(std::string_view point) {
+  FaultInjector& injector = FaultInjector::Default();
+  return injector.AnyArmed() && injector.ShouldFail(point);
+}
+
+/// MaybeFail, but raises InjectedFaultError instead of returning true. For
+/// failpoints on control-flow edges with no Status channel (thread-pool
+/// tasks, the training loop).
+inline void MaybeThrow(std::string_view point) {
+  if (MaybeFail(point)) throw InjectedFaultError(std::string(point));
+}
+
+}  // namespace fault
+}  // namespace transn
+
+#endif  // TRANSN_UTIL_FAULT_H_

@@ -10,6 +10,15 @@
 
 namespace transn {
 
+/// Complete serializable Rng state: the four xoshiro256** words plus the
+/// Box–Muller spare. Captured into checkpoints so a resumed training run
+/// draws the exact sequence the uninterrupted run would have drawn.
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  bool has_cached_gaussian = false;
+  double cached_gaussian = 0.0;
+};
+
 /// Deterministic, fast pseudo-random generator (xoshiro256**), seeded via
 /// SplitMix64 so that any 64-bit seed yields a well-mixed state. All
 /// stochastic components in this repository draw from Rng so experiments are
@@ -55,6 +64,20 @@ class Rng {
       using std::swap;
       swap(v[i - 1], v[j]);
     }
+  }
+
+  /// Snapshots / restores the full generator state (checkpointing).
+  RngState SaveState() const {
+    RngState st;
+    for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+    st.has_cached_gaussian = has_cached_gaussian_;
+    st.cached_gaussian = cached_gaussian_;
+    return st;
+  }
+  void RestoreState(const RngState& st) {
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+    has_cached_gaussian_ = st.has_cached_gaussian;
+    cached_gaussian_ = st.cached_gaussian;
   }
 
  private:

@@ -1,0 +1,192 @@
+#include "util/safe_io.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <cstdio>
+
+#include "util/fault.h"
+#include "util/string_util.h"
+
+namespace transn {
+
+namespace {
+
+/// CheckedWriter buffers this many bytes between write(2) calls; large
+/// enough to amortize syscalls on matrix dumps, small enough that injected
+/// mid-file faults exercise multi-flush paths in tests.
+constexpr size_t kWriteBufferBytes = 1 << 18;
+
+std::array<uint32_t, 256> MakeCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+std::atomic<uint64_t> g_write_errors{0};
+std::function<void()>* g_write_error_hook = nullptr;
+
+Status ErrnoStatus(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " " + path + ": " + strerror(errno));
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n, uint32_t crc) {
+  static const std::array<uint32_t, 256> table = MakeCrc32Table();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+uint64_t WriteErrorCount() {
+  return g_write_errors.load(std::memory_order_relaxed);
+}
+
+void SetWriteErrorHook(std::function<void()> hook) {
+  delete g_write_error_hook;
+  g_write_error_hook =
+      hook ? new std::function<void()>(std::move(hook)) : nullptr;
+}
+
+CheckedWriter::CheckedWriter(std::string path) : path_(std::move(path)) {
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd_ < 0) Fail(ErrnoStatus("cannot open for write:", path_));
+  buffer_.reserve(kWriteBufferBytes);
+}
+
+CheckedWriter::~CheckedWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void CheckedWriter::Fail(Status status) {
+  if (!status_.ok()) return;  // keep the first failure
+  status_ = std::move(status);
+  g_write_errors.fetch_add(1, std::memory_order_relaxed);
+  if (g_write_error_hook != nullptr) (*g_write_error_hook)();
+}
+
+Status CheckedWriter::FlushBuffer() {
+  if (!status_.ok() || buffer_.empty()) return status_;
+  size_t to_write = buffer_.size();
+  bool injected_short = false;
+  if (fault::MaybeFail(fault::kIoWrite)) {
+    Fail(Status::IoError("write failed: " + path_ +
+                         ": No space left on device (injected)"));
+    return status_;
+  }
+  if (fault::MaybeFail(fault::kIoShortWrite)) {
+    // Half the buffer reaches the file, then the device gives out — the torn
+    // tail a crash-consistent reader must reject.
+    to_write /= 2;
+    injected_short = true;
+  }
+  size_t written = 0;
+  while (written < to_write) {
+    const ssize_t n =
+        ::write(fd_, buffer_.data() + written, to_write - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Fail(ErrnoStatus("write failed:", path_));
+      return status_;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (injected_short) {
+    Fail(Status::IoError(StrFormat(
+        "short write: %s: %zu of %zu bytes (injected)", path_.c_str(),
+        to_write, buffer_.size())));
+    return status_;
+  }
+  buffer_.clear();
+  return status_;
+}
+
+CheckedWriter& CheckedWriter::Write(std::string_view bytes) {
+  if (!status_.ok()) return *this;
+  buffer_.append(bytes.data(), bytes.size());
+  if (buffer_.size() >= kWriteBufferBytes) FlushBuffer();
+  return *this;
+}
+
+Status CheckedWriter::FlushAndSync() {
+  RETURN_IF_ERROR(FlushBuffer());
+  if (fault::MaybeFail(fault::kIoFsync)) {
+    Fail(Status::IoError("fsync failed: " + path_ + " (injected)"));
+    return status_;
+  }
+  if (::fsync(fd_) != 0) Fail(ErrnoStatus("fsync failed:", path_));
+  return status_;
+}
+
+Status CheckedWriter::Close() {
+  if (fd_ < 0) return status_;
+  FlushBuffer();
+  if (::close(fd_) != 0) Fail(ErrnoStatus("close failed:", path_));
+  fd_ = -1;
+  return status_;
+}
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : path_(std::move(path)), tmp_path_(path_ + ".tmp"), writer_(tmp_path_) {}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (!finished_) Abandon();
+}
+
+Status AtomicFileWriter::Commit() {
+  finished_ = true;
+  Status status = writer_.FlushAndSync();
+  if (status.ok()) status = writer_.Close();
+  if (!status.ok()) {
+    writer_.Close();
+    std::remove(tmp_path_.c_str());
+    return status;
+  }
+  if (fault::MaybeFail(fault::kIoRename)) {
+    // Torn rename: target untouched, temp file left behind — exactly the
+    // on-disk state a crash between write and rename produces.
+    g_write_errors.fetch_add(1, std::memory_order_relaxed);
+    if (g_write_error_hook != nullptr) (*g_write_error_hook)();
+    return Status::IoError("rename failed: " + tmp_path_ + " -> " + path_ +
+                           " (injected)");
+  }
+  if (::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    Status s = ErrnoStatus("rename failed:", tmp_path_ + " -> " + path_);
+    g_write_errors.fetch_add(1, std::memory_order_relaxed);
+    if (g_write_error_hook != nullptr) (*g_write_error_hook)();
+    std::remove(tmp_path_.c_str());
+    return s;
+  }
+  // Best-effort directory fsync so the rename itself is durable.
+  const size_t slash = path_.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path_.substr(0, slash == 0 ? 1 : slash);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  return Status::Ok();
+}
+
+void AtomicFileWriter::Abandon() {
+  finished_ = true;
+  writer_.Close();
+  std::remove(tmp_path_.c_str());
+}
+
+}  // namespace transn

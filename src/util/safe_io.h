@@ -1,0 +1,118 @@
+#ifndef TRANSN_UTIL_SAFE_IO_H_
+#define TRANSN_UTIL_SAFE_IO_H_
+
+#include <stddef.h>
+#include <stdint.h>
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace transn {
+
+/// CRC-32 (ISO-HDLC, the zlib/PNG polynomial, reflected, init/xorout
+/// 0xFFFFFFFF). `crc` chains calls: Crc32(b, Crc32(a)) == Crc32(a+b).
+/// Protects the per-section trailers of the checkpoint v2 and serving v2
+/// formats (DESIGN.md §8).
+uint32_t Crc32(const void* data, size_t n, uint32_t crc = 0);
+inline uint32_t Crc32(std::string_view s, uint32_t crc = 0) {
+  return Crc32(s.data(), s.size(), crc);
+}
+
+/// Number of failed writes observed process-wide by CheckedWriter /
+/// AtomicFileWriter (real errors and injected faults alike). Mirrored into
+/// the obs registry as `io.write_errors_total` (see obs/metrics.cc, which
+/// bridges the two so util/ stays free of an obs/ dependency).
+uint64_t WriteErrorCount();
+
+/// Installs the hook invoked once per failed write; obs/metrics.cc uses it
+/// to increment `io.write_errors_total`. Pass nullptr to uninstall. Not
+/// thread-safe against concurrent writers — install at startup.
+void SetWriteErrorHook(std::function<void()> hook);
+
+/// Buffered file writer whose every byte is verified: short writes, ENOSPC,
+/// and close-time flush failures all surface in status(), never silently.
+/// After the first failure every further Write is a no-op, so call sites can
+/// write unconditionally and check once before Close().
+///
+/// Failpoints (util/fault.h): each buffer flush consults fault::kIoWrite
+/// (fails wholesale, as ENOSPC) and fault::kIoShortWrite (half the buffer
+/// lands, then fails); FlushAndSync additionally consults fault::kIoFsync.
+class CheckedWriter {
+ public:
+  /// Opens `path` for writing (created/truncated). Check status().
+  explicit CheckedWriter(std::string path);
+  CheckedWriter(const CheckedWriter&) = delete;
+  CheckedWriter& operator=(const CheckedWriter&) = delete;
+  /// Closes the descriptor; errors at this point are lost — call Close().
+  ~CheckedWriter();
+
+  CheckedWriter& Write(std::string_view bytes);
+
+  const Status& status() const { return status_; }
+  const std::string& path() const { return path_; }
+
+  /// Flushes the buffer and fsyncs the file (the durability barrier of
+  /// AtomicFileWriter::Commit).
+  Status FlushAndSync();
+
+  /// Flushes and closes; idempotent. Returns the writer's final status.
+  Status Close();
+
+ private:
+  Status FlushBuffer();
+  /// Records the first failure and counts it in WriteErrorCount().
+  void Fail(Status status);
+
+  std::string path_;
+  int fd_ = -1;
+  std::string buffer_;
+  Status status_;
+};
+
+/// Crash-safe whole-file replacement: writes to `<path>.tmp` in the target
+/// directory, then Commit() flushes, fsyncs, and renames over `path`, so
+/// readers only ever observe the old complete file or the new complete file.
+/// A crash (or failure) before the rename leaves the target untouched and at
+/// worst a torn `<path>.tmp` behind, which the next writer truncates and
+/// resume logic ignores.
+///
+/// Failpoints: CheckedWriter's, plus fault::kIoRename (the rename fails and
+/// the torn temp file is left in place).
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(std::string path);
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+  /// Abandons (removes the temp file) unless Commit() succeeded.
+  ~AtomicFileWriter();
+
+  AtomicFileWriter& Write(std::string_view bytes) {
+    writer_.Write(bytes);
+    return *this;
+  }
+  const Status& status() const { return writer_.status(); }
+
+  /// Flush + fsync + close + rename onto the target (+ best-effort directory
+  /// fsync). On failure the target is untouched; the temp file is removed
+  /// except after a failed rename, where it survives as the torn `.tmp`.
+  Status Commit();
+
+  /// Closes and removes the temp file without touching the target.
+  void Abandon();
+
+  const std::string& path() const { return path_; }
+  const std::string& tmp_path() const { return tmp_path_; }
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  CheckedWriter writer_;
+  bool finished_ = false;
+};
+
+}  // namespace transn
+
+#endif  // TRANSN_UTIL_SAFE_IO_H_

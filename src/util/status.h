@@ -18,6 +18,8 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kIoError,
+  /// Stored data failed an integrity check (CRC mismatch, torn write).
+  kDataLoss,
 };
 
 /// Lightweight absl::Status-alike: a code plus a human-readable message.
@@ -45,6 +47,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <utility>
 
+#include "util/fault.h"
 #include "util/logging.h"
 
 namespace transn {
@@ -39,6 +41,11 @@ void ThreadPool::Schedule(std::function<void()> fn) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::WorkerLoop() {
@@ -55,9 +62,16 @@ void ThreadPool::WorkerLoop() {
       queue_.pop();
       ++in_flight_;
     }
-    task();
+    std::exception_ptr error;
+    try {
+      fault::MaybeThrow(fault::kPoolTask);
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
+      if (error && !first_error_) first_error_ = error;
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
     }

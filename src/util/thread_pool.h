@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -15,18 +16,28 @@ namespace transn {
 /// repository are single-threaded by default (results must be reproducible
 /// from one seed), but dataset generation and evaluation sweeps use the pool
 /// when more than one hardware thread is available.
+///
+/// Task failure: a task that throws does not kill its worker — the first
+/// exception is captured and rethrown by the next Wait() in the scheduling
+/// thread, after the queue has drained (remaining tasks still run). The
+/// fault::kPoolTask failpoint (util/fault.h) injects exactly such a failure
+/// before a task executes.
 class ThreadPool {
  public:
   /// num_threads == 0 selects std::thread::hardware_concurrency() (min 1).
   explicit ThreadPool(size_t num_threads = 0);
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
+  /// Joins workers; a captured task exception never claimed by Wait() is
+  /// discarded (destructors must not throw).
   ~ThreadPool();
 
   /// Enqueues a task. Must not be called after the destructor has begun.
   void Schedule(std::function<void()> fn);
 
-  /// Blocks until every scheduled task has finished.
+  /// Blocks until every scheduled task has finished, then rethrows the
+  /// first exception any of them raised (if one did). The pool stays usable
+  /// after a rethrow.
   void Wait();
 
   size_t num_threads() const { return threads_.size(); }
@@ -41,6 +52,7 @@ class ThreadPool {
   std::condition_variable idle_cv_;   // signals Wait()
   size_t in_flight_ = 0;
   bool shutdown_ = false;
+  std::exception_ptr first_error_;    // first task exception, until Wait()
 };
 
 /// Runs fn(i) for i in [0, n), splitting the range across `pool`'s threads.

@@ -1,0 +1,205 @@
+// Kill-and-resume end-to-end: training is aborted mid-iteration through the
+// train.abort failpoint (the in-process stand-in for SIGKILL), restarted
+// from the last periodic checkpoint with ResumeTransNCheckpoint, and must
+// finish with embeddings bit-for-bit identical to a never-interrupted
+// single-threaded run.
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+#include "core/model_io.h"
+#include "core/transn.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "test_graphs.h"
+#include "util/fault.h"
+
+namespace transn {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TransNConfig ResumeConfig() {
+  TransNConfig cfg;
+  cfg.dim = 8;
+  cfg.iterations = 3;
+  cfg.walk.walk_length = 8;
+  cfg.walk.min_walks_per_node = 1;
+  cfg.walk.max_walks_per_node = 2;
+  cfg.translator_encoders = 2;
+  cfg.translator_seq_len = 3;
+  cfg.cross_paths_per_pair = 6;
+  cfg.seed = 11;
+  cfg.num_threads = 1;  // bit-reproducibility requires the sequential path
+  return cfg;
+}
+
+void ExpectBitIdentical(const Matrix& got, const Matrix& want) {
+  ASSERT_TRUE(got.SameShape(want));
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(got.data()[i], want.data()[i]) << "index " << i;
+  }
+}
+
+class CheckpointResumeTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::FaultInjector::Default().DisarmAll(); }
+};
+
+TEST_F(CheckpointResumeTest, KillAndResumeIsBitForBit) {
+  HeteroGraph g = TwoCommunityNetwork(8, 3);
+
+  // The reference: all three iterations in one uninterrupted process.
+  TransNModel uninterrupted(&g, ResumeConfig());
+  uninterrupted.Fit();
+  const Matrix want = uninterrupted.FinalEmbeddings();
+
+  // The victim: checkpoints after every iteration, killed inside
+  // iteration 2 (train.abort fires on its second hit, after the
+  // single-view pass but before the cross-view pass).
+  std::string path = TempPath("resume.ckpt");
+  TransNConfig ckpt_cfg = ResumeConfig();
+  ckpt_cfg.checkpoint_every_iters = 1;
+  ckpt_cfg.checkpoint_path = path;
+  TransNModel victim(&g, ckpt_cfg);
+  fault::FaultInjector::Default().Arm(fault::kTrainAbort,
+                                      fault::FaultSpec::OnceAfterN(1));
+  EXPECT_THROW(victim.Fit(), fault::InjectedFaultError);
+  fault::FaultInjector::Default().DisarmAll();
+  EXPECT_EQ(victim.completed_iterations(), 1u);
+
+  // A new process: restore everything and finish the remaining passes.
+  auto* resumes = obs::MetricsRegistry::Default().GetCounter(
+      obs::kCheckpointResumesTotal, "resumes",
+      "training runs restored from a checkpoint");
+  const uint64_t resumes_before = resumes->Value();
+  TransNModel restarted(&g, ckpt_cfg);
+  Status s = ResumeTransNCheckpoint(&restarted, path);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(restarted.completed_iterations(), 1u);
+  EXPECT_EQ(resumes->Value(), resumes_before + 1);
+  restarted.Fit();
+  EXPECT_EQ(restarted.completed_iterations(), 3u);
+
+  ExpectBitIdentical(restarted.FinalEmbeddings(), want);
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointResumeTest, PeriodicCheckpointsTrackProgress) {
+  HeteroGraph g = TwoCommunityNetwork(8, 3);
+  std::string path = TempPath("periodic.ckpt");
+  TransNConfig cfg = ResumeConfig();
+  cfg.checkpoint_every_iters = 1;
+  cfg.checkpoint_path = path;
+
+  auto* saves = obs::MetricsRegistry::Default().GetCounter(
+      obs::kCheckpointSavesTotal, "checkpoints",
+      "successful checkpoint writes");
+  auto* last_good = obs::MetricsRegistry::Default().GetGauge(
+      obs::kCheckpointLastGoodIteration, "iteration",
+      "iteration of the most recent durable checkpoint");
+  const uint64_t saves_before = saves->Value();
+
+  TransNModel model(&g, cfg);
+  model.Fit();
+  // Iterations 1 and 2 checkpoint; the final iteration is the caller's to
+  // persist (the CLI's --save-checkpoint does), so no third periodic write.
+  EXPECT_EQ(saves->Value(), saves_before + 2);
+  EXPECT_EQ(last_good->Value(), 2.0);
+
+  // The file left behind is the iteration-2 checkpoint, resumable as such.
+  TransNModel resumed(&g, cfg);
+  ASSERT_TRUE(ResumeTransNCheckpoint(&resumed, path).ok());
+  EXPECT_EQ(resumed.completed_iterations(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointResumeTest, ResumeAtFullIterationsIsANoOpFit) {
+  HeteroGraph g = TwoCommunityNetwork(8, 3);
+  std::string path = TempPath("finished.ckpt");
+  TransNModel trained(&g, ResumeConfig());
+  trained.Fit();
+  ASSERT_TRUE(SaveTransNCheckpoint(trained, path).ok());
+
+  TransNModel resumed(&g, ResumeConfig());
+  ASSERT_TRUE(ResumeTransNCheckpoint(&resumed, path).ok());
+  EXPECT_EQ(resumed.completed_iterations(), 3u);
+  resumed.Fit();  // nothing left to do; must not retrain
+  EXPECT_EQ(resumed.completed_iterations(), 3u);
+  ExpectBitIdentical(resumed.FinalEmbeddings(), trained.FinalEmbeddings());
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointResumeTest, ResumeRestoresRngAndAdamExactly) {
+  // One extra iteration after restore must equal one extra iteration on
+  // the original in-memory model: RNG stream and optimizer moments both
+  // survive the round trip (weights alone would drift immediately).
+  HeteroGraph g = TwoCommunityNetwork(8, 3);
+  std::string path = TempPath("state.ckpt");
+  TransNModel original(&g, ResumeConfig());
+  original.Fit();
+  ASSERT_TRUE(SaveTransNCheckpoint(original, path).ok());
+
+  TransNModel resumed(&g, ResumeConfig());
+  ASSERT_TRUE(ResumeTransNCheckpoint(&resumed, path).ok());
+  original.RunIteration();
+  resumed.RunIteration();
+  ExpectBitIdentical(resumed.FinalEmbeddings(), original.FinalEmbeddings());
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointResumeTest, AbortedIterationLeavesLoadableCheckpoint) {
+  // The abort lands between a periodic save and the next one: the file on
+  // disk is a complete, CRC-clean checkpoint from the previous iteration,
+  // untouched by the half-finished pass.
+  HeteroGraph g = TwoCommunityNetwork(8, 3);
+  std::string path = TempPath("aborted.ckpt");
+  TransNConfig cfg = ResumeConfig();
+  cfg.checkpoint_every_iters = 1;
+  cfg.checkpoint_path = path;
+  TransNModel victim(&g, cfg);
+  fault::FaultInjector::Default().Arm(fault::kTrainAbort,
+                                      fault::FaultSpec::OnceAfterN(2));
+  EXPECT_THROW(victim.Fit(), fault::InjectedFaultError);
+  fault::FaultInjector::Default().DisarmAll();
+  EXPECT_EQ(victim.completed_iterations(), 2u);
+
+  TransNModel resumed(&g, cfg);
+  ASSERT_TRUE(ResumeTransNCheckpoint(&resumed, path).ok());
+  EXPECT_EQ(resumed.completed_iterations(), 2u);
+  resumed.Fit();
+  for (size_t i = 0; i < resumed.FinalEmbeddings().size(); ++i) {
+    ASSERT_TRUE(std::isfinite(resumed.FinalEmbeddings().data()[i]));
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointResumeTest, FailedPeriodicCheckpointDoesNotKillTraining) {
+  // A full disk mid-training costs durability, not the run: Fit() logs the
+  // failed write and keeps going.
+  HeteroGraph g = TwoCommunityNetwork(8, 3);
+  std::string path = TempPath("undurable.ckpt");
+  TransNConfig cfg = ResumeConfig();
+  cfg.checkpoint_every_iters = 1;
+  cfg.checkpoint_path = path;
+  TransNModel model(&g, cfg);
+  fault::FaultInjector::Default().Arm(fault::kIoWrite,
+                                      fault::FaultSpec::Always());
+  model.Fit();
+  fault::FaultInjector::Default().DisarmAll();
+  EXPECT_EQ(model.completed_iterations(), 3u);
+  EXPECT_FALSE(std::ifstream(path).good());
+
+  // And the run stays correct: same result as the reference.
+  TransNModel reference(&g, ResumeConfig());
+  reference.Fit();
+  ExpectBitIdentical(model.FinalEmbeddings(), reference.FinalEmbeddings());
+}
+
+}  // namespace
+}  // namespace transn

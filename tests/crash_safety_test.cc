@@ -1,0 +1,266 @@
+// Adversarial durability sweep over the two persistent model formats
+// (checkpoint v2 text, serving v2 binary): every sampled truncation point
+// and every corrupted CRC section must surface as a non-OK Status — never
+// a crash, and never a partially-mutated in-memory model.
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "core/model_io.h"
+#include "core/transn.h"
+#include "serve/embedding_store.h"
+#include "serve/serving_format.h"
+#include "test_graphs.h"
+#include "util/safe_io.h"
+#include "util/string_util.h"
+
+namespace transn {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void Spit(const std::string& path, std::string_view bytes) {
+  std::ofstream(path, std::ios::binary).write(bytes.data(), bytes.size());
+}
+
+/// Small but fully-featured config: views, translators, and (after Fit)
+/// Adam moments all exist, so the checkpoint has every section kind.
+TransNConfig TinyConfig() {
+  TransNConfig cfg;
+  cfg.dim = 4;
+  cfg.iterations = 1;
+  cfg.walk.walk_length = 8;
+  cfg.walk.min_walks_per_node = 1;
+  cfg.walk.max_walks_per_node = 2;
+  cfg.translator_encoders = 1;
+  cfg.translator_seq_len = 2;
+  cfg.cross_paths_per_pair = 4;
+  cfg.seed = 9;
+  return cfg;
+}
+
+/// Stratified prefix lengths: every byte near the ends (where headers and
+/// trailers live), a constant stride through the bulk. Never includes
+/// `size` itself — the full file is the one prefix that must load.
+std::vector<size_t> SampledPrefixes(size_t size) {
+  std::vector<size_t> out;
+  const size_t edge = 400;
+  const size_t stride = size > 2 * edge ? (size - 2 * edge) / 512 + 1 : 1;
+  for (size_t n = 0; n < size; n += (n < edge || n + edge >= size) ? 1 : stride) {
+    out.push_back(n);
+  }
+  return out;
+}
+
+/// Snapshot of the mutable state a bad checkpoint must never touch.
+struct ModelSnapshot {
+  Matrix view0_input;
+  Matrix cross0_w0;
+  size_t completed_iterations;
+
+  static ModelSnapshot Of(const TransNModel& m) {
+    ModelSnapshot s;
+    s.view0_input = m.single_view_trainer_or_null(0)->embeddings().values();
+    s.cross0_w0 = m.cross_view_trainer(0).translator_ij().weight(0).value;
+    s.completed_iterations = m.completed_iterations();
+    return s;
+  }
+
+  testing::AssertionResult Unchanged(const TransNModel& m) const {
+    ModelSnapshot now = Of(m);
+    if (now.completed_iterations != completed_iterations) {
+      return testing::AssertionFailure() << "completed_iterations mutated";
+    }
+    auto same = [](const Matrix& a, const Matrix& b) {
+      if (!a.SameShape(b)) return false;
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (a.data()[i] != b.data()[i]) return false;
+      }
+      return true;
+    };
+    if (!same(now.view0_input, view0_input)) {
+      return testing::AssertionFailure() << "view0 embeddings mutated";
+    }
+    if (!same(now.cross0_w0, cross0_w0)) {
+      return testing::AssertionFailure() << "translator weights mutated";
+    }
+    return testing::AssertionSuccess();
+  }
+};
+
+class CrashSafetyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = TwoCommunityNetwork(6, 4);
+    model_ = std::make_unique<TransNModel>(&graph_, TinyConfig());
+    model_->Fit();
+  }
+
+  HeteroGraph graph_;
+  std::unique_ptr<TransNModel> model_;
+};
+
+TEST_F(CrashSafetyTest, CheckpointTruncationSweep) {
+  std::string path = TempPath("sweep.ckpt");
+  ASSERT_TRUE(SaveTransNCheckpoint(*model_, path).ok());
+  const std::string blob = Slurp(path);
+  ASSERT_GT(blob.size(), 1000u);
+
+  TransNModel victim(&graph_, TinyConfig());
+  const ModelSnapshot before = ModelSnapshot::Of(victim);
+  for (size_t keep : SampledPrefixes(blob.size())) {
+    Spit(path, std::string_view(blob).substr(0, keep));
+    Status s = LoadTransNCheckpoint(&victim, path);
+    ASSERT_FALSE(s.ok()) << "prefix of " << keep << " bytes loaded";
+    ASSERT_TRUE(before.Unchanged(victim)) << "after prefix " << keep;
+  }
+  // Sanity: the untruncated file still loads into the same victim.
+  Spit(path, blob);
+  ASSERT_TRUE(LoadTransNCheckpoint(&victim, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(CrashSafetyTest, CheckpointCorruptionPerCrcSection) {
+  std::string path = TempPath("corrupt.ckpt");
+  ASSERT_TRUE(SaveTransNCheckpoint(*model_, path).ok());
+  const std::string blob = Slurp(path);
+
+  // One corruption inside every CRC-protected matrix section (a data byte
+  // a few positions before its CRC line), plus one inside each stored CRC.
+  std::vector<size_t> targets;
+  for (size_t at = blob.find("\nCRC\t"); at != std::string::npos;
+       at = blob.find("\nCRC\t", at + 1)) {
+    targets.push_back(at - 4);  // matrix data protected by this CRC
+    targets.push_back(at + 6);  // the stored CRC digits themselves
+  }
+  ASSERT_GE(targets.size(), 2u) << "no CRC sections found";
+  const size_t end_at = blob.rfind("END\t");
+  ASSERT_NE(end_at, std::string::npos);
+  targets.push_back(end_at + 6);  // whole-file trailer
+
+  TransNModel victim(&graph_, TinyConfig());
+  const ModelSnapshot before = ModelSnapshot::Of(victim);
+  for (size_t at : targets) {
+    std::string corrupted = blob;
+    // Swap the byte for a same-class character so only the checksum (not
+    // an earlier shape or arity check) can catch it.
+    corrupted[at] = corrupted[at] == '3' ? '7' : '3';
+    if (corrupted == blob) continue;
+    Spit(path, corrupted);
+    Status s = LoadTransNCheckpoint(&victim, path);
+    ASSERT_FALSE(s.ok()) << "corruption at byte " << at << " loaded";
+    ASSERT_TRUE(before.Unchanged(victim)) << "after corruption at " << at;
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(CrashSafetyTest, CheckpointShapeMismatchMutatesNothing) {
+  // A checkpoint from an incompatible config must be rejected with the
+  // victim model untouched even though many matrices validate fine.
+  std::string path = TempPath("mismatch.ckpt");
+  ASSERT_TRUE(SaveTransNCheckpoint(*model_, path).ok());
+  TransNConfig wide = TinyConfig();
+  wide.dim = 6;
+  TransNModel victim(&graph_, wide);
+  const ModelSnapshot before = ModelSnapshot::Of(victim);
+  Status s = LoadTransNCheckpoint(&victim, path);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(before.Unchanged(victim));
+  std::remove(path.c_str());
+}
+
+TEST_F(CrashSafetyTest, LegacyV1CheckpointStillLoads) {
+  // Down-convert a v2 file to the legacy v1 format (no ITER/RNG/SCALAR
+  // lines, no CRCs, v1 header): the weights must load as before the v2
+  // format existed.
+  std::string path = TempPath("legacy.ckpt");
+  ASSERT_TRUE(SaveTransNCheckpoint(*model_, path).ok());
+  std::istringstream in(Slurp(path));
+  std::string v1 = "# transn checkpoint v1\n";
+  std::string line;
+  bool keep = false;
+  while (std::getline(in, line)) {
+    if (StartsWith(line, "MATRIX\t")) keep = true;
+    if (StartsWith(line, "CRC\t") || StartsWith(line, "END\t")) {
+      keep = false;
+      continue;
+    }
+    if (keep) v1 += line + "\n";
+  }
+  Spit(path, v1);
+  TransNModel victim(&graph_, TinyConfig());
+  ASSERT_TRUE(LoadTransNCheckpoint(&victim, path).ok());
+  Matrix want = model_->FinalEmbeddings();
+  Matrix got = victim.FinalEmbeddings();
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(got.data()[i], want.data()[i]) << "index " << i;
+  }
+  // ...but full resume needs v2 training state.
+  EXPECT_FALSE(ResumeTransNCheckpoint(&victim, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(CrashSafetyTest, ServingModelTruncationSweep) {
+  std::string path = TempPath("sweep.bin");
+  ASSERT_TRUE(ExportServingModel(*model_, path).ok());
+  const std::string blob = Slurp(path);
+  ASSERT_GT(blob.size(), 500u);
+  for (size_t keep : SampledPrefixes(blob.size())) {
+    Spit(path, std::string_view(blob).substr(0, keep));
+    ASSERT_FALSE(EmbeddingStore::Load(path).ok())
+        << "prefix of " << keep << " bytes loaded";
+  }
+  Spit(path, blob);
+  ASSERT_TRUE(EmbeddingStore::Load(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(CrashSafetyTest, ServingModelCorruptionIsCaught) {
+  // Flip one byte at evenly spaced offsets through the body and repair the
+  // FNV trailer each time, so only the reader's own checks can catch it.
+  // A flip that lands in structure (a length or count) fails the parse as
+  // kInvalidArgument; one that lands in payload still parses and must be
+  // caught by a section CRC as kDataLoss. CRC-32 detects every single-byte
+  // error, so no flip may load — and since f64 payload dominates the file,
+  // the sweep must see the CRC path fire at least once.
+  std::string path = TempPath("corrupt.bin");
+  ASSERT_TRUE(ExportServingModel(*model_, path).ok());
+  const std::string blob = Slurp(path);
+  const size_t body = blob.size() - 8;       // FNV trailer
+  const size_t first = 12;                   // magic + version
+  ASSERT_GT(body, first + 64);
+  int data_loss = 0;
+  for (size_t i = 0; i < 64; ++i) {
+    const size_t at = first + (body - first - 1) * i / 63;
+    std::string corrupted = blob.substr(0, body);
+    corrupted[at] = static_cast<char>(corrupted[at] ^ 0x5a);
+    std::string repaired = corrupted;
+    AppendU64(&repaired, ServingChecksum(corrupted.data(), corrupted.size()));
+    Spit(path, repaired);
+    auto store = EmbeddingStore::Load(path);
+    ASSERT_FALSE(store.ok()) << "flip at byte " << at << " loaded";
+    ASSERT_TRUE(store.status().code() == StatusCode::kDataLoss ||
+                store.status().code() == StatusCode::kInvalidArgument)
+        << "flip at byte " << at << ": " << store.status().ToString();
+    data_loss += store.status().code() == StatusCode::kDataLoss ? 1 : 0;
+  }
+  EXPECT_GT(data_loss, 0) << "no flip exercised the section-CRC path";
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace transn

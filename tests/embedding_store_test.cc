@@ -9,6 +9,7 @@
 #include "core/transn.h"
 #include "serve/serving_format.h"
 #include "serve_test_util.h"
+#include "util/safe_io.h"
 #include "test_graphs.h"
 
 namespace transn {
@@ -140,17 +141,29 @@ TEST(EmbeddingStoreTest, RejectsCorruptedAndTruncatedFiles) {
   std::remove(path.c_str());
 }
 
+// Appends the v2 section CRC covering [*section_start, buf->size()) and
+// advances *section_start past it, mirroring the writer.
+void AppendSectionCrc(std::string* buf, size_t* section_start) {
+  AppendU32(buf, Crc32(buf->data() + *section_start,
+                       buf->size() - *section_start));
+  *section_start = buf->size();
+}
+
 TEST(EmbeddingStoreTest, ChecksummedEmptyModelLoads) {
   // A header-only model (no nodes/views/translators) is valid.
   std::string buf;
   buf.append(kServingMagic, sizeof(kServingMagic));
   AppendU32(&buf, kServingFormatVersion);
+  size_t section = buf.size();
   AppendU32(&buf, 4);  // dim
   AppendU32(&buf, 0);  // seq_len
   AppendU32(&buf, 0);  // nodes
   AppendU32(&buf, 0);  // views
   AppendU32(&buf, 0);  // translators
   AppendU8(&buf, 0);   // no final embeddings
+  AppendSectionCrc(&buf, &section);  // header
+  AppendSectionCrc(&buf, &section);  // node names (empty)
+  AppendSectionCrc(&buf, &section);  // final embeddings (absent)
   AppendU64(&buf, ServingChecksum(buf.data(), buf.size()));
   std::string path = TempPath("store_empty.bin");
   std::ofstream(path, std::ios::binary).write(buf.data(), buf.size());
@@ -158,6 +171,64 @@ TEST(EmbeddingStoreTest, ChecksummedEmptyModelLoads) {
   ASSERT_TRUE(store.ok()) << store.status().ToString();
   EXPECT_EQ(store->num_nodes(), 0u);
   EXPECT_EQ(store->dim(), 4u);
+  std::remove(path.c_str());
+}
+
+TEST(EmbeddingStoreTest, V1ModelWithoutSectionCrcsStillLoads) {
+  // Pre-CRC files (version 1) carry only the FNV trailer; the reader must
+  // keep accepting them byte-for-byte as written by older exporters.
+  std::string buf;
+  buf.append(kServingMagic, sizeof(kServingMagic));
+  AppendU32(&buf, kServingFormatVersionV1);
+  AppendU32(&buf, 3);  // dim
+  AppendU32(&buf, 0);  // seq_len
+  AppendU32(&buf, 1);  // nodes
+  AppendU32(&buf, 0);  // views
+  AppendU32(&buf, 0);  // translators
+  AppendU8(&buf, kServingFlagFinalEmbeddings);
+  AppendString(&buf, "only-node");
+  AppendF64(&buf, 0.5);
+  AppendF64(&buf, -1.25);
+  AppendF64(&buf, 3.0);
+  AppendU64(&buf, ServingChecksum(buf.data(), buf.size()));
+  std::string path = TempPath("store_v1.bin");
+  std::ofstream(path, std::ios::binary).write(buf.data(), buf.size());
+  auto store = EmbeddingStore::Load(path);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ(store->num_nodes(), 1u);
+  EXPECT_EQ(store->node_name(0), "only-node");
+  EXPECT_EQ(store->final_embeddings()(0, 1), -1.25);
+  std::remove(path.c_str());
+}
+
+TEST(EmbeddingStoreTest, SectionCrcMismatchIsDataLoss) {
+  // Flip a stored section CRC (not the payload): the FNV trailer is
+  // recomputed so only the per-section check can catch it, and it must
+  // report kDataLoss naming the section.
+  HeteroGraph g = TwoCommunityNetwork(10, 3);
+  TransNModel model(&g, SmallServeConfig());
+  std::string path = TempPath("store_crc.bin");
+  ASSERT_TRUE(ExportServingModel(model, path).ok());
+  std::string blob;
+  {
+    std::ifstream in(path, std::ios::binary);
+    blob.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  // The header section CRC sits right after magic+version+21 header bytes.
+  const size_t header_crc_at = sizeof(kServingMagic) + 4 + 21;
+  blob[header_crc_at] = static_cast<char>(blob[header_crc_at] ^ 0xff);
+  std::string body = blob.substr(0, blob.size() - 8);
+  body.resize(blob.size() - 8);
+  std::string rewritten = body;
+  AppendU64(&rewritten, ServingChecksum(body.data(), body.size()));
+  std::ofstream(path, std::ios::binary)
+      .write(rewritten.data(), rewritten.size());
+  auto store = EmbeddingStore::Load(path);
+  ASSERT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(store.status().message().find("header"), std::string::npos)
+      << store.status().message();
   std::remove(path.c_str());
 }
 

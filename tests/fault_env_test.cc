@@ -1,0 +1,98 @@
+// End-to-end check of the TRANSN_FAULTS environment wiring, exercised by
+// the CI fault-injection leg with rotations like `io.write=always`,
+// `io.short_write=always`, `io.fsync=always`, and `io.rename=always`
+// (see .github/workflows/ci.yml). With no TRANSN_FAULTS set the whole
+// suite skips, so a plain `ctest` run is unaffected.
+//
+// Whatever I/O failpoint the environment arms, the contract is the same:
+// an atomic write fails with a descriptive Status, the previous target
+// file survives byte-for-byte, and nothing crashes (the CI leg runs this
+// under ASan/UBSan to also rule out leaks and UB on the error paths).
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+#include "core/model_io.h"
+#include "core/transn.h"
+#include "serve_test_util.h"
+#include "test_graphs.h"
+#include "util/fault.h"
+#include "util/safe_io.h"
+
+namespace transn {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+bool EnvFaultsArmed() {
+  const char* env = std::getenv("TRANSN_FAULTS");
+  return env != nullptr && env[0] != '\0';
+}
+
+#define SKIP_UNLESS_ENV_FAULTS()                                        \
+  do {                                                                  \
+    if (!EnvFaultsArmed()) {                                            \
+      GTEST_SKIP() << "TRANSN_FAULTS not set; nothing to exercise";     \
+    }                                                                   \
+  } while (false)
+
+TEST(FaultEnvTest, EnvSpecIsArmedAtStartup) {
+  SKIP_UNLESS_ENV_FAULTS();
+  EXPECT_TRUE(fault::FaultInjector::Default().AnyArmed())
+      << "TRANSN_FAULTS=" << std::getenv("TRANSN_FAULTS")
+      << " armed nothing";
+}
+
+TEST(FaultEnvTest, AtomicWriteFailsWithoutTouchingTarget) {
+  SKIP_UNLESS_ENV_FAULTS();
+  std::string path = TempPath("env_fault_target.bin");
+  { std::ofstream(path, std::ios::binary) << "previous good contents"; }
+  AtomicFileWriter w(path);
+  w.Write(std::string(1 << 20, 'z'));  // large enough to hit flush paths
+  Status s = w.Commit();
+  ASSERT_FALSE(s.ok()) << "commit succeeded despite TRANSN_FAULTS="
+                       << std::getenv("TRANSN_FAULTS");
+  EXPECT_FALSE(s.message().empty());
+  EXPECT_EQ(Slurp(path), "previous good contents");
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST(FaultEnvTest, CheckpointWriterSurfacesTheFailure) {
+  SKIP_UNLESS_ENV_FAULTS();
+  HeteroGraph g = TwoCommunityNetwork(12, 4);
+  TransNModel model(&g, SmallServeConfig());
+  std::string path = TempPath("env_fault.ckpt");
+  { std::ofstream(path, std::ios::binary) << "old checkpoint"; }
+  Status s = SaveTransNCheckpoint(model, path);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(Slurp(path), "old checkpoint");
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST(FaultEnvTest, ServingExportSurfacesTheFailure) {
+  SKIP_UNLESS_ENV_FAULTS();
+  HeteroGraph g = TwoCommunityNetwork(12, 4);
+  TransNModel model(&g, SmallServeConfig());
+  std::string path = TempPath("env_fault.bin");
+  Status s = ExportServingModel(model, path);
+  ASSERT_FALSE(s.ok());
+  EXPECT_FALSE(std::ifstream(path).good()) << "partial export left behind";
+  std::remove((path + ".tmp").c_str());
+}
+
+}  // namespace
+}  // namespace transn

@@ -1,0 +1,143 @@
+#include "util/fault.h"
+
+#include <gtest/gtest.h>
+
+namespace transn {
+namespace fault {
+namespace {
+
+// Every test arms the process-wide injector, so teardown must disarm it or
+// later tests (and suites) would inherit the faults.
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Default().DisarmAll(); }
+};
+
+TEST_F(FaultInjectorTest, UnarmedPointNeverFails) {
+  EXPECT_FALSE(MaybeFail("io.nothing.armed"));
+  EXPECT_FALSE(FaultInjector::Default().AnyArmed());
+  EXPECT_EQ(FaultInjector::Default().Hits("io.nothing.armed"), 0u);
+}
+
+TEST_F(FaultInjectorTest, AlwaysFailsEveryHit) {
+  FaultInjector::Default().Arm(kIoWrite, FaultSpec::Always());
+  EXPECT_TRUE(FaultInjector::Default().AnyArmed());
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(MaybeFail(kIoWrite));
+  EXPECT_EQ(FaultInjector::Default().Hits(kIoWrite), 5u);
+  // Other points stay unaffected.
+  EXPECT_FALSE(MaybeFail(kIoRename));
+}
+
+TEST_F(FaultInjectorTest, AfterNSucceedsThenFailsForever) {
+  FaultInjector::Default().Arm(kIoFsync, FaultSpec::AfterN(3));
+  EXPECT_FALSE(MaybeFail(kIoFsync));  // hit 1
+  EXPECT_FALSE(MaybeFail(kIoFsync));  // hit 2
+  EXPECT_FALSE(MaybeFail(kIoFsync));  // hit 3
+  EXPECT_TRUE(MaybeFail(kIoFsync));   // hit 4: the disk is now full
+  EXPECT_TRUE(MaybeFail(kIoFsync));   // ...and stays full
+}
+
+TEST_F(FaultInjectorTest, OnceAfterNFiresExactlyOnce) {
+  FaultInjector::Default().Arm(kIoRename, FaultSpec::OnceAfterN(2));
+  EXPECT_FALSE(MaybeFail(kIoRename));  // hit 1
+  EXPECT_FALSE(MaybeFail(kIoRename));  // hit 2
+  EXPECT_TRUE(MaybeFail(kIoRename));   // hit 3: the one transient fault
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(MaybeFail(kIoRename));
+}
+
+TEST_F(FaultInjectorTest, ProbabilityIsSeededAndDeterministic) {
+  auto run = [](uint64_t seed) {
+    FaultInjector::Default().Arm("p.test", FaultSpec::Probability(0.5, seed));
+    std::string pattern;
+    for (int i = 0; i < 64; ++i) {
+      pattern.push_back(MaybeFail("p.test") ? 'F' : '.');
+    }
+    FaultInjector::Default().Disarm("p.test");
+    return pattern;
+  };
+  const std::string a = run(7);
+  EXPECT_EQ(a, run(7));     // same seed replays exactly
+  EXPECT_NE(a, run(8));     // different seed differs
+  EXPECT_NE(a.find('F'), std::string::npos);
+  EXPECT_NE(a.find('.'), std::string::npos);
+}
+
+TEST_F(FaultInjectorTest, ProbabilityExtremes) {
+  FaultInjector::Default().Arm("p.zero", FaultSpec::Probability(0.0));
+  FaultInjector::Default().Arm("p.one", FaultSpec::Probability(1.0));
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_FALSE(MaybeFail("p.zero"));
+    EXPECT_TRUE(MaybeFail("p.one"));
+  }
+}
+
+TEST_F(FaultInjectorTest, RearmResetsHitCount) {
+  FaultInjector& fi = FaultInjector::Default();
+  fi.Arm(kIoWrite, FaultSpec::AfterN(1));
+  EXPECT_FALSE(MaybeFail(kIoWrite));
+  EXPECT_TRUE(MaybeFail(kIoWrite));
+  fi.Arm(kIoWrite, FaultSpec::AfterN(1));  // re-arm: counts start over
+  EXPECT_EQ(fi.Hits(kIoWrite), 0u);
+  EXPECT_FALSE(MaybeFail(kIoWrite));
+  EXPECT_TRUE(MaybeFail(kIoWrite));
+}
+
+TEST_F(FaultInjectorTest, DisarmRestoresNormalOperation) {
+  FaultInjector& fi = FaultInjector::Default();
+  fi.Arm(kIoWrite, FaultSpec::Always());
+  fi.Arm(kIoFsync, FaultSpec::Always());
+  fi.Disarm(kIoWrite);
+  EXPECT_FALSE(MaybeFail(kIoWrite));
+  EXPECT_TRUE(MaybeFail(kIoFsync));
+  EXPECT_TRUE(fi.AnyArmed());
+  fi.DisarmAll();
+  EXPECT_FALSE(fi.AnyArmed());
+  EXPECT_FALSE(MaybeFail(kIoFsync));
+  fi.Disarm("never.armed");  // disarming an unknown point is a no-op
+}
+
+TEST_F(FaultInjectorTest, MaybeThrowRaisesInjectedFaultError) {
+  FaultInjector::Default().Arm(kTrainAbort, FaultSpec::Always());
+  try {
+    MaybeThrow(kTrainAbort);
+    FAIL() << "expected InjectedFaultError";
+  } catch (const InjectedFaultError& e) {
+    EXPECT_EQ(e.point(), kTrainAbort);
+    EXPECT_NE(std::string(e.what()).find(kTrainAbort), std::string::npos);
+  }
+  FaultInjector::Default().DisarmAll();
+  MaybeThrow(kTrainAbort);  // disarmed: no throw
+}
+
+TEST_F(FaultInjectorTest, SpecStringArmsMultiplePoints) {
+  FaultInjector& fi = FaultInjector::Default();
+  Status s = fi.ArmFromSpecString(
+      "io.write=after:2; pool.task=once ,io.fsync=prob:1.0:3");
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_FALSE(MaybeFail(kIoWrite));
+  EXPECT_FALSE(MaybeFail(kIoWrite));
+  EXPECT_TRUE(MaybeFail(kIoWrite));
+  EXPECT_TRUE(MaybeFail(kPoolTask));   // once with no count: first hit
+  EXPECT_FALSE(MaybeFail(kPoolTask));
+  EXPECT_TRUE(MaybeFail(kIoFsync));    // prob 1.0
+}
+
+TEST_F(FaultInjectorTest, MalformedSpecStringArmsNothing) {
+  FaultInjector& fi = FaultInjector::Default();
+  // The valid first entry must not be armed when a later entry is bad:
+  // a typo'd fault plan fails atomically instead of half-applying.
+  for (const char* bad :
+       {"io.write", "=always", "io.write=notamode", "io.write=after",
+        "io.write=after:-1", "io.write=prob:1.5", "io.write=prob",
+        "io.write=always;io.fsync=oops", "io.write=always:1"}) {
+    Status s = fi.ArmFromSpecString(bad);
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << bad;
+    EXPECT_FALSE(fi.AnyArmed()) << bad;
+  }
+  EXPECT_TRUE(fi.ArmFromSpecString("").ok());  // empty spec: nothing armed
+  EXPECT_FALSE(fi.AnyArmed());
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace transn

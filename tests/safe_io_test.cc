@@ -1,0 +1,180 @@
+#include "util/safe_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+#include "util/fault.h"
+
+namespace transn {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+bool Exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+class SafeIoTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::FaultInjector::Default().DisarmAll(); }
+};
+
+TEST_F(SafeIoTest, Crc32MatchesCheckValue) {
+  // The ISO-HDLC check value: CRC-32("123456789") == 0xCBF43926.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+  EXPECT_EQ(Crc32("a"), Crc32("a"));
+  EXPECT_NE(Crc32("a"), Crc32("b"));
+}
+
+TEST_F(SafeIoTest, Crc32Chains) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  for (size_t split : {0ul, 1ul, 10ul, data.size()}) {
+    EXPECT_EQ(Crc32(data.substr(split), Crc32(data.substr(0, split))),
+              Crc32(data))
+        << "split " << split;
+  }
+}
+
+TEST_F(SafeIoTest, CheckedWriterWritesAllBytes) {
+  std::string path = TempPath("checked.bin");
+  CheckedWriter w(path);
+  ASSERT_TRUE(w.status().ok()) << w.status().ToString();
+  w.Write("hello ").Write("world");
+  // Something bigger than the internal buffer, to force mid-stream flushes.
+  std::string big(1 << 20, 'x');
+  w.Write(big);
+  ASSERT_TRUE(w.Close().ok());
+  EXPECT_EQ(Slurp(path), "hello world" + big);
+  EXPECT_TRUE(w.Close().ok());  // idempotent
+  std::remove(path.c_str());
+}
+
+TEST_F(SafeIoTest, CheckedWriterUnwritablePathFails) {
+  CheckedWriter w("/no/such/dir/file.bin");
+  EXPECT_FALSE(w.status().ok());
+  w.Write("ignored");  // writes after failure are no-ops, not crashes
+  EXPECT_FALSE(w.Close().ok());
+}
+
+TEST_F(SafeIoTest, AtomicFileWriterCommitReplacesTarget) {
+  std::string path = TempPath("atomic.bin");
+  { std::ofstream(path) << "old contents"; }
+  AtomicFileWriter w(path);
+  w.Write("new contents");
+  EXPECT_EQ(Slurp(path), "old contents");  // invisible until Commit
+  ASSERT_TRUE(w.Commit().ok());
+  EXPECT_EQ(Slurp(path), "new contents");
+  EXPECT_FALSE(Exists(w.tmp_path()));
+  std::remove(path.c_str());
+}
+
+TEST_F(SafeIoTest, AtomicFileWriterAbandonLeavesTargetUntouched) {
+  std::string path = TempPath("abandoned.bin");
+  { std::ofstream(path) << "precious"; }
+  {
+    AtomicFileWriter w(path);
+    w.Write("half-baked");
+    w.Abandon();
+    EXPECT_FALSE(Exists(w.tmp_path()));
+  }
+  {
+    // Destruction without Commit abandons too.
+    AtomicFileWriter w(path);
+    w.Write("also half-baked");
+  }
+  EXPECT_EQ(Slurp(path), "precious");
+  EXPECT_FALSE(Exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST_F(SafeIoTest, InjectedWriteFailureLeavesTargetAndCounts) {
+  std::string path = TempPath("enospc.bin");
+  { std::ofstream(path) << "survivor"; }
+  const uint64_t errors_before = WriteErrorCount();
+  fault::FaultInjector::Default().Arm(fault::kIoWrite, fault::FaultSpec::Always());
+  AtomicFileWriter w(path);
+  w.Write("doomed");
+  EXPECT_FALSE(w.Commit().ok());
+  EXPECT_EQ(w.status().code(), StatusCode::kIoError);
+  fault::FaultInjector::Default().DisarmAll();
+  EXPECT_EQ(Slurp(path), "survivor");
+  EXPECT_FALSE(Exists(path + ".tmp"));  // failed commit cleans its temp
+  EXPECT_GT(WriteErrorCount(), errors_before);
+  std::remove(path.c_str());
+}
+
+TEST_F(SafeIoTest, InjectedShortWriteFails) {
+  std::string path = TempPath("short.bin");
+  fault::FaultInjector::Default().Arm(fault::kIoShortWrite,
+                                      fault::FaultSpec::Always());
+  CheckedWriter w(path);
+  w.Write(std::string(4096, 'y'));
+  EXPECT_FALSE(w.Close().ok());
+  fault::FaultInjector::Default().DisarmAll();
+  std::remove(path.c_str());
+}
+
+TEST_F(SafeIoTest, InjectedFsyncFailureFailsCommit) {
+  std::string path = TempPath("fsync.bin");
+  fault::FaultInjector::Default().Arm(fault::kIoFsync,
+                                      fault::FaultSpec::Always());
+  AtomicFileWriter w(path);
+  w.Write("unsynced");
+  EXPECT_FALSE(w.Commit().ok());
+  fault::FaultInjector::Default().DisarmAll();
+  EXPECT_FALSE(Exists(path));
+  std::remove(path.c_str());
+}
+
+TEST_F(SafeIoTest, TornRenameLeavesTmpAndNextWriterRecovers) {
+  std::string path = TempPath("torn.bin");
+  { std::ofstream(path) << "old"; }
+  fault::FaultInjector::Default().Arm(fault::kIoRename,
+                                      fault::FaultSpec::OnceAfterN(0));
+  std::string tmp;
+  {
+    AtomicFileWriter w(path);
+    tmp = w.tmp_path();
+    w.Write("torn");
+    EXPECT_FALSE(w.Commit().ok());
+  }
+  fault::FaultInjector::Default().DisarmAll();
+  // The crash analogue: target untouched, torn temp left behind...
+  EXPECT_EQ(Slurp(path), "old");
+  EXPECT_TRUE(Exists(tmp));
+  // ...and the next writer truncates it and completes normally.
+  AtomicFileWriter retry(path);
+  retry.Write("recovered");
+  ASSERT_TRUE(retry.Commit().ok());
+  EXPECT_EQ(Slurp(path), "recovered");
+  EXPECT_FALSE(Exists(tmp));
+  std::remove(path.c_str());
+}
+
+TEST_F(SafeIoTest, WriteErrorHookObservesFailures) {
+  int calls = 0;
+  SetWriteErrorHook([&calls] { ++calls; });
+  fault::FaultInjector::Default().Arm(fault::kIoWrite,
+                                      fault::FaultSpec::Always());
+  CheckedWriter w(TempPath("hooked.bin"));
+  w.Write("x");
+  w.Close();
+  fault::FaultInjector::Default().DisarmAll();
+  SetWriteErrorHook(nullptr);
+  EXPECT_EQ(calls, 1);  // the first failure latches; no double counting
+}
+
+}  // namespace
+}  // namespace transn

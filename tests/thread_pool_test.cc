@@ -1,10 +1,12 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
+#include "util/fault.h"
 
 namespace transn {
 namespace {
@@ -135,6 +137,47 @@ TEST(ThreadPoolStressTest, ScheduleFromInsideATask) {
   }
   pool.Wait();  // must cover tasks scheduled by tasks
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolFaultTest, TaskExceptionRethrownByWait) {
+  ThreadPool pool(3);
+  pool.Schedule([] { throw std::runtime_error("task blew up"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The pool survives: later work runs and a clean Wait() doesn't rethrow.
+  std::atomic<int> counter{0};
+  pool.Schedule([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolFaultTest, OnlyFirstExceptionIsKept) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 10; ++i) {
+    pool.Schedule([] { throw std::runtime_error("boom"); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);  // one rethrow...
+  pool.Wait();                                    // ...then clean
+}
+
+TEST(ThreadPoolFaultTest, InjectedPoolFaultSurfacesInWait) {
+  fault::FaultInjector::Default().Arm(fault::kPoolTask,
+                                      fault::FaultSpec::OnceAfterN(3));
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Schedule([&ran] { ran.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.Wait(), fault::InjectedFaultError);
+  fault::FaultInjector::Default().DisarmAll();
+  // Exactly one task was swallowed by the injected fault; the rest ran.
+  EXPECT_EQ(ran.load(), 7);
+}
+
+TEST(ThreadPoolFaultTest, UnclaimedExceptionDiscardedByDestructor) {
+  // Destroying a pool whose last batch failed without a Wait() must not
+  // terminate the process.
+  ThreadPool pool(2);
+  pool.Schedule([] { throw std::runtime_error("never observed"); });
 }
 
 TEST(ThreadPoolStressTest, RepeatedScheduleWaitCycles) {

@@ -1,0 +1,127 @@
+// Every persistent-format writer in the codebase must go through the atomic
+// safe_io path: under an injected ENOSPC each one returns a non-OK Status,
+// leaves an existing target byte-for-byte untouched, and leaves no temp
+// file behind. One regression test per writer.
+
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+#include "core/model_io.h"
+#include "core/transn.h"
+#include "graph/graph_io.h"
+#include "nn/init.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "serve_test_util.h"
+#include "test_graphs.h"
+#include "util/csv.h"
+#include "util/fault.h"
+#include "util/safe_io.h"
+
+namespace transn {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+class WriterFaultsTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::FaultInjector::Default().DisarmAll(); }
+
+  /// Arms ENOSPC, runs `write` against a path holding sentinel bytes, and
+  /// checks the failure contract: non-OK, target untouched, no temp left.
+  void ExpectAtomicFailure(const char* name,
+                           const std::function<Status(const std::string&)>&
+                               write) {
+    std::string path = TempPath(name);
+    { std::ofstream(path, std::ios::binary) << "sentinel"; }
+    fault::FaultInjector::Default().Arm(fault::kIoWrite,
+                                        fault::FaultSpec::Always());
+    Status s = write(path);
+    fault::FaultInjector::Default().DisarmAll();
+    EXPECT_FALSE(s.ok()) << name << " succeeded under ENOSPC";
+    EXPECT_EQ(s.code(), StatusCode::kIoError) << s.ToString();
+    EXPECT_EQ(Slurp(path), "sentinel") << name << " clobbered its target";
+    EXPECT_FALSE(std::ifstream(path + ".tmp").good())
+        << name << " left " << path << ".tmp";
+    // Disarmed, the same write lands and replaces the sentinel.
+    Status ok = write(path);
+    EXPECT_TRUE(ok.ok()) << name << ": " << ok.ToString();
+    EXPECT_NE(Slurp(path), "sentinel");
+    std::remove(path.c_str());
+  }
+};
+
+TEST_F(WriterFaultsTest, SaveEmbeddings) {
+  HeteroGraph g = Fig2aAcademicNetwork();
+  Rng rng(1);
+  Matrix emb = GaussianInit(g.num_nodes(), 4, 1.0, rng);
+  ExpectAtomicFailure("faulted_emb.tsv", [&](const std::string& path) {
+    return SaveEmbeddings(g, emb, path);
+  });
+}
+
+TEST_F(WriterFaultsTest, SaveTransNCheckpoint) {
+  HeteroGraph g = TwoCommunityNetwork(12, 4);
+  TransNModel model(&g, SmallServeConfig());
+  ExpectAtomicFailure("faulted.ckpt", [&](const std::string& path) {
+    return SaveTransNCheckpoint(model, path);
+  });
+}
+
+TEST_F(WriterFaultsTest, ExportServingModel) {
+  HeteroGraph g = TwoCommunityNetwork(12, 4);
+  TransNModel model(&g, SmallServeConfig());
+  ExpectAtomicFailure("faulted.bin", [&](const std::string& path) {
+    return ExportServingModel(model, path);
+  });
+}
+
+TEST_F(WriterFaultsTest, SaveGraph) {
+  HeteroGraph g = Fig2aAcademicNetwork();
+  ExpectAtomicFailure("faulted_graph.tsv", [&](const std::string& path) {
+    return SaveGraph(g, path);
+  });
+}
+
+TEST_F(WriterFaultsTest, WriteCsv) {
+  TablePrinter table({"metric", "value"});
+  table.AddRow({"f1", "0.5"});
+  ExpectAtomicFailure("faulted.csv", [&](const std::string& path) {
+    return table.WriteCsv(path);
+  });
+}
+
+TEST_F(WriterFaultsTest, DumpDefaultObservability) {
+  ExpectAtomicFailure("faulted_metrics.json", [&](const std::string& path) {
+    return obs::DumpDefaultObservability(path);
+  });
+}
+
+TEST_F(WriterFaultsTest, FailedWritesAreCountedInMetrics) {
+  auto* counter = obs::MetricsRegistry::Default().GetCounter(
+      obs::kIoWriteErrorsTotal, "errors",
+      "failed file writes (CheckedWriter/AtomicFileWriter)");
+  const uint64_t before = counter->Value();
+  HeteroGraph g = Fig2aAcademicNetwork();
+  fault::FaultInjector::Default().Arm(fault::kIoWrite,
+                                      fault::FaultSpec::Always());
+  EXPECT_FALSE(SaveGraph(g, TempPath("counted_graph.tsv")).ok());
+  fault::FaultInjector::Default().DisarmAll();
+  EXPECT_GT(counter->Value(), before)
+      << "io.write_errors_total did not observe the failed write";
+}
+
+}  // namespace
+}  // namespace transn

@@ -101,20 +101,45 @@ TransNConfig TransNConfigFromArgs(const Args& args) {
   cfg.simple_translator = args.GetBool("simple-translator", false);
   cfg.enable_translation_tasks = args.GetBool("translation-tasks", true);
   cfg.enable_reconstruction_tasks = args.GetBool("reconstruction-tasks", true);
+  // Periodic crash-safe checkpointing: --checkpoint-every N writes an
+  // atomic checkpoint to the --save-checkpoint path every N iterations.
+  const int64_t every = args.GetInt("checkpoint-every", 0);
+  CHECK_GE(every, 0) << "--checkpoint-every must be >= 0";
+  cfg.checkpoint_every_iters = static_cast<size_t>(every);
+  if (cfg.checkpoint_every_iters > 0) {
+    cfg.checkpoint_path = args.GetOptionalString("save-checkpoint");
+    if (cfg.checkpoint_path.empty()) {
+      Args::Fail("--checkpoint-every requires --save-checkpoint <path>");
+    }
+  }
   return cfg;
 }
 
 /// Trains (or restores) a TransN model with the checkpoint / serving-export
 /// plumbing: --load-checkpoint restores the matrices before training (use
-/// --iterations 0 to skip training entirely and just re-export),
-/// --save-checkpoint and --export-serving write the trained model out.
+/// --iterations 0 to skip training entirely and just re-export), --resume
+/// additionally restores the iteration counter, RNG, and Adam state so the
+/// run continues bit-for-bit where it was interrupted; --save-checkpoint and
+/// --export-serving write the trained model out, and --checkpoint-every N
+/// checkpoints mid-training.
 Matrix TrainTransN(const HeteroGraph& g, const Args& args) {
   TransNModel model(&g, TransNConfigFromArgs(args));
   const std::string load_ckpt = args.GetOptionalString("load-checkpoint");
+  const std::string resume_ckpt = args.GetOptionalString("resume");
+  if (!load_ckpt.empty() && !resume_ckpt.empty()) {
+    Args::Fail("--load-checkpoint and --resume are mutually exclusive");
+  }
   if (!load_ckpt.empty()) {
     Status s = LoadTransNCheckpoint(&model, load_ckpt);
     if (!s.ok()) Args::Fail(s.ToString());
     std::printf("restored checkpoint %s\n", load_ckpt.c_str());
+  }
+  if (!resume_ckpt.empty()) {
+    Status s = ResumeTransNCheckpoint(&model, resume_ckpt);
+    if (!s.ok()) Args::Fail(s.ToString());
+    std::printf("resuming from checkpoint %s at iteration %zu/%zu\n",
+                resume_ckpt.c_str(), model.completed_iterations(),
+                model.config().iterations);
   }
   model.Fit();
   const std::string save_ckpt = args.GetOptionalString("save-checkpoint");
@@ -223,6 +248,10 @@ void Usage() {
       "           [--threads 1]  (0 = all cores; >1 = Hogwild, not\n"
       "           bit-reproducible)\n"
       "           [--save-checkpoint m.ckpt] [--load-checkpoint m.ckpt]\n"
+      "           [--checkpoint-every N]  (atomic mid-training checkpoints\n"
+      "           to the --save-checkpoint path every N iterations)\n"
+      "           [--resume m.ckpt]  (continue an interrupted run: restores\n"
+      "           weights, iteration, RNG, and Adam state bit-for-bit)\n"
       "           [--export-serving m.bin]  (binary model for transn_serve)\n"
       "  classify --graph g.tsv --embeddings emb.tsv [--repeats 10]\n"
       "  linkpred --graph g.tsv [--method transn] [--removal 0.4]\n"
