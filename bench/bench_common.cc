@@ -6,6 +6,7 @@
 #include <cinttypes>
 #include <cstring>
 #include <fstream>
+#include <thread>
 
 #include "baselines/hin2vec.h"
 #include "baselines/line.h"
@@ -218,7 +219,12 @@ void WriteBenchJson(const std::string& name,
   }
   out << "{\n  \"schema\": \"transn-bench-v1\",\n  \"bench\": \""
       << obs::JsonEscape(name) << "\",\n  \"isa\": \""
-      << vec::IsaName(vec::ActiveIsa()) << "\",\n  \"benches\": {";
+      << vec::IsaName(vec::ActiveIsa())
+      // Hardware concurrency of the machine that produced the numbers:
+      // scripts/check_bench_regression.py scales its floors by it (a 1-core
+      // CI runner cannot demonstrate multi-thread speedups).
+      << "\",\n  \"hardware_threads\": "
+      << std::thread::hardware_concurrency() << ",\n  \"benches\": {";
   for (size_t i = 0; i < entries.size(); ++i) {
     const BenchJsonEntry& e = entries[i];
     out << (i == 0 ? "\n" : ",\n");

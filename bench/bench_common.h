@@ -65,6 +65,7 @@ struct BenchJsonEntry {
 /// there. TRANSN_BENCH_OUT_DIR overrides the directory. Schema:
 ///   {"schema": "transn-bench-v1", "bench": "<name>",
 ///    "isa": "<active kernel ISA>",
+///    "hardware_threads": <hardware concurrency of the producing machine>,
 ///    "benches": {"<entry name>": {"metric": ..., "value": ..., "unit": ...}}}
 /// A write failure is a stderr warning, not an exit-code change.
 void WriteBenchJson(const std::string& name,

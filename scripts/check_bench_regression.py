@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""CI gate on BENCH_parallel_scaling.json: parallel speedup must not regress.
+
+Usage:
+    scripts/check_bench_regression.py [BENCH_parallel_scaling.json]
+
+Reads the bench dump produced by bench/parallel_scaling (schema
+transn-bench-v1) and fails (exit 1) when the measured t8/t1 (or the largest
+available tN/t1) speedup falls below the committed floor for the machine
+class that produced the numbers.
+
+The floors scale with the "hardware_threads" field recorded in the dump,
+because a small CI runner physically cannot demonstrate a large speedup:
+
+    hardware_threads >= 8  ->  speedup_t8 >= 4.0   (the PR target)
+    hardware_threads >= 4  ->  speedup_t4 >= 2.0
+    hardware_threads >= 2  ->  speedup_t2 >= 1.2
+    hardware_threads <  2  ->  speedup_t8 >= 0.7   (no-regression bound:
+        oversubscribing one core must not collapse throughput)
+
+Dumps that predate the hardware_threads field are rejected: regenerate the
+JSON with the current bench binary so the gate knows the machine class.
+"""
+
+import json
+import sys
+
+# (min hardware threads, thread count to check, speedup floor)
+FLOORS = [
+    (8, 8, 4.0),
+    (4, 4, 2.0),
+    (2, 2, 1.2),
+    (0, 8, 0.7),
+]
+
+
+def fail(msg: str) -> None:
+    print(f"check_bench_regression: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_parallel_scaling.json"
+    try:
+        with open(path, encoding="utf-8") as f:
+            dump = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read {path}: {e}")
+
+    if dump.get("schema") != "transn-bench-v1":
+        fail(f"{path}: unexpected schema {dump.get('schema')!r}")
+    hardware = dump.get("hardware_threads")
+    if not isinstance(hardware, int) or hardware < 0:
+        fail(
+            f"{path}: missing hardware_threads field — regenerate the dump "
+            "with the current bench/parallel_scaling binary"
+        )
+    benches = dump.get("benches", {})
+
+    def value(name: str) -> float:
+        entry = benches.get(name)
+        if not isinstance(entry, dict) or "value" not in entry:
+            fail(f"{path}: missing bench entry {name!r}")
+        return float(entry["value"])
+
+    t1 = value("pairs_per_sec_t1")
+    if t1 <= 0.0:
+        fail(f"{path}: pairs_per_sec_t1 is {t1}; bench did not run")
+
+    for min_hw, threads, floor in FLOORS:
+        if hardware >= min_hw:
+            break
+    speedup_name = f"speedup_t{threads}"
+    if speedup_name in benches:
+        speedup = value(speedup_name)
+    else:
+        # Fall back to the raw pairs/sec ratio for dumps whose bench binary
+        # predates the explicit speedup entries.
+        speedup = value(f"pairs_per_sec_t{threads}") / t1
+
+    print(
+        f"check_bench_regression: hardware_threads={hardware} -> "
+        f"checking t{threads}/t1 speedup {speedup:.2f}x against floor "
+        f"{floor:.1f}x"
+    )
+    if speedup < floor:
+        fail(
+            f"t{threads}/t1 speedup {speedup:.2f}x is below the committed "
+            f"floor {floor:.1f}x for a {hardware}-thread machine "
+            "(bench/parallel_scaling regressed, or the dump was produced on "
+            "a loaded machine — rerun on a quiet runner)"
+        )
+    print("check_bench_regression: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -89,11 +89,13 @@ std::vector<std::vector<NodeId>> CrossViewTrainer::SampleCommonWindows(
   // Bounded attempts: sparse common structure may yield few usable windows.
   const size_t max_attempts = 4 * max_windows + 16;
   std::vector<NodeId> filtered;
+  std::vector<ViewGraph::LocalId> walk;  // per-call scratch (allocation-free
+  std::vector<double> probs;             // across attempts)
   for (size_t attempt = 0;
        attempt < max_attempts && windows.size() < max_windows; ++attempt) {
     ViewGraph::LocalId start =
         common_locals[rng.NextUint64(common_locals.size())];
-    std::vector<ViewGraph::LocalId> walk = walker->Walk(start, rng);
+    walker->WalkInto(start, rng, &walk, &probs);
     // Keep only the nodes shared between the paired subviews (step (e) in
     // Fig. 3 / §III-B1).
     filtered.clear();
@@ -215,7 +217,8 @@ double CrossViewTrainer::RunIteration(Rng& rng, ThreadPool* pool) {
                              (s < max_windows % num_shards ? 1 : 0);
         pool->Schedule(
             [this, side, quota, s, &shard_rngs, &shard_windows, span_parent] {
-              const obs::TraceSpan shard_span("shard", span_parent, nullptr);
+              const obs::TraceSpan shard_span("walk_shard", span_parent,
+                                              nullptr);
               shard_windows[s] =
                   SampleCommonWindows(side, shard_rngs[s], quota);
             });

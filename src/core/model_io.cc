@@ -147,13 +147,15 @@ namespace {
 constexpr char kCheckpointHeaderV1[] = "# transn checkpoint v1";
 constexpr char kCheckpointHeaderV2[] = "# transn checkpoint v2";
 
-std::string FormatMatrixSection(const std::string& name, const Matrix& m) {
+std::string FormatMatrixSection(
+    const std::string& name, size_t rows, size_t cols,
+    const std::function<const double*(size_t)>& row_fn) {
   std::ostringstream out;
   out.precision(17);
-  out << "MATRIX\t" << name << "\t" << m.rows() << "\t" << m.cols() << "\n";
-  for (size_t r = 0; r < m.rows(); ++r) {
-    const double* row = m.Row(r);
-    for (size_t c = 0; c < m.cols(); ++c) {
+  out << "MATRIX\t" << name << "\t" << rows << "\t" << cols << "\n";
+  for (size_t r = 0; r < rows; ++r) {
+    const double* row = row_fn(r);
+    for (size_t c = 0; c < cols; ++c) {
       out << (c ? "\t" : "") << row[c];
     }
     out << "\n";
@@ -187,8 +189,11 @@ bool ParseHexU32(std::string_view s, uint32_t* out) {
 }
 
 /// One writable slot the checkpoint can address: expected shape for
-/// validation plus a deferred resolver (Adam buffers are lazily allocated,
-/// so the destination must not be materialized until assignment).
+/// validation plus deferred per-row accessors. Rows rather than whole
+/// matrices, because the backing stores differ — table values are a dense
+/// Matrix while Adam moments live in the cache-line-padded AdamMomentStore —
+/// and because the lazy Adam buffers must not be materialized until
+/// assignment. The on-disk section format is unchanged.
 struct MatrixSlot {
   size_t rows = 0;
   size_t cols = 0;
@@ -196,11 +201,13 @@ struct MatrixSlot {
   /// plain LoadTransNCheckpoint; non-core (Adam moment) slots are optional
   /// and restored only by ResumeTransNCheckpoint.
   bool core = false;
-  /// Destination for restore; allocates lazy Adam buffers when needed.
-  std::function<Matrix*()> resolve;
-  /// Read access for save; null when the buffer is not allocated (a table
-  /// whose rows have never seen a sparse AdamStep).
-  std::function<const Matrix*()> peek;
+  /// Destination row for restore; allocates lazy Adam buffers when needed.
+  std::function<double*(size_t)> resolve_row;
+  /// Whether the backing buffer is materialized; save skips absent slots (a
+  /// table whose rows have never seen a sparse AdamStep) without allocating.
+  std::function<bool()> present;
+  /// Read access to one row for save (valid while present()).
+  std::function<const double*(size_t)> peek_row;
 };
 
 struct ScalarSlot {
@@ -214,39 +221,45 @@ struct ModelSlots {
 
 ModelSlots BuildModelSlots(TransNModel& model) {
   ModelSlots slots;
-  auto add_table = [&slots](const std::string& base, EmbeddingTable& table) {
-    slots.matrices[base] = {table.num_rows(), table.dim(), true,
-                            [&table] { return &table.mutable_values(); },
-                            [&table] { return &table.values(); }};
+  auto always = [] { return true; };
+  auto add_table = [&slots, &always](const std::string& base,
+                                     EmbeddingTable& table) {
+    slots.matrices[base] = {
+        table.num_rows(), table.dim(), true,
+        [&table](size_t r) { return table.Row(r); }, always,
+        [&table](size_t r) -> const double* { return table.Row(r); }};
     slots.matrices[base + ".adam_m"] = {
         table.num_rows(), table.dim(), false,
-        [&table] { return &table.mutable_adam_m(); },
-        [&table] {
-          return table.has_adam_state() ? &table.adam_m() : nullptr;
-        }};
+        [&table](size_t r) { return table.mutable_adam_m_row(r); },
+        [&table] { return table.has_adam_state(); },
+        [&table](size_t r) { return table.adam_m_row(r); }};
     slots.matrices[base + ".adam_v"] = {
         table.num_rows(), table.dim(), false,
-        [&table] { return &table.mutable_adam_v(); },
-        [&table] {
-          return table.has_adam_state() ? &table.adam_v() : nullptr;
-        }};
+        [&table](size_t r) { return table.mutable_adam_v_row(r); },
+        [&table] { return table.has_adam_state(); },
+        [&table](size_t r) { return table.adam_v_row(r); }};
     slots.scalars[base + ".adam_t"] = {
         [&table](int64_t t) { table.set_adam_step_count(t); }};
   };
-  auto add_param = [&slots](const std::string& base, Parameter& param) {
+  auto add_param = [&slots, &always](const std::string& base,
+                                     Parameter& param) {
+    auto rows_of = [](Matrix& m) {
+      return [&m](size_t r) { return m.Row(r); };
+    };
+    auto const_rows_of = [](const Matrix& m) {
+      return [&m](size_t r) { return m.Row(r); };
+    };
     slots.matrices[base] = {param.value.rows(), param.value.cols(), true,
-                            [&param] { return &param.value; },
-                            [&param] { return &param.value; }};
+                            rows_of(param.value), always,
+                            const_rows_of(param.value)};
     // AdamOptimizer::Register allocates the moments at construction, so
     // translator parameters always have (possibly all-zero) Adam state.
     slots.matrices[base + ".adam_m"] = {param.value.rows(), param.value.cols(),
-                                        false,
-                                        [&param] { return &param.adam_m; },
-                                        [&param] { return &param.adam_m; }};
+                                        false, rows_of(param.adam_m), always,
+                                        const_rows_of(param.adam_m)};
     slots.matrices[base + ".adam_v"] = {param.value.rows(), param.value.cols(),
-                                        false,
-                                        [&param] { return &param.adam_v; },
-                                        [&param] { return &param.adam_v; }};
+                                        false, rows_of(param.adam_v), always,
+                                        const_rows_of(param.adam_v)};
   };
 
   for (size_t i = 0; i < model.views().size(); ++i) {
@@ -572,7 +585,11 @@ Status ApplyCheckpoint(TransNModel* model, ParsedCheckpoint& parsed,
   for (auto& [name, m] : parsed.matrices) {
     const MatrixSlot& slot = slots.matrices.at(name);
     if (!slot.core && !restore_training_state) continue;
-    *slot.resolve() = std::move(m);
+    for (size_t r = 0; r < m.rows(); ++r) {
+      const double* src = m.Row(r);
+      double* dst = slot.resolve_row(r);
+      for (size_t c = 0; c < m.cols(); ++c) dst[c] = src[c];
+    }
   }
   if (restore_training_state) {
     for (const auto& [name, value] : parsed.scalars) {
@@ -633,11 +650,11 @@ Status SaveTransNCheckpoint(const TransNModel& model,
   // when allocated. Each section gets its own CRC trailer.
   size_t num_matrices = 0;
   for (const auto& [name, slot] : slots.matrices) {
-    // Table moments exist only after the first sparse AdamStep; peek()
-    // reports them absent without allocating (resolve() would).
-    const Matrix* mat = slot.peek();
-    if (mat == nullptr) continue;
-    const std::string section = FormatMatrixSection(name, *mat);
+    // Table moments exist only after the first sparse AdamStep; present()
+    // reports them absent without allocating (resolve_row() would).
+    if (!slot.present()) continue;
+    const std::string section =
+        FormatMatrixSection(name, slot.rows, slot.cols, slot.peek_row);
     file += section;
     file += StrFormat("CRC\t%08x\n", Crc32(section));
     ++num_matrices;

@@ -1,5 +1,7 @@
 #include "core/single_view.h"
 
+#include <algorithm>
+
 #include "obs/metric_names.h"
 #include "obs/trace.h"
 #include "util/timer.h"
@@ -18,6 +20,9 @@ SingleViewTrainer::SingleViewTrainer(const View* view,
   grad_updates_counter_ =
       registry.GetCounter(obs::kTrainGradientUpdatesTotal, "updates",
                           "embedding gradient updates applied");
+  episodes_counter_ =
+      registry.GetCounter(obs::kTrainEpisodesTotal, "episodes",
+                          "episodic block-engine episodes completed");
   view_seconds_hist_ = registry.GetHistogram(
       obs::kTrainViewSeconds, "seconds", "wall time of one single-view pass");
   view_pairs_counter_ = nullptr;
@@ -45,19 +50,192 @@ SingleViewTrainer::SingleViewTrainer(const View* view,
   // Weighted degree is proportional to the stationary visit frequency of
   // the weight-biased walk, so it stands in for corpus counts (for the
   // negative-sampling noise distribution / the Huffman tree) without
-  // materializing a corpus first.
-  std::vector<double> counts(n);
+  // materializing a corpus first. Kept as a member: the episodic engine
+  // re-partitions the same counts into per-block samplers.
+  noise_counts_.resize(n);
   for (ViewGraph::LocalId i = 0; i < n; ++i) {
-    counts[i] = view_->graph.weighted_degree(i) + 1e-9;
+    noise_counts_[i] = view_->graph.weighted_degree(i) + 1e-9;
   }
   if (config_.use_hierarchical_softmax && n >= 2) {
     hsoftmax_ = std::make_unique<HierarchicalSoftmaxTrainer>(
-        input_.get(), counts, config_.sgns.learning_rate);
+        input_.get(), noise_counts_, config_.sgns.learning_rate);
   } else {
-    sampler_ = std::make_unique<NegativeSampler>(counts);
+    sampler_ = std::make_unique<NegativeSampler>(noise_counts_);
   }
   walker_ = std::make_unique<RandomWalker>(&view_->graph, view_->is_heter,
                                            config_.EffectiveWalkConfig());
+}
+
+void SingleViewTrainer::EnsureBlockSamplers(size_t num_blocks) {
+  if (block_samplers_.size() == num_blocks) return;
+  block_samplers_.clear();
+  block_samplers_.reserve(num_blocks);
+  for (size_t b = 0; b < num_blocks; ++b) {
+    block_samplers_.emplace_back(noise_counts_, static_cast<uint32_t>(b),
+                                 static_cast<uint32_t>(num_blocks));
+  }
+}
+
+size_t SingleViewTrainer::RunEpisodes(Rng& rng, ThreadPool* pool,
+                                      SgnsTrainer* sgns,
+                                      const std::string& parent_span,
+                                      double* loss, size_t* pairs,
+                                      size_t* walks) {
+  const size_t n = view_->graph.num_nodes();
+  const size_t num_shards = pool->num_threads();
+  const size_t num_blocks =
+      num_shards * std::max<size_t>(1, config_.episode_blocks_per_thread);
+  const size_t num_buckets = num_blocks * num_blocks;
+  EnsureBlockSamplers(num_blocks);
+
+  // Walks each shard contributes per episode. Bounds the materialized pair
+  // buffers of one episode to a few MB while amortizing the per-episode
+  // barriers over enough training work.
+  constexpr size_t kWalksPerShardPerEpisode = 256;
+
+  const bool degree_starts = walker_->config().degree_biased_starts;
+  size_t uniform_total = 0;
+  if (!degree_starts) {
+    for (ViewGraph::LocalId node = 0; node < n; ++node) {
+      uniform_total += walker_->WalksPerNode(node);
+    }
+  }
+
+  // Resumable per-shard walk cursors. The node stride / quota split and the
+  // per-shard RNG streams match the pre-episodic Hogwild schedule exactly,
+  // so walk and pair totals stay equal to the sequential pass at any thread
+  // count (parallel_determinism_test asserts this).
+  struct ShardCursor {
+    size_t node = 0;          // next start node (degree-biased starts)
+    size_t walk_in_node = 0;  // walks already started from `node`
+    size_t quota = 0;         // remaining walks (uniform starts)
+    bool done = false;
+    Rng rng;
+    ViewGraph::LocalId start = 0;          // set by next_start
+    std::vector<ViewGraph::LocalId> walk;  // scratch
+    std::vector<double> probs;             // scratch
+    size_t pairs = 0, walks = 0;
+  };
+  std::vector<ShardCursor> cursors(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    cursors[s].node = s;
+    cursors[s].rng = rng.Split();
+    if (!degree_starts) {
+      cursors[s].quota = uniform_total / num_shards +
+                         (s < uniform_total % num_shards ? 1 : 0);
+    }
+  }
+
+  // Per-bucket training streams, split off the main RNG in fixed bucket
+  // order before any worker runs: bucket (cb, xb) consumes the same stream
+  // regardless of which worker trains it in which episode.
+  std::vector<Rng> bucket_rngs;
+  bucket_rngs.reserve(num_buckets);
+  for (size_t b = 0; b < num_buckets; ++b) bucket_rngs.push_back(rng.Split());
+
+  // buckets[s][cb * num_blocks + xb] holds shard s's pairs for bucket
+  // (cb, xb). Kept per-shard so bucket training concatenates shards in
+  // shard order — deterministic no matter how the OS schedules the phase-1
+  // workers. Loss accumulates per bucket and is folded in fixed bucket
+  // order at the end, for the same reason.
+  std::vector<std::vector<std::vector<ContextPair>>> buckets(
+      num_shards, std::vector<std::vector<ContextPair>>(num_buckets));
+  std::vector<double> bucket_loss(num_buckets, 0.0);
+
+  // Advances `c` to its next walk start; false once the shard's share of
+  // the corpus is exhausted.
+  auto next_start = [&](ShardCursor& c) -> bool {
+    if (degree_starts) {
+      while (c.node < n &&
+             c.walk_in_node >=
+                 walker_->WalksPerNode(static_cast<ViewGraph::LocalId>(c.node))) {
+        c.node += num_shards;
+        c.walk_in_node = 0;
+      }
+      if (c.node >= n) return false;
+      c.start = static_cast<ViewGraph::LocalId>(c.node);
+      ++c.walk_in_node;
+      return true;
+    }
+    if (c.quota == 0) return false;
+    --c.quota;
+    c.start = static_cast<ViewGraph::LocalId>(c.rng.NextUint64(n));
+    return true;
+  };
+
+  size_t episodes = 0;
+  for (;;) {
+    bool pending = false;
+    for (const ShardCursor& c : cursors) pending = pending || !c.done;
+    if (!pending) break;
+
+    // Phase 1: every live shard walks its next wave and buckets the pairs
+    // by (center block, context block), block(id) = id mod num_blocks.
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (cursors[s].done) continue;
+      pool->Schedule([&, s] {
+        const obs::TraceSpan shard_span("walk_shard", parent_span, nullptr);
+        ShardCursor& c = cursors[s];
+        std::vector<std::vector<ContextPair>>& shard_buckets = buckets[s];
+        for (size_t w = 0; w < kWalksPerShardPerEpisode; ++w) {
+          if (!next_start(c)) {
+            c.done = true;
+            break;
+          }
+          walker_->WalkInto(c.start, c.rng, &c.walk, &c.probs);
+          ForEachContextPairDef6(c.walk, view_->is_heter, [&](ContextPair p) {
+            shard_buckets[(p.center % num_blocks) * num_blocks +
+                          (p.context % num_blocks)]
+                .push_back(p);
+            ++c.pairs;
+          });
+          ++c.walks;
+        }
+      });
+    }
+    pool->Wait();
+
+    // Phase 2: num_blocks block-diagonal rounds. Round d trains the buckets
+    // {(i, (i + d) mod num_blocks)}, whose center blocks and context blocks
+    // are each pairwise disjoint; with negatives drawn from the worker's own
+    // context block, concurrent workers touch disjoint embedding rows — no
+    // races, and bit-determinism independent of OS scheduling.
+    for (size_t d = 0; d < num_blocks; ++d) {
+      for (size_t cb = 0; cb < num_blocks; ++cb) {
+        const size_t xb = (cb + d) % num_blocks;
+        const size_t b = cb * num_blocks + xb;
+        bool empty = true;
+        for (size_t s = 0; s < num_shards && empty; ++s) {
+          empty = buckets[s][b].empty();
+        }
+        if (empty) continue;
+        pool->Schedule([&, xb, b] {
+          const obs::TraceSpan episode_span("episode", parent_span, nullptr);
+          Rng& bucket_rng = bucket_rngs[b];
+          const BlockNegativeSampler& sampler = block_samplers_[xb];
+          double bucket_sum = 0.0;
+          for (size_t s = 0; s < num_shards; ++s) {
+            for (const ContextPair& p : buckets[s][b]) {
+              bucket_sum +=
+                  sgns->TrainPairWith(p.center, p.context, bucket_rng, sampler);
+            }
+            buckets[s][b].clear();
+          }
+          bucket_loss[b] += bucket_sum;
+        });
+      }
+      pool->Wait();
+    }
+    ++episodes;
+  }
+
+  for (const ShardCursor& c : cursors) {
+    *pairs += c.pairs;
+    *walks += c.walks;
+  }
+  for (double l : bucket_loss) *loss += l;
+  episodes_counter_->Increment(episodes);
+  return episodes;
 }
 
 double SingleViewTrainer::RunIteration(Rng& rng, ThreadPool* pool) {
@@ -125,14 +303,18 @@ double SingleViewTrainer::RunIteration(Rng& rng, ThreadPool* pool) {
   };
 
   ShardTotals totals;
+  size_t episodes = 0;
   const size_t num_shards = pool != nullptr ? pool->num_threads() : 1;
   if (num_shards <= 1) {
     // Sequential path: identical walk order and RNG stream as the original
     // single-threaded implementation (bit-reproducible from the seed).
     run_shard(0, 1, &rng, &totals);
-  } else {
-    // Hogwild: per-shard RNGs split deterministically off the main stream;
+  } else if (hsoftmax_ != nullptr) {
+    // Hierarchical softmax cannot be block-partitioned (every pair updates
+    // shared Huffman inner nodes), so its parallel path stays racing
+    // Hogwild: per-shard RNGs split deterministically off the main stream,
     // workers race benignly on the shared tables (see util/hogwild.h).
+    // Statistically equivalent but not bit-deterministic at > 1 threads.
     std::vector<Rng> shard_rngs;
     shard_rngs.reserve(num_shards);
     for (size_t s = 0; s < num_shards; ++s) shard_rngs.push_back(rng.Split());
@@ -150,12 +332,18 @@ double SingleViewTrainer::RunIteration(Rng& rng, ThreadPool* pool) {
       totals.pairs += t.pairs;
       totals.walks += t.walks;
     }
+  } else {
+    // SGNS multi-thread path: the episodic block engine (deterministic,
+    // contention-free; see the RunIteration doc comment and DESIGN.md §4).
+    episodes = RunEpisodes(rng, pool, sgns.get(), view_span.path(),
+                           &totals.loss, &totals.pairs, &totals.walks);
   }
 
   stats_.mean_loss =
       totals.pairs > 0 ? totals.loss / static_cast<double>(totals.pairs) : 0.0;
   stats_.pairs = totals.pairs;
   stats_.walks = totals.walks;
+  stats_.episodes = episodes;
   stats_.seconds = timer.ElapsedSeconds();
 
   // Pass totals feed the registry once per pass (never per pair): the hot

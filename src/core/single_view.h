@@ -2,6 +2,8 @@
 #define TRANSN_CORE_SINGLE_VIEW_H_
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/transn_config.h"
 #include "emb/embedding_table.h"
@@ -23,6 +25,9 @@ struct SingleViewIterationStats {
   size_t pairs = 0;
   /// Walks streamed.
   size_t walks = 0;
+  /// Episodes run by the episodic block engine (0 on the sequential and
+  /// hierarchical-softmax paths).
+  size_t episodes = 0;
   /// Wall-clock seconds of the pass.
   double seconds = 0.0;
 
@@ -51,10 +56,20 @@ class SingleViewTrainer {
   /// applies one SGNS update per context pair. Returns the mean pair loss.
   ///
   /// With a null `pool` (or a pool of one thread) the pass is sequential
-  /// and bit-reproducible from `rng`. Otherwise walk starts are sharded
-  /// across the pool's workers, each with its own RNG split off `rng`,
-  /// applying Hogwild (lock-free, benignly racy) updates to the shared
-  /// tables — statistically equivalent but not bit-deterministic.
+  /// and bit-reproducible from `rng`, byte-identical to the historical
+  /// implementation. With a larger pool the SGNS path runs the episodic
+  /// block engine (DESIGN.md §4): walk generation is sharded across the
+  /// workers with per-shard split RNGs, the resulting context pairs are
+  /// bucketed by (center-block, context-block) with block(id) = id mod P,
+  /// and each episode trains the buckets in P block-diagonal rounds in
+  /// which concurrent workers own pairwise-disjoint (center, context) block
+  /// pairs — negatives are drawn from the worker's own context block — so
+  /// no two workers ever touch the same embedding row. The multi-threaded
+  /// pass is therefore also bit-deterministic for a fixed (seed,
+  /// num_threads, episode_blocks_per_thread). The hierarchical-softmax
+  /// path cannot be block-partitioned (every pair walks shared Huffman
+  /// inner nodes) and keeps the racing Hogwild schedule: statistically
+  /// equivalent across runs but not bit-deterministic at > 1 threads.
   double RunIteration(Rng& rng, ThreadPool* pool);
   double RunIteration(Rng& rng) { return RunIteration(rng, nullptr); }
 
@@ -79,6 +94,16 @@ class SingleViewTrainer {
   bool uses_hierarchical_softmax() const { return hsoftmax_ != nullptr; }
 
  private:
+  /// The episodic multi-thread SGNS pass (see RunIteration). Appends its
+  /// volume/loss totals to *loss/*pairs/*walks and returns episodes run.
+  size_t RunEpisodes(Rng& rng, ThreadPool* pool, SgnsTrainer* sgns,
+                     const std::string& parent_span, double* loss,
+                     size_t* pairs, size_t* walks);
+
+  /// Lazily (re)builds block_samplers_ for a P-block partition of the
+  /// noise distribution.
+  void EnsureBlockSamplers(size_t num_blocks);
+
   const View* view_;
   TransNConfig config_;
   std::unique_ptr<EmbeddingTable> input_;
@@ -86,12 +111,19 @@ class SingleViewTrainer {
   std::unique_ptr<NegativeSampler> sampler_;
   std::unique_ptr<HierarchicalSoftmaxTrainer> hsoftmax_;
   std::unique_ptr<RandomWalker> walker_;
+  /// Per-node noise counts (weighted degree), kept for block-sampler
+  /// construction by the episodic engine.
+  std::vector<double> noise_counts_;
+  /// Per-block noise samplers, cached across iterations (rebuilt only when
+  /// the block count changes).
+  std::vector<BlockNegativeSampler> block_samplers_;
   SingleViewIterationStats stats_;
   /// Registry handles cached at construction (see obs/metric_names.h).
   /// The labeled variants are null for hand-built views with no name.
   obs::Counter* pairs_counter_;
   obs::Counter* view_pairs_counter_;
   obs::Counter* grad_updates_counter_;
+  obs::Counter* episodes_counter_;
   obs::Histogram* view_seconds_hist_;
   obs::Histogram* labeled_view_seconds_hist_;
 };

@@ -55,13 +55,31 @@ struct TransNConfig {
   /// renamed). Required when checkpoint_every_iters > 0.
   std::string checkpoint_path;
 
-  /// Worker threads for Hogwild parallel training. 1 (default) keeps the
-  /// exact sequential path, bit-reproducible from `seed`; 0 selects
-  /// hardware concurrency; > 1 shards walk starts across a thread pool with
-  /// per-shard split RNGs and applies lock-free SGNS / hierarchical-softmax
-  /// updates to the shared tables — statistically equivalent, but not
-  /// bit-deterministic (DESIGN.md "Parallel training & reproducibility").
+  /// Worker threads for parallel training. 1 (default) keeps the exact
+  /// sequential path, bit-reproducible from `seed` and identical to the
+  /// historical implementation; 0 selects hardware concurrency; > 1 runs the
+  /// episodic block engine: walk generation is sharded across a thread pool
+  /// with per-shard split RNGs, context pairs are bucketed by
+  /// (center-block, context-block), and episode rounds hand every worker a
+  /// pairwise-disjoint block pair, so concurrent workers never touch the
+  /// same embedding row. Multi-threaded runs are therefore also
+  /// bit-deterministic for a fixed (seed, num_threads,
+  /// episode_blocks_per_thread) — though each thread count draws its own
+  /// RNG streams and so lands on different (statistically equivalent) bits
+  /// than the sequential run (DESIGN.md "Parallel training &
+  /// reproducibility").
   size_t num_threads = 1;
+
+  /// Episode granularity of the multi-threaded engine: the embedding rows
+  /// of a view are strided into num_threads * episode_blocks_per_thread
+  /// blocks. 1 gives the static partition (one block per worker, fewest
+  /// barriers); larger values enable the GraphVite-style episode scheduler —
+  /// more, smaller blocks rotated through the workers, which evens out
+  /// degree skew and keeps each episode's working set cache-resident on
+  /// large graphs. Ignored when num_threads resolves to 1. Any value yields
+  /// deterministic results; changing it changes which (equivalent) bits a
+  /// multi-threaded run produces.
+  size_t episode_blocks_per_thread = 1;
 
   // --- single-view algorithm (§III-A) ---
   WalkConfig walk;

@@ -1,5 +1,7 @@
 #include "emb/embedding_table.h"
 
+#include <stdint.h>
+
 #include "util/vec.h"
 
 namespace transn {
@@ -22,10 +24,20 @@ void EmbeddingTable::SgdStep(size_t r, const double* grad, double lr) {
   vec::ScaledSub(Row(r), lr, grad, dim());
 }
 
+void AdamMomentStore::Resize(size_t rows, size_t dim) {
+  rows_ = rows;
+  dim_ = dim;
+  // One [m | v] slab per row, padded to whole cache lines.
+  stride_ = ((2 * dim + kLineDoubles - 1) / kLineDoubles) * kLineDoubles;
+  data_.assign(rows * stride_ + kLineDoubles, 0.0);
+  const auto addr = reinterpret_cast<uintptr_t>(data_.data());
+  const uintptr_t line = kLineDoubles * sizeof(double);
+  base_ = static_cast<size_t>((line - addr % line) % line) / sizeof(double);
+}
+
 void EmbeddingTable::EnsureAdamState() {
-  if (adam_m_.rows() != values_.rows()) {
-    adam_m_.Resize(values_.rows(), values_.cols(), 0.0);
-    adam_v_.Resize(values_.rows(), values_.cols(), 0.0);
+  if (adam_.rows() != values_.rows()) {
+    adam_.Resize(values_.rows(), values_.cols());
   }
 }
 
@@ -33,7 +45,7 @@ void EmbeddingTable::AdamStep(size_t r, const double* grad,
                               const AdamConfig& config) {
   CHECK_GE(adam_t_, 1) << "call BeginAdamStep() before AdamStep()";
   EnsureAdamState();
-  AdamUpdateRow(config, adam_t_, grad, Row(r), adam_m_.Row(r), adam_v_.Row(r),
+  AdamUpdateRow(config, adam_t_, grad, Row(r), adam_.m_row(r), adam_.v_row(r),
                 dim());
 }
 

@@ -9,6 +9,49 @@
 
 namespace transn {
 
+/// Sparse-Adam moment buffers laid out for parallel row updates: each row's
+/// first and second moments live in one contiguous [m | v] slab whose stride
+/// is rounded up to a whole number of 64-byte cache lines and whose base is
+/// 64-byte aligned. Two workers updating moments of different rows therefore
+/// never write the same cache line (with the old pair of dense matrices,
+/// adjacent rows shared lines and ping-ponged between cores — one of the
+/// culprits behind the flat Hogwild scaling; DESIGN.md §4).
+class AdamMomentStore {
+ public:
+  /// Doubles per 64-byte cache line; slab strides are multiples of this.
+  static constexpr size_t kLineDoubles = 8;
+
+  AdamMomentStore() = default;
+
+  bool allocated() const { return rows_ > 0; }
+  size_t rows() const { return rows_; }
+  size_t dim() const { return dim_; }
+
+  /// (Re)allocates zero-filled slabs for `rows` rows of `dim` moments each.
+  void Resize(size_t rows, size_t dim);
+
+  double* m_row(size_t r) { return Slab(r); }
+  double* v_row(size_t r) { return Slab(r) + dim_; }
+  const double* m_row(size_t r) const { return Slab(r); }
+  const double* v_row(size_t r) const { return Slab(r) + dim_; }
+
+ private:
+  double* Slab(size_t r) {
+    DCHECK_LT(r, rows_);
+    return data_.data() + base_ + r * stride_;
+  }
+  const double* Slab(size_t r) const {
+    DCHECK_LT(r, rows_);
+    return data_.data() + base_ + r * stride_;
+  }
+
+  size_t rows_ = 0;
+  size_t dim_ = 0;
+  size_t stride_ = 0;  // doubles per [m | v] slab, multiple of kLineDoubles
+  size_t base_ = 0;    // offset aligning slab 0 to a 64-byte boundary
+  std::vector<double> data_;
+};
+
 /// A dense table of per-node embedding vectors with two update modes:
 ///  * SgdStep  — plain SGD (word2vec-style), used inside SGNS loops;
 ///  * AdamStep — sparse-row Adam (per-row moment buffers, global step
@@ -43,26 +86,27 @@ class EmbeddingTable {
 
   // --- checkpoint access to the sparse-Adam state (core/model_io) ---
   /// True once AdamStep has allocated the moment buffers.
-  bool has_adam_state() const { return adam_m_.rows() == values_.rows(); }
+  bool has_adam_state() const { return adam_.rows() == values_.rows(); }
   int64_t adam_step_count() const { return adam_t_; }
   void set_adam_step_count(int64_t t) { adam_t_ = t; }
-  const Matrix& adam_m() const { return adam_m_; }
-  const Matrix& adam_v() const { return adam_v_; }
-  /// Allocate (if needed) and expose the moment buffers for restore.
-  Matrix& mutable_adam_m() {
+  /// Row views of the moment slabs (valid while has_adam_state()). The
+  /// mutable variants allocate on first use, for checkpoint restore.
+  const double* adam_m_row(size_t r) const { return adam_.m_row(r); }
+  const double* adam_v_row(size_t r) const { return adam_.v_row(r); }
+  double* mutable_adam_m_row(size_t r) {
     EnsureAdamState();
-    return adam_m_;
+    return adam_.m_row(r);
   }
-  Matrix& mutable_adam_v() {
+  double* mutable_adam_v_row(size_t r) {
     EnsureAdamState();
-    return adam_v_;
+    return adam_.v_row(r);
   }
 
  private:
   void EnsureAdamState();
 
   Matrix values_;
-  Matrix adam_m_, adam_v_;  // allocated on first AdamStep
+  AdamMomentStore adam_;  // allocated on first AdamStep
   int64_t adam_t_ = 0;
 };
 

@@ -31,4 +31,39 @@ uint32_t NegativeSampler::Sample(Rng& rng, uint32_t exclude) const {
   return static_cast<uint32_t>(table_.Sample(rng));
 }
 
+BlockNegativeSampler::BlockNegativeSampler(const std::vector<double>& counts,
+                                           uint32_t block, uint32_t num_blocks,
+                                           double power)
+    : block_(block), num_blocks_(num_blocks) {
+  CHECK_GE(num_blocks, 1u);
+  CHECK_LT(block, num_blocks);
+  std::vector<double> weights;
+  weights.reserve((counts.size() + num_blocks - 1 - block) / num_blocks);
+  double total = 0.0;
+  for (size_t id = block; id < counts.size(); id += num_blocks) {
+    CHECK(counts[id] >= 0.0);
+    const double w = counts[id] > 0.0 ? std::pow(counts[id], power) : 0.0;
+    weights.push_back(w);
+    total += w;
+  }
+  if (weights.empty() || total <= 0.0) return;  // empty block
+  table_.Build(weights);
+  obs::MetricsRegistry::Default()
+      .GetCounter(obs::kWalkAliasRebuildsTotal, "rebuilds",
+                  "alias-table constructions (noise/edge samplers)")
+      ->Increment();
+}
+
+uint32_t BlockNegativeSampler::Sample(Rng& rng, uint32_t exclude) const {
+  DCHECK(!empty());
+  auto draw = [&] {
+    return block_ + static_cast<uint32_t>(table_.Sample(rng)) * num_blocks_;
+  };
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const uint32_t s = draw();
+    if (s != exclude) return s;
+  }
+  return draw();
+}
+
 }  // namespace transn

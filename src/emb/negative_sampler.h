@@ -28,6 +28,35 @@ class NegativeSampler {
   AliasTable table_;
 };
 
+/// Noise distribution restricted to one node block of the episodic engine:
+/// samples only ids congruent to `block` modulo `num_blocks`, with the same
+/// count^power weighting as NegativeSampler. During an episode a worker owns
+/// its context block exclusively, so drawing negatives from inside the block
+/// keeps every row it touches private to it (the GraphVite trick that makes
+/// parallel training both contention-free and bit-deterministic).
+///
+/// Immutable after construction: concurrent workers share the tables freely,
+/// all draw state lives in the caller's per-thread Rng.
+class BlockNegativeSampler {
+ public:
+  /// `counts` spans the FULL vocabulary (id i at counts[i]); only the block
+  /// members block, block + num_blocks, ... are sampled. A block whose
+  /// members all have zero count is empty() and must not be sampled.
+  BlockNegativeSampler(const std::vector<double>& counts, uint32_t block,
+                       uint32_t num_blocks, double power = 0.75);
+
+  bool empty() const { return table_.empty(); }
+
+  /// One negative node id from the block, rejecting `exclude` (bounded
+  /// retries, like NegativeSampler::Sample).
+  uint32_t Sample(Rng& rng, uint32_t exclude) const;
+
+ private:
+  AliasTable table_;  // over block members k; id = block_ + k * num_blocks_
+  uint32_t block_ = 0;
+  uint32_t num_blocks_ = 1;
+};
+
 }  // namespace transn
 
 #endif  // TRANSN_EMB_NEGATIVE_SAMPLER_H_

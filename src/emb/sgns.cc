@@ -17,13 +17,15 @@ SgnsTrainer::SgnsTrainer(EmbeddingTable* input, EmbeddingTable* context,
   CHECK_GE(config_.negatives, 1);
 }
 
-double SgnsTrainer::TrainPair(uint32_t center, uint32_t context, Rng& rng) {
+template <typename Sampler>
+double SgnsTrainer::TrainPairWith(uint32_t center, uint32_t context, Rng& rng,
+                                  const Sampler& sampler) {
   const size_t d = input_->dim();
   const double lr = config_.learning_rate;
   double* v = input_->Row(center);
 
-  // Three private d-sized buffers keep TrainPair reentrant (concurrent
-  // Hogwild workers share one trainer) and give the vector kernels race-free
+  // Three private d-sized buffers keep TrainPairWith reentrant (concurrent
+  // workers share one trainer) and give the vector kernels race-free
   // operands: center_grad accumulates the center update, v_snap / u_snap are
   // relaxed-atomic snapshots of the shared rows. Stack for every practical
   // dim; a reusable per-thread buffer beyond that (no per-call allocation).
@@ -56,12 +58,21 @@ double SgnsTrainer::TrainPair(uint32_t center, uint32_t context, Rng& rng) {
 
   update_with(context, 1.0);
   for (int k = 0; k < config_.negatives; ++k) {
-    update_with(sampler_->Sample(rng, context), 0.0);
+    update_with(sampler.Sample(rng, context), 0.0);
   }
   for (size_t i = 0; i < d; ++i) {
     hogwild::SubInPlace(v + i, lr * center_grad[i]);
   }
   return loss;
+}
+
+template double SgnsTrainer::TrainPairWith<NegativeSampler>(
+    uint32_t, uint32_t, Rng&, const NegativeSampler&);
+template double SgnsTrainer::TrainPairWith<BlockNegativeSampler>(
+    uint32_t, uint32_t, Rng&, const BlockNegativeSampler&);
+
+double SgnsTrainer::TrainPair(uint32_t center, uint32_t context, Rng& rng) {
+  return TrainPairWith(center, context, rng, *sampler_);
 }
 
 }  // namespace transn

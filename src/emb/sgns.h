@@ -33,15 +33,27 @@ class SgnsTrainer {
   SgnsTrainer(EmbeddingTable* input, EmbeddingTable* context,
               const NegativeSampler* sampler, SgnsConfig config);
 
-  /// One SGD update for a (center, context) pair and its negatives.
-  /// Returns the pair's loss (before the update), for monitoring.
+  /// One SGD update for a (center, context) pair and its negatives drawn
+  /// from the trainer's global sampler. Returns the pair's loss (before the
+  /// update), for monitoring.
   ///
-  /// Reentrant: holds no mutable trainer state, so concurrent Hogwild
-  /// workers may call it on one shared trainer (each with its own Rng).
-  /// Row accesses go through relaxed atomics (util/hogwild.h), so parallel
-  /// updates race benignly instead of invoking UB; the arithmetic runs on
-  /// private row snapshots through the vectorized kernels (util/vec.h).
+  /// Reentrant: holds no mutable trainer state, so concurrent workers may
+  /// call it on one shared trainer (each with its own Rng). Row accesses go
+  /// through relaxed atomics (util/hogwild.h), so even racing callers stay
+  /// well-defined; the arithmetic runs on private row snapshots through the
+  /// vectorized kernels (util/vec.h). The episodic engine
+  /// (core/single_view) additionally guarantees concurrent callers touch
+  /// disjoint rows, which is what makes its results bit-deterministic.
   double TrainPair(uint32_t center, uint32_t context, Rng& rng);
+
+  /// TrainPair with a caller-supplied noise sampler: the episodic engine
+  /// passes the BlockNegativeSampler of the context block it owns this
+  /// episode, so negatives stay inside the worker's private row set. Same
+  /// update rule and arithmetic order as TrainPair. Instantiated in sgns.cc
+  /// for NegativeSampler and BlockNegativeSampler.
+  template <typename Sampler>
+  double TrainPairWith(uint32_t center, uint32_t context, Rng& rng,
+                       const Sampler& sampler);
 
   const SgnsConfig& config() const { return config_; }
   void set_learning_rate(double lr) { config_.learning_rate = lr; }

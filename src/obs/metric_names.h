@@ -41,6 +41,9 @@ inline constexpr char kTrainPairsTotal[] = "train.pairs_total";
 /// Embedding gradient updates applied (SGD pairs + sparse-Adam rows).
 inline constexpr char kTrainGradientUpdatesTotal[] =
     "train.gradient_updates_total";
+/// Episodes completed by the multi-threaded episodic block engine (one
+/// episode = one walk-generation wave plus its block-diagonal update rounds).
+inline constexpr char kTrainEpisodesTotal[] = "train.episodes_total";
 /// Single-view pairs/sec of the most recent pass (all views summed).
 inline constexpr char kTrainPairsPerSecond[] = "train.pairs_per_second";
 /// Wall time of one single-view pass (per view when labeled).

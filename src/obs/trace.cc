@@ -11,11 +11,21 @@ namespace obs {
 
 namespace {
 
-/// Per-thread stack of open span paths. Heap-allocated and leaked so spans
-/// living in thread_local destructors never observe a destroyed stack.
+/// Per-thread stack of open span paths. Heap-allocated and never destroyed
+/// so spans living in thread_local destructors never observe a destroyed
+/// stack. Every stack is parked in a process-lifetime registry: short-lived
+/// worker threads (the episodic engine spawns pools per Fit) would otherwise
+/// leave their stacks unreachable after thread exit, which LeakSanitizer
+/// reports as a leak.
 std::vector<std::string>& SpanStack() {
-  thread_local std::vector<std::string>* stack =
-      new std::vector<std::string>();
+  static std::mutex registry_mu;
+  static auto* registry = new std::vector<std::vector<std::string>*>();
+  thread_local std::vector<std::string>* stack = [] {
+    auto* s = new std::vector<std::string>();
+    std::lock_guard<std::mutex> lock(registry_mu);
+    registry->push_back(s);
+    return s;
+  }();
   return *stack;
 }
 

@@ -6,12 +6,20 @@
 namespace transn {
 namespace hogwild {
 
-/// Accessors for Hogwild-style (Recht et al., 2011) lock-free SGD on shared
-/// embedding tables: concurrent workers read and write rows without
-/// synchronization, accepting occasional lost updates. All accesses go
-/// through relaxed atomics so the races are well-defined (no UB, clean under
-/// ThreadSanitizer); on x86-64 a relaxed 8-byte load/store compiles to a
-/// plain mov, so the single-threaded path keeps its exact numeric behavior.
+/// Accessors for lock-free SGD on shared embedding tables: all accesses go
+/// through relaxed atomics so concurrent reads and writes are well-defined
+/// (no UB, clean under ThreadSanitizer); on x86-64 a relaxed 8-byte
+/// load/store compiles to a plain mov, so the single-threaded path keeps its
+/// exact numeric behavior.
+///
+/// Two parallel schedules use these accessors:
+///  * the episodic block engine (core/single_view.cc) hands concurrent
+///    workers disjoint embedding rows, so no update is ever actually
+///    contended — the atomics are there to make the invariant checkable
+///    (TSan) rather than assumed;
+///  * the hierarchical-softmax path still runs true Hogwild (Recht et al.,
+///    2011): workers race benignly on shared Huffman inner-node rows,
+///    accepting occasional lost updates.
 
 inline double Load(const double* p) {
   return std::atomic_ref<double>(*const_cast<double*>(p))

@@ -75,12 +75,14 @@ std::vector<ViewGraph::LocalId> RandomWalker::Walk(ViewGraph::LocalId start,
 }
 
 void RandomWalker::WalkInto(ViewGraph::LocalId start, Rng& rng,
-                            std::vector<ViewGraph::LocalId>* out) const {
+                            std::vector<ViewGraph::LocalId>* out,
+                            std::vector<double>* probs_scratch) const {
   std::vector<ViewGraph::LocalId>& path = *out;
   path.clear();
   path.reserve(config_.walk_length);
   path.push_back(start);
-  std::vector<double> probs;  // step-distribution scratch, one per walk
+  std::vector<double> local_probs;  // step-distribution scratch fallback
+  std::vector<double>& probs = probs_scratch ? *probs_scratch : local_probs;
   double prev_weight = -1.0;
   ViewGraph::LocalId cur = start;
   while (path.size() < config_.walk_length) {

@@ -46,8 +46,12 @@ class RandomWalker {
 
   /// Walk() into a caller-owned buffer (cleared first). Training loops reuse
   /// one buffer per worker to keep walk streaming allocation-free.
+  /// `probs_scratch`, when non-null, is reused for the per-step transition
+  /// distribution too, making repeated walks fully allocation-free; null
+  /// falls back to a walk-local vector.
   void WalkInto(ViewGraph::LocalId start, Rng& rng,
-                std::vector<ViewGraph::LocalId>* out) const;
+                std::vector<ViewGraph::LocalId>* out,
+                std::vector<double>* probs_scratch = nullptr) const;
 
   /// Number of walks the corpus starts at node n: clamp(degree(n),
   /// [min,max] walks per node).

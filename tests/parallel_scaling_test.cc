@@ -1,0 +1,141 @@
+// Scaling regression test for the episodic block engine: on a multi-core
+// machine, 4-thread single-view training must actually outrun the sequential
+// path (the pre-engine Hogwild implementation scaled flat — ~1.0x at any
+// thread count — which this test exists to keep from coming back), and the
+// parallel run's embedding quality (link-prediction AUC) must stay within
+// tolerance of the sequential run. Throughput assertions are skipped on
+// hosts with fewer than 4 hardware threads, where a speedup is physically
+// impossible; the quality and volume assertions always run.
+
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+#include <gtest/gtest.h>
+#include "core/transn.h"
+#include "data/hsbm.h"
+#include "eval/link_prediction.h"
+
+namespace transn {
+namespace {
+
+HeteroGraph ScalingHsbm() {
+  HsbmSpec spec;
+  spec.node_types = {{"User", 600}, {"Item", 300}};
+  spec.edge_types = {
+      {.name = "UU", .type_a = 0, .type_b = 0, .num_edges = 2400},
+      {.name = "UI",
+       .type_a = 0,
+       .type_b = 1,
+       .num_edges = 2400,
+       .weighted = true},
+  };
+  spec.num_communities = 3;
+  spec.labeled_type = 0;
+  spec.seed = 77;
+  return GenerateHsbm(spec);
+}
+
+TransNConfig ScalingConfig(size_t num_threads) {
+  TransNConfig cfg;
+  cfg.dim = 32;
+  cfg.iterations = 2;
+  cfg.seed = 55;
+  cfg.num_threads = num_threads;
+  cfg.walk.walk_length = 16;
+  cfg.walk.min_walks_per_node = 2;
+  cfg.walk.max_walks_per_node = 6;
+  cfg.sgns.negatives = 3;
+  cfg.enable_cross_view = false;  // isolate the single-view hot path
+  return cfg;
+}
+
+/// Trains on `g` and returns total single-view pairs/sec across iterations.
+double MeasurePairsPerSec(const HeteroGraph& g, const TransNConfig& cfg,
+                          Matrix* embeddings_out, size_t* pairs_out) {
+  TransNModel model(&g, cfg);
+  model.Fit();
+  size_t pairs = 0;
+  double seconds = 0.0;
+  for (const TransNIterationStats& s : model.history()) {
+    pairs += s.single_view_pairs;
+    seconds += s.single_view_seconds;
+  }
+  if (embeddings_out != nullptr) *embeddings_out = model.FinalEmbeddings();
+  if (pairs_out != nullptr) *pairs_out = pairs;
+  return seconds > 0.0 ? static_cast<double>(pairs) / seconds : 0.0;
+}
+
+TEST(ParallelScalingTest, FourThreadsScaleAndPreserveQuality) {
+  const HeteroGraph full = ScalingHsbm();
+  // Train on the link-prediction residual so AUC is measured on held-out
+  // edges for both runs.
+  LinkPredictionConfig lp;
+  lp.removal_fraction = 0.3;
+  lp.seed = 19;
+  const LinkPredictionTask task = MakeLinkPredictionTask(full, lp);
+
+  Matrix emb_seq, emb_par;
+  size_t pairs_seq = 0, pairs_par = 0;
+  const double pps_seq =
+      MeasurePairsPerSec(task.residual, ScalingConfig(1), &emb_seq, &pairs_seq);
+  const double pps_par =
+      MeasurePairsPerSec(task.residual, ScalingConfig(4), &emb_par, &pairs_par);
+  ASSERT_GT(pps_seq, 0.0);
+  ASSERT_GT(pps_par, 0.0);
+
+  // The engine must not drop or duplicate work at any thread count.
+  EXPECT_EQ(pairs_par, pairs_seq);
+
+  // Embedding quality: the 4-thread run's held-out AUC stays within
+  // tolerance of the sequential run (different RNG streams => different
+  // bits, but statistically equivalent embeddings).
+  const double auc_seq = ScoreLinkPrediction(emb_seq, task);
+  const double auc_par = ScoreLinkPrediction(emb_par, task);
+  EXPECT_GT(auc_seq, 0.6) << "sequential baseline failed to learn";
+  EXPECT_GE(auc_par, auc_seq - 0.05)
+      << "4-thread AUC " << auc_par << " vs 1-thread " << auc_seq;
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("hardware_threads=%u 1-thread=%.0f pairs/s 4-thread=%.0f "
+              "pairs/s speedup=%.2fx auc_seq=%.3f auc_par=%.3f\n",
+              hw, pps_seq, pps_par, pps_par / pps_seq, auc_seq, auc_par);
+  if (hw < 4) {
+    GTEST_SKIP() << "only " << hw
+                 << " hardware threads; a 4-thread speedup is not "
+                    "measurable on this machine (throughput floor enforced "
+                    "by scripts/check_bench_regression.py per machine class)";
+  }
+  // On >= 4 cores the episodic engine must deliver a real speedup. The
+  // pre-engine Hogwild path measured ~1.0x here; 2.0x is the committed
+  // floor (the bench gate holds the t8 path to 4.0x on >= 8 cores).
+  EXPECT_GE(pps_par, 2.0 * pps_seq)
+      << "4-thread throughput " << pps_par << " pairs/s is below 2x the "
+      << "1-thread " << pps_seq << " pairs/s — parallel scaling regressed";
+}
+
+TEST(ParallelScalingTest, EpisodeSchedulerMatchesVolumeAndStaysFinite) {
+  // The episode scheduler (episode_blocks_per_thread > 1) must process the
+  // same pair volume as the static partition and produce finite embeddings.
+  const HeteroGraph g = ScalingHsbm();
+  TransNConfig cfg = ScalingConfig(4);
+  cfg.iterations = 1;
+
+  Matrix emb_static, emb_episodic;
+  size_t pairs_static = 0, pairs_episodic = 0;
+  cfg.episode_blocks_per_thread = 1;
+  MeasurePairsPerSec(g, cfg, &emb_static, &pairs_static);
+  cfg.episode_blocks_per_thread = 4;
+  MeasurePairsPerSec(g, cfg, &emb_episodic, &pairs_episodic);
+
+  EXPECT_EQ(pairs_episodic, pairs_static);
+  for (size_t r = 0; r < emb_episodic.rows(); ++r) {
+    for (size_t c = 0; c < emb_episodic.cols(); ++c) {
+      ASSERT_TRUE(std::isfinite(emb_episodic(r, c)))
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace transn

@@ -1,0 +1,261 @@
+// Crash-safety end-to-end against a REAL process kill: forks transn_cli
+// with --checkpoint-every 1, SIGKILLs it at randomized points mid-training,
+// resumes with --resume from the surviving checkpoint, and asserts the
+// final embeddings are bit-for-bit identical to a never-interrupted run.
+// Unlike crash_safety_test (which aborts in-process through the train.abort
+// failpoint), this covers the actual kernel-level kill path: no destructors,
+// no atexit, no stream flushing — whatever is on disk is all that survives.
+// Runs at --threads 2 so the checkpointed RNG state also proves the episodic
+// block engine resumes deterministically.
+//
+// The CLI binary location comes from the TRANSN_CLI_PATH compile definition
+// (set in tests/CMakeLists.txt from $<TARGET_FILE:transn_cli>).
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "core/model_io.h"
+#include "core/transn.h"
+#include "data/hsbm.h"
+#include "graph/graph_io.h"
+#include "util/rng.h"
+
+namespace transn {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "";
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+struct ChildResult {
+  bool exited = false;     // normal exit (vs signal)
+  int exit_code = -1;      // valid when exited
+  bool killed = false;     // we SIGKILLed it while it was still running
+  double seconds = 0.0;    // child wall time observed by the parent
+};
+
+/// Forks and execs the CLI with `args` (argv[1..]), output to /dev/null.
+/// With kill_after_ms >= 0, SIGKILLs the child once that delay elapses (if
+/// it is still running). Always reaps the child.
+ChildResult RunCli(const std::vector<std::string>& args, int kill_after_ms) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    const int devnull = ::open("/dev/null", O_WRONLY);
+    if (devnull >= 0) {
+      ::dup2(devnull, STDOUT_FILENO);
+      ::dup2(devnull, STDERR_FILENO);
+      ::close(devnull);
+    }
+    std::vector<std::string> argv_strings;
+    argv_strings.push_back(TRANSN_CLI_PATH);
+    for (const std::string& a : args) argv_strings.push_back(a);
+    std::vector<char*> argv;
+    for (std::string& s : argv_strings) argv.push_back(s.data());
+    argv.push_back(nullptr);
+    ::execv(TRANSN_CLI_PATH, argv.data());
+    ::_exit(127);  // execv failed
+  }
+  ChildResult result;
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed_ms = [&start] {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+  int status = 0;
+  if (kill_after_ms >= 0) {
+    // Poll so a fast child is reaped promptly; kill once the delay passes.
+    for (;;) {
+      const pid_t done = ::waitpid(pid, &status, WNOHANG);
+      if (done == pid) break;
+      if (elapsed_ms() >= kill_after_ms) {
+        ::kill(pid, SIGKILL);
+        result.killed = true;
+        ::waitpid(pid, &status, 0);
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  } else {
+    ::waitpid(pid, &status, 0);
+  }
+  result.seconds = static_cast<double>(elapsed_ms()) / 1000.0;
+  if (WIFEXITED(status)) {
+    result.exited = true;
+    result.exit_code = WEXITSTATUS(status);
+  }
+  return result;
+}
+
+// Sized so the reference run takes long enough (hundreds of ms) that the
+// randomized kill points land in different iterations, not in startup.
+constexpr size_t kIterations = 8;
+
+/// Train flags shared by every run; checkpoint/out paths vary per trial.
+std::vector<std::string> TrainArgs(const std::string& graph,
+                                   const std::string& out,
+                                   const std::string& ckpt) {
+  return {"train",          "--graph",          graph,
+          "--out",           out,               "--dim",
+          "16",              "--iterations",    std::to_string(kIterations),
+          "--seed",          "99",              "--threads",
+          "2",               "--walk-length",   "8",
+          "--min-walks",     "1",               "--max-walks",
+          "2",               "--encoders",      "2",
+          "--seq-len",       "3",               "--cross-paths",
+          "6",               "--checkpoint-every", "1",
+          "--save-checkpoint", ckpt};
+}
+
+/// The TransNConfig equivalent of TrainArgs, for in-process checkpoint
+/// validation (shapes must match for ResumeTransNCheckpoint to accept).
+TransNConfig TrainConfig() {
+  TransNConfig cfg;
+  cfg.dim = 16;
+  cfg.iterations = kIterations;
+  cfg.seed = 99;
+  cfg.num_threads = 2;
+  cfg.walk.walk_length = 8;
+  cfg.walk.min_walks_per_node = 1;
+  cfg.walk.max_walks_per_node = 2;
+  cfg.translator_encoders = 2;
+  cfg.translator_seq_len = 3;
+  cfg.cross_paths_per_pair = 6;
+  return cfg;
+}
+
+TEST(SigkillResumeTest, KilledMidEpochResumesBitIdentical) {
+  // Small two-type HSBM graph, written to disk for the CLI.
+  HsbmSpec spec;
+  spec.node_types = {{"User", 300}, {"Item", 200}};
+  spec.edge_types = {
+      {.name = "UU", .type_a = 0, .type_b = 0, .num_edges = 1200},
+      {.name = "UI",
+       .type_a = 0,
+       .type_b = 1,
+       .num_edges = 1200,
+       .weighted = true},
+  };
+  spec.num_communities = 3;
+  spec.labeled_type = 0;
+  spec.seed = 41;
+  const HeteroGraph g = GenerateHsbm(spec);
+  const std::string graph_path = TempPath("sigkill_graph.tsv");
+  ASSERT_TRUE(SaveGraph(g, graph_path).ok());
+
+  // Uninterrupted reference run (via the same CLI, so the comparison is
+  // byte-for-byte on the same output format).
+  const std::string ref_out = TempPath("sigkill_ref.tsv");
+  const std::string ref_ckpt = TempPath("sigkill_ref.ckpt");
+  const ChildResult ref = RunCli(TrainArgs(graph_path, ref_out, ref_ckpt),
+                                 /*kill_after_ms=*/-1);
+  ASSERT_TRUE(ref.exited);
+  ASSERT_EQ(ref.exit_code, 0) << "reference CLI run failed";
+  const std::string ref_bytes = ReadFileOrEmpty(ref_out);
+  ASSERT_FALSE(ref_bytes.empty());
+
+  // The final reference checkpoint must restore cleanly (exercises the
+  // per-section CRC validation of the v2 format) at the right iteration.
+  {
+    TransNModel model(&g, TrainConfig());
+    ASSERT_TRUE(ResumeTransNCheckpoint(&model, ref_ckpt).ok());
+    EXPECT_EQ(model.completed_iterations(), kIterations);
+  }
+
+  // Kill at randomized points across the run (fixed RNG seed keeps the
+  // test reproducible; the points still land in different iterations).
+  Rng delay_rng(2024);
+  for (int trial = 0; trial < 3; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    const std::string out = TempPath("sigkill_t" + std::to_string(trial) +
+                                     ".tsv");
+    const std::string ckpt = TempPath("sigkill_t" + std::to_string(trial) +
+                                      ".ckpt");
+    const int kill_after_ms = static_cast<int>(
+        delay_rng.NextDouble(0.15, 0.85) * ref.seconds * 1000.0);
+
+    const ChildResult interrupted =
+        RunCli(TrainArgs(graph_path, out, ckpt), kill_after_ms);
+    std::printf("trial %d: kill_after=%dms ref=%.0fms -> %s\n", trial,
+                kill_after_ms, ref.seconds * 1000.0,
+                interrupted.killed
+                    ? (FileExists(ckpt) ? "killed, resuming from checkpoint"
+                                        : "killed before first checkpoint")
+                    : "finished before kill");
+
+    if (interrupted.killed) {
+      // A SIGKILLed child must not have produced final embeddings.
+      if (FileExists(ckpt)) {
+        // The surviving checkpoint must be valid (atomic tmp+rename write,
+        // CRC-checked sections) and mid-run.
+        TransNModel model(&g, TrainConfig());
+        ASSERT_TRUE(ResumeTransNCheckpoint(&model, ckpt).ok())
+            << "checkpoint left by SIGKILL failed validation";
+        EXPECT_GE(model.completed_iterations(), 1u);
+        // Usually mid-run; == kIterations only if the kill landed between
+        // the final checkpoint save and the embedding write.
+        EXPECT_LE(model.completed_iterations(), kIterations);
+        // Resume through the CLI and let it finish.
+        std::vector<std::string> resume_args = TrainArgs(graph_path, out, ckpt);
+        resume_args.push_back("--resume");
+        resume_args.push_back(ckpt);
+        const ChildResult resumed = RunCli(resume_args, /*kill_after_ms=*/-1);
+        ASSERT_TRUE(resumed.exited);
+        ASSERT_EQ(resumed.exit_code, 0) << "--resume run failed";
+      } else {
+        // Killed before the first checkpoint committed: nothing to resume,
+        // rerun from scratch (what an operator would do).
+        const ChildResult rerun =
+            RunCli(TrainArgs(graph_path, out, ckpt), /*kill_after_ms=*/-1);
+        ASSERT_TRUE(rerun.exited);
+        ASSERT_EQ(rerun.exit_code, 0);
+      }
+    } else {
+      // The child finished before the kill fired; its output must already
+      // match the reference.
+      ASSERT_TRUE(interrupted.exited);
+      ASSERT_EQ(interrupted.exit_code, 0);
+    }
+
+    // The contract: interrupted + resumed == never interrupted, to the byte.
+    const std::string bytes = ReadFileOrEmpty(out);
+    ASSERT_FALSE(bytes.empty());
+    EXPECT_EQ(bytes, ref_bytes)
+        << "embeddings after SIGKILL+resume differ from the uninterrupted "
+           "run";
+
+    // And the trial's final checkpoint restores at the final iteration.
+    TransNModel model(&g, TrainConfig());
+    ASSERT_TRUE(ResumeTransNCheckpoint(&model, ckpt).ok());
+    EXPECT_EQ(model.completed_iterations(), kIterations);
+  }
+}
+
+}  // namespace
+}  // namespace transn

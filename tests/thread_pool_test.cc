@@ -1,7 +1,10 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -157,6 +160,47 @@ TEST(ThreadPoolFaultTest, OnlyFirstExceptionIsKept) {
   }
   EXPECT_THROW(pool.Wait(), std::runtime_error);  // one rethrow...
   pool.Wait();                                    // ...then clean
+}
+
+TEST(ThreadPoolFaultTest, ConcurrentThrowsYieldExactlyOneKnownException) {
+  // Tasks on every worker throw at the same instant (start barrier): the
+  // error latch must keep exactly one of the in-flight exceptions — one of
+  // the messages actually thrown, not a torn mix — rethrow it from a single
+  // Wait(), and leave the pool fully usable.
+  static constexpr int kThrowers = 8;
+  ThreadPool pool(4);
+  std::atomic<int> armed{0};
+  for (int i = 0; i < kThrowers; ++i) {
+    pool.Schedule([&armed, i] {
+      armed.fetch_add(1);
+      // Spin until every thrower is in flight so the throws overlap across
+      // all workers instead of serializing through the queue.
+      while (armed.load() < std::min(kThrowers, 4)) {
+      }
+      throw std::runtime_error("concurrent boom #" + std::to_string(i));
+    });
+  }
+  std::string caught;
+  try {
+    pool.Wait();
+  } catch (const std::runtime_error& e) {
+    caught = e.what();
+  }
+  ASSERT_FALSE(caught.empty()) << "Wait() swallowed every exception";
+  EXPECT_EQ(caught.rfind("concurrent boom #", 0), 0u)
+      << "rethrown message not from the thrown set: " << caught;
+  const int id = std::atoi(caught.c_str() + std::string("concurrent boom #").size());
+  EXPECT_GE(id, 0);
+  EXPECT_LT(id, kThrowers);
+  // Exactly the first exception is latched: a second Wait() is clean.
+  pool.Wait();
+  // And the pool still runs work afterwards.
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Schedule([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 16);
 }
 
 TEST(ThreadPoolFaultTest, InjectedPoolFaultSurfacesInWait) {

@@ -81,10 +81,16 @@ TransNConfig TransNConfigFromArgs(const Args& args) {
   cfg.dim = static_cast<size_t>(args.GetInt("dim", 128));
   cfg.iterations = static_cast<size_t>(args.GetInt("iterations", 5));
   cfg.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
-  // 1 = sequential/bit-reproducible, 0 = all hardware threads, >1 = Hogwild.
+  // 1 = sequential (bit-identical to the historical implementation),
+  // 0 = all hardware threads, >1 = the deterministic episodic block engine.
   const int64_t threads = args.GetInt("threads", 1);
   CHECK_GE(threads, 0) << "--threads must be >= 0 (0 = all cores)";
   cfg.num_threads = static_cast<size_t>(threads);
+  // Episode granularity of the block engine: 1 = static partition, >1 =
+  // episode scheduler with that many blocks per worker.
+  const int64_t episode_blocks = args.GetInt("episode-blocks", 1);
+  CHECK_GE(episode_blocks, 1) << "--episode-blocks must be >= 1";
+  cfg.episode_blocks_per_thread = static_cast<size_t>(episode_blocks);
   cfg.walk.walk_length =
       static_cast<size_t>(args.GetInt("walk-length", 80));
   cfg.walk.min_walks_per_node =
@@ -245,8 +251,10 @@ void Usage() {
       "  stats    --graph g.tsv\n"
       "  train    --graph g.tsv --out emb.tsv [--method transn] [--dim 128]\n"
       "           [--iterations 5] [--walk-length 80] [--encoders 6]\n"
-      "           [--threads 1]  (0 = all cores; >1 = Hogwild, not\n"
-      "           bit-reproducible)\n"
+      "           [--threads 1]  (0 = all cores; >1 = episodic block\n"
+      "           engine, deterministic per (seed, threads, episode-blocks))\n"
+      "           [--episode-blocks 1]  (node blocks per worker; >1 enables\n"
+      "           the episode scheduler)\n"
       "           [--save-checkpoint m.ckpt] [--load-checkpoint m.ckpt]\n"
       "           [--checkpoint-every N]  (atomic mid-training checkpoints\n"
       "           to the --save-checkpoint path every N iterations)\n"
