@@ -1,0 +1,342 @@
+// Closed- and open-loop load harness for the network serving subsystem.
+// Fully self-contained: generates a synthetic HSBM network, trains a small
+// TransN model, exports it, serves it in-process over the epoll HTTP front
+// end on an ephemeral port, then drives three phases:
+//
+//   1. closed loop  — N keep-alive client threads issue /v1/knn queries
+//                     back to back for the phase duration: the sustained
+//                     throughput ceiling and its latency distribution.
+//   2. open loop    — Poisson arrivals at a target QPS; latency is measured
+//                     from the *scheduled* arrival time, so queueing delay
+//                     (coordinated omission) is included. Hot reloads fire
+//                     mid-run via POST /admin/reload; the error budget is
+//                     zero non-2xx across the whole phase.
+//   3. overload     — a second server instance with max_queue=0 proves the
+//                     admission-control path: every query draws 429 with a
+//                     Retry-After header while /healthz stays 200.
+//
+// Emits BENCH_serve_load.json (schema transn-bench-v1) consumed by
+// scripts/check_bench_regression.py. Environment knobs:
+//   TRANSN_LOADGEN_SECONDS  per-phase duration      (default 3.0)
+//   TRANSN_LOADGEN_THREADS  client threads          (default 4)
+//   TRANSN_LOADGEN_QPS      open-loop target QPS    (default 400)
+//   TRANSN_BENCH_SEED       base RNG seed           (default 42)
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/model_io.h"
+#include "core/transn.h"
+#include "data/hsbm.h"
+#include "net/http_client.h"
+#include "net/http_server.h"
+#include "net/serve_app.h"
+#include "serve/embedding_store.h"
+#include "util/histogram.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace transn;
+using namespace transn::bench;
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? std::atof(v) : fallback;
+}
+
+/// Small two-type network + short training run: the model only has to be
+/// real enough for the query path (names, views, k-NN index), not accurate.
+std::string TrainAndExportModel(uint64_t seed) {
+  HsbmSpec spec;
+  spec.node_types = {{"User", 600}, {"Item", 300}};
+  spec.edge_types = {
+      {.name = "UU", .type_a = 0, .type_b = 0, .num_edges = 2400},
+      {.name = "UI", .type_a = 0, .type_b = 1, .num_edges = 2400},
+  };
+  spec.num_communities = 4;
+  spec.labeled_type = 0;
+  spec.seed = seed;
+  HeteroGraph graph = GenerateHsbm(spec);
+
+  TransNConfig config;
+  config.dim = 32;
+  config.iterations = 1;
+  config.walk.walk_length = 10;
+  config.walk.min_walks_per_node = 2;
+  config.walk.max_walks_per_node = 3;
+  config.translator_encoders = 2;
+  config.translator_seq_len = 4;
+  config.cross_paths_per_pair = 10;
+  config.seed = seed;
+  TransNModel model(&graph, config);
+  model.Fit();
+
+  const char* tmp = std::getenv("TMPDIR");
+  const std::string path = std::string(tmp != nullptr ? tmp : "/tmp") +
+                           "/transn_load_gen_model.bin";
+  Status s = ExportServingModel(model, path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "export failed: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+  return path;
+}
+
+struct PhaseResult {
+  LatencyHistogram latency;  // seconds per request
+  size_t requests = 0;
+  size_t non_2xx = 0;
+  double seconds = 0.0;
+
+  double Qps() const { return seconds > 0.0 ? requests / seconds : 0.0; }
+};
+
+/// Closed loop: each thread issues requests back to back until the deadline.
+PhaseResult RunClosedLoop(uint16_t port, const std::vector<std::string>& nodes,
+                          size_t threads, double seconds) {
+  std::vector<PhaseResult> per_thread(threads);
+  std::vector<std::thread> workers;
+  WallTimer phase_timer;
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      PhaseResult& out = per_thread[t];
+      net::HttpClient client("127.0.0.1", port);
+      WallTimer timer;
+      size_t i = t;  // stagger the node rotation across threads
+      while (timer.ElapsedSeconds() < seconds) {
+        WallTimer rt;
+        auto r = client.Get("/v1/knn?node=" + nodes[i++ % nodes.size()]);
+        out.latency.Record(rt.ElapsedSeconds());
+        ++out.requests;
+        if (!r.ok() || r->code < 200 || r->code >= 300) ++out.non_2xx;
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  PhaseResult total;
+  total.seconds = phase_timer.ElapsedSeconds();
+  for (PhaseResult& p : per_thread) {
+    total.latency.Merge(p.latency);
+    total.requests += p.requests;
+    total.non_2xx += p.non_2xx;
+  }
+  return total;
+}
+
+/// Open loop: Poisson arrivals at `target_qps`, shared across the worker
+/// pool via an atomic ticket over precomputed arrival offsets. Latency is
+/// measured from the scheduled arrival, not the actual send.
+PhaseResult RunOpenLoop(uint16_t port, const std::vector<std::string>& nodes,
+                        size_t threads, double seconds, double target_qps,
+                        uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> arrivals;  // offsets from phase start, seconds
+  double t = 0.0;
+  while (true) {
+    t += -std::log(1.0 - rng.NextDouble()) / target_qps;
+    if (t >= seconds) break;
+    arrivals.push_back(t);
+  }
+
+  std::vector<PhaseResult> per_thread(threads);
+  std::vector<std::thread> workers;
+  std::atomic<size_t> ticket{0};
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t w = 0; w < threads; ++w) {
+    workers.emplace_back([&, w] {
+      PhaseResult& out = per_thread[w];
+      net::HttpClient client("127.0.0.1", port);
+      while (true) {
+        const size_t i = ticket.fetch_add(1, std::memory_order_relaxed);
+        if (i >= arrivals.size()) break;
+        const auto due =
+            start + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(arrivals[i]));
+        std::this_thread::sleep_until(due);
+        auto r = client.Get("/v1/knn?node=" + nodes[i % nodes.size()]);
+        const double latency =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          due)
+                .count();
+        out.latency.Record(latency);
+        ++out.requests;
+        if (!r.ok() || r->code < 200 || r->code >= 300) ++out.non_2xx;
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  PhaseResult total;
+  total.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  for (PhaseResult& p : per_thread) {
+    total.latency.Merge(p.latency);
+    total.requests += p.requests;
+    total.non_2xx += p.non_2xx;
+  }
+  return total;
+}
+
+void PrintPhase(const char* name, const PhaseResult& r) {
+  std::printf(
+      "%-12s %7zu requests in %5.2fs  (%8.1f QPS)  "
+      "p50=%.3fms p95=%.3fms p99=%.3fms  non-2xx=%zu\n",
+      name, r.requests, r.seconds, r.Qps(), r.latency.Percentile(50) * 1e3,
+      r.latency.Percentile(95) * 1e3, r.latency.Percentile(99) * 1e3,
+      r.non_2xx);
+}
+
+}  // namespace
+
+int main() {
+  SetMinLogSeverity(LogSeverity::kWarning);
+  const double phase_seconds = EnvDouble("TRANSN_LOADGEN_SECONDS", 3.0);
+  const size_t threads =
+      static_cast<size_t>(EnvDouble("TRANSN_LOADGEN_THREADS", 4));
+  const double target_qps = EnvDouble("TRANSN_LOADGEN_QPS", 400.0);
+  const uint64_t seed = BenchSeed();
+
+  std::printf("training model ...\n");
+  const std::string model_path = TrainAndExportModel(seed);
+  auto store = EmbeddingStore::Load(model_path);
+  if (!store.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", store.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<std::string> nodes;
+  for (NodeId n = 0; n < store->num_nodes(); ++n) {
+    nodes.push_back(store->node_name(n));
+  }
+
+  // --- main server -----------------------------------------------------------
+  net::ServeAppOptions app_opts;
+  app_opts.model_path = model_path;
+  app_opts.query.k = 10;
+  net::ServeApp app(app_opts);
+  Status s = app.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "serve start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  net::HttpServerOptions http_opts;
+  http_opts.reactor_threads = 2;
+  net::HttpServer server(
+      http_opts, [&app](net::HttpRequest&& req, net::ResponseHandle handle) {
+        app.HandleRequest(std::move(req), std::move(handle));
+      });
+  s = server.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "listen failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving %zu nodes on 127.0.0.1:%u\n", nodes.size(),
+              server.port());
+
+  // Phase 1: closed loop (throughput ceiling).
+  PhaseResult closed =
+      RunClosedLoop(server.port(), nodes, threads, phase_seconds);
+  PrintPhase("closed-loop", closed);
+
+  // Phase 2: open loop at the target QPS with hot reloads mid-run.
+  std::atomic<size_t> reloads_ok{0};
+  std::atomic<size_t> reloads_bad{0};
+  std::atomic<bool> stop_reloader{false};
+  std::thread reloader([&] {
+    net::HttpClient admin("127.0.0.1", server.port());
+    while (!stop_reloader.load(std::memory_order_acquire)) {
+      auto r = admin.Post("/admin/reload", "");
+      if (r.ok() && r->code == 200) {
+        reloads_ok.fetch_add(1);
+      } else {
+        reloads_bad.fetch_add(1);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    }
+  });
+  PhaseResult open = RunOpenLoop(server.port(), nodes, threads, phase_seconds,
+                                 target_qps, seed + 1);
+  stop_reloader.store(true, std::memory_order_release);
+  reloader.join();
+  PrintPhase("open-loop", open);
+  auto snapshot = app.manager().Current();
+  const double model_load_seconds = snapshot->load_seconds;
+  const double index_build_seconds = snapshot->index_build_seconds;
+  std::printf(
+      "reloads: %zu ok, %zu failed  (last: model_load=%.4fs index_build=%.4fs, "
+      "generation %lu)\n",
+      reloads_ok.load(), reloads_bad.load(), model_load_seconds,
+      index_build_seconds,
+      static_cast<unsigned long>(snapshot->generation));
+  server.Stop();
+  app.Stop();
+
+  // Phase 3: overload — max_queue=0 makes admission control reject every
+  // query deterministically; the 429 path must carry Retry-After.
+  net::ServeAppOptions full_opts = app_opts;
+  full_opts.max_queue = 0;
+  net::ServeApp full_app(full_opts);
+  size_t overload_429 = 0;
+  size_t overload_retry_after = 0;
+  size_t overload_other = 0;
+  if (full_app.Start().ok()) {
+    net::HttpServer full_server(
+        {}, [&full_app](net::HttpRequest&& req, net::ResponseHandle handle) {
+          full_app.HandleRequest(std::move(req), std::move(handle));
+        });
+    if (full_server.Start().ok()) {
+      net::HttpClient client("127.0.0.1", full_server.port());
+      for (int i = 0; i < 50; ++i) {
+        auto r = client.Get("/v1/knn?node=" + nodes[i % nodes.size()]);
+        if (r.ok() && r->code == 429) {
+          ++overload_429;
+          if (r->Header("retry-after") == "1") ++overload_retry_after;
+        } else {
+          ++overload_other;
+        }
+      }
+      full_server.Stop();
+    }
+    full_app.Stop();
+  }
+  std::printf("overload     %zu/50 rejected with 429 (%zu with Retry-After)\n",
+              overload_429, overload_retry_after);
+  std::remove(model_path.c_str());
+
+  const double achieved_ratio =
+      target_qps > 0.0 ? open.Qps() / target_qps : 0.0;
+  WriteBenchJson(
+      "serve_load",
+      {
+          {"closed_loop_qps", "requests_per_second", closed.Qps(), "req/s"},
+          {"closed_loop_p50_ms", "latency_p50", closed.latency.Percentile(50) * 1e3, "ms"},
+          {"closed_loop_p99_ms", "latency_p99", closed.latency.Percentile(99) * 1e3, "ms"},
+          {"closed_loop_non_2xx", "error_count", static_cast<double>(closed.non_2xx), "requests"},
+          {"open_loop_target_qps", "requests_per_second", target_qps, "req/s"},
+          {"open_loop_achieved_qps", "requests_per_second", open.Qps(), "req/s"},
+          {"open_loop_achieved_ratio", "achieved_over_target", achieved_ratio, "x"},
+          {"open_loop_p50_ms", "latency_p50", open.latency.Percentile(50) * 1e3, "ms"},
+          {"open_loop_p95_ms", "latency_p95", open.latency.Percentile(95) * 1e3, "ms"},
+          {"open_loop_p99_ms", "latency_p99", open.latency.Percentile(99) * 1e3, "ms"},
+          {"open_loop_non_2xx", "error_count", static_cast<double>(open.non_2xx), "requests"},
+          {"reloads_ok", "count", static_cast<double>(reloads_ok.load()), "reloads"},
+          {"reloads_failed", "count", static_cast<double>(reloads_bad.load()), "reloads"},
+          {"model_load_seconds", "seconds", model_load_seconds, "s"},
+          {"index_build_seconds", "seconds", index_build_seconds, "s"},
+          {"overload_429", "count", static_cast<double>(overload_429), "requests"},
+          {"overload_retry_after", "count", static_cast<double>(overload_retry_after), "requests"},
+          {"overload_other", "count", static_cast<double>(overload_other), "requests"},
+      });
+  return 0;
+}

@@ -1,22 +1,37 @@
 #!/usr/bin/env python3
-"""CI gate on BENCH_parallel_scaling.json: parallel speedup must not regress.
+"""CI gate on transn-bench-v1 dumps: committed perf floors must not regress.
 
 Usage:
-    scripts/check_bench_regression.py [BENCH_parallel_scaling.json]
+    scripts/check_bench_regression.py [BENCH_*.json ...]
 
-Reads the bench dump produced by bench/parallel_scaling (schema
-transn-bench-v1) and fails (exit 1) when the measured t8/t1 (or the largest
-available tN/t1) speedup falls below the committed floor for the machine
-class that produced the numbers.
+With no arguments, checks BENCH_parallel_scaling.json. Each dump is
+dispatched on its "bench" field:
 
-The floors scale with the "hardware_threads" field recorded in the dump,
-because a small CI runner physically cannot demonstrate a large speedup:
+parallel_scaling — the measured t8/t1 (or the largest available tN/t1)
+speedup must stay above the committed floor for the machine class that
+produced the numbers. The floors scale with the recorded
+"hardware_threads", because a small CI runner physically cannot demonstrate
+a large speedup:
 
     hardware_threads >= 8  ->  speedup_t8 >= 4.0   (the PR target)
     hardware_threads >= 4  ->  speedup_t4 >= 2.0
     hardware_threads >= 2  ->  speedup_t2 >= 1.2
     hardware_threads <  2  ->  speedup_t8 >= 0.7   (no-regression bound:
         oversubscribing one core must not collapse throughput)
+
+serve_load — the HTTP serving stack (bench/load_gen) must sustain traffic
+with a zero error budget:
+
+    closed/open-loop non-2xx == 0 and zero failed hot reloads (>= 1 reload
+    must have fired mid-run), the overload phase must reject with 429 only,
+    the open-loop achieved/target QPS ratio must reach 0.9, open-loop p99
+    must stay under 250 ms, and the closed-loop QPS must clear a
+    hardware-aware floor:
+
+    hardware_threads >= 8  ->  closed_loop_qps >= 4000
+    hardware_threads >= 4  ->  closed_loop_qps >= 2000
+    hardware_threads >= 2  ->  closed_loop_qps >= 1000
+    hardware_threads <  2  ->  closed_loop_qps >=  500
 
 Dumps that predate the hardware_threads field are rejected: regenerate the
 JSON with the current bench binary so the gate knows the machine class.
@@ -26,12 +41,23 @@ import json
 import sys
 
 # (min hardware threads, thread count to check, speedup floor)
-FLOORS = [
+SCALING_FLOORS = [
     (8, 8, 4.0),
     (4, 4, 2.0),
     (2, 2, 1.2),
     (0, 8, 0.7),
 ]
+
+# (min hardware threads, closed-loop QPS floor)
+SERVE_QPS_FLOORS = [
+    (8, 4000.0),
+    (4, 2000.0),
+    (2, 1000.0),
+    (0, 500.0),
+]
+
+SERVE_OPEN_LOOP_MIN_RATIO = 0.9
+SERVE_OPEN_LOOP_MAX_P99_MS = 250.0
 
 
 def fail(msg: str) -> None:
@@ -39,44 +65,48 @@ def fail(msg: str) -> None:
     sys.exit(1)
 
 
-def main() -> None:
-    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_parallel_scaling.json"
+def load_dump(path: str) -> dict:
     try:
         with open(path, encoding="utf-8") as f:
             dump = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         fail(f"cannot read {path}: {e}")
-
     if dump.get("schema") != "transn-bench-v1":
         fail(f"{path}: unexpected schema {dump.get('schema')!r}")
     hardware = dump.get("hardware_threads")
     if not isinstance(hardware, int) or hardware < 0:
         fail(
             f"{path}: missing hardware_threads field — regenerate the dump "
-            "with the current bench/parallel_scaling binary"
+            "with the current bench binary"
         )
+    return dump
+
+
+def bench_value(path: str, dump: dict, name: str) -> float:
+    entry = dump.get("benches", {}).get(name)
+    if not isinstance(entry, dict) or "value" not in entry:
+        fail(f"{path}: missing bench entry {name!r}")
+    return float(entry["value"])
+
+
+def check_parallel_scaling(path: str, dump: dict) -> None:
+    hardware = dump["hardware_threads"]
     benches = dump.get("benches", {})
 
-    def value(name: str) -> float:
-        entry = benches.get(name)
-        if not isinstance(entry, dict) or "value" not in entry:
-            fail(f"{path}: missing bench entry {name!r}")
-        return float(entry["value"])
-
-    t1 = value("pairs_per_sec_t1")
+    t1 = bench_value(path, dump, "pairs_per_sec_t1")
     if t1 <= 0.0:
         fail(f"{path}: pairs_per_sec_t1 is {t1}; bench did not run")
 
-    for min_hw, threads, floor in FLOORS:
+    for min_hw, threads, floor in SCALING_FLOORS:
         if hardware >= min_hw:
             break
     speedup_name = f"speedup_t{threads}"
     if speedup_name in benches:
-        speedup = value(speedup_name)
+        speedup = bench_value(path, dump, speedup_name)
     else:
         # Fall back to the raw pairs/sec ratio for dumps whose bench binary
         # predates the explicit speedup entries.
-        speedup = value(f"pairs_per_sec_t{threads}") / t1
+        speedup = bench_value(path, dump, f"pairs_per_sec_t{threads}") / t1
 
     print(
         f"check_bench_regression: hardware_threads={hardware} -> "
@@ -90,6 +120,77 @@ def main() -> None:
             "(bench/parallel_scaling regressed, or the dump was produced on "
             "a loaded machine — rerun on a quiet runner)"
         )
+
+
+def check_serve_load(path: str, dump: dict) -> None:
+    hardware = dump["hardware_threads"]
+
+    # Error budget: zero non-2xx in both load phases, zero failed reloads.
+    for name in ("closed_loop_non_2xx", "open_loop_non_2xx", "reloads_failed",
+                 "overload_other"):
+        v = bench_value(path, dump, name)
+        if v != 0.0:
+            fail(f"{path}: {name} is {v:g}; the serving error budget is zero")
+    if bench_value(path, dump, "reloads_ok") < 1.0:
+        fail(f"{path}: no hot reload fired during the open-loop phase")
+    if bench_value(path, dump, "overload_429") < 1.0:
+        fail(f"{path}: overload phase produced no 429 rejections")
+    if (bench_value(path, dump, "overload_retry_after")
+            != bench_value(path, dump, "overload_429")):
+        fail(f"{path}: some 429 responses lacked the Retry-After header")
+
+    ratio = bench_value(path, dump, "open_loop_achieved_ratio")
+    if ratio < SERVE_OPEN_LOOP_MIN_RATIO:
+        fail(
+            f"{path}: open-loop achieved/target QPS ratio {ratio:.3f} is "
+            f"below {SERVE_OPEN_LOOP_MIN_RATIO} — the server cannot sustain "
+            "the target arrival rate"
+        )
+    p99_ms = bench_value(path, dump, "open_loop_p99_ms")
+    if p99_ms > SERVE_OPEN_LOOP_MAX_P99_MS:
+        fail(
+            f"{path}: open-loop p99 {p99_ms:.1f} ms exceeds the "
+            f"{SERVE_OPEN_LOOP_MAX_P99_MS:.0f} ms ceiling"
+        )
+
+    for min_hw, qps_floor in SERVE_QPS_FLOORS:
+        if hardware >= min_hw:
+            break
+    qps = bench_value(path, dump, "closed_loop_qps")
+    print(
+        f"check_bench_regression: hardware_threads={hardware} -> "
+        f"closed-loop {qps:.0f} req/s against floor {qps_floor:.0f}, "
+        f"open-loop ratio {ratio:.3f}, p99 {p99_ms:.2f} ms"
+    )
+    if qps < qps_floor:
+        fail(
+            f"{path}: closed-loop QPS {qps:.0f} is below the committed floor "
+            f"{qps_floor:.0f} for a {hardware}-thread machine "
+            "(the serving hot path regressed, or the dump was produced on a "
+            "loaded machine — rerun on a quiet runner)"
+        )
+
+
+CHECKS = {
+    "parallel_scaling": check_parallel_scaling,
+    "serve_load": check_serve_load,
+}
+
+
+def main() -> None:
+    paths = sys.argv[1:] if len(sys.argv) > 1 else [
+        "BENCH_parallel_scaling.json"
+    ]
+    for path in paths:
+        dump = load_dump(path)
+        bench = dump.get("bench")
+        check = CHECKS.get(bench)
+        if check is None:
+            fail(
+                f"{path}: no regression gate registered for bench "
+                f"{bench!r} (known: {sorted(CHECKS)})"
+            )
+        check(path, dump)
     print("check_bench_regression: OK")
 
 

@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the HTTP serving stack (CI: the serve-smoke job).
+#
+#   1. trains a tiny model and starts `transn_serve serve` on an ephemeral
+#      port,
+#   2. curls /healthz, /v1/knn, /v1/translate and /metrics,
+#   3. fires hot reloads (POST /admin/reload and SIGHUP) while a background
+#      query loop hammers the k-NN endpoint — every response must be 2xx
+#      (or 429 from admission control); anything else fails the job,
+#   4. shuts the server down with SIGTERM and requires a clean exit.
+#
+# Usage: scripts/serve_smoke.sh [BUILD_DIR]   (default: build)
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+CLI="$BUILD_DIR/tools/transn_cli"
+SERVE="$BUILD_DIR/tools/transn_serve"
+WORK="$(mktemp -d)"
+SERVER_PID=""
+
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "serve_smoke: FAIL: $1" >&2
+  [ -f "$WORK/serve.log" ] && sed 's/^/serve_smoke:   server: /' "$WORK/serve.log" >&2
+  exit 1
+}
+
+echo "serve_smoke: training a tiny model"
+"$CLI" generate --dataset BLOG --scale 0.05 --out "$WORK/g.tsv" >/dev/null
+"$CLI" train --graph "$WORK/g.tsv" --out "$WORK/emb.tsv" \
+  --export-serving "$WORK/model.bin" --iterations 1 --dim 16 >/dev/null
+NODE="$(sed -n 2p "$WORK/emb.tsv" | cut -f1)"
+[ -n "$NODE" ] || fail "could not extract a node name from emb.tsv"
+
+echo "serve_smoke: starting server"
+"$SERVE" serve --model "$WORK/model.bin" --listen 127.0.0.1:0 \
+  --reactor-threads 2 >"$WORK/serve.log" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$WORK/serve.log" 2>/dev/null && break
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited during startup"
+  sleep 0.1
+done
+PORT="$(sed -n 's#.*listening on http://[^:]*:\([0-9]*\).*#\1#p' "$WORK/serve.log" | head -1)"
+[ -n "$PORT" ] || fail "server never printed its listening port"
+BASE="http://127.0.0.1:$PORT"
+echo "serve_smoke: serving on $BASE (pid $SERVER_PID)"
+
+# --- basic endpoints --------------------------------------------------------
+curl -fsS "$BASE/healthz" | grep -q '"generation":1' \
+  || fail "/healthz did not report generation 1"
+curl -fsS "$BASE/v1/knn?node=$NODE&k=5" | grep -q '"neighbors":\[' \
+  || fail "/v1/knn returned no neighbors for $NODE"
+curl -fsS "$BASE/metrics" | grep -q '^transn_net_requests_total' \
+  || fail "/metrics is missing transn_net_requests_total"
+curl -fsS "$BASE/metrics" | grep -q '^transn_serve_model_generation 1' \
+  || fail "/metrics is missing transn_serve_model_generation"
+
+# --- hot reload mid-traffic -------------------------------------------------
+echo "serve_smoke: hot reload under load"
+: >"$WORK/codes.txt"
+(
+  for _ in $(seq 1 200); do
+    curl -s -o /dev/null -w '%{http_code}\n' "$BASE/v1/knn?node=$NODE" \
+      >>"$WORK/codes.txt"
+  done
+) &
+LOAD_PID=$!
+for _ in 1 2 3; do
+  code="$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/admin/reload")"
+  [ "$code" = "200" ] || fail "POST /admin/reload returned $code"
+  sleep 0.2
+done
+wait "$LOAD_PID"
+TOTAL="$(wc -l <"$WORK/codes.txt")"
+BAD="$(grep -Ecv '^(2..|429)$' "$WORK/codes.txt" || true)"
+[ "$TOTAL" = "200" ] || fail "query loop issued $TOTAL/200 requests"
+[ "$BAD" = "0" ] || fail "$BAD/200 responses were neither 2xx nor 429 during reloads"
+curl -fsS "$BASE/healthz" | grep -q '"generation":4' \
+  || fail "/healthz did not reach generation 4 after 3 reloads"
+
+# --- SIGHUP reload ----------------------------------------------------------
+kill -HUP "$SERVER_PID"
+for _ in $(seq 1 50); do
+  curl -fsS "$BASE/healthz" | grep -q '"generation":5' && break
+  sleep 0.1
+done
+curl -fsS "$BASE/healthz" | grep -q '"generation":5' \
+  || fail "SIGHUP did not trigger a reload to generation 5"
+
+# --- graceful shutdown ------------------------------------------------------
+kill -TERM "$SERVER_PID"
+if ! wait "$SERVER_PID"; then
+  fail "server did not exit cleanly on SIGTERM"
+fi
+SERVER_PID=""
+echo "serve_smoke: OK ($TOTAL queries, 0 failures, 5 generations)"

@@ -1,0 +1,231 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace transn {
+namespace net {
+
+namespace {
+
+/// Strips one trailing '\r' (CRLF tolerance when splitting on '\n').
+std::string_view ChopCr(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return line;
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+void ParseQueryString(std::string_view qs,
+                      std::map<std::string, std::string>* params) {
+  size_t pos = 0;
+  while (pos <= qs.size()) {
+    const size_t amp = std::min(qs.find('&', pos), qs.size());
+    const std::string_view pair = qs.substr(pos, amp - pos);
+    if (!pair.empty()) {
+      const size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        (*params)[PercentDecode(pair)] = "";
+      } else {
+        (*params)[PercentDecode(pair.substr(0, eq))] =
+            PercentDecode(pair.substr(eq + 1));
+      }
+    }
+    pos = amp + 1;
+  }
+}
+
+}  // namespace
+
+std::string PercentDecode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out += ' ';
+    } else if (s[i] == '%' && i + 2 < s.size()) {
+      const int hi = HexDigit(s[i + 1]);
+      const int lo = HexDigit(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+      } else {
+        out += '%';
+      }
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+const char* HttpStatusReason(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string SerializeHttpResponse(int code, std::string_view content_type,
+                                  std::string_view body, bool keep_alive,
+                                  std::string_view extra_headers) {
+  std::string out = StrFormat("HTTP/1.1 %d %s\r\n", code,
+                              HttpStatusReason(code));
+  if (!content_type.empty()) {
+    out += "Content-Type: ";
+    out += content_type;
+    out += "\r\n";
+  }
+  out += StrFormat("Content-Length: %zu\r\n", body.size());
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += extra_headers;
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+ParseState HttpParser::Fail(int code, std::string message) {
+  state_ = ParseState::kError;
+  error_code_ = code;
+  error_ = std::move(message);
+  return state_;
+}
+
+ParseState HttpParser::Feed(const char* data, size_t n) {
+  if (state_ == ParseState::kError) return state_;
+  buffer_.append(data, n);
+  if (state_ == ParseState::kDone) return state_;  // caller must TakeRequest
+  return Parse();
+}
+
+HttpRequest HttpParser::TakeRequest() {
+  HttpRequest out = std::move(request_);
+  request_ = HttpRequest();
+  buffer_.erase(0, consumed_);
+  consumed_ = 0;
+  scan_from_ = 0;
+  header_end_ = 0;
+  content_length_ = 0;
+  state_ = ParseState::kNeedMore;
+  if (!buffer_.empty()) Parse();  // pipelined request already buffered
+  return out;
+}
+
+ParseState HttpParser::Parse() {
+  // Once the header block has been parsed (header_end_ > 0) only the body
+  // can still be pending — skip straight to the completeness check so later
+  // feeds never rescan (or re-parse) the headers.
+  if (header_end_ > 0) return FinishBody();
+
+  // Locate the end of the header block, resuming the scan where the previous
+  // incomplete Feed() left off (never rescan the whole buffer).
+  const size_t start = scan_from_ > 3 ? scan_from_ - 3 : 0;
+  size_t header_end = std::string::npos;  // offset just past the terminator
+  const size_t crlf = buffer_.find("\r\n\r\n", start);
+  if (crlf != std::string::npos) header_end = crlf + 4;
+  const size_t lf = buffer_.find("\n\n", start);
+  if (lf != std::string::npos && lf + 2 < header_end) header_end = lf + 2;
+  if (header_end == std::string::npos) {
+    if (buffer_.size() > max_bytes_) {
+      return Fail(413, "request header exceeds limit");
+    }
+    scan_from_ = buffer_.size();
+    return state_ = ParseState::kNeedMore;
+  }
+
+  // --- request line -------------------------------------------------------
+  const std::string_view head(buffer_.data(), header_end);
+  size_t line_end = head.find('\n');
+  const std::string_view request_line = ChopCr(head.substr(0, line_end));
+  const std::vector<std::string> parts =
+      SplitWhitespace(request_line);
+  if (parts.size() != 3 || !StartsWith(parts[2], "HTTP/1.")) {
+    return Fail(400, "malformed request line");
+  }
+  request_.method = parts[0];
+  request_.target = parts[1];
+  const size_t q = request_.target.find('?');
+  request_.path = request_.target.substr(0, q);
+  request_.params.clear();
+  if (q != std::string::npos) {
+    ParseQueryString(std::string_view(request_.target).substr(q + 1),
+                     &request_.params);
+  }
+  request_.keep_alive = parts[2] != "HTTP/1.0";
+
+  // --- header fields ------------------------------------------------------
+  request_.headers.clear();
+  size_t pos = line_end + 1;
+  while (pos < header_end) {
+    const size_t eol = head.find('\n', pos);
+    const std::string_view line = ChopCr(head.substr(pos, eol - pos));
+    pos = eol + 1;
+    if (line.empty()) break;
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Fail(400, "malformed header field");
+    }
+    std::string key(line.substr(0, colon));
+    std::transform(key.begin(), key.end(), key.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    request_.headers[std::move(key)] = std::string(Trim(line.substr(colon + 1)));
+  }
+  if (request_.headers.count("transfer-encoding") != 0) {
+    return Fail(501, "Transfer-Encoding is not supported");
+  }
+  if (auto it = request_.headers.find("connection");
+      it != request_.headers.end()) {
+    std::string v = it->second;
+    std::transform(v.begin(), v.end(), v.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (v == "close") request_.keep_alive = false;
+    if (v == "keep-alive") request_.keep_alive = true;
+  }
+
+  // --- body ---------------------------------------------------------------
+  size_t content_length = 0;
+  if (auto it = request_.headers.find("content-length");
+      it != request_.headers.end()) {
+    int64_t n = 0;
+    if (!ParseInt64(it->second, &n) || n < 0) {
+      return Fail(400, "malformed Content-Length");
+    }
+    content_length = static_cast<size_t>(n);
+  }
+  if (header_end + content_length > max_bytes_) {
+    return Fail(413, "request body exceeds limit");
+  }
+  header_end_ = header_end;
+  content_length_ = content_length;
+  return FinishBody();
+}
+
+ParseState HttpParser::FinishBody() {
+  if (buffer_.size() < header_end_ + content_length_) {
+    return state_ = ParseState::kNeedMore;
+  }
+  request_.body = buffer_.substr(header_end_, content_length_);
+  consumed_ = header_end_ + content_length_;
+  return state_ = ParseState::kDone;
+}
+
+}  // namespace net
+}  // namespace transn

@@ -1,0 +1,104 @@
+#ifndef TRANSN_NET_HTTP_H_
+#define TRANSN_NET_HTTP_H_
+
+#include <stddef.h>
+
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace transn {
+namespace net {
+
+/// One parsed HTTP/1.1 request. Header names are lowercased; query-string
+/// parameters are percent-decoded ('+' decodes to a space).
+struct HttpRequest {
+  std::string method;  // "GET", "POST", ... (uppercase as sent)
+  std::string target;  // raw request-target, e.g. "/v1/knn?node=A%2F1"
+  std::string path;    // target up to the first '?'
+  std::map<std::string, std::string> params;
+  std::map<std::string, std::string> headers;
+  std::string body;
+  /// HTTP/1.1 defaults to keep-alive; "Connection: close" clears it.
+  bool keep_alive = true;
+
+  /// Value of a query parameter, or "" when absent.
+  std::string Param(const std::string& key) const {
+    auto it = params.find(key);
+    return it == params.end() ? std::string() : it->second;
+  }
+};
+
+enum class ParseState {
+  /// The buffered bytes do not yet hold a complete request.
+  kNeedMore,
+  /// A complete request is available via request() / TakeRequest().
+  kDone,
+  /// The stream is unrecoverably malformed; see error_code()/error().
+  kError,
+};
+
+/// Incremental HTTP/1.1 request parser for one connection. Feed() appends
+/// raw socket bytes and reparses; on kDone, TakeRequest() pops the request
+/// and resumes parsing any pipelined bytes already buffered. Supports
+/// Content-Length bodies; Transfer-Encoding is rejected with 501 and a
+/// request exceeding `max_request_bytes` with 413. Both CRLF and bare-LF
+/// line endings are accepted.
+class HttpParser {
+ public:
+  explicit HttpParser(size_t max_request_bytes = 1 << 20)
+      : max_bytes_(max_request_bytes) {}
+
+  /// Appends bytes and advances the parse. Cheap when the request is still
+  /// incomplete (a header-end scan resumes where the last one stopped).
+  ParseState Feed(const char* data, size_t n);
+
+  ParseState state() const { return state_; }
+  /// Valid only in kDone.
+  const HttpRequest& request() const { return request_; }
+
+  /// Pops the completed request, consumes its bytes, and reparses whatever
+  /// is left in the buffer (pipelined request or nothing). Only in kDone.
+  HttpRequest TakeRequest();
+
+  /// True when the buffer already holds (part of) a next request.
+  bool HasBufferedBytes() const { return !buffer_.empty(); }
+
+  /// HTTP status code describing the parse failure (400, 413, or 501).
+  int error_code() const { return error_code_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  ParseState Parse();
+  ParseState FinishBody();
+  ParseState Fail(int code, std::string message);
+
+  size_t max_bytes_;
+  std::string buffer_;
+  size_t scan_from_ = 0;   // resume point for the header-end scan
+  size_t header_end_ = 0;  // >0 once the header block is parsed
+  size_t content_length_ = 0;  // valid once header_end_ > 0
+  ParseState state_ = ParseState::kNeedMore;
+  HttpRequest request_;
+  size_t consumed_ = 0;  // bytes of buffer_ covered by request_
+  int error_code_ = 0;
+  std::string error_;
+};
+
+/// Decodes %XX escapes and '+' (as space). Malformed escapes pass through
+/// verbatim rather than failing — query values are user data, not protocol.
+std::string PercentDecode(std::string_view s);
+
+/// "OK" for 200, "Too Many Requests" for 429, ... ("Unknown" otherwise).
+const char* HttpStatusReason(int code);
+
+/// Serializes a full response with Content-Length and Connection headers.
+/// `extra_headers` is zero or more complete "Name: value\r\n" lines.
+std::string SerializeHttpResponse(int code, std::string_view content_type,
+                                  std::string_view body, bool keep_alive,
+                                  std::string_view extra_headers = "");
+
+}  // namespace net
+}  // namespace transn
+
+#endif  // TRANSN_NET_HTTP_H_

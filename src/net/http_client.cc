@@ -1,0 +1,214 @@
+#include "net/http_client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace transn {
+namespace net {
+
+namespace {
+
+std::string_view ChopCr(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return line;
+}
+
+std::string Lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+}  // namespace
+
+HttpClient::HttpClient(std::string host, uint16_t port, int timeout_ms)
+    : host_(std::move(host)), port_(port), timeout_ms_(timeout_ms) {}
+
+HttpClient::~HttpClient() { Disconnect(); }
+
+HttpClient::HttpClient(HttpClient&& other) noexcept
+    : host_(std::move(other.host_)),
+      port_(other.port_),
+      timeout_ms_(other.timeout_ms_),
+      fd_(other.fd_),
+      rxbuf_(std::move(other.rxbuf_)) {
+  other.fd_ = -1;
+}
+
+void HttpClient::Disconnect() {
+  if (fd_ >= 0) close(fd_);
+  fd_ = -1;
+  rxbuf_.clear();
+}
+
+Status HttpClient::EnsureConnected() {
+  if (fd_ >= 0) return Status::Ok();
+  fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return Status::IoError(StrFormat("socket: %s", strerror(errno)));
+  timeval tv{};
+  tv.tv_sec = timeout_ms_ / 1000;
+  tv.tv_usec = (timeout_ms_ % 1000) * 1000;
+  setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  const int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    Disconnect();
+    return Status::InvalidArgument("bad host address: " + host_);
+  }
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    Disconnect();
+    return Status::IoError(StrFormat("connect %s:%u: %s", host_.c_str(),
+                                     port_, strerror(err)));
+  }
+  rxbuf_.clear();
+  return Status::Ok();
+}
+
+StatusOr<HttpResponse> HttpClient::Get(std::string_view path) {
+  return RoundTrip("GET", path, "", "");
+}
+
+StatusOr<HttpResponse> HttpClient::Post(std::string_view path,
+                                        std::string_view body,
+                                        std::string_view content_type) {
+  return RoundTrip("POST", path, body, content_type);
+}
+
+Status HttpClient::WriteAll(std::string_view bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::IoError(StrFormat("send: %s", strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+StatusOr<HttpResponse> HttpClient::RoundTrip(std::string_view method,
+                                             std::string_view path,
+                                             std::string_view body,
+                                             std::string_view content_type) {
+  RETURN_IF_ERROR(EnsureConnected());
+  std::string req;
+  req += method;
+  req += ' ';
+  req += path;
+  req += " HTTP/1.1\r\nHost: ";
+  req += host_;
+  req += "\r\n";
+  if (!content_type.empty()) {
+    req += "Content-Type: ";
+    req += content_type;
+    req += "\r\n";
+  }
+  req += StrFormat("Content-Length: %zu\r\n\r\n", body.size());
+  req += body;
+  Status write_status = WriteAll(req);
+  if (!write_status.ok()) {
+    // The server may have dropped an idle keep-alive connection between
+    // requests; reconnect once and retry.
+    Disconnect();
+    RETURN_IF_ERROR(EnsureConnected());
+    RETURN_IF_ERROR(WriteAll(req));
+  }
+  StatusOr<HttpResponse> response = ReadResponse();
+  if (!response.ok()) Disconnect();
+  return response;
+}
+
+StatusOr<HttpResponse> HttpClient::ReadResponse() {
+  // Accumulate until the header terminator, then until Content-Length bytes
+  // of body are in. Responses without Content-Length are not supported (the
+  // server always sends one).
+  auto fill = [&]() -> Status {
+    char buf[16384];
+    const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      rxbuf_.append(buf, static_cast<size_t>(n));
+      return Status::Ok();
+    }
+    if (n == 0) return Status::IoError("connection closed by server");
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::IoError("response read timed out");
+    }
+    return Status::IoError(StrFormat("recv: %s", strerror(errno)));
+  };
+
+  size_t header_end = std::string::npos;
+  while (true) {
+    const size_t crlf = rxbuf_.find("\r\n\r\n");
+    if (crlf != std::string::npos) {
+      header_end = crlf + 4;
+      break;
+    }
+    if (rxbuf_.size() > (16u << 20)) {
+      return Status::IoError("response header exceeds 16 MiB");
+    }
+    RETURN_IF_ERROR(fill());
+  }
+
+  HttpResponse out;
+  const std::string_view head(rxbuf_.data(), header_end);
+  size_t line_end = head.find('\n');
+  const std::vector<std::string> parts =
+      SplitWhitespace(ChopCr(head.substr(0, line_end)));
+  if (parts.size() < 2 || !StartsWith(parts[0], "HTTP/1.")) {
+    return Status::IoError("malformed response status line");
+  }
+  int64_t code = 0;
+  if (!ParseInt64(parts[1], &code)) {
+    return Status::IoError("malformed response status code");
+  }
+  out.code = static_cast<int>(code);
+
+  size_t pos = line_end + 1;
+  while (pos < header_end) {
+    const size_t eol = head.find('\n', pos);
+    const std::string_view line = ChopCr(head.substr(pos, eol - pos));
+    pos = eol + 1;
+    if (line.empty()) break;
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    out.headers[Lower(line.substr(0, colon))] =
+        std::string(Trim(line.substr(colon + 1)));
+  }
+
+  int64_t content_length = 0;
+  if (auto it = out.headers.find("content-length"); it != out.headers.end()) {
+    if (!ParseInt64(it->second, &content_length) || content_length < 0) {
+      return Status::IoError("malformed response Content-Length");
+    }
+  }
+  const size_t total = header_end + static_cast<size_t>(content_length);
+  while (rxbuf_.size() < total) RETURN_IF_ERROR(fill());
+  out.body = rxbuf_.substr(header_end, static_cast<size_t>(content_length));
+  rxbuf_.erase(0, total);
+  if (Lower(out.Header("connection")) == "close") Disconnect();
+  return out;
+}
+
+}  // namespace net
+}  // namespace transn

@@ -1,0 +1,65 @@
+#ifndef TRANSN_NET_HTTP_CLIENT_H_
+#define TRANSN_NET_HTTP_CLIENT_H_
+
+#include <stdint.h>
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace transn {
+namespace net {
+
+/// One parsed HTTP/1.1 response (header names lowercased).
+struct HttpResponse {
+  int code = 0;
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  std::string Header(const std::string& key) const {
+    auto it = headers.find(key);
+    return it == headers.end() ? std::string() : it->second;
+  }
+};
+
+/// Minimal blocking HTTP/1.1 client over one keep-alive connection, for
+/// tests and the load generator — not a general-purpose client. Reconnects
+/// transparently when the server closed the connection. Not thread-safe;
+/// use one instance per thread.
+class HttpClient {
+ public:
+  HttpClient(std::string host, uint16_t port, int timeout_ms = 10'000);
+  ~HttpClient();
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+  HttpClient(HttpClient&& other) noexcept;
+
+  StatusOr<HttpResponse> Get(std::string_view path);
+  StatusOr<HttpResponse> Post(std::string_view path, std::string_view body,
+                              std::string_view content_type = "text/plain");
+
+  /// Drops the connection; the next request reconnects.
+  void Disconnect();
+
+ private:
+  Status EnsureConnected();
+  StatusOr<HttpResponse> RoundTrip(std::string_view method,
+                                   std::string_view path,
+                                   std::string_view body,
+                                   std::string_view content_type);
+  Status WriteAll(std::string_view bytes);
+  StatusOr<HttpResponse> ReadResponse();
+
+  std::string host_;
+  uint16_t port_;
+  int timeout_ms_;
+  int fd_ = -1;
+  std::string rxbuf_;  // bytes past the previous response (keep-alive)
+};
+
+}  // namespace net
+}  // namespace transn
+
+#endif  // TRANSN_NET_HTTP_CLIENT_H_

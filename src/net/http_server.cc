@@ -1,0 +1,448 @@
+#include "net/http_server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "obs/json_escape.h"
+#include "obs/metric_names.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace transn {
+namespace net {
+
+namespace {
+
+/// "2xx".."5xx" bucket index for the labeled response counter.
+size_t CodeClass(int code) {
+  const int c = code / 100;
+  return c >= 2 && c <= 5 ? static_cast<size_t>(c - 2) : 3;
+}
+constexpr const char* kCodeClassLabels[4] = {"2xx", "3xx", "4xx", "5xx"};
+
+}  // namespace
+
+struct HttpServer::Connection {
+  enum class State {
+    kReading,     // accumulating a request
+    kProcessing,  // request dispatched, response pending (reads paused)
+    kFlushing,    // writing the response
+  };
+
+  int fd = -1;
+  uint64_t id = 0;
+  HttpParser parser;
+  State state = State::kReading;
+  std::string outbox;
+  size_t out_offset = 0;
+  bool close_after_flush = false;
+  bool closed = false;
+  double last_activity = 0.0;  // reactor-clock seconds
+  uint32_t epoll_events = EPOLLIN;
+
+  explicit Connection(size_t max_request_bytes)
+      : parser(max_request_bytes) {}
+};
+
+// ---------------------------------------------------------------------------
+// ResponseHandle
+
+void ResponseHandle::Send(int code, std::string_view content_type,
+                          std::string_view body,
+                          std::string_view extra_headers) {
+  if (server_ == nullptr) return;
+  HttpServer* server = server_;
+  server_ = nullptr;  // at-most-once
+  server->CountResponse(code);
+  server->PostCompletion(
+      reactor_,
+      {conn_id_,
+       SerializeHttpResponse(code, content_type, body, keep_alive_,
+                             extra_headers),
+       keep_alive_});
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+
+HttpServer::HttpServer(HttpServerOptions options, Handler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  conns_opened_ = registry.GetCounter(obs::kNetConnectionsOpenedTotal,
+                                      "connections", "TCP connections accepted");
+  conns_closed_ = registry.GetCounter(obs::kNetConnectionsClosedTotal,
+                                      "connections", "TCP connections closed");
+  conns_active_ = registry.GetGauge(obs::kNetActiveConnections, "connections",
+                                    "currently open TCP connections");
+  requests_ = registry.GetCounter(obs::kNetRequestsTotal, "requests",
+                                  "HTTP requests fully parsed and dispatched");
+  parse_errors_ = registry.GetCounter(obs::kNetHttpParseErrorsTotal, "requests",
+                                      "malformed HTTP requests (400/413/501)");
+  timeouts_ = registry.GetCounter(
+      obs::kNetTimeoutsTotal, "connections",
+      "connections closed on a read/write/idle deadline");
+  overflow_closes_ = registry.GetCounter(
+      obs::kNetOverflowClosesTotal, "connections",
+      "accepted connections closed because max_connections was reached");
+  for (size_t i = 0; i < 4; ++i) {
+    responses_by_class_[i] = registry.GetCounter(
+        obs::LabeledName(obs::kNetResponsesTotal, "code", kCodeClassLabels[i]),
+        "responses", "HTTP responses sent, by status class");
+  }
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::CountResponse(int code) {
+  responses_by_class_[CodeClass(code)]->Increment();
+}
+
+Status HttpServer::Start() {
+  if (started_.exchange(true)) {
+    return Status::FailedPrecondition("HttpServer already started");
+  }
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(StrFormat("socket: %s", strerror(errno)));
+  }
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad listen address: " + options_.host);
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Status::IoError(StrFormat("bind %s:%u: %s", options_.host.c_str(),
+                                     options_.port, strerror(errno)));
+  }
+  if (listen(listen_fd_, 512) != 0) {
+    return Status::IoError(StrFormat("listen: %s", strerror(errno)));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  bound_port_ = ntohs(bound.sin_port);
+
+  size_t n = options_.reactor_threads;
+  if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+  for (size_t i = 0; i < n; ++i) {
+    auto r = std::make_unique<Reactor>();
+    r->epoll_fd = epoll_create1(EPOLL_CLOEXEC);
+    r->event_fd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (r->epoll_fd < 0 || r->event_fd < 0) {
+      return Status::IoError("epoll_create1/eventfd failed");
+    }
+    epoll_event ev{};
+    // The listening socket is shared by every reactor; EPOLLEXCLUSIVE makes
+    // the kernel wake exactly one of them per pending accept.
+    ev.events = EPOLLIN | EPOLLEXCLUSIVE;
+    ev.data.ptr = nullptr;
+    if (epoll_ctl(r->epoll_fd, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+      return Status::IoError(StrFormat("epoll_ctl listen: %s",
+                                       strerror(errno)));
+    }
+    epoll_event wake{};
+    wake.events = EPOLLIN;
+    wake.data.ptr = r.get();
+    epoll_ctl(r->epoll_fd, EPOLL_CTL_ADD, r->event_fd, &wake);
+    reactors_.push_back(std::move(r));
+  }
+  for (size_t i = 0; i < reactors_.size(); ++i) {
+    reactors_[i]->thread = std::thread([this, i] { ReactorLoop(i); });
+  }
+  return Status::Ok();
+}
+
+void HttpServer::Stop() {
+  if (!started_.load() || stop_.exchange(true)) return;
+  for (auto& r : reactors_) {
+    const uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = write(r->event_fd, &one, sizeof(one));
+  }
+  for (auto& r : reactors_) {
+    if (r->thread.joinable()) r->thread.join();
+    if (r->epoll_fd >= 0) close(r->epoll_fd);
+    if (r->event_fd >= 0) close(r->event_fd);
+    r->epoll_fd = r->event_fd = -1;
+  }
+  if (listen_fd_ >= 0) close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+// ---------------------------------------------------------------------------
+// Reactor
+
+void HttpServer::PostCompletion(uint32_t reactor, Completion completion) {
+  Reactor& r = *reactors_[reactor];
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.completions.push_back(std::move(completion));
+  }
+  if (!stop_.load(std::memory_order_acquire)) {
+    const uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = write(r.event_fd, &one, sizeof(one));
+  }
+}
+
+HttpServer::Connection* HttpServer::FindConnection(Reactor& r,
+                                                   uint64_t conn_id) {
+  auto it = r.conns.find(conn_id);
+  return it == r.conns.end() ? nullptr : it->second.get();
+}
+
+void HttpServer::UpdateEpoll(Reactor& r, Connection& c, uint32_t events) {
+  if (c.epoll_events == events || c.closed) return;
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.ptr = &c;
+  epoll_ctl(r.epoll_fd, EPOLL_CTL_MOD, c.fd, &ev);
+  c.epoll_events = events;
+}
+
+void HttpServer::CloseConnection(Reactor& r, Connection& c) {
+  if (c.closed) return;
+  epoll_ctl(r.epoll_fd, EPOLL_CTL_DEL, c.fd, nullptr);
+  close(c.fd);
+  c.closed = true;
+  r.dead.push_back(c.id);
+  active_connections_.fetch_sub(1, std::memory_order_relaxed);
+  conns_closed_->Increment();
+  conns_active_->Set(
+      static_cast<double>(active_connections_.load(std::memory_order_relaxed)));
+}
+
+void HttpServer::AcceptReady(Reactor& r) {
+  while (true) {
+    const int fd =
+        accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN (drained) or transient error
+    if (active_connections_.load(std::memory_order_relaxed) >=
+        options_.max_connections) {
+      // Over the connection cap: shed load at accept time. The bounded
+      // request queue (serve_app) is the polite 429 path; this is the
+      // backstop against fd exhaustion.
+      close(fd);
+      overflow_closes_->Increment();
+      continue;
+    }
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>(options_.max_request_bytes);
+    conn->fd = fd;
+    conn->id = r.next_conn_id++;
+    conn->last_activity = r.now_seconds;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = conn.get();
+    if (epoll_ctl(r.epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      close(fd);
+      continue;
+    }
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
+    conns_opened_->Increment();
+    conns_active_->Set(static_cast<double>(
+        active_connections_.load(std::memory_order_relaxed)));
+    r.conns.emplace(conn->id, std::move(conn));
+  }
+}
+
+void HttpServer::AdvanceConnection(Reactor& r, Connection& c) {
+  if (c.closed || c.state != Connection::State::kReading) return;
+  switch (c.parser.state()) {
+    case ParseState::kNeedMore:
+      UpdateEpoll(r, c, EPOLLIN);
+      return;
+    case ParseState::kError: {
+      parse_errors_->Increment();
+      CountResponse(c.parser.error_code());
+      c.outbox = SerializeHttpResponse(
+          c.parser.error_code(), "application/json",
+          "{\"error\":\"" + obs::JsonEscape(c.parser.error()) + "\"}",
+          /*keep_alive=*/false);
+      c.out_offset = 0;
+      c.close_after_flush = true;  // the byte stream is unrecoverable
+      c.state = Connection::State::kFlushing;
+      FlushWrites(r, c);
+      return;
+    }
+    case ParseState::kDone: {
+      requests_->Increment();
+      HttpRequest req = c.parser.TakeRequest();
+      // One request in flight per connection: pause reading until the
+      // response has been flushed (HTTP/1.1 ordering + TCP backpressure).
+      c.state = Connection::State::kProcessing;
+      UpdateEpoll(r, c, 0);
+      ResponseHandle handle;
+      handle.server_ = this;
+      handle.reactor_ = static_cast<uint32_t>(r.index);
+      handle.conn_id_ = c.id;
+      handle.keep_alive_ = req.keep_alive;
+      handler_(std::move(req), handle);
+      return;
+    }
+  }
+}
+
+void HttpServer::HandleReadable(Reactor& r, Connection& c) {
+  if (c.closed || c.state != Connection::State::kReading) return;
+  char buf[16384];
+  while (true) {
+    const ssize_t n = recv(c.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      c.last_activity = r.now_seconds;
+      c.parser.Feed(buf, static_cast<size_t>(n));
+      if (c.parser.state() != ParseState::kNeedMore) break;
+      if (n < static_cast<ssize_t>(sizeof(buf))) break;
+      continue;
+    }
+    if (n == 0) {  // peer closed
+      CloseConnection(r, c);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConnection(r, c);
+    return;
+  }
+  AdvanceConnection(r, c);
+}
+
+void HttpServer::FlushWrites(Reactor& r, Connection& c) {
+  if (c.closed || c.state != Connection::State::kFlushing) return;
+  while (c.out_offset < c.outbox.size()) {
+    const ssize_t n = send(c.fd, c.outbox.data() + c.out_offset,
+                           c.outbox.size() - c.out_offset, MSG_NOSIGNAL);
+    if (n >= 0) {
+      c.out_offset += static_cast<size_t>(n);
+      c.last_activity = r.now_seconds;
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      UpdateEpoll(r, c, EPOLLOUT);
+      return;
+    }
+    if (errno == EINTR) continue;
+    CloseConnection(r, c);
+    return;
+  }
+  c.outbox.clear();
+  c.out_offset = 0;
+  if (c.close_after_flush) {
+    CloseConnection(r, c);
+    return;
+  }
+  c.state = Connection::State::kReading;
+  c.last_activity = r.now_seconds;
+  // Pipelined bytes may already hold the next complete request.
+  AdvanceConnection(r, c);
+}
+
+void HttpServer::DrainCompletions(Reactor& r) {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    batch.swap(r.completions);
+  }
+  for (Completion& comp : batch) {
+    Connection* c = FindConnection(r, comp.conn_id);
+    if (c == nullptr || c->closed) continue;  // client went away; discard
+    c->outbox = std::move(comp.bytes);
+    c->out_offset = 0;
+    c->close_after_flush = !comp.keep_alive;
+    c->state = Connection::State::kFlushing;
+    FlushWrites(r, *c);
+  }
+}
+
+void HttpServer::SweepTimeouts(Reactor& r) {
+  const double now = r.now_seconds;
+  if (now - r.last_sweep_seconds < 0.1) return;
+  r.last_sweep_seconds = now;
+  for (auto& [id, conn] : r.conns) {
+    Connection& c = *conn;
+    if (c.closed) continue;
+    const double idle_ms = (now - c.last_activity) * 1e3;
+    bool expired = false;
+    switch (c.state) {
+      case Connection::State::kReading:
+        expired = c.parser.HasBufferedBytes()
+                      ? idle_ms > options_.read_timeout_ms
+                      : idle_ms > options_.idle_timeout_ms;
+        break;
+      case Connection::State::kFlushing:
+        expired = idle_ms > options_.write_timeout_ms;
+        break;
+      case Connection::State::kProcessing:
+        // The application owns latency here (bounded queue + batcher).
+        break;
+    }
+    if (expired) {
+      timeouts_->Increment();
+      CloseConnection(r, c);
+    }
+  }
+}
+
+void HttpServer::ReactorLoop(size_t index) {
+  Reactor& r = *reactors_[index];
+  r.index = index;
+  WallTimer clock;
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int n = epoll_wait(r.epoll_fd, events, kMaxEvents, 100);
+    r.now_seconds = clock.ElapsedSeconds();
+    for (int i = 0; i < n; ++i) {
+      void* ptr = events[i].data.ptr;
+      if (ptr == nullptr) {
+        AcceptReady(r);
+      } else if (ptr == &r) {
+        uint64_t drain = 0;
+        while (read(r.event_fd, &drain, sizeof(drain)) > 0) {
+        }
+        DrainCompletions(r);
+      } else {
+        Connection& c = *static_cast<Connection*>(ptr);
+        if (c.closed) continue;
+        const uint32_t ev = events[i].events;
+        if ((ev & (EPOLLERR | EPOLLHUP)) != 0) {
+          CloseConnection(r, c);
+          continue;
+        }
+        if ((ev & EPOLLIN) != 0) HandleReadable(r, c);
+        if (!c.closed && (ev & EPOLLOUT) != 0) FlushWrites(r, c);
+      }
+    }
+    SweepTimeouts(r);
+    // Deferred destruction: Connection objects stay alive (flagged closed)
+    // until the epoll_wait batch that may still reference them has been
+    // fully processed.
+    for (uint64_t id : r.dead) r.conns.erase(id);
+    r.dead.clear();
+  }
+  for (auto& [id, conn] : r.conns) {
+    if (!conn->closed) {
+      close(conn->fd);
+      conns_closed_->Increment();
+      active_connections_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  r.conns.clear();
+  conns_active_->Set(
+      static_cast<double>(active_connections_.load(std::memory_order_relaxed)));
+}
+
+}  // namespace net
+}  // namespace transn

@@ -1,0 +1,171 @@
+#ifndef TRANSN_NET_HTTP_SERVER_H_
+#define TRANSN_NET_HTTP_SERVER_H_
+
+#include <stdint.h>
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/http.h"
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace transn {
+namespace net {
+
+class HttpServer;
+
+/// One-shot completion token for a parsed request. The server hands one to
+/// the request handler; whoever ends up owning it calls Send() exactly once
+/// — from any thread. Send() serializes the response and posts it to the
+/// reactor owning the connection (the reactor writes it out and resumes
+/// reading). If the client disconnected in the meantime, the response is
+/// silently discarded. Default-constructed handles are inert.
+class ResponseHandle {
+ public:
+  ResponseHandle() = default;
+
+  /// Thread-safe; at most once per handle. `extra_headers` is zero or more
+  /// full "Name: value\r\n" lines (e.g. "Retry-After: 1\r\n").
+  void Send(int code, std::string_view content_type, std::string_view body,
+            std::string_view extra_headers = "");
+
+  bool valid() const { return server_ != nullptr; }
+
+ private:
+  friend class HttpServer;
+  HttpServer* server_ = nullptr;
+  uint32_t reactor_ = 0;
+  uint64_t conn_id_ = 0;
+  bool keep_alive_ = true;
+};
+
+struct HttpServerOptions {
+  /// IPv4 listen address; "0.0.0.0" for all interfaces.
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port (read it back with port()).
+  uint16_t port = 0;
+  /// Reactor (epoll loop) threads; 0 = one per hardware thread
+  /// (thread-per-core). Each accepted connection is owned by exactly one
+  /// reactor for its whole life.
+  size_t reactor_threads = 1;
+  /// Accepted connections above this are closed immediately.
+  size_t max_connections = 1024;
+  /// Hard cap on one request (header + body); larger requests get 413.
+  size_t max_request_bytes = 1 << 20;
+  /// Connection closed when a partial request stalls this long.
+  int read_timeout_ms = 10'000;
+  /// Connection closed when a response cannot be flushed for this long.
+  int write_timeout_ms = 10'000;
+  /// Keep-alive connections idle (no request in progress) this long close.
+  int idle_timeout_ms = 30'000;
+};
+
+/// Minimal epoll-based HTTP/1.1 server: a small pool of reactor threads,
+/// each running its own epoll loop over the connections it accepted (the
+/// listening socket is registered EPOLLEXCLUSIVE in every reactor, so the
+/// kernel load-balances accepts). Responses may complete asynchronously on
+/// other threads via ResponseHandle; requests on one connection are
+/// processed strictly one at a time (reading pauses until the response is
+/// flushed), which keeps HTTP/1.1 response ordering trivially correct and
+/// gives natural TCP backpressure under pipelining.
+///
+/// The handler runs on a reactor thread: it must not block. Fast endpoints
+/// respond inline via handle.Send(); slow ones enqueue the work elsewhere
+/// (see net/serve_app.h) and return.
+class HttpServer {
+ public:
+  using Handler = std::function<void(HttpRequest&&, ResponseHandle)>;
+
+  HttpServer(HttpServerOptions options, Handler handler);
+  /// Calls Stop().
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and starts the reactor threads.
+  Status Start();
+
+  /// Closes the listener and every connection, joins the reactors.
+  /// Idempotent. ResponseHandle::Send after Stop is a safe no-op, but the
+  /// server object must outlive every outstanding handle.
+  void Stop();
+
+  /// Bound port (after Start); useful with options.port == 0.
+  uint16_t port() const { return bound_port_; }
+  size_t reactor_threads() const { return reactors_.size(); }
+  const HttpServerOptions& options() const { return options_; }
+
+ private:
+  struct Connection;
+  struct Completion {
+    uint64_t conn_id = 0;
+    std::string bytes;
+    bool keep_alive = true;
+  };
+  struct Reactor {
+    size_t index = 0;
+    int epoll_fd = -1;
+    int event_fd = -1;
+    std::thread thread;
+    /// Everything below `thread` is touched only by the reactor thread,
+    /// except the guarded completion inbox at the bottom.
+    std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns;
+    /// Connections closed during the current epoll batch; destroyed only
+    /// after the batch (later events may still point at them).
+    std::vector<uint64_t> dead;
+    uint64_t next_conn_id = 1;
+    double now_seconds = 0.0;
+    double last_sweep_seconds = 0.0;
+    /// Cross-thread response inbox (guarded).
+    std::mutex mu;
+    std::vector<Completion> completions;
+  };
+
+  void ReactorLoop(size_t index);
+  void AcceptReady(Reactor& r);
+  void DrainCompletions(Reactor& r);
+  void HandleReadable(Reactor& r, Connection& c);
+  void FlushWrites(Reactor& r, Connection& c);
+  /// Parses as many buffered bytes as allowed and dispatches at most one
+  /// request (one-in-flight discipline).
+  void AdvanceConnection(Reactor& r, Connection& c);
+  void CloseConnection(Reactor& r, Connection& c);
+  void SweepTimeouts(Reactor& r);
+  void UpdateEpoll(Reactor& r, Connection& c, uint32_t events);
+  Connection* FindConnection(Reactor& r, uint64_t conn_id);
+  void PostCompletion(uint32_t reactor, Completion completion);
+  void CountResponse(int code);
+
+  HttpServerOptions options_;
+  Handler handler_;
+  int listen_fd_ = -1;
+  uint16_t bound_port_ = 0;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<size_t> active_connections_{0};
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+
+  // Cached obs registry handles (see obs/metric_names.h).
+  obs::Counter* conns_opened_;
+  obs::Counter* conns_closed_;
+  obs::Gauge* conns_active_;
+  obs::Counter* requests_;
+  obs::Counter* parse_errors_;
+  obs::Counter* timeouts_;
+  obs::Counter* overflow_closes_;
+  obs::Counter* responses_by_class_[4];
+
+  friend class ResponseHandle;
+};
+
+}  // namespace net
+}  // namespace transn
+
+#endif  // TRANSN_NET_HTTP_SERVER_H_

@@ -1,0 +1,334 @@
+#include "net/serve_app.h"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "obs/json_escape.h"
+#include "obs/metric_names.h"
+#include "serve/translation_service.h"
+#include "util/string_util.h"
+
+namespace transn {
+namespace net {
+
+namespace {
+
+constexpr const char* kJson = "application/json";
+
+std::string ErrorBody(const std::string& message) {
+  return "{\"error\":\"" + obs::JsonEscape(message) + "\"}";
+}
+
+std::string ChainJson(const std::vector<uint32_t>& chain) {
+  std::string out = "[";
+  for (size_t i = 0; i < chain.size(); ++i) {
+    if (i != 0) out += ',';
+    out += StrFormat("%u", chain[i]);
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace
+
+int HttpCodeForStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk: return 200;
+    case StatusCode::kNotFound: return 404;
+    case StatusCode::kInvalidArgument: return 400;
+    case StatusCode::kFailedPrecondition: return 503;
+    default: return 500;
+  }
+}
+
+ServeApp::ServeApp(ServeAppOptions options)
+    : options_(std::move(options)),
+      manager_(options_.query, options_.warmup_queries) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  request_seconds_ = registry.GetHistogram(
+      obs::kNetRequestSeconds, "seconds",
+      "HTTP query latency: admission to response queued");
+  rejected_ = registry.GetCounter(obs::kNetRejectedTotal, "requests",
+                                  "requests rejected with 429 (queue full)");
+  batches_ = registry.GetCounter(obs::kNetBatchesTotal, "batches",
+                                 "coalesced QueryServer batches executed");
+  queue_depth_ = registry.GetGauge(obs::kNetQueueDepth, "requests",
+                                   "bounded request queue depth");
+}
+
+ServeApp::~ServeApp() { Stop(); }
+
+Status ServeApp::Start() {
+  RETURN_IF_ERROR(manager_.Reload(options_.model_path));
+  stop_.store(false);
+  executor_ = std::thread([this] { ExecutorLoop(); });
+  reload_worker_ = std::thread([this] { ReloadLoop(); });
+  return Status::Ok();
+}
+
+void ServeApp::Stop() {
+  if (stop_.exchange(true)) {
+    // Still join if Start was interleaved oddly; threads exit on stop_.
+  }
+  queue_cv_.notify_all();
+  reload_cv_.notify_all();
+  if (executor_.joinable()) executor_.join();
+  if (reload_worker_.joinable()) reload_worker_.join();
+}
+
+void ServeApp::HandleRequest(HttpRequest&& request, ResponseHandle handle) {
+  const std::string& path = request.path;
+
+  if (path == "/healthz" || path == "/metrics" || path == "/v1/knn" ||
+      path == "/v1/translate") {
+    if (request.method != "GET") {
+      handle.Send(405, kJson, ErrorBody("method not allowed; use GET"));
+      return;
+    }
+  }
+
+  if (path == "/healthz") {
+    AnswerHealthz(handle);
+    return;
+  }
+  if (path == "/metrics") {
+    AnswerMetrics(handle);
+    return;
+  }
+  if (path == "/v1/knn" || path == "/v1/translate") {
+    QueuedQuery q;
+    q.node = request.Param("node");
+    if (q.node.empty()) {
+      handle.Send(400, kJson, ErrorBody("missing required ?node= parameter"));
+      return;
+    }
+    if (path == "/v1/translate") {
+      q.kind = QueryKind::kTranslate;
+      q.view = request.Param("view");
+      if (q.view.empty()) {
+        handle.Send(400, kJson,
+                    ErrorBody("missing required ?view= parameter"));
+        return;
+      }
+    }
+    q.handle = handle;
+    EnqueueQuery(std::move(q), &handle);
+    return;
+  }
+  if (path == "/admin/reload") {
+    if (request.method != "POST") {
+      handle.Send(405, kJson, ErrorBody("method not allowed; use POST"));
+      return;
+    }
+    ReloadRequest req;
+    req.path = request.Param("path");
+    if (req.path.empty()) req.path = options_.model_path;
+    req.handle = handle;
+    {
+      std::lock_guard<std::mutex> lock(reload_mu_);
+      reload_queue_.push_back(std::move(req));
+    }
+    reload_cv_.notify_one();
+    return;
+  }
+  handle.Send(404, kJson, ErrorBody("no such endpoint: " + path));
+}
+
+void ServeApp::EnqueueQuery(QueuedQuery&& q, ResponseHandle* rejected_handle) {
+  size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (queue_.size() >= options_.max_queue || stop_.load()) {
+      rejected_->Increment();
+      rejected_handle->Send(429, kJson,
+                            ErrorBody("request queue full, retry later"),
+                            "Retry-After: 1\r\n");
+      return;
+    }
+    queue_.push_back(std::move(q));
+    depth = queue_.size();
+  }
+  queue_depth_->Set(static_cast<double>(depth));
+  queue_cv_.notify_one();
+}
+
+void ServeApp::ExecutorLoop() {
+  while (true) {
+    std::vector<QueuedQuery> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock,
+                     [&] { return stop_.load() || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_.load()) return;  // drained; queued work never dropped
+        continue;
+      }
+      const size_t n = std::min(queue_.size(), options_.max_batch);
+      batch.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      queue_depth_->Set(static_cast<double>(queue_.size()));
+    }
+
+    // Readers pin the generation current at batch start; a reload swapping
+    // mid-batch affects only later batches.
+    std::shared_ptr<const ServingModel> model = manager_.Current();
+    if (model == nullptr) {
+      for (QueuedQuery& q : batch) {
+        q.handle.Send(503, kJson, ErrorBody("no model loaded"));
+        request_seconds_->Record(q.timer.ElapsedSeconds());
+      }
+      continue;
+    }
+
+    // Coalesce the k-NN queries into one QueryServer batch.
+    std::vector<size_t> knn_members;
+    std::vector<std::string> knn_names;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i].kind == QueryKind::kKnn) {
+        knn_members.push_back(i);
+        knn_names.push_back(batch[i].node);
+      }
+    }
+    std::vector<QueryResponse> knn_responses;
+    if (!knn_names.empty()) {
+      knn_responses = model->server->HandleBatch(knn_names);
+      batches_->Increment();
+    }
+    for (size_t j = 0; j < knn_members.size(); ++j) {
+      QueuedQuery& q = batch[knn_members[j]];
+      const QueryResponse& r = knn_responses[j];
+      if (!r.status.ok()) {
+        q.handle.Send(HttpCodeForStatus(r.status),
+                      kJson, ErrorBody(r.status.message()));
+      } else {
+        std::string body = "{\"node\":\"" + obs::JsonEscape(q.node) + "\"";
+        body += StrFormat(",\"generation\":%llu",
+                          static_cast<unsigned long long>(model->generation));
+        body += r.translated ? ",\"translated\":true" : ",\"translated\":false";
+        body += ",\"chain\":" + ChainJson(r.chain);
+        body += ",\"neighbors\":[";
+        for (size_t n = 0; n < r.neighbors.size(); ++n) {
+          if (n != 0) body += ',';
+          body += "{\"node\":\"";
+          body += obs::JsonEscape(model->store.node_name(r.neighbors[n].node));
+          body += StrFormat("\",\"score\":%.6f}", r.neighbors[n].score);
+        }
+        body += "]}";
+        q.handle.Send(200, kJson, body);
+      }
+      request_seconds_->Record(q.timer.ElapsedSeconds());
+    }
+
+    // Translation queries resolve individually (no index scan to amortize).
+    TranslationService translation(&model->store);
+    for (QueuedQuery& q : batch) {
+      if (q.kind != QueryKind::kTranslate) continue;
+      const NodeId node = model->store.FindNode(q.node);
+      const int view = model->store.FindViewByName(q.view);
+      if (node == kInvalidNode) {
+        q.handle.Send(404, kJson, ErrorBody("unknown node: " + q.node));
+      } else if (view < 0) {
+        q.handle.Send(404, kJson, ErrorBody("unknown view: " + q.view));
+      } else {
+        StatusOr<ResolvedEmbedding> resolved =
+            translation.Resolve(node, static_cast<uint32_t>(view));
+        if (!resolved.ok()) {
+          q.handle.Send(HttpCodeForStatus(resolved.status()), kJson,
+                        ErrorBody(resolved.status().message()));
+        } else {
+          std::string body = "{\"node\":\"" + obs::JsonEscape(q.node) +
+                             "\",\"view\":\"" + obs::JsonEscape(q.view) + "\"";
+          body += resolved->translated ? ",\"translated\":true"
+                                       : ",\"translated\":false";
+          body += ",\"chain\":" + ChainJson(resolved->chain);
+          body += ",\"embedding\":[";
+          for (size_t d = 0; d < resolved->embedding.size(); ++d) {
+            if (d != 0) body += ',';
+            body += StrFormat("%.9g", resolved->embedding[d]);
+          }
+          body += "]}";
+          q.handle.Send(200, kJson, body);
+        }
+      }
+      request_seconds_->Record(q.timer.ElapsedSeconds());
+    }
+  }
+}
+
+void ServeApp::RunReload(const ReloadRequest& req) {
+  const Status status = manager_.Reload(req.path);
+  ResponseHandle handle = req.handle;  // inert for SIGHUP-triggered reloads
+  if (!handle.valid()) return;
+  if (!status.ok()) {
+    handle.Send(HttpCodeForStatus(status), kJson,
+                ErrorBody(status.message()));
+    return;
+  }
+  std::shared_ptr<const ServingModel> model = manager_.Current();
+  handle.Send(
+      200, kJson,
+      StrFormat("{\"status\":\"reloaded\",\"generation\":%llu,"
+                "\"model_load_seconds\":%.6f,\"index_build_seconds\":%.6f}",
+                static_cast<unsigned long long>(model->generation),
+                model->load_seconds, model->index_build_seconds));
+}
+
+void ServeApp::ReloadLoop() {
+  while (true) {
+    ReloadRequest req;
+    bool have_request = false;
+    {
+      std::unique_lock<std::mutex> lock(reload_mu_);
+      // Timed wait so SIGHUP (flag set from the signal handler, which cannot
+      // safely notify a condition variable) is noticed promptly.
+      reload_cv_.wait_for(lock, std::chrono::milliseconds(100), [&] {
+        return stop_.load() || !reload_queue_.empty();
+      });
+      if (!reload_queue_.empty()) {
+        req = std::move(reload_queue_.front());
+        reload_queue_.pop_front();
+        have_request = true;
+      } else if (stop_.load()) {
+        return;
+      }
+    }
+    if (have_request) {
+      RunReload(req);
+    } else if (sighup_pending_.exchange(false, std::memory_order_acq_rel)) {
+      ReloadRequest sighup;
+      sighup.path = options_.model_path;
+      RunReload(sighup);
+    }
+  }
+}
+
+void ServeApp::AnswerHealthz(ResponseHandle& handle) {
+  std::shared_ptr<const ServingModel> model = manager_.Current();
+  if (model == nullptr) {
+    handle.Send(503, kJson, "{\"status\":\"loading\"}");
+    return;
+  }
+  handle.Send(
+      200, kJson,
+      StrFormat("{\"status\":\"ok\",\"generation\":%llu,"
+                "\"model_path\":\"%s\",\"nodes\":%zu,\"views\":%zu,"
+                "\"model_load_seconds\":%.6f,\"index_build_seconds\":%.6f}",
+                static_cast<unsigned long long>(model->generation),
+                obs::JsonEscape(model->path).c_str(), model->store.num_nodes(),
+                model->store.views().size(), model->load_seconds,
+                model->index_build_seconds));
+}
+
+void ServeApp::AnswerMetrics(ResponseHandle& handle) {
+  std::ostringstream os;
+  obs::MetricsRegistry::Default().WritePrometheus(os);
+  handle.Send(200, "text/plain; version=0.0.4", os.str());
+}
+
+}  // namespace net
+}  // namespace transn

@@ -1,0 +1,132 @@
+#ifndef TRANSN_NET_SERVE_APP_H_
+#define TRANSN_NET_SERVE_APP_H_
+
+#include <stddef.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "net/http.h"
+#include "net/http_server.h"
+#include "obs/metrics.h"
+#include "serve/model_manager.h"
+#include "serve/query_server.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace transn {
+namespace net {
+
+struct ServeAppOptions {
+  /// Serving-model file loaded at Start() and on every reload; a reload may
+  /// name a different file with ?path= as a one-shot override.
+  std::string model_path;
+  /// Admission control: queued query requests above this are rejected with
+  /// 429 + Retry-After instead of growing latency without bound.
+  size_t max_queue = 1024;
+  /// Largest number of queued requests coalesced into one QueryServer batch.
+  size_t max_batch = 64;
+  /// Unrecorded warmup queries run against each new generation pre-swap.
+  size_t warmup_queries = 0;
+  QueryServerOptions query;
+};
+
+/// The HTTP application over ModelManager/QueryServer: routing, request
+/// coalescing, admission control, and hot reload.
+///
+/// Endpoints:
+///   GET  /v1/knn?node=NAME        k-NN neighbors (cold-start translation
+///                                 is applied automatically when needed)
+///   GET  /v1/translate?node=NAME&view=VIEW
+///                                 resolved embedding in VIEW's space
+///   GET  /healthz                 JSON liveness + current model generation
+///   GET  /metrics                 Prometheus text exposition
+///   POST /admin/reload[?path=P]   atomic hot reload (responds when done)
+///
+/// /healthz and /metrics answer inline on the reactor thread. Query traffic
+/// is pushed through a bounded queue drained by ONE batching-executor
+/// thread, which coalesces whatever is queued (up to max_batch) into a
+/// single QueryServer::HandleBatch call — this both amortizes dispatch and
+/// serializes all recorded traffic, satisfying QueryServer's
+/// single-recorder thread-safety contract. Reloads run on a dedicated
+/// worker so queries keep flowing mid-swap.
+class ServeApp {
+ public:
+  explicit ServeApp(ServeAppOptions options);
+  ~ServeApp();
+  ServeApp(const ServeApp&) = delete;
+  ServeApp& operator=(const ServeApp&) = delete;
+
+  /// Loads the initial model and starts the executor + reload threads.
+  Status Start();
+
+  /// Drains the queue (queued requests still get responses; Sends are
+  /// no-ops if the HTTP server already stopped) and joins the threads.
+  void Stop();
+
+  /// HttpServer handler; non-blocking (reactor-thread safe).
+  void HandleRequest(HttpRequest&& request, ResponseHandle handle);
+
+  /// Async-signal-safe reload trigger (SIGHUP handler calls this).
+  void TriggerReloadFromSignal() {
+    sighup_pending_.store(true, std::memory_order_release);
+  }
+
+  ModelManager& manager() { return manager_; }
+  const ServeAppOptions& options() const { return options_; }
+
+ private:
+  enum class QueryKind { kKnn, kTranslate };
+  struct QueuedQuery {
+    QueryKind kind = QueryKind::kKnn;
+    std::string node;
+    std::string view;  // kTranslate only
+    ResponseHandle handle;
+    WallTimer timer;  // started at admission; net.request_seconds
+  };
+  struct ReloadRequest {
+    std::string path;
+    ResponseHandle handle;  // inert for SIGHUP-triggered reloads
+  };
+
+  void EnqueueQuery(QueuedQuery&& q, ResponseHandle* rejected_handle);
+  void ExecutorLoop();
+  void ReloadLoop();
+  void RunReload(const ReloadRequest& req);
+  void AnswerHealthz(ResponseHandle& handle);
+  void AnswerMetrics(ResponseHandle& handle);
+
+  ServeAppOptions options_;
+  ModelManager manager_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> sighup_pending_{false};
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<QueuedQuery> queue_;
+  std::thread executor_;
+
+  std::mutex reload_mu_;
+  std::condition_variable reload_cv_;
+  std::deque<ReloadRequest> reload_queue_;
+  std::thread reload_worker_;
+
+  obs::Histogram* request_seconds_;
+  obs::Counter* rejected_;
+  obs::Counter* batches_;
+  obs::Gauge* queue_depth_;
+};
+
+/// kNotFound -> 404, kInvalidArgument -> 400, kFailedPrecondition -> 503,
+/// everything else -> 500.
+int HttpCodeForStatus(const Status& status);
+
+}  // namespace net
+}  // namespace transn
+
+#endif  // TRANSN_NET_SERVE_APP_H_

@@ -101,6 +101,47 @@ inline constexpr char kServeColdStartTotal[] =
 inline constexpr char kServeRequestLatencySeconds[] =
     "serve.request_latency_seconds";
 
+// --- src/serve/model_manager.h: hot reload --------------------------------
+/// Successful atomic model swaps (initial load counts as generation 1).
+inline constexpr char kServeReloadsTotal[] = "serve.reloads_total";
+/// Reload attempts that failed validation/load; the old model kept serving.
+inline constexpr char kServeReloadFailuresTotal[] =
+    "serve.reload_failures_total";
+/// End-to-end reload wall time (model load + index build + swap).
+inline constexpr char kServeReloadSeconds[] = "serve.reload_seconds";
+/// Generation number of the model currently serving (1 = initial load).
+inline constexpr char kServeModelGeneration[] = "serve.model_generation";
+
+// --- src/net/: HTTP front end ---------------------------------------------
+/// TCP connections accepted by the reactors.
+inline constexpr char kNetConnectionsOpenedTotal[] =
+    "net.connections_opened_total";
+/// TCP connections closed (any reason).
+inline constexpr char kNetConnectionsClosedTotal[] =
+    "net.connections_closed_total";
+/// Currently open TCP connections.
+inline constexpr char kNetActiveConnections[] = "net.active_connections";
+/// HTTP requests fully parsed and dispatched to the application.
+inline constexpr char kNetRequestsTotal[] = "net.requests_total";
+/// HTTP responses sent, labeled {code=2xx|3xx|4xx|5xx}.
+inline constexpr char kNetResponsesTotal[] = "net.responses_total";
+/// Malformed requests rejected by the parser (400/413/501).
+inline constexpr char kNetHttpParseErrorsTotal[] =
+    "net.http_parse_errors_total";
+/// Connections closed on a read/write/idle deadline.
+inline constexpr char kNetTimeoutsTotal[] = "net.timeouts_total";
+/// Accepted connections shed because max_connections was reached.
+inline constexpr char kNetOverflowClosesTotal[] = "net.overflow_closes_total";
+/// End-to-end HTTP request latency (parse done -> response queued), covering
+/// queue wait + batch execution.
+inline constexpr char kNetRequestSeconds[] = "net.request_seconds";
+/// Requests rejected with 429 by admission control (bounded queue full).
+inline constexpr char kNetRejectedTotal[] = "net.rejected_total";
+/// Coalesced QueryServer batches executed by the batching executor.
+inline constexpr char kNetBatchesTotal[] = "net.batches_total";
+/// Instantaneous depth of the bounded request queue.
+inline constexpr char kNetQueueDepth[] = "net.queue_depth";
+
 }  // namespace obs
 }  // namespace transn
 

@@ -6,6 +6,7 @@
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "serve/serving_format.h"
+#include "util/fault.h"
 #include "util/safe_io.h"
 #include "util/string_util.h"
 
@@ -60,7 +61,9 @@ StatusOr<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {
   if (!in) return Status::IoError("cannot open: " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
-  if (!in.good() && !in.eof()) return Status::IoError("read failed: " + path);
+  if ((!in.good() && !in.eof()) || fault::MaybeFail(fault::kIoRead)) {
+    return Status::IoError("read failed: " + path);
+  }
   const std::string data = std::move(buf).str();
 
   if (data.size() < sizeof(kServingMagic) + sizeof(uint64_t) ||

@@ -1,0 +1,71 @@
+#include "serve/model_manager.h"
+
+#include <utility>
+
+#include "obs/metric_names.h"
+#include "util/timer.h"
+
+namespace transn {
+
+ModelManager::ModelManager(QueryServerOptions options, size_t warmup_queries)
+    : options_(options), warmup_queries_(warmup_queries) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  reloads_ = registry.GetCounter(obs::kServeReloadsTotal, "reloads",
+                                "successful atomic model swaps");
+  reload_failures_ = registry.GetCounter(
+      obs::kServeReloadFailuresTotal, "reloads",
+      "reload attempts that failed; the old model kept serving");
+  reload_seconds_ = registry.GetHistogram(
+      obs::kServeReloadSeconds, "seconds",
+      "end-to-end reload wall time (load + index build + swap)");
+  generation_gauge_ = registry.GetGauge(
+      obs::kServeModelGeneration, "generation",
+      "generation number of the model currently serving");
+}
+
+Status ModelManager::Reload(const std::string& path) {
+  std::lock_guard<std::mutex> reload_lock(reload_mu_);
+  WallTimer total;
+
+  // Build the whole next generation off to the side; the current model keeps
+  // serving reads throughout. Any failure below returns before the swap, so
+  // a partial load can never become visible.
+  auto next = std::make_shared<ServingModel>();
+  next->path = path;
+
+  WallTimer load_timer;
+  StatusOr<EmbeddingStore> store = EmbeddingStore::Load(path);
+  if (!store.ok()) {
+    reload_failures_->Increment();
+    return store.status();
+  }
+  next->store = std::move(store).value();
+  next->load_seconds = load_timer.ElapsedSeconds();
+
+  WallTimer index_timer;
+  next->server = std::make_unique<QueryServer>(&next->store, options_);
+  next->index_build_seconds = index_timer.ElapsedSeconds();
+  if (warmup_queries_ > 0) next->server->Warmup(warmup_queries_);
+
+  next->generation = next_generation_++;
+  {
+    std::lock_guard<std::mutex> swap_lock(swap_mu_);
+    current_ = std::move(next);  // old generation freed when last reader drops
+  }
+  reloads_->Increment();
+  reload_seconds_->Record(total.ElapsedSeconds());
+  generation_gauge_->Set(static_cast<double>(generation()));
+  return Status::Ok();
+}
+
+std::shared_ptr<const ServingModel> ModelManager::Current() const {
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  return current_;
+}
+
+uint64_t ModelManager::generation() const {
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  return current_ == nullptr ? 0 : current_->generation;
+}
+
+}  // namespace transn

@@ -1,0 +1,79 @@
+#ifndef TRANSN_SERVE_MODEL_MANAGER_H_
+#define TRANSN_SERVE_MODEL_MANAGER_H_
+
+#include <stdint.h>
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.h"
+#include "serve/embedding_store.h"
+#include "serve/query_server.h"
+#include "util/status.h"
+
+namespace transn {
+
+/// One immutable serving generation: a loaded EmbeddingStore plus the
+/// QueryServer (k-NN index, translators) built over it. Created by
+/// ModelManager; never mutated after construction, so any number of threads
+/// may read a generation they hold a shared_ptr to.
+///
+/// QueryServer::Handle(name, /*record=*/false) is the only thread-safe entry
+/// point for concurrent callers (the recording path and HandleBatch mutate a
+/// shared histogram); the serve_app batching executor serializes all
+/// recorded traffic through one thread instead.
+struct ServingModel {
+  uint64_t generation = 0;
+  std::string path;
+  /// Wall seconds spent in EmbeddingStore::Load / QueryServer construction
+  /// (the two halves of a reload), for /healthz and bench reporting.
+  double load_seconds = 0.0;
+  double index_build_seconds = 0.0;
+  EmbeddingStore store;
+  std::unique_ptr<QueryServer> server;
+};
+
+/// RCU-style holder of the current ServingModel. Readers take a snapshot
+/// (shared_ptr copy under a short mutex) and use it lock-free for as long as
+/// they like; Reload() builds the next generation completely off to the side
+/// and swaps the pointer only on success, so a failed load leaves the old
+/// model serving and in-flight queries on the old snapshot are never
+/// invalidated.
+class ModelManager {
+ public:
+  /// `warmup_queries` unrecorded queries run against every freshly built
+  /// generation before it is swapped in (cache/page warmup off-traffic).
+  explicit ModelManager(QueryServerOptions options, size_t warmup_queries = 0);
+
+  /// Loads `path` and builds a fresh index; on success the new generation
+  /// becomes current. On failure the previous generation (if any) keeps
+  /// serving and the error is returned. Serialized: concurrent Reload calls
+  /// queue behind `reload_mu_`.
+  Status Reload(const std::string& path);
+
+  /// The current generation, or null before the first successful Reload.
+  std::shared_ptr<const ServingModel> Current() const;
+
+  /// Generation counter of the current model (0 = none yet).
+  uint64_t generation() const;
+
+ private:
+  QueryServerOptions options_;
+  size_t warmup_queries_ = 0;
+  /// Serializes reloads (load + index build happen outside swap_mu_).
+  std::mutex reload_mu_;
+  uint64_t next_generation_ = 1;
+  /// Guards only the pointer swap/copy.
+  mutable std::mutex swap_mu_;
+  std::shared_ptr<const ServingModel> current_;
+
+  obs::Counter* reloads_;
+  obs::Counter* reload_failures_;
+  obs::Histogram* reload_seconds_;
+  obs::Gauge* generation_gauge_;
+};
+
+}  // namespace transn
+
+#endif  // TRANSN_SERVE_MODEL_MANAGER_H_

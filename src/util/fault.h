@@ -32,6 +32,10 @@ namespace fault {
 /// CheckedWriter buffer flush: the write fails wholesale, as if the disk
 /// were full (ENOSPC).
 inline constexpr char kIoWrite[] = "io.write";
+/// EmbeddingStore::Load, checked after the file bytes are in memory: the
+/// read fails as if the file were truncated/unreadable mid-reload. Used to
+/// prove a failed hot reload leaves the old model serving (no partial swap).
+inline constexpr char kIoRead[] = "io.read";
 /// CheckedWriter buffer flush: only half of the buffer reaches the file
 /// before the failure (a short write / torn page).
 inline constexpr char kIoShortWrite[] = "io.short_write";

@@ -1,6 +1,10 @@
 #include "util/histogram.h"
 
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
+#include "obs/metrics.h"
 
 namespace transn {
 namespace {
@@ -85,6 +89,81 @@ TEST(LatencyHistogramTest, OutOfRangeSamplesClampToEdgeBuckets) {
   EXPECT_DOUBLE_EQ(h.min(), 0.0);
   EXPECT_DOUBLE_EQ(h.max(), 5000.0);
   EXPECT_LE(h.Percentile(1), h.Percentile(99));
+}
+
+TEST(LatencyHistogramTest, SaturatingBucketPinsAllPercentiles) {
+  // Every sample is identical, so one bucket absorbs the entire mass.
+  // Any interior percentile rank lands in that saturated bucket and must
+  // report its midpoint; p0/p100 stay the exact extremes.
+  LatencyHistogram h;
+  for (int i = 0; i < 100000; ++i) h.Record(0.005);
+  EXPECT_EQ(h.count(), 100000u);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 0.005);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 0.005);
+  const double p1 = h.Percentile(1);
+  for (double p : {25.0, 50.0, 90.0, 99.0, 99.99}) {
+    EXPECT_DOUBLE_EQ(h.Percentile(p), p1) << "p" << p;
+  }
+  EXPECT_NEAR(p1, 0.005, 0.005 * 0.06);
+  EXPECT_NEAR(h.mean(), 0.005, 1e-12);  // 1e5 summations accumulate ulps
+}
+
+TEST(LatencyHistogramTest, SaturatedEdgeBucketAboveRange) {
+  // All samples above the top bucket edge clamp into the last bucket; the
+  // p99 path must not read past the bucket array or return garbage.
+  LatencyHistogram h;
+  for (int i = 0; i < 1000; ++i) h.Record(1e9);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_DOUBLE_EQ(h.min(), 1e9);
+  EXPECT_DOUBLE_EQ(h.max(), 1e9);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 1e9);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 1e9);
+  const double p50 = h.Percentile(50);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), p50);  // same saturated edge bucket
+}
+
+// --- obs::Histogram (the registry-level wrapper the p99 reporting uses) ----
+
+TEST(ObsHistogramTest, EmptySnapshot) {
+  obs::Histogram h;
+  LatencyHistogram snap = h.Snapshot();
+  EXPECT_EQ(snap.count(), 0u);
+  EXPECT_EQ(snap.Percentile(99), 0.0);
+  EXPECT_EQ(snap.mean(), 0.0);
+}
+
+TEST(ObsHistogramTest, SingleSampleSnapshot) {
+  obs::Histogram h;
+  h.Record(0.020);
+  LatencyHistogram snap = h.Snapshot();
+  EXPECT_EQ(snap.count(), 1u);
+  EXPECT_DOUBLE_EQ(snap.min(), 0.020);
+  EXPECT_DOUBLE_EQ(snap.max(), 0.020);
+  EXPECT_DOUBLE_EQ(snap.Percentile(0), 0.020);
+  EXPECT_DOUBLE_EQ(snap.Percentile(100), 0.020);
+  EXPECT_NEAR(snap.Percentile(99), 0.020, 0.020 * 0.06);
+}
+
+TEST(ObsHistogramTest, SnapshotMergesShardsAcrossThreads) {
+  // Recorders on different threads land in different shards; Snapshot()
+  // must merge them into one coherent distribution.
+  obs::Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kSamples = 250;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 1; i <= kSamples; ++i) h.Record(i * 1e-4);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  LatencyHistogram snap = h.Snapshot();
+  EXPECT_EQ(snap.count(), static_cast<size_t>(kThreads) * kSamples);
+  EXPECT_DOUBLE_EQ(snap.min(), 1e-4);
+  EXPECT_DOUBLE_EQ(snap.max(), kSamples * 1e-4);
+  EXPECT_NEAR(snap.Percentile(50), 0.0125, 0.0125 * 0.07);
+  EXPECT_NEAR(snap.Percentile(99), 0.02475, 0.02475 * 0.07);
 }
 
 TEST(LatencyHistogramTest, SummaryMentionsPercentiles) {

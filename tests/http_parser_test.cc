@@ -1,0 +1,150 @@
+#include "net/http.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace transn {
+namespace net {
+namespace {
+
+HttpRequest ParseAll(HttpParser& p, const std::string& bytes) {
+  EXPECT_EQ(p.Feed(bytes.data(), bytes.size()), ParseState::kDone);
+  return p.TakeRequest();
+}
+
+TEST(HttpParserTest, ParsesSimpleGet) {
+  HttpParser p;
+  HttpRequest r = ParseAll(p, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_EQ(r.method, "GET");
+  EXPECT_EQ(r.target, "/healthz");
+  EXPECT_EQ(r.path, "/healthz");
+  EXPECT_TRUE(r.params.empty());
+  EXPECT_EQ(r.headers.at("host"), "x");
+  EXPECT_TRUE(r.keep_alive);
+  EXPECT_TRUE(r.body.empty());
+}
+
+TEST(HttpParserTest, DecodesQueryParameters) {
+  HttpParser p;
+  HttpRequest r = ParseAll(
+      p, "GET /v1/knn?node=A%2F1&k=5&flag&x=a+b HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(r.path, "/v1/knn");
+  EXPECT_EQ(r.Param("node"), "A/1");
+  EXPECT_EQ(r.Param("k"), "5");
+  EXPECT_EQ(r.Param("x"), "a b");
+  EXPECT_EQ(r.params.count("flag"), 1u);  // valueless parameter
+  EXPECT_EQ(r.Param("absent"), "");
+}
+
+TEST(HttpParserTest, MalformedPercentEscapePassesThrough) {
+  EXPECT_EQ(PercentDecode("100%"), "100%");
+  EXPECT_EQ(PercentDecode("%zz"), "%zz");
+  EXPECT_EQ(PercentDecode("%2"), "%2");
+  EXPECT_EQ(PercentDecode("a%20b"), "a b");
+  EXPECT_EQ(PercentDecode(""), "");
+}
+
+TEST(HttpParserTest, IncrementalOneByteAtATime) {
+  const std::string raw =
+      "POST /admin/reload HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody";
+  HttpParser p;
+  for (size_t i = 0; i + 1 < raw.size(); ++i) {
+    ASSERT_EQ(p.Feed(&raw[i], 1), ParseState::kNeedMore) << "byte " << i;
+  }
+  ASSERT_EQ(p.Feed(&raw[raw.size() - 1], 1), ParseState::kDone);
+  HttpRequest r = p.TakeRequest();
+  EXPECT_EQ(r.method, "POST");
+  EXPECT_EQ(r.body, "body");
+  EXPECT_FALSE(p.HasBufferedBytes());
+}
+
+TEST(HttpParserTest, PipelinedRequestsParseBackToBack) {
+  const std::string raw =
+      "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+  HttpParser p;
+  ASSERT_EQ(p.Feed(raw.data(), raw.size()), ParseState::kDone);
+  EXPECT_EQ(p.TakeRequest().path, "/a");
+  // TakeRequest reparses the buffered second request immediately.
+  ASSERT_EQ(p.state(), ParseState::kDone);
+  EXPECT_EQ(p.TakeRequest().path, "/b");
+  EXPECT_FALSE(p.HasBufferedBytes());
+}
+
+TEST(HttpParserTest, BareLfLineEndingsAccepted) {
+  HttpParser p;
+  HttpRequest r = ParseAll(p, "GET /x HTTP/1.1\nHost: y\n\n");
+  EXPECT_EQ(r.path, "/x");
+  EXPECT_EQ(r.headers.at("host"), "y");
+}
+
+TEST(HttpParserTest, ConnectionHeaderControlsKeepAlive) {
+  HttpParser p;
+  EXPECT_FALSE(
+      ParseAll(p, "GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive);
+  EXPECT_FALSE(ParseAll(p, "GET / HTTP/1.0\r\n\r\n").keep_alive);
+  EXPECT_TRUE(
+      ParseAll(p, "GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+          .keep_alive);
+}
+
+TEST(HttpParserTest, MalformedRequestLineIs400) {
+  HttpParser p;
+  const std::string raw = "NOT-HTTP\r\n\r\n";
+  EXPECT_EQ(p.Feed(raw.data(), raw.size()), ParseState::kError);
+  EXPECT_EQ(p.error_code(), 400);
+  // The parser latches: further bytes cannot resurrect the stream.
+  EXPECT_EQ(p.Feed("x", 1), ParseState::kError);
+}
+
+TEST(HttpParserTest, BadContentLengthIs400) {
+  HttpParser p;
+  const std::string raw =
+      "POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n";
+  EXPECT_EQ(p.Feed(raw.data(), raw.size()), ParseState::kError);
+  EXPECT_EQ(p.error_code(), 400);
+}
+
+TEST(HttpParserTest, TransferEncodingIs501) {
+  HttpParser p;
+  const std::string raw =
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+  EXPECT_EQ(p.Feed(raw.data(), raw.size()), ParseState::kError);
+  EXPECT_EQ(p.error_code(), 501);
+}
+
+TEST(HttpParserTest, OversizeHeaderIs413) {
+  HttpParser p(/*max_request_bytes=*/64);
+  std::string raw = "GET /" + std::string(100, 'a') + " HTTP/1.1\r\n";
+  EXPECT_EQ(p.Feed(raw.data(), raw.size()), ParseState::kError);
+  EXPECT_EQ(p.error_code(), 413);
+}
+
+TEST(HttpParserTest, OversizeBodyIs413) {
+  HttpParser p(/*max_request_bytes=*/64);
+  const std::string raw =
+      "POST / HTTP/1.1\r\nContent-Length: 1000\r\n\r\n";
+  EXPECT_EQ(p.Feed(raw.data(), raw.size()), ParseState::kError);
+  EXPECT_EQ(p.error_code(), 413);
+}
+
+TEST(HttpParserTest, SerializeResponseRoundTrips) {
+  const std::string out =
+      SerializeHttpResponse(429, "application/json", "{}",
+                            /*keep_alive=*/true, "Retry-After: 1\r\n");
+  EXPECT_NE(out.find("HTTP/1.1 429 Too Many Requests\r\n"), std::string::npos);
+  EXPECT_NE(out.find("Content-Length: 2\r\n"), std::string::npos);
+  EXPECT_NE(out.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_NE(out.find("Retry-After: 1\r\n"), std::string::npos);
+  EXPECT_EQ(out.substr(out.size() - 6), "\r\n\r\n{}");
+}
+
+TEST(HttpParserTest, StatusReasons) {
+  EXPECT_STREQ(HttpStatusReason(200), "OK");
+  EXPECT_STREQ(HttpStatusReason(404), "Not Found");
+  EXPECT_STREQ(HttpStatusReason(999), "Unknown");
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace transn

@@ -1,0 +1,278 @@
+// End-to-end tests of the epoll HTTP front end: raw HttpServer behavior
+// (keep-alive, concurrency, timeouts) and the full ServeApp stack (routing,
+// batching, admission control, hot reload) over a real trained model.
+// This suite runs under TSan in CI — multi-connection serving must be clean.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "core/model_io.h"
+#include "core/transn.h"
+#include "net/http_client.h"
+#include "net/http_server.h"
+#include "net/serve_app.h"
+#include "serve/embedding_store.h"
+#include "serve_test_util.h"
+#include "test_graphs.h"
+
+namespace transn {
+namespace net {
+namespace {
+
+// --- raw HttpServer --------------------------------------------------------
+
+TEST(HttpServerTest, EchoesOverKeepAliveAndParallelClients) {
+  HttpServerOptions opts;
+  opts.reactor_threads = 2;
+  HttpServer server(opts, [](HttpRequest&& req, ResponseHandle handle) {
+    handle.Send(200, "text/plain", req.method + " " + req.path);
+  });
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  // Sequential keep-alive requests on one connection.
+  HttpClient client("127.0.0.1", server.port());
+  for (int i = 0; i < 5; ++i) {
+    auto r = client.Get("/ping" + std::to_string(i));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->code, 200);
+    EXPECT_EQ(r->body, "GET /ping" + std::to_string(i));
+  }
+
+  // Concurrent clients across both reactors.
+  constexpr int kThreads = 8;
+  constexpr int kRequests = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      HttpClient c("127.0.0.1", server.port());
+      for (int i = 0; i < kRequests; ++i) {
+        auto r = c.Post("/echo", "x");
+        if (!r.ok() || r->code != 200 || r->body != "POST /echo") {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  server.Stop();
+}
+
+TEST(HttpServerTest, MalformedRequestGets400AndClose) {
+  HttpServer server({}, [](HttpRequest&&, ResponseHandle handle) {
+    handle.Send(200, "text/plain", "ok");
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const char raw[] = "BOGUS\r\n\r\n";
+  ASSERT_GT(send(fd, raw, sizeof(raw) - 1, 0), 0);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  EXPECT_EQ(n, 0);  // server closed after the error response
+  EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos) << response;
+  close(fd);
+  server.Stop();
+}
+
+TEST(HttpServerTest, StalledPartialRequestTimesOut) {
+  HttpServerOptions opts;
+  opts.read_timeout_ms = 150;
+  HttpServer server(opts, [](HttpRequest&&, ResponseHandle handle) {
+    handle.Send(200, "text/plain", "ok");
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const char partial[] = "GET / HTTP/1.1\r\n";  // never finishes
+  ASSERT_GT(send(fd, partial, sizeof(partial) - 1, 0), 0);
+  // The sweep should close the connection; recv unblocks with EOF well
+  // before this generous deadline.
+  timeval tv{5, 0};
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  char buf[64];
+  EXPECT_EQ(recv(fd, buf, sizeof(buf), 0), 0);
+  close(fd);
+  server.Stop();
+}
+
+// --- ServeApp over a real model --------------------------------------------
+
+class ServeAppTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    model_path_ = new std::string(std::string(::testing::TempDir()) +
+                                  "/net_server_model.bin");
+    HeteroGraph graph = TwoCommunityNetwork(12, 4);
+    TransNModel model(&graph, SmallServeConfig());
+    model.Fit();
+    ASSERT_TRUE(ExportServingModel(model, *model_path_).ok());
+    auto store = EmbeddingStore::Load(*model_path_);
+    ASSERT_TRUE(store.ok());
+    node_names_ = new std::vector<std::string>();
+    for (NodeId n = 0; n < store->num_nodes(); ++n) {
+      node_names_->push_back(store->node_name(n));
+    }
+  }
+  static void TearDownTestSuite() {
+    std::remove(model_path_->c_str());
+    delete model_path_;
+    delete node_names_;
+  }
+
+  /// Starts ServeApp + HttpServer; fills server_/app_.
+  void StartServing(size_t max_queue = 1024, size_t reactors = 2) {
+    ServeAppOptions app_opts;
+    app_opts.model_path = *model_path_;
+    app_opts.max_queue = max_queue;
+    app_opts.query.k = 3;
+    app_ = std::make_unique<ServeApp>(app_opts);
+    ASSERT_TRUE(app_->Start().ok());
+    HttpServerOptions http_opts;
+    http_opts.reactor_threads = reactors;
+    server_ = std::make_unique<HttpServer>(
+        http_opts, [this](HttpRequest&& req, ResponseHandle handle) {
+          app_->HandleRequest(std::move(req), std::move(handle));
+        });
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Stop();
+    if (app_ != nullptr) app_->Stop();
+  }
+
+  static std::string* model_path_;
+  static std::vector<std::string>* node_names_;
+  std::unique_ptr<ServeApp> app_;
+  std::unique_ptr<HttpServer> server_;
+};
+
+std::string* ServeAppTest::model_path_ = nullptr;
+std::vector<std::string>* ServeAppTest::node_names_ = nullptr;
+
+TEST_F(ServeAppTest, RoutesAndStatusCodes) {
+  StartServing();
+  HttpClient client("127.0.0.1", server_->port());
+
+  auto health = client.Get("/healthz");
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(health->code, 200);
+  EXPECT_NE(health->body.find("\"generation\":1"), std::string::npos)
+      << health->body;
+
+  auto knn = client.Get("/v1/knn?node=" + node_names_->front());
+  ASSERT_TRUE(knn.ok());
+  EXPECT_EQ(knn->code, 200);
+  EXPECT_NE(knn->body.find("\"neighbors\":[{"), std::string::npos)
+      << knn->body;
+
+  EXPECT_EQ(client.Get("/v1/knn?node=no-such-node")->code, 404);
+  EXPECT_EQ(client.Get("/v1/knn")->code, 400);
+  EXPECT_EQ(client.Get("/v1/translate?node=x")->code, 400);
+  EXPECT_EQ(client.Get("/nope")->code, 404);
+  EXPECT_EQ(client.Post("/v1/knn?node=x", "")->code, 405);
+  EXPECT_EQ(client.Get("/admin/reload")->code, 405);
+
+  auto metrics = client.Get("/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->code, 200);
+  EXPECT_NE(metrics->body.find("transn_net_requests_total"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("transn_serve_model_load_seconds"),
+            std::string::npos);
+}
+
+TEST_F(ServeAppTest, QueueFullRejectsWith429RetryAfter) {
+  StartServing(/*max_queue=*/0);
+  HttpClient client("127.0.0.1", server_->port());
+  auto r = client.Get("/v1/knn?node=" + node_names_->front());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->code, 429);
+  EXPECT_EQ(r->Header("retry-after"), "1");
+  // Control endpoints bypass admission control.
+  EXPECT_EQ(client.Get("/healthz")->code, 200);
+}
+
+TEST_F(ServeAppTest, HotReloadMidTrafficDropsNothing) {
+  StartServing();
+  constexpr int kClientThreads = 4;
+  constexpr int kRequests = 40;
+  std::atomic<int> bad{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back([&, t] {
+      HttpClient c("127.0.0.1", server_->port());
+      for (int i = 0; i < kRequests; ++i) {
+        const std::string& node =
+            (*node_names_)[(t * kRequests + i) % node_names_->size()];
+        auto r = c.Get("/v1/knn?node=" + node);
+        if (!r.ok() || r->code != 200) bad.fetch_add(1);
+      }
+    });
+  }
+  // Fire several reloads while the clients hammer the query path.
+  HttpClient admin("127.0.0.1", server_->port());
+  int reloads = 0;
+  for (int i = 0; i < 5; ++i) {
+    auto r = admin.Post("/admin/reload", "");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->code, 200) << r->body;
+    ++reloads;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(bad.load(), 0) << "queries failed during hot reload";
+  EXPECT_EQ(app_->manager().generation(),
+            static_cast<uint64_t>(1 + reloads));
+}
+
+TEST_F(ServeAppTest, TranslateEndpointResolvesEmbedding) {
+  StartServing();
+  auto store = EmbeddingStore::Load(*model_path_);
+  ASSERT_TRUE(store.ok());
+  ASSERT_FALSE(store->views().empty());
+  const std::string view = store->view(0).name;
+  HttpClient client("127.0.0.1", server_->port());
+  auto r = client.Get("/v1/translate?node=" + node_names_->front() +
+                      "&view=" + view);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->code, 200) << r->body;
+  EXPECT_NE(r->body.find("\"embedding\":["), std::string::npos);
+  EXPECT_EQ(client.Get("/v1/translate?node=" + node_names_->front() +
+                       "&view=definitely-not-a-view")
+                ->code,
+            404);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace transn

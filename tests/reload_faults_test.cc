@@ -1,0 +1,130 @@
+// io.* failpoints in the serving-load path: an EmbeddingStore::Load failure
+// injected mid-reload (TRANSN_FAULTS-style arming) must leave the previous
+// model serving — no partial swap, no generation bump — and the very next
+// un-faulted reload must succeed. Mirrors writer_faults_test for the read
+// side.
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "core/model_io.h"
+#include "core/transn.h"
+#include "net/http_client.h"
+#include "net/http_server.h"
+#include "net/serve_app.h"
+#include "serve/embedding_store.h"
+#include "serve/model_manager.h"
+#include "serve_test_util.h"
+#include "test_graphs.h"
+#include "util/fault.h"
+
+namespace transn {
+namespace {
+
+class ReloadFaultsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    model_path_ = new std::string(std::string(::testing::TempDir()) +
+                                  "/reload_faults_model.bin");
+    HeteroGraph graph = TwoCommunityNetwork(12, 4);
+    TransNModel model(&graph, SmallServeConfig());
+    model.Fit();
+    ASSERT_TRUE(ExportServingModel(model, *model_path_).ok());
+  }
+  static void TearDownTestSuite() {
+    std::remove(model_path_->c_str());
+    delete model_path_;
+  }
+  void TearDown() override { fault::FaultInjector::Default().DisarmAll(); }
+
+  static std::string* model_path_;
+};
+
+std::string* ReloadFaultsTest::model_path_ = nullptr;
+
+TEST_F(ReloadFaultsTest, LoadFailsCleanlyUnderIoReadFault) {
+  fault::FaultInjector::Default().Arm(fault::kIoRead,
+                                      fault::FaultSpec::Always());
+  auto store = EmbeddingStore::Load(*model_path_);
+  EXPECT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kIoError)
+      << store.status().ToString();
+
+  fault::FaultInjector::Default().DisarmAll();
+  EXPECT_TRUE(EmbeddingStore::Load(*model_path_).ok());
+}
+
+TEST_F(ReloadFaultsTest, FaultedReloadLeavesOldModelServing) {
+  ModelManager manager(QueryServerOptions{});
+  ASSERT_TRUE(manager.Reload(*model_path_).ok());
+  auto before = manager.Current();
+  const std::string node = before->store.node_name(0);
+
+  fault::FaultInjector::Default().Arm(fault::kIoRead,
+                                      fault::FaultSpec::Always());
+  Status s = manager.Reload(*model_path_);
+  fault::FaultInjector::Default().DisarmAll();
+  EXPECT_FALSE(s.ok()) << "reload succeeded under io.read fault";
+  EXPECT_EQ(s.code(), StatusCode::kIoError) << s.ToString();
+
+  // No partial swap: the exact generation-1 object is still current and
+  // still answers queries.
+  auto after = manager.Current();
+  EXPECT_EQ(after.get(), before.get());
+  EXPECT_EQ(manager.generation(), 1u);
+  QueryResponse r = after->server->Handle(node, /*record=*/false);
+  EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+
+  // The next clean reload goes through.
+  EXPECT_TRUE(manager.Reload(*model_path_).ok());
+  EXPECT_EQ(manager.generation(), 2u);
+}
+
+TEST_F(ReloadFaultsTest, TransientFaultOnlyFailsOneReload) {
+  ModelManager manager(QueryServerOptions{});
+  ASSERT_TRUE(manager.Reload(*model_path_).ok());
+  // One transient read failure (a torn file mid-publish): the next hit
+  // succeeds without re-arming.
+  fault::FaultInjector::Default().Arm(fault::kIoRead,
+                                      fault::FaultSpec::OnceAfterN(0));
+  EXPECT_FALSE(manager.Reload(*model_path_).ok());
+  EXPECT_TRUE(manager.Reload(*model_path_).ok());
+  EXPECT_EQ(manager.generation(), 2u);
+}
+
+TEST_F(ReloadFaultsTest, HttpReloadFailureKeepsTrafficFlowing) {
+  net::ServeAppOptions app_opts;
+  app_opts.model_path = *model_path_;
+  net::ServeApp app(app_opts);
+  ASSERT_TRUE(app.Start().ok());
+  net::HttpServer server(
+      {}, [&app](net::HttpRequest&& req, net::ResponseHandle handle) {
+        app.HandleRequest(std::move(req), std::move(handle));
+      });
+  ASSERT_TRUE(server.Start().ok());
+  auto snapshot = app.manager().Current();
+  const std::string node = snapshot->store.node_name(0);
+
+  net::HttpClient client("127.0.0.1", server.port());
+  fault::FaultInjector::Default().Arm(fault::kIoRead,
+                                      fault::FaultSpec::Always());
+  auto reload = client.Post("/admin/reload", "");
+  ASSERT_TRUE(reload.ok()) << reload.status().ToString();
+  EXPECT_EQ(reload->code, 500) << reload->body;
+  // The old model keeps answering over HTTP after the failed swap.
+  auto query = client.Get("/v1/knn?node=" + node);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(query->code, 200) << query->body;
+  fault::FaultInjector::Default().DisarmAll();
+
+  EXPECT_EQ(client.Post("/admin/reload", "")->code, 200);
+  server.Stop();
+  app.Stop();
+}
+
+}  // namespace
+}  // namespace transn

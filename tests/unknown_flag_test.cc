@@ -1,0 +1,97 @@
+// CLI flag hardening: an unrecognized flag must make both CLIs exit 2 with
+// an "unknown flag" error AND the usage text — eagerly, before any heavy
+// work (no model/graph load, no training). Binary locations come from the
+// TRANSN_CLI_PATH / TRANSN_SERVE_PATH compile definitions (set in
+// tests/CMakeLists.txt from $<TARGET_FILE:...>).
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace transn {
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+RunResult RunCommand(const std::string& command) {
+  RunResult result;
+  FILE* pipe = ::popen((command + " 2>&1").c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << command;
+  if (pipe == nullptr) return result;
+  char buf[4096];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    result.output.append(buf, n);
+  }
+  const int status = ::pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+void ExpectUnknownFlagError(const RunResult& r, const std::string& flag) {
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("unknown flag --" + flag), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("usage:"), std::string::npos)
+      << "usage text missing:\n"
+      << r.output;
+}
+
+TEST(UnknownFlagTest, CliRejectsUnknownFlagWithUsage) {
+  // --graph points nowhere: the unknown flag must fail BEFORE the graph
+  // load even tries (eager RequireKnown), so no "cannot open" appears.
+  RunResult r = RunCommand(std::string(TRANSN_CLI_PATH) +
+                    " stats --graph /nonexistent.tsv --bogus 1");
+  ExpectUnknownFlagError(r, "bogus");
+  EXPECT_EQ(r.output.find("/nonexistent.tsv"), std::string::npos)
+      << "flag check ran after the graph load:\n"
+      << r.output;
+}
+
+TEST(UnknownFlagTest, CliRejectsUnknownFlagOnEverySubcommand) {
+  for (const char* cmd : {"generate", "train", "classify", "linkpred"}) {
+    RunResult r = RunCommand(std::string(TRANSN_CLI_PATH) + " " + cmd +
+                      " --not-a-flag x");
+    ExpectUnknownFlagError(r, "not-a-flag");
+  }
+}
+
+TEST(UnknownFlagTest, ServeRejectsUnknownFlagOnEverySubcommand) {
+  for (const char* cmd : {"info", "query", "serve"}) {
+    RunResult r = RunCommand(std::string(TRANSN_SERVE_PATH) + " " + cmd +
+                      " --model /nonexistent.bin --typo-flag 1");
+    ExpectUnknownFlagError(r, "typo-flag");
+    EXPECT_EQ(r.output.find("cannot open"), std::string::npos)
+        << cmd << " tried to load the model before the flag check:\n"
+        << r.output;
+  }
+}
+
+TEST(UnknownFlagTest, FlagAcceptedByOtherSubcommandStillErrors) {
+  // --queries belongs to `query`, not `info`: cross-subcommand leakage.
+  RunResult r = RunCommand(std::string(TRANSN_SERVE_PATH) +
+                    " info --model /nonexistent.bin --queries q.txt");
+  ExpectUnknownFlagError(r, "queries");
+}
+
+TEST(UnknownFlagTest, MalformedFlagSyntaxPrintsUsage) {
+  RunResult r =
+      RunCommand(std::string(TRANSN_CLI_PATH) + " stats not-a-flag");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("expected --flag"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("usage:"), std::string::npos) << r.output;
+}
+
+TEST(UnknownFlagTest, KnownFlagsStillWork) {
+  RunResult r = RunCommand(std::string(TRANSN_SERVE_PATH) + " info --model /nope");
+  EXPECT_EQ(r.exit_code, 2) << r.output;  // model really doesn't exist
+  EXPECT_EQ(r.output.find("unknown flag"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("cannot open"), std::string::npos) << r.output;
+}
+
+}  // namespace
+}  // namespace transn

@@ -1,19 +1,24 @@
 #ifndef TRANSN_TOOLS_ARG_PARSE_H_
 #define TRANSN_TOOLS_ARG_PARSE_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "util/string_util.h"
 
 namespace transn {
 
 /// Minimal --flag value parser shared by the CLIs; flags may appear in any
-/// order. Unknown flags are caught by CheckAllUsed() after every handler has
-/// pulled what it needs.
+/// order. Subcommand handlers reject unrecognized flags *eagerly* with
+/// RequireKnown() (before any heavy work like loading a model), and
+/// CheckAllUsed() is the backstop that catches flags a handler declared but
+/// never actually consumed on its taken code path. Every parse failure
+/// prints the tool's usage text (SetUsageHandler) and exits 2.
 class Args {
  public:
   Args(int argc, char** argv, int first) {
@@ -72,18 +77,41 @@ class Args {
     return it->second == "true" || it->second == "1";
   }
 
-  void CheckAllUsed() const {
+  /// Errors out (usage + exit 2) on any parsed flag not in `known`. Call at
+  /// subcommand entry with the subcommand's full flag set so a typo fails
+  /// fast instead of after minutes of training or a model load.
+  void RequireKnown(const std::vector<std::string>& known) const {
     for (const auto& [key, value] : values_) {
-      if (used_.count(key) == 0) Fail("unknown flag --" + key);
+      if (std::find(known.begin(), known.end(), key) == known.end()) {
+        Fail("unknown flag --" + key);
+      }
     }
   }
 
+  void CheckAllUsed() const {
+    for (const auto& [key, value] : values_) {
+      if (used_.count(key) == 0) {
+        Fail("flag --" + key + " is not accepted by this subcommand");
+      }
+    }
+  }
+
+  /// Registers the tool's usage printer; every Fail() then ends with the
+  /// usage text so an unknown/malformed flag is self-explaining.
+  static void SetUsageHandler(void (*usage)()) { UsageHandler() = usage; }
+
   [[noreturn]] static void Fail(const std::string& message) {
     std::fprintf(stderr, "error: %s\n", message.c_str());
+    if (UsageHandler() != nullptr) UsageHandler()();
     std::exit(2);
   }
 
  private:
+  static void (*&UsageHandler())() {
+    static void (*handler)() = nullptr;
+    return handler;
+  }
+
   std::map<std::string, std::string> values_;
   mutable std::set<std::string> used_;
 };

@@ -34,6 +34,30 @@ namespace {
 
 using namespace transn;
 
+/// Flags every subcommand accepts (see metrics_flag.h / --no-simd in main).
+std::vector<std::string> WithGlobalFlags(std::vector<std::string> flags) {
+  flags.push_back("metrics-out");
+  flags.push_back("no-simd");
+  return flags;
+}
+
+/// Flags consumed by TrainTransN/TransNConfigFromArgs (train and linkpred).
+std::vector<std::string> TrainFlags() {
+  return {"dim",          "iterations",       "seed",
+          "threads",      "episode-blocks",   "walk-length",
+          "min-walks",    "max-walks",        "encoders",
+          "seq-len",      "cross-paths",      "cross-view",
+          "simple-walk",  "simple-translator", "translation-tasks",
+          "reconstruction-tasks", "checkpoint-every", "save-checkpoint",
+          "load-checkpoint", "resume",        "export-serving"};
+}
+
+std::vector<std::string> TrainCommandFlags(std::vector<std::string> extra) {
+  std::vector<std::string> flags = TrainFlags();
+  flags.insert(flags.end(), extra.begin(), extra.end());
+  return WithGlobalFlags(std::move(flags));
+}
+
 HeteroGraph LoadGraphOrDie(const std::string& path) {
   auto g = LoadGraph(path);
   if (!g.ok()) Args::Fail(g.status().ToString());
@@ -41,6 +65,7 @@ HeteroGraph LoadGraphOrDie(const std::string& path) {
 }
 
 int CmdGenerate(const Args& args) {
+  args.RequireKnown(WithGlobalFlags({"dataset", "scale", "seed", "out"}));
   std::string dataset = args.GetString("dataset");
   double scale = args.GetDouble("scale", 1.0);
   uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 42));
@@ -59,6 +84,7 @@ int CmdGenerate(const Args& args) {
 }
 
 int CmdStats(const Args& args) {
+  args.RequireKnown(WithGlobalFlags({"graph"}));
   HeteroGraph g = LoadGraphOrDie(args.GetString("graph"));
   const std::string metrics_out = MetricsOutPath(args);
   args.CheckAllUsed();
@@ -191,6 +217,7 @@ Matrix TrainByMethod(const HeteroGraph& g, const std::string& method,
 }
 
 int CmdTrain(const Args& args) {
+  args.RequireKnown(TrainCommandFlags({"graph", "out", "method"}));
   HeteroGraph g = LoadGraphOrDie(args.GetString("graph"));
   std::string out = args.GetString("out");
   std::string method = args.GetString("method", "transn");
@@ -206,6 +233,8 @@ int CmdTrain(const Args& args) {
 }
 
 int CmdClassify(const Args& args) {
+  args.RequireKnown(
+      WithGlobalFlags({"graph", "embeddings", "repeats", "seed"}));
   HeteroGraph g = LoadGraphOrDie(args.GetString("graph"));
   auto loaded = LoadEmbeddings(args.GetString("embeddings"));
   if (!loaded.ok()) Args::Fail(loaded.status().ToString());
@@ -226,6 +255,8 @@ int CmdClassify(const Args& args) {
 }
 
 int CmdLinkpred(const Args& args) {
+  args.RequireKnown(
+      TrainCommandFlags({"graph", "method", "removal", "task-seed"}));
   HeteroGraph g = LoadGraphOrDie(args.GetString("graph"));
   LinkPredictionConfig task_cfg;
   task_cfg.removal_fraction = args.GetDouble("removal", 0.4);
@@ -277,6 +308,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   SetMinLogSeverity(LogSeverity::kWarning);
+  Args::SetUsageHandler(&Usage);
   const std::string command = argv[1];
   Args args(argc, argv, 2);
   // Kernel escape hatch; the TRANSN_NO_SIMD env var works too (util/vec.h).

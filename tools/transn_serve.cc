@@ -6,6 +6,12 @@
 //                      [--k 10] [--metric cosine|dot] [--index exact|quantized]
 //                      [--centroids 0] [--nprobe 0] [--threads 1]
 //                      [--queries names.txt] [--sample 0] [--warmup 0]
+//   transn_serve serve --model model.bin [--listen 127.0.0.1:8080]
+//                      [--reactor-threads N] [--max-queue N] [--max-batch N]
+//
+// `serve` exposes the query path over HTTP (src/net/serve_app.h documents
+// the endpoints); SIGHUP or POST /admin/reload atomically hot-swaps the
+// model with zero dropped in-flight queries.
 //
 // Query mode reads node names (one per line; '#' comments skipped) from
 // --queries, or stdin when neither --queries nor --sample is given, and
@@ -18,14 +24,22 @@
 // stored translator chain). At exit the per-request latency histogram
 // (p50/p95/p99), wall-clock QPS, and error count go to stderr.
 
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "arg_parse.h"
 #include "metrics_flag.h"
+#include "net/http_server.h"
+#include "net/serve_app.h"
 #include "serve/embedding_store.h"
 #include "serve/query_server.h"
 #include "util/logging.h"
@@ -36,13 +50,72 @@ namespace {
 
 using namespace transn;
 
+/// Flags every subcommand accepts (see metrics_flag.h / --no-simd in main).
+std::vector<std::string> WithGlobalFlags(std::vector<std::string> flags) {
+  flags.push_back("metrics-out");
+  flags.push_back("no-simd");
+  return flags;
+}
+
+/// QueryServerOptions flags shared by `query` and `serve`.
+std::vector<std::string> QueryOptionFlags() {
+  return {"model", "view", "k", "metric", "index", "centroids", "nprobe",
+          "threads", "warmup"};
+}
+
 EmbeddingStore LoadStoreOrDie(const Args& args) {
   auto store = EmbeddingStore::Load(args.GetString("model"));
   if (!store.ok()) Args::Fail(store.status().ToString());
   return std::move(store).value();
 }
 
+/// Parses the QueryServerOptions flags. View names are resolved against
+/// `store` when given; with a null store (serve mode, where the store is
+/// loaded later and hot-swapped) --view must be "final" or a view index.
+QueryServerOptions QueryOptionsFromArgs(const Args& args,
+                                        const EmbeddingStore* store) {
+  QueryServerOptions opts;
+  const std::string view_name = args.GetString("view", "final");
+  if (view_name != "final") {
+    if (store != nullptr) {
+      opts.target_view = store->FindViewByName(view_name);
+      if (opts.target_view < 0) {
+        Args::Fail("no view named '" + view_name + "'");
+      }
+    } else {
+      int64_t index = 0;
+      if (!ParseInt64(view_name, &index) || index < 0) {
+        Args::Fail("serve mode takes --view final|<index> (names resolve "
+                   "against a hot-swappable store)");
+      }
+      opts.target_view = static_cast<int>(index);
+    }
+  }
+  opts.k = static_cast<size_t>(args.GetInt("k", 10));
+  const std::string metric = args.GetString("metric", "cosine");
+  if (metric == "cosine") {
+    opts.metric = KnnMetric::kCosine;
+  } else if (metric == "dot") {
+    opts.metric = KnnMetric::kDot;
+  } else {
+    Args::Fail("bad --metric '" + metric + "' (cosine|dot)");
+  }
+  const std::string index = args.GetString("index", "exact");
+  if (index == "quantized") {
+    opts.quantized = true;
+  } else if (index != "exact") {
+    Args::Fail("bad --index '" + index + "' (exact|quantized)");
+  }
+  opts.num_centroids = static_cast<size_t>(args.GetInt("centroids", 0));
+  opts.nprobe = static_cast<size_t>(args.GetInt("nprobe", 0));
+  const int64_t threads = args.GetInt("threads", 1);
+  if (threads < 0) Args::Fail("--threads must be >= 0 (0 = all cores)");
+  opts.num_threads = static_cast<size_t>(threads);
+  return opts;
+}
+
 int CmdInfo(const Args& args) {
+  args.RequireKnown(WithGlobalFlags({"model"}));
   EmbeddingStore store = LoadStoreOrDie(args);
   const std::string metrics_out = MetricsOutPath(args);
   args.CheckAllUsed();
@@ -94,34 +167,14 @@ std::vector<std::string> ReadQueries(const Args& args,
 }
 
 int CmdQuery(const Args& args) {
+  {
+    std::vector<std::string> flags = QueryOptionFlags();
+    flags.push_back("queries");
+    flags.push_back("sample");
+    args.RequireKnown(WithGlobalFlags(std::move(flags)));
+  }
   EmbeddingStore store = LoadStoreOrDie(args);
-
-  QueryServerOptions opts;
-  const std::string view_name = args.GetString("view", "final");
-  if (view_name != "final") {
-    opts.target_view = store.FindViewByName(view_name);
-    if (opts.target_view < 0) Args::Fail("no view named '" + view_name + "'");
-  }
-  opts.k = static_cast<size_t>(args.GetInt("k", 10));
-  const std::string metric = args.GetString("metric", "cosine");
-  if (metric == "cosine") {
-    opts.metric = KnnMetric::kCosine;
-  } else if (metric == "dot") {
-    opts.metric = KnnMetric::kDot;
-  } else {
-    Args::Fail("bad --metric '" + metric + "' (cosine|dot)");
-  }
-  const std::string index = args.GetString("index", "exact");
-  if (index == "quantized") {
-    opts.quantized = true;
-  } else if (index != "exact") {
-    Args::Fail("bad --index '" + index + "' (exact|quantized)");
-  }
-  opts.num_centroids = static_cast<size_t>(args.GetInt("centroids", 0));
-  opts.nprobe = static_cast<size_t>(args.GetInt("nprobe", 0));
-  const int64_t threads = args.GetInt("threads", 1);
-  if (threads < 0) Args::Fail("--threads must be >= 0 (0 = all cores)");
-  opts.num_threads = static_cast<size_t>(threads);
+  QueryServerOptions opts = QueryOptionsFromArgs(args, &store);
   const int64_t warmup = args.GetInt("warmup", 0);
   const std::string metrics_out = MetricsOutPath(args);
   std::vector<std::string> queries = ReadQueries(args, store);
@@ -170,16 +223,118 @@ int CmdQuery(const Args& args) {
   return errors == 0 ? 0 : 1;
 }
 
+// --- serve: HTTP front end -------------------------------------------------
+
+std::atomic<bool> g_shutdown{false};
+net::ServeApp* g_app = nullptr;
+
+void OnSignal(int sig) {
+  if (sig == SIGHUP) {
+    if (g_app != nullptr) g_app->TriggerReloadFromSignal();
+    return;
+  }
+  g_shutdown.store(true, std::memory_order_release);
+}
+
+int CmdServe(const Args& args) {
+  {
+    std::vector<std::string> flags = QueryOptionFlags();
+    for (const char* f :
+         {"listen", "reactor-threads", "max-queue", "max-batch",
+          "max-connections", "read-timeout-ms", "write-timeout-ms",
+          "idle-timeout-ms"}) {
+      flags.push_back(f);
+    }
+    args.RequireKnown(WithGlobalFlags(std::move(flags)));
+  }
+
+  net::ServeAppOptions app_opts;
+  app_opts.model_path = args.GetString("model");
+  app_opts.query = QueryOptionsFromArgs(args, /*store=*/nullptr);
+  app_opts.max_queue = static_cast<size_t>(args.GetInt("max-queue", 1024));
+  app_opts.max_batch = static_cast<size_t>(args.GetInt("max-batch", 64));
+  app_opts.warmup_queries = static_cast<size_t>(args.GetInt("warmup", 0));
+
+  net::HttpServerOptions http_opts;
+  const std::string listen = args.GetString("listen", "127.0.0.1:8080");
+  const size_t colon = listen.rfind(':');
+  if (colon == std::string::npos) {
+    Args::Fail("--listen must be host:port (e.g. 127.0.0.1:8080)");
+  }
+  http_opts.host = listen.substr(0, colon);
+  int64_t port = 0;
+  if (!ParseInt64(listen.substr(colon + 1), &port) || port < 0 ||
+      port > 65535) {
+    Args::Fail("bad --listen port in '" + listen + "'");
+  }
+  http_opts.port = static_cast<uint16_t>(port);
+  http_opts.reactor_threads =
+      static_cast<size_t>(args.GetInt("reactor-threads", 1));
+  http_opts.max_connections =
+      static_cast<size_t>(args.GetInt("max-connections", 1024));
+  http_opts.read_timeout_ms =
+      static_cast<int>(args.GetInt("read-timeout-ms", 10'000));
+  http_opts.write_timeout_ms =
+      static_cast<int>(args.GetInt("write-timeout-ms", 10'000));
+  http_opts.idle_timeout_ms =
+      static_cast<int>(args.GetInt("idle-timeout-ms", 30'000));
+  const std::string metrics_out = MetricsOutPath(args);
+  args.CheckAllUsed();
+
+  net::ServeApp app(app_opts);
+  Status status = app.Start();
+  if (!status.ok()) Args::Fail(status.ToString());
+
+  net::HttpServer server(
+      http_opts, [&app](net::HttpRequest&& request, net::ResponseHandle h) {
+        app.HandleRequest(std::move(request), std::move(h));
+      });
+  status = server.Start();
+  if (!status.ok()) Args::Fail(status.ToString());
+
+  g_app = &app;
+  struct sigaction sa = {};
+  sa.sa_handler = &OnSignal;
+  sigaction(SIGHUP, &sa, nullptr);   // hot reload
+  sigaction(SIGINT, &sa, nullptr);   // graceful shutdown
+  sigaction(SIGTERM, &sa, nullptr);
+
+  // Parsed by the smoke script / load harness; keep the format stable.
+  std::printf("listening on http://%s:%u (%zu reactors, pid %d)\n",
+              http_opts.host.c_str(), server.port(), server.reactor_threads(),
+              static_cast<int>(getpid()));
+  std::fflush(stdout);
+
+  while (!g_shutdown.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::fprintf(stderr, "shutting down\n");
+  server.Stop();  // stop intake; outstanding Sends become no-ops
+  app.Stop();     // drain the queue
+  g_app = nullptr;
+  MaybeDumpMetrics(metrics_out);
+  return 0;
+}
+
 void Usage() {
   std::fprintf(
       stderr,
-      "usage: transn_serve <info|query> --model model.bin [--flags]\n"
+      "usage: transn_serve <info|query|serve> --model model.bin [--flags]\n"
       "  info   --model model.bin\n"
       "  query  --model model.bin [--view final|<edge-type>] [--k 10]\n"
       "         [--metric cosine|dot] [--index exact|quantized]\n"
       "         [--centroids 0] [--nprobe 0] [--threads 1]\n"
       "         [--queries names.txt|-] [--sample 0] [--warmup 0]\n"
-      "both subcommands accept [--metrics-out m.json] to dump the\n"
+      "  serve  --model model.bin [--listen 127.0.0.1:8080]\n"
+      "         [--reactor-threads 1]  (0 = one per hardware thread)\n"
+      "         [--max-queue 1024] [--max-batch 64] [--max-connections 1024]\n"
+      "         [--read-timeout-ms 10000] [--write-timeout-ms 10000]\n"
+      "         [--idle-timeout-ms 30000] [--view final|<index>] [--k 10]\n"
+      "         [--metric cosine|dot] [--index exact|quantized] [--threads 1]\n"
+      "         [--warmup 0]  (warmup queries per model generation)\n"
+      "         endpoints: /v1/knn?node= /v1/translate?node=&view= /healthz\n"
+      "         /metrics, POST /admin/reload[?path=]; SIGHUP hot-reloads\n"
+      "all subcommands accept [--metrics-out m.json] to dump the\n"
       "observability JSON (metric registry + nested trace spans) at exit,\n"
       "and [--no-simd true] to force the scalar vector kernels (same effect\n"
       "as TRANSN_NO_SIMD=1; see src/util/vec.h)\n");
@@ -193,12 +348,14 @@ int main(int argc, char** argv) {
     return 2;
   }
   SetMinLogSeverity(LogSeverity::kWarning);
+  Args::SetUsageHandler(&Usage);
   const std::string command = argv[1];
   Args args(argc, argv, 2);
   // Kernel escape hatch; the TRANSN_NO_SIMD env var works too (util/vec.h).
   if (args.GetBool("no-simd", false)) vec::SetSimdEnabled(false);
   if (command == "info") return CmdInfo(args);
   if (command == "query") return CmdQuery(args);
+  if (command == "serve") return CmdServe(args);
   Usage();
   return 2;
 }
