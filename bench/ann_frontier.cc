@@ -1,0 +1,172 @@
+// ANN frontier bench: HNSW-style graph search (serve/ann_index.h) versus the
+// exact O(N) scan on a large community-mixture embedding table, sweeping the
+// query beam width (ef) to trace the recall/QPS frontier.
+//
+// The table mimics what serving actually indexes: nodes drawn from a mixture
+// of Gaussian community centroids (an H-SBM embedding geometry), queried with
+// held-out vectors from the same mixture. Recall@10 is measured against the
+// exact scan's ground truth on identical queries.
+//
+// BENCH_ann_frontier.json feeds scripts/check_bench_regression.py: at the
+// committed scale (>= 1M nodes) the ef=128 operating point (the server's
+// default beam) must hold recall@10 >= 0.95 at >= 10x the exact scan's
+// QPS; smaller CI scales relax the speedup floor (the graph's advantage
+// grows with N) but never the recall floor.
+//
+//   TRANSN_BENCH_SCALE  scales the node count (default 1.0 = 1M nodes)
+//   TRANSN_BENCH_SEED   base seed (default 42)
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "nn/matrix.h"
+#include "serve/ann_index.h"
+#include "serve/knn_index.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+#include "util/vec.h"
+
+namespace {
+
+using namespace transn;
+using namespace transn::bench;
+
+constexpr size_t kDim = 32;
+constexpr size_t kCommunities = 64;
+constexpr size_t kNumQueries = 64;
+constexpr size_t kK = 10;
+
+/// Community-mixture table: each row is its community's centroid plus
+/// unit-variance noise, giving the clustered geometry trained embeddings
+/// have (H-SBM communities) rather than a featureless isotropic cloud.
+Matrix MixtureTable(size_t rows, size_t dim, const Matrix& centers,
+                    uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, dim);
+  for (size_t r = 0; r < rows; ++r) {
+    const double* c = centers.Row(r % centers.rows());
+    double* row = m.Row(r);
+    for (size_t d = 0; d < dim; ++d) row[d] = c[d] + rng.NextGaussian();
+  }
+  return m;
+}
+
+double Recall(const std::vector<KnnResult>& approx,
+              const std::vector<KnnResult>& exact) {
+  double hit = 0.0;
+  for (const KnnResult& e : exact) {
+    for (const KnnResult& a : approx) {
+      if (a.row == e.row) {
+        hit += 1.0;
+        break;
+      }
+    }
+  }
+  return exact.empty() ? 1.0 : hit / static_cast<double>(exact.size());
+}
+
+}  // namespace
+
+int main() {
+  SetMinLogSeverity(LogSeverity::kWarning);
+  const double scale = BenchScale();
+  const size_t rows =
+      std::max<size_t>(10'000, static_cast<size_t>(1'000'000 * scale));
+  std::printf(
+      "ANN FRONTIER: hnsw graph search vs exact scan\n"
+      "%zu nodes, dim %zu, %zu communities, %zu queries, k=%zu; "
+      "kernel ISA: %s\n\n",
+      rows, kDim, kCommunities, kNumQueries, kK, vec::IsaName(vec::ActiveIsa()));
+
+  const uint64_t seed = BenchSeed();
+  Rng center_rng(seed);
+  // Centroids spread wide (sigma 4) relative to unit per-node noise so the
+  // mixture has genuine cluster structure.
+  Matrix centers(kCommunities, kDim);
+  for (size_t i = 0; i < centers.size(); ++i) {
+    centers.data()[i] = 4.0 * center_rng.NextGaussian();
+  }
+  const Matrix base = MixtureTable(rows, kDim, centers, seed + 1);
+  const Matrix queries = MixtureTable(kNumQueries, kDim, centers, seed + 2);
+
+  AnnBuildParams params;  // M=16, ef_construction=100, seed=42
+  WallTimer build_timer;
+  const AnnIndex ann = AnnIndex::Build(base, KnnMetric::kCosine, params);
+  const double build_seconds = build_timer.ElapsedSeconds();
+  std::printf("build: %.2fs (max level %d, avg degree %.1f, %zu edges)\n",
+              build_seconds, ann.max_level(), ann.avg_degree(),
+              ann.num_edges());
+
+  // Exact ground truth + exact QPS in one pass.
+  KnnIndexOptions exact_opts;
+  exact_opts.metric = KnnMetric::kCosine;
+  const KnnIndex exact(&base, exact_opts);
+  std::vector<std::vector<KnnResult>> truth(kNumQueries);
+  WallTimer exact_timer;
+  for (size_t q = 0; q < kNumQueries; ++q) {
+    truth[q] = exact.Search(queries.Row(q), kK, nullptr);
+  }
+  const double exact_seconds = exact_timer.ElapsedSeconds();
+  const double exact_qps =
+      exact_seconds > 0.0 ? kNumQueries / exact_seconds : 0.0;
+  std::printf("exact scan: %.1f QPS (%.3fs for %zu queries)\n\n", exact_qps,
+              exact_seconds, kNumQueries);
+
+  std::vector<BenchJsonEntry> json;
+  json.push_back({"num_nodes", "table_rows", static_cast<double>(rows),
+                  "nodes"});
+  json.push_back({"build_seconds", "wall_time", build_seconds, "s"});
+  json.push_back({"exact_qps", "queries_per_second", exact_qps, "qps"});
+
+  TablePrinter table(
+      {"ef", "recall@10", "QPS", "speedup vs exact", "hops/query"});
+  double frontier_recall = 0.0;
+  double frontier_speedup = 0.0;
+  for (size_t ef : {size_t{16}, size_t{32}, size_t{64}, size_t{128}}) {
+    // The graph search is microseconds per query; repeat the sweep so each
+    // timing covers a meaningful wall interval.
+    const size_t reps = 50;
+    double hops = 0.0;
+    double recall_sum = 0.0;
+    WallTimer ann_timer;
+    for (size_t rep = 0; rep < reps; ++rep) {
+      for (size_t q = 0; q < kNumQueries; ++q) {
+        AnnSearchStats stats;
+        std::vector<KnnResult> hits = ann.Search(queries.Row(q), kK, ef,
+                                                 &stats);
+        if (rep == 0) {
+          recall_sum += Recall(hits, truth[q]);
+          hops += static_cast<double>(stats.hops);
+        }
+      }
+    }
+    const double ann_seconds = ann_timer.ElapsedSeconds();
+    const double qps =
+        ann_seconds > 0.0 ? (reps * kNumQueries) / ann_seconds : 0.0;
+    const double recall = recall_sum / static_cast<double>(kNumQueries);
+    const double speedup = exact_qps > 0.0 ? qps / exact_qps : 0.0;
+    const double hops_per_query = hops / static_cast<double>(kNumQueries);
+    table.AddRow({StrFormat("%zu", ef), TablePrinter::Num(recall, 4),
+                  TablePrinter::Num(qps, 0), TablePrinter::Num(speedup, 1),
+                  TablePrinter::Num(hops_per_query, 0)});
+    json.push_back({StrFormat("recall_at_10_ef%zu", ef), "recall", recall,
+                    "fraction"});
+    json.push_back({StrFormat("qps_ef%zu", ef), "queries_per_second", qps,
+                    "qps"});
+    if (ef == 128) {  // the gated operating point (the server's default ef)
+      frontier_recall = recall;
+      frontier_speedup = speedup;
+    }
+  }
+  EmitTable(table, "ann_frontier");
+
+  // Canonical gated entries (scripts/check_bench_regression.py).
+  json.push_back({"recall_at_10", "recall", frontier_recall, "fraction"});
+  json.push_back(
+      {"speedup_vs_exact", "speedup_vs_exact", frontier_speedup, "x"});
+  WriteBenchJson("ann_frontier", json);
+  return 0;
+}

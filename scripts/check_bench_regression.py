@@ -33,6 +33,17 @@ with a zero error budget:
     hardware_threads >= 2  ->  closed_loop_qps >= 1000
     hardware_threads <  2  ->  closed_loop_qps >=  500
 
+ann_frontier — the HNSW-style graph index (bench/ann_frontier) must hold
+recall@10 >= 0.95 at its default operating point (ef=128) at every scale,
+and its speedup over the exact scan must clear a floor that grows with the
+table size (the graph's O(log N) advantage over the O(N) scan is only
+demonstrable on a large table; small CI scales just prove no regression):
+
+    num_nodes >= 1,000,000  ->  speedup_vs_exact >= 10.0  (the PR target)
+    num_nodes >=   200,000  ->  speedup_vs_exact >=  3.0
+    num_nodes >=    50,000  ->  speedup_vs_exact >=  1.5
+    num_nodes <     50,000  ->  speedup_vs_exact >=  1.0
+
 Dumps that predate the hardware_threads field are rejected: regenerate the
 JSON with the current bench binary so the gate knows the machine class.
 """
@@ -58,6 +69,15 @@ SERVE_QPS_FLOORS = [
 
 SERVE_OPEN_LOOP_MIN_RATIO = 0.9
 SERVE_OPEN_LOOP_MAX_P99_MS = 250.0
+
+ANN_MIN_RECALL_AT_10 = 0.95
+# (min table rows, speedup-vs-exact floor at ef=128)
+ANN_SPEEDUP_FLOORS = [
+    (1_000_000, 10.0),
+    (200_000, 3.0),
+    (50_000, 1.5),
+    (0, 1.0),
+]
 
 
 def fail(msg: str) -> None:
@@ -171,9 +191,38 @@ def check_serve_load(path: str, dump: dict) -> None:
         )
 
 
+def check_ann_frontier(path: str, dump: dict) -> None:
+    num_nodes = bench_value(path, dump, "num_nodes")
+    recall = bench_value(path, dump, "recall_at_10")
+    speedup = bench_value(path, dump, "speedup_vs_exact")
+
+    if recall < ANN_MIN_RECALL_AT_10:
+        fail(
+            f"{path}: ANN recall@10 {recall:.4f} is below the "
+            f"{ANN_MIN_RECALL_AT_10} floor at ef=128 — the graph build or "
+            "neighbor-selection heuristic regressed"
+        )
+    for min_nodes, floor in ANN_SPEEDUP_FLOORS:
+        if num_nodes >= min_nodes:
+            break
+    print(
+        f"check_bench_regression: num_nodes={num_nodes:.0f} -> checking "
+        f"ANN speedup {speedup:.1f}x against floor {floor:.1f}x "
+        f"(recall@10 {recall:.4f})"
+    )
+    if speedup < floor:
+        fail(
+            f"{path}: ANN speedup over the exact scan {speedup:.1f}x is "
+            f"below the committed floor {floor:.1f}x for a "
+            f"{num_nodes:.0f}-row table (the graph search regressed, or the "
+            "dump was produced on a loaded machine — rerun on a quiet runner)"
+        )
+
+
 CHECKS = {
     "parallel_scaling": check_parallel_scaling,
     "serve_load": check_serve_load,
+    "ann_frontier": check_ann_frontier,
 }
 
 

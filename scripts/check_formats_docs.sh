@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Fails when a serving-file section name defined in
+# src/serve/serving_format.h (the kServingSection* constants, which are also
+# the names Status messages use for CRC failures) is missing from the
+# on-disk format spec in docs/FORMATS.md. Run from the repository root (the
+# docs-consistency CI job does); no arguments.
+#
+# The docs must mention each section name in backticks, the way the section
+# tables render them, so an operator can grep a "section 'view' CRC
+# mismatch" error straight to the byte layout that produced it.
+set -euo pipefail
+
+format_header="src/serve/serving_format.h"
+docs="docs/FORMATS.md"
+
+[[ -f "$format_header" ]] || { echo "missing $format_header" >&2; exit 1; }
+[[ -f "$docs" ]] || { echo "missing $docs" >&2; exit 1; }
+
+names=$(grep -oE 'kServingSection[A-Za-z0-9]+\[\] = "[^"]+"' "$format_header" \
+          | sed 's/.*= "//; s/"$//' | sort -u)
+[[ -n "$names" ]] || {
+  echo "no kServingSection* names found in $format_header" >&2; exit 1;
+}
+
+missing=0
+while IFS= read -r name; do
+  if ! grep -qF "\`$name\`" "$docs"; then
+    echo "section '$name' is defined in $format_header but not documented" \
+         "in $docs" >&2
+    missing=1
+  fi
+done <<< "$names"
+
+if [[ "$missing" -ne 0 ]]; then
+  echo "document the missing sections in $docs" >&2
+  exit 1
+fi
+echo "OK: every serving section in $format_header is documented in $docs"

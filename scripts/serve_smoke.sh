@@ -57,9 +57,11 @@ curl -fsS "$BASE/healthz" | grep -q '"generation":1' \
   || fail "/healthz did not report generation 1"
 curl -fsS "$BASE/v1/knn?node=$NODE&k=5" | grep -q '"neighbors":\[' \
   || fail "/v1/knn returned no neighbors for $NODE"
-curl -fsS "$BASE/metrics" | grep -q '^transn_net_requests_total' \
+# grep without -q: -q exits at first match and closes the pipe while curl
+# is still writing the (large) body, which pipefail reports as a failure.
+curl -fsS "$BASE/metrics" | grep '^transn_net_requests_total' >/dev/null \
   || fail "/metrics is missing transn_net_requests_total"
-curl -fsS "$BASE/metrics" | grep -q '^transn_serve_model_generation 1' \
+curl -fsS "$BASE/metrics" | grep '^transn_serve_model_generation 1' >/dev/null \
   || fail "/metrics is missing transn_serve_model_generation"
 
 # --- hot reload mid-traffic -------------------------------------------------
@@ -100,4 +102,35 @@ if ! wait "$SERVER_PID"; then
   fail "server did not exit cleanly on SIGTERM"
 fi
 SERVER_PID=""
-echo "serve_smoke: OK ($TOTAL queries, 0 failures, 5 generations)"
+
+# --- hnsw index leg ---------------------------------------------------------
+# Pre-build an ANN graph into a v3 model, verify `info` reports it, then
+# serve with --index hnsw and require healthz to confirm the index kind.
+echo "serve_smoke: hnsw index"
+"$SERVE" index --model "$WORK/model.bin" --out "$WORK/model_v3.bin" \
+  >/dev/null 2>&1 || fail "transn_serve index failed"
+"$SERVE" info --model "$WORK/model_v3.bin" | grep -q "ann index: target final" \
+  || fail "info does not report the embedded ann index"
+"$SERVE" serve --model "$WORK/model_v3.bin" --listen 127.0.0.1:0 \
+  --index hnsw >"$WORK/serve.log" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$WORK/serve.log" 2>/dev/null && break
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "hnsw server exited during startup"
+  sleep 0.1
+done
+PORT="$(sed -n 's#.*listening on http://[^:]*:\([0-9]*\).*#\1#p' "$WORK/serve.log" | head -1)"
+[ -n "$PORT" ] || fail "hnsw server never printed its listening port"
+BASE="http://127.0.0.1:$PORT"
+curl -fsS "$BASE/healthz" | grep -q '"index":"hnsw"' \
+  || fail "/healthz did not report the hnsw index kind"
+curl -fsS "$BASE/v1/knn?node=$NODE&k=5" | grep -q '"neighbors":\[' \
+  || fail "hnsw /v1/knn returned no neighbors for $NODE"
+curl -fsS "$BASE/metrics" | grep '^transn_ann_recall_probe' >/dev/null \
+  || fail "/metrics is missing transn_ann_recall_probe"
+kill -TERM "$SERVER_PID"
+if ! wait "$SERVER_PID"; then
+  fail "hnsw server did not exit cleanly on SIGTERM"
+fi
+SERVER_PID=""
+echo "serve_smoke: OK ($TOTAL queries, 0 failures, 5 generations, hnsw leg)"

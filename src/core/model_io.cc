@@ -11,6 +11,7 @@
 #include "core/transn.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
+#include "serve/ann_index.h"
 #include "serve/serving_format.h"
 #include "util/safe_io.h"
 #include "util/string_util.h"
@@ -730,7 +731,8 @@ void AppendSectionCrc(std::string* buf, size_t section_start) {
 
 }  // namespace
 
-Status ExportServingModel(const TransNModel& model, const std::string& path) {
+Status ExportServingModel(const TransNModel& model, const std::string& path,
+                          const ServingExportOptions& options) {
   const obs::ScopedHistogramTimer io_timer(IoHistogram(
       obs::kIoServingExportSeconds, "ExportServingModel wall time"));
   const HeteroGraph& g = model.graph();
@@ -739,10 +741,15 @@ Status ExportServingModel(const TransNModel& model, const std::string& path) {
   if (g.num_nodes() > std::numeric_limits<uint32_t>::max()) {
     return Status::InvalidArgument("graph too large for serving format");
   }
+  const Matrix final_embeddings = model.FinalEmbeddings();
 
+  // A model without an ANN index is still written as v2, so existing files
+  // and their byte-level goldens never change; v3 only when the new section
+  // is actually present.
   std::string buf;
   buf.append(kServingMagic, sizeof(kServingMagic));
-  AppendU32(&buf, kServingFormatVersion);
+  AppendU32(&buf, options.ann_index ? kServingFormatVersionV3
+                                    : kServingFormatVersion);
   size_t section = buf.size();
   AppendU32(&buf, static_cast<uint32_t>(model.config().dim));
   AppendU32(&buf, num_translators > 0
@@ -751,7 +758,9 @@ Status ExportServingModel(const TransNModel& model, const std::string& path) {
   AppendU32(&buf, static_cast<uint32_t>(g.num_nodes()));
   AppendU32(&buf, static_cast<uint32_t>(views.size()));
   AppendU32(&buf, static_cast<uint32_t>(num_translators));
-  AppendU8(&buf, kServingFlagFinalEmbeddings);
+  AppendU8(&buf, static_cast<uint8_t>(
+                     kServingFlagFinalEmbeddings |
+                     (options.ann_index ? kServingFlagAnnIndex : 0)));
   AppendSectionCrc(&buf, section);
 
   section = buf.size();
@@ -761,7 +770,7 @@ Status ExportServingModel(const TransNModel& model, const std::string& path) {
   AppendSectionCrc(&buf, section);
 
   section = buf.size();
-  AppendMatrix(&buf, model.FinalEmbeddings());
+  AppendMatrix(&buf, final_embeddings);
   AppendSectionCrc(&buf, section);
 
   for (size_t i = 0; i < views.size(); ++i) {
@@ -794,11 +803,28 @@ Status ExportServingModel(const TransNModel& model, const std::string& path) {
     AppendSectionCrc(&buf, section);
   }
 
+  if (options.ann_index) {
+    const AnnIndex ann =
+        AnnIndex::Build(final_embeddings, options.ann_metric,
+                        options.ann_params);
+    std::string payload;
+    AppendU32(&payload, kServingAnnTargetFinal);
+    ann.AppendTo(&payload);
+    section = buf.size();
+    AppendU32(&buf, static_cast<uint32_t>(payload.size()));
+    buf.append(payload);
+    AppendSectionCrc(&buf, section);
+  }
+
   AppendU64(&buf, ServingChecksum(buf.data(), buf.size()));
 
   AtomicFileWriter writer(path);
   writer.Write(buf);
   return writer.Commit();
+}
+
+Status ExportServingModel(const TransNModel& model, const std::string& path) {
+  return ExportServingModel(model, path, ServingExportOptions());
 }
 
 }  // namespace transn

@@ -6,6 +6,7 @@
 
 #include "graph/hetero_graph.h"
 #include "nn/matrix.h"
+#include "serve/ann_index.h"
 #include "util/status.h"
 
 namespace transn {
@@ -53,12 +54,27 @@ Status LoadTransNCheckpoint(TransNModel* model, const std::string& path);
 /// guarantee: a bad file leaves the model untouched.
 Status ResumeTransNCheckpoint(TransNModel* model, const std::string& path);
 
+/// Options for ExportServingModel. The defaults write a v2 file with no ANN
+/// section — byte-identical to what earlier writers produced.
+struct ServingExportOptions {
+  /// Build an HNSW-style ANN index (serve/ann_index.h) over the final
+  /// embeddings and embed it as the v3 ANN section.
+  bool ann_index = false;
+  /// Similarity metric the index answers; must match the serving --metric.
+  KnnMetric ann_metric = KnnMetric::kCosine;
+  AnnBuildParams ann_params;
+};
+
 /// Exports a trained model in the immutable binary serving format consumed
 /// by serve/EmbeddingStore (layout in serve/serving_format.h): node-name
 /// index, final embeddings, every view's embedding table with its
 /// local→global id map, and all translator W/b parameters at full double
-/// precision. This is the read path of `transn_serve`; unlike checkpoints it
-/// is self-contained (no graph or config needed to load).
+/// precision — plus, when options.ann_index is set, a pre-built ANN index
+/// over the final embeddings (format v3). This is the read path of
+/// `transn_serve`; unlike checkpoints it is self-contained (no graph or
+/// config needed to load).
+Status ExportServingModel(const TransNModel& model, const std::string& path,
+                          const ServingExportOptions& options);
 Status ExportServingModel(const TransNModel& model, const std::string& path);
 
 }  // namespace transn

@@ -313,14 +313,18 @@ void ServeApp::AnswerHealthz(ResponseHandle& handle) {
     handle.Send(503, kJson, "{\"status\":\"loading\"}");
     return;
   }
+  const QueryServerOptions& qopts = model->server->options();
   handle.Send(
       200, kJson,
       StrFormat("{\"status\":\"ok\",\"generation\":%llu,"
                 "\"model_path\":\"%s\",\"nodes\":%zu,\"views\":%zu,"
+                "\"index\":\"%s\",\"ann_recall_probe\":%.4f,"
                 "\"model_load_seconds\":%.6f,\"index_build_seconds\":%.6f}",
                 static_cast<unsigned long long>(model->generation),
                 obs::JsonEscape(model->path).c_str(), model->store.num_nodes(),
-                model->store.views().size(), model->load_seconds,
+                model->store.views().size(),
+                ServeIndexKindName(qopts.index_kind),
+                model->server->ann_recall_probe(), model->load_seconds,
                 model->index_build_seconds));
 }
 

@@ -101,6 +101,22 @@ inline constexpr char kServeColdStartTotal[] =
 inline constexpr char kServeRequestLatencySeconds[] =
     "serve.request_latency_seconds";
 
+// --- src/serve/ann_index.h: HNSW-style ANN index ---------------------------
+/// Layered-graph construction wall time (Build() inside QueryServer or the
+/// export path).
+inline constexpr char kAnnBuildSeconds[] = "ann.build_seconds";
+/// Directed edges per node over all layers of the active index.
+inline constexpr char kAnnGraphAvgDegree[] = "ann.graph_avg_degree";
+/// Highest occupied layer of the active index.
+inline constexpr char kAnnGraphMaxLevel[] = "ann.graph_max_level";
+/// Beam width (ef) the server searches with.
+inline constexpr char kAnnEfSearch[] = "ann.ef_search";
+/// Graph nodes expanded per query (greedy descent + layer-0 beam).
+inline constexpr char kAnnHopsPerQuery[] = "ann.hops_per_query";
+/// recall@k of the ANN index against the exact scan, measured at startup on
+/// a deterministic probe set (0..1; 16 probes).
+inline constexpr char kAnnRecallProbe[] = "ann.recall_probe";
+
 // --- src/serve/model_manager.h: hot reload --------------------------------
 /// Successful atomic model swaps (initial load counts as generation 1).
 inline constexpr char kServeReloadsTotal[] = "serve.reloads_total";

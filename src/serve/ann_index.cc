@@ -1,0 +1,578 @@
+#include "serve/ann_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <string>
+
+#include "util/logging.h"
+#include "util/timer.h"
+#include "util/vec.h"
+
+namespace transn {
+namespace {
+
+// Hard caps on the serialized graph shape: they bound allocations while
+// parsing an untrusted (CRC-valid but hostile) file, and LevelFor() never
+// exceeds the level cap in practice (P[level > 48] < M^-48).
+constexpr uint32_t kAnnSectionVersion = 1;
+constexpr uint32_t kMaxAnnLevel = 48;
+constexpr uint32_t kMaxAnnDegree = 1024;
+
+// The shared deterministic total order: score descending, row ascending.
+// Identical to KnnIndex's contract, so exact and ANN results compare 1:1.
+inline bool Better(const KnnResult& a, const KnnResult& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.row < b.row;
+}
+
+// Max-heap comparator: top() is the Better result.
+struct WorseFirst {
+  bool operator()(const KnnResult& a, const KnnResult& b) const {
+    return Better(b, a);
+  }
+};
+// Min-heap comparator: top() is the worst kept result.
+struct BetterFirst {
+  bool operator()(const KnnResult& a, const KnnResult& b) const {
+    return Better(a, b);
+  }
+};
+
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Per-thread visited marks with an epoch counter: clearing between beam
+// searches is a single increment, not a memset over num_rows bits. Each
+// thread owns its copy, so const Search() stays thread-safe.
+struct VisitScratch {
+  std::vector<uint32_t> mark;
+  uint32_t epoch = 0;
+};
+thread_local VisitScratch t_visit;
+
+uint32_t BeginVisitEpoch(size_t num_rows) {
+  VisitScratch& vs = t_visit;
+  if (vs.mark.size() < num_rows) {
+    vs.mark.assign(num_rows, 0);
+    vs.epoch = 0;
+  }
+  if (++vs.epoch == 0) {  // wrapped: all stale marks look current, reset
+    std::fill(vs.mark.begin(), vs.mark.end(), 0);
+    vs.epoch = 1;
+  }
+  return vs.epoch;
+}
+
+// Quantizes one prepared (already normalized for cosine) vector to int8
+// codes with a symmetric per-vector scale. Pure scalar math — identical on
+// every ISA.
+template <typename Src>
+double QuantizeVector(const Src* src, size_t n, int8_t* codes) {
+  double max_abs = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    max_abs = std::max(max_abs, std::fabs(static_cast<double>(src[i])));
+  }
+  if (max_abs == 0.0) {
+    std::fill(codes, codes + n, 0);
+    return 1.0;
+  }
+  const double quant = 127.0 / max_abs;
+  for (size_t i = 0; i < n; ++i) {
+    long v = std::lround(static_cast<double>(src[i]) * quant);
+    v = std::min(127l, std::max(-127l, v));
+    codes[i] = static_cast<int8_t>(v);
+  }
+  return max_abs / 127.0;
+}
+
+}  // namespace
+
+uint32_t AnnIndex::LevelFor(uint32_t row) const {
+  const uint64_t h =
+      SplitMix64(params_.seed ^ (0x9E3779B97F4A7C15ull *
+                                 (static_cast<uint64_t>(row) + 1)));
+  double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // uniform [0, 1)
+  u = std::max(u, 1e-18);
+  const double ml =
+      1.0 / std::log(static_cast<double>(std::max<uint32_t>(
+                params_.max_degree, 2)));
+  const double level = -std::log(u) * ml;
+  return std::min<uint32_t>(static_cast<uint32_t>(level), kMaxAnnLevel);
+}
+
+void AnnIndex::QuantizeBase(const Matrix& base) {
+  num_rows_ = base.rows();
+  dim_ = base.cols();
+  CHECK_LE(dim_, static_cast<size_t>(1) << 17)
+      << "AnnIndex: dim too large for exact int8 accumulation";
+  codes_.resize(num_rows_ * dim_);
+  scales_.resize(num_rows_);
+  rerank_.resize(num_rows_ * dim_);
+  std::vector<double> prepared(dim_);
+  for (size_t r = 0; r < num_rows_; ++r) {
+    const double* src = base.Row(r);
+    double inv_norm = 1.0;
+    if (metric_ == KnnMetric::kCosine) {
+      // ref::Dot (sequential accumulation) keeps the norm — and hence the
+      // codes — bit-identical on every ISA.
+      const double sq = vec::ref::Dot(src, src, dim_);
+      inv_norm = sq > 0.0 ? 1.0 / std::sqrt(sq) : 0.0;
+    }
+    for (size_t i = 0; i < dim_; ++i) {
+      prepared[i] = metric_ == KnnMetric::kCosine ? src[i] * inv_norm : src[i];
+      rerank_[r * dim_ + i] = static_cast<float>(prepared[i]);
+    }
+    scales_[r] = static_cast<float>(
+        QuantizeVector(prepared.data(), dim_, codes_.data() + r * dim_));
+  }
+}
+
+double AnnIndex::CodeScore(uint32_t a, uint32_t b) const {
+  const int32_t dot =
+      vec::DotI8(codes_.data() + static_cast<size_t>(a) * dim_,
+                 codes_.data() + static_cast<size_t>(b) * dim_, dim_);
+  return static_cast<double>(dot) * static_cast<double>(scales_[a]) *
+         static_cast<double>(scales_[b]);
+}
+
+double AnnIndex::QueryScore(const int8_t* qcodes, double qscale,
+                            uint32_t row) const {
+  const int32_t dot = vec::DotI8(
+      qcodes, codes_.data() + static_cast<size_t>(row) * dim_, dim_);
+  return static_cast<double>(dot) * qscale *
+         static_cast<double>(scales_[row]);
+}
+
+AnnIndex::LinkSpan AnnIndex::NeighborsAt(uint32_t node,
+                                         uint32_t level) const {
+  if (level == 0) {
+    if (!build_level0_.empty()) {
+      const std::vector<uint32_t>& v = build_level0_[node];
+      return {v.data(), v.size()};
+    }
+    const uint32_t begin = level0_offsets_[node];
+    return {level0_links_.data() + begin, level0_offsets_[node + 1] - begin};
+  }
+  const int32_t slot = upper_index_[node];
+  if (slot < 0) return {};
+  const UpperNode& un = upper_nodes_[slot];
+  if (level > un.level) return {};
+  const std::vector<uint32_t>& v = un.links[level - 1];
+  return {v.data(), v.size()};
+}
+
+std::vector<uint32_t>* AnnIndex::MutableLinksAt(uint32_t node,
+                                                uint32_t level) {
+  if (level == 0) return &build_level0_[node];
+  const int32_t slot = upper_index_[node];
+  CHECK_GE(slot, 0);
+  return &upper_nodes_[slot].links[level - 1];
+}
+
+uint32_t AnnIndex::GreedyStep(const int8_t* qcodes, double qscale,
+                              uint32_t entry, uint32_t level,
+                              AnnSearchStats* stats) const {
+  uint32_t cur = entry;
+  double cur_score = QueryScore(qcodes, qscale, cur);
+  ++stats->dist_evals;
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    const LinkSpan links = NeighborsAt(cur, level);
+    if (links.count == 0) break;
+    ++stats->hops;
+    for (size_t i = 0; i < links.count; ++i) {
+      const uint32_t nb = links.data[i];
+      const double s = QueryScore(qcodes, qscale, nb);
+      ++stats->dist_evals;
+      // Tie-break toward the lower row id: at equal score the id strictly
+      // decreases, so the walk still terminates — and deterministically.
+      if (s > cur_score || (s == cur_score && nb < cur)) {
+        cur_score = s;
+        cur = nb;
+        improved = true;
+      }
+    }
+  }
+  return cur;
+}
+
+std::vector<KnnResult> AnnIndex::SearchLayer(const int8_t* qcodes,
+                                             double qscale, uint32_t entry,
+                                             uint32_t level, size_t ef,
+                                             AnnSearchStats* stats) const {
+  const uint32_t epoch = BeginVisitEpoch(num_rows_);
+  std::vector<uint32_t>& mark = t_visit.mark;
+
+  std::priority_queue<KnnResult, std::vector<KnnResult>, WorseFirst>
+      candidates;  // top() = best unexpanded
+  std::priority_queue<KnnResult, std::vector<KnnResult>, BetterFirst>
+      results;  // top() = worst kept
+  const KnnResult first{entry, QueryScore(qcodes, qscale, entry)};
+  ++stats->dist_evals;
+  mark[entry] = epoch;
+  candidates.push(first);
+  results.push(first);
+
+  while (!candidates.empty()) {
+    const KnnResult cand = candidates.top();
+    // The best unexpanded candidate is already worse than the worst kept
+    // result and the beam is full: nothing reachable can improve it.
+    if (results.size() >= ef && Better(results.top(), cand)) break;
+    candidates.pop();
+    ++stats->hops;
+    const LinkSpan links = NeighborsAt(cand.row, level);
+    for (size_t i = 0; i < links.count; ++i) {
+      const uint32_t nb = links.data[i];
+      if (mark[nb] == epoch) continue;
+      mark[nb] = epoch;
+      const KnnResult scored{nb, QueryScore(qcodes, qscale, nb)};
+      ++stats->dist_evals;
+      if (results.size() < ef || Better(scored, results.top())) {
+        candidates.push(scored);
+        results.push(scored);
+        if (results.size() > ef) results.pop();
+      }
+    }
+  }
+
+  std::vector<KnnResult> out(results.size());
+  for (size_t i = results.size(); i-- > 0;) {
+    out[i] = results.top();  // min-heap pops worst-first → fill backwards
+    results.pop();
+  }
+  return out;
+}
+
+std::vector<uint32_t> AnnIndex::SelectNeighbors(
+    uint32_t target, const std::vector<KnnResult>& cands,
+    size_t max_links) const {
+  std::vector<uint32_t> selected;
+  std::vector<uint32_t> pruned;
+  selected.reserve(std::min(max_links, cands.size()));
+  for (const KnnResult& cand : cands) {
+    if (selected.size() >= max_links) break;
+    if (cand.row == target) continue;
+    bool keep = true;
+    for (const uint32_t s : selected) {
+      // Candidate is closer to an already-kept neighbor than to the target:
+      // the kept neighbor already covers this direction, prune the edge.
+      if (CodeScore(cand.row, s) > cand.score) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) {
+      selected.push_back(cand.row);
+    } else {
+      pruned.push_back(cand.row);
+    }
+  }
+  // Backfill from the pruned edges (best-first) so sparse neighborhoods
+  // still reach max_links connectivity — the keepPrunedConnections variant.
+  for (const uint32_t p : pruned) {
+    if (selected.size() >= max_links) break;
+    selected.push_back(p);
+  }
+  return selected;
+}
+
+void AnnIndex::InsertNode(uint32_t row, uint32_t level) {
+  if (level > 0) {
+    upper_index_[row] = static_cast<int32_t>(upper_nodes_.size());
+    UpperNode un;
+    un.level = level;
+    un.links.resize(level);
+    upper_nodes_.push_back(std::move(un));
+  }
+  if (row == 0) {
+    entry_point_ = row;
+    max_level_ = level;
+    return;
+  }
+
+  const int8_t* qcodes = codes_.data() + static_cast<size_t>(row) * dim_;
+  const double qscale = static_cast<double>(scales_[row]);
+  AnnSearchStats stats;
+  uint32_t ep = entry_point_;
+  for (uint32_t lc = max_level_; lc > level; --lc) {
+    ep = GreedyStep(qcodes, qscale, ep, lc, &stats);
+  }
+  for (uint32_t lc = std::min(level, max_level_) + 1; lc-- > 0;) {
+    std::vector<KnnResult> cands =
+        SearchLayer(qcodes, qscale, ep, lc, params_.ef_construction, &stats);
+    const std::vector<uint32_t> selected =
+        SelectNeighbors(row, cands, params_.max_degree);
+    *MutableLinksAt(row, lc) = selected;
+    for (const uint32_t nb : selected) {
+      std::vector<uint32_t>* nb_links = MutableLinksAt(nb, lc);
+      nb_links->push_back(row);
+      if (nb_links->size() > MaxLinks(lc)) {
+        // The back-edge overflowed the neighbor: re-run the selection
+        // heuristic over its full list.
+        std::vector<KnnResult> nb_cands;
+        nb_cands.reserve(nb_links->size());
+        for (const uint32_t l : *nb_links) {
+          nb_cands.push_back({l, CodeScore(nb, l)});
+        }
+        std::sort(nb_cands.begin(), nb_cands.end(), Better);
+        *nb_links = SelectNeighbors(nb, nb_cands, MaxLinks(lc));
+      }
+    }
+    if (!cands.empty()) ep = cands.front().row;
+  }
+  if (level > max_level_) {
+    max_level_ = level;
+    entry_point_ = row;
+  }
+}
+
+void AnnIndex::FlattenLevel0() {
+  level0_offsets_.assign(num_rows_ + 1, 0);
+  size_t total = 0;
+  for (size_t r = 0; r < num_rows_; ++r) total += build_level0_[r].size();
+  level0_links_.clear();
+  level0_links_.reserve(total);
+  for (size_t r = 0; r < num_rows_; ++r) {
+    level0_offsets_[r] = static_cast<uint32_t>(level0_links_.size());
+    level0_links_.insert(level0_links_.end(), build_level0_[r].begin(),
+                         build_level0_[r].end());
+  }
+  level0_offsets_[num_rows_] = static_cast<uint32_t>(level0_links_.size());
+  build_level0_.clear();
+  build_level0_.shrink_to_fit();
+}
+
+AnnIndex AnnIndex::Build(const Matrix& base, KnnMetric metric,
+                         const AnnBuildParams& params) {
+  CHECK_GE(params.max_degree, 2u);
+  CHECK_LE(params.max_degree, kMaxAnnDegree);
+  CHECK_GE(params.ef_construction, 1u);
+  WallTimer timer;
+  AnnIndex index;
+  index.metric_ = metric;
+  index.params_ = params;
+  index.QuantizeBase(base);
+  index.upper_index_.assign(index.num_rows_, -1);
+  index.build_level0_.assign(index.num_rows_, {});
+  for (uint32_t row = 0; row < index.num_rows_; ++row) {
+    index.InsertNode(row, index.LevelFor(row));
+  }
+  index.FlattenLevel0();
+  index.build_seconds_ = timer.ElapsedSeconds();
+  return index;
+}
+
+std::vector<KnnResult> AnnIndex::Search(const double* query, size_t k,
+                                        size_t ef,
+                                        AnnSearchStats* stats) const {
+  AnnSearchStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = {};
+  if (num_rows_ == 0 || k == 0) return {};
+
+  // Prepare the query exactly like a stored row: normalize (cosine), cast a
+  // fp32 re-rank copy, quantize to int8 for traversal.
+  std::vector<double> prepared(dim_);
+  double inv_norm = 1.0;
+  if (metric_ == KnnMetric::kCosine) {
+    const double sq = vec::ref::Dot(query, query, dim_);
+    inv_norm = sq > 0.0 ? 1.0 / std::sqrt(sq) : 0.0;
+  }
+  for (size_t i = 0; i < dim_; ++i) {
+    prepared[i] =
+        metric_ == KnnMetric::kCosine ? query[i] * inv_norm : query[i];
+  }
+  std::vector<float> query_f32(dim_);
+  for (size_t i = 0; i < dim_; ++i) {
+    query_f32[i] = static_cast<float>(prepared[i]);
+  }
+  std::vector<int8_t> qcodes(dim_);
+  const double qscale = QuantizeVector(prepared.data(), dim_, qcodes.data());
+
+  uint32_t ep = entry_point_;
+  for (uint32_t lc = max_level_; lc >= 1; --lc) {
+    ep = GreedyStep(qcodes.data(), qscale, ep, lc, stats);
+  }
+  std::vector<KnnResult> cands =
+      SearchLayer(qcodes.data(), qscale, ep, 0, std::max(ef, k), stats);
+
+  // fp32 re-rank of the surviving beam: sequential double accumulation
+  // (vec::DotF32), so the final ordering is ISA-independent.
+  for (KnnResult& c : cands) {
+    c.score = vec::DotF32(query_f32.data(),
+                          rerank_.data() + static_cast<size_t>(c.row) * dim_,
+                          dim_);
+  }
+  std::sort(cands.begin(), cands.end(), Better);
+  if (cands.size() > k) cands.resize(k);
+  return cands;
+}
+
+size_t AnnIndex::num_edges() const {
+  size_t total = level0_links_.size();
+  for (const std::vector<uint32_t>& v : build_level0_) total += v.size();
+  for (const UpperNode& un : upper_nodes_) {
+    for (const std::vector<uint32_t>& links : un.links) {
+      total += links.size();
+    }
+  }
+  return total;
+}
+
+double AnnIndex::avg_degree() const {
+  return num_rows_ == 0
+             ? 0.0
+             : static_cast<double>(num_edges()) /
+                   static_cast<double>(num_rows_);
+}
+
+void AnnIndex::AppendTo(std::string* out) const {
+  CHECK(build_level0_.empty()) << "AppendTo before FlattenLevel0";
+  AppendU32(out, kAnnSectionVersion);
+  AppendU32(out, static_cast<uint32_t>(metric_));
+  AppendU32(out, params_.max_degree);
+  AppendU32(out, params_.ef_construction);
+  AppendU64(out, params_.seed);
+  AppendU32(out, static_cast<uint32_t>(num_rows_));
+  AppendU32(out, static_cast<uint32_t>(dim_));
+  AppendU32(out, max_level_);
+  AppendU32(out, entry_point_);
+  for (size_t r = 0; r < num_rows_; ++r) {
+    const uint32_t begin = level0_offsets_[r];
+    const uint32_t end = level0_offsets_[r + 1];
+    AppendU32(out, end - begin);
+    for (uint32_t i = begin; i < end; ++i) {
+      AppendU32(out, level0_links_[i]);
+    }
+  }
+  AppendU32(out, static_cast<uint32_t>(upper_nodes_.size()));
+  // upper_index_ slots were assigned in insertion order (row 0..n-1), so
+  // this emits upper nodes in ascending row order — canonical bytes.
+  for (size_t r = 0; r < num_rows_; ++r) {
+    const int32_t slot = upper_index_[r];
+    if (slot < 0) continue;
+    const UpperNode& un = upper_nodes_[slot];
+    AppendU32(out, static_cast<uint32_t>(r));
+    AppendU32(out, un.level);
+    for (uint32_t l = 1; l <= un.level; ++l) {
+      const std::vector<uint32_t>& links = un.links[l - 1];
+      AppendU32(out, static_cast<uint32_t>(links.size()));
+      for (const uint32_t nb : links) AppendU32(out, nb);
+    }
+  }
+}
+
+StatusOr<AnnIndex> AnnIndex::Parse(ByteReader* reader, const Matrix& base) {
+  auto malformed = [&](const char* what) {
+    return Status::InvalidArgument(
+        std::string("serving model: malformed ANN section (") + what +
+        ") at offset " + std::to_string(reader->offset()));
+  };
+
+  AnnIndex index;
+  uint32_t section_version = 0, metric = 0, max_degree = 0, ef_c = 0;
+  uint64_t seed = 0;
+  uint32_t num_rows = 0, dim = 0, max_level = 0, entry_point = 0;
+  if (!reader->ReadU32(&section_version) || !reader->ReadU32(&metric) ||
+      !reader->ReadU32(&max_degree) || !reader->ReadU32(&ef_c) ||
+      !reader->ReadU64(&seed) || !reader->ReadU32(&num_rows) ||
+      !reader->ReadU32(&dim) || !reader->ReadU32(&max_level) ||
+      !reader->ReadU32(&entry_point)) {
+    return malformed("truncated header");
+  }
+  if (section_version != kAnnSectionVersion) {
+    return malformed("unsupported ANN section version");
+  }
+  if (metric > static_cast<uint32_t>(KnnMetric::kDot)) {
+    return malformed("bad metric");
+  }
+  if (max_degree < 2 || max_degree > kMaxAnnDegree) {
+    return malformed("bad max_degree");
+  }
+  if (ef_c == 0) return malformed("bad ef_construction");
+  if (num_rows != base.rows() || dim != base.cols()) {
+    return malformed("shape does not match embedding matrix");
+  }
+  if (max_level > kMaxAnnLevel) return malformed("bad max_level");
+  if (num_rows > 0 && entry_point >= num_rows) {
+    return malformed("entry point out of range");
+  }
+
+  index.metric_ = static_cast<KnnMetric>(metric);
+  index.params_.max_degree = max_degree;
+  index.params_.ef_construction = ef_c;
+  index.params_.seed = seed;
+  index.max_level_ = max_level;
+  index.entry_point_ = entry_point;
+  index.num_rows_ = num_rows;
+  index.dim_ = dim;
+
+  index.level0_offsets_.assign(num_rows + 1, 0);
+  index.level0_links_.clear();
+  const size_t max_links0 = 2 * static_cast<size_t>(max_degree);
+  for (uint32_t r = 0; r < num_rows; ++r) {
+    index.level0_offsets_[r] =
+        static_cast<uint32_t>(index.level0_links_.size());
+    uint32_t count = 0;
+    if (!reader->ReadU32(&count)) return malformed("truncated level-0 row");
+    if (count > max_links0) return malformed("level-0 degree over cap");
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t nb = 0;
+      if (!reader->ReadU32(&nb)) return malformed("truncated level-0 links");
+      if (nb >= num_rows) return malformed("level-0 link out of range");
+      index.level0_links_.push_back(nb);
+    }
+  }
+  index.level0_offsets_[num_rows] =
+      static_cast<uint32_t>(index.level0_links_.size());
+
+  uint32_t num_upper = 0;
+  if (!reader->ReadU32(&num_upper)) return malformed("truncated upper count");
+  if (num_upper > num_rows) return malformed("upper count over cap");
+  index.upper_index_.assign(num_rows, -1);
+  index.upper_nodes_.reserve(num_upper);
+  int64_t prev_row = -1;
+  for (uint32_t u = 0; u < num_upper; ++u) {
+    uint32_t row = 0, level = 0;
+    if (!reader->ReadU32(&row) || !reader->ReadU32(&level)) {
+      return malformed("truncated upper node");
+    }
+    if (row >= num_rows) return malformed("upper row out of range");
+    if (static_cast<int64_t>(row) <= prev_row) {
+      return malformed("upper rows not ascending");
+    }
+    prev_row = row;
+    if (level < 1 || level > max_level) return malformed("bad upper level");
+    UpperNode un;
+    un.level = level;
+    un.links.resize(level);
+    for (uint32_t l = 1; l <= level; ++l) {
+      uint32_t count = 0;
+      if (!reader->ReadU32(&count)) return malformed("truncated upper row");
+      if (count > max_degree) return malformed("upper degree over cap");
+      un.links[l - 1].reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        uint32_t nb = 0;
+        if (!reader->ReadU32(&nb)) return malformed("truncated upper links");
+        if (nb >= num_rows) return malformed("upper link out of range");
+        un.links[l - 1].push_back(nb);
+      }
+    }
+    index.upper_index_[row] = static_cast<int32_t>(index.upper_nodes_.size());
+    index.upper_nodes_.push_back(std::move(un));
+  }
+
+  // Codes, scales, and the fp32 re-rank table are not stored: rebuild them
+  // from the base matrix (deterministic scalar math, so they match the
+  // builder's bytes exactly).
+  index.QuantizeBase(base);
+  return index;
+}
+
+}  // namespace transn

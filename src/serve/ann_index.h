@@ -1,0 +1,177 @@
+#ifndef TRANSN_SERVE_ANN_INDEX_H_
+#define TRANSN_SERVE_ANN_INDEX_H_
+
+#include <stdint.h>
+
+#include <string>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "serve/knn_index.h"
+#include "serve/serving_format.h"
+#include "util/status.h"
+
+namespace transn {
+
+/// Build-time knobs of the layered-graph (HNSW-style) index. All three are
+/// part of the index identity: the serialized section stores them, and two
+/// builds with equal (base, metric, params) produce byte-identical graphs.
+struct AnnBuildParams {
+  /// Max out-degree M on the upper layers; layer 0 allows 2M. Also sets the
+  /// level multiplier mL = 1/ln(M).
+  uint32_t max_degree = 16;
+  /// Beam width used while inserting (the ef_construction of the paper).
+  uint32_t ef_construction = 100;
+  /// Seeds the per-node level assignment (a pure hash of (seed, row), so a
+  /// node's level never depends on insertion history).
+  uint64_t seed = 42;
+};
+
+/// Per-query traversal counters, for the ann.* metrics.
+struct AnnSearchStats {
+  /// Nodes expanded (popped from the beam) across all layers.
+  size_t hops = 0;
+  /// int8 distance evaluations (≈ edges inspected).
+  size_t dist_evals = 0;
+};
+
+/// Deterministic HNSW-style approximate k-NN index over the rows of a fixed
+/// embedding matrix — the sublinear alternative to KnnIndex's exact O(N)
+/// scan for large catalogs.
+///
+/// Structure: every row lives on layer 0; a row is promoted to higher layers
+/// with geometric probability (level = floor(-ln(u) * mL), u hashed from
+/// (seed, row)). A query greedily descends from the top-layer entry point,
+/// then runs a best-first beam of width ef on layer 0; the surviving
+/// candidates are re-ranked in fp32 and the top k returned.
+///
+/// Determinism contract (per (base, metric, params), across machines):
+///  * levels are a pure hash — independent of insertion history;
+///  * insertion order is fixed (row 0..n-1);
+///  * traversal distances are int8 dot products accumulated exactly in
+///    int32 (vec::DotI8 is bit-identical on every ISA) scaled by scalar
+///    doubles, and all orderings break ties by (score desc, row asc);
+///  * re-ranking uses vec::DotF32, sequential double accumulation on every
+///    ISA.
+/// Hence Build() is byte-reproducible and Search() returns identical result
+/// lists on every machine — verified by tests/ann_index_test.cc.
+///
+/// Scores: kCosine rows are L2-normalized before quantization, so the
+/// re-ranked score is the cosine similarity (in float32 row precision);
+/// kDot scores are raw inner products. Both match KnnIndex's ordering up to
+/// fp32 rounding of the stored rows.
+class AnnIndex {
+ public:
+  /// An empty index (zero rows); the entry points are Build() and Parse().
+  AnnIndex() = default;
+
+  /// Builds the layered graph over base (n × d). Single-threaded and
+  /// deterministic; ~O(n · M · ef_construction) int8 distance evaluations.
+  static AnnIndex Build(const Matrix& base, KnnMetric metric,
+                        const AnnBuildParams& params);
+
+  /// Top-k beam search. `query` has dim() entries; the beam width is
+  /// max(ef, k). Returns up to min(k, n) results sorted by
+  /// (score desc, row asc). Thread-safe (const; thread-local scratch only).
+  std::vector<KnnResult> Search(const double* query, size_t k, size_t ef,
+                                AnnSearchStats* stats = nullptr) const;
+
+  /// Serializes the index as a serving-format section payload (see
+  /// serving_format.h: the v3 ANN section). Byte-stable across machines.
+  void AppendTo(std::string* out) const;
+
+  /// Parses a section payload. `base` must be the matrix the index was built
+  /// over (row count and dim are validated); the fp32 re-rank table is
+  /// rebuilt from it rather than stored. Returns kInvalidArgument on any
+  /// malformed payload.
+  static StatusOr<AnnIndex> Parse(ByteReader* reader, const Matrix& base);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t dim() const { return dim_; }
+  KnnMetric metric() const { return metric_; }
+  const AnnBuildParams& params() const { return params_; }
+  /// Highest occupied layer (0 for a flat graph).
+  uint32_t max_level() const { return max_level_; }
+  /// Directed edge count over all layers.
+  size_t num_edges() const;
+  /// num_edges() / num_rows() (0 when empty).
+  double avg_degree() const;
+  /// Wall seconds spent in Build(); 0 for a Parse()d index.
+  double build_seconds() const { return build_seconds_; }
+
+ private:
+  // Adjacency of one upper-layer node: links[l-1] holds its layer-l
+  // neighbors, l in [1, level].
+  struct UpperNode {
+    uint32_t level = 0;
+    std::vector<std::vector<uint32_t>> links;
+  };
+
+  // Borrowed view of one node's neighbor list at one layer.
+  struct LinkSpan {
+    const uint32_t* data = nullptr;
+    size_t count = 0;
+  };
+
+  void QuantizeBase(const Matrix& base);
+  /// Similarity between two stored rows (int8 dot × scales).
+  double CodeScore(uint32_t a, uint32_t b) const;
+  /// Similarity between a quantized query and a stored row.
+  double QueryScore(const int8_t* qcodes, double qscale, uint32_t row) const;
+  /// Layer-l neighbors of a node. Layer 0 reads the build adjacency while
+  /// Build() is running and the CSR arrays afterwards.
+  LinkSpan NeighborsAt(uint32_t node, uint32_t level) const;
+  std::vector<uint32_t>* MutableLinksAt(uint32_t node, uint32_t level);
+  /// Greedy single-path descent at one layer; returns the local optimum.
+  uint32_t GreedyStep(const int8_t* qcodes, double qscale, uint32_t entry,
+                      uint32_t level, AnnSearchStats* stats) const;
+  /// Best-first beam of width ef at one layer; results best-first.
+  std::vector<KnnResult> SearchLayer(const int8_t* qcodes, double qscale,
+                                     uint32_t entry, uint32_t level, size_t ef,
+                                     AnnSearchStats* stats) const;
+  /// Malkov's neighbor-selection heuristic: keep a candidate only if it is
+  /// closer to the target than to every already-kept neighbor; backfill
+  /// from the pruned ones when fewer than max_links survive.
+  std::vector<uint32_t> SelectNeighbors(uint32_t target,
+                                        const std::vector<KnnResult>& cands,
+                                        size_t max_links) const;
+  void InsertNode(uint32_t row, uint32_t level);
+  uint32_t LevelFor(uint32_t row) const;
+  /// Compacts the build adjacency into the CSR arrays.
+  void FlattenLevel0();
+  size_t MaxLinks(uint32_t level) const {
+    return level == 0 ? 2 * static_cast<size_t>(params_.max_degree)
+                      : params_.max_degree;
+  }
+
+  size_t num_rows_ = 0;
+  size_t dim_ = 0;
+  KnnMetric metric_ = KnnMetric::kCosine;
+  AnnBuildParams params_;
+  uint32_t max_level_ = 0;
+  uint32_t entry_point_ = 0;
+  double build_seconds_ = 0.0;
+
+  /// int8 traversal codes (num_rows × dim) with per-row symmetric scales:
+  /// value ≈ code × scale, scale = max|row|/127.
+  std::vector<int8_t> codes_;
+  std::vector<float> scales_;
+  /// fp32 re-rank rows (num_rows × dim; L2-normalized for kCosine). Rebuilt
+  /// from the base matrix on Parse(), never serialized.
+  std::vector<float> rerank_;
+
+  /// Layer-0 adjacency, CSR after Build()/Parse(): node r's neighbors are
+  /// level0_links_[level0_offsets_[r], level0_offsets_[r+1]).
+  std::vector<uint32_t> level0_offsets_;
+  std::vector<uint32_t> level0_links_;
+  /// Mutable layer-0 adjacency used only while Build() runs.
+  std::vector<std::vector<uint32_t>> build_level0_;
+  /// Upper-layer adjacency, dense-indexed: upper_index_[r] is r's slot in
+  /// upper_nodes_, or -1 for the (vast) majority of layer-0-only nodes.
+  std::vector<int32_t> upper_index_;
+  std::vector<UpperNode> upper_nodes_;
+};
+
+}  // namespace transn
+
+#endif  // TRANSN_SERVE_ANN_INDEX_H_

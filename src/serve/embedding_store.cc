@@ -87,11 +87,13 @@ StatusOr<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {
   uint32_t num_nodes = 0, num_views = 0, num_translators = 0;
   uint8_t flags = 0;
   if (!r.ReadU32(&version)) return Malformed("truncated header", r);
-  if (version != kServingFormatVersionV1 && version != kServingFormatVersion) {
+  if (version != kServingFormatVersionV1 &&
+      version != kServingFormatVersion &&
+      version != kServingFormatVersionV3) {
     return Status::InvalidArgument(
         StrFormat("unsupported serving format version %u", version));
   }
-  // v2 files carry a CRC-32 after every section; verify each one so a
+  // v2+ files carry a CRC-32 after every section; verify each one so a
   // corruption is pinpointed to the section it hit. v1 files rely on the
   // (already verified) whole-file FNV trailer alone.
   const bool per_section_crcs = version >= 2;
@@ -119,16 +121,20 @@ StatusOr<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {
       !r.ReadU8(&flags)) {
     return Malformed("truncated header", r);
   }
-  RETURN_IF_ERROR(verify_section("header"));
+  RETURN_IF_ERROR(verify_section(kServingSectionHeader));
   if (dim == 0 || dim > kMaxDim || seq_len > kMaxSeqLen ||
       num_nodes > kMaxCount || num_views > kMaxCount ||
       num_translators > kMaxCount) {
     return Malformed("implausible header counts", r);
   }
+  if ((flags & kServingFlagAnnIndex) && version < kServingFormatVersionV3) {
+    return Malformed("ANN index flag requires format version 3", r);
+  }
 
   EmbeddingStore store;
   store.dim_ = dim;
   store.seq_len_ = seq_len;
+  store.format_version_ = version;
 
   store.node_names_.resize(num_nodes);
   store.name_to_id_.reserve(num_nodes);
@@ -138,14 +144,15 @@ StatusOr<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {
     }
     store.name_to_id_.emplace(store.node_names_[n], n);
   }
-  RETURN_IF_ERROR(verify_section("node-name index"));
+  RETURN_IF_ERROR(verify_section(kServingSectionNodeNames));
 
   if (flags & kServingFlagFinalEmbeddings) {
+    store.has_final_embeddings_ = true;
     if (!ReadMatrix(r, num_nodes, dim, &store.final_embeddings_)) {
       return Malformed("truncated final embeddings", r);
     }
   }
-  RETURN_IF_ERROR(verify_section("final embeddings"));
+  RETURN_IF_ERROR(verify_section(kServingSectionFinalEmbeddings));
 
   store.views_.resize(num_views);
   for (uint32_t v = 0; v < num_views; ++v) {
@@ -170,7 +177,7 @@ StatusOr<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {
     if (!ReadMatrix(r, num_local, dim, &view.embeddings)) {
       return Malformed("truncated view embeddings", r);
     }
-    RETURN_IF_ERROR(verify_section("view"));
+    RETURN_IF_ERROR(verify_section(kServingSectionView));
   }
 
   store.translators_.resize(num_translators);
@@ -197,10 +204,50 @@ StatusOr<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {
         return Malformed("truncated translator parameters", r);
       }
     }
-    RETURN_IF_ERROR(verify_section("translator"));
+    RETURN_IF_ERROR(verify_section(kServingSectionTranslator));
   }
 
-  if (!r.AtEnd()) return Malformed("trailing bytes after translators", r);
+  if (flags & kServingFlagAnnIndex) {
+    // The ANN section leads with its payload length so the CRC can be
+    // verified over the raw bytes *before* the graph parser touches them:
+    // a corrupted section is always kDataLoss, never a confusing parse
+    // error (crash_safety_test relies on this).
+    uint32_t payload_len = 0;
+    if (!r.ReadU32(&payload_len)) {
+      return Malformed("truncated ann index header", r);
+    }
+    const size_t payload_start = r.offset();
+    if (payload_len < sizeof(uint32_t) || !r.Skip(payload_len)) {
+      return Malformed("truncated ann index section", r);
+    }
+    RETURN_IF_ERROR(verify_section(kServingSectionAnnIndex));
+
+    ByteReader sub(std::string_view(data).substr(payload_start, payload_len));
+    uint32_t target = 0;
+    sub.ReadU32(&target);  // length-checked above
+    const Matrix* base = nullptr;
+    if (target == kServingAnnTargetFinal) {
+      if (!(flags & kServingFlagFinalEmbeddings)) {
+        return Malformed("ann index over absent final embeddings", r);
+      }
+      base = &store.final_embeddings_;
+      store.ann_target_view_ = -1;
+    } else {
+      if (target >= num_views) {
+        return Malformed("ann index target view out of range", r);
+      }
+      base = &store.views_[target].embeddings;
+      store.ann_target_view_ = static_cast<int>(target);
+    }
+    StatusOr<AnnIndex> ann = AnnIndex::Parse(&sub, *base);
+    if (!ann.ok()) return ann.status();
+    if (!sub.AtEnd()) {
+      return Malformed("trailing bytes in ann index section", r);
+    }
+    store.ann_index_.emplace(std::move(ann).value());
+  }
+
+  if (!r.AtEnd()) return Malformed("trailing bytes after last section", r);
   return store;
 }
 

@@ -3,12 +3,14 @@
 
 #include <stdint.h>
 
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "graph/hetero_graph.h"
 #include "nn/matrix.h"
+#include "serve/ann_index.h"
 #include "util/status.h"
 
 namespace transn {
@@ -88,15 +90,33 @@ class EmbeddingStore {
 
   /// Final (view-averaged, §III-C) embeddings: num_nodes × dim.
   const Matrix& final_embeddings() const { return final_embeddings_; }
+  /// Whether the file carried the final-embeddings section (flag bit 0).
+  bool has_final_embeddings() const { return has_final_embeddings_; }
+
+  /// Format version of the loaded file (1, 2, or 3).
+  uint32_t format_version() const { return format_version_; }
+
+  /// The pre-built ANN index shipped in a v3 file, or null. Its row space is
+  /// the matrix named by ann_target_view().
+  const AnnIndex* ann_index() const {
+    return ann_index_.has_value() ? &*ann_index_ : nullptr;
+  }
+  /// View the ANN index was built over; -1 means the final embeddings.
+  /// Meaningless when ann_index() is null.
+  int ann_target_view() const { return ann_target_view_; }
 
  private:
   size_t dim_ = 0;
   size_t seq_len_ = 0;
+  uint32_t format_version_ = 0;
+  bool has_final_embeddings_ = false;
   std::vector<std::string> node_names_;
   std::unordered_map<std::string, NodeId> name_to_id_;
   Matrix final_embeddings_;
   std::vector<ServingView> views_;
   std::vector<ServingTranslator> translators_;
+  std::optional<AnnIndex> ann_index_;
+  int ann_target_view_ = -1;
 };
 
 }  // namespace transn

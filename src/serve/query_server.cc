@@ -10,6 +10,31 @@
 
 namespace transn {
 
+const char* ServeIndexKindName(ServeIndexKind kind) {
+  switch (kind) {
+    case ServeIndexKind::kExact:
+      return "exact";
+    case ServeIndexKind::kQuantized:
+      return "quantized";
+    case ServeIndexKind::kHnsw:
+      return "hnsw";
+  }
+  return "unknown";
+}
+
+bool ParseServeIndexKind(const std::string& name, ServeIndexKind* out) {
+  if (name == "exact") {
+    *out = ServeIndexKind::kExact;
+  } else if (name == "quantized") {
+    *out = ServeIndexKind::kQuantized;
+  } else if (name == "hnsw") {
+    *out = ServeIndexKind::kHnsw;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 QueryServer::QueryServer(const EmbeddingStore* store,
                          QueryServerOptions options)
     : store_(store), options_(options), translation_(store) {
@@ -22,7 +47,7 @@ QueryServer::QueryServer(const EmbeddingStore* store,
   KnnIndexOptions idx;
   idx.metric = options_.metric;
   idx.seed = options_.seed;
-  if (options_.quantized) {
+  if (options_.index_kind == ServeIndexKind::kQuantized) {
     idx.num_centroids =
         options_.num_centroids > 0
             ? options_.num_centroids
@@ -33,6 +58,9 @@ QueryServer::QueryServer(const EmbeddingStore* store,
       options_.nprobe = std::max<size_t>(1, idx.num_centroids / 4);
     }
   }
+  // Default beam width 128: the operating point bench/ann_frontier gates,
+  // where recall@10 holds >= 0.95 even at 1M rows.
+  if (options_.ef_search == 0) options_.ef_search = 128;
   if (options_.num_threads != 1) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
     options_.num_threads = pool_->num_threads();
@@ -56,12 +84,79 @@ QueryServer::QueryServer(const EmbeddingStore* store,
                                         "seconds",
                                         "end-to-end per-request latency");
 
+  // The exact index is always built: it serves kExact/kQuantized traffic
+  // and is the recall-probe ground truth in kHnsw mode (its construction is
+  // a cheap norm precompute next to the graph build).
   WallTimer build_timer;
   index_ = std::make_unique<KnnIndex>(&target_matrix(), idx, pool_.get());
   registry
       .GetHistogram(obs::kServeIndexBuildSeconds, "seconds",
                     "k-NN index construction time")
       ->Record(build_timer.ElapsedSeconds());
+
+  if (options_.index_kind == ServeIndexKind::kHnsw) {
+    // Prefer the index shipped in the serving file (v3) when it covers the
+    // same matrix with the same metric; otherwise build one here.
+    const AnnIndex* stored = store_->ann_index();
+    if (stored != nullptr &&
+        store_->ann_target_view() == options_.target_view &&
+        stored->metric() == options_.metric &&
+        stored->num_rows() == rows) {
+      ann_ = stored;
+    } else {
+      owned_ann_ = std::make_unique<AnnIndex>(AnnIndex::Build(
+          target_matrix(), options_.metric, options_.ann_params));
+      ann_ = owned_ann_.get();
+      registry
+          .GetHistogram(obs::kAnnBuildSeconds, "seconds",
+                        "ANN layered-graph construction time")
+          ->Record(ann_->build_seconds());
+    }
+    registry
+        .GetGauge(obs::kAnnGraphAvgDegree, "edges",
+                  "directed ANN edges per node, all layers")
+        ->Set(ann_->avg_degree());
+    registry
+        .GetGauge(obs::kAnnGraphMaxLevel, "layers",
+                  "highest occupied ANN layer")
+        ->Set(static_cast<double>(ann_->max_level()));
+    registry
+        .GetGauge(obs::kAnnEfSearch, "candidates",
+                  "ANN query beam width (ef)")
+        ->Set(static_cast<double>(options_.ef_search));
+    ann_hops_hist_ = registry.GetHistogram(
+        obs::kAnnHopsPerQuery, "hops", "ANN graph nodes expanded per query");
+    ProbeAnnRecall();
+  }
+}
+
+void QueryServer::ProbeAnnRecall() {
+  const Matrix& base = target_matrix();
+  const size_t num_probes = std::min<size_t>(16, base.rows());
+  const size_t k = std::min(options_.k, base.rows());
+  double hits = 0.0, want = 0.0;
+  for (size_t p = 0; p < num_probes; ++p) {
+    // Probe rows are spread deterministically over the matrix.
+    const size_t row = base.rows() * p / std::max<size_t>(num_probes, 1);
+    const double* query = base.Row(row);
+    const std::vector<KnnResult> exact = index_->Search(query, k, nullptr);
+    const std::vector<KnnResult> approx =
+        ann_->Search(query, k, options_.ef_search, nullptr);
+    for (const KnnResult& e : exact) {
+      want += 1.0;
+      for (const KnnResult& a : approx) {
+        if (a.row == e.row) {
+          hits += 1.0;
+          break;
+        }
+      }
+    }
+  }
+  ann_recall_probe_ = want > 0.0 ? hits / want : 1.0;
+  obs::MetricsRegistry::Default()
+      .GetGauge(obs::kAnnRecallProbe, "recall",
+                "ANN recall@k vs the exact scan on the startup probe set")
+      ->Set(ann_recall_probe_);
 }
 
 QueryServer::~QueryServer() = default;
@@ -125,10 +220,21 @@ QueryResponse QueryServer::HandleInternal(const std::string& node_name,
   const size_t want = options_.k + (options_.exclude_self ? 1 : 0);
   // Per-request scans stay serial: HandleBatch already parallelizes across
   // requests, and nesting ParallelFor inside a pool worker would deadlock.
-  std::vector<KnnResult> hits =
-      options_.quantized
-          ? index_->SearchQuantized(query, want, options_.nprobe)
-          : index_->Search(query, want, nullptr);
+  std::vector<KnnResult> hits;
+  switch (options_.index_kind) {
+    case ServeIndexKind::kQuantized:
+      hits = index_->SearchQuantized(query, want, options_.nprobe);
+      break;
+    case ServeIndexKind::kHnsw: {
+      AnnSearchStats stats;
+      hits = ann_->Search(query, want, options_.ef_search, &stats);
+      ann_hops_hist_->Record(static_cast<double>(stats.hops));
+      break;
+    }
+    case ServeIndexKind::kExact:
+      hits = index_->Search(query, want, nullptr);
+      break;
+  }
 
   resp.neighbors.reserve(options_.k);
   for (const KnnResult& hit : hits) {

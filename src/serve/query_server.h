@@ -15,6 +15,21 @@
 
 namespace transn {
 
+/// How the server answers k-NN queries (the --index selector).
+enum class ServeIndexKind {
+  /// Exact O(N) sharded scan (KnnIndex::Search).
+  kExact,
+  /// Coarse-quantized pruned scan (KnnIndex::SearchQuantized).
+  kQuantized,
+  /// Layered-graph HNSW-style beam search (AnnIndex) — sublinear.
+  kHnsw,
+};
+
+/// "exact" | "quantized" | "hnsw".
+const char* ServeIndexKindName(ServeIndexKind kind);
+/// Inverse of ServeIndexKindName; false on an unknown name.
+bool ParseServeIndexKind(const std::string& name, ServeIndexKind* out);
+
 struct QueryServerOptions {
   /// View to search: an index into the store's views, or -1 for the final
   /// (view-averaged) embeddings over all nodes.
@@ -24,12 +39,19 @@ struct QueryServerOptions {
   /// Request-level parallelism for HandleBatch; 1 = sequential. Results are
   /// identical for every thread count.
   size_t num_threads = 1;
-  /// Use the coarse-quantized pruned scan instead of the exact one.
-  bool quantized = false;
-  /// 0 = sqrt(num rows), clamped to [1, rows].
+  /// Scan strategy for neighbor queries.
+  ServeIndexKind index_kind = ServeIndexKind::kExact;
+  /// kQuantized: 0 = sqrt(num rows), clamped to [1, rows].
   size_t num_centroids = 0;
-  /// Cells probed per quantized query; 0 = num_centroids / 4 (min 1).
+  /// kQuantized: cells probed per query; 0 = num_centroids / 4 (min 1).
   size_t nprobe = 0;
+  /// kHnsw: beam width at query time; 0 = 128 (the recall-gated default).
+  /// The effective beam is max(ef_search, k).
+  size_t ef_search = 0;
+  /// kHnsw: build knobs when the serving file ships no usable pre-built
+  /// index (mismatched target/metric or a v2 file) and one must be built at
+  /// construction time.
+  AnnBuildParams ann_params;
   /// Drop the query node itself from its result list.
   bool exclude_self = true;
   uint64_t seed = 42;
@@ -81,6 +103,12 @@ class QueryServer {
   double qps() const;
 
   const KnnIndex& index() const { return *index_; }
+  /// The active ANN index in kHnsw mode (borrowed from the store or built at
+  /// construction); null otherwise.
+  const AnnIndex* ann_index() const { return ann_; }
+  /// recall@k of the ANN index vs the exact scan on the startup probe set;
+  /// 1.0 outside kHnsw mode.
+  double ann_recall_probe() const { return ann_recall_probe_; }
   const QueryServerOptions& options() const { return options_; }
 
  private:
@@ -90,10 +118,19 @@ class QueryServer {
   const Matrix& target_matrix() const;
   NodeId RowToGlobal(uint32_t row) const;
 
+  /// Measures ANN recall@k against the exact scan on a small deterministic
+  /// probe set and publishes the ann.recall_probe gauge.
+  void ProbeAnnRecall();
+
   const EmbeddingStore* store_;
   QueryServerOptions options_;
   TranslationService translation_;
   std::unique_ptr<KnnIndex> index_;
+  /// Owned ANN index when none could be borrowed from the store.
+  std::unique_ptr<AnnIndex> owned_ann_;
+  /// Active ANN index in kHnsw mode (owned_ann_ or the store's); else null.
+  const AnnIndex* ann_ = nullptr;
+  double ann_recall_probe_ = 1.0;
   std::unique_ptr<ThreadPool> pool_;  // only when num_threads > 1
   LatencyHistogram latency_;
   /// Registry handles cached at construction (see obs/metric_names.h); the
@@ -104,6 +141,8 @@ class QueryServer {
   obs::Counter* errors_counter_;
   obs::Counter* coldstart_counter_;
   obs::Histogram* latency_hist_;
+  /// Graph hops per query; registered only in kHnsw mode.
+  obs::Histogram* ann_hops_hist_ = nullptr;
 };
 
 }  // namespace transn

@@ -13,19 +13,20 @@ namespace transn {
 // (core/model_io: ExportServingModel) and the reader (serve/embedding_store).
 //
 // All integers and IEEE-754 doubles are little-endian regardless of host
-// byte order. Layout (version 2; § marks a section boundary — in v2 every
+// byte order. Layout (versions 2 and 3; § marks a section boundary — every
 // section is followed by a u32 CRC-32 of that section's bytes, so the reader
 // can pinpoint which section a corruption hit; v1 files have no section
 // CRCs and are still accepted):
 //
 //   bytes [0,8)   magic "TRNSERV1"
-//   u32           format version (1 or 2)
+//   u32           format version (1, 2, or 3)
 // § u32           dim            embedding dimensionality d
 //   u32           seq_len        translator path length L (0 if none)
 //   u32           num_nodes      global node count
 //   u32           num_views
 //   u32           num_translators
 //   u8            flags          bit 0: final (view-averaged) embeddings
+//                                bit 1: ANN index section (v3 only)
 // § node names    num_nodes × { u32 len, bytes }   (global id = order)
 // § final emb     num_nodes × dim f64              (iff flag bit 0)
 // § views         num_views × {                    (one section per view)
@@ -39,21 +40,54 @@ namespace transn {
 //                   u8  simple, u8 final_relu
 //                   u32 num_encoders               (stored W/b pairs)
 //                   num_encoders × { L*L f64 W row-major, L f64 b } }
+// § ann index     u32 payload_len                  (iff flag bit 1; v3 only)
+//                 u32 target  view index the index was built over,
+//                             0xFFFFFFFF for the final embeddings
+//                 payload_len - 4 bytes of AnnIndex graph
+//                             (serve/ann_index.h AppendTo: section version,
+//                             metric, build params, entry point, per-layer
+//                             adjacency; vectors are NOT stored — they are
+//                             re-quantized from the target matrix on load)
 //   u64           FNV-1a 64 checksum of every preceding byte
 //
-// The version field (not the magic) is what distinguishes v1 from v2; the
-// whole-file FNV trailer covers the section CRCs too. The format is
-// immutable once written: the store loads it read-only with full double
-// precision (unlike the lossy TSV path, which exists for interchange with
-// the evaluation scripts).
+// The version field (not the magic) is what distinguishes versions; the
+// whole-file FNV trailer covers the section CRCs too. Unlike the other
+// sections, the ANN section leads with its payload length so the reader can
+// CRC-verify the bytes *before* parsing the graph — a corrupted ANN section
+// therefore always surfaces as kDataLoss, never as a parse error.
+//
+// Version compatibility: the reader accepts 1, 2, and 3. The writer emits
+// v2 unless an ANN section is requested (so models without one stay
+// byte-identical to what a v2 writer produced) and v3 with one. The full
+// normative spec, including the checkpoint and text formats, lives in
+// docs/FORMATS.md. The format is immutable once written: the store loads it
+// read-only with full double precision (unlike the lossy TSV path, which
+// exists for interchange with the evaluation scripts).
 
 inline constexpr char kServingMagic[8] = {'T', 'R', 'N', 'S', 'E', 'R',
                                           'V', '1'};
 /// Oldest readable version: whole-file checksum only.
 inline constexpr uint32_t kServingFormatVersionV1 = 1;
-/// Current written version: per-section CRC-32 trailers.
+/// Per-section CRC-32 trailers; still written when no ANN index is present.
 inline constexpr uint32_t kServingFormatVersion = 2;
+/// v2 plus the optional ANN index section; written only with one.
+inline constexpr uint32_t kServingFormatVersionV3 = 3;
 inline constexpr uint8_t kServingFlagFinalEmbeddings = 1;
+/// Flag bit 1: the file carries an ANN index section (requires version 3).
+inline constexpr uint8_t kServingFlagAnnIndex = 2;
+/// ANN section target value meaning "built over the final embeddings".
+inline constexpr uint32_t kServingAnnTargetFinal = 0xFFFFFFFFu;
+
+// Section names, in file order. Shared by the reader's CRC/parse error
+// messages, the writer, and `transn_serve info`; docs/FORMATS.md must
+// document every one (scripts/check_formats_docs.sh enforces this).
+inline constexpr const char kServingSectionHeader[] = "header";
+inline constexpr const char kServingSectionNodeNames[] = "node-name index";
+inline constexpr const char kServingSectionFinalEmbeddings[] =
+    "final embeddings";
+inline constexpr const char kServingSectionView[] = "view";
+inline constexpr const char kServingSectionTranslator[] = "translator";
+inline constexpr const char kServingSectionAnnIndex[] = "ann index";
 
 /// FNV-1a 64-bit over a byte range; the file trailer.
 inline uint64_t ServingChecksum(const void* data, size_t n) {
@@ -109,6 +143,12 @@ class ByteReader {
   bool ReadRaw(void* out, size_t n) {
     if (remaining() < n) return false;
     memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool Skip(size_t n) {
+    if (remaining() < n) return false;
     pos_ += n;
     return true;
   }

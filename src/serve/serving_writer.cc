@@ -1,0 +1,111 @@
+#include "serve/serving_writer.h"
+
+#include <limits>
+
+#include "serve/serving_format.h"
+#include "util/safe_io.h"
+
+namespace transn {
+namespace {
+
+void AppendMatrix(std::string* buf, const Matrix& m) {
+  const double* data = m.data();
+  for (size_t i = 0; i < m.size(); ++i) AppendF64(buf, data[i]);
+}
+
+void AppendSectionCrc(std::string* buf, size_t section_start) {
+  AppendU32(buf,
+            Crc32(buf->data() + section_start, buf->size() - section_start));
+}
+
+}  // namespace
+
+Status WriteServingModel(const EmbeddingStore& store, const std::string& path,
+                         const ServingWriteOptions& options) {
+  if (options.ann != nullptr) {
+    const Matrix& target =
+        options.ann_target_view < 0
+            ? store.final_embeddings()
+            : store.view(options.ann_target_view).embeddings;
+    if (options.ann->num_rows() != target.rows() ||
+        options.ann->dim() != target.cols()) {
+      return Status::InvalidArgument(
+          "ANN index shape does not match its target matrix");
+    }
+  }
+
+  std::string buf;
+  buf.append(kServingMagic, sizeof(kServingMagic));
+  AppendU32(&buf, options.ann != nullptr ? kServingFormatVersionV3
+                                         : kServingFormatVersion);
+  size_t section = buf.size();
+  AppendU32(&buf, static_cast<uint32_t>(store.dim()));
+  AppendU32(&buf, static_cast<uint32_t>(store.seq_len()));
+  AppendU32(&buf, static_cast<uint32_t>(store.num_nodes()));
+  AppendU32(&buf, static_cast<uint32_t>(store.views().size()));
+  AppendU32(&buf, static_cast<uint32_t>(store.translators().size()));
+  AppendU8(&buf, static_cast<uint8_t>(
+                     (store.has_final_embeddings() ? kServingFlagFinalEmbeddings
+                                                   : 0) |
+                     (options.ann != nullptr ? kServingFlagAnnIndex : 0)));
+  AppendSectionCrc(&buf, section);
+
+  section = buf.size();
+  for (size_t n = 0; n < store.num_nodes(); ++n) {
+    AppendString(&buf, store.node_name(n));
+  }
+  AppendSectionCrc(&buf, section);
+
+  section = buf.size();
+  if (store.has_final_embeddings()) {
+    AppendMatrix(&buf, store.final_embeddings());
+  }
+  AppendSectionCrc(&buf, section);
+
+  for (const ServingView& view : store.views()) {
+    section = buf.size();
+    AppendString(&buf, view.name);
+    AppendU8(&buf, view.is_heter ? 1 : 0);
+    AppendU32(&buf, static_cast<uint32_t>(view.global_ids.size()));
+    for (const NodeId global : view.global_ids) {
+      AppendU32(&buf, static_cast<uint32_t>(global));
+    }
+    AppendMatrix(&buf, view.embeddings);
+    AppendSectionCrc(&buf, section);
+  }
+
+  for (const ServingTranslator& tr : store.translators()) {
+    section = buf.size();
+    AppendU32(&buf, tr.from_view);
+    AppendU32(&buf, tr.to_view);
+    AppendU8(&buf, tr.simple ? 1 : 0);
+    AppendU8(&buf, tr.final_relu ? 1 : 0);
+    AppendU32(&buf, static_cast<uint32_t>(tr.weights.size()));
+    for (size_t e = 0; e < tr.weights.size(); ++e) {
+      AppendMatrix(&buf, tr.weights[e]);
+      AppendMatrix(&buf, tr.biases[e]);
+    }
+    AppendSectionCrc(&buf, section);
+  }
+
+  if (options.ann != nullptr) {
+    std::string payload;
+    AppendU32(&payload,
+              options.ann_target_view < 0
+                  ? kServingAnnTargetFinal
+                  : static_cast<uint32_t>(options.ann_target_view));
+    options.ann->AppendTo(&payload);
+    section = buf.size();
+    AppendU32(&buf, static_cast<uint32_t>(payload.size()));
+    buf.append(payload);
+    AppendSectionCrc(&buf, section);
+  }
+
+  AppendU64(&buf, ServingChecksum(buf.data(), buf.size()));
+
+  AtomicFileWriter writer(path);
+  writer.Write(buf);
+  return writer.Commit();
+}
+
+}  // namespace transn

@@ -1,0 +1,32 @@
+#ifndef TRANSN_SERVE_SERVING_WRITER_H_
+#define TRANSN_SERVE_SERVING_WRITER_H_
+
+#include <string>
+
+#include "serve/ann_index.h"
+#include "serve/embedding_store.h"
+#include "util/status.h"
+
+namespace transn {
+
+struct ServingWriteOptions {
+  /// When non-null, embedded as the v3 ANN section. Must have been built
+  /// over the matrix named by ann_target_view. Borrowed for the call.
+  const AnnIndex* ann = nullptr;
+  /// View the ANN index covers; -1 means the final embeddings.
+  int ann_target_view = -1;
+};
+
+/// Re-serializes a loaded EmbeddingStore to disk in the serving format
+/// (atomic write, layout in serve/serving_format.h) — the serve-side
+/// counterpart of core's ExportServingModel, used by `transn_serve index` to
+/// upgrade an existing v2 model to v3 by attaching an ANN index without
+/// retraining. Without an ANN index the output is v2 and byte-identical to
+/// what ExportServingModel produced for the same model (roundtrip-tested);
+/// with one it is v3.
+Status WriteServingModel(const EmbeddingStore& store, const std::string& path,
+                         const ServingWriteOptions& options);
+
+}  // namespace transn
+
+#endif  // TRANSN_SERVE_SERVING_WRITER_H_

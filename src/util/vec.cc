@@ -189,6 +189,33 @@ TRANSN_TARGET_AVX2 double SquaredDistanceAvx2(const double* a, const double* b,
   return total;
 }
 
+TRANSN_TARGET_AVX2 int32_t DotI8Avx2(const int8_t* a, const int8_t* b,
+                                     size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  // Sign-extend 16 codes per operand to int16 and use madd_epi16: each
+  // product is <= 127^2, each pairwise sum <= 2*127^2, accumulated in int32
+  // lanes. Integer adds are associative, so any lane arrangement produces
+  // the same total as the sequential scalar reference — exactly.
+  for (; i + 16 <= n; i += 16) {
+    const __m256i av = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)));
+    const __m256i bv = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i)));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(av, bv));
+  }
+  __m128i lo = _mm256_castsi256_si128(acc);
+  const __m128i hi = _mm256_extracti128_si256(acc, 1);
+  lo = _mm_add_epi32(lo, hi);
+  lo = _mm_add_epi32(lo, _mm_shuffle_epi32(lo, _MM_SHUFFLE(1, 0, 3, 2)));
+  lo = _mm_add_epi32(lo, _mm_shuffle_epi32(lo, _MM_SHUFFLE(2, 3, 0, 1)));
+  int32_t total = _mm_cvtsi128_si32(lo);
+  for (; i < n; ++i) {
+    total += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return total;
+}
+
 TRANSN_TARGET_AVX2 void FusedSgnsUpdateAvx2(double g, double s,
                                             const double* v, double* u,
                                             double* grad, size_t n) {
@@ -271,6 +298,24 @@ double SquaredDistanceNeon(const double* a, const double* b, size_t n) {
   for (; i < n; ++i) {
     const double d = a[i] - b[i];
     total += d * d;
+  }
+  return total;
+}
+
+int32_t DotI8Neon(const int8_t* a, const int8_t* b, size_t n) {
+  int32x4_t acc = vdupq_n_s32(0);
+  size_t i = 0;
+  // vmull_s8 widens to int16 products (<= 127^2), vpadalq_s16 pairwise-adds
+  // them into int32 lanes. Exact, so identical to the scalar reference.
+  for (; i + 16 <= n; i += 16) {
+    const int8x16_t av = vld1q_s8(a + i);
+    const int8x16_t bv = vld1q_s8(b + i);
+    acc = vpadalq_s16(acc, vmull_s8(vget_low_s8(av), vget_low_s8(bv)));
+    acc = vpadalq_s16(acc, vmull_s8(vget_high_s8(av), vget_high_s8(bv)));
+  }
+  int32_t total = vaddvq_s32(acc);
+  for (; i < n; ++i) {
+    total += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
   }
   return total;
 }
@@ -367,6 +412,24 @@ double SquaredDistance(const double* a, const double* b, size_t n) {
 }
 
 TRANSN_REF_NOVEC
+int32_t DotI8(const int8_t* a, const int8_t* b, size_t n) {
+  int32_t acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return acc;
+}
+
+TRANSN_REF_NOVEC
+double DotF32(const float* a, const float* b, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return acc;
+}
+
+TRANSN_REF_NOVEC
 void FusedSgnsUpdate(double g, double s, const double* v, double* u,
                      double* grad, size_t n) {
   for (size_t i = 0; i < n; ++i) {
@@ -444,6 +507,28 @@ double SquaredDistance(const double* a, const double* b, size_t n) {
     default:
       return ref::SquaredDistance(a, b, n);
   }
+}
+
+int32_t DotI8(const int8_t* a, const int8_t* b, size_t n) {
+  switch (ActiveIsa()) {
+#if defined(TRANSN_VEC_X86)
+    case Isa::kAvx2:
+      return DotI8Avx2(a, b, n);
+#endif
+#if defined(TRANSN_VEC_NEON)
+    case Isa::kNeon:
+      return DotI8Neon(a, b, n);
+#endif
+    default:
+      return ref::DotI8(a, b, n);
+  }
+}
+
+double DotF32(const float* a, const float* b, size_t n) {
+  // Deliberately not SIMD-dispatched: the sequential double accumulation is
+  // the determinism contract (re-rank scores identical on every ISA), and
+  // the candidate sets this runs over are tiny (ef <= a few hundred rows).
+  return ref::DotF32(a, b, n);
 }
 
 void FusedSgnsUpdate(double g, double s, const double* v, double* u,

@@ -2,6 +2,7 @@
 #define TRANSN_UTIL_VEC_H_
 
 #include <stddef.h>
+#include <stdint.h>
 
 namespace transn {
 
@@ -62,6 +63,20 @@ void ScaledSub(double* y, double a, const double* x, size_t n);
 /// sum_i (a[i] - b[i])^2.
 double SquaredDistance(const double* a, const double* b, size_t n);
 
+/// sum_i a[i] * b[i] over int8 codes, accumulated exactly in int32. Because
+/// integer addition is associative, the dispatched SIMD bodies return the
+/// *bit-identical* value of the scalar reference on every ISA — this is what
+/// makes the HNSW graph traversal (serve/ann_index) deterministic across
+/// machines. Safe for n up to 2^17 (|a_i b_i| <= 127^2).
+int32_t DotI8(const int8_t* a, const int8_t* b, size_t n);
+
+/// sum_i a[i] * b[i] over float32 operands, accumulated sequentially in
+/// double on every ISA (never reordered by SIMD), so re-ranking scores are
+/// identical across machines. Used for the fp32 re-rank of ANN candidate
+/// sets — tiny vectors-times-candidates workloads where determinism matters
+/// more than peak throughput.
+double DotF32(const float* a, const float* b, size_t n);
+
 /// Fused SGNS gradient step on private buffers, one pass over the row:
 ///   grad[i] += g * u[i];  u[i] -= s * v[i];
 /// where g = sigmoid(score) - label and s = learning_rate * g. The caller
@@ -94,6 +109,8 @@ double Dot(const double* a, const double* b, size_t n);
 void Axpy(double a, const double* x, double* y, size_t n);
 void ScaledSub(double* y, double a, const double* x, size_t n);
 double SquaredDistance(const double* a, const double* b, size_t n);
+int32_t DotI8(const int8_t* a, const int8_t* b, size_t n);
+double DotF32(const float* a, const float* b, size_t n);
 void FusedSgnsUpdate(double g, double s, const double* v, double* u,
                      double* grad, size_t n);
 double Sigmoid(double x);

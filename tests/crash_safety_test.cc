@@ -4,6 +4,7 @@
 // a crash, and never a partially-mutated in-memory model.
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -259,6 +260,89 @@ TEST_F(CrashSafetyTest, ServingModelCorruptionIsCaught) {
     data_loss += store.status().code() == StatusCode::kDataLoss ? 1 : 0;
   }
   EXPECT_GT(data_loss, 0) << "no flip exercised the section-CRC path";
+  std::remove(path.c_str());
+}
+
+// --- serving format v3 (embedded ANN section) ------------------------------
+
+TEST_F(CrashSafetyTest, ServingModelV2StillLoadsUnderV3Reader) {
+  // The no-ANN export path must keep writing byte-compatible v2 files, and
+  // the v3 reader must load them (forward compatibility for every model
+  // exported before the ANN section existed).
+  std::string path = TempPath("v2.bin");
+  ASSERT_TRUE(ExportServingModel(*model_, path).ok());
+  const std::string blob = Slurp(path);
+  uint32_t version = 0;
+  std::memcpy(&version, blob.data() + 8, 4);  // magic is 8 bytes
+  EXPECT_EQ(version, kServingFormatVersion) << "ANN-less exports must stay v2";
+  auto store = EmbeddingStore::Load(path);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ(store->format_version(), 2);
+  EXPECT_EQ(store->ann_index(), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST_F(CrashSafetyTest, ServingModelV3AnnTruncationSweep) {
+  std::string path = TempPath("sweep_v3.bin");
+  ServingExportOptions opts;
+  opts.ann_index = true;
+  ASSERT_TRUE(ExportServingModel(*model_, path, opts).ok());
+  const std::string blob = Slurp(path);
+  {
+    auto store = EmbeddingStore::Load(path);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    EXPECT_EQ(store->format_version(), 3);
+    ASSERT_NE(store->ann_index(), nullptr);
+    EXPECT_EQ(store->ann_target_view(), -1);
+    EXPECT_EQ(store->ann_index()->num_rows(), store->num_nodes());
+  }
+  for (size_t keep : SampledPrefixes(blob.size())) {
+    Spit(path, std::string_view(blob).substr(0, keep));
+    ASSERT_FALSE(EmbeddingStore::Load(path).ok())
+        << "v3 prefix of " << keep << " bytes loaded";
+  }
+  Spit(path, blob);
+  ASSERT_TRUE(EmbeddingStore::Load(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(CrashSafetyTest, ServingModelV3AnnCorruptionIsDataLoss) {
+  // Flips confined to the ANN section payload must surface as kDataLoss:
+  // the reader CRC-verifies the length-prefixed section before parsing the
+  // graph, so corruption can never masquerade as a malformed-structure
+  // error or, worse, a silently wrong index.
+  std::string path = TempPath("corrupt_v3.bin");
+  ServingExportOptions opts;
+  opts.ann_index = true;
+  ASSERT_TRUE(ExportServingModel(*model_, path, opts).ok());
+  const std::string blob = Slurp(path);
+
+  // The ANN section is the last section before the 8-byte FNV trailer:
+  // [len u32][payload][crc u32]. The v2 sections of a v3 file have exactly
+  // a v2 file's length (only the version and flags values differ), so a v2
+  // export of the same model locates the ANN section's start.
+  const size_t body = blob.size() - 8;
+  std::string v2_path = TempPath("corrupt_v3_base.bin");
+  ASSERT_TRUE(ExportServingModel(*model_, v2_path).ok());
+  const size_t ann_start = Slurp(v2_path).size() - 8;
+  std::remove(v2_path.c_str());
+  uint32_t payload_len = 0;
+  std::memcpy(&payload_len, blob.data() + ann_start, 4);
+  ASSERT_EQ(ann_start + 4 + payload_len + 4, body)
+      << "ANN section layout drifted; update this test";
+
+  for (size_t i = 0; i < 32; ++i) {
+    const size_t at = ann_start + 4 + (payload_len - 1) * i / 31;
+    std::string corrupted = blob.substr(0, body);
+    corrupted[at] = static_cast<char>(corrupted[at] ^ 0x5a);
+    std::string repaired = corrupted;
+    AppendU64(&repaired, ServingChecksum(corrupted.data(), corrupted.size()));
+    Spit(path, repaired);
+    auto store = EmbeddingStore::Load(path);
+    ASSERT_FALSE(store.ok()) << "ANN flip at byte " << at << " loaded";
+    EXPECT_EQ(store.status().code(), StatusCode::kDataLoss)
+        << "ANN flip at byte " << at << ": " << store.status().ToString();
+  }
   std::remove(path.c_str());
 }
 

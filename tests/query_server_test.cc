@@ -1,10 +1,13 @@
 #include "serve/query_server.h"
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 #include "core/transn.h"
+#include "serve/ann_index.h"
+#include "serve/serving_writer.h"
 #include "serve_test_util.h"
 #include "test_graphs.h"
 
@@ -128,7 +131,8 @@ TEST_F(QueryServerTest, UnknownNodeIsPerRequestNotFound) {
 
 TEST_F(QueryServerTest, QuantizedModeServesTopK) {
   QueryServerOptions opts;
-  opts.quantized = true;  // default centroids = sqrt(rows), nprobe derived
+  // Default centroids = sqrt(rows), nprobe derived.
+  opts.index_kind = ServeIndexKind::kQuantized;
   opts.k = 5;
   QueryServer server(store_.get(), opts);
   EXPECT_GT(server.index().num_centroids(), 0u);
@@ -141,6 +145,83 @@ TEST_F(QueryServerTest, QuantizedModeServesTopK) {
   for (size_t j = 1; j < resp.neighbors.size(); ++j) {
     EXPECT_GE(resp.neighbors[j - 1].score, resp.neighbors[j].score);
   }
+}
+
+TEST_F(QueryServerTest, IndexKindNamesRoundTrip) {
+  for (ServeIndexKind kind : {ServeIndexKind::kExact,
+                              ServeIndexKind::kQuantized,
+                              ServeIndexKind::kHnsw}) {
+    ServeIndexKind parsed;
+    ASSERT_TRUE(ParseServeIndexKind(ServeIndexKindName(kind), &parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  ServeIndexKind parsed;
+  EXPECT_FALSE(ParseServeIndexKind("flat", &parsed));
+}
+
+TEST_F(QueryServerTest, HnswModeServesTopK) {
+  // No ANN section in the store (v2 export), so the server builds the
+  // graph at construction time and must still answer every query.
+  QueryServerOptions opts;
+  opts.index_kind = ServeIndexKind::kHnsw;
+  opts.k = 5;
+  QueryServer server(store_.get(), opts);
+  ASSERT_NE(server.ann_index(), nullptr);
+  EXPECT_EQ(server.ann_index()->num_rows(), store_->num_nodes());
+  EXPECT_EQ(server.options().ef_search, 128u);  // the 0-means-default knob
+  // On a tiny store the beam covers everything: the probe must be perfect.
+  EXPECT_EQ(server.ann_recall_probe(), 1.0);
+
+  QueryResponse resp = server.Handle(store_->node_name(2));
+  ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+  EXPECT_EQ(resp.neighbors.size(), 5u);
+  for (size_t j = 1; j < resp.neighbors.size(); ++j) {
+    EXPECT_GE(resp.neighbors[j - 1].score, resp.neighbors[j].score);
+  }
+
+  // Tiny stores are exhaustively covered by the beam, so hnsw and exact
+  // must return identical neighbor ids.
+  QueryServerOptions exact_opts;
+  exact_opts.k = 5;
+  QueryServer exact(store_.get(), exact_opts);
+  for (NodeId n = 0; n < store_->num_nodes(); ++n) {
+    const QueryResponse a = server.Handle(store_->node_name(n));
+    const QueryResponse e = exact.Handle(store_->node_name(n));
+    ASSERT_EQ(a.neighbors.size(), e.neighbors.size());
+    for (size_t j = 0; j < a.neighbors.size(); ++j) {
+      EXPECT_EQ(a.neighbors[j].node, e.neighbors[j].node)
+          << "query " << n << " rank " << j;
+    }
+  }
+}
+
+TEST_F(QueryServerTest, HnswBorrowsStoredIndexWhenCompatible) {
+  // Re-serialize the store with an embedded ANN index over the final
+  // embeddings; a server targeting the same matrix and metric must borrow
+  // it rather than rebuild (same pointer), and a server targeting a view
+  // must fall back to building its own.
+  const AnnIndex built =
+      AnnIndex::Build(store_->final_embeddings(), KnnMetric::kCosine, {});
+  const std::string path =
+      std::string(::testing::TempDir()) + "/qs_ann_model.bin";
+  ServingWriteOptions write_opts;
+  write_opts.ann = &built;
+  ASSERT_TRUE(WriteServingModel(*store_, path, write_opts).ok());
+  auto loaded = EmbeddingStore::Load(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_NE(loaded->ann_index(), nullptr);
+
+  QueryServerOptions opts;
+  opts.index_kind = ServeIndexKind::kHnsw;
+  QueryServer borrowing(&*loaded, opts);
+  EXPECT_EQ(borrowing.ann_index(), loaded->ann_index())
+      << "compatible stored index must be borrowed, not rebuilt";
+
+  opts.target_view = 0;  // stored index targets final, not view 0
+  QueryServer rebuilding(&*loaded, opts);
+  ASSERT_NE(rebuilding.ann_index(), nullptr);
+  EXPECT_NE(rebuilding.ann_index(), loaded->ann_index());
 }
 
 }  // namespace

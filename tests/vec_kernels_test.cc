@@ -77,6 +77,45 @@ TEST_F(VecKernelsTest, DotMatchesReferenceAcrossDims) {
   }
 }
 
+TEST_F(VecKernelsTest, DotI8IsBitIdenticalToReferenceAcrossDims) {
+  // Int8 dots accumulate exactly in int32, so every ISA must agree with the
+  // reference to the bit — this is what makes the ANN index's stored graph
+  // portable across machines (serve/ann_index.h).
+  vec::SetSimdEnabled(true);
+  for (size_t n = 1; n <= kMaxDim; ++n) {
+    Rng rng(77 * n);
+    std::vector<int8_t> a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = static_cast<int8_t>(rng.NextInt(-127, 127));
+      b[i] = static_cast<int8_t>(rng.NextInt(-127, 127));
+    }
+    const int32_t got = vec::DotI8(a.data(), b.data(), n);
+    const int32_t want = vec::ref::DotI8(a.data(), b.data(), n);
+    EXPECT_EQ(got, want) << "dim " << n;
+  }
+}
+
+TEST_F(VecKernelsTest, DotF32IsSequentialOnEveryIsa) {
+  // DotF32 deliberately never dispatches to SIMD (sequential double
+  // accumulation is the cross-ISA determinism contract for ANN re-ranking),
+  // so enabled and disabled SIMD must agree exactly.
+  for (size_t n = 1; n <= kMaxDim; ++n) {
+    Rng rng(91 * n);
+    std::vector<float> a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = static_cast<float>(rng.NextDouble(-1.0, 1.0));
+      b[i] = static_cast<float>(rng.NextDouble(-1.0, 1.0));
+    }
+    vec::SetSimdEnabled(true);
+    const double with_simd = vec::DotF32(a.data(), b.data(), n);
+    vec::SetSimdEnabled(false);
+    const double without = vec::DotF32(a.data(), b.data(), n);
+    vec::SetSimdEnabled(true);
+    EXPECT_EQ(with_simd, without) << "dim " << n;
+    EXPECT_EQ(with_simd, vec::ref::DotF32(a.data(), b.data(), n));
+  }
+}
+
 TEST_F(VecKernelsTest, AxpyMatchesReferenceAcrossDims) {
   vec::SetSimdEnabled(true);
   for (size_t n = 1; n <= kMaxDim; ++n) {

@@ -49,7 +49,8 @@ std::vector<std::string> TrainFlags() {
           "seq-len",      "cross-paths",      "cross-view",
           "simple-walk",  "simple-translator", "translation-tasks",
           "reconstruction-tasks", "checkpoint-every", "save-checkpoint",
-          "load-checkpoint", "resume",        "export-serving"};
+          "load-checkpoint", "resume",        "export-serving",
+          "export-ann",   "ann-m",            "ann-efc"};
 }
 
 std::vector<std::string> TrainCommandFlags(std::vector<std::string> extra) {
@@ -182,7 +183,19 @@ Matrix TrainTransN(const HeteroGraph& g, const Args& args) {
   }
   const std::string serving = args.GetOptionalString("export-serving");
   if (!serving.empty()) {
-    Status s = ExportServingModel(model, serving);
+    // --export-ann embeds an HNSW-style ANN index over the final embeddings
+    // (serving format v3; see docs/FORMATS.md) so `transn_serve --index
+    // hnsw` skips the at-load graph build.
+    ServingExportOptions export_opts;
+    export_opts.ann_index = args.GetBool("export-ann", false);
+    const int64_t ann_m = args.GetInt("ann-m", 16);
+    const int64_t ann_efc = args.GetInt("ann-efc", 100);
+    CHECK(ann_m >= 2 && ann_m <= 1024) << "--ann-m must be in [2, 1024]";
+    CHECK_GE(ann_efc, 1) << "--ann-efc must be >= 1";
+    export_opts.ann_params.max_degree = static_cast<size_t>(ann_m);
+    export_opts.ann_params.ef_construction = static_cast<size_t>(ann_efc);
+    export_opts.ann_params.seed = model.config().seed;
+    Status s = ExportServingModel(model, serving, export_opts);
     if (!s.ok()) Args::Fail(s.ToString());
     std::printf("wrote serving model %s (query with transn_serve)\n",
                 serving.c_str());
@@ -292,6 +305,8 @@ void Usage() {
       "           [--resume m.ckpt]  (continue an interrupted run: restores\n"
       "           weights, iteration, RNG, and Adam state bit-for-bit)\n"
       "           [--export-serving m.bin]  (binary model for transn_serve)\n"
+      "           [--export-ann true] [--ann-m 16] [--ann-efc 100]\n"
+      "             (embed an hnsw ANN index in the export; format v3)\n"
       "  classify --graph g.tsv --embeddings emb.tsv [--repeats 10]\n"
       "  linkpred --graph g.tsv [--method transn] [--removal 0.4]\n"
       "every subcommand accepts [--metrics-out m.json] to dump the\n"

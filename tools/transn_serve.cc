@@ -3,11 +3,19 @@
 //
 //   transn_serve info  --model model.bin
 //   transn_serve query --model model.bin [--view final|<edge-type name>]
-//                      [--k 10] [--metric cosine|dot] [--index exact|quantized]
-//                      [--centroids 0] [--nprobe 0] [--threads 1]
-//                      [--queries names.txt] [--sample 0] [--warmup 0]
+//                      [--k 10] [--metric cosine|dot]
+//                      [--index exact|quantized|hnsw] [--centroids 0]
+//                      [--nprobe 0] [--ef 0] [--ann-m 16] [--ann-efc 100]
+//                      [--threads 1] [--queries names.txt] [--sample 0]
+//                      [--warmup 0]
+//   transn_serve index --model model.bin --out model_v3.bin
+//                      [--view final|<edge-type name>] [--metric cosine|dot]
+//                      [--ann-m 16] [--ann-efc 100] [--seed 42]
 //   transn_serve serve --model model.bin [--listen 127.0.0.1:8080]
 //                      [--reactor-threads N] [--max-queue N] [--max-batch N]
+//
+// `index` embeds a pre-built HNSW-style ANN graph into a copy of the model
+// (serving format v3, docs/FORMATS.md) so servers skip the build at load.
 //
 // `serve` exposes the query path over HTTP (src/net/serve_app.h documents
 // the endpoints); SIGHUP or POST /admin/reload atomically hot-swaps the
@@ -42,6 +50,7 @@
 #include "net/serve_app.h"
 #include "serve/embedding_store.h"
 #include "serve/query_server.h"
+#include "serve/serving_writer.h"
 #include "util/logging.h"
 #include "util/timer.h"
 #include "util/vec.h"
@@ -59,8 +68,8 @@ std::vector<std::string> WithGlobalFlags(std::vector<std::string> flags) {
 
 /// QueryServerOptions flags shared by `query` and `serve`.
 std::vector<std::string> QueryOptionFlags() {
-  return {"model", "view", "k", "metric", "index", "centroids", "nprobe",
-          "threads", "warmup"};
+  return {"model", "view",   "k",      "metric",  "index", "centroids",
+          "nprobe", "ef",    "ann-m",  "ann-efc", "threads", "warmup"};
 }
 
 EmbeddingStore LoadStoreOrDie(const Args& args) {
@@ -101,13 +110,20 @@ QueryServerOptions QueryOptionsFromArgs(const Args& args,
     Args::Fail("bad --metric '" + metric + "' (cosine|dot)");
   }
   const std::string index = args.GetString("index", "exact");
-  if (index == "quantized") {
-    opts.quantized = true;
-  } else if (index != "exact") {
-    Args::Fail("bad --index '" + index + "' (exact|quantized)");
+  if (!ParseServeIndexKind(index, &opts.index_kind)) {
+    Args::Fail("bad --index '" + index + "' (exact|quantized|hnsw)");
   }
   opts.num_centroids = static_cast<size_t>(args.GetInt("centroids", 0));
   opts.nprobe = static_cast<size_t>(args.GetInt("nprobe", 0));
+  const int64_t ef = args.GetInt("ef", 0);
+  if (ef < 0) Args::Fail("--ef must be >= 0 (0 = default 128)");
+  opts.ef_search = static_cast<size_t>(ef);
+  const int64_t ann_m = args.GetInt("ann-m", 16);
+  const int64_t ann_efc = args.GetInt("ann-efc", 100);
+  if (ann_m < 2 || ann_m > 1024) Args::Fail("--ann-m must be in [2, 1024]");
+  if (ann_efc < 1) Args::Fail("--ann-efc must be >= 1");
+  opts.ann_params.max_degree = static_cast<size_t>(ann_m);
+  opts.ann_params.ef_construction = static_cast<size_t>(ann_efc);
   const int64_t threads = args.GetInt("threads", 1);
   if (threads < 0) Args::Fail("--threads must be >= 0 (0 = all cores)");
   opts.num_threads = static_cast<size_t>(threads);
@@ -120,9 +136,10 @@ int CmdInfo(const Args& args) {
   const std::string metrics_out = MetricsOutPath(args);
   args.CheckAllUsed();
   std::printf("serving model: %zu nodes, dim %zu, %zu views, "
-              "%zu translators (seq len %zu)\n",
+              "%zu translators (seq len %zu), format v%d\n",
               store.num_nodes(), store.dim(), store.views().size(),
-              store.translators().size(), store.seq_len());
+              store.translators().size(), store.seq_len(),
+              store.format_version());
   for (size_t i = 0; i < store.views().size(); ++i) {
     const ServingView& v = store.view(i);
     std::printf("  view %zu '%s': %zu nodes (%s)\n", i, v.name.c_str(),
@@ -134,6 +151,75 @@ int CmdInfo(const Args& args) {
                 store.view(t.to_view).name.c_str(), t.weights.size(),
                 t.simple ? " [simple]" : "");
   }
+  if (const AnnIndex* ann = store.ann_index()) {
+    const int tv = store.ann_target_view();
+    std::printf(
+        "  ann index: target %s, metric %s, M %zu, ef_construction %zu, "
+        "seed %llu, %zu rows, max level %d, avg degree %.1f\n",
+        tv < 0 ? "final" : store.view(static_cast<size_t>(tv)).name.c_str(),
+        ann->metric() == KnnMetric::kCosine ? "cosine" : "dot",
+        ann->params().max_degree, ann->params().ef_construction,
+        static_cast<unsigned long long>(ann->params().seed), ann->num_rows(),
+        ann->max_level(), ann->avg_degree());
+  } else {
+    std::printf("  ann index: none (index types: exact, quantized, or hnsw "
+                "built at load)\n");
+  }
+  MaybeDumpMetrics(metrics_out);
+  return 0;
+}
+
+// Builds an ANN index over the chosen target matrix and writes a v3 copy of
+// the model with the index embedded, so `serve --index hnsw` skips the
+// at-load graph build. Deterministic: same model + flags => same bytes.
+int CmdIndex(const Args& args) {
+  args.RequireKnown(WithGlobalFlags(
+      {"model", "out", "view", "metric", "ann-m", "ann-efc", "seed"}));
+  EmbeddingStore store = LoadStoreOrDie(args);
+  const std::string out = args.GetString("out");
+  int target_view = -1;
+  const std::string view_name = args.GetString("view", "final");
+  if (view_name != "final") {
+    target_view = store.FindViewByName(view_name);
+    if (target_view < 0) Args::Fail("no view named '" + view_name + "'");
+  }
+  const std::string metric_name = args.GetString("metric", "cosine");
+  KnnMetric metric = KnnMetric::kCosine;
+  if (metric_name == "dot") {
+    metric = KnnMetric::kDot;
+  } else if (metric_name != "cosine") {
+    Args::Fail("bad --metric '" + metric_name + "' (cosine|dot)");
+  }
+  AnnBuildParams params;
+  const int64_t ann_m = args.GetInt("ann-m", 16);
+  const int64_t ann_efc = args.GetInt("ann-efc", 100);
+  if (ann_m < 2 || ann_m > 1024) Args::Fail("--ann-m must be in [2, 1024]");
+  if (ann_efc < 1) Args::Fail("--ann-efc must be >= 1");
+  params.max_degree = static_cast<size_t>(ann_m);
+  params.ef_construction = static_cast<size_t>(ann_efc);
+  params.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  const std::string metrics_out = MetricsOutPath(args);
+  args.CheckAllUsed();
+
+  if (target_view < 0 && !store.has_final_embeddings()) {
+    Args::Fail("model has no final embeddings; pick --view <edge-type>");
+  }
+  const Matrix& target =
+      target_view < 0 ? store.final_embeddings()
+                      : store.view(static_cast<size_t>(target_view)).embeddings;
+  AnnIndex ann = AnnIndex::Build(target, metric, params);
+  std::fprintf(stderr,
+               "built ann index: %zu rows, max level %d, avg degree %.1f "
+               "in %.2fs\n",
+               ann.num_rows(), ann.max_level(), ann.avg_degree(),
+               ann.build_seconds());
+
+  ServingWriteOptions write_opts;
+  write_opts.ann = &ann;
+  write_opts.ann_target_view = target_view;
+  Status status = WriteServingModel(store, out, write_opts);
+  if (!status.ok()) Args::Fail(status.ToString());
+  std::printf("wrote %s (serving format v3)\n", out.c_str());
   MaybeDumpMetrics(metrics_out);
   return 0;
 }
@@ -319,18 +405,25 @@ int CmdServe(const Args& args) {
 void Usage() {
   std::fprintf(
       stderr,
-      "usage: transn_serve <info|query|serve> --model model.bin [--flags]\n"
+      "usage: transn_serve <info|query|index|serve> --model model.bin "
+      "[--flags]\n"
       "  info   --model model.bin\n"
       "  query  --model model.bin [--view final|<edge-type>] [--k 10]\n"
-      "         [--metric cosine|dot] [--index exact|quantized]\n"
-      "         [--centroids 0] [--nprobe 0] [--threads 1]\n"
+      "         [--metric cosine|dot] [--index exact|quantized|hnsw]\n"
+      "         [--centroids 0] [--nprobe 0] [--ef 0] [--ann-m 16]\n"
+      "         [--ann-efc 100] [--threads 1]\n"
       "         [--queries names.txt|-] [--sample 0] [--warmup 0]\n"
+      "  index  --model model.bin --out model_v3.bin\n"
+      "         [--view final|<edge-type>] [--metric cosine|dot]\n"
+      "         [--ann-m 16] [--ann-efc 100] [--seed 42]\n"
+      "         (embeds a pre-built hnsw graph; serving format v3)\n"
       "  serve  --model model.bin [--listen 127.0.0.1:8080]\n"
       "         [--reactor-threads 1]  (0 = one per hardware thread)\n"
       "         [--max-queue 1024] [--max-batch 64] [--max-connections 1024]\n"
       "         [--read-timeout-ms 10000] [--write-timeout-ms 10000]\n"
       "         [--idle-timeout-ms 30000] [--view final|<index>] [--k 10]\n"
-      "         [--metric cosine|dot] [--index exact|quantized] [--threads 1]\n"
+      "         [--metric cosine|dot] [--index exact|quantized|hnsw]\n"
+      "         [--ef 0] [--threads 1]\n"
       "         [--warmup 0]  (warmup queries per model generation)\n"
       "         endpoints: /v1/knn?node= /v1/translate?node=&view= /healthz\n"
       "         /metrics, POST /admin/reload[?path=]; SIGHUP hot-reloads\n"
@@ -355,6 +448,7 @@ int main(int argc, char** argv) {
   if (args.GetBool("no-simd", false)) vec::SetSimdEnabled(false);
   if (command == "info") return CmdInfo(args);
   if (command == "query") return CmdQuery(args);
+  if (command == "index") return CmdIndex(args);
   if (command == "serve") return CmdServe(args);
   Usage();
   return 2;
