@@ -13,10 +13,19 @@
 // QPS; smaller CI scales relax the speedup floor (the graph's advantage
 // grows with N) but never the recall floor.
 //
+// The bench also sweeps the parallel graph build over {1, 2, 4, 8} worker
+// threads, CHECKing that every build is byte-identical to the 1-thread
+// build (the construction schedule is batch-synchronous and deterministic)
+// and emitting build_seconds_tN / build_speedup_tN entries the regression
+// gate holds to hardware-aware scaling floors.
+//
 //   TRANSN_BENCH_SCALE  scales the node count (default 1.0 = 1M nodes)
 //   TRANSN_BENCH_SEED   base seed (default 42)
 
 #include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.h"
@@ -26,6 +35,7 @@
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 #include "util/vec.h"
 
@@ -92,13 +102,44 @@ int main() {
   const Matrix base = MixtureTable(rows, kDim, centers, seed + 1);
   const Matrix queries = MixtureTable(kNumQueries, kDim, centers, seed + 2);
 
+  // Build-scaling sweep. The 1-thread (no pool) build is the baseline; every
+  // pooled build must reproduce its serialized bytes exactly, so the sweep
+  // doubles as an end-to-end determinism check at bench scale. Thread counts
+  // above the host's core count still run (the regression gate is
+  // hardware-aware and only enforces speedup floors the hardware can hit).
   AnnBuildParams params;  // M=16, ef_construction=100, seed=42
-  WallTimer build_timer;
-  const AnnIndex ann = AnnIndex::Build(base, KnnMetric::kCosine, params);
-  const double build_seconds = build_timer.ElapsedSeconds();
-  std::printf("build: %.2fs (max level %d, avg degree %.1f, %zu edges)\n",
-              build_seconds, ann.max_level(), ann.avg_degree(),
-              ann.num_edges());
+  std::unique_ptr<AnnIndex> ann_holder;
+  std::string baseline_bytes;
+  double build_seconds = 0.0;
+  std::vector<std::pair<size_t, double>> build_times;
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+    WallTimer build_timer;
+    StatusOr<AnnIndex> built =
+        AnnIndex::Build(base, KnnMetric::kCosine, params, pool.get());
+    const double secs = build_timer.ElapsedSeconds();
+    CHECK(built.ok()) << built.status().ToString();
+    std::string bytes;
+    built->AppendTo(&bytes);
+    if (threads == 1) {
+      baseline_bytes = std::move(bytes);
+      build_seconds = secs;
+      ann_holder = std::make_unique<AnnIndex>(std::move(built).value());
+      std::printf(
+          "build t1: %.2fs (max level %d, avg degree %.1f, %zu edges)\n",
+          secs, ann_holder->max_level(), ann_holder->avg_degree(),
+          ann_holder->num_edges());
+    } else {
+      CHECK(bytes == baseline_bytes)
+          << "build with " << threads
+          << " threads diverged from the 1-thread bytes";
+      std::printf("build t%zu: %.2fs (%.2fx vs t1, bytes identical)\n",
+                  threads, secs, secs > 0.0 ? build_seconds / secs : 0.0);
+    }
+    build_times.emplace_back(threads, secs);
+  }
+  const AnnIndex& ann = *ann_holder;
 
   // Exact ground truth + exact QPS in one pass.
   KnnIndexOptions exact_opts;
@@ -119,6 +160,13 @@ int main() {
   json.push_back({"num_nodes", "table_rows", static_cast<double>(rows),
                   "nodes"});
   json.push_back({"build_seconds", "wall_time", build_seconds, "s"});
+  for (const auto& [threads, secs] : build_times) {
+    json.push_back(
+        {StrFormat("build_seconds_t%zu", threads), "wall_time", secs, "s"});
+    json.push_back({StrFormat("build_speedup_t%zu", threads),
+                    "speedup_vs_t1",
+                    secs > 0.0 ? build_seconds / secs : 0.0, "x"});
+  }
   json.push_back({"exact_qps", "queries_per_second", exact_qps, "qps"});
 
   TablePrinter table(

@@ -44,6 +44,19 @@ demonstrable on a large table; small CI scales just prove no regression):
     num_nodes >=    50,000  ->  speedup_vs_exact >=  1.5
     num_nodes <     50,000  ->  speedup_vs_exact >=  1.0
 
+When the dump carries build-scaling entries (build_speedup_tN, emitted by
+the current bench binary), the parallel graph build must also clear a
+hardware-aware scaling floor — same machine-class logic as
+parallel_scaling, since a small runner physically cannot demonstrate a
+large build speedup (the bench itself CHECKs that every thread count
+produced byte-identical output, so the gate only has to police speed):
+
+    hardware_threads >= 8  ->  build_speedup_t8 >= 3.0   (the PR target)
+    hardware_threads >= 4  ->  build_speedup_t4 >= 2.0
+    hardware_threads >= 2  ->  build_speedup_t2 >= 1.2
+    hardware_threads <  2  ->  build_speedup_t8 >= 0.7   (no-collapse bound:
+        oversubscribing one core must not collapse build throughput)
+
 Dumps that predate the hardware_threads field are rejected: regenerate the
 JSON with the current bench binary so the gate knows the machine class.
 """
@@ -77,6 +90,15 @@ ANN_SPEEDUP_FLOORS = [
     (200_000, 3.0),
     (50_000, 1.5),
     (0, 1.0),
+]
+
+# (min hardware threads, thread count to check, build speedup floor) for the
+# parallel graph build — mirrors SCALING_FLOORS.
+ANN_BUILD_FLOORS = [
+    (8, 8, 3.0),
+    (4, 4, 2.0),
+    (2, 2, 1.2),
+    (0, 8, 0.7),
 ]
 
 
@@ -216,6 +238,31 @@ def check_ann_frontier(path: str, dump: dict) -> None:
             f"below the committed floor {floor:.1f}x for a "
             f"{num_nodes:.0f}-row table (the graph search regressed, or the "
             "dump was produced on a loaded machine — rerun on a quiet runner)"
+        )
+
+    # Build-scaling gate: only for dumps from a bench binary that emits the
+    # build_speedup_tN entries (older committed dumps lack them and are
+    # gated on recall/QPS alone).
+    benches = dump.get("benches", {})
+    if not any(n.startswith("build_speedup_t") for n in benches):
+        return
+    hardware = dump["hardware_threads"]
+    for min_hw, threads, build_floor in ANN_BUILD_FLOORS:
+        if hardware >= min_hw:
+            break
+    build_speedup = bench_value(path, dump, f"build_speedup_t{threads}")
+    print(
+        f"check_bench_regression: hardware_threads={hardware} -> checking "
+        f"ANN build t{threads}/t1 speedup {build_speedup:.2f}x against "
+        f"floor {build_floor:.1f}x"
+    )
+    if build_speedup < build_floor:
+        fail(
+            f"{path}: parallel ANN build t{threads}/t1 speedup "
+            f"{build_speedup:.2f}x is below the committed floor "
+            f"{build_floor:.1f}x for a {hardware}-thread machine (the "
+            "batch-synchronous build serialized, or the dump was produced "
+            "on a loaded machine — rerun on a quiet runner)"
         )
 
 

@@ -6,6 +6,7 @@
 #include <functional>
 #include <limits>
 #include <map>
+#include <memory>
 #include <sstream>
 
 #include "core/transn.h"
@@ -15,6 +16,7 @@
 #include "serve/serving_format.h"
 #include "util/safe_io.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace transn {
 namespace {
@@ -804,12 +806,17 @@ Status ExportServingModel(const TransNModel& model, const std::string& path,
   }
 
   if (options.ann_index) {
-    const AnnIndex ann =
+    std::unique_ptr<ThreadPool> build_pool;
+    if (options.ann_build_threads != 1) {
+      build_pool = std::make_unique<ThreadPool>(options.ann_build_threads);
+    }
+    StatusOr<AnnIndex> ann =
         AnnIndex::Build(final_embeddings, options.ann_metric,
-                        options.ann_params);
+                        options.ann_params, build_pool.get());
+    if (!ann.ok()) return ann.status();
     std::string payload;
     AppendU32(&payload, kServingAnnTargetFinal);
-    ann.AppendTo(&payload);
+    ann->AppendTo(&payload);
     section = buf.size();
     AppendU32(&buf, static_cast<uint32_t>(payload.size()));
     buf.append(payload);

@@ -63,6 +63,10 @@ struct ServingExportOptions {
   /// Similarity metric the index answers; must match the serving --metric.
   KnnMetric ann_metric = KnnMetric::kCosine;
   AnnBuildParams ann_params;
+  /// Worker threads for the graph build (0 = all cores, 1 = inline). The
+  /// exported bytes are identical for every value — parallel construction
+  /// is batch-synchronous and deterministic (serve/ann_index.h).
+  size_t ann_build_threads = 1;
 };
 
 /// Exports a trained model in the immutable binary serving format consumed

@@ -102,9 +102,12 @@ inline constexpr char kServeRequestLatencySeconds[] =
     "serve.request_latency_seconds";
 
 // --- src/serve/ann_index.h: HNSW-style ANN index ---------------------------
-/// Layered-graph construction wall time (Build() inside QueryServer or the
-/// export path).
+/// Wall time to produce the active index: the layered-graph Build() when
+/// the server constructs one, or the section parse + int8 code rebuild when
+/// a pre-built v3 index is loaded (AnnIndex::build_seconds()).
 inline constexpr char kAnnBuildSeconds[] = "ann.build_seconds";
+/// Worker threads the active index was built/loaded with (1 = inline).
+inline constexpr char kAnnBuildThreads[] = "ann.build_threads";
 /// Directed edges per node over all layers of the active index.
 inline constexpr char kAnnGraphAvgDegree[] = "ann.graph_avg_degree";
 /// Highest occupied layer of the active index.

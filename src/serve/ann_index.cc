@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
 #include <queue>
 #include <string>
+#include <utility>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 #include "util/vec.h"
 
@@ -18,6 +21,13 @@ namespace {
 constexpr uint32_t kAnnSectionVersion = 1;
 constexpr uint32_t kMaxAnnLevel = 48;
 constexpr uint32_t kMaxAnnDegree = 1024;
+
+// Upper bound on a build generation (see Build). Part of the canonical
+// algorithm — never serialized, but changing it changes the graph bytes.
+// 512 keeps the exact intra-generation patch at ~M/2 extra distance
+// evaluations per row (a few percent of the beam cost) while leaving
+// hundreds of independent rows per barrier for the pool to chew on.
+constexpr uint32_t kMaxGenerationRows = 512;
 
 // The shared deterministic total order: score descending, row ascending.
 // Identical to KnnIndex's contract, so exact and ANN results compare 1:1.
@@ -90,6 +100,19 @@ double QuantizeVector(const Src* src, size_t n, int8_t* codes) {
   return max_abs / 127.0;
 }
 
+// Runs fn(i) for i in [0, n): on the pool when it has real parallelism,
+// inline otherwise. Every call site writes disjoint per-i slots, so the
+// result is identical either way; a pool task failure (including the
+// fault::kPoolTask failpoint) propagates out of ParallelFor's Wait().
+void RunPhase(ThreadPool* pool, size_t n,
+              const std::function<void(size_t)>& fn) {
+  if (pool != nullptr && pool->num_threads() > 1) {
+    ParallelFor(*pool, n, fn);
+  } else {
+    for (size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
 }  // namespace
 
 uint32_t AnnIndex::LevelFor(uint32_t row) const {
@@ -105,7 +128,7 @@ uint32_t AnnIndex::LevelFor(uint32_t row) const {
   return std::min<uint32_t>(static_cast<uint32_t>(level), kMaxAnnLevel);
 }
 
-void AnnIndex::QuantizeBase(const Matrix& base) {
+void AnnIndex::QuantizeBase(const Matrix& base, ThreadPool* pool) {
   num_rows_ = base.rows();
   dim_ = base.cols();
   CHECK_LE(dim_, static_cast<size_t>(1) << 17)
@@ -113,8 +136,12 @@ void AnnIndex::QuantizeBase(const Matrix& base) {
   codes_.resize(num_rows_ * dim_);
   scales_.resize(num_rows_);
   rerank_.resize(num_rows_ * dim_);
-  std::vector<double> prepared(dim_);
-  for (size_t r = 0; r < num_rows_; ++r) {
+  // Rows are independent and write disjoint slices, so the loop shards
+  // freely; per-row math is pure scalar, so the codes are identical at any
+  // thread count (and to the builder's — Parse depends on that).
+  RunPhase(pool, num_rows_, [&](size_t r) {
+    thread_local std::vector<double> prepared;
+    prepared.resize(dim_);
     const double* src = base.Row(r);
     double inv_norm = 1.0;
     if (metric_ == KnnMetric::kCosine) {
@@ -129,7 +156,7 @@ void AnnIndex::QuantizeBase(const Matrix& base) {
     }
     scales_[r] = static_cast<float>(
         QuantizeVector(prepared.data(), dim_, codes_.data() + r * dim_));
-  }
+  });
 }
 
 double AnnIndex::CodeScore(uint32_t a, uint32_t b) const {
@@ -282,54 +309,97 @@ std::vector<uint32_t> AnnIndex::SelectNeighbors(
   return selected;
 }
 
-void AnnIndex::InsertNode(uint32_t row, uint32_t level) {
-  if (level > 0) {
-    upper_index_[row] = static_cast<int32_t>(upper_nodes_.size());
-    UpperNode un;
-    un.level = level;
-    un.links.resize(level);
-    upper_nodes_.push_back(std::move(un));
+AnnIndex::InsertPlan AnnIndex::PlanInsert(
+    uint32_t row, uint32_t gen_begin,
+    const std::vector<uint32_t>& levels) const {
+  const uint32_t level = levels[row];
+  // The top layer this row will occupy links at when its commit runs: the
+  // frozen graph's max level, raised by any promotion an earlier row of
+  // this generation commits first. A pure function of the level hashes, so
+  // it is computable here without seeing those commits.
+  uint32_t commit_max = max_level_;
+  for (uint32_t q = gen_begin; q < row; ++q) {
+    commit_max = std::max(commit_max, levels[q]);
   }
-  if (row == 0) {
-    entry_point_ = row;
-    max_level_ = level;
-    return;
-  }
+  const uint32_t top = std::min(level, commit_max);
 
+  InsertPlan plan;
+  plan.links.resize(top + 1);
   const int8_t* qcodes = codes_.data() + static_cast<size_t>(row) * dim_;
   const double qscale = static_cast<double>(scales_[row]);
   AnnSearchStats stats;
+
+  // Greedy descent through the frozen layers above this row's level. The
+  // frozen graph is immutable for the whole planning phase, so concurrent
+  // plans read it freely.
   uint32_t ep = entry_point_;
   for (uint32_t lc = max_level_; lc > level; --lc) {
     ep = GreedyStep(qcodes, qscale, ep, lc, &stats);
   }
-  for (uint32_t lc = std::min(level, max_level_) + 1; lc-- > 0;) {
-    std::vector<KnnResult> cands =
-        SearchLayer(qcodes, qscale, ep, lc, params_.ef_construction, &stats);
-    const std::vector<uint32_t> selected =
-        SelectNeighbors(row, cands, params_.max_degree);
-    *MutableLinksAt(row, lc) = selected;
-    for (const uint32_t nb : selected) {
+
+  // Same-generation predecessors cannot be reached through the frozen
+  // graph; patch them in with exact scores instead (at most
+  // kMaxGenerationRows − 1 extra distance evaluations per row).
+  std::vector<KnnResult> intra;
+  intra.reserve(row - gen_begin);
+  for (uint32_t q = gen_begin; q < row; ++q) {
+    intra.push_back({q, CodeScore(row, q)});
+  }
+
+  const uint32_t beam_top = std::min(level, max_level_);
+  for (uint32_t lc = top + 1; lc-- > 0;) {
+    std::vector<KnnResult> cands;
+    if (lc <= beam_top) {
+      cands = SearchLayer(qcodes, qscale, ep, lc, params_.ef_construction,
+                          &stats);
+      if (!cands.empty()) ep = cands.front().row;
+    }
+    // Layers in (beam_top, top] exist only because a same-generation row is
+    // promoting past the frozen max level: the frozen graph has nothing
+    // there, so the intra-generation candidates are the whole layer.
+    for (const KnnResult& q : intra) {
+      if (levels[q.row] >= lc) cands.push_back(q);
+    }
+    std::sort(cands.begin(), cands.end(), Better);
+    if (cands.size() > params_.ef_construction) {
+      cands.resize(params_.ef_construction);
+    }
+    plan.links[lc] = SelectNeighbors(row, cands, params_.max_degree);
+  }
+  return plan;
+}
+
+void AnnIndex::CommitInsert(uint32_t row, uint32_t level, InsertPlan plan,
+                            std::vector<OverfullList>* overfull) {
+  for (uint32_t lc = 0; lc < plan.links.size(); ++lc) {
+    std::vector<uint32_t>& own = *MutableLinksAt(row, lc);
+    own = std::move(plan.links[lc]);
+    for (const uint32_t nb : own) {
       std::vector<uint32_t>* nb_links = MutableLinksAt(nb, lc);
       nb_links->push_back(row);
-      if (nb_links->size() > MaxLinks(lc)) {
-        // The back-edge overflowed the neighbor: re-run the selection
-        // heuristic over its full list.
-        std::vector<KnnResult> nb_cands;
-        nb_cands.reserve(nb_links->size());
-        for (const uint32_t l : *nb_links) {
-          nb_cands.push_back({l, CodeScore(nb, l)});
-        }
-        std::sort(nb_cands.begin(), nb_cands.end(), Better);
-        *nb_links = SelectNeighbors(nb, nb_cands, MaxLinks(lc));
+      // Record the first crossing only: the list stays dirty until the
+      // generation's re-prune phase, so one entry suffices — and entries
+      // are unique, which lets the re-prunes run concurrently.
+      if (nb_links->size() == MaxLinks(lc) + 1) {
+        overfull->push_back({nb, lc});
       }
     }
-    if (!cands.empty()) ep = cands.front().row;
   }
   if (level > max_level_) {
     max_level_ = level;
     entry_point_ = row;
   }
+}
+
+void AnnIndex::PruneOverfullList(uint32_t node, uint32_t level) {
+  std::vector<uint32_t>* links = MutableLinksAt(node, level);
+  std::vector<KnnResult> cands;
+  cands.reserve(links->size());
+  for (const uint32_t l : *links) {
+    cands.push_back({l, CodeScore(node, l)});
+  }
+  std::sort(cands.begin(), cands.end(), Better);
+  *links = SelectNeighbors(node, cands, MaxLinks(level));
 }
 
 void AnnIndex::FlattenLevel0() {
@@ -348,8 +418,19 @@ void AnnIndex::FlattenLevel0() {
   build_level0_.shrink_to_fit();
 }
 
-AnnIndex AnnIndex::Build(const Matrix& base, KnnMetric metric,
-                         const AnnBuildParams& params) {
+// Batch-synchronous construction (DESIGN.md §5.6). Rows are inserted in
+// generations [gen_begin, gen_end): a parallel phase computes every row's
+// InsertPlan against the prefix graph frozen at gen_begin, a serial phase
+// commits the plans in ascending row order, and a second parallel phase
+// re-prunes the neighbor lists the commits pushed over their cap. Both
+// parallel phases are pure per-slot functions of state no concurrent task
+// writes, and the serial phase fixes the one order that matters — so the
+// graph, and hence the serialized bytes, are identical for every thread
+// count. Generations double from 1 (the early graph is all that exists to
+// search) and cap at kMaxGenerationRows.
+StatusOr<AnnIndex> AnnIndex::Build(const Matrix& base, KnnMetric metric,
+                                   const AnnBuildParams& params,
+                                   ThreadPool* pool) {
   CHECK_GE(params.max_degree, 2u);
   CHECK_LE(params.max_degree, kMaxAnnDegree);
   CHECK_GE(params.ef_construction, 1u);
@@ -357,13 +438,62 @@ AnnIndex AnnIndex::Build(const Matrix& base, KnnMetric metric,
   AnnIndex index;
   index.metric_ = metric;
   index.params_ = params;
-  index.QuantizeBase(base);
-  index.upper_index_.assign(index.num_rows_, -1);
-  index.build_level0_.assign(index.num_rows_, {});
-  for (uint32_t row = 0; row < index.num_rows_; ++row) {
-    index.InsertNode(row, index.LevelFor(row));
+  try {
+    index.QuantizeBase(base, pool);
+    const uint32_t n = static_cast<uint32_t>(index.num_rows_);
+
+    std::vector<uint32_t> levels(n);
+    RunPhase(pool, n, [&](size_t r) {
+      levels[r] = index.LevelFor(static_cast<uint32_t>(r));
+    });
+    // Upper-layer slots are assigned up front in row order (the levels are
+    // known before any insertion), preserving AppendTo's canonical
+    // ascending-row upper-node layout. Unreached rows just hold empty lists
+    // until their generation commits.
+    index.upper_index_.assign(n, -1);
+    for (uint32_t r = 0; r < n; ++r) {
+      if (levels[r] == 0) continue;
+      index.upper_index_[r] = static_cast<int32_t>(index.upper_nodes_.size());
+      UpperNode un;
+      un.level = levels[r];
+      un.links.resize(levels[r]);
+      index.upper_nodes_.push_back(std::move(un));
+    }
+    index.build_level0_.assign(n, {});
+    if (n > 0) {
+      index.entry_point_ = 0;
+      index.max_level_ = levels[0];
+    }
+
+    std::vector<InsertPlan> plans;
+    std::vector<OverfullList> overfull;
+    uint32_t gen_begin = 1;
+    while (gen_begin < n) {
+      const uint32_t gen_end =
+          std::min(n, gen_begin + std::min(gen_begin, kMaxGenerationRows));
+      plans.assign(gen_end - gen_begin, {});
+      RunPhase(pool, gen_end - gen_begin, [&](size_t i) {
+        const uint32_t row = gen_begin + static_cast<uint32_t>(i);
+        plans[i] = index.PlanInsert(row, gen_begin, levels);
+      });
+      overfull.clear();
+      for (uint32_t row = gen_begin; row < gen_end; ++row) {
+        index.CommitInsert(row, levels[row], std::move(plans[row - gen_begin]),
+                           &overfull);
+      }
+      RunPhase(pool, overfull.size(), [&](size_t i) {
+        index.PruneOverfullList(overfull[i].node, overfull[i].level);
+      });
+      gen_begin = gen_end;
+    }
+    index.FlattenLevel0();
+  } catch (const std::exception& e) {
+    // A pool worker task failed (fault::kPoolTask, allocation failure, …):
+    // the partially built graph dies with `index` here — callers only ever
+    // see a complete index or this Status.
+    return Status::Internal(std::string("ann index build failed: ") +
+                            e.what());
   }
-  index.FlattenLevel0();
   index.build_seconds_ = timer.ElapsedSeconds();
   return index;
 }
@@ -452,8 +582,8 @@ void AnnIndex::AppendTo(std::string* out) const {
     }
   }
   AppendU32(out, static_cast<uint32_t>(upper_nodes_.size()));
-  // upper_index_ slots were assigned in insertion order (row 0..n-1), so
-  // this emits upper nodes in ascending row order — canonical bytes.
+  // upper_index_ slots were assigned in row order, so this emits upper
+  // nodes in ascending row order — canonical bytes.
   for (size_t r = 0; r < num_rows_; ++r) {
     const int32_t slot = upper_index_[r];
     if (slot < 0) continue;
@@ -468,7 +598,9 @@ void AnnIndex::AppendTo(std::string* out) const {
   }
 }
 
-StatusOr<AnnIndex> AnnIndex::Parse(ByteReader* reader, const Matrix& base) {
+StatusOr<AnnIndex> AnnIndex::Parse(ByteReader* reader, const Matrix& base,
+                                   ThreadPool* pool) {
+  WallTimer timer;
   auto malformed = [&](const char* what) {
     return Status::InvalidArgument(
         std::string("serving model: malformed ANN section (") + what +
@@ -570,8 +702,17 @@ StatusOr<AnnIndex> AnnIndex::Parse(ByteReader* reader, const Matrix& base) {
 
   // Codes, scales, and the fp32 re-rank table are not stored: rebuild them
   // from the base matrix (deterministic scalar math, so they match the
-  // builder's bytes exactly).
-  index.QuantizeBase(base);
+  // builder's bytes exactly). This n×d loop dominates v3 load time at
+  // catalog scale, hence the pool.
+  try {
+    index.QuantizeBase(base, pool);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("ann index code rebuild failed: ") +
+                            e.what());
+  }
+  // Unlike Build, the graph came off disk — build_seconds_ reports what the
+  // *load* cost (parse + code rebuild), the number reload dashboards need.
+  index.build_seconds_ = timer.ElapsedSeconds();
   return index;
 }
 

@@ -13,6 +13,8 @@
 
 namespace transn {
 
+class ThreadPool;
+
 /// Build-time knobs of the layered-graph (HNSW-style) index. All three are
 /// part of the index identity: the serialized section stores them, and two
 /// builds with equal (base, metric, params) produce byte-identical graphs.
@@ -45,9 +47,14 @@ struct AnnSearchStats {
 /// then runs a best-first beam of width ef on layer 0; the surviving
 /// candidates are re-ranked in fp32 and the top k returned.
 ///
-/// Determinism contract (per (base, metric, params), across machines):
+/// Determinism contract (per (base, metric, params), across machines AND
+/// across build thread counts):
 ///  * levels are a pure hash — independent of insertion history;
-///  * insertion order is fixed (row 0..n-1);
+///  * construction is batch-synchronous (see DESIGN.md §5.6): rows are
+///    planned in generations against a frozen prefix graph, and all graph
+///    mutations are applied in ascending row order, so the adjacency is a
+///    pure function of (base, metric, params) regardless of how many
+///    threads computed the plans;
 ///  * traversal distances are int8 dot products accumulated exactly in
 ///    int32 (vec::DotI8 is bit-identical on every ISA) scaled by scalar
 ///    doubles, and all orderings break ties by (score desc, row asc);
@@ -65,10 +72,15 @@ class AnnIndex {
   /// An empty index (zero rows); the entry points are Build() and Parse().
   AnnIndex() = default;
 
-  /// Builds the layered graph over base (n × d). Single-threaded and
-  /// deterministic; ~O(n · M · ef_construction) int8 distance evaluations.
-  static AnnIndex Build(const Matrix& base, KnnMetric metric,
-                        const AnnBuildParams& params);
+  /// Builds the layered graph over base (n × d). `pool` parallelizes the
+  /// per-generation planning and re-pruning phases; the serialized bytes are
+  /// identical for every thread count (null or a 1-thread pool runs inline).
+  /// ~O(n · M · ef_construction) int8 distance evaluations. Returns a
+  /// non-OK Status when a pool worker task fails mid-build (e.g. the
+  /// fault::kPoolTask failpoint); no partial graph escapes.
+  static StatusOr<AnnIndex> Build(const Matrix& base, KnnMetric metric,
+                                  const AnnBuildParams& params,
+                                  ThreadPool* pool = nullptr);
 
   /// Top-k beam search. `query` has dim() entries; the beam width is
   /// max(ef, k). Returns up to min(k, n) results sorted by
@@ -82,9 +94,11 @@ class AnnIndex {
 
   /// Parses a section payload. `base` must be the matrix the index was built
   /// over (row count and dim are validated); the fp32 re-rank table is
-  /// rebuilt from it rather than stored. Returns kInvalidArgument on any
-  /// malformed payload.
-  static StatusOr<AnnIndex> Parse(ByteReader* reader, const Matrix& base);
+  /// rebuilt from it rather than stored — `pool` parallelizes that n×d
+  /// rebuild (the hot-reload cost at 1M rows). Returns kInvalidArgument on
+  /// any malformed payload.
+  static StatusOr<AnnIndex> Parse(ByteReader* reader, const Matrix& base,
+                                  ThreadPool* pool = nullptr);
 
   size_t num_rows() const { return num_rows_; }
   size_t dim() const { return dim_; }
@@ -96,7 +110,8 @@ class AnnIndex {
   size_t num_edges() const;
   /// num_edges() / num_rows() (0 when empty).
   double avg_degree() const;
-  /// Wall seconds spent in Build(); 0 for a Parse()d index.
+  /// Wall seconds spent constructing this instance: the graph build for
+  /// Build(), the section parse + code rebuild for Parse().
   double build_seconds() const { return build_seconds_; }
 
  private:
@@ -113,7 +128,21 @@ class AnnIndex {
     size_t count = 0;
   };
 
-  void QuantizeBase(const Matrix& base);
+  // Private per-row output of the parallel planning phase: the row's own
+  // neighbor list per layer, links[lc] for lc in [0, min(level, commit-time
+  // max level)]. Pure function of the frozen prefix graph, so any thread
+  // may compute it.
+  struct InsertPlan {
+    std::vector<std::vector<uint32_t>> links;
+  };
+
+  // One over-cap neighbor list discovered during the commit phase.
+  struct OverfullList {
+    uint32_t node = 0;
+    uint32_t level = 0;
+  };
+
+  void QuantizeBase(const Matrix& base, ThreadPool* pool);
   /// Similarity between two stored rows (int8 dot × scales).
   double CodeScore(uint32_t a, uint32_t b) const;
   /// Similarity between a quantized query and a stored row.
@@ -135,7 +164,20 @@ class AnnIndex {
   std::vector<uint32_t> SelectNeighbors(uint32_t target,
                                         const std::vector<KnnResult>& cands,
                                         size_t max_links) const;
-  void InsertNode(uint32_t row, uint32_t level);
+  /// Parallel phase: beam-searches the frozen prefix graph (rows <
+  /// gen_begin), merges exact-scored same-generation predecessors, and runs
+  /// the selection heuristic. Reads only frozen state — thread-safe.
+  InsertPlan PlanInsert(uint32_t row, uint32_t gen_begin,
+                        const std::vector<uint32_t>& levels) const;
+  /// Serial phase: installs a plan in ascending row order — own links,
+  /// back-edges, entry-point promotion — recording lists pushed over their
+  /// cap for the deferred re-prune.
+  void CommitInsert(uint32_t row, uint32_t level, InsertPlan plan,
+                    std::vector<OverfullList>* overfull);
+  /// Parallel phase: re-runs the selection heuristic over one over-cap
+  /// list. Pure per (node, level) — entries are distinct, so any thread may
+  /// prune any entry.
+  void PruneOverfullList(uint32_t node, uint32_t level);
   uint32_t LevelFor(uint32_t row) const;
   /// Compacts the build adjacency into the CSR arrays.
   void FlattenLevel0();

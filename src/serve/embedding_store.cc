@@ -52,7 +52,8 @@ const ServingTranslator* EmbeddingStore::FindTranslator(uint32_t from,
   return nullptr;
 }
 
-StatusOr<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {
+StatusOr<EmbeddingStore> EmbeddingStore::Load(const std::string& path,
+                                              ThreadPool* pool) {
   const obs::ScopedHistogramTimer load_timer(
       obs::MetricsRegistry::Default().GetHistogram(
           obs::kServeModelLoadSeconds, "seconds",
@@ -239,7 +240,7 @@ StatusOr<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {
       base = &store.views_[target].embeddings;
       store.ann_target_view_ = static_cast<int>(target);
     }
-    StatusOr<AnnIndex> ann = AnnIndex::Parse(&sub, *base);
+    StatusOr<AnnIndex> ann = AnnIndex::Parse(&sub, *base, pool);
     if (!ann.ok()) return ann.status();
     if (!sub.AtEnd()) {
       return Malformed("trailing bytes in ann index section", r);

@@ -15,6 +15,8 @@
 
 namespace transn {
 
+class ThreadPool;
+
 /// One view's slice of a serving model: the view-specific embedding table
 /// (full double precision, one row per local node) plus the local↔global id
 /// mapping. Immutable after load.
@@ -61,8 +63,12 @@ class EmbeddingStore {
   EmbeddingStore() = default;
 
   /// Loads and fully validates a serving model (magic, version, section
-  /// bounds, shapes, trailing FNV-1a checksum).
-  static StatusOr<EmbeddingStore> Load(const std::string& path);
+  /// bounds, shapes, trailing FNV-1a checksum). `pool` parallelizes the v3
+  /// ANN section's int8 code rebuild (AnnIndex::Parse) — the dominant load
+  /// cost at catalog scale; the loaded store is identical with or without
+  /// it.
+  static StatusOr<EmbeddingStore> Load(const std::string& path,
+                                       ThreadPool* pool = nullptr);
 
   size_t dim() const { return dim_; }
   /// Translator path length L; 0 when the model has no translators.

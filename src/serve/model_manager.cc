@@ -1,5 +1,7 @@
 #include "serve/model_manager.h"
 
+#include <exception>
+#include <string>
 #include <utility>
 
 #include "obs/metric_names.h"
@@ -33,8 +35,13 @@ Status ModelManager::Reload(const std::string& path) {
   auto next = std::make_shared<ServingModel>();
   next->path = path;
 
+  if (reload_pool_ == nullptr && options_.num_threads != 1) {
+    reload_pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+
   WallTimer load_timer;
-  StatusOr<EmbeddingStore> store = EmbeddingStore::Load(path);
+  StatusOr<EmbeddingStore> store =
+      EmbeddingStore::Load(path, reload_pool_.get());
   if (!store.ok()) {
     reload_failures_->Increment();
     return store.status();
@@ -43,9 +50,18 @@ Status ModelManager::Reload(const std::string& path) {
   next->load_seconds = load_timer.ElapsedSeconds();
 
   WallTimer index_timer;
-  next->server = std::make_unique<QueryServer>(&next->store, options_);
-  next->index_build_seconds = index_timer.ElapsedSeconds();
-  if (warmup_queries_ > 0) next->server->Warmup(warmup_queries_);
+  try {
+    next->server = std::make_unique<QueryServer>(&next->store, options_);
+    next->index_build_seconds = index_timer.ElapsedSeconds();
+    if (warmup_queries_ > 0) next->server->Warmup(warmup_queries_);
+  } catch (const std::exception& e) {
+    // QueryServer construction failed (a pool worker task died mid-ANN
+    // build, allocation failure, …): drop the half-built generation and
+    // keep the old one serving, exactly like a failed Load.
+    reload_failures_->Increment();
+    return Status::Internal(std::string("reload index build failed: ") +
+                            e.what());
+  }
 
   next->generation = next_generation_++;
   {

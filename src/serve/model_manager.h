@@ -47,9 +47,10 @@ class ModelManager {
   explicit ModelManager(QueryServerOptions options, size_t warmup_queries = 0);
 
   /// Loads `path` and builds a fresh index; on success the new generation
-  /// becomes current. On failure the previous generation (if any) keeps
-  /// serving and the error is returned. Serialized: concurrent Reload calls
-  /// queue behind `reload_mu_`.
+  /// becomes current. On failure — including a worker-task failure inside
+  /// the parallel ANN build/load (fault::kPoolTask) — the previous
+  /// generation (if any) keeps serving and the error is returned.
+  /// Serialized: concurrent Reload calls queue behind `reload_mu_`.
   Status Reload(const std::string& path);
 
   /// The current generation, or null before the first successful Reload.
@@ -61,6 +62,10 @@ class ModelManager {
  private:
   QueryServerOptions options_;
   size_t warmup_queries_ = 0;
+  /// Parallelizes the load half of a reload (the v3 ANN code rebuild in
+  /// AnnIndex::Parse) when options_.num_threads != 1; the loaded bytes are
+  /// identical with or without it. Guarded by reload_mu_.
+  std::unique_ptr<ThreadPool> reload_pool_;
   /// Serializes reloads (load + index build happen outside swap_mu_).
   std::mutex reload_mu_;
   uint64_t next_generation_ = 1;

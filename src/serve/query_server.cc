@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <utility>
 
 #include "obs/metric_names.h"
 #include "util/string_util.h"
@@ -96,7 +98,8 @@ QueryServer::QueryServer(const EmbeddingStore* store,
 
   if (options_.index_kind == ServeIndexKind::kHnsw) {
     // Prefer the index shipped in the serving file (v3) when it covers the
-    // same matrix with the same metric; otherwise build one here.
+    // same matrix with the same metric; otherwise build one here, on the
+    // batch pool when one exists (identical bytes at any thread count).
     const AnnIndex* stored = store_->ann_index();
     if (stored != nullptr &&
         store_->ann_target_view() == options_.target_view &&
@@ -104,14 +107,26 @@ QueryServer::QueryServer(const EmbeddingStore* store,
         stored->num_rows() == rows) {
       ann_ = stored;
     } else {
-      owned_ann_ = std::make_unique<AnnIndex>(AnnIndex::Build(
-          target_matrix(), options_.metric, options_.ann_params));
+      StatusOr<AnnIndex> built = AnnIndex::Build(
+          target_matrix(), options_.metric, options_.ann_params, pool_.get());
+      // The constructor cannot return a Status; rethrow so ModelManager's
+      // reload path converts the failure into a kept-old-model reload error
+      // (and the CLI tools report it before serving anything).
+      if (!built.ok()) throw std::runtime_error(built.status().ToString());
+      owned_ann_ = std::make_unique<AnnIndex>(std::move(built).value());
       ann_ = owned_ann_.get();
-      registry
-          .GetHistogram(obs::kAnnBuildSeconds, "seconds",
-                        "ANN layered-graph construction time")
-          ->Record(ann_->build_seconds());
     }
+    // For a borrowed index build_seconds() is the v3 parse + code-rebuild
+    // time — the cost this process actually paid to get the index.
+    registry
+        .GetHistogram(obs::kAnnBuildSeconds, "seconds",
+                      "ANN index build (or v3 load + code rebuild) time")
+        ->Record(ann_->build_seconds());
+    registry
+        .GetGauge(obs::kAnnBuildThreads, "threads",
+                  "worker threads the ANN build/load ran with")
+        ->Set(static_cast<double>(pool_ != nullptr ? pool_->num_threads()
+                                                   : 1));
     registry
         .GetGauge(obs::kAnnGraphAvgDegree, "edges",
                   "directed ANN edges per node, all layers")
@@ -176,7 +191,8 @@ NodeId QueryServer::RowToGlobal(uint32_t row) const {
 }
 
 QueryResponse QueryServer::HandleInternal(const std::string& node_name,
-                                          LatencyHistogram* hist) {
+                                          LatencyHistogram* hist,
+                                          ThreadPool* scan_pool) {
   WallTimer timer;
   QueryResponse resp;
   // A null `hist` marks warmup traffic, which is excluded from both the
@@ -218,8 +234,12 @@ QueryResponse QueryServer::HandleInternal(const std::string& node_name,
 
   // Over-fetch one so dropping the query node itself still yields k.
   const size_t want = options_.k + (options_.exclude_self ? 1 : 0);
-  // Per-request scans stay serial: HandleBatch already parallelizes across
-  // requests, and nesting ParallelFor inside a pool worker would deadlock.
+  // `scan_pool` is the pool when this request has it to itself (Handle, or
+  // the sequential HandleBatch path — a single oversized request then fans
+  // its exact scan across the shards) and null inside HandleBatch's
+  // parallel path, where the workers are already taken and nesting
+  // ParallelFor inside a pool worker would deadlock. KnnIndex's merge
+  // keeps the (score desc, row asc) order at any shard count.
   std::vector<KnnResult> hits;
   switch (options_.index_kind) {
     case ServeIndexKind::kQuantized:
@@ -232,7 +252,7 @@ QueryResponse QueryServer::HandleInternal(const std::string& node_name,
       break;
     }
     case ServeIndexKind::kExact:
-      hits = index_->Search(query, want, nullptr);
+      hits = index_->Search(query, want, scan_pool);
       break;
   }
 
@@ -247,7 +267,7 @@ QueryResponse QueryServer::HandleInternal(const std::string& node_name,
 }
 
 QueryResponse QueryServer::Handle(const std::string& node_name, bool record) {
-  return HandleInternal(node_name, record ? &latency_ : nullptr);
+  return HandleInternal(node_name, record ? &latency_ : nullptr, pool_.get());
 }
 
 std::vector<QueryResponse> QueryServer::HandleBatch(
@@ -255,7 +275,7 @@ std::vector<QueryResponse> QueryServer::HandleBatch(
   std::vector<QueryResponse> responses(node_names.size());
   if (pool_ == nullptr || pool_->num_threads() <= 1 || node_names.size() <= 1) {
     for (size_t i = 0; i < node_names.size(); ++i) {
-      responses[i] = HandleInternal(node_names[i], &latency_);
+      responses[i] = HandleInternal(node_names[i], &latency_, pool_.get());
     }
     return responses;
   }
@@ -268,7 +288,8 @@ std::vector<QueryResponse> QueryServer::HandleBatch(
     const size_t begin = node_names.size() * s / shards;
     const size_t end = node_names.size() * (s + 1) / shards;
     for (size_t i = begin; i < end; ++i) {
-      responses[i] = HandleInternal(node_names[i], &shard_hist[s]);
+      responses[i] = HandleInternal(node_names[i], &shard_hist[s],
+                                    /*scan_pool=*/nullptr);
     }
   });
   for (const LatencyHistogram& h : shard_hist) latency_.Merge(h);

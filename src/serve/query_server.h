@@ -80,8 +80,12 @@ struct QueryResponse {
 /// byte-identical single- vs multi-threaded.
 class QueryServer {
  public:
-  /// Builds the k-NN index over the configured target matrix eagerly.
-  /// `store` must outlive the server.
+  /// Builds the k-NN index over the configured target matrix eagerly (on
+  /// the request pool when num_threads != 1 — the index bytes are identical
+  /// at any thread count). `store` must outlive the server. Throws
+  /// std::runtime_error if the ANN build fails (e.g. a pool worker-task
+  /// fault); ModelManager turns that into a failed reload that keeps the
+  /// previous generation serving.
   QueryServer(const EmbeddingStore* store, QueryServerOptions options);
   ~QueryServer();
 
@@ -112,8 +116,11 @@ class QueryServer {
   const QueryServerOptions& options() const { return options_; }
 
  private:
+  /// `scan_pool` parallelizes the exact scan of this one request; callers
+  /// already running on pool_ workers must pass null (see the call sites).
   QueryResponse HandleInternal(const std::string& node_name,
-                               LatencyHistogram* hist);
+                               LatencyHistogram* hist,
+                               ThreadPool* scan_pool);
   /// The matrix being scanned and the mapping of its rows to global ids.
   const Matrix& target_matrix() const;
   NodeId RowToGlobal(uint32_t row) const;

@@ -1,9 +1,12 @@
 // Tests for the HNSW-style layered-graph ANN index (serve/ann_index.h):
-// deterministic builds, recall against the exact scan on clustered data,
-// byte-stable serialization round trips, and degenerate shapes.
+// deterministic builds (including parallel builds, which must be
+// byte-identical to the 1-thread build), recall against the exact scan on
+// clustered data, byte-stable serialization round trips, and degenerate
+// shapes.
 
 #include "serve/ann_index.h"
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -11,6 +14,7 @@
 #include "serve/knn_index.h"
 #include "serve/serving_format.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace transn {
 namespace {
@@ -66,8 +70,8 @@ double RecallAgainstExact(const AnnIndex& ann, const KnnIndex& exact,
 
 TEST(AnnIndexTest, BuildIsDeterministic) {
   const Matrix base = ClusteredTable(400, 16, 8, 11);
-  const AnnIndex a = AnnIndex::Build(base, KnnMetric::kCosine, {});
-  const AnnIndex b = AnnIndex::Build(base, KnnMetric::kCosine, {});
+  const AnnIndex a = AnnIndex::Build(base, KnnMetric::kCosine, {}).value();
+  const AnnIndex b = AnnIndex::Build(base, KnnMetric::kCosine, {}).value();
   std::string bytes_a, bytes_b;
   a.AppendTo(&bytes_a);
   b.AppendTo(&bytes_b);
@@ -76,9 +80,33 @@ TEST(AnnIndexTest, BuildIsDeterministic) {
   EXPECT_EQ(a.num_edges(), b.num_edges());
 }
 
+TEST(AnnIndexTest, ParallelBuildMatchesSerialBytes) {
+  // The construction schedule is batch-synchronous: worker count changes how
+  // plan work is sharded, never which links are committed. Every thread
+  // count must reproduce the no-pool build bit for bit, for both metrics.
+  for (const KnnMetric metric : {KnnMetric::kCosine, KnnMetric::kDot}) {
+    const Matrix base = ClusteredTable(1200, 16, 8, 81);
+    const AnnIndex serial = AnnIndex::Build(base, metric, {}).value();
+    std::string serial_bytes;
+    serial.AppendTo(&serial_bytes);
+    for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+      ThreadPool pool(threads);
+      const AnnIndex parallel =
+          AnnIndex::Build(base, metric, {}, &pool).value();
+      std::string bytes;
+      parallel.AppendTo(&bytes);
+      EXPECT_EQ(bytes, serial_bytes)
+          << "build with " << threads << " threads (metric "
+          << (metric == KnnMetric::kCosine ? "cosine" : "dot")
+          << ") must be byte-identical to the serial build";
+      EXPECT_EQ(parallel.num_edges(), serial.num_edges());
+    }
+  }
+}
+
 TEST(AnnIndexTest, SearchIsDeterministic) {
   const Matrix base = ClusteredTable(400, 16, 8, 12);
-  const AnnIndex ann = AnnIndex::Build(base, KnnMetric::kCosine, {});
+  const AnnIndex ann = AnnIndex::Build(base, KnnMetric::kCosine, {}).value();
   const Matrix queries = ClusteredTable(8, 16, 8, 13);
   for (size_t q = 0; q < queries.rows(); ++q) {
     const auto first = ann.Search(queries.Row(q), 10, 64);
@@ -93,7 +121,7 @@ TEST(AnnIndexTest, SearchIsDeterministic) {
 
 TEST(AnnIndexTest, ResultsAreSortedAndUnique) {
   const Matrix base = ClusteredTable(300, 16, 6, 14);
-  const AnnIndex ann = AnnIndex::Build(base, KnnMetric::kCosine, {});
+  const AnnIndex ann = AnnIndex::Build(base, KnnMetric::kCosine, {}).value();
   const auto hits = ann.Search(base.Row(7), 20, 64);
   ASSERT_EQ(hits.size(), 20u);
   for (size_t i = 1; i < hits.size(); ++i) {
@@ -113,7 +141,7 @@ TEST(AnnIndexTest, RecallOnClusteredData) {
   KnnIndexOptions exact_opts;
   exact_opts.metric = KnnMetric::kCosine;
   const KnnIndex exact(&base, exact_opts);
-  const AnnIndex ann = AnnIndex::Build(base, KnnMetric::kCosine, {});
+  const AnnIndex ann = AnnIndex::Build(base, KnnMetric::kCosine, {}).value();
   EXPECT_GE(RecallAgainstExact(ann, exact, queries, 10, 64), 0.95);
 }
 
@@ -123,13 +151,13 @@ TEST(AnnIndexTest, RecallWithDotMetric) {
   KnnIndexOptions exact_opts;
   exact_opts.metric = KnnMetric::kDot;
   const KnnIndex exact(&base, exact_opts);
-  const AnnIndex ann = AnnIndex::Build(base, KnnMetric::kDot, {});
+  const AnnIndex ann = AnnIndex::Build(base, KnnMetric::kDot, {}).value();
   EXPECT_GE(RecallAgainstExact(ann, exact, queries, 10, 64), 0.9);
 }
 
 TEST(AnnIndexTest, SerializeParseRoundTrip) {
   const Matrix base = ClusteredTable(500, 16, 8, 41);
-  const AnnIndex built = AnnIndex::Build(base, KnnMetric::kCosine, {});
+  const AnnIndex built = AnnIndex::Build(base, KnnMetric::kCosine, {}).value();
   std::string bytes;
   built.AppendTo(&bytes);
 
@@ -141,6 +169,9 @@ TEST(AnnIndexTest, SerializeParseRoundTrip) {
   EXPECT_EQ(parsed->max_level(), built.max_level());
   EXPECT_EQ(parsed->num_edges(), built.num_edges());
   EXPECT_EQ(parsed->params().max_degree, built.params().max_degree);
+  // The load path times the parse + code rebuild; it must not report the
+  // 0.0 placeholder older versions pinned for loaded indexes.
+  EXPECT_GT(parsed->build_seconds(), 0.0);
 
   // Identical bytes back out, and identical search results.
   std::string bytes2;
@@ -156,11 +187,21 @@ TEST(AnnIndexTest, SerializeParseRoundTrip) {
       EXPECT_EQ(a[i].score, b[i].score);
     }
   }
+
+  // Parsing with a pool (parallel int8 code rebuild) yields the same index
+  // as parsing without one.
+  ThreadPool pool(4);
+  ByteReader mt_reader(bytes);
+  auto parsed_mt = AnnIndex::Parse(&mt_reader, base, &pool);
+  ASSERT_TRUE(parsed_mt.ok()) << parsed_mt.status().ToString();
+  std::string bytes_mt;
+  parsed_mt->AppendTo(&bytes_mt);
+  EXPECT_EQ(bytes, bytes_mt);
 }
 
 TEST(AnnIndexTest, ParseRejectsTruncationAndShapeMismatch) {
   const Matrix base = ClusteredTable(200, 8, 4, 51);
-  const AnnIndex built = AnnIndex::Build(base, KnnMetric::kCosine, {});
+  const AnnIndex built = AnnIndex::Build(base, KnnMetric::kCosine, {}).value();
   std::string bytes;
   built.AppendTo(&bytes);
 
@@ -182,7 +223,7 @@ TEST(AnnIndexTest, ParseRejectsTruncationAndShapeMismatch) {
 TEST(AnnIndexTest, DegenerateShapes) {
   // k larger than the table: every row comes back, sorted.
   const Matrix tiny = ClusteredTable(5, 8, 2, 61);
-  const AnnIndex ann = AnnIndex::Build(tiny, KnnMetric::kCosine, {});
+  const AnnIndex ann = AnnIndex::Build(tiny, KnnMetric::kCosine, {}).value();
   const auto all = ann.Search(tiny.Row(0), 50, 64);
   EXPECT_EQ(all.size(), 5u);
 
@@ -191,7 +232,7 @@ TEST(AnnIndexTest, DegenerateShapes) {
 
   // Single-row table.
   const Matrix one = ClusteredTable(1, 8, 1, 62);
-  const AnnIndex single = AnnIndex::Build(one, KnnMetric::kCosine, {});
+  const AnnIndex single = AnnIndex::Build(one, KnnMetric::kCosine, {}).value();
   const auto hit = single.Search(one.Row(0), 3, 16);
   ASSERT_EQ(hit.size(), 1u);
   EXPECT_EQ(hit[0].row, 0u);
@@ -203,7 +244,7 @@ TEST(AnnIndexTest, DegenerateShapes) {
 
 TEST(AnnIndexTest, StatsCountWork) {
   const Matrix base = ClusteredTable(1000, 16, 8, 71);
-  const AnnIndex ann = AnnIndex::Build(base, KnnMetric::kCosine, {});
+  const AnnIndex ann = AnnIndex::Build(base, KnnMetric::kCosine, {}).value();
   AnnSearchStats stats;
   ann.Search(base.Row(3), 10, 64, &stats);
   EXPECT_GT(stats.hops, 0u);

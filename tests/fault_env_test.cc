@@ -1,13 +1,15 @@
 // End-to-end check of the TRANSN_FAULTS environment wiring, exercised by
 // the CI fault-injection leg with rotations like `io.write=always`,
-// `io.short_write=always`, `io.fsync=always`, and `io.rename=always`
-// (see .github/workflows/ci.yml). With no TRANSN_FAULTS set the whole
-// suite skips, so a plain `ctest` run is unaffected.
+// `io.short_write=always`, `io.fsync=always`, `io.rename=always`, and
+// `pool.task=once` (see .github/workflows/ci.yml). With no TRANSN_FAULTS
+// set the whole suite skips, so a plain `ctest` run is unaffected.
 //
-// Whatever I/O failpoint the environment arms, the contract is the same:
-// an atomic write fails with a descriptive Status, the previous target
-// file survives byte-for-byte, and nothing crashes (the CI leg runs this
-// under ASan/UBSan to also rule out leaks and UB on the error paths).
+// Tests are gated on the subsystem the armed spec targets: under an io.*
+// failpoint an atomic write fails with a descriptive Status and the
+// previous target file survives byte-for-byte; under pool.task a parallel
+// ANN build surfaces a clean Status with no partial graph. Either way
+// nothing crashes (the CI leg runs this under ASan/UBSan to also rule out
+// leaks and UB on the error paths).
 
 #include <cstdlib>
 #include <fstream>
@@ -17,10 +19,14 @@
 #include <gtest/gtest.h>
 #include "core/model_io.h"
 #include "core/transn.h"
+#include "nn/matrix.h"
+#include "serve/ann_index.h"
 #include "serve_test_util.h"
 #include "test_graphs.h"
 #include "util/fault.h"
+#include "util/rng.h"
 #include "util/safe_io.h"
+#include "util/thread_pool.h"
 
 namespace transn {
 namespace {
@@ -41,10 +47,27 @@ bool EnvFaultsArmed() {
   return env != nullptr && env[0] != '\0';
 }
 
+/// True when the armed spec targets the given subsystem ("io.", "pool.").
+/// Each CI rotation leg arms exactly one failpoint; a test must only assert
+/// failure when the failpoint sits on a path its code actually crosses.
+bool EnvFaultsHavePrefix(const char* prefix) {
+  const char* env = std::getenv("TRANSN_FAULTS");
+  return env != nullptr && std::string(env).find(prefix) != std::string::npos;
+}
+
 #define SKIP_UNLESS_ENV_FAULTS()                                        \
   do {                                                                  \
     if (!EnvFaultsArmed()) {                                            \
       GTEST_SKIP() << "TRANSN_FAULTS not set; nothing to exercise";     \
+    }                                                                   \
+  } while (false)
+
+#define SKIP_UNLESS_ENV_FAULT_PREFIX(prefix)                            \
+  do {                                                                  \
+    SKIP_UNLESS_ENV_FAULTS();                                           \
+    if (!EnvFaultsHavePrefix(prefix)) {                                 \
+      GTEST_SKIP() << "TRANSN_FAULTS=" << std::getenv("TRANSN_FAULTS")  \
+                   << " arms no " << prefix << "* failpoint";           \
     }                                                                   \
   } while (false)
 
@@ -56,7 +79,7 @@ TEST(FaultEnvTest, EnvSpecIsArmedAtStartup) {
 }
 
 TEST(FaultEnvTest, AtomicWriteFailsWithoutTouchingTarget) {
-  SKIP_UNLESS_ENV_FAULTS();
+  SKIP_UNLESS_ENV_FAULT_PREFIX("io.");
   std::string path = TempPath("env_fault_target.bin");
   { std::ofstream(path, std::ios::binary) << "previous good contents"; }
   AtomicFileWriter w(path);
@@ -71,7 +94,7 @@ TEST(FaultEnvTest, AtomicWriteFailsWithoutTouchingTarget) {
 }
 
 TEST(FaultEnvTest, CheckpointWriterSurfacesTheFailure) {
-  SKIP_UNLESS_ENV_FAULTS();
+  SKIP_UNLESS_ENV_FAULT_PREFIX("io.");
   HeteroGraph g = TwoCommunityNetwork(12, 4);
   TransNModel model(&g, SmallServeConfig());
   std::string path = TempPath("env_fault.ckpt");
@@ -84,7 +107,7 @@ TEST(FaultEnvTest, CheckpointWriterSurfacesTheFailure) {
 }
 
 TEST(FaultEnvTest, ServingExportSurfacesTheFailure) {
-  SKIP_UNLESS_ENV_FAULTS();
+  SKIP_UNLESS_ENV_FAULT_PREFIX("io.");
   HeteroGraph g = TwoCommunityNetwork(12, 4);
   TransNModel model(&g, SmallServeConfig());
   std::string path = TempPath("env_fault.bin");
@@ -92,6 +115,41 @@ TEST(FaultEnvTest, ServingExportSurfacesTheFailure) {
   ASSERT_FALSE(s.ok());
   EXPECT_FALSE(std::ifstream(path).good()) << "partial export left behind";
   std::remove((path + ".tmp").c_str());
+}
+
+TEST(FaultEnvTest, PoolTaskFailureAbortsAnnBuildCleanly) {
+  SKIP_UNLESS_ENV_FAULT_PREFIX("pool.");
+  Rng rng(7);
+  Matrix base(600, 8);
+  for (size_t i = 0; i < base.size(); ++i) {
+    base.data()[i] = rng.NextGaussian();
+  }
+
+  // A worker task dying mid-build must come back as a Status, never as a
+  // crash or a half-linked graph handed to the caller.
+  ThreadPool pool(4);
+  StatusOr<AnnIndex> built =
+      AnnIndex::Build(base, KnnMetric::kCosine, {}, &pool);
+  ASSERT_FALSE(built.ok()) << "parallel build succeeded despite "
+                           << "TRANSN_FAULTS=" << std::getenv("TRANSN_FAULTS");
+  EXPECT_FALSE(built.status().message().empty());
+
+  // The inline path never dispatches pool tasks, so it is unaffected.
+  StatusOr<AnnIndex> serial = AnnIndex::Build(base, KnnMetric::kCosine, {});
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  // One-shot modes (pool.task=once) are consumed by the aborted build: the
+  // pool must have survived, and the retry must reproduce the serial bytes
+  // exactly — no residue from the failed attempt. Under =always the retry
+  // fails again, which is equally fine.
+  StatusOr<AnnIndex> retry =
+      AnnIndex::Build(base, KnnMetric::kCosine, {}, &pool);
+  if (retry.ok()) {
+    std::string retry_bytes, serial_bytes;
+    retry->AppendTo(&retry_bytes);
+    serial->AppendTo(&serial_bytes);
+    EXPECT_EQ(retry_bytes, serial_bytes);
+  }
 }
 
 }  // namespace

@@ -70,6 +70,29 @@ TEST_F(QueryServerTest, BatchIsIdenticalSingleVsMultiThreaded) {
   EXPECT_EQ(threaded.latency().count(), names.size());
 }
 
+TEST_F(QueryServerTest, SingleExactQueryShardsAcrossThePool) {
+  // A single request on a threaded exact server fans its O(N) scan across
+  // the pool shards; the (score desc, row asc) merge must reproduce the
+  // inline scan exactly.
+  QueryServerOptions opts;
+  opts.target_view = 0;
+  opts.k = 8;
+  opts.num_threads = 1;
+  QueryServer serial(store_.get(), opts);
+  opts.num_threads = 4;
+  QueryServer threaded(store_.get(), opts);
+  for (const std::string& name : AllNames()) {
+    const QueryResponse a = serial.Handle(name);
+    const QueryResponse b = threaded.Handle(name);
+    EXPECT_EQ(a.status.code(), b.status.code()) << name;
+    ASSERT_EQ(a.neighbors.size(), b.neighbors.size()) << name;
+    for (size_t j = 0; j < a.neighbors.size(); ++j) {
+      EXPECT_EQ(a.neighbors[j].node, b.neighbors[j].node) << name;
+      EXPECT_EQ(a.neighbors[j].score, b.neighbors[j].score) << name;
+    }
+  }
+}
+
 TEST_F(QueryServerTest, ColdStartQueryIsTranslatedIntoTargetView) {
   QueryServerOptions opts;
   opts.target_view = 0;  // friendship: persons only
@@ -201,7 +224,8 @@ TEST_F(QueryServerTest, HnswBorrowsStoredIndexWhenCompatible) {
   // it rather than rebuild (same pointer), and a server targeting a view
   // must fall back to building its own.
   const AnnIndex built =
-      AnnIndex::Build(store_->final_embeddings(), KnnMetric::kCosine, {});
+      AnnIndex::Build(store_->final_embeddings(), KnnMetric::kCosine, {})
+          .value();
   const std::string path =
       std::string(::testing::TempDir()) + "/qs_ann_model.bin";
   ServingWriteOptions write_opts;

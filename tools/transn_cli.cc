@@ -195,6 +195,9 @@ Matrix TrainTransN(const HeteroGraph& g, const Args& args) {
     export_opts.ann_params.max_degree = static_cast<size_t>(ann_m);
     export_opts.ann_params.ef_construction = static_cast<size_t>(ann_efc);
     export_opts.ann_params.seed = model.config().seed;
+    // The training --threads pool size also drives the export-time graph
+    // build; the file bytes are the same at any thread count.
+    export_opts.ann_build_threads = model.config().num_threads;
     Status s = ExportServingModel(model, serving, export_opts);
     if (!s.ok()) Args::Fail(s.ToString());
     std::printf("wrote serving model %s (query with transn_serve)\n",
@@ -306,7 +309,9 @@ void Usage() {
       "           weights, iteration, RNG, and Adam state bit-for-bit)\n"
       "           [--export-serving m.bin]  (binary model for transn_serve)\n"
       "           [--export-ann true] [--ann-m 16] [--ann-efc 100]\n"
-      "             (embed an hnsw ANN index in the export; format v3)\n"
+      "             (embed an hnsw ANN index in the export; format v3;\n"
+      "             built on the --threads pool, bytes identical at any\n"
+      "             thread count)\n"
       "  classify --graph g.tsv --embeddings emb.tsv [--repeats 10]\n"
       "  linkpred --graph g.tsv [--method transn] [--removal 0.4]\n"
       "every subcommand accepts [--metrics-out m.json] to dump the\n"

@@ -11,6 +11,7 @@
 //   transn_serve index --model model.bin --out model_v3.bin
 //                      [--view final|<edge-type name>] [--metric cosine|dot]
 //                      [--ann-m 16] [--ann-efc 100] [--seed 42]
+//                      [--threads 1]  (0 = all cores; same bytes regardless)
 //   transn_serve serve --model model.bin [--listen 127.0.0.1:8080]
 //                      [--reactor-threads N] [--max-queue N] [--max-batch N]
 //
@@ -40,14 +41,17 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "arg_parse.h"
 #include "metrics_flag.h"
 #include "net/http_server.h"
 #include "net/serve_app.h"
+#include "obs/metric_names.h"
 #include "serve/embedding_store.h"
 #include "serve/query_server.h"
 #include "serve/serving_writer.h"
@@ -174,7 +178,8 @@ int CmdInfo(const Args& args) {
 // at-load graph build. Deterministic: same model + flags => same bytes.
 int CmdIndex(const Args& args) {
   args.RequireKnown(WithGlobalFlags(
-      {"model", "out", "view", "metric", "ann-m", "ann-efc", "seed"}));
+      {"model", "out", "view", "metric", "ann-m", "ann-efc", "seed",
+       "threads"}));
   EmbeddingStore store = LoadStoreOrDie(args);
   const std::string out = args.GetString("out");
   int target_view = -1;
@@ -198,6 +203,8 @@ int CmdIndex(const Args& args) {
   params.max_degree = static_cast<size_t>(ann_m);
   params.ef_construction = static_cast<size_t>(ann_efc);
   params.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  const int64_t threads = args.GetInt("threads", 1);
+  if (threads < 0) Args::Fail("--threads must be >= 0 (0 = all cores)");
   const std::string metrics_out = MetricsOutPath(args);
   args.CheckAllUsed();
 
@@ -207,12 +214,32 @@ int CmdIndex(const Args& args) {
   const Matrix& target =
       target_view < 0 ? store.final_embeddings()
                       : store.view(static_cast<size_t>(target_view)).embeddings;
-  AnnIndex ann = AnnIndex::Build(target, metric, params);
+  // The build is batch-synchronous: any --threads value emits the same v3
+  // bytes (docs/FORMATS.md), so offline indexing can use every core.
+  std::unique_ptr<ThreadPool> pool;
+  if (threads != 1) {
+    pool = std::make_unique<ThreadPool>(static_cast<size_t>(threads));
+  }
+  StatusOr<AnnIndex> built = AnnIndex::Build(target, metric, params,
+                                             pool.get());
+  if (!built.ok()) Args::Fail(built.status().ToString());
+  AnnIndex ann = std::move(built).value();
+  const size_t build_threads = pool != nullptr ? pool->num_threads() : 1;
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  registry
+      .GetHistogram(obs::kAnnBuildSeconds, "seconds",
+                    "ANN index build (or v3 load + code rebuild) time")
+      ->Record(ann.build_seconds());
+  registry
+      .GetGauge(obs::kAnnBuildThreads, "threads",
+                "worker threads the ANN build/load ran with")
+      ->Set(static_cast<double>(build_threads));
   std::fprintf(stderr,
                "built ann index: %zu rows, max level %d, avg degree %.1f "
-               "in %.2fs\n",
+               "in %.2fs (%zu thread%s)\n",
                ann.num_rows(), ann.max_level(), ann.avg_degree(),
-               ann.build_seconds());
+               ann.build_seconds(), build_threads,
+               build_threads == 1 ? "" : "s");
 
   ServingWriteOptions write_opts;
   write_opts.ann = &ann;
@@ -415,8 +442,9 @@ void Usage() {
       "         [--queries names.txt|-] [--sample 0] [--warmup 0]\n"
       "  index  --model model.bin --out model_v3.bin\n"
       "         [--view final|<edge-type>] [--metric cosine|dot]\n"
-      "         [--ann-m 16] [--ann-efc 100] [--seed 42]\n"
-      "         (embeds a pre-built hnsw graph; serving format v3)\n"
+      "         [--ann-m 16] [--ann-efc 100] [--seed 42] [--threads 1]\n"
+      "         (embeds a pre-built hnsw graph; serving format v3;\n"
+      "         --threads 0 = all cores, output bytes identical)\n"
       "  serve  --model model.bin [--listen 127.0.0.1:8080]\n"
       "         [--reactor-threads 1]  (0 = one per hardware thread)\n"
       "         [--max-queue 1024] [--max-batch 64] [--max-connections 1024]\n"
