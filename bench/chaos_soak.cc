@@ -1,0 +1,423 @@
+// Deterministic chaos soak for the serving stack: drives load_gen-style
+// closed-loop traffic against an in-process server while a seeded fault
+// schedule tears at the transport, then proves the stack degrades gracefully
+// and recovers. Phases (each `TRANSN_CHAOS_SECONDS` long):
+//
+//   1. baseline   — clean traffic; p99 here is the reference bound.
+//   2. accept     — net.accept=prob: accepted sockets dropped before
+//                   registration (clients reconnect every few requests to
+//                   keep hitting the accept path).
+//   3. read       — net.read=prob: connections torn down mid-request.
+//   4. write      — net.write=prob: responses dropped, connection closed.
+//   5. slow       — net.slow=prob: reactor stalls ~20 ms per fired request.
+//   6. reload     — clean transport, but an admin driver fires hot reloads
+//                   mid-traffic, injects two failing reloads (bad path) to
+//                   exercise the stale-model/degraded-healthz path, and
+//                   delivers one SIGHUP.
+//   7. recovery   — all faults disarmed; clean traffic again, then /healthz
+//                   must report fully healthy within the recovery window.
+//
+// Invariants (CHECKed here, gated again by check_bench_regression.py on the
+// emitted BENCH_chaos_soak.json):
+//   - the process never crashes;
+//   - every non-2xx response is a 429 or a 503 (other_http == 0);
+//   - transport-level request failures only happen in fault phases;
+//   - /healthz returns to "ok" within 5 s of the last fault.
+//
+// A slice of the traffic carries X-Transn-Deadline-Ms headers: generous
+// deadlines that should survive, plus (in fault/reload phases only) "0"
+// deadlines that must be shed with 503 at admission.
+//
+// Environment knobs:
+//   TRANSN_CHAOS_SECONDS  per-phase duration  (default 1.5)
+//   TRANSN_CHAOS_THREADS  client threads      (default 4)
+//   TRANSN_BENCH_SEED     base RNG seed       (default 42)
+
+#include <signal.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/model_io.h"
+#include "core/transn.h"
+#include "data/hsbm.h"
+#include "net/http_client.h"
+#include "net/http_server.h"
+#include "net/serve_app.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "serve/embedding_store.h"
+#include "util/fault.h"
+#include "util/histogram.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace transn;
+using namespace transn::bench;
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? std::atof(v) : fallback;
+}
+
+/// Same tiny model as load_gen: real enough for the query path.
+std::string TrainAndExportModel(uint64_t seed) {
+  HsbmSpec spec;
+  spec.node_types = {{"User", 600}, {"Item", 300}};
+  spec.edge_types = {
+      {.name = "UU", .type_a = 0, .type_b = 0, .num_edges = 2400},
+      {.name = "UI", .type_a = 0, .type_b = 1, .num_edges = 2400},
+  };
+  spec.num_communities = 4;
+  spec.labeled_type = 0;
+  spec.seed = seed;
+  HeteroGraph graph = GenerateHsbm(spec);
+
+  TransNConfig config;
+  config.dim = 32;
+  config.iterations = 1;
+  config.walk.walk_length = 10;
+  config.walk.min_walks_per_node = 2;
+  config.walk.max_walks_per_node = 3;
+  config.translator_encoders = 2;
+  config.translator_seq_len = 4;
+  config.cross_paths_per_pair = 10;
+  config.seed = seed;
+  TransNModel model(&graph, config);
+  model.Fit();
+
+  const char* tmp = std::getenv("TMPDIR");
+  const std::string path = std::string(tmp != nullptr ? tmp : "/tmp") +
+                           "/transn_chaos_soak_model.bin";
+  Status s = ExportServingModel(model, path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "export failed: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+  return path;
+}
+
+struct PhaseStats {
+  size_t requests = 0;
+  size_t ok_2xx = 0;
+  size_t rejected_429 = 0;
+  size_t unavailable_503 = 0;
+  size_t other_http = 0;        // budget: zero, in every phase
+  size_t transport_errors = 0;  // budget: zero outside fault phases
+  LatencyHistogram latency;     // seconds per request, retries included
+};
+
+struct ChaosPhase {
+  const char* name;
+  const char* failpoint;  // nullptr = clean transport
+  double probability = 0.0;
+  bool faulted = false;      // transport errors tolerated
+  bool reload_churn = false; // run the admin reload driver
+  /// Force a reconnect every N requests per thread (0 = pure keep-alive);
+  /// the accept-fault phase needs fresh connections to hit net.accept.
+  size_t disconnect_every = 0;
+};
+
+/// Closed-loop traffic for one phase. Every 16th request carries a generous
+/// deadline (survives under clean load); in fault/reload phases every 64th
+/// carries deadline 0 and must come back 503 without touching the executor.
+PhaseStats RunPhase(uint16_t port, const std::vector<std::string>& nodes,
+                    const ChaosPhase& phase, size_t threads, double seconds,
+                    uint64_t seed) {
+  std::vector<PhaseStats> per_thread(threads);
+  std::vector<std::thread> workers;
+  const bool send_expired = phase.faulted || phase.reload_churn;
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      PhaseStats& out = per_thread[t];
+      net::HttpRetryOptions retry;
+      retry.base_backoff_ms = 2;
+      retry.max_backoff_ms = 50;
+      retry.jitter_seed = seed + t;
+      net::HttpClient client("127.0.0.1", port, /*timeout_ms=*/2'000, retry);
+      WallTimer timer;
+      size_t i = t;  // stagger the node rotation across threads
+      while (timer.ElapsedSeconds() < seconds) {
+        ++i;
+        if (phase.disconnect_every != 0 && i % phase.disconnect_every == 0) {
+          client.Disconnect();
+        }
+        std::string_view deadline_header;
+        if (send_expired && i % 64 == 0) {
+          deadline_header = "X-Transn-Deadline-Ms: 0\r\n";
+        } else if (i % 16 == 0) {
+          deadline_header = "X-Transn-Deadline-Ms: 1000\r\n";
+        }
+        WallTimer rt;
+        auto r = client.Get("/v1/knn?node=" + nodes[i % nodes.size()],
+                            deadline_header);
+        out.latency.Record(rt.ElapsedSeconds());
+        ++out.requests;
+        if (!r.ok()) {
+          ++out.transport_errors;
+        } else if (r->code >= 200 && r->code < 300) {
+          ++out.ok_2xx;
+        } else if (r->code == 429) {
+          ++out.rejected_429;
+        } else if (r->code == 503) {
+          ++out.unavailable_503;
+        } else {
+          ++out.other_http;
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  PhaseStats total;
+  for (PhaseStats& p : per_thread) {
+    total.requests += p.requests;
+    total.ok_2xx += p.ok_2xx;
+    total.rejected_429 += p.rejected_429;
+    total.unavailable_503 += p.unavailable_503;
+    total.other_http += p.other_http;
+    total.transport_errors += p.transport_errors;
+    total.latency.Merge(p.latency);
+  }
+  return total;
+}
+
+net::ServeApp* g_app = nullptr;
+void OnSighup(int) {
+  if (g_app != nullptr) g_app->TriggerReloadFromSignal();
+}
+
+}  // namespace
+
+int main() {
+  SetMinLogSeverity(LogSeverity::kError);
+  const double phase_seconds = EnvDouble("TRANSN_CHAOS_SECONDS", 1.5);
+  const size_t threads =
+      static_cast<size_t>(EnvDouble("TRANSN_CHAOS_THREADS", 4));
+  const uint64_t seed = BenchSeed();
+
+  std::printf("training model ...\n");
+  const std::string model_path = TrainAndExportModel(seed);
+  auto store = EmbeddingStore::Load(model_path);
+  if (!store.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<std::string> nodes;
+  for (NodeId n = 0; n < store->num_nodes(); ++n) {
+    nodes.push_back(store->node_name(n));
+  }
+
+  net::ServeAppOptions app_opts;
+  app_opts.model_path = model_path;
+  app_opts.query.k = 10;
+  net::ServeApp app(app_opts);
+  g_app = &app;
+  struct sigaction sa {};
+  sa.sa_handler = OnSighup;
+  sigaction(SIGHUP, &sa, nullptr);
+  Status s = app.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "serve start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  net::HttpServerOptions http_opts;
+  http_opts.reactor_threads = 2;
+  net::HttpServer server(
+      http_opts, [&app](net::HttpRequest&& req, net::ResponseHandle handle) {
+        app.HandleRequest(std::move(req), std::move(handle));
+      });
+  s = server.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "listen failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("soaking %zu nodes on 127.0.0.1:%u, %zu threads, %.1fs/phase\n",
+              nodes.size(), server.port(), threads, phase_seconds);
+
+  const std::vector<ChaosPhase> phases = {
+      {.name = "baseline", .failpoint = nullptr},
+      {.name = "accept-drop", .failpoint = fault::kNetAccept,
+       .probability = 0.4, .faulted = true, .disconnect_every = 8},
+      {.name = "read-reset", .failpoint = fault::kNetRead,
+       .probability = 0.25, .faulted = true},
+      {.name = "write-drop", .failpoint = fault::kNetWrite,
+       .probability = 0.25, .faulted = true},
+      {.name = "slow-reactor", .failpoint = fault::kNetSlow,
+       .probability = 0.15, .faulted = true},
+      {.name = "reload-churn", .failpoint = nullptr, .reload_churn = true},
+      {.name = "recovery", .failpoint = nullptr},
+  };
+
+  PhaseStats totals;
+  double baseline_p99_ms = 0.0;
+  double recovery_p99_ms = 0.0;
+  size_t transport_errors_clean = 0;
+  size_t transport_errors_fault = 0;
+  std::atomic<size_t> reloads_ok{0};
+  std::atomic<size_t> reloads_failed_injected{0};
+
+  fault::FaultInjector& injector = fault::FaultInjector::Default();
+  for (size_t pi = 0; pi < phases.size(); ++pi) {
+    const ChaosPhase& phase = phases[pi];
+    injector.DisarmAll();
+    if (phase.failpoint != nullptr) {
+      injector.Arm(phase.failpoint,
+                   fault::FaultSpec::Probability(phase.probability,
+                                                 seed + 100 + pi));
+    }
+
+    std::thread reload_driver;
+    std::atomic<bool> stop_driver{false};
+    if (phase.reload_churn) {
+      reload_driver = std::thread([&] {
+        net::HttpClient admin("127.0.0.1", server.port());
+        size_t round = 0;
+        while (!stop_driver.load(std::memory_order_acquire)) {
+          ++round;
+          if (round == 2 || round == 3) {
+            // A reload pointed at a missing file must fail, leave the old
+            // generation serving, and flip /healthz to "degraded".
+            auto r = admin.Post("/admin/reload?path=/nonexistent/chaos.bin",
+                                "");
+            if (r.ok() && r->code >= 500) reloads_failed_injected.fetch_add(1);
+          } else if (round == 4) {
+            raise(SIGHUP);  // picked up by the app's signal poll <=100ms later
+          } else {
+            auto r = admin.Post("/admin/reload", "");
+            if (r.ok() && r->code == 200) reloads_ok.fetch_add(1);
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(150));
+        }
+        // Leave the server on a freshly-loaded healthy generation.
+        auto r = admin.Post("/admin/reload", "");
+        if (r.ok() && r->code == 200) reloads_ok.fetch_add(1);
+      });
+    }
+
+    PhaseStats stats = RunPhase(server.port(), nodes, phase, threads,
+                                phase_seconds, seed + 1000 * (pi + 1));
+    if (phase.reload_churn) {
+      stop_driver.store(true, std::memory_order_release);
+      reload_driver.join();
+    }
+
+    const double p99_ms = stats.latency.Percentile(99) * 1e3;
+    std::printf(
+        "%-12s %7zu req  2xx=%zu 429=%zu 503=%zu other=%zu transport=%zu  "
+        "p99=%.2fms\n",
+        phase.name, stats.requests, stats.ok_2xx, stats.rejected_429,
+        stats.unavailable_503, stats.other_http, stats.transport_errors,
+        p99_ms);
+    if (std::string(phase.name) == "baseline") baseline_p99_ms = p99_ms;
+    if (std::string(phase.name) == "recovery") recovery_p99_ms = p99_ms;
+    (phase.faulted ? transport_errors_fault : transport_errors_clean) +=
+        stats.transport_errors;
+
+    totals.requests += stats.requests;
+    totals.ok_2xx += stats.ok_2xx;
+    totals.rejected_429 += stats.rejected_429;
+    totals.unavailable_503 += stats.unavailable_503;
+    totals.other_http += stats.other_http;
+    totals.transport_errors += stats.transport_errors;
+  }
+  injector.DisarmAll();
+
+  // Recovery probe: with faults disarmed and the last reload healthy, light
+  // query traffic must walk the degradation controller back to tier 0 and
+  // /healthz back to "ok" within the window. Queries are required — tier
+  // transitions happen per executed batch, never while idle.
+  const double kRecoveryWindowSeconds = 5.0;
+  bool recovered = false;
+  double recovery_seconds = 0.0;
+  {
+    net::HttpClient probe("127.0.0.1", server.port());
+    WallTimer timer;
+    while (timer.ElapsedSeconds() < kRecoveryWindowSeconds) {
+      (void)probe.Get("/v1/knn?node=" + nodes[0]);
+      auto h = probe.Get("/healthz");
+      if (h.ok() && h->code == 200 &&
+          h->body.find("\"status\":\"ok\"") != std::string::npos) {
+        recovered = true;
+        recovery_seconds = timer.ElapsedSeconds();
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    if (!recovered) recovery_seconds = timer.ElapsedSeconds();
+  }
+  std::printf("recovery: healthz %s after %.2fs\n",
+              recovered ? "ok" : "STILL DEGRADED", recovery_seconds);
+
+  const uint64_t faults_injected =
+      obs::MetricsRegistry::Default()
+          .GetCounter(obs::kNetFaultsInjectedTotal)
+          ->Value();
+  const uint64_t deadline_expired =
+      obs::MetricsRegistry::Default()
+          .GetCounter(obs::kServeDeadlineExpiredTotal)
+          ->Value();
+  const uint64_t generation_final = app.manager().generation();
+
+  server.Stop();
+  app.Stop();
+  g_app = nullptr;
+  std::remove(model_path.c_str());
+
+  std::printf(
+      "totals: %zu requests, 2xx=%zu 429=%zu 503=%zu other=%zu "
+      "transport(clean=%zu fault=%zu)  faults_injected=%llu "
+      "deadline_expired=%llu generation=%llu\n",
+      totals.requests, totals.ok_2xx, totals.rejected_429,
+      totals.unavailable_503, totals.other_http, transport_errors_clean,
+      transport_errors_fault,
+      static_cast<unsigned long long>(faults_injected),
+      static_cast<unsigned long long>(deadline_expired),
+      static_cast<unsigned long long>(generation_final));
+
+  // The soak's hard invariants, independent of the JSON gate: a violation
+  // here is a resilience bug, not a perf regression.
+  CHECK_EQ(totals.other_http, 0u)
+      << "non-2xx responses other than 429/503 appeared under chaos";
+  CHECK_EQ(transport_errors_clean, 0u)
+      << "transport-level failures in a no-fault phase";
+  CHECK(recovered) << "/healthz did not return to ok within "
+                   << kRecoveryWindowSeconds << "s of the last fault";
+  CHECK_GE(faults_injected, 1u) << "the fault schedule never fired";
+  CHECK_GE(reloads_ok.load(), 1u) << "no successful hot reload mid-soak";
+  CHECK_GE(reloads_failed_injected.load(), 1u)
+      << "the failing-reload (stale model) path was never exercised";
+  CHECK_GT(totals.ok_2xx, totals.requests / 2)
+      << "fewer than half of all requests succeeded";
+
+  WriteBenchJson(
+      "chaos_soak",
+      {
+          {"total_requests", "count", static_cast<double>(totals.requests), "requests"},
+          {"ok_2xx", "count", static_cast<double>(totals.ok_2xx), "requests"},
+          {"rejected_429", "count", static_cast<double>(totals.rejected_429), "requests"},
+          {"unavailable_503", "count", static_cast<double>(totals.unavailable_503), "requests"},
+          {"other_http", "error_count", static_cast<double>(totals.other_http), "requests"},
+          {"transport_errors_clean", "error_count", static_cast<double>(transport_errors_clean), "requests"},
+          {"transport_errors_fault", "count", static_cast<double>(transport_errors_fault), "requests"},
+          {"baseline_p99_ms", "latency_p99", baseline_p99_ms, "ms"},
+          {"recovery_p99_ms", "latency_p99", recovery_p99_ms, "ms"},
+          {"recovery_seconds", "seconds", recovery_seconds, "s"},
+          {"recovered_healthz", "bool", recovered ? 1.0 : 0.0, "flag"},
+          {"reloads_ok", "count", static_cast<double>(reloads_ok.load()), "reloads"},
+          {"reloads_failed_injected", "count", static_cast<double>(reloads_failed_injected.load()), "reloads"},
+          {"faults_injected", "count", static_cast<double>(faults_injected), "faults"},
+          {"deadline_expired", "count", static_cast<double>(deadline_expired), "requests"},
+          {"generation_final", "count", static_cast<double>(generation_final), "generations"},
+      });
+  return 0;
+}

@@ -57,6 +57,19 @@ produced byte-identical output, so the gate only has to police speed):
     hardware_threads <  2  ->  build_speedup_t8 >= 0.7   (no-collapse bound:
         oversubscribing one core must not collapse build throughput)
 
+chaos_soak — the deterministic chaos soak (bench/chaos_soak) must show the
+serving stack degrading gracefully and recovering:
+
+    every non-2xx response is a 429 or 503 (other_http == 0), transport
+    errors only ever happen in fault phases (transport_errors_clean == 0),
+    /healthz returned to fully healthy within 5 s of the last fault
+    (recovered_healthz == 1, recovery_seconds <= 5), the fault schedule
+    actually fired (faults_injected >= 1), at least one hot reload succeeded
+    and at least one injected reload failure exercised the stale-model path,
+    a majority of all requests still succeeded under chaos, and p99 in the
+    two clean phases (baseline, recovery) stays under the serving ceiling
+    (250 ms).
+
 Dumps that predate the hardware_threads field are rejected: regenerate the
 JSON with the current bench binary so the gate knows the machine class.
 """
@@ -266,10 +279,67 @@ def check_ann_frontier(path: str, dump: dict) -> None:
         )
 
 
+CHAOS_MAX_CLEAN_P99_MS = 250.0
+CHAOS_MAX_RECOVERY_SECONDS = 5.0
+
+
+def check_chaos_soak(path: str, dump: dict) -> None:
+    # Hard error budget: the only acceptable failures under chaos are the
+    # intentional ones (429 admission rejects, 503 sheds/deadlines) plus
+    # transport errors while a net.* fault is actually armed.
+    for name in ("other_http", "transport_errors_clean"):
+        v = bench_value(path, dump, name)
+        if v != 0.0:
+            fail(f"{path}: {name} is {v:g}; the chaos error budget is zero")
+
+    if bench_value(path, dump, "recovered_healthz") != 1.0:
+        fail(f"{path}: /healthz never returned to ok after the fault phases")
+    recovery_s = bench_value(path, dump, "recovery_seconds")
+    if recovery_s > CHAOS_MAX_RECOVERY_SECONDS:
+        fail(
+            f"{path}: recovery took {recovery_s:.2f} s, over the "
+            f"{CHAOS_MAX_RECOVERY_SECONDS:.0f} s window"
+        )
+    if bench_value(path, dump, "faults_injected") < 1.0:
+        fail(f"{path}: the fault schedule never fired — the soak tested "
+             "nothing")
+    if bench_value(path, dump, "reloads_ok") < 1.0:
+        fail(f"{path}: no hot reload succeeded mid-soak")
+    if bench_value(path, dump, "reloads_failed_injected") < 1.0:
+        fail(f"{path}: the injected failing reload never exercised the "
+             "stale-model path")
+
+    total = bench_value(path, dump, "total_requests")
+    ok = bench_value(path, dump, "ok_2xx")
+    if total < 1.0:
+        fail(f"{path}: the soak issued no requests")
+    if ok <= total / 2.0:
+        fail(
+            f"{path}: only {ok:.0f}/{total:.0f} requests succeeded — the "
+            "stack collapsed under chaos instead of degrading"
+        )
+
+    baseline_p99 = bench_value(path, dump, "baseline_p99_ms")
+    recovery_p99 = bench_value(path, dump, "recovery_p99_ms")
+    print(
+        f"check_bench_regression: chaos soak {total:.0f} requests, "
+        f"{ok:.0f} ok, recovery {recovery_s:.2f} s, clean p99 "
+        f"{baseline_p99:.2f}/{recovery_p99:.2f} ms"
+    )
+    for name, p99 in (("baseline_p99_ms", baseline_p99),
+                      ("recovery_p99_ms", recovery_p99)):
+        if p99 > CHAOS_MAX_CLEAN_P99_MS:
+            fail(
+                f"{path}: {name} {p99:.1f} ms exceeds the "
+                f"{CHAOS_MAX_CLEAN_P99_MS:.0f} ms ceiling in a no-fault phase"
+            )
+
+
 CHECKS = {
     "parallel_scaling": check_parallel_scaling,
     "serve_load": check_serve_load,
     "ann_frontier": check_ann_frontier,
+    "chaos_soak": check_chaos_soak,
 }
 
 

@@ -11,6 +11,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "util/string_util.h"
@@ -34,8 +36,22 @@ std::string Lower(std::string_view s) {
 
 }  // namespace
 
-HttpClient::HttpClient(std::string host, uint16_t port, int timeout_ms)
-    : host_(std::move(host)), port_(port), timeout_ms_(timeout_ms) {}
+int RetryBackoffMs(const HttpRetryOptions& opts, int failures, Rng& rng) {
+  double backoff = opts.base_backoff_ms;
+  for (int i = 1; i < failures && backoff < opts.max_backoff_ms; ++i) {
+    backoff *= 2.0;
+  }
+  backoff = std::min(backoff, static_cast<double>(opts.max_backoff_ms));
+  return static_cast<int>(backoff * rng.NextDouble(0.5, 1.0));
+}
+
+HttpClient::HttpClient(std::string host, uint16_t port, int timeout_ms,
+                       HttpRetryOptions retry)
+    : host_(std::move(host)),
+      port_(port),
+      timeout_ms_(timeout_ms),
+      retry_(retry),
+      jitter_rng_(retry.jitter_seed) {}
 
 HttpClient::~HttpClient() { Disconnect(); }
 
@@ -43,8 +59,11 @@ HttpClient::HttpClient(HttpClient&& other) noexcept
     : host_(std::move(other.host_)),
       port_(other.port_),
       timeout_ms_(other.timeout_ms_),
+      retry_(other.retry_),
+      jitter_rng_(other.jitter_rng_),
       fd_(other.fd_),
-      rxbuf_(std::move(other.rxbuf_)) {
+      rxbuf_(std::move(other.rxbuf_)),
+      last_read_peer_closed_(other.last_read_peer_closed_) {
   other.fd_ = -1;
 }
 
@@ -82,14 +101,15 @@ Status HttpClient::EnsureConnected() {
   return Status::Ok();
 }
 
-StatusOr<HttpResponse> HttpClient::Get(std::string_view path) {
-  return RoundTrip("GET", path, "", "");
+StatusOr<HttpResponse> HttpClient::Get(std::string_view path,
+                                       std::string_view extra_headers) {
+  return RoundTrip("GET", path, "", "", extra_headers);
 }
 
 StatusOr<HttpResponse> HttpClient::Post(std::string_view path,
                                         std::string_view body,
                                         std::string_view content_type) {
-  return RoundTrip("POST", path, body, content_type);
+  return RoundTrip("POST", path, body, content_type, "");
 }
 
 Status HttpClient::WriteAll(std::string_view bytes) {
@@ -110,8 +130,8 @@ Status HttpClient::WriteAll(std::string_view bytes) {
 StatusOr<HttpResponse> HttpClient::RoundTrip(std::string_view method,
                                              std::string_view path,
                                              std::string_view body,
-                                             std::string_view content_type) {
-  RETURN_IF_ERROR(EnsureConnected());
+                                             std::string_view content_type,
+                                             std::string_view extra_headers) {
   std::string req;
   req += method;
   req += ' ';
@@ -119,6 +139,7 @@ StatusOr<HttpResponse> HttpClient::RoundTrip(std::string_view method,
   req += " HTTP/1.1\r\nHost: ";
   req += host_;
   req += "\r\n";
+  req += extra_headers;
   if (!content_type.empty()) {
     req += "Content-Type: ";
     req += content_type;
@@ -126,23 +147,56 @@ StatusOr<HttpResponse> HttpClient::RoundTrip(std::string_view method,
   }
   req += StrFormat("Content-Length: %zu\r\n\r\n", body.size());
   req += body;
-  Status write_status = WriteAll(req);
-  if (!write_status.ok()) {
-    // The server may have dropped an idle keep-alive connection between
-    // requests; reconnect once and retry.
-    Disconnect();
-    RETURN_IF_ERROR(EnsureConnected());
-    RETURN_IF_ERROR(WriteAll(req));
+
+  const int max_attempts = std::max(1, retry_.max_attempts);
+  Status last = Status::Ok();
+  for (int attempt = 1;; ++attempt) {
+    bool retryable = false;
+    const bool reused = fd_ >= 0;  // keep-alive connection from a prior call
+    Status s = EnsureConnected();
+    if (!s.ok()) {
+      last = s;
+      retryable = true;  // nothing was sent
+    } else {
+      s = WriteAll(req);
+      if (!s.ok()) {
+        // A failed send means the server cannot have seen a complete
+        // request (RST before the body landed) — safe to retry.
+        last = s;
+        Disconnect();
+        retryable = true;
+      } else {
+        StatusOr<HttpResponse> response = ReadResponse();
+        if (response.ok()) return response;
+        last = response.status();
+        // Retry a read failure only in the stale-keep-alive case: a reused
+        // connection closed cleanly before a single response byte arrived —
+        // the server reaped it idle and never processed the request. Any
+        // other read failure (timeout, torn response) may mean the request
+        // executed, so it surfaces instead of silently re-running.
+        retryable = reused && last_read_peer_closed_;
+        Disconnect();
+      }
+    }
+    if (!retryable || attempt >= max_attempts) {
+      if (attempt > 1 || !retryable) {
+        return Status::IoError(StrFormat(
+            "%s %s to %s:%u failed after %d attempt(s): %s",
+            std::string(method).c_str(), std::string(path).c_str(),
+            host_.c_str(), port_, attempt, last.message().c_str()));
+      }
+      return last;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        RetryBackoffMs(retry_, attempt, jitter_rng_)));
   }
-  StatusOr<HttpResponse> response = ReadResponse();
-  if (!response.ok()) Disconnect();
-  return response;
 }
 
 StatusOr<HttpResponse> HttpClient::ReadResponse() {
   // Accumulate until the header terminator, then until Content-Length bytes
   // of body are in. Responses without Content-Length are not supported (the
   // server always sends one).
+  last_read_peer_closed_ = false;
   auto fill = [&]() -> Status {
     char buf[16384];
     const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
@@ -150,7 +204,10 @@ StatusOr<HttpResponse> HttpClient::ReadResponse() {
       rxbuf_.append(buf, static_cast<size_t>(n));
       return Status::Ok();
     }
-    if (n == 0) return Status::IoError("connection closed by server");
+    if (n == 0) {
+      last_read_peer_closed_ = rxbuf_.empty();
+      return Status::IoError("connection closed by server");
+    }
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
       return Status::IoError("response read timed out");
     }

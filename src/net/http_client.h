@@ -7,6 +7,7 @@
 #include <string>
 #include <string_view>
 
+#include "util/rng.h"
 #include "util/status.h"
 
 namespace transn {
@@ -24,39 +25,76 @@ struct HttpResponse {
   }
 };
 
+/// Transport-retry policy for HttpClient. A request is retried only when it
+/// provably never executed on the server: connect failure, write failure, or
+/// a reused keep-alive connection closed cleanly before yielding a single
+/// response byte (the server reaped it idle). Read timeouts and mid-response
+/// failures are surfaced immediately — the request may have run.
+struct HttpRetryOptions {
+  /// Total attempts per request (1 = no retries).
+  int max_attempts = 3;
+  /// Sleep before the first retry; doubles per subsequent retry.
+  int base_backoff_ms = 10;
+  /// Backoff ceiling (pre-jitter).
+  int max_backoff_ms = 1'000;
+  /// Seeds the per-client jitter stream, so a given client instance replays
+  /// the same backoff schedule deterministically.
+  uint64_t jitter_seed = 1;
+};
+
+/// Backoff before retry number `failures` (1-based count of failed attempts
+/// so far): min(max, base·2^(failures-1)) scaled by a jitter factor drawn
+/// uniformly from [0.5, 1.0) — full-jitter-lite, enough to decorrelate a
+/// thundering herd while staying deterministic per seed.
+int RetryBackoffMs(const HttpRetryOptions& opts, int failures, Rng& rng);
+
 /// Minimal blocking HTTP/1.1 client over one keep-alive connection, for
-/// tests and the load generator — not a general-purpose client. Reconnects
-/// transparently when the server closed the connection. Not thread-safe;
-/// use one instance per thread.
+/// tests and the load generator — not a general-purpose client. Transport
+/// failures are retried per HttpRetryOptions (bounded budget, deterministic
+/// exponential backoff with seeded jitter); an exhausted budget surfaces as
+/// one descriptive Status naming the request and the last error. Not
+/// thread-safe; use one instance per thread.
 class HttpClient {
  public:
-  HttpClient(std::string host, uint16_t port, int timeout_ms = 10'000);
+  HttpClient(std::string host, uint16_t port, int timeout_ms = 10'000,
+             HttpRetryOptions retry = {});
   ~HttpClient();
   HttpClient(const HttpClient&) = delete;
   HttpClient& operator=(const HttpClient&) = delete;
   HttpClient(HttpClient&& other) noexcept;
 
-  StatusOr<HttpResponse> Get(std::string_view path);
+  /// `extra_headers` is raw header lines, each terminated by "\r\n" (e.g.
+  /// "X-Transn-Deadline-Ms: 50\r\n"), spliced verbatim into the request.
+  StatusOr<HttpResponse> Get(std::string_view path,
+                             std::string_view extra_headers = {});
   StatusOr<HttpResponse> Post(std::string_view path, std::string_view body,
                               std::string_view content_type = "text/plain");
 
   /// Drops the connection; the next request reconnects.
   void Disconnect();
 
+  const HttpRetryOptions& retry_options() const { return retry_; }
+
  private:
   Status EnsureConnected();
   StatusOr<HttpResponse> RoundTrip(std::string_view method,
                                    std::string_view path,
                                    std::string_view body,
-                                   std::string_view content_type);
+                                   std::string_view content_type,
+                                   std::string_view extra_headers);
   Status WriteAll(std::string_view bytes);
   StatusOr<HttpResponse> ReadResponse();
 
   std::string host_;
   uint16_t port_;
   int timeout_ms_;
+  HttpRetryOptions retry_;
+  Rng jitter_rng_;
   int fd_ = -1;
   std::string rxbuf_;  // bytes past the previous response (keep-alive)
+  /// Set by ReadResponse when the failure was a clean peer close (recv == 0)
+  /// with zero response bytes buffered — the stale-keep-alive signature.
+  bool last_read_peer_closed_ = false;
 };
 
 }  // namespace net

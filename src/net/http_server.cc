@@ -10,10 +10,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <utility>
 
 #include "obs/json_escape.h"
 #include "obs/metric_names.h"
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -94,6 +96,9 @@ HttpServer::HttpServer(HttpServerOptions options, Handler handler)
   overflow_closes_ = registry.GetCounter(
       obs::kNetOverflowClosesTotal, "connections",
       "accepted connections closed because max_connections was reached");
+  faults_injected_ = registry.GetCounter(
+      obs::kNetFaultsInjectedTotal, "faults",
+      "injected net.* failpoint firings observed by the reactors");
   for (size_t i = 0; i < 4; ++i) {
     responses_by_class_[i] = registry.GetCounter(
         obs::LabeledName(obs::kNetResponsesTotal, "code", kCodeClassLabels[i]),
@@ -228,6 +233,13 @@ void HttpServer::AcceptReady(Reactor& r) {
     const int fd =
         accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) return;  // EAGAIN (drained) or transient error
+    if (fault::MaybeFail(fault::kNetAccept)) {
+      // Injected accept failure: the peer vanished between accept and
+      // registration. The client sees a reset before any bytes flow.
+      close(fd);
+      faults_injected_->Increment();
+      continue;
+    }
     if (active_connections_.load(std::memory_order_relaxed) >=
         options_.max_connections) {
       // Over the connection cap: shed load at accept time. The bounded
@@ -278,6 +290,13 @@ void HttpServer::AdvanceConnection(Reactor& r, Connection& c) {
       return;
     }
     case ParseState::kDone: {
+      if (fault::MaybeFail(fault::kNetSlow)) {
+        // Injected reactor stall (GC pause / noisy neighbor): every
+        // connection on this reactor waits out the sleep. Nothing is
+        // dropped — latency is the only casualty.
+        faults_injected_->Increment();
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
       requests_->Increment();
       HttpRequest req = c.parser.TakeRequest();
       // One request in flight per connection: pause reading until the
@@ -297,6 +316,13 @@ void HttpServer::AdvanceConnection(Reactor& r, Connection& c) {
 
 void HttpServer::HandleReadable(Reactor& r, Connection& c) {
   if (c.closed || c.state != Connection::State::kReading) return;
+  if (fault::MaybeFail(fault::kNetRead)) {
+    // Injected ECONNRESET mid-request: tear the connection down exactly as
+    // a failed recv() would.
+    faults_injected_->Increment();
+    CloseConnection(r, c);
+    return;
+  }
   char buf[16384];
   while (true) {
     const ssize_t n = recv(c.fd, buf, sizeof(buf), 0);
@@ -321,6 +347,13 @@ void HttpServer::HandleReadable(Reactor& r, Connection& c) {
 
 void HttpServer::FlushWrites(Reactor& r, Connection& c) {
   if (c.closed || c.state != Connection::State::kFlushing) return;
+  if (fault::MaybeFail(fault::kNetWrite)) {
+    // Injected EPIPE: the response is dropped and the connection torn down
+    // exactly as a failed send() would leave it.
+    faults_injected_->Increment();
+    CloseConnection(r, c);
+    return;
+  }
   while (c.out_offset < c.outbox.size()) {
     const ssize_t n = send(c.fd, c.outbox.data() + c.out_offset,
                            c.outbox.size() - c.out_offset, MSG_NOSIGNAL);

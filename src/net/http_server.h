@@ -160,6 +160,7 @@ class HttpServer {
   obs::Counter* parse_errors_;
   obs::Counter* timeouts_;
   obs::Counter* overflow_closes_;
+  obs::Counter* faults_injected_;
   obs::Counter* responses_by_class_[4];
 
   friend class ResponseHandle;

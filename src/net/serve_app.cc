@@ -1,6 +1,7 @@
 #include "net/serve_app.h"
 
 #include <chrono>
+#include <cmath>
 #include <sstream>
 #include <utility>
 #include <vector>
@@ -43,9 +44,57 @@ int HttpCodeForStatus(const Status& status) {
   }
 }
 
+int ComputeRetryAfterSeconds(size_t queue_depth, double drain_rate_per_sec) {
+  if (queue_depth == 0 || drain_rate_per_sec <= 0.0) return 1;
+  const double secs =
+      std::ceil(static_cast<double>(queue_depth) / drain_rate_per_sec);
+  if (secs <= 1.0) return 1;
+  if (secs >= 30.0) return 30;
+  return static_cast<int>(secs);
+}
+
+void DegradationController::Observe(size_t queue_depth, size_t max_queue,
+                                    uint64_t shed_since_last,
+                                    double recall_probe) {
+  if (!options_.enabled) return;
+  if (recall_probe < options_.recall_floor) {
+    // The ANN graph cannot be trusted; serve ground truth until a reload
+    // brings a probe above the floor.
+    tier_.store(2, std::memory_order_relaxed);
+    calm_ = 0;
+    return;
+  }
+  int tier = tier_.load(std::memory_order_relaxed);
+  if (tier == 2) {
+    // Probe recovered; fall back to tier 1 and let hysteresis finish the
+    // descent once the queue is calm too.
+    tier = 1;
+    tier_.store(1, std::memory_order_relaxed);
+    calm_ = 0;
+  }
+  const bool pressured =
+      max_queue > 0 && static_cast<double>(queue_depth) >=
+                           options_.pressure_ratio *
+                               static_cast<double>(max_queue);
+  if (pressured || shed_since_last > 0) {
+    calm_ = 0;
+    if (tier == 0) tier_.store(1, std::memory_order_relaxed);
+    return;
+  }
+  if (tier == 1 && ++calm_ >= options_.calm_steps) {
+    tier_.store(0, std::memory_order_relaxed);
+    calm_ = 0;
+  }
+}
+
 ServeApp::ServeApp(ServeAppOptions options)
     : options_(std::move(options)),
-      manager_(options_.query, options_.warmup_queries) {
+      manager_(options_.query, options_.warmup_queries),
+      degradation_(
+          DegradationController::Options{options_.enable_degradation,
+                                         /*pressure_ratio=*/0.5,
+                                         /*recall_floor=*/0.5,
+                                         /*calm_steps=*/16}) {
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
   request_seconds_ = registry.GetHistogram(
       obs::kNetRequestSeconds, "seconds",
@@ -56,6 +105,21 @@ ServeApp::ServeApp(ServeAppOptions options)
                                  "coalesced QueryServer batches executed");
   queue_depth_ = registry.GetGauge(obs::kNetQueueDepth, "requests",
                                    "bounded request queue depth");
+  serve_queue_depth_ =
+      registry.GetGauge(obs::kServeQueueDepth, "requests",
+                        "admission-queue depth sampled at enqueue");
+  serve_queue_high_water_ = registry.GetGauge(
+      obs::kServeQueueDepthHighWater, "requests",
+      "highest admission-queue depth observed since start");
+  deadline_expired_ = registry.GetCounter(
+      obs::kServeDeadlineExpiredTotal, "requests",
+      "requests shed with 503 deadline-exceeded before query work");
+  degraded_mode_ = registry.GetGauge(
+      obs::kServeDegradedMode, "tier",
+      "active degradation tier (0=full, 1=reduced ef, 2=exact fallback)");
+  staleness_ = registry.GetGauge(
+      obs::kServeStalenessSeconds, "seconds",
+      "seconds since the serving model generation was swapped in");
 }
 
 ServeApp::~ServeApp() { Stop(); }
@@ -113,6 +177,25 @@ void ServeApp::HandleRequest(HttpRequest&& request, ResponseHandle handle) {
         return;
       }
     }
+    // Per-request deadline: the header wins over the server default; "0"
+    // means already expired (a client-side cancel of queued work).
+    int64_t deadline_ms = options_.default_deadline_ms;
+    bool from_header = false;
+    if (auto it = request.headers.find(kDeadlineHeaderName);
+        it != request.headers.end()) {
+      if (!ParseInt64(Trim(it->second), &deadline_ms) || deadline_ms < 0) {
+        handle.Send(400, kJson,
+                    ErrorBody("invalid X-Transn-Deadline-Ms header: '" +
+                              it->second + "' (want a non-negative integer)"));
+        return;
+      }
+      from_header = true;
+    }
+    if (from_header || deadline_ms > 0) {
+      q.has_deadline = true;
+      q.deadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(deadline_ms);
+    }
     q.handle = handle;
     EnqueueQuery(std::move(q), &handle);
     return;
@@ -137,26 +220,46 @@ void ServeApp::HandleRequest(HttpRequest&& request, ResponseHandle handle) {
 }
 
 void ServeApp::EnqueueQuery(QueuedQuery&& q, ResponseHandle* rejected_handle) {
+  // An already-expired deadline never touches the queue or the batch
+  // executor: shed synchronously with the same 503 the executor would send.
+  if (q.has_deadline && std::chrono::steady_clock::now() >= q.deadline) {
+    deadline_expired_->Increment();
+    shed_events_.fetch_add(1, std::memory_order_relaxed);
+    rejected_handle->Send(
+        503, kJson, ErrorBody("deadline-exceeded: request expired"));
+    return;
+  }
   size_t depth = 0;
+  size_t high_water = 0;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (queue_.size() >= options_.max_queue || stop_.load()) {
+      const size_t rejected_depth = queue_.size();
       rejected_->Increment();
-      rejected_handle->Send(429, kJson,
-                            ErrorBody("request queue full, retry later"),
-                            "Retry-After: 1\r\n");
+      shed_events_.fetch_add(1, std::memory_order_relaxed);
+      rejected_handle->Send(
+          429, kJson, ErrorBody("request queue full, retry later"),
+          StrFormat("Retry-After: %d\r\n",
+                    ComputeRetryAfterSeconds(
+                        rejected_depth,
+                        drain_rate_.load(std::memory_order_relaxed))));
       return;
     }
     queue_.push_back(std::move(q));
     depth = queue_.size();
+    if (depth > queue_high_water_) queue_high_water_ = depth;
+    high_water = queue_high_water_;
   }
   queue_depth_->Set(static_cast<double>(depth));
+  serve_queue_depth_->Set(static_cast<double>(depth));
+  serve_queue_high_water_->Set(static_cast<double>(high_water));
   queue_cv_.notify_one();
 }
 
 void ServeApp::ExecutorLoop() {
   while (true) {
     std::vector<QueuedQuery> batch;
+    size_t depth_after = 0;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock,
@@ -171,8 +274,11 @@ void ServeApp::ExecutorLoop() {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
-      queue_depth_->Set(static_cast<double>(queue_.size()));
+      depth_after = queue_.size();
+      queue_depth_->Set(static_cast<double>(depth_after));
     }
+    serve_queue_depth_->Set(static_cast<double>(depth_after));
+    WallTimer batch_timer;
 
     // Readers pin the generation current at batch start; a reload swapping
     // mid-batch affects only later batches.
@@ -185,18 +291,53 @@ void ServeApp::ExecutorLoop() {
       continue;
     }
 
+    // One degradation observation per batch: the queue state left behind,
+    // the sheds since the last batch, and the pinned generation's probe.
+    degradation_.Observe(depth_after, options_.max_queue,
+                         shed_events_.exchange(0, std::memory_order_relaxed),
+                         model->server->ann_recall_probe());
+    const int tier = degradation_.tier();
+    degraded_mode_->Set(static_cast<double>(tier));
+
+    // Requests whose deadline passed while queued are shed before any query
+    // work (their spent handles drop them from the loops below).
+    const auto now = std::chrono::steady_clock::now();
+    BatchControl control;
+    for (QueuedQuery& q : batch) {
+      if (!q.has_deadline) continue;
+      if (now >= q.deadline) {
+        deadline_expired_->Increment();
+        shed_events_.fetch_add(1, std::memory_order_relaxed);
+        q.handle.Send(503, kJson,
+                      ErrorBody("deadline-exceeded: request expired in queue"));
+        request_seconds_->Record(q.timer.ElapsedSeconds());
+        continue;
+      }
+      // The batch runs under the earliest surviving deadline.
+      if (!control.has_deadline || q.deadline < control.deadline) {
+        control.has_deadline = true;
+        control.deadline = q.deadline;
+      }
+    }
+    if (tier >= 2) {
+      control.force_exact = true;
+    } else if (tier == 1) {
+      const QueryServerOptions& qopts = model->server->options();
+      control.ef_override = std::max(qopts.k, qopts.ef_search / 4);
+    }
+
     // Coalesce the k-NN queries into one QueryServer batch.
     std::vector<size_t> knn_members;
     std::vector<std::string> knn_names;
     for (size_t i = 0; i < batch.size(); ++i) {
-      if (batch[i].kind == QueryKind::kKnn) {
+      if (batch[i].kind == QueryKind::kKnn && batch[i].handle.valid()) {
         knn_members.push_back(i);
         knn_names.push_back(batch[i].node);
       }
     }
     std::vector<QueryResponse> knn_responses;
     if (!knn_names.empty()) {
-      knn_responses = model->server->HandleBatch(knn_names);
+      knn_responses = model->server->HandleBatch(knn_names, control);
       batches_->Increment();
     }
     for (size_t j = 0; j < knn_members.size(); ++j) {
@@ -227,7 +368,15 @@ void ServeApp::ExecutorLoop() {
     // Translation queries resolve individually (no index scan to amortize).
     TranslationService translation(&model->store);
     for (QueuedQuery& q : batch) {
-      if (q.kind != QueryKind::kTranslate) continue;
+      if (q.kind != QueryKind::kTranslate || !q.handle.valid()) continue;
+      if (q.has_deadline && std::chrono::steady_clock::now() >= q.deadline) {
+        deadline_expired_->Increment();
+        shed_events_.fetch_add(1, std::memory_order_relaxed);
+        q.handle.Send(503, kJson,
+                      ErrorBody("deadline-exceeded: request expired"));
+        request_seconds_->Record(q.timer.ElapsedSeconds());
+        continue;
+      }
       const NodeId node = model->store.FindNode(q.node);
       const int view = model->store.FindViewByName(q.view);
       if (node == kInvalidNode) {
@@ -256,6 +405,16 @@ void ServeApp::ExecutorLoop() {
         }
       }
       request_seconds_->Record(q.timer.ElapsedSeconds());
+    }
+
+    // Fold this batch's throughput into the drain-rate EWMA feeding the
+    // adaptive Retry-After (alpha 0.2: a few batches of history).
+    const double elapsed = batch_timer.ElapsedSeconds();
+    if (elapsed > 0.0) {
+      const double rate = static_cast<double>(batch.size()) / elapsed;
+      const double prev = drain_rate_.load(std::memory_order_relaxed);
+      drain_rate_.store(prev <= 0.0 ? rate : 0.2 * rate + 0.8 * prev,
+                        std::memory_order_relaxed);
     }
   }
 }
@@ -313,22 +472,35 @@ void ServeApp::AnswerHealthz(ResponseHandle& handle) {
     handle.Send(503, kJson, "{\"status\":\"loading\"}");
     return;
   }
+  // A server that still answers from an old generation is degraded, not
+  // down: /healthz stays 200 (no flapping out of the load balancer) and the
+  // status string plus staleness carry the alert signal instead.
+  const uint64_t reload_failures = manager_.consecutive_reload_failures();
+  const int tier = degradation_.tier();
+  const double staleness = manager_.staleness_seconds();
+  staleness_->Set(staleness);
+  const bool degraded = reload_failures > 0 || tier > 0;
   const QueryServerOptions& qopts = model->server->options();
   handle.Send(
       200, kJson,
-      StrFormat("{\"status\":\"ok\",\"generation\":%llu,"
+      StrFormat("{\"status\":\"%s\",\"generation\":%llu,"
                 "\"model_path\":\"%s\",\"nodes\":%zu,\"views\":%zu,"
                 "\"index\":\"%s\",\"ann_recall_probe\":%.4f,"
-                "\"model_load_seconds\":%.6f,\"index_build_seconds\":%.6f}",
+                "\"model_load_seconds\":%.6f,\"index_build_seconds\":%.6f,"
+                "\"degraded_mode\":%d,\"staleness_seconds\":%.3f,"
+                "\"reload_failures\":%llu}",
+                degraded ? "degraded" : "ok",
                 static_cast<unsigned long long>(model->generation),
                 obs::JsonEscape(model->path).c_str(), model->store.num_nodes(),
                 model->store.views().size(),
                 ServeIndexKindName(qopts.index_kind),
                 model->server->ann_recall_probe(), model->load_seconds,
-                model->index_build_seconds));
+                model->index_build_seconds, tier, staleness,
+                static_cast<unsigned long long>(reload_failures)));
 }
 
 void ServeApp::AnswerMetrics(ResponseHandle& handle) {
+  staleness_->Set(manager_.staleness_seconds());
   std::ostringstream os;
   obs::MetricsRegistry::Default().WritePrometheus(os);
   handle.Send(200, "text/plain; version=0.0.4", os.str());

@@ -4,6 +4,7 @@
 #include <stddef.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <memory>
@@ -33,7 +34,65 @@ struct ServeAppOptions {
   size_t max_batch = 64;
   /// Unrecorded warmup queries run against each new generation pre-swap.
   size_t warmup_queries = 0;
+  /// Deadline applied to query requests that carry no X-Transn-Deadline-Ms
+  /// header, in milliseconds from admission; 0 = no default deadline. An
+  /// expired request is shed with 503 "deadline-exceeded" instead of
+  /// occupying the batch executor.
+  int default_deadline_ms = 0;
+  /// Master switch for the graded-degradation controller. False pins tier 0:
+  /// query responses are byte-identical to a build without the controller.
+  bool enable_degradation = true;
   QueryServerOptions query;
+};
+
+/// Per-request deadline header (milliseconds from admission; request header
+/// names are lowercased by the parser). "0" means already expired — the
+/// request is shed at admission, which is how a client cancels queued work.
+inline constexpr char kDeadlineHeaderName[] = "x-transn-deadline-ms";
+
+/// Adaptive Retry-After for 429 responses: the seconds the current queue
+/// needs to drain at the observed rate, ceil'd and clamped to [1, 30].
+/// An empty queue or an unknown rate (cold start) yields 1.
+int ComputeRetryAfterSeconds(size_t queue_depth, double drain_rate_per_sec);
+
+/// Graded-degradation driver for the serve path. One writer (the batching
+/// executor) feeds it queue-pressure observations; any thread may read the
+/// active tier. Tiers:
+///   0  full quality — configured index, configured ef beam
+///   1  reduced beam — HNSW ef shrunk to a quarter (floor k); entered when
+///      the admission queue runs hot or requests were shed since the last
+///      batch, left after `calm_steps` consecutive calm observations
+///   2  exact-scan fallback — the ANN index is untrustworthy (recall probe
+///      under the floor, e.g. a reload built a graph that does not fit the
+///      served matrix); left as soon as the probe recovers
+/// Tier changes require observations, which happen per executed batch — an
+/// idle degraded server stays degraded until traffic (or a reload) arrives.
+class DegradationController {
+ public:
+  struct Options {
+    bool enabled = true;
+    /// Queue-depth fraction of max_queue at which tier 1 engages.
+    double pressure_ratio = 0.5;
+    /// ann.recall_probe floor under which tier 2 engages.
+    double recall_floor = 0.5;
+    /// Consecutive calm observations required to step tier 1 back down.
+    int calm_steps = 16;
+  };
+
+  explicit DegradationController(Options options) : options_(options) {}
+
+  /// One observation from the single executor thread. `shed_since_last` is
+  /// the number of 429/deadline sheds since the previous call.
+  void Observe(size_t queue_depth, size_t max_queue, uint64_t shed_since_last,
+               double recall_probe);
+
+  /// Active tier; readable from any thread.
+  int tier() const { return tier_.load(std::memory_order_relaxed); }
+
+ private:
+  Options options_;
+  std::atomic<int> tier_{0};
+  int calm_ = 0;  // touched only by the Observe caller
 };
 
 /// The HTTP application over ModelManager/QueryServer: routing, request
@@ -88,6 +147,10 @@ class ServeApp {
     std::string view;  // kTranslate only
     ResponseHandle handle;
     WallTimer timer;  // started at admission; net.request_seconds
+    /// Deadline from the X-Transn-Deadline-Ms header or default_deadline_ms;
+    /// checked at admission, at batch dequeue, and inside HandleBatch.
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
   };
   struct ReloadRequest {
     std::string path;
@@ -103,12 +166,21 @@ class ServeApp {
 
   ServeAppOptions options_;
   ModelManager manager_;
+  DegradationController degradation_;
   std::atomic<bool> stop_{false};
   std::atomic<bool> sighup_pending_{false};
+
+  /// 429/deadline sheds since the executor last observed them (drives the
+  /// degradation controller's pressure signal).
+  std::atomic<uint64_t> shed_events_{0};
+  /// EWMA of queries drained per second by the batching executor; feeds the
+  /// adaptive Retry-After. 0 until the first batch completes.
+  std::atomic<double> drain_rate_{0.0};
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::deque<QueuedQuery> queue_;
+  size_t queue_high_water_ = 0;  // guarded by queue_mu_
   std::thread executor_;
 
   std::mutex reload_mu_;
@@ -120,6 +192,11 @@ class ServeApp {
   obs::Counter* rejected_;
   obs::Counter* batches_;
   obs::Gauge* queue_depth_;
+  obs::Gauge* serve_queue_depth_;
+  obs::Gauge* serve_queue_high_water_;
+  obs::Counter* deadline_expired_;
+  obs::Gauge* degraded_mode_;
+  obs::Gauge* staleness_;
 };
 
 /// kNotFound -> 404, kInvalidArgument -> 400, kFailedPrecondition -> 503,

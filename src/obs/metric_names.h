@@ -160,6 +160,28 @@ inline constexpr char kNetRejectedTotal[] = "net.rejected_total";
 inline constexpr char kNetBatchesTotal[] = "net.batches_total";
 /// Instantaneous depth of the bounded request queue.
 inline constexpr char kNetQueueDepth[] = "net.queue_depth";
+/// Injected net.* failpoint firings observed by the reactors (accept drops,
+/// forced read/write resets, injected latency). Always 0 in production —
+/// nonzero only while TRANSN_FAULTS arms a net.* point.
+inline constexpr char kNetFaultsInjectedTotal[] = "net.faults_injected_total";
+
+// --- src/net/serve_app.h: admission control + resilience -------------------
+/// Admission-queue depth sampled at every enqueue (same data as
+/// net.queue_depth but owned by the app layer, updated pre-admission).
+inline constexpr char kServeQueueDepth[] = "serve.queue_depth";
+/// Highest admission-queue depth observed since process start.
+inline constexpr char kServeQueueDepthHighWater[] =
+    "serve.queue_depth_high_water";
+/// Requests shed with 503 deadline-exceeded (at admission or at batch
+/// dequeue) before doing any query work.
+inline constexpr char kServeDeadlineExpiredTotal[] =
+    "serve.deadline_expired_total";
+/// Active degradation tier (0 = full quality, 1 = reduced ef beam,
+/// 2 = exact-scan fallback). See docs/SERVING.md "Degraded modes".
+inline constexpr char kServeDegradedMode[] = "serve.degraded_mode";
+/// Seconds since the serving model generation was swapped in. Grows without
+/// bound while reloads fail; alert when it exceeds your refresh SLO.
+inline constexpr char kServeStalenessSeconds[] = "serve.staleness_seconds";
 
 }  // namespace obs
 }  // namespace transn

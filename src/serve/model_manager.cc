@@ -44,6 +44,7 @@ Status ModelManager::Reload(const std::string& path) {
       EmbeddingStore::Load(path, reload_pool_.get());
   if (!store.ok()) {
     reload_failures_->Increment();
+    consecutive_failures_.fetch_add(1, std::memory_order_relaxed);
     return store.status();
   }
   next->store = std::move(store).value();
@@ -59,15 +60,18 @@ Status ModelManager::Reload(const std::string& path) {
     // build, allocation failure, …): drop the half-built generation and
     // keep the old one serving, exactly like a failed Load.
     reload_failures_->Increment();
+    consecutive_failures_.fetch_add(1, std::memory_order_relaxed);
     return Status::Internal(std::string("reload index build failed: ") +
                             e.what());
   }
 
   next->generation = next_generation_++;
+  next->loaded_at = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> swap_lock(swap_mu_);
     current_ = std::move(next);  // old generation freed when last reader drops
   }
+  consecutive_failures_.store(0, std::memory_order_relaxed);
   reloads_->Increment();
   reload_seconds_->Record(total.ElapsedSeconds());
   generation_gauge_->Set(static_cast<double>(generation()));
@@ -82,6 +86,14 @@ std::shared_ptr<const ServingModel> ModelManager::Current() const {
 uint64_t ModelManager::generation() const {
   std::lock_guard<std::mutex> lock(swap_mu_);
   return current_ == nullptr ? 0 : current_->generation;
+}
+
+double ModelManager::staleness_seconds() const {
+  std::shared_ptr<const ServingModel> model = Current();
+  if (model == nullptr) return 0.0;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       model->loaded_at)
+      .count();
 }
 
 }  // namespace transn

@@ -3,6 +3,8 @@
 
 #include <stdint.h>
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -30,6 +32,9 @@ struct ServingModel {
   /// (the two halves of a reload), for /healthz and bench reporting.
   double load_seconds = 0.0;
   double index_build_seconds = 0.0;
+  /// When this generation was swapped in; serve.staleness_seconds measures
+  /// from here (it keeps growing while reloads fail).
+  std::chrono::steady_clock::time_point loaded_at{};
   EmbeddingStore store;
   std::unique_ptr<QueryServer> server;
 };
@@ -59,6 +64,16 @@ class ModelManager {
   /// Generation counter of the current model (0 = none yet).
   uint64_t generation() const;
 
+  /// Reload failures since the last successful swap (0 while healthy).
+  /// /healthz reports "degraded" when this is nonzero — the model keeps
+  /// serving but is going stale.
+  uint64_t consecutive_reload_failures() const {
+    return consecutive_failures_.load(std::memory_order_relaxed);
+  }
+
+  /// Seconds the current generation has been serving (0 when none loaded).
+  double staleness_seconds() const;
+
  private:
   QueryServerOptions options_;
   size_t warmup_queries_ = 0;
@@ -72,6 +87,8 @@ class ModelManager {
   /// Guards only the pointer swap/copy.
   mutable std::mutex swap_mu_;
   std::shared_ptr<const ServingModel> current_;
+  /// Failed reloads since the last success (readable without swap_mu_).
+  std::atomic<uint64_t> consecutive_failures_{0};
 
   obs::Counter* reloads_;
   obs::Counter* reload_failures_;

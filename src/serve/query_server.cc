@@ -192,7 +192,8 @@ NodeId QueryServer::RowToGlobal(uint32_t row) const {
 
 QueryResponse QueryServer::HandleInternal(const std::string& node_name,
                                           LatencyHistogram* hist,
-                                          ThreadPool* scan_pool) {
+                                          ThreadPool* scan_pool,
+                                          const BatchControl& control) {
   WallTimer timer;
   QueryResponse resp;
   // A null `hist` marks warmup traffic, which is excluded from both the
@@ -208,6 +209,14 @@ QueryResponse QueryServer::HandleInternal(const std::string& node_name,
     }
     return r;
   };
+  // Shed before any lookup work: requests behind a slow batch whose
+  // deadline already passed would only add to the latency they missed.
+  if (control.has_deadline &&
+      std::chrono::steady_clock::now() >= control.deadline) {
+    resp.status = Status::FailedPrecondition(
+        "deadline-exceeded: request expired before execution");
+    return finish(std::move(resp));
+  }
   const NodeId node = store_->FindNode(node_name);
   if (node == kInvalidNode) {
     resp.status = Status::NotFound("unknown node '" + node_name + "'");
@@ -241,13 +250,18 @@ QueryResponse QueryServer::HandleInternal(const std::string& node_name,
   // ParallelFor inside a pool worker would deadlock. KnnIndex's merge
   // keeps the (score desc, row asc) order at any shard count.
   std::vector<KnnResult> hits;
-  switch (options_.index_kind) {
+  const ServeIndexKind kind =
+      control.force_exact ? ServeIndexKind::kExact : options_.index_kind;
+  switch (kind) {
     case ServeIndexKind::kQuantized:
       hits = index_->SearchQuantized(query, want, options_.nprobe);
       break;
     case ServeIndexKind::kHnsw: {
+      const size_t ef = control.ef_override > 0
+                            ? std::max(control.ef_override, want)
+                            : options_.ef_search;
       AnnSearchStats stats;
-      hits = ann_->Search(query, want, options_.ef_search, &stats);
+      hits = ann_->Search(query, want, ef, &stats);
       ann_hops_hist_->Record(static_cast<double>(stats.hops));
       break;
     }
@@ -272,16 +286,24 @@ QueryResponse QueryServer::Handle(const std::string& node_name, bool record) {
 
 std::vector<QueryResponse> QueryServer::HandleBatch(
     const std::vector<std::string>& node_names) {
+  return HandleBatch(node_names, BatchControl{});
+}
+
+std::vector<QueryResponse> QueryServer::HandleBatch(
+    const std::vector<std::string>& node_names, const BatchControl& control) {
   std::vector<QueryResponse> responses(node_names.size());
   if (pool_ == nullptr || pool_->num_threads() <= 1 || node_names.size() <= 1) {
     for (size_t i = 0; i < node_names.size(); ++i) {
-      responses[i] = HandleInternal(node_names[i], &latency_, pool_.get());
+      responses[i] =
+          HandleInternal(node_names[i], &latency_, pool_.get(), control);
     }
     return responses;
   }
   // Contiguous request shards, one latency histogram per shard; each request
   // writes only its own response slot, so output order and content match the
-  // sequential path exactly.
+  // sequential path exactly. The deadline (when set) is re-checked before
+  // every request on both paths, so a batch that straddles its deadline
+  // sheds the tail identically at any thread count modulo clock skew.
   const size_t shards = std::min(pool_->num_threads(), node_names.size());
   std::vector<LatencyHistogram> shard_hist(shards);
   ParallelFor(*pool_, shards, [&](size_t s) {
@@ -289,7 +311,7 @@ std::vector<QueryResponse> QueryServer::HandleBatch(
     const size_t end = node_names.size() * (s + 1) / shards;
     for (size_t i = begin; i < end; ++i) {
       responses[i] = HandleInternal(node_names[i], &shard_hist[s],
-                                    /*scan_pool=*/nullptr);
+                                    /*scan_pool=*/nullptr, control);
     }
   });
   for (const LatencyHistogram& h : shard_hist) latency_.Merge(h);

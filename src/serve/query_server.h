@@ -1,6 +1,7 @@
 #ifndef TRANSN_SERVE_QUERY_SERVER_H_
 #define TRANSN_SERVE_QUERY_SERVER_H_
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
@@ -62,6 +63,26 @@ struct ScoredNode {
   double score = 0.0;
 };
 
+/// Per-batch execution controls threaded in by the serving layer (deadlines
+/// and graded degradation — see net/serve_app.h). A default-constructed
+/// control is the no-op: HandleBatch output is byte-identical to a call
+/// without one, and no clock is read.
+struct BatchControl {
+  /// When set, a request whose deadline has passed by the time a worker
+  /// picks it up fails with kFailedPrecondition "deadline-exceeded" instead
+  /// of running its scan. Checked per request, so within one batch the
+  /// requests before the deadline still complete (sequential and sharded
+  /// paths check identically).
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+  /// Degraded tier 1: override the HNSW beam width (clamped up to the
+  /// fetch size so k results still come back). 0 = use options.ef_search.
+  size_t ef_override = 0;
+  /// Degraded tier 2: bypass the ANN graph and answer every request from
+  /// the exact scan (ground truth, O(N) — slower but always correct).
+  bool force_exact = false;
+};
+
 struct QueryResponse {
   Status status;  // per-request failure (unknown name, unreachable view)
   NodeId node = kInvalidNode;
@@ -97,6 +118,12 @@ class QueryServer {
   std::vector<QueryResponse> HandleBatch(
       const std::vector<std::string>& node_names);
 
+  /// HandleBatch under a deadline / degradation control (see BatchControl).
+  /// With a default-constructed control the responses are byte-identical to
+  /// the overload above.
+  std::vector<QueryResponse> HandleBatch(
+      const std::vector<std::string>& node_names, const BatchControl& control);
+
   /// Runs `n` unrecorded queries round-robin over the store's nodes to
   /// touch caches and fault pages before measurement.
   void Warmup(size_t n);
@@ -119,8 +146,8 @@ class QueryServer {
   /// `scan_pool` parallelizes the exact scan of this one request; callers
   /// already running on pool_ workers must pass null (see the call sites).
   QueryResponse HandleInternal(const std::string& node_name,
-                               LatencyHistogram* hist,
-                               ThreadPool* scan_pool);
+                               LatencyHistogram* hist, ThreadPool* scan_pool,
+                               const BatchControl& control = {});
   /// The matrix being scanned and the mapping of its rows to global ids.
   const Matrix& target_matrix() const;
   NodeId RowToGlobal(uint32_t row) const;

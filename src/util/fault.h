@@ -52,6 +52,20 @@ inline constexpr char kPoolTask[] = "pool.task";
 /// InjectedFaultError — the in-process stand-in for SIGKILL in the
 /// kill-and-resume tests.
 inline constexpr char kTrainAbort[] = "train.abort";
+/// HttpServer reactor, checked after accept4() returns a connection: the
+/// new socket is closed immediately, as if the peer vanished between
+/// accept and registration (SYN flood survivor / conntrack reset).
+inline constexpr char kNetAccept[] = "net.accept";
+/// HttpServer reactor, checked before draining a readable socket: the
+/// connection is torn down as if recv() returned ECONNRESET mid-request.
+inline constexpr char kNetRead[] = "net.read";
+/// HttpServer reactor, checked before flushing a response: the connection
+/// is torn down as if send() failed (EPIPE), dropping the response.
+inline constexpr char kNetWrite[] = "net.write";
+/// HttpServer reactor, checked when a request completes synchronously: the
+/// reactor thread sleeps ~20 ms before continuing, simulating a stalled
+/// event loop (GC pause / noisy neighbor) without dropping anything.
+inline constexpr char kNetSlow[] = "net.slow";
 
 /// When an armed failpoint fires. Hit counts are per-point and start at 1.
 enum class FaultMode {

@@ -19,7 +19,11 @@
 #include <gtest/gtest.h>
 #include "core/model_io.h"
 #include "core/transn.h"
+#include "net/http_client.h"
+#include "net/http_server.h"
 #include "nn/matrix.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 #include "serve/ann_index.h"
 #include "serve_test_util.h"
 #include "test_graphs.h"
@@ -149,6 +153,45 @@ TEST(FaultEnvTest, PoolTaskFailureAbortsAnnBuildCleanly) {
     retry->AppendTo(&retry_bytes);
     serial->AppendTo(&serial_bytes);
     EXPECT_EQ(retry_bytes, serial_bytes);
+  }
+}
+
+TEST(FaultEnvTest, NetFailpointsDegradeTheServerWithoutCrashing) {
+  SKIP_UNLESS_ENV_FAULT_PREFIX("net.");
+  const std::string spec = std::getenv("TRANSN_FAULTS");
+  obs::Counter* injected = obs::MetricsRegistry::Default().GetCounter(
+      obs::kNetFaultsInjectedTotal);
+  const uint64_t fired_before = injected->Value();
+
+  net::HttpServer server(
+      {}, [](net::HttpRequest&&, net::ResponseHandle handle) {
+        handle.Send(200, "text/plain", "ok");
+      });
+  ASSERT_TRUE(server.Start().ok());
+
+  // Fresh connection per request so net.accept fires every time; one
+  // attempt per request so the leg measures the raw failure, not the
+  // client's recovery. Under =always nothing may succeed except net.slow
+  // (injected latency drops no traffic) — either way the reactors must
+  // survive the whole barrage and stop cleanly (ASan/UBSan watch the
+  // teardown paths).
+  size_t succeeded = 0;
+  constexpr int kRequests = 10;
+  for (int i = 0; i < kRequests; ++i) {
+    net::HttpRetryOptions retry;
+    retry.max_attempts = 1;
+    net::HttpClient client("127.0.0.1", server.port(), /*timeout_ms=*/500,
+                           retry);
+    auto r = client.Get("/ping");
+    if (r.ok() && r->code == 200) ++succeeded;
+  }
+  server.Stop();
+
+  EXPECT_GT(injected->Value(), fired_before)
+      << "TRANSN_FAULTS=" << spec << " never fired on the serving path";
+  if (spec.find("net.slow") != std::string::npos) {
+    EXPECT_EQ(succeeded, static_cast<size_t>(kRequests))
+        << "net.slow only injects latency; it must not drop requests";
   }
 }
 

@@ -1,0 +1,216 @@
+// HttpClient transport-retry semantics against a deterministic flaky raw-TCP
+// server. The retry contract: a request is retried only when it provably
+// never executed — connect failure, write failure, or a reused keep-alive
+// connection closed cleanly before a single response byte. The flaky server
+// half-closes (shutdown(SHUT_WR)) instead of close()ing so the client always
+// observes the clean-EOF stale-keep-alive signature, never a racy RST.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "net/http_client.h"
+#include "util/rng.h"
+
+namespace transn {
+namespace net {
+namespace {
+
+/// Serves exactly one HTTP response per accepted connection, then half-closes
+/// the socket. The parked half-closed fd stays open until Stop(), so bytes a
+/// client writes into the stale connection are ACKed and the client reads a
+/// clean EOF — the deterministic version of a server reaping idle keep-alives.
+class FlakyServer {
+ public:
+  enum class Mode {
+    kServeThenHalfClose,  // full response, then SHUT_WR
+    kTornResponse,        // Content-Length promises more than is sent
+  };
+
+  explicit FlakyServer(Mode mode) : mode_(mode) {
+    listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    EXPECT_GE(listen_fd_, 0);
+    const int one = 1;
+    setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(
+        bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+        0);
+    EXPECT_EQ(listen(listen_fd_, 16), 0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(
+        getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len),
+        0);
+    port_ = ntohs(addr.sin_port);
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  ~FlakyServer() { Stop(); }
+
+  void Stop() {
+    if (listen_fd_ >= 0) {
+      shutdown(listen_fd_, SHUT_RDWR);
+      close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    if (thread_.joinable()) thread_.join();
+    for (int fd : parked_) close(fd);
+    parked_.clear();
+  }
+
+  uint16_t port() const { return port_; }
+  int accepts() const { return accepts_.load(); }
+
+ private:
+  void Loop() {
+    while (true) {
+      const int fd = accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) return;  // listener closed by Stop()
+      accepts_.fetch_add(1);
+      std::string req;
+      char buf[4096];
+      while (req.find("\r\n\r\n") == std::string::npos) {
+        const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0) break;
+        req.append(buf, static_cast<size_t>(n));
+      }
+      const char full[] = "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok";
+      const char torn[] =
+          "HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\nshort";
+      if (mode_ == Mode::kTornResponse) {
+        send(fd, torn, sizeof(torn) - 1, MSG_NOSIGNAL);
+      } else {
+        send(fd, full, sizeof(full) - 1, MSG_NOSIGNAL);
+      }
+      shutdown(fd, SHUT_WR);
+      parked_.push_back(fd);  // only this thread touches parked_ until join
+    }
+  }
+
+  Mode mode_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<int> accepts_{0};
+  std::vector<int> parked_;
+  std::thread thread_;
+};
+
+TEST(RetryBackoffTest, DeterministicPerSeedAndExponentialWithinClamps) {
+  HttpRetryOptions opts;  // base 10 ms, max 1000 ms
+  Rng a(7);
+  Rng b(7);
+  for (int failures = 1; failures <= 8; ++failures) {
+    EXPECT_EQ(RetryBackoffMs(opts, failures, a),
+              RetryBackoffMs(opts, failures, b))
+        << "same seed must replay the same backoff schedule";
+  }
+
+  // Jitter scales the exponential step by [0.5, 1.0).
+  Rng c(11);
+  const int first = RetryBackoffMs(opts, 1, c);
+  EXPECT_GE(first, 5);
+  EXPECT_LT(first, 10);
+  const int third = RetryBackoffMs(opts, 3, c);  // 10 * 2^2 = 40
+  EXPECT_GE(third, 20);
+  EXPECT_LT(third, 40);
+  const int capped = RetryBackoffMs(opts, 12, c);  // clamped at 1000
+  EXPECT_GE(capped, 500);
+  EXPECT_LT(capped, 1000);
+}
+
+TEST(HttpClientRetryTest, StaleKeepAliveIsRetriedTransparently) {
+  FlakyServer server(FlakyServer::Mode::kServeThenHalfClose);
+  HttpRetryOptions retry;
+  retry.base_backoff_ms = 1;
+  HttpClient client("127.0.0.1", server.port(), /*timeout_ms=*/2'000, retry);
+
+  // Request 1 lands on a fresh connection; requests 2 and 3 first hit the
+  // half-closed keep-alive socket, read a clean EOF with zero response
+  // bytes, and must retry on a fresh connection without surfacing anything.
+  for (int i = 0; i < 3; ++i) {
+    auto r = client.Get("/ping");
+    ASSERT_TRUE(r.ok()) << "request " << i << ": " << r.status().ToString();
+    EXPECT_EQ(r->code, 200);
+    EXPECT_EQ(r->body, "ok");
+  }
+  EXPECT_EQ(server.accepts(), 3) << "each request should land exactly once";
+  server.Stop();
+}
+
+TEST(HttpClientRetryTest, SingleAttemptBudgetSurfacesTheRawError) {
+  FlakyServer server(FlakyServer::Mode::kServeThenHalfClose);
+  HttpRetryOptions retry;
+  retry.max_attempts = 1;
+  HttpClient client("127.0.0.1", server.port(), /*timeout_ms=*/2'000, retry);
+
+  ASSERT_TRUE(client.Get("/one").ok());
+  // The stale keep-alive failure is retryable, but the budget says no: the
+  // pre-retry error shape (raw status, no attempt wrapper) is preserved.
+  auto r = client.Get("/two");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("connection closed"),
+            std::string::npos)
+      << r.status().ToString();
+  EXPECT_EQ(r.status().message().find("failed after"), std::string::npos)
+      << r.status().ToString();
+  EXPECT_EQ(server.accepts(), 1);
+  server.Stop();
+}
+
+TEST(HttpClientRetryTest, TornResponseIsNeverRetried) {
+  FlakyServer server(FlakyServer::Mode::kTornResponse);
+  HttpClient client("127.0.0.1", server.port(), /*timeout_ms=*/2'000);
+
+  // Response bytes arrived before the close, so the request may have
+  // executed — surfacing immediately is the only safe behavior.
+  auto r = client.Get("/torn");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("connection closed"),
+            std::string::npos)
+      << r.status().ToString();
+  EXPECT_EQ(server.accepts(), 1) << "a torn response must not be re-sent";
+  server.Stop();
+}
+
+TEST(HttpClientRetryTest, ExhaustedBudgetNamesRequestAndAttempts) {
+  // Grab an ephemeral port, then close the listener: connecting to it is a
+  // deterministic ECONNREFUSED, retryable on every attempt.
+  uint16_t dead_port = 0;
+  {
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    socklen_t len = sizeof(addr);
+    ASSERT_EQ(getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+    dead_port = ntohs(addr.sin_port);
+    close(fd);
+  }
+
+  HttpRetryOptions retry;
+  retry.max_attempts = 3;
+  retry.base_backoff_ms = 1;
+  HttpClient client("127.0.0.1", dead_port, /*timeout_ms=*/500, retry);
+  auto r = client.Get("/unreachable");
+  ASSERT_FALSE(r.ok());
+  const std::string& msg = r.status().message();
+  EXPECT_NE(msg.find("GET /unreachable"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("failed after 3 attempt"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("connect"), std::string::npos) << msg;
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace transn

@@ -1,0 +1,319 @@
+// Tests for the serving resilience layer: per-request deadlines (header +
+// server default), the graded-degradation controller, adaptive Retry-After,
+// and degraded-/healthz reporting across failed reloads. The load-bearing
+// pin: a request that arrives already expired is shed with 503 at admission
+// and NEVER reaches QueryServer::HandleBatch (serve.requests_total must not
+// move), and with the machinery disabled/idle the response bytes are
+// identical to a build without it.
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "core/model_io.h"
+#include "core/transn.h"
+#include "net/http_client.h"
+#include "net/http_server.h"
+#include "net/serve_app.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "serve/embedding_store.h"
+#include "serve/query_server.h"
+#include "serve_test_util.h"
+#include "test_graphs.h"
+
+namespace transn {
+namespace net {
+namespace {
+
+uint64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Default().GetCounter(name)->Value();
+}
+
+// --- pure units ------------------------------------------------------------
+
+TEST(RetryAfterTest, DrainRateDrivesTheHintWithinClamps) {
+  // No queue or no drain history: the cheap safe answer.
+  EXPECT_EQ(ComputeRetryAfterSeconds(0, 500.0), 1);
+  EXPECT_EQ(ComputeRetryAfterSeconds(100, 0.0), 1);
+  EXPECT_EQ(ComputeRetryAfterSeconds(100, -1.0), 1);
+  // ceil(depth / rate), clamped to [1, 30].
+  EXPECT_EQ(ComputeRetryAfterSeconds(100, 50.0), 2);
+  EXPECT_EQ(ComputeRetryAfterSeconds(101, 50.0), 3);
+  EXPECT_EQ(ComputeRetryAfterSeconds(10, 1000.0), 1);
+  EXPECT_EQ(ComputeRetryAfterSeconds(1'000'000, 10.0), 30);
+}
+
+TEST(DegradationControllerTest, PressureEngagesTier1AndCalmReleasesIt) {
+  DegradationController::Options opts;
+  opts.calm_steps = 3;
+  DegradationController c(opts);
+  EXPECT_EQ(c.tier(), 0);
+
+  // Queue above the pressure ratio: reduced beam.
+  c.Observe(/*queue_depth=*/600, /*max_queue=*/1024, /*shed=*/0,
+            /*recall_probe=*/1.0);
+  EXPECT_EQ(c.tier(), 1);
+
+  // Hysteresis: calm observations only release the tier after calm_steps.
+  c.Observe(0, 1024, 0, 1.0);
+  c.Observe(0, 1024, 0, 1.0);
+  EXPECT_EQ(c.tier(), 1);
+  c.Observe(0, 1024, 0, 1.0);
+  EXPECT_EQ(c.tier(), 0);
+
+  // Sheds since the last batch count as pressure even with an empty queue.
+  c.Observe(0, 1024, /*shed=*/5, 1.0);
+  EXPECT_EQ(c.tier(), 1);
+  // A pressured observation mid-descent resets the calm streak.
+  c.Observe(0, 1024, 0, 1.0);
+  c.Observe(900, 1024, 0, 1.0);
+  c.Observe(0, 1024, 0, 1.0);
+  c.Observe(0, 1024, 0, 1.0);
+  EXPECT_EQ(c.tier(), 1);
+  c.Observe(0, 1024, 0, 1.0);
+  EXPECT_EQ(c.tier(), 0);
+}
+
+TEST(DegradationControllerTest, RecallCollapseForcesExactTier) {
+  DegradationController::Options opts;
+  opts.calm_steps = 2;
+  DegradationController c(opts);
+
+  c.Observe(0, 1024, 0, /*recall_probe=*/0.2);
+  EXPECT_EQ(c.tier(), 2);
+  // Pressure cannot make it worse, and calm cannot release tier 2 while
+  // the probe stays bad.
+  c.Observe(1024, 1024, 10, 0.1);
+  EXPECT_EQ(c.tier(), 2);
+  c.Observe(0, 1024, 0, 0.1);
+  EXPECT_EQ(c.tier(), 2);
+
+  // Probe recovery steps down to tier 1 first; hysteresis finishes.
+  c.Observe(0, 1024, 0, 0.9);
+  EXPECT_EQ(c.tier(), 1);
+  c.Observe(0, 1024, 0, 0.9);
+  c.Observe(0, 1024, 0, 0.9);
+  EXPECT_EQ(c.tier(), 0);
+}
+
+TEST(DegradationControllerTest, DisabledControllerPinsTier0) {
+  DegradationController::Options opts;
+  opts.enabled = false;
+  DegradationController c(opts);
+  c.Observe(1024, 1024, 100, 0.0);
+  EXPECT_EQ(c.tier(), 0);
+}
+
+// --- full stack over a real model ------------------------------------------
+
+class ServeResilienceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    model_path_ = new std::string(std::string(::testing::TempDir()) +
+                                  "/serve_resilience_model.bin");
+    HeteroGraph graph = TwoCommunityNetwork(12, 4);
+    TransNModel model(&graph, SmallServeConfig());
+    model.Fit();
+    ASSERT_TRUE(ExportServingModel(model, *model_path_).ok());
+    auto store = EmbeddingStore::Load(*model_path_);
+    ASSERT_TRUE(store.ok());
+    node_names_ = new std::vector<std::string>();
+    for (NodeId n = 0; n < store->num_nodes(); ++n) {
+      node_names_->push_back(store->node_name(n));
+    }
+  }
+  static void TearDownTestSuite() {
+    std::remove(model_path_->c_str());
+    delete model_path_;
+    delete node_names_;
+  }
+
+  void StartServing(int default_deadline_ms = 0, bool degradation = true) {
+    ServeAppOptions app_opts;
+    app_opts.model_path = *model_path_;
+    app_opts.query.k = 3;
+    app_opts.default_deadline_ms = default_deadline_ms;
+    app_opts.enable_degradation = degradation;
+    app_ = std::make_unique<ServeApp>(app_opts);
+    ASSERT_TRUE(app_->Start().ok());
+    server_ = std::make_unique<HttpServer>(
+        HttpServerOptions{},
+        [this](HttpRequest&& req, ResponseHandle handle) {
+          app_->HandleRequest(std::move(req), std::move(handle));
+        });
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Stop();
+    if (app_ != nullptr) app_->Stop();
+  }
+
+  static std::string* model_path_;
+  static std::vector<std::string>* node_names_;
+  std::unique_ptr<ServeApp> app_;
+  std::unique_ptr<HttpServer> server_;
+};
+
+std::string* ServeResilienceTest::model_path_ = nullptr;
+std::vector<std::string>* ServeResilienceTest::node_names_ = nullptr;
+
+TEST_F(ServeResilienceTest, ExpiredDeadlineNeverReachesTheExecutor) {
+  StartServing();
+  HttpClient client("127.0.0.1", server_->port());
+
+  // Warm request so the executor and counters are live.
+  auto warm = client.Get("/v1/knn?node=" + node_names_->front());
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  ASSERT_EQ(warm->code, 200);
+
+  const uint64_t handled_before = CounterValue(obs::kServeRequestsTotal);
+  const uint64_t expired_before =
+      CounterValue(obs::kServeDeadlineExpiredTotal);
+
+  // Deadline 0 = already expired: shed at admission with 503, before the
+  // request can occupy the batch executor or touch QueryServer.
+  auto r = client.Get("/v1/knn?node=" + node_names_->front(),
+                      "X-Transn-Deadline-Ms: 0\r\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->code, 503);
+  EXPECT_NE(r->body.find("deadline-exceeded"), std::string::npos) << r->body;
+
+  EXPECT_EQ(CounterValue(obs::kServeRequestsTotal), handled_before)
+      << "an expired request reached QueryServer::HandleBatch";
+  EXPECT_EQ(CounterValue(obs::kServeDeadlineExpiredTotal),
+            expired_before + 1);
+}
+
+TEST_F(ServeResilienceTest, InvalidDeadlineHeaderIsRejectedWith400) {
+  StartServing();
+  HttpClient client("127.0.0.1", server_->port());
+  const std::string path = "/v1/knn?node=" + node_names_->front();
+  EXPECT_EQ(client.Get(path, "X-Transn-Deadline-Ms: banana\r\n")->code, 400);
+  EXPECT_EQ(client.Get(path, "X-Transn-Deadline-Ms: -5\r\n")->code, 400);
+}
+
+TEST_F(ServeResilienceTest, GenerousDeadlineLeavesResponsesByteIdentical) {
+  // The whole deadline/degradation layer must be invisible on the default
+  // path: same node, with and without a comfortable deadline, yields the
+  // same bytes. Degradation is disabled to pin tier 0 explicitly.
+  StartServing(/*default_deadline_ms=*/0, /*degradation=*/false);
+  HttpClient client("127.0.0.1", server_->port());
+  const std::string path = "/v1/knn?node=" + node_names_->front();
+
+  auto plain = client.Get(path);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  ASSERT_EQ(plain->code, 200);
+  auto with_deadline = client.Get(path, "X-Transn-Deadline-Ms: 60000\r\n");
+  ASSERT_TRUE(with_deadline.ok()) << with_deadline.status().ToString();
+  ASSERT_EQ(with_deadline->code, 200);
+  EXPECT_EQ(plain->body, with_deadline->body);
+}
+
+TEST_F(ServeResilienceTest, ServerDefaultDeadlineAppliesAndHeaderOverrides) {
+  StartServing(/*default_deadline_ms=*/60'000);
+  HttpClient client("127.0.0.1", server_->port());
+  const std::string path = "/v1/knn?node=" + node_names_->front();
+
+  // A comfortable server default never fires on a healthy server.
+  auto ok = client.Get(path);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->code, 200);
+
+  // The per-request header takes precedence over the default.
+  auto shed = client.Get(path, "X-Transn-Deadline-Ms: 0\r\n");
+  ASSERT_TRUE(shed.ok()) << shed.status().ToString();
+  EXPECT_EQ(shed->code, 503);
+}
+
+TEST_F(ServeResilienceTest, FailedReloadDegradesHealthzUntilRecovery) {
+  StartServing();
+  HttpClient client("127.0.0.1", server_->port());
+
+  auto bad = client.Post("/admin/reload?path=/nonexistent/resilience.bin",
+                         "");
+  ASSERT_TRUE(bad.ok()) << bad.status().ToString();
+  EXPECT_GE(bad->code, 500) << bad->body;
+
+  // The old generation keeps serving, but /healthz flags the staleness —
+  // still HTTP 200 so orchestrators do not flap the instance.
+  auto h = client.Get("/healthz");
+  ASSERT_TRUE(h.ok()) << h.status().ToString();
+  EXPECT_EQ(h->code, 200);
+  EXPECT_NE(h->body.find("\"status\":\"degraded\""), std::string::npos)
+      << h->body;
+  EXPECT_NE(h->body.find("\"reload_failures\":1"), std::string::npos)
+      << h->body;
+  EXPECT_NE(h->body.find("\"staleness_seconds\":"), std::string::npos)
+      << h->body;
+  auto q = client.Get("/v1/knn?node=" + node_names_->front());
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->code, 200) << "old generation must keep serving";
+
+  // A successful reload clears the degraded flag.
+  auto good = client.Post("/admin/reload", "");
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  ASSERT_EQ(good->code, 200) << good->body;
+  auto h2 = client.Get("/healthz");
+  ASSERT_TRUE(h2.ok());
+  EXPECT_NE(h2->body.find("\"status\":\"ok\""), std::string::npos)
+      << h2->body;
+  EXPECT_NE(h2->body.find("\"reload_failures\":0"), std::string::npos)
+      << h2->body;
+}
+
+TEST_F(ServeResilienceTest, BatchControlChecksDeadlinesAndForcesExact) {
+  auto store = EmbeddingStore::Load(*model_path_);
+  ASSERT_TRUE(store.ok());
+  QueryServerOptions opts;
+  opts.k = 3;
+  QueryServer qs(&store.value(), opts);
+  const std::vector<std::string> names = {node_names_->front(),
+                                          node_names_->back()};
+
+  // An expired control fails every request without running a scan.
+  BatchControl expired;
+  expired.has_deadline = true;
+  expired.deadline =
+      std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  std::vector<QueryResponse> out = qs.HandleBatch(names, expired);
+  ASSERT_EQ(out.size(), names.size());
+  for (const QueryResponse& r : out) {
+    EXPECT_FALSE(r.status.ok());
+    EXPECT_NE(r.status.message().find("deadline-exceeded"),
+              std::string::npos);
+    EXPECT_TRUE(r.neighbors.empty());
+  }
+
+  // The default control is a no-op: identical to the legacy overload.
+  std::vector<QueryResponse> plain = qs.HandleBatch(names);
+  std::vector<QueryResponse> noop = qs.HandleBatch(names, BatchControl{});
+  ASSERT_EQ(plain.size(), noop.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    ASSERT_TRUE(plain[i].status.ok());
+    ASSERT_TRUE(noop[i].status.ok());
+    ASSERT_EQ(plain[i].neighbors.size(), noop[i].neighbors.size());
+    for (size_t j = 0; j < plain[i].neighbors.size(); ++j) {
+      EXPECT_EQ(plain[i].neighbors[j].node, noop[i].neighbors[j].node);
+      EXPECT_EQ(plain[i].neighbors[j].score, noop[i].neighbors[j].score);
+    }
+  }
+
+  // force_exact answers from the ground-truth scan: still k results, OK.
+  BatchControl exact;
+  exact.force_exact = true;
+  std::vector<QueryResponse> exact_out = qs.HandleBatch(names, exact);
+  ASSERT_EQ(exact_out.size(), names.size());
+  for (const QueryResponse& r : exact_out) {
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_EQ(r.neighbors.size(), opts.k);
+  }
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace transn

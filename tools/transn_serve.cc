@@ -355,7 +355,7 @@ int CmdServe(const Args& args) {
     for (const char* f :
          {"listen", "reactor-threads", "max-queue", "max-batch",
           "max-connections", "read-timeout-ms", "write-timeout-ms",
-          "idle-timeout-ms"}) {
+          "idle-timeout-ms", "default-deadline-ms", "degradation"}) {
       flags.push_back(f);
     }
     args.RequireKnown(WithGlobalFlags(std::move(flags)));
@@ -367,6 +367,9 @@ int CmdServe(const Args& args) {
   app_opts.max_queue = static_cast<size_t>(args.GetInt("max-queue", 1024));
   app_opts.max_batch = static_cast<size_t>(args.GetInt("max-batch", 64));
   app_opts.warmup_queries = static_cast<size_t>(args.GetInt("warmup", 0));
+  app_opts.default_deadline_ms =
+      static_cast<int>(args.GetInt("default-deadline-ms", 0));
+  app_opts.enable_degradation = args.GetBool("degradation", true);
 
   net::HttpServerOptions http_opts;
   const std::string listen = args.GetString("listen", "127.0.0.1:8080");
@@ -453,6 +456,10 @@ void Usage() {
       "         [--metric cosine|dot] [--index exact|quantized|hnsw]\n"
       "         [--ef 0] [--threads 1]\n"
       "         [--warmup 0]  (warmup queries per model generation)\n"
+      "         [--default-deadline-ms 0]  (0 = requests wait forever;\n"
+      "         clients override per request with X-Transn-Deadline-Ms)\n"
+      "         [--degradation true]  (graded degradation under pressure;\n"
+      "         see docs/SERVING.md \"Degraded modes\")\n"
       "         endpoints: /v1/knn?node= /v1/translate?node=&view= /healthz\n"
       "         /metrics, POST /admin/reload[?path=]; SIGHUP hot-reloads\n"
       "all subcommands accept [--metrics-out m.json] to dump the\n"
